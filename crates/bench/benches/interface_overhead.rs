@@ -1,0 +1,111 @@
+//! Table B — the cost ladder of the roadmap steps (§3's "modular
+//! interfaces … can result in performance cost", §4.3's "nontrivial
+//! performance cost" concern, §4.4's checking overhead).
+//!
+//! One operation (`getattr` on a cached inode) dispatched through each
+//! regime:
+//!
+//! - `direct`            — concrete `Rsfs` method call (no roadmap).
+//! - `dyn_trait`         — `Arc<dyn FileSystem>` virtual call (Step 1's
+//!                         interface, statically wired).
+//! - `registry_handle`   — `InterfaceHandle` dispatch (Step 1 with hot
+//!                         replacement: one `RwLock` read + `Arc` clone).
+//! - `boundary_counted`  — plus a shim `Boundary` crossing counter.
+//! - `boundary_checked`  — plus ownership-contract validation.
+//! - `refinement_checked`— plus Step 4's per-op abstraction + relation
+//!                         check (the expensive one, by design).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sk_bench::make_rsfs;
+use sk_core::modularity::Registry;
+use sk_core::ownership::{Access, ContractTracker};
+use sk_core::shim::Boundary;
+use sk_core::spec::{RefinementChecker, Refines};
+use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+use sk_vfs::modular::{fs_abstraction, FileSystem};
+use sk_vfs::spec::FsModel;
+
+struct Abstracted<'a>(&'a dyn FileSystem);
+impl Refines<FsModel> for Abstracted<'_> {
+    fn abstraction(&self) -> FsModel {
+        fs_abstraction(self.0)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interface_overhead");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    let fs = make_rsfs(JournalMode::None, 2048);
+    let ino = fs.create(fs.root_ino(), "probe").expect("create");
+    fs.write(ino, 0, b"x").expect("write");
+
+    group.bench_function("direct", |b| {
+        b.iter(|| fs.getattr(std::hint::black_box(ino)).unwrap())
+    });
+
+    let dyn_fs: Arc<dyn FileSystem> = Arc::new(make_rsfs(JournalMode::None, 2048));
+    let dino = dyn_fs.create(dyn_fs.root_ino(), "probe").expect("create");
+    group.bench_function("dyn_trait", |b| {
+        b.iter(|| dyn_fs.getattr(std::hint::black_box(dino)).unwrap())
+    });
+
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(
+            "vfs.filesystem",
+            "rsfs",
+            Arc::new(make_rsfs(JournalMode::None, 2048)) as Arc<dyn FileSystem>,
+        )
+        .expect("register");
+    let handle = registry.subscribe::<dyn FileSystem>("vfs.filesystem").expect("subscribe");
+    let hino = handle.get().create(handle.get().root_ino(), "probe").expect("create");
+    group.bench_function("registry_handle", |b| {
+        b.iter(|| handle.get().getattr(std::hint::black_box(hino)).unwrap())
+    });
+
+    let boundary = Boundary::new("bench");
+    group.bench_function("boundary_counted", |b| {
+        b.iter(|| boundary.cross(|| handle.get().getattr(std::hint::black_box(hino)).unwrap()))
+    });
+
+    let tracker = Arc::new(ContractTracker::new());
+    let obj = tracker.register("vfs");
+    let checked = Boundary::with_tracker("bench-checked", Arc::clone(&tracker));
+    group.bench_function("boundary_checked", |b| {
+        b.iter(|| {
+            checked
+                .cross_checked(
+                    |t| t.access(obj, "vfs", Access::Read),
+                    || handle.get().getattr(std::hint::black_box(hino)),
+                )
+                .unwrap()
+        })
+    });
+
+    // Refinement checking walks the tree on both sides of the op; price it
+    // on a small tree so the comparison is apples-to-apples per call.
+    let spec_fs: Rsfs = make_rsfs(JournalMode::None, 2048);
+    let sino = spec_fs.create(spec_fs.root_ino(), "probe").expect("create");
+    group.bench_function("refinement_checked", |b| {
+        b.iter(|| {
+            let mut sys = Abstracted(&spec_fs);
+            let mut chk: RefinementChecker<FsModel> = RefinementChecker::new();
+            chk.step(
+                &mut sys,
+                "getattr",
+                |s| s.0.getattr(std::hint::black_box(sino)).unwrap(),
+                |pre, post, _| pre == post,
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

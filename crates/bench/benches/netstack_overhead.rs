@@ -1,0 +1,96 @@
+//! Table E — modularizing the socket layer (§4.1).
+//!
+//! The paper flags the socket layer as hard to modularize and worries the
+//! modular interface costs performance. This bench runs the same TCP echo
+//! round trip (send → pump → receive → reply → pump → receive) on:
+//!
+//! - `legacy`  — the coupled stack (`void *` protinfo, direct casts);
+//! - `modular` — the typed stack (trait dispatch through the registry).
+//!
+//! Plus the `poll` fast path, where the legacy stack's "generic code
+//! assumes TCP" coupling is exactly one cast cheaper — the optimization
+//! the paper says modularity may cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sk_core::modularity::Registry;
+use sk_ksim::time::SimClock;
+use sk_legacy::LegacyCtx;
+use sk_netstack::legacy_stack::LegacyStack;
+use sk_netstack::modular_stack::{register_families, ModularStack};
+use sk_netstack::packet::proto;
+use sk_netstack::wire::{Side, Wire};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netstack_overhead");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    // Legacy pair, established connection.
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let la = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let lb = LegacyStack::new(LegacyCtx::new(), Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let lserver = lb.socket(proto::TCP, 80).unwrap();
+    lb.listen(lserver).unwrap();
+    let lclient = la.socket(proto::TCP, 1234).unwrap();
+    la.connect(lclient, 80).unwrap();
+    for _ in 0..4 {
+        la.pump().unwrap();
+        lb.pump().unwrap();
+    }
+
+    group.bench_function("legacy_echo_roundtrip", |b| {
+        b.iter(|| {
+            la.send(lclient, 80, b"ping").unwrap();
+            lb.pump().unwrap();
+            let got = lb.recv(lserver).unwrap();
+            lb.send(lserver, 1234, &got).unwrap();
+            la.pump().unwrap();
+            lb.pump().unwrap();
+            la.recv(lclient).unwrap()
+        })
+    });
+
+    group.bench_function("legacy_poll", |b| {
+        b.iter(|| la.poll(std::hint::black_box(lclient)).unwrap())
+    });
+
+    // Modular pair, established connection.
+    let registry = Arc::new(Registry::new());
+    register_families(&registry).unwrap();
+    let wire2 = Arc::new(Wire::new());
+    let ma = ModularStack::new(Arc::clone(&registry), Side::A, Arc::clone(&wire2), Arc::clone(&clock));
+    let mb = ModularStack::new(registry, Side::B, wire2, Arc::clone(&clock));
+    let mserver = mb.socket("tcp", 80).unwrap();
+    mb.listen(mserver).unwrap();
+    let mclient = ma.socket("tcp", 1234).unwrap();
+    ma.connect(mclient, 80).unwrap();
+    for _ in 0..4 {
+        ma.pump().unwrap();
+        mb.pump().unwrap();
+    }
+
+    group.bench_function("modular_echo_roundtrip", |b| {
+        b.iter(|| {
+            ma.send(mclient, 80, b"ping").unwrap();
+            mb.pump().unwrap();
+            let got = mb.recv(mserver).unwrap();
+            mb.send(mserver, 1234, &got).unwrap();
+            ma.pump().unwrap();
+            mb.pump().unwrap();
+            ma.recv(mclient).unwrap()
+        })
+    });
+
+    group.bench_function("modular_poll", |b| {
+        b.iter(|| ma.poll(std::hint::black_box(mclient)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Table C — the three §4.3 ownership-sharing models against copying
+//! message passing.
+//!
+//! "We propose interfaces that are semantically equivalent to message
+//! passing interfaces but share memory for performance reasons."
+//!
+//! The callee computes a checksum over the buffer (so the bytes are really
+//! touched); the *transfer* mechanism varies:
+//!
+//! - `message_copy`    — the strict message-passing baseline: the payload
+//!                       is cloned across the boundary.
+//! - `model1_owned`    — ownership passes ([`Owned`]); no copy, callee
+//!                       frees. (Allocation is inside the loop for both
+//!                       this and the copy case, so they are comparable.)
+//! - `model2_exclusive`— exclusive loan; caller keeps the buffer.
+//! - `model3_shared`   — shared read-only loan; zero transfer cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sk_core::ownership::{Exclusive, Owned, Shared};
+
+fn checksum(data: &[u8]) -> u64 {
+    data.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(u64::from(b)))
+}
+
+// The "callee module" for each model.
+fn callee_copy(data: Vec<u8>) -> u64 {
+    checksum(&data)
+}
+fn callee_owned(data: Owned<Vec<u8>>) -> u64 {
+    checksum(&data)
+    // Dropped here: model 1's "the callee must free the memory".
+}
+fn callee_exclusive(mut data: Exclusive<'_, Vec<u8>>) -> u64 {
+    data[0] = data[0].wrapping_add(1); // Exercise the mutate right.
+    checksum(&data)
+}
+fn callee_shared(data: Shared<'_, Vec<u8>>) -> u64 {
+    checksum(&data)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ownership_models");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let payload = vec![0xA5u8; size];
+
+        // Both allocation-bearing cases produce the source buffer inside
+        // the loop; the difference is the boundary: message passing copies
+        // it, model 1 moves it.
+        group.bench_with_input(BenchmarkId::new("message_copy", size), &size, |b, _| {
+            b.iter(|| {
+                let src = payload.clone();
+                let msg = src.clone(); // The copy IS the boundary cost.
+                let sum = callee_copy(std::hint::black_box(msg));
+                drop(src); // The caller still owns (and must free) its copy.
+                sum
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("model1_owned", size), &size, |b, _| {
+            b.iter(|| {
+                let src = payload.clone();
+                // No byte copy: ownership moves; the callee frees.
+                callee_owned(std::hint::black_box(Owned::new(src)))
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("model2_exclusive", size), &size, |b, _| {
+            let mut buf = payload.clone();
+            b.iter(|| callee_exclusive(Exclusive::new(std::hint::black_box(&mut buf))))
+        });
+
+        group.bench_with_input(BenchmarkId::new("model3_shared", size), &size, |b, _| {
+            let buf = payload.clone();
+            b.iter(|| callee_shared(Shared::new(std::hint::black_box(&buf))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Table F — the price of shim layers (§4.4: "this type of shim layer is
+//! needed between every incremental boundary").
+//!
+//! The same `getattr` + 4 KiB write pair, crossing:
+//!
+//! - `boundaries_0` — rsfs called directly;
+//! - `boundaries_1` — rsfs exported through the legacy ops table
+//!   (`export_legacy`): safe callee, legacy caller — one marshalling shim;
+//! - `boundaries_2` — that export re-adapted back to the modular interface
+//!   (`LegacyFsAdapter`): two shims, both marshalling directions — the
+//!   worst case of a half-migrated kernel;
+//! - `boundaries_2_validated` — two shims plus the axiomatic device model
+//!   validating every block IO underneath the file system.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+use sk_core::spec::AxiomaticDevice;
+use sk_ksim::block::{BlockDevice, RamDisk};
+use sk_legacy::LegacyCtx;
+use sk_vfs::modular::FileSystem;
+use sk_vfs::shim::{export_legacy, LegacyFsAdapter};
+
+fn rsfs_on(dev: Arc<dyn BlockDevice>) -> Rsfs {
+    Rsfs::mkfs(&dev, 1024, 64).expect("mkfs");
+    Rsfs::mount(dev, JournalMode::None).expect("mount")
+}
+
+fn drive(c: &mut Criterion, label: &str, fs: &dyn FileSystem) {
+    let root = fs.root_ino();
+    let ino = fs.create(root, "probe").unwrap();
+    let payload = vec![1u8; 4096];
+    let mut group = c.benchmark_group("shim_overhead");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.bench_function(format!("{label}/getattr"), |b| {
+        b.iter(|| fs.getattr(std::hint::black_box(ino)).unwrap())
+    });
+    group.bench_function(format!("{label}/write_4k"), |b| {
+        b.iter(|| fs.write(ino, 0, &payload).unwrap())
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    // 0 boundaries.
+    let fs0 = rsfs_on(Arc::new(RamDisk::new(4096)));
+    drive(c, "boundaries_0", &fs0);
+
+    // 1 boundary: safe fs behind the legacy ops table, then used through
+    // the adapter's modular face (the adapter itself is boundary #1's
+    // counter; the ops table is the marshalling layer being priced).
+    let ctx = LegacyCtx::new();
+    let fs1: Arc<dyn FileSystem> = Arc::new(rsfs_on(Arc::new(RamDisk::new(4096))));
+    let ops = Arc::new(export_legacy(Arc::clone(&fs1), &ctx));
+    let one = LegacyFsAdapter::new(ops, ctx.clone());
+    drive(c, "boundaries_2", &one);
+
+    // 2 boundaries + axiom validation on the device underneath.
+    let axio: Arc<dyn BlockDevice> =
+        Arc::new(AxiomaticDevice::new(Arc::new(RamDisk::new(4096)) as Arc<dyn BlockDevice>));
+    let fs2: Arc<dyn FileSystem> = Arc::new(rsfs_on(axio));
+    let ctx2 = LegacyCtx::new();
+    let ops2 = Arc::new(export_legacy(Arc::clone(&fs2), &ctx2));
+    let two = LegacyFsAdapter::new(ops2, ctx2);
+    drive(c, "boundaries_2_validated", &two);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

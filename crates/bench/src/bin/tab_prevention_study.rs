@@ -1,0 +1,68 @@
+//! The empirical prevention study: §2's table, measured.
+//!
+//! Usage: `tab_prevention_study [instances_per_spec]` (default 5). Every
+//! bug class in the catalog is instantiated and driven through the roadmap
+//! pipelines (see `sk-faultgen`); the corpus-weighted result is compared
+//! against the paper's 42/35/23.
+
+use sk_faultgen::run_study;
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("running the prevention study ({instances} trials per bug class)...\n");
+    let report = run_study(instances);
+
+    println!("== Per-class pipeline verification ==\n");
+    println!(
+        "{:<26} {:<9} {:<15} {:<15} {}",
+        "bug class", "CWE", "measured", "expected", "trials"
+    );
+    println!("{:-<26} {:-<9} {:-<15} {:-<15} ------", "", "", "", "");
+    for r in &report.specs {
+        println!(
+            "{:<26} {:<9} {:<15} {:<15} {}",
+            r.name,
+            r.cwe,
+            format!("{:?}", r.measured),
+            format!("{:?}", r.expected),
+            r.trials
+        );
+        if let Some(note) = r.note {
+            println!("    note: {note}");
+        }
+    }
+
+    let (ty, fun, other) = report.percentages();
+    println!("\n== Corpus-weighted prevention table ({} records) ==\n", report.total);
+    println!("{:<38} {:>7} {:>7}   paper", "category", "count", "pct");
+    println!("{:-<38} {:->7} {:->7}   -----", "", "", "");
+    println!(
+        "{:<38} {:>7} {:>6.1}%   ~42%",
+        "type + ownership safety (steps 2-3)", report.type_ownership, ty
+    );
+    println!(
+        "{:<38} {:>7} {:>6.1}%   ~35%",
+        "functional correctness (step 4)", report.functional, fun
+    );
+    println!(
+        "{:<38} {:>7} {:>6.1}%   ~23%",
+        "other causes", report.other, other
+    );
+
+    if report.mismatches.is_empty() {
+        println!("\nall pipeline measurements agree with the paper's categorization");
+    } else {
+        println!("\nMISMATCHES:");
+        for m in &report.mismatches {
+            println!("  {m}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "\nJSON: {{\"total\":{},\"type_ownership\":{},\"functional\":{},\"other\":{}}}",
+        report.total, report.type_ownership, report.functional, report.other
+    );
+}

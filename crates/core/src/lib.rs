@@ -1,0 +1,48 @@
+//! # sk-core — the incremental-safety interface framework
+//!
+//! This crate is the reproduction of the paper's primary contribution: the
+//! interface designs that let Linux components be replaced "one at a time,
+//! each with an incrementally-safer implementation" (§3). One module per
+//! roadmap step:
+//!
+//! - [`modularity`] — **Step 1**: modular interfaces. Callers reference an
+//!   interface handle, never an implementation; implementations register in
+//!   a [`modularity::Registry`] and can be hot-swapped while callers hold
+//!   handles (§4.1).
+//! - [`typesafe`] — **Step 2**: type safety. Generic tokens replace `void *`
+//!   custom data (the `write_begin`/`write_end` pairing becomes a move-only
+//!   typed token), and `KResult` replaces `ERR_PTR` punning (§4.2). Checked
+//!   arithmetic helpers cover the paper's "mandatory overflow checks".
+//! - [`ownership`] — **Step 3**: ownership safety. The paper's three
+//!   restricted sharing models as types — [`ownership::Owned`] (model 1:
+//!   ownership passes, callee frees), [`ownership::Exclusive`] (model 2:
+//!   exclusive loan, callee may mutate but not free or keep),
+//!   [`ownership::Shared`] (model 3: shared read-only loan) — plus a
+//!   runtime [`ownership::ContractTracker`] that enforces the same
+//!   contracts on the *unverified* side of a boundary (§4.3).
+//! - [`spec`] — **Step 4**: functional correctness. A modeling language of
+//!   pure-functional abstract states, refinement checking of every
+//!   operation against its specification relation, exhaustive
+//!   crash-schedule enumeration, and axiomatic models of unverified
+//!   components (§4.4). Proof search is replaced by exhaustive dynamic
+//!   checking on bounded workloads — see DESIGN.md for the substitution
+//!   argument.
+//! - [`shim`] — the boundary layers the paper requires "between every
+//!   incremental boundary": marshalling between safe interfaces and legacy
+//!   ops tables, with crossing statistics and optional validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod modularity;
+pub mod ownership;
+pub mod roadmap;
+pub mod shim;
+pub mod spec;
+pub mod typesafe;
+
+pub use modularity::{InterfaceHandle, Registry};
+pub use ownership::{ContractTracker, Exclusive, Owned, Shared};
+pub use roadmap::{Roadmap, SafetyLevel};
+pub use spec::{AbstractModel, RefinementChecker, Refines};
+pub use typesafe::Token;

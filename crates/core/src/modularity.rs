@@ -1,0 +1,358 @@
+//! Step 1 — modular interfaces (§4.1).
+//!
+//! "Callers of any module must only reference the modular interface and
+//! cannot directly depend on any specific implementation. … New
+//! implementations can be dropped in without changing other parts of the
+//! kernel."
+//!
+//! The [`Registry`] maps interface names to slots. A consumer calls
+//! [`Registry::subscribe`] once and holds an [`InterfaceHandle`]; every use
+//! reads the slot's *current* implementation, so [`Registry::replace`] (the
+//! incremental-replacement operation the whole paper is about) takes effect
+//! immediately for all existing callers — this is what
+//! `examples/incremental_migration.rs` demonstrates with a live workload.
+//!
+//! The handle's indirection (one `RwLock` read + one `Arc` clone per
+//! dispatch) is exactly the "performance cost of modular interfaces" the
+//! paper flags as a research question; `benches/interface_overhead.rs`
+//! measures it against a direct call.
+
+use std::any::{type_name, Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use sk_ksim::errno::{Errno, KResult};
+
+/// One registered interface slot.
+struct Slot {
+    /// `Arc<SlotCell<I>>` behind `Any`, keyed by the interface type.
+    cell: Box<dyn Any + Send + Sync>,
+    /// Untyped metadata view of the same cell, for [`Registry::list`].
+    meta: Arc<dyn SlotMeta>,
+    /// TypeId of `I` (the `dyn Trait` type), for mismatch diagnostics.
+    iface_type: TypeId,
+    iface_type_name: &'static str,
+}
+
+struct SlotCell<I: ?Sized> {
+    current: RwLock<Arc<I>>,
+    swaps: AtomicU64,
+    impl_name: RwLock<&'static str>,
+}
+
+/// Descriptive entry returned by [`Registry::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Interface name, e.g. `"vfs.filesystem"`.
+    pub interface: &'static str,
+    /// Rust type name of the interface trait object.
+    pub iface_type: &'static str,
+    /// Name of the currently installed implementation.
+    pub implementation: &'static str,
+    /// How many times the implementation has been replaced.
+    pub swaps: u64,
+}
+
+/// The module registry: names → interface slots.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sk_core::modularity::Registry;
+///
+/// trait Greeter: Send + Sync { fn hi(&self) -> &'static str; }
+/// struct En; impl Greeter for En { fn hi(&self) -> &'static str { "hello" } }
+/// struct Fr; impl Greeter for Fr { fn hi(&self) -> &'static str { "bonjour" } }
+///
+/// let reg = Registry::new();
+/// reg.register::<dyn Greeter>("greeter", "en", Arc::new(En)).unwrap();
+/// let handle = reg.subscribe::<dyn Greeter>("greeter").unwrap();
+/// assert_eq!(handle.get().hi(), "hello");
+///
+/// // The incremental replacement: existing handles see the new module.
+/// reg.replace::<dyn Greeter>("greeter", "fr", Arc::new(Fr)).unwrap();
+/// assert_eq!(handle.get().hi(), "bonjour");
+/// ```
+#[derive(Default)]
+pub struct Registry {
+    slots: Mutex<HashMap<&'static str, Slot>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers `implementation` under `interface`.
+    ///
+    /// Fails with `EEXIST` if the name is taken — replacement must be an
+    /// explicit [`Registry::replace`], never an accidental shadow.
+    pub fn register<I: ?Sized + Send + Sync + 'static>(
+        &self,
+        interface: &'static str,
+        impl_name: &'static str,
+        implementation: Arc<I>,
+    ) -> KResult<()> {
+        let mut slots = self.slots.lock();
+        if slots.contains_key(interface) {
+            return Err(Errno::EEXIST);
+        }
+        let cell: Arc<SlotCell<I>> = Arc::new(SlotCell {
+            current: RwLock::new(implementation),
+            swaps: AtomicU64::new(0),
+            impl_name: RwLock::new(impl_name),
+        });
+        slots.insert(
+            interface,
+            Slot {
+                cell: Box::new(Arc::clone(&cell)),
+                meta: cell,
+                iface_type: TypeId::of::<Arc<SlotCell<I>>>(),
+                iface_type_name: type_name::<I>(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Subscribes to an interface, returning a handle that always dispatches
+    /// to the slot's current implementation.
+    ///
+    /// `ENODEV` if the name is unknown; `EPROTO` ("protocol error") if the
+    /// name exists but was registered under a different interface type —
+    /// the registry-level analogue of a type-confused `void *`.
+    pub fn subscribe<I: ?Sized + Send + Sync + 'static>(
+        &self,
+        interface: &'static str,
+    ) -> KResult<InterfaceHandle<I>> {
+        let slots = self.slots.lock();
+        let slot = slots.get(interface).ok_or(Errno::ENODEV)?;
+        if slot.iface_type != TypeId::of::<Arc<SlotCell<I>>>() {
+            return Err(Errno::EPROTO);
+        }
+        let cell = slot
+            .cell
+            .downcast_ref::<Arc<SlotCell<I>>>()
+            .expect("TypeId verified above");
+        Ok(InterfaceHandle {
+            interface,
+            cell: Arc::clone(cell),
+        })
+    }
+
+    /// Hot-swaps the implementation behind `interface`, returning the old
+    /// one. Existing handles see the new implementation on their next
+    /// dispatch.
+    pub fn replace<I: ?Sized + Send + Sync + 'static>(
+        &self,
+        interface: &'static str,
+        impl_name: &'static str,
+        implementation: Arc<I>,
+    ) -> KResult<Arc<I>> {
+        let slots = self.slots.lock();
+        let slot = slots.get(interface).ok_or(Errno::ENODEV)?;
+        if slot.iface_type != TypeId::of::<Arc<SlotCell<I>>>() {
+            return Err(Errno::EPROTO);
+        }
+        let cell = slot
+            .cell
+            .downcast_ref::<Arc<SlotCell<I>>>()
+            .expect("TypeId verified above");
+        let old = {
+            let mut cur = cell.current.write();
+            std::mem::replace(&mut *cur, implementation)
+        };
+        *cell.impl_name.write() = impl_name;
+        cell.swaps.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    /// Lists every registered interface.
+    pub fn list(&self) -> Vec<RegistryEntry> {
+        let slots = self.slots.lock();
+        let mut entries: Vec<RegistryEntry> = slots
+            .iter()
+            .map(|(name, slot)| RegistryEntry {
+                interface: name,
+                iface_type: slot.iface_type_name,
+                implementation: slot.meta.impl_name(),
+                swaps: slot.meta.swaps(),
+            })
+            .collect();
+        entries.sort_by_key(|e| e.interface);
+        entries
+    }
+}
+
+/// Untyped view of a slot's metadata.
+trait SlotMeta: Send + Sync {
+    fn impl_name(&self) -> &'static str;
+    fn swaps(&self) -> u64;
+}
+
+impl<I: ?Sized + Send + Sync> SlotMeta for SlotCell<I> {
+    fn impl_name(&self) -> &'static str {
+        *self.impl_name.read()
+    }
+    fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+/// A consumer's handle to an interface: the only way modules reference each
+/// other under Step 1.
+pub struct InterfaceHandle<I: ?Sized> {
+    interface: &'static str,
+    cell: Arc<SlotCell<I>>,
+}
+
+impl<I: ?Sized> Clone for InterfaceHandle<I> {
+    fn clone(&self) -> Self {
+        InterfaceHandle {
+            interface: self.interface,
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<I: ?Sized> InterfaceHandle<I> {
+    /// Returns the current implementation for one dispatch.
+    ///
+    /// Callers must not cache the returned `Arc` across operations if they
+    /// want replacement to take effect (the examples re-`get()` per call).
+    pub fn get(&self) -> Arc<I> {
+        Arc::clone(&self.cell.current.read())
+    }
+
+    /// The interface name this handle is bound to.
+    pub fn interface(&self) -> &'static str {
+        self.interface
+    }
+
+    /// Number of replacements that have occurred on this slot.
+    pub fn swap_count(&self) -> u64 {
+        self.cell.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Name of the implementation currently installed.
+    pub fn impl_name(&self) -> &'static str {
+        *self.cell.impl_name.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Greeter: Send + Sync {
+        fn greet(&self) -> String;
+    }
+
+    struct English;
+    impl Greeter for English {
+        fn greet(&self) -> String {
+            "hello".into()
+        }
+    }
+
+    struct French;
+    impl Greeter for French {
+        fn greet(&self) -> String {
+            "bonjour".into()
+        }
+    }
+
+    #[test]
+    fn register_subscribe_dispatch() {
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("greeter", "english", Arc::new(English))
+            .unwrap();
+        let h = reg.subscribe::<dyn Greeter>("greeter").unwrap();
+        assert_eq!(h.get().greet(), "hello");
+        assert_eq!(h.interface(), "greeter");
+        assert_eq!(h.impl_name(), "english");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("greeter", "english", Arc::new(English))
+            .unwrap();
+        assert_eq!(
+            reg.register::<dyn Greeter>("greeter", "french", Arc::new(French)),
+            Err(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn unknown_interface_is_enodev() {
+        let reg = Registry::new();
+        assert!(matches!(
+            reg.subscribe::<dyn Greeter>("nope"),
+            Err(Errno::ENODEV)
+        ));
+    }
+
+    #[test]
+    fn hot_swap_visible_through_existing_handles() {
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("greeter", "english", Arc::new(English))
+            .unwrap();
+        let h = reg.subscribe::<dyn Greeter>("greeter").unwrap();
+        assert_eq!(h.get().greet(), "hello");
+        let old = reg
+            .replace::<dyn Greeter>("greeter", "french", Arc::new(French))
+            .unwrap();
+        assert_eq!(old.greet(), "hello", "old implementation returned");
+        assert_eq!(h.get().greet(), "bonjour", "handle sees the replacement");
+        assert_eq!(h.swap_count(), 1);
+        assert_eq!(h.impl_name(), "french");
+    }
+
+    #[test]
+    fn type_mismatch_is_eproto() {
+        trait Other: Send + Sync {}
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("greeter", "english", Arc::new(English))
+            .unwrap();
+        assert!(matches!(
+            reg.subscribe::<dyn Other>("greeter"),
+            Err(Errno::EPROTO)
+        ));
+        struct O;
+        impl Other for O {}
+        assert!(matches!(
+            reg.replace::<dyn Other>("greeter", "o", Arc::new(O)),
+            Err(Errno::EPROTO)
+        ));
+    }
+
+    #[test]
+    fn handles_clone_and_share_the_slot() {
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("greeter", "english", Arc::new(English))
+            .unwrap();
+        let h1 = reg.subscribe::<dyn Greeter>("greeter").unwrap();
+        let h2 = h1.clone();
+        reg.replace::<dyn Greeter>("greeter", "french", Arc::new(French))
+            .unwrap();
+        assert_eq!(h1.get().greet(), "bonjour");
+        assert_eq!(h2.get().greet(), "bonjour");
+    }
+
+    #[test]
+    fn list_shows_registered_interfaces() {
+        let reg = Registry::new();
+        reg.register::<dyn Greeter>("b.greeter", "english", Arc::new(English))
+            .unwrap();
+        reg.register::<dyn Greeter>("a.greeter", "french", Arc::new(French))
+            .unwrap();
+        let entries = reg.list();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].interface, "a.greeter");
+        assert!(entries[0].iface_type.contains("Greeter"));
+    }
+}

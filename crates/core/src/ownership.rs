@@ -1,0 +1,640 @@
+//! Step 3 — ownership safety (§4.3).
+//!
+//! The paper proposes "interfaces that are semantically equivalent to
+//! message passing interfaces but share memory for performance reasons",
+//! with three sharing models:
+//!
+//! 1. **Ownership passes** — the caller can no longer access the memory;
+//!    the callee must free it. In Rust this is passing [`Owned<T>`] by
+//!    value.
+//! 2. **Exclusive rights pass** — the caller cannot access the memory until
+//!    the call returns; the callee may mutate but not free it, and cannot
+//!    keep it after returning. This is [`Exclusive<'_, T>`], a `&mut`
+//!    loan with the "free" capability removed.
+//! 3. **Non-exclusive rights pass** — everyone may read, nobody may mutate
+//!    or free until the call returns. This is [`Shared<'_, T>`].
+//!
+//! For *safe* callees the Rust borrow checker enforces all three statically
+//! — the wrappers exist to name the models at interface boundaries and to
+//! keep the two sides of a boundary honest about which model is in force.
+//! For the **unverified** side of a boundary (§4.4's axiomatic-model
+//! setting), the same contracts are enforced dynamically by a
+//! [`ContractTracker`]: the shim registers each object crossing the
+//! boundary, and every access/free by the legacy side is validated against
+//! the object's current rights state. Violations are recorded (optionally
+//! into a `BugLedger`) rather than silently corrupting state.
+
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sk_legacy::{BugClass, BugLedger};
+
+/// Model 1: owned passage. Receiving an `Owned<T>` transfers the object and
+/// the obligation to free it (dropping is freeing).
+///
+/// # Examples
+///
+/// The three sharing models, as the borrow checker sees them:
+///
+/// ```
+/// use sk_core::ownership::{Exclusive, Owned, Shared};
+///
+/// fn consume(buf: Owned<Vec<u8>>) -> usize { buf.len() } // model 1: callee frees
+/// fn mutate(mut buf: Exclusive<'_, Vec<u8>>) { buf.push(0); } // model 2
+/// fn observe(buf: Shared<'_, Vec<u8>>) -> usize { buf.len() } // model 3
+///
+/// let mut owned = Owned::new(vec![1, 2, 3]);
+/// mutate(owned.lend_exclusive());
+/// assert_eq!(observe(owned.lend_shared()), 4);
+/// assert_eq!(consume(owned), 4);
+/// // `owned` is gone: the caller "can no longer access the memory".
+/// ```
+#[derive(Debug)]
+pub struct Owned<T> {
+    value: T,
+}
+
+impl<T> Owned<T> {
+    /// Takes ownership of `value`.
+    pub fn new(value: T) -> Self {
+        Owned { value }
+    }
+
+    /// Consumes the wrapper, yielding the object (the receiver "frees" it
+    /// by letting it drop, or re-wraps it to pass it on).
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+
+    /// Loans the object exclusively (model 2) without giving it up.
+    pub fn lend_exclusive(&mut self) -> Exclusive<'_, T> {
+        Exclusive { value: &mut self.value }
+    }
+
+    /// Loans the object shared (model 3) without giving it up.
+    pub fn lend_shared(&self) -> Shared<'_, T> {
+        Shared { value: &self.value }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// Model 2: an exclusive loan. The callee may read and mutate, but there is
+/// no way to free the object or keep the loan beyond the call (the lifetime
+/// sees to both).
+#[derive(Debug)]
+pub struct Exclusive<'a, T> {
+    value: &'a mut T,
+}
+
+impl<'a, T> Exclusive<'a, T> {
+    /// Creates an exclusive loan of `value`.
+    pub fn new(value: &'a mut T) -> Self {
+        Exclusive { value }
+    }
+
+    /// Reborrows, e.g. to pass the loan one level further down.
+    pub fn reborrow(&mut self) -> Exclusive<'_, T> {
+        Exclusive { value: self.value }
+    }
+}
+
+impl<T> Deref for Exclusive<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> DerefMut for Exclusive<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value
+    }
+}
+
+/// Model 3: a shared read-only loan. `Copy`, so it can fan out to any number
+/// of readers; no mutation or free is expressible.
+#[derive(Debug)]
+pub struct Shared<'a, T> {
+    value: &'a T,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'a, T> Shared<'a, T> {
+    /// Creates a shared loan of `value`.
+    pub fn new(value: &'a T) -> Self {
+        Shared { value }
+    }
+}
+
+impl<T> Deref for Shared<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+/// Identity of a boundary-crossing object in a [`ContractTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(u64);
+
+/// A module name, as known to the tracker.
+pub type ModuleName = &'static str;
+
+/// The rights state of a tracked object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rights {
+    /// Owned by one module, not currently lent.
+    Owned { owner: ModuleName },
+    /// Exclusively lent by `owner` to `borrower`.
+    LentExclusive {
+        owner: ModuleName,
+        borrower: ModuleName,
+    },
+    /// Shared read-only with `readers` (owner retains read rights too).
+    LentShared {
+        owner: ModuleName,
+        readers: Vec<ModuleName>,
+    },
+    /// Freed; any further use is a violation.
+    Freed,
+}
+
+/// The kind of access a module attempts on a tracked object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Read the object.
+    Read,
+    /// Mutate the object.
+    Write,
+}
+
+/// A detected ownership-contract violation at an unverified boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractViolation {
+    /// The object involved.
+    pub obj: ObjId,
+    /// The offending module.
+    pub module: ModuleName,
+    /// Human-readable description of the violated contract.
+    pub what: String,
+}
+
+#[derive(Default)]
+struct TrackerInner {
+    next: u64,
+    objects: HashMap<ObjId, Rights>,
+    violations: Vec<ContractViolation>,
+}
+
+/// Dynamic enforcement of the three sharing models for unverified modules.
+///
+/// The safe side of a boundary gets its contracts checked by the compiler;
+/// the unverified side gets this tracker, driven by the shim layer.
+#[derive(Default)]
+pub struct ContractTracker {
+    inner: Mutex<TrackerInner>,
+    ledger: Option<Arc<BugLedger>>,
+}
+
+impl ContractTracker {
+    /// Creates a tracker that keeps violations internally.
+    pub fn new() -> Self {
+        ContractTracker::default()
+    }
+
+    /// Creates a tracker that additionally mirrors violations into a
+    /// [`BugLedger`] (as `DataRace`/`UseAfterFree`-class events), so the
+    /// fault study can count them alongside legacy detections.
+    pub fn with_ledger(ledger: Arc<BugLedger>) -> Self {
+        ContractTracker {
+            inner: Mutex::new(TrackerInner::default()),
+            ledger: Some(ledger),
+        }
+    }
+
+    fn violate(&self, inner: &mut TrackerInner, obj: ObjId, module: ModuleName, what: String) {
+        if let Some(ledger) = &self.ledger {
+            let class = if what.contains("double free") {
+                BugClass::DoubleFree
+            } else if what.contains("freed") || what.contains("Freed") {
+                BugClass::UseAfterFree
+            } else {
+                BugClass::DataRace
+            };
+            ledger.record(class, "contract_tracker", what.clone());
+        }
+        inner.violations.push(ContractViolation { obj, module, what });
+    }
+
+    /// Registers a new object owned by `owner`.
+    pub fn register(&self, owner: ModuleName) -> ObjId {
+        let mut inner = self.inner.lock();
+        inner.next += 1;
+        let id = ObjId(inner.next);
+        inner.objects.insert(id, Rights::Owned { owner });
+        id
+    }
+
+    /// Model 1: transfers ownership from `from` to `to`.
+    pub fn pass_ownership(&self, obj: ObjId, from: ModuleName, to: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::Owned { owner }) if owner == from => {
+                inner.objects.insert(obj, Rights::Owned { owner: to });
+                true
+            }
+            Some(Rights::Freed) => {
+                self.violate(&mut inner, obj, from, "passed ownership of freed object".into());
+                false
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    from,
+                    format!("pass_ownership without owning it (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, from, "pass_ownership of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Model 2: `owner` lends the object exclusively to `borrower`.
+    pub fn lend_exclusive(&self, obj: ObjId, owner: ModuleName, borrower: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::Owned { owner: o }) if o == owner => {
+                inner
+                    .objects
+                    .insert(obj, Rights::LentExclusive { owner, borrower });
+                true
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    owner,
+                    format!("lend_exclusive while not sole owner (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, owner, "lend_exclusive of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Model 2: the borrower returns the exclusive loan.
+    pub fn return_exclusive(&self, obj: ObjId, borrower: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::LentExclusive { owner, borrower: b }) if b == borrower => {
+                inner.objects.insert(obj, Rights::Owned { owner });
+                true
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    borrower,
+                    format!("return_exclusive without holding the loan (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, borrower, "return_exclusive of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Model 3: `owner` opens the object for shared reading by `reader`.
+    /// Can be called repeatedly to add readers.
+    pub fn lend_shared(&self, obj: ObjId, owner: ModuleName, reader: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::Owned { owner: o }) if o == owner => {
+                inner.objects.insert(
+                    obj,
+                    Rights::LentShared {
+                        owner,
+                        readers: vec![reader],
+                    },
+                );
+                true
+            }
+            Some(Rights::LentShared { owner: o, mut readers }) if o == owner => {
+                readers.push(reader);
+                inner
+                    .objects
+                    .insert(obj, Rights::LentShared { owner: o, readers });
+                true
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    owner,
+                    format!("lend_shared while exclusively lent or freed (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, owner, "lend_shared of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Model 3: `reader` drops out of the shared loan; when the last reader
+    /// leaves, full rights return to the owner.
+    pub fn return_shared(&self, obj: ObjId, reader: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::LentShared { owner, mut readers }) => {
+                if let Some(pos) = readers.iter().position(|&r| r == reader) {
+                    readers.remove(pos);
+                    let next = if readers.is_empty() {
+                        Rights::Owned { owner }
+                    } else {
+                        Rights::LentShared { owner, readers }
+                    };
+                    inner.objects.insert(obj, next);
+                    true
+                } else {
+                    self.violate(
+                        &mut inner,
+                        obj,
+                        reader,
+                        "return_shared without being a reader".into(),
+                    );
+                    false
+                }
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    reader,
+                    format!("return_shared but object not shared (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, reader, "return_shared of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Validates an access by `module` against the object's current rights.
+    pub fn access(&self, obj: ObjId, module: ModuleName, kind: Access) -> bool {
+        let mut inner = self.inner.lock();
+        let ok = match inner.objects.get(&obj) {
+            Some(Rights::Owned { owner }) => *owner == module,
+            Some(Rights::LentExclusive { borrower, .. }) => {
+                // While exclusively lent, only the borrower may touch it —
+                // this is the "caller cannot access the memory until the
+                // call returns" clause.
+                *borrower == module
+            }
+            Some(Rights::LentShared { owner, readers }) => {
+                // Reads allowed for owner and readers; writes for nobody.
+                kind == Access::Read && (*owner == module || readers.contains(&module))
+            }
+            Some(Rights::Freed) => false,
+            None => false,
+        };
+        if !ok {
+            let state = inner.objects.get(&obj).cloned();
+            self.violate(
+                &mut inner,
+                obj,
+                module,
+                format!("illegal {kind:?} access (state: {state:?})"),
+            );
+        }
+        ok
+    }
+
+    /// Frees the object. Only the current sole owner may free; freeing a
+    /// lent or already-freed object is a violation.
+    pub fn free(&self, obj: ObjId, module: ModuleName) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.objects.get(&obj).cloned() {
+            Some(Rights::Owned { owner }) if owner == module => {
+                inner.objects.insert(obj, Rights::Freed);
+                true
+            }
+            Some(Rights::Freed) => {
+                self.violate(&mut inner, obj, module, "double free".into());
+                false
+            }
+            Some(state) => {
+                self.violate(
+                    &mut inner,
+                    obj,
+                    module,
+                    format!("free without sole ownership (state: {state:?})"),
+                );
+                false
+            }
+            None => {
+                self.violate(&mut inner, obj, module, "free of unknown object".into());
+                false
+            }
+        }
+    }
+
+    /// Objects never freed (resource-leak accounting at teardown).
+    pub fn leaked(&self) -> Vec<ObjId> {
+        let inner = self.inner.lock();
+        let mut v: Vec<ObjId> = inner
+            .objects
+            .iter()
+            .filter(|(_, r)| !matches!(r, Rights::Freed))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// All recorded violations.
+    pub fn violations(&self) -> Vec<ContractViolation> {
+        self.inner.lock().violations.clone()
+    }
+
+    /// True if no violations were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.inner.lock().violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn callee_consumes(buf: Owned<Vec<u8>>) -> usize {
+        buf.len()
+        // Dropped here: the callee freed it, per model 1.
+    }
+
+    fn callee_mutates(mut buf: Exclusive<'_, Vec<u8>>) {
+        buf.push(9);
+    }
+
+    fn callee_reads(buf: Shared<'_, Vec<u8>>) -> usize {
+        buf.len()
+    }
+
+    #[test]
+    fn model1_ownership_passes() {
+        let buf = Owned::new(vec![1, 2, 3]);
+        assert_eq!(callee_consumes(buf), 3);
+        // `buf` is gone; the borrow checker enforces the caller's loss of
+        // access at compile time.
+    }
+
+    #[test]
+    fn model2_exclusive_loan_returns() {
+        let mut buf = Owned::new(vec![1, 2, 3]);
+        callee_mutates(buf.lend_exclusive());
+        assert_eq!(*buf, vec![1, 2, 3, 9], "caller sees the mutation");
+    }
+
+    #[test]
+    fn model3_shared_loan_fans_out() {
+        let buf = Owned::new(vec![1, 2, 3]);
+        let s = buf.lend_shared();
+        let s2 = s; // Copy.
+        assert_eq!(callee_reads(s), 3);
+        assert_eq!(callee_reads(s2), 3);
+        assert_eq!(buf.len(), 3, "owner retains read access");
+    }
+
+    #[test]
+    fn exclusive_reborrow_chains() {
+        let mut v = 1u32;
+        let mut e = Exclusive::new(&mut v);
+        {
+            let mut inner = e.reborrow();
+            *inner += 1;
+        }
+        *e += 1;
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn tracker_happy_path_is_clean() {
+        let t = ContractTracker::new();
+        let o = t.register("vfs");
+        assert!(t.access(o, "vfs", Access::Write));
+        assert!(t.pass_ownership(o, "vfs", "fs"));
+        assert!(t.access(o, "fs", Access::Write));
+        assert!(t.free(o, "fs"));
+        assert!(t.is_clean());
+        assert!(t.leaked().is_empty());
+    }
+
+    #[test]
+    fn tracker_caller_access_during_exclusive_loan_violates() {
+        let t = ContractTracker::new();
+        let o = t.register("vfs");
+        assert!(t.lend_exclusive(o, "vfs", "fs"));
+        assert!(!t.access(o, "vfs", Access::Read), "caller locked out");
+        assert!(t.access(o, "fs", Access::Write), "borrower may mutate");
+        assert!(t.return_exclusive(o, "fs"));
+        assert!(t.access(o, "vfs", Access::Write), "rights restored");
+        assert_eq!(t.violations().len(), 1);
+    }
+
+    #[test]
+    fn tracker_shared_loan_blocks_writes() {
+        let t = ContractTracker::new();
+        let o = t.register("vfs");
+        assert!(t.lend_shared(o, "vfs", "fs"));
+        assert!(t.lend_shared(o, "vfs", "journal"));
+        assert!(t.access(o, "fs", Access::Read));
+        assert!(t.access(o, "journal", Access::Read));
+        assert!(t.access(o, "vfs", Access::Read), "owner may still read");
+        assert!(!t.access(o, "fs", Access::Write), "no writes while shared");
+        assert!(t.return_shared(o, "fs"));
+        assert!(t.return_shared(o, "journal"));
+        assert!(t.access(o, "vfs", Access::Write), "rights restored");
+    }
+
+    #[test]
+    fn tracker_borrower_cannot_free() {
+        let t = ContractTracker::new();
+        let o = t.register("vfs");
+        t.lend_exclusive(o, "vfs", "fs");
+        assert!(!t.free(o, "fs"), "callee must not free a loan");
+        assert_eq!(t.violations().len(), 1);
+    }
+
+    #[test]
+    fn tracker_double_free_and_uaf() {
+        let t = ContractTracker::new();
+        let o = t.register("fs");
+        assert!(t.free(o, "fs"));
+        assert!(!t.free(o, "fs"));
+        assert!(!t.access(o, "fs", Access::Read));
+        assert_eq!(t.violations().len(), 2);
+    }
+
+    #[test]
+    fn tracker_leak_detection() {
+        let t = ContractTracker::new();
+        let a = t.register("fs");
+        let b = t.register("fs");
+        t.free(a, "fs");
+        assert_eq!(t.leaked(), vec![b]);
+    }
+
+    #[test]
+    fn tracker_mirrors_into_ledger() {
+        let ledger = Arc::new(BugLedger::new());
+        let t = ContractTracker::with_ledger(Arc::clone(&ledger));
+        let o = t.register("fs");
+        t.free(o, "fs");
+        t.free(o, "fs"); // double free
+        t.access(o, "fs", Access::Read); // use after free
+        assert_eq!(ledger.count(BugClass::DoubleFree), 1);
+        assert_eq!(ledger.count(BugClass::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn tracker_wrong_module_transfer_violates() {
+        let t = ContractTracker::new();
+        let o = t.register("vfs");
+        assert!(!t.pass_ownership(o, "fs", "journal"), "fs never owned it");
+        assert!(!t.return_exclusive(o, "fs"));
+        assert!(!t.return_shared(o, "fs"));
+        assert_eq!(t.violations().len(), 3);
+    }
+}

@@ -1,0 +1,257 @@
+//! Roadmap bookkeeping: which safety level each module currently certifies.
+//!
+//! §3's summary: "Each step imposes greater restrictions on a module …
+//! each change adds immediate benefits to the kernel: that component now
+//! has a more robust implementation and can better support growth by
+//! resisting regressions." And §4.5 ("Rate of change"): changes must prove
+//! they don't *lose* safety that was already won.
+//!
+//! [`Roadmap`] is that ledger: every interface records the
+//! [`SafetyLevel`] its current implementation certifies, with a free-form
+//! evidence string (the test suite, checker run, or review that backs the
+//! claim). Replacing an implementation **resets the certification to
+//! [`SafetyLevel::Modular`]** — a swap proves modularity by construction
+//! and nothing more — so regressions are visible by default and the new
+//! module must re-earn its levels. The migration example prints this
+//! ledger before and after its swap.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use sk_ksim::errno::{Errno, KResult};
+
+/// The paper's safety spectrum, ordered (Figure 1's vertical axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SafetyLevel {
+    /// Step 0: the legacy idiom.
+    NoGuarantees,
+    /// Step 1: behind a modular interface.
+    Modular,
+    /// Step 2: no type punning at or behind the interface.
+    TypeSafe,
+    /// Step 3: the three restricted sharing models, statically enforced.
+    OwnershipSafe,
+    /// Step 4: checked against a functional specification.
+    FunctionallyVerified,
+}
+
+impl SafetyLevel {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SafetyLevel::NoGuarantees => "no guarantees",
+            SafetyLevel::Modular => "modular",
+            SafetyLevel::TypeSafe => "type safe",
+            SafetyLevel::OwnershipSafe => "ownership safe",
+            SafetyLevel::FunctionallyVerified => "functionally verified",
+        }
+    }
+}
+
+/// One certification step a module has earned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certification {
+    /// The level certified.
+    pub level: SafetyLevel,
+    /// What backs the claim (a checker run, a suite, a review).
+    pub evidence: String,
+    /// Which implementation the certification applies to.
+    pub implementation: String,
+}
+
+#[derive(Default)]
+struct Entry {
+    implementation: String,
+    certs: Vec<Certification>,
+}
+
+/// The per-interface safety ledger.
+#[derive(Default)]
+pub struct Roadmap {
+    entries: Mutex<HashMap<&'static str, Entry>>,
+}
+
+impl Roadmap {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Roadmap::default()
+    }
+
+    /// Starts tracking `interface`, served by `implementation`, at
+    /// [`SafetyLevel::NoGuarantees`].
+    pub fn track(&self, interface: &'static str, implementation: &str) {
+        self.entries.lock().insert(
+            interface,
+            Entry {
+                implementation: implementation.to_string(),
+                certs: Vec::new(),
+            },
+        );
+    }
+
+    /// Records that the *current* implementation of `interface` certifies
+    /// `level`, with `evidence`. Levels may be earned in any order; the
+    /// effective level is the highest contiguous chain from
+    /// [`SafetyLevel::Modular`] upward.
+    pub fn certify(
+        &self,
+        interface: &'static str,
+        level: SafetyLevel,
+        evidence: impl Into<String>,
+    ) -> KResult<()> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(interface).ok_or(Errno::ENODEV)?;
+        let implementation = entry.implementation.clone();
+        entry.certs.retain(|c| c.level != level);
+        entry.certs.push(Certification {
+            level,
+            evidence: evidence.into(),
+            implementation,
+        });
+        Ok(())
+    }
+
+    /// Registers a replacement: the new implementation keeps only
+    /// [`SafetyLevel::Modular`] (the swap itself is the evidence) and must
+    /// re-earn everything above it.
+    pub fn replaced(&self, interface: &'static str, new_implementation: &str) -> KResult<()> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(interface).ok_or(Errno::ENODEV)?;
+        entry.implementation = new_implementation.to_string();
+        entry.certs = vec![Certification {
+            level: SafetyLevel::Modular,
+            evidence: "hot-swapped through the registry".to_string(),
+            implementation: new_implementation.to_string(),
+        }];
+        Ok(())
+    }
+
+    /// The effective level: the highest level such that every level from
+    /// [`SafetyLevel::Modular`] up to it is certified for the current
+    /// implementation.
+    pub fn level_of(&self, interface: &str) -> SafetyLevel {
+        let entries = self.entries.lock();
+        let Some(entry) = entries.get(interface) else {
+            return SafetyLevel::NoGuarantees;
+        };
+        let has = |l: SafetyLevel| entry.certs.iter().any(|c| c.level == l);
+        let chain = [
+            SafetyLevel::Modular,
+            SafetyLevel::TypeSafe,
+            SafetyLevel::OwnershipSafe,
+            SafetyLevel::FunctionallyVerified,
+        ];
+        let mut effective = SafetyLevel::NoGuarantees;
+        for l in chain {
+            if has(l) {
+                effective = l;
+            } else {
+                break;
+            }
+        }
+        effective
+    }
+
+    /// A printable summary, sorted by interface name.
+    pub fn summary(&self) -> Vec<(String, String, SafetyLevel)> {
+        let entries = self.entries.lock();
+        let mut rows: Vec<(String, String, SafetyLevel)> = entries
+            .iter()
+            .map(|(iface, e)| {
+                (
+                    iface.to_string(),
+                    e.implementation.clone(),
+                    {
+                        let has = |l: SafetyLevel| e.certs.iter().any(|c| c.level == l);
+                        let chain = [
+                            SafetyLevel::Modular,
+                            SafetyLevel::TypeSafe,
+                            SafetyLevel::OwnershipSafe,
+                            SafetyLevel::FunctionallyVerified,
+                        ];
+                        let mut eff = SafetyLevel::NoGuarantees;
+                        for l in chain {
+                            if has(l) {
+                                eff = l;
+                            } else {
+                                break;
+                            }
+                        }
+                        eff
+                    },
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(SafetyLevel::NoGuarantees < SafetyLevel::Modular);
+        assert!(SafetyLevel::Modular < SafetyLevel::TypeSafe);
+        assert!(SafetyLevel::TypeSafe < SafetyLevel::OwnershipSafe);
+        assert!(SafetyLevel::OwnershipSafe < SafetyLevel::FunctionallyVerified);
+    }
+
+    #[test]
+    fn certification_chain_must_be_contiguous() {
+        let r = Roadmap::new();
+        r.track("vfs.filesystem", "rsfs");
+        assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::NoGuarantees);
+        r.certify("vfs.filesystem", SafetyLevel::Modular, "registry swap test").unwrap();
+        // Skipping type safety: ownership cert alone doesn't raise the
+        // effective level past the gap.
+        r.certify("vfs.filesystem", SafetyLevel::OwnershipSafe, "forbid(unsafe)").unwrap();
+        assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::Modular);
+        r.certify("vfs.filesystem", SafetyLevel::TypeSafe, "no void ptr in iface").unwrap();
+        assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::OwnershipSafe);
+        r.certify(
+            "vfs.filesystem",
+            SafetyLevel::FunctionallyVerified,
+            "refinement suite + crash checker",
+        )
+        .unwrap();
+        assert_eq!(
+            r.level_of("vfs.filesystem"),
+            SafetyLevel::FunctionallyVerified
+        );
+    }
+
+    #[test]
+    fn replacement_resets_to_modular() {
+        let r = Roadmap::new();
+        r.track("vfs.filesystem", "cext4");
+        r.certify("vfs.filesystem", SafetyLevel::Modular, "adapter").unwrap();
+        r.certify("vfs.filesystem", SafetyLevel::TypeSafe, "claimed").unwrap();
+        r.replaced("vfs.filesystem", "rsfs").unwrap();
+        assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::Modular);
+        let rows = r.summary();
+        assert_eq!(rows[0].1, "rsfs");
+    }
+
+    #[test]
+    fn unknown_interface_errors() {
+        let r = Roadmap::new();
+        assert_eq!(
+            r.certify("nope", SafetyLevel::Modular, "x"),
+            Err(Errno::ENODEV)
+        );
+        assert_eq!(r.replaced("nope", "y"), Err(Errno::ENODEV));
+        assert_eq!(r.level_of("nope"), SafetyLevel::NoGuarantees);
+    }
+
+    #[test]
+    fn recertifying_a_level_replaces_evidence() {
+        let r = Roadmap::new();
+        r.track("net.tcp", "tcp-v1");
+        r.certify("net.tcp", SafetyLevel::Modular, "old evidence").unwrap();
+        r.certify("net.tcp", SafetyLevel::Modular, "new evidence").unwrap();
+        assert_eq!(r.level_of("net.tcp"), SafetyLevel::Modular);
+    }
+}

@@ -1,0 +1,171 @@
+//! Boundary shims between safe and unverified worlds.
+//!
+//! "A shim layer is then needed to bridge the communication gap between the
+//! verified modules and unverified components. Similarly, this type of shim
+//! layer is needed between every incremental boundary." (§4.4)
+//!
+//! A [`Boundary`] instruments one such seam: it counts crossings (the
+//! quantity `benches/shim_overhead.rs` prices), optionally validates
+//! ownership contracts on each crossing via a
+//! [`ContractTracker`], and provides the
+//! error-representation marshalling between `KResult` (safe side) and
+//! `ErrPtr` words (legacy side). Concrete interface-by-interface shims —
+//! e.g. exposing a safe file system through the legacy VFS ops table —
+//! live next to those interfaces in `sk-vfs::shim`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sk_ksim::errno::{Errno, KResult};
+use sk_legacy::{ErrPtr, VoidPtr};
+
+use crate::ownership::ContractTracker;
+
+/// Counters for one boundary.
+#[derive(Debug, Default)]
+pub struct BoundaryStats {
+    crossings: AtomicU64,
+    validation_failures: AtomicU64,
+}
+
+impl BoundaryStats {
+    /// Number of times the boundary was crossed.
+    pub fn crossings(&self) -> u64 {
+        self.crossings.load(Ordering::Relaxed)
+    }
+
+    /// Number of crossings on which contract validation failed.
+    pub fn validation_failures(&self) -> u64 {
+        self.validation_failures.load(Ordering::Relaxed)
+    }
+}
+
+/// One verified/unverified (or safe/legacy) seam.
+pub struct Boundary {
+    name: &'static str,
+    stats: BoundaryStats,
+    tracker: Option<Arc<ContractTracker>>,
+}
+
+impl Boundary {
+    /// Creates an uninstrumented boundary (counting only).
+    pub fn new(name: &'static str) -> Self {
+        Boundary {
+            name,
+            stats: BoundaryStats::default(),
+            tracker: None,
+        }
+    }
+
+    /// Creates a boundary that validates ownership contracts on crossing.
+    pub fn with_tracker(name: &'static str, tracker: Arc<ContractTracker>) -> Self {
+        Boundary {
+            name,
+            stats: BoundaryStats::default(),
+            tracker: Some(tracker),
+        }
+    }
+
+    /// The boundary's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &BoundaryStats {
+        &self.stats
+    }
+
+    /// The tracker, when contract validation is enabled.
+    pub fn tracker(&self) -> Option<&Arc<ContractTracker>> {
+        self.tracker.as_ref()
+    }
+
+    /// Executes `f` as one boundary crossing.
+    pub fn cross<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.stats.crossings.fetch_add(1, Ordering::Relaxed);
+        f()
+    }
+
+    /// Executes `f` as one crossing whose contract precondition is
+    /// `precondition` (evaluated against the tracker when present). When
+    /// the precondition fails, the crossing is refused with `EACCES` —
+    /// the shim's job is exactly to stop undisciplined crossings.
+    pub fn cross_checked<R>(
+        &self,
+        precondition: impl FnOnce(&ContractTracker) -> bool,
+        f: impl FnOnce() -> KResult<R>,
+    ) -> KResult<R> {
+        self.stats.crossings.fetch_add(1, Ordering::Relaxed);
+        if let Some(tracker) = &self.tracker {
+            if !precondition(tracker) {
+                self.stats.validation_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(Errno::EACCES);
+            }
+        }
+        f()
+    }
+}
+
+/// Decodes a legacy `ErrPtr` word into the safe error representation.
+pub fn errptr_to_kresult(e: ErrPtr) -> KResult<VoidPtr> {
+    e.check()
+}
+
+/// Encodes a safe result into the legacy `ErrPtr` representation.
+pub fn kresult_to_errptr(r: KResult<VoidPtr>) -> ErrPtr {
+    match r {
+        Ok(p) => ErrPtr::ok(p),
+        Err(e) => ErrPtr::err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ownership::Access;
+
+    #[test]
+    fn crossings_counted() {
+        let b = Boundary::new("vfs<->fs");
+        assert_eq!(b.cross(|| 2 + 2), 4);
+        b.cross(|| ());
+        assert_eq!(b.stats().crossings(), 2);
+        assert_eq!(b.name(), "vfs<->fs");
+    }
+
+    #[test]
+    fn checked_crossing_refuses_on_contract_failure() {
+        let tracker = Arc::new(ContractTracker::new());
+        let obj = tracker.register("vfs");
+        tracker.lend_exclusive(obj, "vfs", "fs");
+        let b = Boundary::with_tracker("vfs<->fs", Arc::clone(&tracker));
+        // The *caller* (vfs) trying to read during an exclusive loan: the
+        // precondition fails and the crossing is refused.
+        let r: KResult<()> = b.cross_checked(
+            |t| t.access(obj, "vfs", Access::Read),
+            || Ok(()),
+        );
+        assert_eq!(r, Err(Errno::EACCES));
+        assert_eq!(b.stats().validation_failures(), 1);
+        // The borrower passes.
+        let r: KResult<u8> = b.cross_checked(|t| t.access(obj, "fs", Access::Write), || Ok(1));
+        assert_eq!(r, Ok(1));
+        assert_eq!(b.stats().crossings(), 2);
+    }
+
+    #[test]
+    fn untracked_boundary_never_refuses() {
+        let b = Boundary::new("plain");
+        let r: KResult<u8> = b.cross_checked(|_| false, || Ok(1));
+        assert_eq!(r, Ok(1), "no tracker, no validation");
+    }
+
+    #[test]
+    fn error_marshalling_roundtrips() {
+        let ok = kresult_to_errptr(Ok(VoidPtr::NULL));
+        assert_eq!(errptr_to_kresult(ok), Ok(VoidPtr::NULL));
+        let err = kresult_to_errptr(Err(Errno::ENOENT));
+        assert_eq!(errptr_to_kresult(err), Err(Errno::ENOENT));
+    }
+}

@@ -1,0 +1,57 @@
+//! Step 4 — functional correctness (§4.4).
+//!
+//! The paper asks for four features to support verified modules:
+//!
+//! 1. **A modeling language**: "a mathematical language with immutable
+//!    objects … and functions and relations over them". Here a model is any
+//!    plain Rust value implementing [`AbstractModel`] — cloneable,
+//!    comparable, side-effect free. The file-system model in
+//!    `sk-vfs::spec`, for instance, is a map from path strings to file
+//!    content bytes, exactly the example the paper gives.
+//! 2. **Refinement**: "the implementation explains how to 'interpret' its
+//!    efficient, complex, mutable data structure as an instance of the
+//!    model" — that is the [`Refines`] trait — and "verification shows that
+//!    each operation performed by the implementation is a valid relation
+//!    between the before- and after- model interpretations" — that is
+//!    [`refinement::RefinementChecker::step`], which captures the
+//!    abstraction before and after each operation and evaluates the
+//!    operation's specification relation over the pair.
+//! 3. **Axiomatic models of unverified code**: [`axioms`] wraps the
+//!    unverified block layer in runtime-checked assumptions "defined in
+//!    terms of bytes", with `buffer_head` abstracted away.
+//! 4. **Crash specifications**: [`crash`] enumerates every disk image a
+//!    power failure could leave behind (prefixes, and bounded subsets, of
+//!    the volatile write cache) so a checker can verify the recovered state
+//!    is always one the crash specification allows.
+//!
+//! **Substitution note** (see DESIGN.md): where the paper's endgame is
+//! machine-checked proof, this workspace checks the *same specifications*
+//! dynamically and exhaustively on bounded workloads. The interface
+//! obligations — which is what the paper is actually about — are identical.
+
+pub mod axioms;
+pub mod crash;
+pub mod refinement;
+
+use std::fmt::Debug;
+
+pub use axioms::{AxiomViolation, AxiomaticDevice};
+pub use crash::{crash_images, CrashPolicy, CrashReport};
+pub use refinement::{RefinementChecker, RefinementViolation};
+
+/// A pure abstract model: an immutable mathematical object.
+///
+/// Blanket-implemented; the bounds are the whole definition. `Clone` gives
+/// immutable snapshots, `PartialEq` gives the relation language equality,
+/// `Debug` gives counterexample printing.
+pub trait AbstractModel: Clone + PartialEq + Debug {}
+
+impl<T: Clone + PartialEq + Debug> AbstractModel for T {}
+
+/// An implementation that can be interpreted as an instance of model `M`.
+///
+/// This is the abstraction function of classic refinement proofs.
+pub trait Refines<M: AbstractModel> {
+    /// Interprets the current concrete state as an abstract model value.
+    fn abstraction(&self) -> M;
+}

@@ -1,0 +1,201 @@
+//! Runtime refinement checking.
+//!
+//! Each checked step captures the abstraction before and after running the
+//! implementation operation and evaluates the operation's specification
+//! relation over `(pre, post, result)`. Nondeterministic specifications are
+//! naturally expressible: the relation accepts any post-state the
+//! specification allows.
+
+use super::{AbstractModel, Refines};
+
+/// A recorded refinement failure: the counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementViolation<M> {
+    /// Name of the operation whose relation failed.
+    pub op: String,
+    /// Abstraction before the operation.
+    pub pre: M,
+    /// Abstraction after the operation.
+    pub post: M,
+}
+
+/// Checks a stream of implementation operations against their relations.
+#[derive(Debug, Default)]
+pub struct RefinementChecker<M> {
+    checked: u64,
+    violations: Vec<RefinementViolation<M>>,
+}
+
+impl<M: AbstractModel> RefinementChecker<M> {
+    /// Creates a checker with an empty history.
+    pub fn new() -> Self {
+        RefinementChecker {
+            checked: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Runs `action` on `sys` as operation `op`, checking that
+    /// `relation(pre_model, post_model, &result)` holds.
+    ///
+    /// Returns the action's result either way; failures are recorded as
+    /// counterexamples, so a test can drive a whole workload and assert
+    /// [`RefinementChecker::is_clean`] at the end.
+    pub fn step<S: Refines<M>, R>(
+        &mut self,
+        sys: &mut S,
+        op: impl Into<String>,
+        action: impl FnOnce(&mut S) -> R,
+        relation: impl FnOnce(&M, &M, &R) -> bool,
+    ) -> R {
+        let pre = sys.abstraction();
+        let result = action(sys);
+        let post = sys.abstraction();
+        self.checked += 1;
+        if !relation(&pre, &post, &result) {
+            self.violations.push(RefinementViolation {
+                op: op.into(),
+                pre,
+                post,
+            });
+        }
+        result
+    }
+
+    /// Checks an invariant of the current abstraction (a unary relation).
+    pub fn check_invariant<S: Refines<M>>(
+        &mut self,
+        sys: &S,
+        name: impl Into<String>,
+        invariant: impl FnOnce(&M) -> bool,
+    ) -> bool {
+        let m = sys.abstraction();
+        self.checked += 1;
+        let ok = invariant(&m);
+        if !ok {
+            self.violations.push(RefinementViolation {
+                op: name.into(),
+                pre: m.clone(),
+                post: m,
+            });
+        }
+        ok
+    }
+
+    /// Number of steps and invariants checked.
+    pub fn ops_checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// Recorded counterexamples.
+    pub fn violations(&self) -> &[RefinementViolation<M>] {
+        &self.violations
+    }
+
+    /// True if every checked relation held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy counter implementation with an abstraction to `u64`.
+    struct Counter {
+        // Implementation detail: stores the value split in two fields.
+        hi: u32,
+        lo: u32,
+    }
+
+    impl Refines<u64> for Counter {
+        fn abstraction(&self) -> u64 {
+            (u64::from(self.hi) << 32) | u64::from(self.lo)
+        }
+    }
+
+    impl Counter {
+        fn incr(&mut self) {
+            let (lo, carry) = self.lo.overflowing_add(1);
+            self.lo = lo;
+            if carry {
+                self.hi += 1;
+            }
+        }
+
+        /// A buggy decrement that forgets the borrow.
+        fn buggy_decr(&mut self) {
+            self.lo = self.lo.wrapping_sub(1);
+        }
+    }
+
+    #[test]
+    fn correct_op_passes_relation() {
+        let mut c = Counter { hi: 0, lo: u32::MAX };
+        let mut chk = RefinementChecker::new();
+        chk.step(&mut c, "incr", |c| c.incr(), |pre, post, _: &()| *post == pre + 1);
+        assert!(chk.is_clean());
+        assert_eq!(chk.ops_checked(), 1);
+        assert_eq!(c.abstraction(), u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    fn buggy_op_produces_counterexample() {
+        let mut c = Counter { hi: 1, lo: 0 };
+        let mut chk = RefinementChecker::new();
+        chk.step(
+            &mut c,
+            "decr",
+            |c| c.buggy_decr(),
+            |pre, post, _: &()| *post == pre - 1,
+        );
+        assert!(!chk.is_clean());
+        let v = &chk.violations()[0];
+        assert_eq!(v.op, "decr");
+        assert_eq!(v.pre, 1 << 32);
+        // The bug: lo wrapped without borrowing from hi.
+        assert_eq!(v.post, (1u64 << 32) | u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn nondeterministic_relation_accepts_any_allowed_post() {
+        let mut c = Counter { hi: 0, lo: 0 };
+        let mut chk = RefinementChecker::new();
+        // Spec: "incr moves the value up by at least one" — nondeterminism.
+        chk.step(
+            &mut c,
+            "incr",
+            |c| {
+                c.incr();
+                c.incr()
+            },
+            |pre, post, _: &()| *post > *pre,
+        );
+        assert!(chk.is_clean());
+    }
+
+    #[test]
+    fn invariant_checking() {
+        let c = Counter { hi: 0, lo: 5 };
+        let mut chk = RefinementChecker::new();
+        assert!(chk.check_invariant(&c, "small", |m| *m < 10));
+        assert!(!chk.check_invariant(&c, "zero", |m| *m == 0));
+        assert_eq!(chk.violations().len(), 1);
+        assert_eq!(chk.violations()[0].op, "zero");
+    }
+
+    #[test]
+    fn result_is_passed_to_relation() {
+        let mut c = Counter { hi: 0, lo: 0 };
+        let mut chk = RefinementChecker::new();
+        let r = chk.step(
+            &mut c,
+            "read",
+            |c| c.abstraction(),
+            |pre, post, r: &u64| pre == post && *r == *pre,
+        );
+        assert_eq!(r, 0);
+        assert!(chk.is_clean());
+    }
+}

@@ -1,0 +1,107 @@
+//! The §2 categorization: CWE → which roadmap step prevents it.
+//!
+//! "Among the 1475 total CVEs we examined, roughly 42% CVEs could be
+//! prevented with compile-time type and ownership safety, and an
+//! additional 35% with functional correctness verification. The remaining
+//! 23% have a variety of causes."
+
+use serde::Serialize;
+
+use crate::dataset::Dataset;
+
+/// Which roadmap step first prevents a bug class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Prevention {
+    /// Steps 2–3: compile-time type and ownership safety.
+    TypeOwnership,
+    /// Step 4: functional correctness verification.
+    Functional,
+    /// Neither (design flaws, info exposure, numeric errors, …).
+    Other,
+}
+
+/// Maps a CWE to its prevention category — the hand-labelling rule the
+/// paper's authors applied, written down as code.
+pub fn categorize_cwe(cwe: &str) -> Prevention {
+    match cwe {
+        // Memory and thread safety: excluded by construction in a type-
+        // and ownership-safe language.
+        "CWE-416" | "CWE-415" | "CWE-476" | "CWE-787" | "CWE-125" | "CWE-362" | "CWE-843"
+        | "CWE-401" | "CWE-908" => Prevention::TypeOwnership,
+        // Semantic bugs: need a specification to rule out.
+        "CWE-20" | "CWE-840" | "CWE-682" | "CWE-459" | "CWE-269" => Prevention::Functional,
+        // Everything else: security design, info exposure, numeric error.
+        _ => Prevention::Other,
+    }
+}
+
+/// Aggregate result of categorizing a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CategorizationSummary {
+    /// Corpus size.
+    pub total: usize,
+    /// Count preventable by type + ownership safety.
+    pub type_ownership: usize,
+    /// Count additionally preventable by functional correctness.
+    pub functional: usize,
+    /// Count with other causes.
+    pub other: usize,
+}
+
+impl CategorizationSummary {
+    /// Percentage helpers (rounded to one decimal).
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let pct = |n: usize| (n as f64 * 1000.0 / self.total as f64).round() / 10.0;
+        (
+            pct(self.type_ownership),
+            pct(self.functional),
+            pct(self.other),
+        )
+    }
+}
+
+/// Runs the §2 categorization over the dataset's 2010–2020 corpus.
+pub fn categorize(ds: &Dataset) -> CategorizationSummary {
+    let corpus = ds.corpus();
+    let mut summary = CategorizationSummary {
+        total: corpus.len(),
+        type_ownership: 0,
+        functional: 0,
+        other: 0,
+    };
+    for c in corpus {
+        match categorize_cwe(c.cwe) {
+            Prevention::TypeOwnership => summary.type_ownership += 1,
+            Prevention::Functional => summary.functional += 1,
+            Prevention::Other => summary.other += 1,
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_covers_the_memory_safety_family() {
+        assert_eq!(categorize_cwe("CWE-416"), Prevention::TypeOwnership);
+        assert_eq!(categorize_cwe("CWE-362"), Prevention::TypeOwnership);
+        assert_eq!(categorize_cwe("CWE-20"), Prevention::Functional);
+        assert_eq!(categorize_cwe("CWE-200"), Prevention::Other);
+        assert_eq!(categorize_cwe("CWE-190"), Prevention::Other);
+        assert_eq!(categorize_cwe("CWE-9999"), Prevention::Other);
+    }
+
+    #[test]
+    fn corpus_categorization_matches_the_paper() {
+        let ds = Dataset::build();
+        let s = categorize(&ds);
+        assert_eq!(s.total, 1475);
+        let (ty, fun, other) = s.percentages();
+        assert!((ty - 42.0).abs() <= 1.0, "type/ownership = {ty}%");
+        assert!((fun - 35.0).abs() <= 1.0, "functional = {fun}%");
+        assert!((other - 23.0).abs() <= 1.0, "other = {other}%");
+        assert_eq!(s.type_ownership + s.functional + s.other, s.total);
+    }
+}

@@ -1,0 +1,343 @@
+//! The calibrated CVE dataset.
+//!
+//! Every row is synthetic; every aggregate is calibrated:
+//!
+//! - Per-year counts for 1999–2009 follow public NVD totals for the Linux
+//!   kernel (shape only — Figure 2a's x-axis). Counts for 2010–2020 are
+//!   scaled so they sum to exactly **1475**, the §2 corpus size, while
+//!   preserving the public shape (the 2017 spike, the 2015 dip).
+//! - The CWE mix is chosen so the §2 categorization lands at the paper's
+//!   42% / 35% / 23% split (see `categorize` for the CWE→step mapping).
+//! - ext4 rows carry report latencies whose CDF satisfies "50% found after
+//!   7 years or more" (Figure 2b).
+//! - Per-file-system LoC and bug-patch series decay toward the "0.5% bugs
+//!   per LoC per year" tail the paper reports for year ten (Figure 2c).
+
+use serde::Serialize;
+
+/// One CVE record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CveRecord {
+    /// Synthetic identifier, e.g. `CVE-2017-0042`.
+    pub id: String,
+    /// Year the CVE was published.
+    pub year: u32,
+    /// Kernel subsystem attribution.
+    pub subsystem: &'static str,
+    /// CWE identifier, e.g. `"CWE-416"`.
+    pub cwe: &'static str,
+}
+
+/// Per-year CVE counts, 1999–2009 (public NVD shape, pre-corpus years).
+pub const COUNTS_1999_2009: [(u32, u32); 11] = [
+    (1999, 19),
+    (2000, 5),
+    (2001, 22),
+    (2002, 14),
+    (2003, 19),
+    (2004, 51),
+    (2005, 133),
+    (2006, 90),
+    (2007, 62),
+    (2008, 71),
+    (2009, 102),
+];
+
+/// Per-year CVE counts, 2010–2020: public shape rescaled to sum to 1475
+/// (the §2 corpus).
+pub const COUNTS_2010_2020: [(u32, u32); 11] = [
+    (2010, 92),
+    (2011, 62),
+    (2012, 86),
+    (2013, 141),
+    (2014, 97),
+    (2015, 57),
+    (2016, 162),
+    (2017, 339),
+    (2018, 132),
+    (2019, 214),
+    (2020, 93),
+];
+
+/// Size of the §2 corpus.
+pub const CORPUS_SIZE: u32 = 1475;
+
+/// The CWE mix of the 2010–2020 corpus, in tenths of a percent
+/// (sums to 1000). Chosen so the categorization yields 42/35/23.
+pub const CWE_MIX: [(&str, u32); 15] = [
+    // Type + ownership preventable (420 ‰):
+    ("CWE-416", 120), // use after free
+    ("CWE-476", 80),  // NULL dereference
+    ("CWE-787", 90),  // out-of-bounds write
+    ("CWE-125", 60),  // out-of-bounds read
+    ("CWE-362", 50),  // race condition
+    ("CWE-415", 20),  // double free
+    // Functional-correctness preventable (350 ‰):
+    ("CWE-20", 120),  // improper input validation
+    ("CWE-840", 90),  // business-logic error
+    ("CWE-682", 50),  // incorrect calculation
+    ("CWE-459", 40),  // incomplete cleanup
+    ("CWE-269", 50),  // improper privilege management
+    // Other (230 ‰):
+    ("CWE-200", 90),  // information exposure
+    ("CWE-190", 60),  // integer overflow
+    ("CWE-264", 50),  // access-control design
+    ("CWE-330", 30),  // weak randomness
+];
+
+/// Subsystem attribution weights in tenths of a percent (sums to 1000).
+///
+/// Calibrated to the related-work findings the paper cites: Chou et al.
+/// found device drivers the most error-prone component, and Palix et al.
+/// found file systems and the HAL carrying a high fault rate in later
+/// kernels. No figure in the paper depends on these; they feed the
+/// related-work comparison in `figures::subsystem_shares`.
+pub const SUBSYSTEMS: [(&str, u32); 8] = [
+    ("drivers", 350),
+    ("net", 200),
+    ("fs/ext4", 60),
+    ("fs/btrfs", 60),
+    ("fs/overlayfs", 30),
+    ("mm", 80),
+    ("kernel", 120),
+    ("arch", 100),
+];
+
+/// Deterministically deals a subsystem for the `pos`-th record using
+/// largest-remainder apportionment over [`SUBSYSTEMS`].
+pub fn subsystem_for(pos: u32, emitted: &mut [u32; 8]) -> &'static str {
+    let target = |k: usize| -> u32 {
+        let permille: u32 = SUBSYSTEMS[..=k].iter().map(|(_, p)| p).sum();
+        ((u64::from(pos) + 1) * u64::from(permille) / 1000) as u32
+    };
+    let mut cum = 0u32;
+    for k in 0..SUBSYSTEMS.len() {
+        cum += emitted[k];
+        if cum < target(k) {
+            emitted[k] += 1;
+            return SUBSYSTEMS[k].0;
+        }
+    }
+    emitted[7] += 1;
+    SUBSYSTEMS[7].0
+}
+
+/// ext4 CVE report latencies in years after the 2008 initial release —
+/// 24 values whose CDF has exactly 50% at ≥ 7 years (Figure 2b).
+pub const EXT4_LATENCY_YEARS: [u32; 24] = [
+    1, 1, 2, 2, 3, 3, 4, 5, 5, 6, 6, 6, 7, 7, 8, 8, 9, 9, 9, 10, 10, 11, 11, 12,
+];
+
+/// ext4's initial release year.
+pub const EXT4_RELEASE_YEAR: u32 = 2008;
+
+/// A per-file-system code-size and bug-patch history entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FsYear {
+    /// Years since the file system's initial release (0-based).
+    pub year_since_release: u32,
+    /// Lines of code that year.
+    pub loc: u32,
+    /// New bug patches that year.
+    pub bug_patches: u32,
+}
+
+/// Generates a file system's history: LoC grows linearly, bugs-per-LoC
+/// decays from `start_rate` toward the 0.5%/year floor the paper reports.
+pub fn fs_history(loc0: u32, loc_growth: u32, start_rate_permille: u32, years: u32) -> Vec<FsYear> {
+    (0..years)
+        .map(|y| {
+            let loc = loc0 + loc_growth * y;
+            // Exponential-ish decay toward 5‰ (= 0.5%): halve the excess
+            // every two years.
+            let excess = start_rate_permille.saturating_sub(5);
+            let rate = 5 + (excess as f64 * 0.5f64.powf(y as f64 / 2.0)).round() as u32;
+            FsYear {
+                year_since_release: y,
+                loc,
+                bug_patches: (loc as u64 * rate as u64 / 1000) as u32,
+            }
+        })
+        .collect()
+}
+
+/// The assembled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// All CVE records, 1999–2020.
+    pub cves: Vec<CveRecord>,
+    /// ext4 report latencies (years after release).
+    pub ext4_latency_years: Vec<u32>,
+    /// (name, history) per studied file system.
+    pub fs_histories: Vec<(&'static str, Vec<FsYear>)>,
+}
+
+impl Dataset {
+    /// Builds the full calibrated dataset. Deterministic: same output
+    /// every call.
+    pub fn build() -> Dataset {
+        let mut cves = Vec::new();
+        // Pre-corpus years get a uniform filler CWE (they are only used by
+        // Figure 2a, which counts rows per year).
+        let mut sub_emitted = [0u32; 8];
+        let mut sub_pos = 0u32;
+        for (year, count) in COUNTS_1999_2009 {
+            for i in 0..count {
+                let subsystem = subsystem_for(sub_pos, &mut sub_emitted);
+                sub_pos += 1;
+                cves.push(CveRecord {
+                    id: format!("CVE-{year}-{i:04}"),
+                    year,
+                    subsystem,
+                    cwe: "CWE-416",
+                });
+            }
+        }
+        // Corpus years: deal CWEs out of the calibrated mix using largest-
+        // remainder apportionment per year so each year's rows are a faithful
+        // sample of the global mix and the global totals hit the mix exactly.
+        let mut emitted = vec![0u32; CWE_MIX.len()];
+        let mut total_emitted = 0u32;
+        for (year, count) in COUNTS_2010_2020 {
+            for i in 0..count {
+                // Global position of this row decides its CWE: walk the mix
+                // cumulatively (deterministic stratified assignment).
+                let pos = total_emitted;
+                let target = |k: usize| -> u32 {
+                    // Rows owed to CWEs 0..=k after pos+1 rows total.
+                    let permille: u32 = CWE_MIX[..=k].iter().map(|(_, p)| p).sum();
+                    ((u64::from(pos) + 1) * u64::from(permille) / 1000) as u32
+                };
+                let mut chosen = CWE_MIX.len() - 1;
+                let mut cum_emitted = 0u32;
+                for k in 0..CWE_MIX.len() {
+                    cum_emitted += emitted[k];
+                    if cum_emitted < target(k) {
+                        chosen = k;
+                        break;
+                    }
+                }
+                emitted[chosen] += 1;
+                total_emitted += 1;
+                let subsystem = subsystem_for(sub_pos, &mut sub_emitted);
+                sub_pos += 1;
+                cves.push(CveRecord {
+                    id: format!("CVE-{year}-{:04}", 1000 + i),
+                    year,
+                    subsystem,
+                    cwe: CWE_MIX[chosen].0,
+                });
+            }
+        }
+        Dataset {
+            cves,
+            ext4_latency_years: EXT4_LATENCY_YEARS.to_vec(),
+            fs_histories: vec![
+                // ext4: mature, large; btrfs: larger, younger; overlayfs:
+                // small, youngest. Rates start high and decay to the floor.
+                ("ext4", fs_history(30_000, 2_000, 22, 13)),
+                ("btrfs", fs_history(45_000, 4_000, 28, 12)),
+                ("overlayfs", fs_history(8_000, 1_000, 25, 7)),
+            ],
+        }
+    }
+
+    /// Rows in the §2 corpus (2010–2020).
+    pub fn corpus(&self) -> Vec<&CveRecord> {
+        self.cves.iter().filter(|c| c.year >= 2010).collect()
+    }
+
+    /// Serializes the full record set to JSON (for external analysis
+    /// scripts reproducing the figures outside Rust).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.cves).expect("records are plain data")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size_is_calibrated() {
+        let total: u32 = COUNTS_2010_2020.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, CORPUS_SIZE);
+        let ds = Dataset::build();
+        assert_eq!(ds.corpus().len() as u32, CORPUS_SIZE);
+    }
+
+    #[test]
+    fn cwe_mix_sums_to_1000_permille() {
+        let total: u32 = CWE_MIX.iter().map(|(_, p)| p).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn corpus_cwe_distribution_matches_mix() {
+        let ds = Dataset::build();
+        let corpus = ds.corpus();
+        for (cwe, permille) in CWE_MIX {
+            let n = corpus.iter().filter(|c| c.cwe == cwe).count() as i64;
+            let expected = (CORPUS_SIZE as i64 * permille as i64) / 1000;
+            assert!(
+                (n - expected).abs() <= 2,
+                "{cwe}: got {n}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ext4_latency_median_is_seven_plus() {
+        let lat = EXT4_LATENCY_YEARS;
+        let at_least_7 = lat.iter().filter(|&&y| y >= 7).count();
+        assert_eq!(at_least_7 * 2, lat.len(), "exactly 50% at >= 7 years");
+    }
+
+    #[test]
+    fn fs_history_decays_to_half_percent() {
+        let hist = fs_history(30_000, 2_000, 22, 13);
+        let last = hist.last().unwrap();
+        let rate = last.bug_patches as f64 / last.loc as f64;
+        assert!(rate >= 0.004 && rate <= 0.008, "tail rate {rate}");
+        let first = &hist[0];
+        let first_rate = first.bug_patches as f64 / first.loc as f64;
+        assert!(first_rate > rate, "rates decline over time");
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = Dataset::build();
+        let b = Dataset::build();
+        assert_eq!(a.cves, b.cves);
+    }
+
+    #[test]
+    fn json_export_roundtrips_row_count() {
+        let ds = Dataset::build();
+        let json = ds.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), ds.cves.len());
+        let first = &parsed[0];
+        assert!(first["id"].as_str().unwrap().starts_with("CVE-"));
+        assert!(first["cwe"].as_str().unwrap().starts_with("CWE-"));
+    }
+
+    #[test]
+    fn subsystem_attribution_is_weighted() {
+        let ds = Dataset::build();
+        let corpus = ds.corpus();
+        let drivers = corpus.iter().filter(|c| c.subsystem == "drivers").count();
+        let share = drivers as f64 / corpus.len() as f64;
+        assert!((share - 0.35).abs() < 0.02, "drivers share {share}");
+    }
+
+    #[test]
+    fn records_have_plausible_fields() {
+        let ds = Dataset::build();
+        for c in &ds.cves {
+            assert!(c.id.starts_with("CVE-"));
+            assert!(c.cwe.starts_with("CWE-"));
+            assert!((1999..=2020).contains(&c.year));
+        }
+    }
+}

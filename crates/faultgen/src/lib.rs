@@ -1,0 +1,40 @@
+//! # sk-faultgen — the empirical prevention study
+//!
+//! §2 of the paper categorizes 1475 real CVEs by which roadmap step would
+//! have prevented them (42% type+ownership / 35% functional / 23% other).
+//! That categorization was done by hand over NVD records. This crate turns
+//! it into a *falsifiable experiment inside the workspace*: for every CVE
+//! in the calibrated corpus (`sk-cvedb`), it instantiates a representative
+//! bug of the same CWE class in the legacy modules, then runs the same
+//! workload through each roadmap step's implementation and checkers:
+//!
+//! 1. **Baseline (Step 0)** — the legacy implementation with the bug knob
+//!    on. The bug must *manifest*: detector events in the `BugLedger`,
+//!    lock-discipline violations, leaked objects, or an observably wrong
+//!    result.
+//! 2. **Type + ownership safety (Steps 2–3)** — the same workload on the
+//!    safe implementation. Memory-safety-class bugs are unrepresentable
+//!    there; the study verifies the run is event-free and
+//!    model-correct. Semantic bugs (injected via [`semantic`]'s
+//!    wrapper, since Safe Rust happily expresses wrong logic) still
+//!    manifest — silently.
+//! 3. **Functional correctness (Step 4)** — the workload driven through a
+//!    `RefinementChecker` against the abstract model. Semantic bugs now
+//!    produce counterexamples; the class is caught.
+//! 4. **Other** — design-level flaws (info exposure, permission design,
+//!    weak entropy, unchecked numeric ranges) that survive all three, the
+//!    paper's residual 23%.
+//!
+//! The output table is compared against the paper's percentages in
+//! `bench`'s `tab_prevention_study` binary and in the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipelines;
+pub mod semantic;
+pub mod specs;
+pub mod study;
+
+pub use specs::{spec_for_cwe, BugSpec, Mechanism};
+pub use study::{run_study, StudyReport};

@@ -1,0 +1,385 @@
+//! The pipeline runners: one workload, four interface regimes.
+//!
+//! A single deterministic workload (parameterized by seed) runs against:
+//! the legacy file system (with a bug knob on and off — manifestation is
+//! the *delta*, so the always-on legacy idioms don't contaminate the
+//! measurement), the safe file system, a semantically-bugged safe file
+//! system, and the safe file system under refinement checking.
+
+use std::sync::Arc;
+
+use sk_core::spec::{RefinementChecker, Refines};
+use sk_fs_legacy::{cext4_ops, BugKnobs, Cext4};
+use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+use sk_ksim::block::{BlockDevice, RamDisk};
+use sk_ksim::errno::KResult;
+use sk_legacy::{BugClass, LegacyCtx};
+use sk_vfs::modular::{fs_abstraction, FileSystem};
+use sk_vfs::shim::LegacyFsAdapter;
+use sk_vfs::spec::FsModel;
+
+/// Outcome of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Detector events of the focused class (ledger + trackers).
+    pub class_events: usize,
+    /// Objects leaked in the arena.
+    pub leaks: u64,
+    /// Whether the final state matched the abstract model.
+    pub state_correct: bool,
+    /// Refinement counterexamples (spec pipeline only).
+    pub refinement_violations: usize,
+}
+
+impl RunOutcome {
+    /// The bug observably happened in this run.
+    pub fn manifested(&self) -> bool {
+        self.class_events > 0 || self.leaks > 0 || !self.state_correct
+    }
+}
+
+/// The standard workload: exercises create, write (begin/end path), read,
+/// mkdir, rename, readdir, truncate, and unlink — every buggy code path in
+/// the catalog. Errors are propagated so a refused operation is visible.
+pub fn workload(fs: &dyn FileSystem, seed: u64) -> KResult<()> {
+    let root = fs.root_ino();
+    let a = format!("a{seed}");
+    let b = format!("b{seed}");
+    let d = format!("d{seed}");
+    let e = format!("e{seed}");
+    let z = format!("z{seed}");
+    let fa = fs.create(root, &a)?;
+    let _fz = fs.create(root, &z)?;
+    let len = 100 + (seed % 200) as usize;
+    // Never 0 (a zero offset would mask the ignores-offset bug) and never
+    // a multiple of 8 on truncate (would mask the rounding bug).
+    let off = 1 + (seed % 63);
+    let trunc = (seed % 50) | 1;
+    let payload: Vec<u8> = (0..len).map(|i| (i as u64 + seed) as u8).collect();
+    fs.write(fa, off, &payload)?;
+    let mut buf = vec![0u8; len + 64];
+    fs.read(fa, 0, &mut buf)?;
+    let _fb = fs.create(root, &b)?;
+    let dd = fs.mkdir(root, &d)?;
+    fs.rename(root, &b, dd, "moved")?;
+    fs.readdir(root)?;
+    fs.readdir(dd)?;
+    // rmdir of a non-empty directory must be refused.
+    let d2 = fs.mkdir(root, &e)?;
+    fs.create(d2, "inner")?;
+    match fs.rmdir(root, &e) {
+        Err(sk_ksim::errno::Errno::ENOTEMPTY) => {
+            fs.unlink(d2, "inner")?;
+            fs.rmdir(root, &e)?;
+        }
+        // A buggy rmdir succeeded (or failed oddly); surface the damage.
+        Ok(()) => {
+            fs.unlink(d2, "inner")?;
+        }
+        Err(other) => return Err(other),
+    }
+    fs.truncate(fa, trunc)?;
+    fs.unlink(root, &z)?;
+    fs.sync()?;
+    Ok(())
+}
+
+/// The abstract-model mirror of [`workload`]: what a correct file system
+/// must end up as.
+pub fn workload_model(seed: u64) -> FsModel {
+    let a = format!("/a{seed}");
+    let b = format!("/b{seed}");
+    let d = format!("/d{seed}");
+    let z = format!("/z{seed}");
+    let len = 100 + (seed % 200) as usize;
+    let off = 1 + (seed % 63);
+    let trunc = (seed % 50) | 1;
+    let payload: Vec<u8> = (0..len).map(|i| (i as u64 + seed) as u8).collect();
+    // The e{seed} directory dance is net-zero on a correct file system,
+    // and z{seed} is created then unlinked.
+    FsModel::new()
+        .create(&a)
+        .and_then(|m| m.create(&z))
+        .and_then(|m| m.write(&a, off, &payload))
+        .and_then(|m| m.create(&b))
+        .and_then(|m| m.mkdir(&d))
+        .and_then(|m| m.rename(&b, &format!("{d}/moved")))
+        .and_then(|m| m.truncate(&a, trunc))
+        .and_then(|m| m.unlink(&z))
+        .expect("the model workload is well-formed")
+}
+
+fn fresh_cext4(knob: Option<&str>) -> (LegacyFsAdapter, LegacyCtx) {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(1024));
+    Cext4::mkfs(&dev, 128).expect("mkfs");
+    let ctx = LegacyCtx::new();
+    let knobs = Arc::new(BugKnobs::none());
+    if let Some(k) = knob {
+        assert!(knobs.set(k, true), "unknown knob {k}");
+    }
+    let fs = Arc::new(Cext4::mount(dev, ctx.clone(), knobs).expect("mount"));
+    (LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx.clone()), ctx)
+}
+
+/// Runs the workload on cext4 with `knob`, measuring events of `class`
+/// *relative to a knob-off control run* (the legacy idioms record
+/// background events even when correct).
+pub fn run_legacy(knob: &str, class: BugClass, seed: u64) -> RunOutcome {
+    let control = run_legacy_once(None, class, seed);
+    let bugged = run_legacy_once(Some(knob), class, seed);
+    RunOutcome {
+        class_events: bugged.class_events.saturating_sub(control.class_events),
+        leaks: bugged.leaks.saturating_sub(control.leaks),
+        state_correct: bugged.state_correct,
+        refinement_violations: 0,
+    }
+}
+
+fn run_legacy_once(knob: Option<&str>, class: BugClass, seed: u64) -> RunOutcome {
+    let (adapter, ctx) = fresh_cext4(knob);
+    let live_before = ctx.arena.live_count();
+    let result = workload(&adapter, seed);
+    ctx.import_lock_violations("study");
+    let class_events = ctx.ledger.count(class);
+    let leaks = ctx.arena.live_count().saturating_sub(live_before);
+    let state_correct =
+        result.is_ok() && fs_abstraction(&adapter) == workload_model(seed);
+    RunOutcome {
+        class_events,
+        leaks,
+        state_correct,
+        refinement_violations: 0,
+    }
+}
+
+fn fresh_rsfs() -> Rsfs {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(1024));
+    Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
+    Rsfs::mount(dev, JournalMode::PerOp).expect("mount")
+}
+
+/// Runs the workload on the safe file system (optionally wrapped, e.g. by
+/// the semantic-bug injector). There is no ledger: the safe pipeline's
+/// misbehaviour can only show as a wrong final state.
+pub fn run_safe(wrap: impl FnOnce(Rsfs) -> Box<dyn FileSystem>, seed: u64) -> RunOutcome {
+    let fs = wrap(fresh_rsfs());
+    let result = workload(fs.as_ref(), seed);
+    let state_correct = result.is_ok() && fs_abstraction(fs.as_ref()) == workload_model(seed);
+    RunOutcome {
+        class_events: 0,
+        leaks: 0,
+        state_correct,
+        refinement_violations: 0,
+    }
+}
+
+/// A [`Refines`] view over any boxed file system.
+struct Abstracted<'a>(&'a dyn FileSystem);
+impl Refines<FsModel> for Abstracted<'_> {
+    fn abstraction(&self) -> FsModel {
+        fs_abstraction(self.0)
+    }
+}
+
+/// Runs the workload under the Step-4 refinement checker: every operation
+/// is checked against its model relation, so semantic bugs produce
+/// counterexamples at the operation that commits them.
+pub fn run_spec_checked(
+    wrap: impl FnOnce(Rsfs) -> Box<dyn FileSystem>,
+    seed: u64,
+) -> RunOutcome {
+    let fs = wrap(fresh_rsfs());
+    let mut sys = Abstracted(fs.as_ref());
+    let mut chk: RefinementChecker<FsModel> = RefinementChecker::new();
+    let root = fs.root_ino();
+    let a = format!("a{seed}");
+    let b = format!("b{seed}");
+    let d = format!("d{seed}");
+    let e = format!("e{seed}");
+    let z = format!("z{seed}");
+    let pa = format!("/a{seed}");
+    let pb = format!("/b{seed}");
+    let pd = format!("/d{seed}");
+    let pe = format!("/e{seed}");
+    let pz = format!("/z{seed}");
+    let len = 100 + (seed % 200) as usize;
+    let off = 1 + (seed % 63);
+    let trunc = (seed % 50) | 1;
+    let payload: Vec<u8> = (0..len).map(|i| (i as u64 + seed) as u8).collect();
+
+    let fa = chk.step(
+        &mut sys,
+        "create",
+        |s| s.0.create(root, &a),
+        |pre, post, r| r.is_ok() && pre.create(&pa).map(|m| m == *post).unwrap_or(false),
+    );
+    let fa = match fa {
+        Ok(v) => v,
+        Err(_) => 0,
+    };
+    let _ = chk.step(
+        &mut sys,
+        "create_z",
+        |s| s.0.create(root, &z),
+        |pre, post, r| r.is_ok() && pre.create(&pz).map(|m| m == *post).unwrap_or(false),
+    );
+    let _ = chk.step(
+        &mut sys,
+        "write",
+        |s| s.0.write(fa, off, &payload),
+        |pre, post, r| {
+            r.is_ok() && pre.write(&pa, off, &payload).map(|m| m == *post).unwrap_or(false)
+        },
+    );
+    let _ = chk.step(
+        &mut sys,
+        "create2",
+        |s| s.0.create(root, &b),
+        |pre, post, r| r.is_ok() && pre.create(&pb).map(|m| m == *post).unwrap_or(false),
+    );
+    let dd = chk.step(
+        &mut sys,
+        "mkdir",
+        |s| s.0.mkdir(root, &d),
+        |pre, post, r| r.is_ok() && pre.mkdir(&pd).map(|m| m == *post).unwrap_or(false),
+    );
+    let dd = dd.unwrap_or(0);
+    let _ = chk.step(
+        &mut sys,
+        "rename",
+        |s| s.0.rename(root, &b, dd, "moved"),
+        |pre, post, r| {
+            r.is_ok()
+                && pre
+                    .rename(&pb, &format!("{pd}/moved"))
+                    .map(|m| m == *post)
+                    .unwrap_or(false)
+        },
+    );
+    // The rmdir-nonempty probe: a correct implementation refuses with
+    // ENOTEMPTY and leaves the state untouched.
+    let d2 = chk.step(
+        &mut sys,
+        "mkdir2",
+        |s| s.0.mkdir(root, &e),
+        |pre, post, r| r.is_ok() && pre.mkdir(&pe).map(|m| m == *post).unwrap_or(false),
+    );
+    let d2 = d2.unwrap_or(0);
+    let _ = chk.step(
+        &mut sys,
+        "create_inner",
+        |s| s.0.create(d2, "inner"),
+        |pre, post, r| {
+            r.is_ok()
+                && pre
+                    .create(&format!("{pe}/inner"))
+                    .map(|m| m == *post)
+                    .unwrap_or(false)
+        },
+    );
+    let refused = chk.step(
+        &mut sys,
+        "rmdir_nonempty",
+        |s| s.0.rmdir(root, &e),
+        |pre, post, r| {
+            *r == Err(sk_ksim::errno::Errno::ENOTEMPTY) && pre == post
+        },
+    );
+    if refused.is_err() {
+        let _ = chk.step(
+            &mut sys,
+            "unlink_inner",
+            |s| s.0.unlink(d2, "inner"),
+            |pre, post, r| {
+                r.is_ok()
+                    && pre
+                        .unlink(&format!("{pe}/inner"))
+                        .map(|m| m == *post)
+                        .unwrap_or(false)
+            },
+        );
+        let _ = chk.step(
+            &mut sys,
+            "rmdir_empty",
+            |s| s.0.rmdir(root, &e),
+            |pre, post, r| r.is_ok() && pre.rmdir(&pe).map(|m| m == *post).unwrap_or(false),
+        );
+    } else {
+        // The buggy rmdir destroyed the subtree; nothing left to clean up.
+        let _ = fs.unlink(d2, "inner");
+    }
+    let _ = chk.step(
+        &mut sys,
+        "truncate",
+        |s| s.0.truncate(fa, trunc),
+        |pre, post, r| {
+            r.is_ok() && pre.truncate(&pa, trunc).map(|m| m == *post).unwrap_or(false)
+        },
+    );
+    let _ = chk.step(
+        &mut sys,
+        "unlink",
+        |s| s.0.unlink(root, &z),
+        |pre, post, r| r.is_ok() && pre.unlink(&pz).map(|m| m == *post).unwrap_or(false),
+    );
+    let state_correct = sys.abstraction() == workload_model(seed);
+    RunOutcome {
+        class_events: 0,
+        leaks: 0,
+        state_correct,
+        refinement_violations: chk.violations().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::{SemanticBug, SemanticFaultFs};
+
+    #[test]
+    fn correct_legacy_fs_passes_the_workload() {
+        let out = run_legacy_once(None, BugClass::TypeConfusion, 1);
+        assert!(out.state_correct, "knob-free cext4 is semantically correct");
+        assert_eq!(out.class_events, 0);
+    }
+
+    #[test]
+    fn knobbed_legacy_fs_manifests() {
+        let out = run_legacy("wrong_cast_write_end", BugClass::TypeConfusion, 2);
+        assert!(out.manifested());
+        assert!(out.class_events > 0);
+    }
+
+    #[test]
+    fn safe_fs_is_clean_and_correct() {
+        let out = run_safe(|fs| Box::new(fs), 3);
+        assert!(!out.manifested());
+        assert!(out.state_correct);
+    }
+
+    #[test]
+    fn semantic_bug_slips_past_the_safe_pipeline() {
+        let out = run_safe(
+            |fs| Box::new(SemanticFaultFs::new(fs, SemanticBug::RenameDropsTarget)),
+            4,
+        );
+        assert!(out.manifested(), "silently wrong state");
+        assert_eq!(out.class_events, 0, "but no detector fires");
+    }
+
+    #[test]
+    fn spec_checker_catches_the_semantic_bug() {
+        let out = run_spec_checked(
+            |fs| Box::new(SemanticFaultFs::new(fs, SemanticBug::RenameDropsTarget)),
+            5,
+        );
+        assert!(out.refinement_violations > 0, "counterexample produced");
+    }
+
+    #[test]
+    fn spec_checker_is_clean_on_the_correct_fs() {
+        let out = run_spec_checked(|fs| Box::new(fs), 6);
+        assert_eq!(out.refinement_violations, 0);
+        assert!(out.state_correct);
+    }
+}

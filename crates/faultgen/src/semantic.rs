@@ -1,0 +1,221 @@
+//! Semantic-bug injection for the safe file system.
+//!
+//! Safe Rust rules out memory-safety bugs, not wrong logic — that is
+//! exactly why the paper's Step 4 exists. This wrapper injects
+//! representative *semantic* bugs (wrong behaviour, perfectly memory-safe)
+//! around any [`FileSystem`], so the study can show they sail through the
+//! type/ownership pipeline silently and are caught by refinement checking.
+
+use sk_ksim::errno::KResult;
+use sk_vfs::inode::{Attr, InodeNo};
+use sk_vfs::modular::{DirEntry, FileSystem, StatFs};
+
+/// Which semantic bug to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemanticBug {
+    /// `rename` unlinks the source but never creates the destination
+    /// (CWE-840: business-logic error).
+    RenameDropsTarget,
+    /// `write` ignores the offset and always writes at 0 (CWE-20-adjacent
+    /// mishandled input).
+    WriteIgnoresOffset,
+    /// `truncate` rounds the size up to the next 8-byte boundary
+    /// (CWE-682: incorrect calculation).
+    TruncateRoundsUp,
+    /// `unlink` reports success but leaves the directory entry behind
+    /// (CWE-459: incomplete cleanup).
+    UnlinkLeavesEntry,
+    /// `rmdir` removes non-empty directories, orphaning their contents
+    /// (CWE-269-adjacent: skipped check).
+    RmdirIgnoresNonempty,
+}
+
+/// A file system with one injected semantic bug.
+pub struct SemanticFaultFs<F> {
+    inner: F,
+    bug: SemanticBug,
+}
+
+impl<F: FileSystem> SemanticFaultFs<F> {
+    /// Wraps `inner`, injecting `bug`.
+    pub fn new(inner: F, bug: SemanticBug) -> Self {
+        SemanticFaultFs { inner, bug }
+    }
+
+    /// The wrapped file system.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: FileSystem> FileSystem for SemanticFaultFs<F> {
+    fn fs_name(&self) -> &'static str {
+        "rsfs+semantic-bug"
+    }
+
+    fn root_ino(&self) -> InodeNo {
+        self.inner.root_ino()
+    }
+
+    fn lookup(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        self.inner.lookup(dir, name)
+    }
+
+    fn getattr(&self, ino: InodeNo) -> KResult<Attr> {
+        self.inner.getattr(ino)
+    }
+
+    fn create(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        self.inner.create(dir, name)
+    }
+
+    fn mkdir(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        self.inner.mkdir(dir, name)
+    }
+
+    fn unlink(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        if self.bug == SemanticBug::UnlinkLeavesEntry {
+            // Report success, do nothing: the entry survives.
+            self.inner.lookup(dir, name)?;
+            return Ok(());
+        }
+        self.inner.unlink(dir, name)
+    }
+
+    fn rmdir(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        if self.bug == SemanticBug::RmdirIgnoresNonempty {
+            // Empty the directory first — recursively deleting content the
+            // caller never asked to lose.
+            let victim = self.inner.lookup(dir, name)?;
+            let children = self.inner.readdir(victim)?;
+            for child in children {
+                let attr = self.inner.getattr(child.ino)?;
+                if attr.ftype == sk_vfs::inode::FileType::Directory {
+                    let _ = self.rmdir(victim, &child.name);
+                } else {
+                    let _ = self.inner.unlink(victim, &child.name);
+                }
+            }
+        }
+        self.inner.rmdir(dir, name)
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> KResult<usize> {
+        self.inner.read(ino, off, buf)
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
+        let off = if self.bug == SemanticBug::WriteIgnoresOffset {
+            0
+        } else {
+            off
+        };
+        self.inner.write(ino, off, data)
+    }
+
+    fn readdir(&self, dir: InodeNo) -> KResult<Vec<DirEntry>> {
+        self.inner.readdir(dir)
+    }
+
+    fn rename(
+        &self,
+        olddir: InodeNo,
+        oldname: &str,
+        newdir: InodeNo,
+        newname: &str,
+    ) -> KResult<()> {
+        if self.bug == SemanticBug::RenameDropsTarget {
+            // "Move" by deleting the source. The destination never appears.
+            let src = self.inner.lookup(olddir, oldname)?;
+            let attr = self.inner.getattr(src)?;
+            return if attr.ftype == sk_vfs::inode::FileType::Directory {
+                self.inner.rmdir(olddir, oldname).or(Ok(()))
+            } else {
+                self.inner.unlink(olddir, oldname)
+            };
+        }
+        self.inner.rename(olddir, oldname, newdir, newname)
+    }
+
+    fn truncate(&self, ino: InodeNo, size: u64) -> KResult<()> {
+        let size = if self.bug == SemanticBug::TruncateRoundsUp {
+            size.div_ceil(8) * 8
+        } else {
+            size
+        };
+        self.inner.truncate(ino, size)
+    }
+
+    fn sync(&self) -> KResult<()> {
+        self.inner.sync()
+    }
+
+    fn statfs(&self) -> KResult<StatFs> {
+        self.inner.statfs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+    use sk_ksim::block::{BlockDevice, RamDisk};
+    use std::sync::Arc;
+
+    fn rsfs() -> Rsfs {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(1024));
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        Rsfs::mount(dev, JournalMode::None).unwrap()
+    }
+
+    #[test]
+    fn rename_drops_target_loses_the_file() {
+        let fs = SemanticFaultFs::new(rsfs(), SemanticBug::RenameDropsTarget);
+        let root = fs.root_ino();
+        fs.create(root, "a").unwrap();
+        fs.rename(root, "a", root, "b").unwrap();
+        assert!(fs.lookup(root, "a").is_err());
+        assert!(fs.lookup(root, "b").is_err(), "destination never created");
+    }
+
+    #[test]
+    fn write_ignores_offset_corrupts_content() {
+        let fs = SemanticFaultFs::new(rsfs(), SemanticBug::WriteIgnoresOffset);
+        let root = fs.root_ino();
+        let ino = fs.create(root, "f").unwrap();
+        fs.write(ino, 0, b"aaaa").unwrap();
+        fs.write(ino, 4, b"bb").unwrap(); // lands at 0 instead
+        let mut buf = vec![0u8; 8];
+        let n = fs.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"bbaa");
+    }
+
+    #[test]
+    fn unlink_leaves_entry_behind() {
+        let fs = SemanticFaultFs::new(rsfs(), SemanticBug::UnlinkLeavesEntry);
+        let root = fs.root_ino();
+        fs.create(root, "ghost").unwrap();
+        fs.unlink(root, "ghost").unwrap();
+        assert!(fs.lookup(root, "ghost").is_ok(), "still there");
+    }
+
+    #[test]
+    fn truncate_rounds_up() {
+        let fs = SemanticFaultFs::new(rsfs(), SemanticBug::TruncateRoundsUp);
+        let root = fs.root_ino();
+        let ino = fs.create(root, "f").unwrap();
+        fs.write(ino, 0, &vec![1u8; 20]).unwrap();
+        fs.truncate(ino, 5).unwrap();
+        assert_eq!(fs.getattr(ino).unwrap().size, 8);
+    }
+
+    #[test]
+    fn rmdir_ignores_nonempty_destroys_content() {
+        let fs = SemanticFaultFs::new(rsfs(), SemanticBug::RmdirIgnoresNonempty);
+        let root = fs.root_ino();
+        let d = fs.mkdir(root, "d").unwrap();
+        fs.create(d, "precious").unwrap();
+        fs.rmdir(root, "d").unwrap();
+        assert!(fs.lookup(root, "d").is_err(), "dir and content destroyed");
+    }
+}

@@ -1,0 +1,1017 @@
+//! The cext4 implementation.
+//!
+//! Internally a classic bitmap file system over the buffer cache. The
+//! legacy idiom shows in three places: the `write_begin`/`write_end` pair
+//! communicates through a `void *` context allocated in the kernel arena;
+//! lookup-family operations hand results back as `ERR_PTR` words; and the
+//! generic inode's `i_size` is updated on the write path *without* taking
+//! `i_lock` (recorded by the lock registry — this is the paper's §4.3
+//! example, present even when every bug knob is off).
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sk_ksim::block::BlockDevice;
+use sk_ksim::buffer::{BhFlag, BufferCache};
+use sk_ksim::errno::{Errno, KResult};
+use sk_ksim::lock::{KLock, LockRegistry};
+use sk_legacy::{BugClass, ErrPtr, LegacyCtx, VoidPtr};
+use sk_vfs::inode::{Attr, FileType, Inode, InodeNo};
+use sk_vfs::modular::StatFs;
+
+use crate::knobs::BugKnobs;
+use crate::layout::{
+    dirent_encode, dirent_parse, DiskInode, Superblock, BLOCK_BITMAP, BLOCK_SIZE, INODES_PER_BLOCK,
+    INODE_BITMAP, INODE_SIZE, INODE_TABLE, MAX_FILE_SIZE, MODE_DIR, MODE_FREE, MODE_REG, NDIRECT,
+    NINDIRECT, ROOT_INO, SB_BLOCK,
+};
+
+/// The fsdata context `write_begin` passes to `write_end` as a `void *`.
+#[derive(Debug)]
+pub(crate) struct WriteFsdata {
+    pub ino: InodeNo,
+    pub off: u64,
+    pub len: usize,
+}
+
+/// A decoy context type; the wrong-cast knob casts fsdata to this.
+#[derive(Debug)]
+pub(crate) struct ReadFsdata {
+    #[allow(dead_code)]
+    pub pos: u64,
+}
+
+/// Private per-inode object hung off `i_private` (the `void *` field).
+#[derive(Debug)]
+pub(crate) struct CextPrivate {
+    #[allow(dead_code)]
+    pub prealloc_hint: u64,
+}
+
+/// The cext4 file system.
+pub struct Cext4 {
+    cache: BufferCache,
+    sb: Superblock,
+    ctx: LegacyCtx,
+    knobs: Arc<BugKnobs>,
+    /// In-memory generic inodes (the structures shared with VFS).
+    icache: Mutex<HashMap<InodeNo, Arc<Inode>>>,
+    /// Lock registry shared with the generic inodes.
+    lock_registry: Arc<LockRegistry>,
+    /// Directory-tree mutation lock.
+    tree_lock: KLock<()>,
+}
+
+impl Cext4 {
+    /// Formats `dev` with `inode_count` inodes.
+    pub fn mkfs(dev: &Arc<dyn BlockDevice>, inode_count: u32) -> KResult<()> {
+        let sb = Superblock::design(dev.num_blocks(), inode_count)?;
+        let bs = dev.block_size();
+        let mut blk = vec![0u8; bs];
+        sb.encode(&mut blk);
+        dev.write_block(SB_BLOCK, &blk)?;
+
+        // Block bitmap: mark metadata blocks (0 .. data_start) used.
+        let mut bitmap = vec![0u8; bs];
+        for b in 0..sb.data_start as usize {
+            bitmap[b / 8] |= 1 << (b % 8);
+        }
+        dev.write_block(BLOCK_BITMAP, &bitmap)?;
+
+        // Inode bitmap: inode 0 (reserved) and 1 (root) used.
+        let mut ibitmap = vec![0u8; bs];
+        ibitmap[0] |= 0b11;
+        dev.write_block(INODE_BITMAP, &ibitmap)?;
+
+        // Zero the inode table, then write the root inode.
+        let table_blocks = (inode_count as usize).div_ceil(INODES_PER_BLOCK) as u64;
+        let zero = vec![0u8; bs];
+        for t in 0..table_blocks {
+            dev.write_block(INODE_TABLE + t, &zero)?;
+        }
+        let mut root = DiskInode::empty();
+        root.mode = MODE_DIR;
+        root.nlink = 1;
+        let mut tblk = vec![0u8; bs];
+        let slot = (ROOT_INO as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        root.encode(&mut tblk[slot..slot + INODE_SIZE]);
+        dev.write_block(INODE_TABLE, &tblk)?;
+        dev.flush()
+    }
+
+    /// Mounts a formatted device.
+    pub fn mount(
+        dev: Arc<dyn BlockDevice>,
+        ctx: LegacyCtx,
+        knobs: Arc<BugKnobs>,
+    ) -> KResult<Cext4> {
+        let mut blk = vec![0u8; dev.block_size()];
+        dev.read_block(SB_BLOCK, &mut blk)?;
+        let sb = Superblock::decode(&blk)?;
+        let lock_registry = Arc::clone(&ctx.locks);
+        Ok(Cext4 {
+            cache: BufferCache::new(dev, 256),
+            sb,
+            tree_lock: KLock::new(Arc::clone(&lock_registry), "cext4_tree", ()),
+            lock_registry,
+            ctx,
+            knobs,
+            icache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The kernel context (exposes the ledger to the study).
+    pub fn ctx(&self) -> &LegacyCtx {
+        &self.ctx
+    }
+
+    /// The bug knobs.
+    pub fn knobs(&self) -> &Arc<BugKnobs> {
+        &self.knobs
+    }
+
+    /// The buffer cache (for stats).
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
+    /// Root inode number.
+    pub fn root_ino(&self) -> InodeNo {
+        ROOT_INO
+    }
+
+    // --- inode table ------------------------------------------------------
+
+    fn inode_loc(&self, ino: InodeNo) -> KResult<(u64, usize)> {
+        if ino == 0 || ino >= u64::from(self.sb.inode_count) {
+            return Err(Errno::EINVAL);
+        }
+        let blk = INODE_TABLE + ino / INODES_PER_BLOCK as u64;
+        let slot = (ino as usize % INODES_PER_BLOCK) * INODE_SIZE;
+        Ok((blk, slot))
+    }
+
+    pub(crate) fn read_inode(&self, ino: InodeNo) -> KResult<DiskInode> {
+        let (blk, slot) = self.inode_loc(ino)?;
+        let buf = self.cache.bread(blk)?;
+        Ok(buf.read(|d| DiskInode::decode(&d[slot..slot + INODE_SIZE])))
+    }
+
+    pub(crate) fn write_inode(&self, ino: InodeNo, di: &DiskInode) -> KResult<()> {
+        let (blk, slot) = self.inode_loc(ino)?;
+        let buf = self.cache.bread(blk)?;
+        buf.write(|d| di.encode(&mut d[slot..slot + INODE_SIZE]));
+        buf.set_flag(BhFlag::Meta);
+        Ok(())
+    }
+
+    /// The in-memory generic inode shared with the VFS layer.
+    pub fn vfs_inode(&self, ino: InodeNo) -> KResult<Arc<Inode>> {
+        if let Some(i) = self.icache.lock().get(&ino) {
+            return Ok(Arc::clone(i));
+        }
+        let di = self.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        let ftype = if di.mode == MODE_DIR {
+            FileType::Directory
+        } else {
+            FileType::Regular
+        };
+        let inode = Inode::new(Arc::clone(&self.lock_registry), ino, ftype);
+        // Populate size under i_lock (the mount path is disciplined).
+        inode.set_size(di.size);
+        let mut icache = self.icache.lock();
+        Ok(Arc::clone(icache.entry(ino).or_insert(inode)))
+    }
+
+    // --- bitmaps ------------------------------------------------------------
+
+    fn bitmap_alloc(&self, bitmap_blk: u64, limit: u64, first: u64) -> KResult<u64> {
+        let buf = self.cache.bread(bitmap_blk)?;
+        let found = buf.write(|d| {
+            for i in first..limit {
+                let (byte, bit) = ((i / 8) as usize, (i % 8) as u8);
+                if d[byte] & (1 << bit) == 0 {
+                    d[byte] |= 1 << bit;
+                    return Some(i);
+                }
+            }
+            None
+        });
+        buf.set_flag(BhFlag::Meta);
+        found.ok_or(Errno::ENOSPC)
+    }
+
+    fn bitmap_free(&self, bitmap_blk: u64, index: u64) -> KResult<()> {
+        let buf = self.cache.bread(bitmap_blk)?;
+        buf.write(|d| {
+            let (byte, bit) = ((index / 8) as usize, (index % 8) as u8);
+            d[byte] &= !(1 << bit);
+        });
+        buf.set_flag(BhFlag::Meta);
+        Ok(())
+    }
+
+    fn bitmap_count_free(&self, bitmap_blk: u64, limit: u64) -> KResult<u64> {
+        let buf = self.cache.bread(bitmap_blk)?;
+        Ok(buf.read(|d| {
+            (0..limit)
+                .filter(|i| d[(i / 8) as usize] & (1 << (i % 8)) == 0)
+                .count() as u64
+        }))
+    }
+
+    fn balloc(&self) -> KResult<u64> {
+        let blk = self.bitmap_alloc(
+            BLOCK_BITMAP,
+            u64::from(self.sb.total_blocks),
+            u64::from(self.sb.data_start),
+        )?;
+        // Freshly allocated blocks start zeroed.
+        let buf = self.cache.getblk(blk)?;
+        buf.write(|d| d.fill(0));
+        Ok(blk)
+    }
+
+    fn bfree(&self, blk: u64) -> KResult<()> {
+        self.bitmap_free(BLOCK_BITMAP, blk)
+    }
+
+    fn ialloc(&self, mode: u16) -> KResult<InodeNo> {
+        let ino = self.bitmap_alloc(INODE_BITMAP, u64::from(self.sb.inode_count), 2)?;
+        let mut di = DiskInode::empty();
+        di.mode = mode;
+        di.nlink = 1;
+        self.write_inode(ino, &di)?;
+        Ok(ino)
+    }
+
+    fn ifree(&self, ino: InodeNo) -> KResult<()> {
+        self.write_inode(ino, &DiskInode::empty())?;
+        self.bitmap_free(INODE_BITMAP, ino)?;
+        self.icache.lock().remove(&ino);
+        Ok(())
+    }
+
+    // --- block mapping ------------------------------------------------------
+
+    /// Maps file block `fblk` of `di` to a device block, allocating when
+    /// `alloc`. Returns 0 for an unallocated hole when not allocating.
+    fn bmap(&self, di: &mut DiskInode, fblk: u64, alloc: bool) -> KResult<u64> {
+        if (fblk as usize) < NDIRECT {
+            let slot = fblk as usize;
+            if di.direct[slot] == 0 && alloc {
+                di.direct[slot] = self.balloc()? as u32;
+            }
+            return Ok(u64::from(di.direct[slot]));
+        }
+        let idx = fblk as usize - NDIRECT;
+        if idx >= NINDIRECT {
+            return Err(Errno::EFBIG);
+        }
+        if di.indirect == 0 {
+            if !alloc {
+                return Ok(0);
+            }
+            di.indirect = self.balloc()? as u32;
+        }
+        let ibuf = self.cache.bread(u64::from(di.indirect))?;
+        let existing = ibuf.read(|d| {
+            u32::from_le_bytes(d[idx * 4..idx * 4 + 4].try_into().expect("4 bytes"))
+        });
+        if existing != 0 || !alloc {
+            return Ok(u64::from(existing));
+        }
+        let fresh = self.balloc()? as u32;
+        ibuf.write(|d| d[idx * 4..idx * 4 + 4].copy_from_slice(&fresh.to_le_bytes()));
+        ibuf.set_flag(BhFlag::Meta);
+        Ok(u64::from(fresh))
+    }
+
+    // --- file content -------------------------------------------------------
+
+    pub(crate) fn read_range(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> KResult<usize> {
+        let mut di = self.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        if off >= di.size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(di.size - off) as usize;
+        let mut done = 0usize;
+        while done < want {
+            let pos = off + done as u64;
+            let fblk = pos / BLOCK_SIZE as u64;
+            let inblk = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - inblk).min(want - done);
+            let dblk = self.bmap(&mut di, fblk, false)?;
+            if dblk == 0 {
+                buf[done..done + n].fill(0); // hole
+            } else {
+                let b = self.cache.bread(dblk)?;
+                b.read(|d| buf[done..done + n].copy_from_slice(&d[inblk..inblk + n]));
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+
+    /// Raw ranged write (exposed for the fault study's overflow probe).
+    pub fn write_range(&self, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
+        let mut di = self.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        // Bounds check — with the wrapping knob, this is C's `off + len`
+        // which can wrap and sail past the limit (CWE-190).
+        let end = if self.knobs.wrapping_size_math.load(Ordering::Relaxed) {
+            let wrapped = off.wrapping_add(data.len() as u64);
+            if wrapped < off {
+                self.ctx.ledger.record(
+                    BugClass::IntegerOverflow,
+                    "cext4::write_range",
+                    format!("off {off} + len {} wrapped to {wrapped}", data.len()),
+                );
+            }
+            wrapped
+        } else {
+            off.checked_add(data.len() as u64).ok_or(Errno::EFBIG)?
+        };
+        if end > MAX_FILE_SIZE {
+            return Err(Errno::EFBIG);
+        }
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = off + done as u64;
+            let fblk = pos / BLOCK_SIZE as u64;
+            let inblk = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - inblk).min(data.len() - done);
+            let dblk = self.bmap(&mut di, fblk, true)?;
+            let whole_block = inblk == 0 && n == BLOCK_SIZE;
+            let b = if whole_block {
+                self.cache.getblk(dblk)?
+            } else {
+                self.cache.bread(dblk)?
+            };
+            b.write(|d| d[inblk..inblk + n].copy_from_slice(&data[done..done + n]));
+            done += n;
+        }
+        if end > di.size {
+            di.size = end;
+        }
+        self.write_inode(ino, &di)?;
+        // THE §4.3 IDIOM: update the shared generic inode's i_size without
+        // taking i_lock — "file systems are responsible for updating
+        // i_size", and this code path "knows" it is safe.
+        if let Ok(vi) = self.vfs_inode(ino) {
+            vi.i_size.write_unchecked(di.size);
+        }
+        Ok(done)
+    }
+
+    // --- directories ----------------------------------------------------------
+
+    fn dir_content(&self, dir: InodeNo) -> KResult<Vec<u8>> {
+        let di = self.read_inode(dir)?;
+        if di.mode != MODE_DIR {
+            return Err(Errno::ENOTDIR);
+        }
+        let mut content = vec![0u8; di.size as usize];
+        self.read_range(dir, 0, &mut content)?;
+        Ok(content)
+    }
+
+    fn dir_set_content(&self, dir: InodeNo, content: &[u8]) -> KResult<()> {
+        // Rewrite in place, then shrink to the new size.
+        let mut di = self.read_inode(dir)?;
+        let old_size = di.size;
+        di.size = 0;
+        self.write_inode(dir, &di)?;
+        if !content.is_empty() {
+            self.write_range(dir, 0, content)?;
+        }
+        if old_size as usize > content.len() {
+            self.shrink_blocks(dir, content.len() as u64)?;
+        }
+        Ok(())
+    }
+
+    fn entries(&self, dir: InodeNo) -> KResult<Vec<(u64, String)>> {
+        let content = self.dir_content(dir)?;
+        dirent_parse(
+            &content,
+            self.knobs.off_by_one_dirent.load(Ordering::Relaxed),
+        )
+        .map_err(|e| {
+            self.ctx.ledger.record(
+                BugClass::OutOfBounds,
+                "cext4::entries",
+                "directory parse over-read",
+            );
+            e
+        })
+    }
+
+    /// Legacy-shaped lookup: `ERR_PTR` to a `VoidPtr`-wrapped inode number.
+    pub fn lookup_errptr(&self, dir: InodeNo, name: &str) -> ErrPtr {
+        match self.entries(dir) {
+            Ok(entries) => match entries.into_iter().find(|(_, n)| n == name) {
+                Some((ino, _)) => ErrPtr::ok(self.ctx.vp_new(ino)),
+                None => ErrPtr::err(Errno::ENOENT),
+            },
+            Err(e) => ErrPtr::err(e),
+        }
+    }
+
+    fn dir_lookup(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        let e = self.lookup_errptr(dir, name);
+        if self.knobs.deref_errptr_lookup.load(Ordering::Relaxed) {
+            // The undisciplined caller: no IS_ERR check before use.
+            return self
+                .ctx
+                .errptr_deref(e, "cext4::dir_lookup", |ino: &InodeNo| *ino)
+                .ok_or(Errno::EFAULT);
+        }
+        let p = e.check()?;
+        self.ctx
+            .vp_take::<InodeNo>(p, "cext4::dir_lookup")
+            .ok_or(Errno::EFAULT)
+    }
+
+    fn dir_add(&self, dir: InodeNo, name: &str, ino: InodeNo) -> KResult<()> {
+        let old_len = self.dir_content(dir)?.len();
+        let mut entry = Vec::with_capacity(5 + name.len());
+        dirent_encode(&mut entry, ino, name);
+        self.write_range(dir, old_len as u64, &entry).map(|_| ())
+    }
+
+    fn dir_remove(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        let entries = self.entries(dir)?;
+        let mut found = None;
+        let mut content = Vec::new();
+        for (ino, n) in entries {
+            if n == name && found.is_none() {
+                found = Some(ino);
+            } else {
+                dirent_encode(&mut content, ino, &n);
+            }
+        }
+        let victim = found.ok_or(Errno::ENOENT)?;
+        self.dir_set_content(dir, &content)?;
+        Ok(victim)
+    }
+
+    // --- top-level operations ---------------------------------------------------
+
+    /// Creates a file or directory entry, legacy-shaped.
+    pub fn create_errptr(&self, dir: InodeNo, name: &str, mode: u16) -> ErrPtr {
+        match self.create_inner(dir, name, mode) {
+            Ok(ino) => ErrPtr::ok(self.ctx.vp_new(ino)),
+            Err(e) => ErrPtr::err(e),
+        }
+    }
+
+    fn create_inner(&self, dir: InodeNo, name: &str, mode: u16) -> KResult<InodeNo> {
+        if name.is_empty() || name.len() > 255 || name.contains('/') {
+            return Err(Errno::EINVAL);
+        }
+        let _g = self.tree_lock.lock();
+        match self.dir_lookup(dir, name) {
+            Ok(_) => return Err(Errno::EEXIST),
+            Err(Errno::ENOENT) => {}
+            Err(e) => return Err(e),
+        }
+        let ino = self.ialloc(mode)?;
+        if let Err(e) = self.dir_add(dir, name, ino) {
+            let _ = self.ifree(ino);
+            return Err(e);
+        }
+        // Hang a private object off the generic inode (a `void *`).
+        if let Ok(vi) = self.vfs_inode(ino) {
+            *vi.i_private.lock() = self.ctx.vp_new(CextPrivate { prealloc_hint: 0 });
+        }
+        Ok(ino)
+    }
+
+    fn shrink_blocks(&self, ino: InodeNo, new_size: u64) -> KResult<()> {
+        let mut di = self.read_inode(ino)?;
+        let keep_blocks = new_size.div_ceil(BLOCK_SIZE as u64);
+        // Zero the tail of the last kept block so re-extension reads zeros.
+        if new_size % BLOCK_SIZE as u64 != 0 {
+            let last_fblk = new_size / BLOCK_SIZE as u64;
+            let dblk = self.bmap(&mut di, last_fblk, false)?;
+            if dblk != 0 {
+                let cut = (new_size % BLOCK_SIZE as u64) as usize;
+                let b = self.cache.bread(dblk)?;
+                b.write(|d| d[cut..].fill(0));
+            }
+        }
+        for slot in 0..NDIRECT {
+            if (slot as u64) >= keep_blocks && di.direct[slot] != 0 {
+                self.bfree(u64::from(di.direct[slot]))?;
+                di.direct[slot] = 0;
+            }
+        }
+        if di.indirect != 0 {
+            let ibuf = self.cache.bread(u64::from(di.indirect))?;
+            let mut any_left = false;
+            let entries: Vec<u32> = ibuf.read(|d| {
+                (0..NINDIRECT)
+                    .map(|i| u32::from_le_bytes(d[i * 4..i * 4 + 4].try_into().expect("4")))
+                    .collect()
+            });
+            let mut updated = entries.clone();
+            for (i, e) in entries.iter().enumerate() {
+                let fblk = (NDIRECT + i) as u64;
+                if *e != 0 {
+                    if fblk >= keep_blocks {
+                        self.bfree(u64::from(*e))?;
+                        updated[i] = 0;
+                    } else {
+                        any_left = true;
+                    }
+                }
+            }
+            ibuf.write(|d| {
+                for (i, e) in updated.iter().enumerate() {
+                    d[i * 4..i * 4 + 4].copy_from_slice(&e.to_le_bytes());
+                }
+            });
+            if !any_left {
+                self.bfree(u64::from(di.indirect))?;
+                di.indirect = 0;
+            }
+        }
+        di.size = new_size;
+        self.write_inode(ino, &di)
+    }
+
+    /// Unlink, C-shaped return (0 or `-errno` handled by the ops layer).
+    pub fn unlink_inner(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        let _g = self.tree_lock.lock();
+        let victim = self.dir_lookup(dir, name)?;
+        let di = self.read_inode(victim)?;
+        if di.mode == MODE_DIR {
+            return Err(Errno::EISDIR);
+        }
+        self.dir_remove(dir, name)?;
+        // Free the private object; with the UAF knob, touch it afterwards.
+        if let Ok(vi) = self.vfs_inode(victim) {
+            let p = *vi.i_private.lock();
+            if !p.is_null() {
+                self.ctx.vp_free(p, "cext4::unlink");
+                if self.knobs.uaf_inode_private.load(Ordering::Relaxed) {
+                    // Use after free: read the hint from the freed object.
+                    let _ = self
+                        .ctx
+                        .vp_cast(p, "cext4::unlink[uaf]", |c: &CextPrivate| c.prealloc_hint);
+                }
+                if self.knobs.double_free_fsdata.load(Ordering::Relaxed) {
+                    self.ctx.vp_free(p, "cext4::unlink[double-free]");
+                }
+                *vi.i_private.lock() = VoidPtr::NULL;
+            }
+        }
+        self.shrink_blocks(victim, 0)?;
+        self.ifree(victim)
+    }
+
+    /// Rmdir.
+    pub fn rmdir_inner(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        let _g = self.tree_lock.lock();
+        let victim = self.dir_lookup(dir, name)?;
+        let di = self.read_inode(victim)?;
+        if di.mode != MODE_DIR {
+            return Err(Errno::ENOTDIR);
+        }
+        if !self.entries(victim)?.is_empty() {
+            return Err(Errno::ENOTEMPTY);
+        }
+        self.dir_remove(dir, name)?;
+        self.shrink_blocks(victim, 0)?;
+        self.ifree(victim)
+    }
+
+    /// write_begin: allocates the fsdata context, returns it as a `void *`.
+    pub fn write_begin(&self, ino: InodeNo, off: u64, len: usize) -> ErrPtr {
+        match self.read_inode(ino) {
+            Ok(di) if di.mode == MODE_REG => {}
+            Ok(_) => return ErrPtr::err(Errno::EISDIR),
+            Err(e) => return ErrPtr::err(e),
+        }
+        ErrPtr::ok(self.ctx.vp_new(WriteFsdata { ino, off, len }))
+    }
+
+    /// write_end: casts the `void *` back and performs the write.
+    pub fn write_end(&self, ino: InodeNo, off: u64, data: &[u8], fsdata: VoidPtr) -> KResult<usize> {
+        // The §4.2 example: "the file system assumes that the pointer was
+        // from its write_begin function and casts the pointer to the
+        // relevant type."
+        let parsed = if self.knobs.wrong_cast_write_end.load(Ordering::Relaxed) {
+            // Cast to the wrong struct: detected type confusion, and the
+            // operation limps on with garbage (we surface EFAULT).
+            self.ctx
+                .vp_cast(fsdata, "cext4::write_end", |r: &ReadFsdata| r.pos)
+                .map(|pos| WriteFsdata {
+                    ino,
+                    off: pos,
+                    len: data.len(),
+                })
+        } else {
+            self.ctx
+                .vp_cast(fsdata, "cext4::write_end", |w: &WriteFsdata| WriteFsdata {
+                    ino: w.ino,
+                    off: w.off,
+                    len: w.len,
+                })
+        };
+        // Free the context — unless the leak knob swallows it.
+        if !self.knobs.leak_fsdata.load(Ordering::Relaxed) {
+            self.ctx.vp_free(fsdata, "cext4::write_end");
+        }
+        let ctx = parsed.ok_or(Errno::EFAULT)?;
+        if ctx.ino != ino || ctx.off != off || ctx.len != data.len() {
+            return Err(Errno::EINVAL);
+        }
+        self.write_range(ino, off, data)
+    }
+
+    /// Readdir.
+    pub fn readdir_inner(&self, dir: InodeNo) -> KResult<Vec<(String, InodeNo)>> {
+        Ok(self
+            .entries(dir)?
+            .into_iter()
+            .map(|(ino, name)| (name, ino))
+            .collect())
+    }
+
+    /// Rename.
+    pub fn rename_inner(
+        &self,
+        olddir: InodeNo,
+        oldname: &str,
+        newdir: InodeNo,
+        newname: &str,
+    ) -> KResult<()> {
+        let _g = self.tree_lock.lock();
+        let src = self.dir_lookup(olddir, oldname)?;
+        if olddir == newdir && oldname == newname {
+            return Ok(());
+        }
+        let src_di = self.read_inode(src)?;
+        match self.dir_lookup(newdir, newname) {
+            Ok(existing) => {
+                let tgt_di = self.read_inode(existing)?;
+                if src_di.mode == MODE_REG {
+                    if tgt_di.mode == MODE_DIR {
+                        return Err(Errno::EISDIR);
+                    }
+                    // Replace the file.
+                    self.dir_remove(newdir, newname)?;
+                    self.shrink_blocks(existing, 0)?;
+                    self.ifree(existing)?;
+                } else {
+                    if tgt_di.mode != MODE_DIR {
+                        return Err(Errno::ENOTDIR);
+                    }
+                    if !self.entries(existing)?.is_empty() {
+                        return Err(Errno::ENOTEMPTY);
+                    }
+                    self.dir_remove(newdir, newname)?;
+                    self.shrink_blocks(existing, 0)?;
+                    self.ifree(existing)?;
+                }
+            }
+            Err(Errno::ENOENT) => {}
+            Err(e) => return Err(e),
+        }
+        self.dir_remove(olddir, oldname)?;
+        self.dir_add(newdir, newname, src)
+    }
+
+    /// Truncate.
+    pub fn truncate_inner(&self, ino: InodeNo, size: u64) -> KResult<()> {
+        if size > MAX_FILE_SIZE {
+            return Err(Errno::EFBIG);
+        }
+        let mut di = self.read_inode(ino)?;
+        if di.mode != MODE_REG {
+            return Err(Errno::EISDIR);
+        }
+        if size < di.size {
+            self.shrink_blocks(ino, size)?;
+        } else {
+            di.size = size;
+            self.write_inode(ino, &di)?;
+        }
+        if let Ok(vi) = self.vfs_inode(ino) {
+            if self.knobs.racy_truncate.load(Ordering::Relaxed) {
+                // Racy read-modify-write of the "maybe protected" field.
+                let cur = vi.i_size.read_unchecked();
+                vi.i_size.write_unchecked(cur.min(size).max(size));
+            } else {
+                vi.set_size(size);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attributes, legacy-shaped.
+    pub fn getattr_errptr(&self, ino: InodeNo) -> ErrPtr {
+        match self.getattr_inner(ino) {
+            Ok(attr) => ErrPtr::ok(self.ctx.vp_new(attr)),
+            Err(e) => ErrPtr::err(e),
+        }
+    }
+
+    fn getattr_inner(&self, ino: InodeNo) -> KResult<Attr> {
+        let di = self.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        Ok(Attr {
+            ino,
+            ftype: if di.mode == MODE_DIR {
+                FileType::Directory
+            } else {
+                FileType::Regular
+            },
+            size: di.size,
+            nlink: u32::from(di.nlink),
+            mtime_ns: di.mtime,
+        })
+    }
+
+    /// Flushes everything to the device.
+    pub fn sync_inner(&self) -> KResult<()> {
+        self.cache.sync_all()
+    }
+
+    /// Usage counters.
+    pub fn statfs_inner(&self) -> KResult<StatFs> {
+        Ok(StatFs {
+            blocks_total: u64::from(self.sb.total_blocks) - u64::from(self.sb.data_start),
+            blocks_free: self
+                .bitmap_count_free(BLOCK_BITMAP, u64::from(self.sb.total_blocks))?,
+            inodes_total: u64::from(self.sb.inode_count) - 2,
+            inodes_free: self.bitmap_count_free(INODE_BITMAP, u64::from(self.sb.inode_count))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_ksim::block::RamDisk;
+
+    fn mkfs_mount(knobs: Arc<BugKnobs>) -> Cext4 {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512));
+        Cext4::mkfs(&dev, 128).unwrap();
+        Cext4::mount(dev, LegacyCtx::new(), knobs).unwrap()
+    }
+
+    fn write_via_begin_end(fs: &Cext4, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
+        let fsdata = fs.write_begin(ino, off, data.len()).check()?;
+        fs.write_end(ino, off, data, fsdata)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let ino = fs
+            .create_errptr(ROOT_INO, "f.txt", MODE_REG)
+            .check()
+            .unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(ino, "t").unwrap();
+        let n = write_via_begin_end(&fs, ino, 0, b"hello world").unwrap();
+        assert_eq!(n, 11);
+        let mut buf = vec![0u8; 32];
+        let n = fs.read_range(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello world");
+        assert_eq!(fs.getattr_errptr(ino).check().is_ok(), true);
+    }
+
+    #[test]
+    fn lookup_finds_created_entries() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "a", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        let e = fs.lookup_errptr(ROOT_INO, "a");
+        let found = fs
+            .ctx()
+            .vp_take::<InodeNo>(e.check().unwrap(), "t")
+            .unwrap();
+        assert_eq!(found, ino);
+        assert_eq!(fs.lookup_errptr(ROOT_INO, "nope").check(), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn large_file_spans_indirect_blocks() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "big", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        // 9 direct blocks + a few indirect ones.
+        let data: Vec<u8> = (0..(12 * BLOCK_SIZE)).map(|i| (i % 251) as u8).collect();
+        write_via_begin_end(&fs, ino, 0, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        let n = fs.read_range(ino, 0, &mut out).unwrap();
+        assert_eq!(n, data.len());
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn sparse_write_reads_zero_holes() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "sparse", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        write_via_begin_end(&fs, ino, 3 * BLOCK_SIZE as u64 + 5, b"X").unwrap();
+        let mut out = vec![0xFFu8; BLOCK_SIZE];
+        let n = fs.read_range(ino, 0, &mut out).unwrap();
+        assert_eq!(n, BLOCK_SIZE);
+        assert!(out.iter().all(|&b| b == 0), "hole reads as zeros");
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let before = fs.statfs_inner().unwrap();
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        write_via_begin_end(&fs, ino, 0, &vec![7u8; 3 * BLOCK_SIZE]).unwrap();
+        fs.unlink_inner(ROOT_INO, "f").unwrap();
+        let after = fs.statfs_inner().unwrap();
+        assert_eq!(before.blocks_free, after.blocks_free);
+        assert_eq!(before.inodes_free, after.inodes_free);
+        assert_eq!(fs.lookup_errptr(ROOT_INO, "f").check(), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn mkdir_and_rmdir() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "d", MODE_DIR).check().unwrap();
+        let d = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        let p = fs.create_errptr(d, "child", MODE_REG).check().unwrap();
+        let _ = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        assert_eq!(fs.rmdir_inner(ROOT_INO, "d"), Err(Errno::ENOTEMPTY));
+        fs.unlink_inner(d, "child").unwrap();
+        fs.rmdir_inner(ROOT_INO, "d").unwrap();
+        assert_eq!(fs.lookup_errptr(ROOT_INO, "d").check(), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn rename_replaces_target_file() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        for name in ["a", "b"] {
+            let p = fs.create_errptr(ROOT_INO, name, MODE_REG).check().unwrap();
+            let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+            write_via_begin_end(&fs, ino, 0, name.as_bytes()).unwrap();
+        }
+        fs.rename_inner(ROOT_INO, "a", ROOT_INO, "b").unwrap();
+        let entries = fs.readdir_inner(ROOT_INO).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "b");
+        let e = fs.lookup_errptr(ROOT_INO, "b").check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(e, "t").unwrap();
+        let mut buf = vec![0u8; 4];
+        let n = fs.read_range(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"a", "content followed the rename");
+    }
+
+    #[test]
+    fn truncate_shrinks_and_zero_extends() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "t", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        write_via_begin_end(&fs, ino, 0, b"abcdef").unwrap();
+        fs.truncate_inner(ino, 3).unwrap();
+        fs.truncate_inner(ino, 6).unwrap();
+        let mut buf = vec![0xAAu8; 6];
+        fs.read_range(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abc\0\0\0", "shrink zeroes the dropped tail");
+    }
+
+    #[test]
+    fn write_path_records_unlocked_i_size_access() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.ctx().locks.clear_violations();
+        write_via_begin_end(&fs, ino, 0, b"data").unwrap();
+        let violations = fs.ctx().locks.violations();
+        assert!(
+            !violations.is_empty(),
+            "the idiomatic unlocked i_size update must be recorded"
+        );
+    }
+
+    #[test]
+    fn knob_wrong_cast_manifests_as_type_confusion() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.knobs().set("wrong_cast_write_end", true);
+        let r = write_via_begin_end(&fs, ino, 0, b"data");
+        assert_eq!(r, Err(Errno::EFAULT));
+        assert_eq!(fs.ctx().ledger.count(BugClass::TypeConfusion), 1);
+    }
+
+    #[test]
+    fn knob_leak_fsdata_leaves_live_objects() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.knobs().set("leak_fsdata", true);
+        let live_before = fs.ctx().arena.live_count();
+        write_via_begin_end(&fs, ino, 0, b"data").unwrap();
+        assert_eq!(fs.ctx().arena.live_count(), live_before + 1, "fsdata leaked");
+    }
+
+    #[test]
+    fn knob_uaf_detected_on_unlink() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let _ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.knobs().set("uaf_inode_private", true);
+        fs.unlink_inner(ROOT_INO, "f").unwrap();
+        assert_eq!(fs.ctx().ledger.count(BugClass::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn knob_errptr_deref_detected_on_missing_name() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        fs.knobs().set("deref_errptr_lookup", true);
+        // Create consults dir_lookup for existence; the miss path derefs
+        // the ERR_PTR without checking.
+        let p = fs.create_errptr(ROOT_INO, "new", MODE_REG);
+        assert!(p.is_err());
+        assert_eq!(fs.ctx().ledger.count(BugClass::ErrPtrDeref), 1);
+    }
+
+    #[test]
+    fn knob_off_by_one_breaks_directory_listing() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        for name in ["aa", "bb"] {
+            let p = fs.create_errptr(ROOT_INO, name, MODE_REG).check().unwrap();
+            fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        }
+        fs.knobs().set("off_by_one_dirent", true);
+        let r = fs.readdir_inner(ROOT_INO);
+        match r {
+            Err(e) => assert_eq!(e, Errno::EUCLEAN),
+            Ok(entries) => assert_ne!(
+                entries.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+                vec!["aa", "bb"]
+            ),
+        }
+    }
+
+    #[test]
+    fn knob_wrapping_math_bypasses_bounds_check() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "f", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        // Correct code refuses an offset that would overflow.
+        assert_eq!(fs.write_range(ino, u64::MAX - 2, b"xyz"), Err(Errno::EFBIG));
+        fs.knobs().set("wrapping_size_math", true);
+        let _ = fs.write_range(ino, u64::MAX - 2, b"xyz");
+        assert_eq!(fs.ctx().ledger.count(BugClass::IntegerOverflow), 1);
+    }
+
+    #[test]
+    fn statfs_counts_match_mkfs() {
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let s = fs.statfs_inner().unwrap();
+        assert_eq!(s.inodes_free, 126, "128 inodes minus reserved and root");
+        assert!(s.blocks_free > 0);
+        assert!(s.blocks_free <= s.blocks_total);
+    }
+
+    #[test]
+    fn sync_persists_through_remount() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512));
+        Cext4::mkfs(&dev, 128).unwrap();
+        {
+            let fs = Cext4::mount(
+                Arc::clone(&dev),
+                LegacyCtx::new(),
+                Arc::new(BugKnobs::none()),
+            )
+            .unwrap();
+            let p = fs.create_errptr(ROOT_INO, "persist", MODE_REG).check().unwrap();
+            let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+            write_via_begin_end(&fs, ino, 0, b"durable").unwrap();
+            fs.sync_inner().unwrap();
+        }
+        let fs2 = Cext4::mount(dev, LegacyCtx::new(), Arc::new(BugKnobs::none())).unwrap();
+        let e = fs2.lookup_errptr(ROOT_INO, "persist").check().unwrap();
+        let ino = fs2.ctx().vp_take::<InodeNo>(e, "t").unwrap();
+        let mut buf = vec![0u8; 16];
+        let n = fs2.read_range(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"durable");
+    }
+}

@@ -1,0 +1,115 @@
+//! Injectable bug knobs.
+//!
+//! Each knob switches on one representative bug of a CWE class the paper's
+//! §2 study counts. The bugs live on real code paths of the file system —
+//! flipping a knob changes behaviour the way a wrong line of C would, and
+//! the substrate's detection machinery (arena tags, lock registry, ledger)
+//! observes the consequence. `sk-faultgen` drives these one at a time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Runtime-togglable bug switches for cext4.
+#[derive(Debug, Default)]
+pub struct BugKnobs {
+    /// `write_end` casts the fsdata `void *` to the wrong struct type
+    /// (CWE-843, the paper's §4.2 example).
+    pub wrong_cast_write_end: AtomicBool,
+    /// The lookup caller dereferences the returned `ERR_PTR` without an
+    /// `IS_ERR` check when the name is missing (CWE-476 family).
+    pub deref_errptr_lookup: AtomicBool,
+    /// `write_end` forgets to free the fsdata context (CWE-401).
+    pub leak_fsdata: AtomicBool,
+    /// `unlink` frees the inode's private object, then a subsequent
+    /// `getattr` touches it (CWE-416).
+    pub uaf_inode_private: AtomicBool,
+    /// Directory entry parsing reads the name length one byte long
+    /// (CWE-787/125).
+    pub off_by_one_dirent: AtomicBool,
+    /// Size bookkeeping uses wrapping arithmetic, so `off + len` can wrap
+    /// past `u64::MAX` and bypass the max-file-size check (CWE-190).
+    pub wrapping_size_math: AtomicBool,
+    /// `unlink` frees the fsdata context twice on its error path (CWE-415).
+    pub double_free_fsdata: AtomicBool,
+    /// Writes update `i_size` *after* dropping the directory lock on the
+    /// truncate path, widening the unlocked window (CWE-362). (The plain
+    /// unlocked `i_size` update of §4.3 is always on — it is the idiom,
+    /// not an injected bug.)
+    pub racy_truncate: AtomicBool,
+}
+
+impl BugKnobs {
+    /// All knobs off: cext4 behaves correctly (but still in the unsafe
+    /// idiom — unchecked `i_size` updates are recorded regardless).
+    pub fn none() -> Self {
+        BugKnobs::default()
+    }
+
+    fn get(flag: &AtomicBool) -> bool {
+        flag.load(Ordering::Relaxed)
+    }
+
+    /// Reads a knob by name (used by the study driver); `None` for unknown
+    /// names.
+    pub fn is_on(&self, name: &str) -> Option<bool> {
+        Some(Self::get(match name {
+            "wrong_cast_write_end" => &self.wrong_cast_write_end,
+            "deref_errptr_lookup" => &self.deref_errptr_lookup,
+            "leak_fsdata" => &self.leak_fsdata,
+            "uaf_inode_private" => &self.uaf_inode_private,
+            "off_by_one_dirent" => &self.off_by_one_dirent,
+            "wrapping_size_math" => &self.wrapping_size_math,
+            "double_free_fsdata" => &self.double_free_fsdata,
+            "racy_truncate" => &self.racy_truncate,
+            _ => return None,
+        }))
+    }
+
+    /// Sets a knob by name; returns false for unknown names.
+    pub fn set(&self, name: &str, on: bool) -> bool {
+        let flag = match name {
+            "wrong_cast_write_end" => &self.wrong_cast_write_end,
+            "deref_errptr_lookup" => &self.deref_errptr_lookup,
+            "leak_fsdata" => &self.leak_fsdata,
+            "uaf_inode_private" => &self.uaf_inode_private,
+            "off_by_one_dirent" => &self.off_by_one_dirent,
+            "wrapping_size_math" => &self.wrapping_size_math,
+            "double_free_fsdata" => &self.double_free_fsdata,
+            "racy_truncate" => &self.racy_truncate,
+            _ => return false,
+        };
+        flag.store(on, Ordering::Relaxed);
+        true
+    }
+
+    /// Names of all knobs (the study iterates these).
+    pub fn all_names() -> &'static [&'static str] {
+        &[
+            "wrong_cast_write_end",
+            "deref_errptr_lookup",
+            "leak_fsdata",
+            "uaf_inode_private",
+            "off_by_one_dirent",
+            "wrapping_size_math",
+            "double_free_fsdata",
+            "racy_truncate",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_toggle_by_name() {
+        let k = BugKnobs::none();
+        for name in BugKnobs::all_names() {
+            assert_eq!(k.is_on(name), Some(false));
+            assert!(k.set(name, true));
+            assert_eq!(k.is_on(name), Some(true));
+            assert!(k.set(name, false));
+        }
+        assert!(!k.set("nonsense", true));
+        assert_eq!(k.is_on("nonsense"), None);
+    }
+}

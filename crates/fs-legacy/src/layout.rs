@@ -1,0 +1,295 @@
+//! On-disk layout of cext4.
+//!
+//! ```text
+//! block 0              superblock
+//! block 1              block bitmap   (1 bit per block, up to 32768 blocks)
+//! block 2              inode bitmap
+//! blocks 3 .. 3+T      inode table    (64-byte inodes, 64 per block)
+//! blocks 3+T ..        data
+//! ```
+//!
+//! Integers are little-endian. An inode holds nine direct block pointers
+//! and one single-indirect pointer (1024 entries), for a maximum file size
+//! of (9 + 1024) × 4096 bytes. Directory content is a packed sequence of
+//! `(ino: u32, name_len: u8, name: [u8])` records.
+
+use sk_ksim::errno::{Errno, KResult};
+
+/// cext4 magic number in the superblock.
+pub const MAGIC: u32 = 0x00CE_0474;
+
+/// Block size (matches the device).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Bytes per on-disk inode.
+pub const INODE_SIZE: usize = 64;
+
+/// Inodes per inode-table block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 9;
+
+/// Block-pointer entries in the single-indirect block.
+pub const NINDIRECT: usize = BLOCK_SIZE / 4;
+
+/// Maximum file size in bytes.
+pub const MAX_FILE_SIZE: u64 = ((NDIRECT + NINDIRECT) * BLOCK_SIZE) as u64;
+
+/// Block number of the superblock.
+pub const SB_BLOCK: u64 = 0;
+/// Block number of the block bitmap.
+pub const BLOCK_BITMAP: u64 = 1;
+/// Block number of the inode bitmap.
+pub const INODE_BITMAP: u64 = 2;
+/// First block of the inode table.
+pub const INODE_TABLE: u64 = 3;
+
+/// The root directory's inode number (inode 0 is reserved/invalid).
+pub const ROOT_INO: u64 = 1;
+
+/// File-type values stored in the inode `mode` field.
+pub const MODE_FREE: u16 = 0;
+/// Regular file mode.
+pub const MODE_REG: u16 = 1;
+/// Directory mode.
+pub const MODE_DIR: u16 = 2;
+
+/// Parsed superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Magic; must equal [`MAGIC`].
+    pub magic: u32,
+    /// Total blocks on the device.
+    pub total_blocks: u32,
+    /// Number of inodes in the table.
+    pub inode_count: u32,
+    /// First data block.
+    pub data_start: u32,
+}
+
+impl Superblock {
+    /// Computes the layout for a device of `total_blocks` with
+    /// `inode_count` inodes.
+    pub fn design(total_blocks: u64, inode_count: u32) -> KResult<Superblock> {
+        let table_blocks = (inode_count as usize).div_ceil(INODES_PER_BLOCK) as u64;
+        let data_start = INODE_TABLE + table_blocks;
+        if total_blocks <= data_start + 1 || total_blocks > (BLOCK_SIZE * 8) as u64 {
+            return Err(Errno::EINVAL);
+        }
+        Ok(Superblock {
+            magic: MAGIC,
+            total_blocks: total_blocks as u32,
+            inode_count,
+            data_start: data_start as u32,
+        })
+    }
+
+    /// Serializes into the first bytes of a superblock image.
+    pub fn encode(&self, block: &mut [u8]) {
+        block[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        block[4..8].copy_from_slice(&self.total_blocks.to_le_bytes());
+        block[8..12].copy_from_slice(&self.inode_count.to_le_bytes());
+        block[12..16].copy_from_slice(&self.data_start.to_le_bytes());
+    }
+
+    /// Parses a superblock image, verifying the magic.
+    pub fn decode(block: &[u8]) -> KResult<Superblock> {
+        let sb = Superblock {
+            magic: u32::from_le_bytes(block[0..4].try_into().expect("4 bytes")),
+            total_blocks: u32::from_le_bytes(block[4..8].try_into().expect("4 bytes")),
+            inode_count: u32::from_le_bytes(block[8..12].try_into().expect("4 bytes")),
+            data_start: u32::from_le_bytes(block[12..16].try_into().expect("4 bytes")),
+        };
+        if sb.magic != MAGIC {
+            return Err(Errno::EUCLEAN);
+        }
+        Ok(sb)
+    }
+}
+
+/// Parsed on-disk inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskInode {
+    /// [`MODE_FREE`], [`MODE_REG`], or [`MODE_DIR`].
+    pub mode: u16,
+    /// Hard-link count.
+    pub nlink: u16,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time (simulated ns).
+    pub mtime: u64,
+    /// Direct block pointers (0 = hole/unallocated).
+    pub direct: [u32; NDIRECT],
+    /// Single-indirect block pointer (0 = none).
+    pub indirect: u32,
+}
+
+impl DiskInode {
+    /// A zeroed (free) inode.
+    pub fn empty() -> DiskInode {
+        DiskInode {
+            mode: MODE_FREE,
+            nlink: 0,
+            size: 0,
+            mtime: 0,
+            direct: [0; NDIRECT],
+            indirect: 0,
+        }
+    }
+
+    /// Serializes into a 64-byte slot.
+    pub fn encode(&self, slot: &mut [u8]) {
+        slot[0..2].copy_from_slice(&self.mode.to_le_bytes());
+        slot[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        slot[4..8].copy_from_slice(&0u32.to_le_bytes()); // reserved
+        slot[8..16].copy_from_slice(&self.size.to_le_bytes());
+        slot[16..24].copy_from_slice(&self.mtime.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            let o = 24 + i * 4;
+            slot[o..o + 4].copy_from_slice(&d.to_le_bytes());
+        }
+        slot[60..64].copy_from_slice(&self.indirect.to_le_bytes());
+    }
+
+    /// Parses a 64-byte slot.
+    pub fn decode(slot: &[u8]) -> DiskInode {
+        let mut direct = [0u32; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            let o = 24 + i * 4;
+            *d = u32::from_le_bytes(slot[o..o + 4].try_into().expect("4 bytes"));
+        }
+        DiskInode {
+            mode: u16::from_le_bytes(slot[0..2].try_into().expect("2 bytes")),
+            nlink: u16::from_le_bytes(slot[2..4].try_into().expect("2 bytes")),
+            size: u64::from_le_bytes(slot[8..16].try_into().expect("8 bytes")),
+            mtime: u64::from_le_bytes(slot[16..24].try_into().expect("8 bytes")),
+            direct,
+            indirect: u32::from_le_bytes(slot[60..64].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Serializes a directory entry, appending to `out`.
+pub fn dirent_encode(out: &mut Vec<u8>, ino: u64, name: &str) {
+    out.extend_from_slice(&(ino as u32).to_le_bytes());
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Parses all directory entries from a directory's content bytes.
+///
+/// `off_by_one` reproduces the injected parsing bug: the name length is
+/// read one byte too long, corrupting every name (and, on the last entry,
+/// reading past the buffer — which this decoder *detects* and reports as
+/// `EUCLEAN`, the legacy world's "fs corruption" observable).
+pub fn dirent_parse(content: &[u8], off_by_one: bool) -> KResult<Vec<(u64, String)>> {
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    while off < content.len() {
+        if off + 5 > content.len() {
+            return Err(Errno::EUCLEAN);
+        }
+        let ino = u32::from_le_bytes(content[off..off + 4].try_into().expect("4 bytes")) as u64;
+        let mut nlen = content[off + 4] as usize;
+        if off_by_one {
+            nlen += 1;
+        }
+        off += 5;
+        if off + nlen > content.len() {
+            return Err(Errno::EUCLEAN);
+        }
+        let name = String::from_utf8_lossy(&content[off..off + nlen]).into_owned();
+        off += nlen;
+        if ino != 0 {
+            entries.push((ino, name));
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock::design(1024, 256).unwrap();
+        assert_eq!(sb.data_start, 3 + 4); // 256 inodes / 64 per block
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        sb.encode(&mut blk);
+        assert_eq!(Superblock::decode(&blk).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_bad_magic_rejected() {
+        let blk = vec![0u8; BLOCK_SIZE];
+        assert_eq!(Superblock::decode(&blk), Err(Errno::EUCLEAN));
+    }
+
+    #[test]
+    fn superblock_design_rejects_tiny_devices() {
+        assert!(Superblock::design(4, 64).is_err());
+        assert!(Superblock::design(40000, 64).is_err(), "bitmap limit");
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut ino = DiskInode::empty();
+        ino.mode = MODE_REG;
+        ino.nlink = 2;
+        ino.size = 123456;
+        ino.mtime = 42;
+        ino.direct[0] = 100;
+        ino.direct[8] = 900;
+        ino.indirect = 77;
+        let mut slot = vec![0u8; INODE_SIZE];
+        ino.encode(&mut slot);
+        assert_eq!(DiskInode::decode(&slot), ino);
+    }
+
+    #[test]
+    fn dirent_roundtrip() {
+        let mut content = Vec::new();
+        dirent_encode(&mut content, 5, "hello.txt");
+        dirent_encode(&mut content, 9, "dir");
+        let parsed = dirent_parse(&content, false).unwrap();
+        assert_eq!(
+            parsed,
+            vec![(5, "hello.txt".to_string()), (9, "dir".to_string())]
+        );
+    }
+
+    #[test]
+    fn dirent_off_by_one_corrupts_or_overreads() {
+        let mut content = Vec::new();
+        dirent_encode(&mut content, 5, "ab");
+        dirent_encode(&mut content, 6, "cd");
+        // With the bug, the first name swallows a byte of the next record;
+        // the final record then over-reads and the parser reports EUCLEAN.
+        let r = dirent_parse(&content, true);
+        match r {
+            Err(e) => assert_eq!(e, Errno::EUCLEAN),
+            Ok(entries) => assert_ne!(
+                entries,
+                vec![(5, "ab".to_string()), (6, "cd".to_string())],
+                "bugged parse must not produce the correct entries"
+            ),
+        }
+    }
+
+    #[test]
+    fn tombstoned_entries_skipped() {
+        let mut content = Vec::new();
+        dirent_encode(&mut content, 0, "dead");
+        dirent_encode(&mut content, 3, "live");
+        let parsed = dirent_parse(&content, false).unwrap();
+        assert_eq!(parsed, vec![(3, "live".to_string())]);
+    }
+
+    #[test]
+    fn geometry_constants_consistent() {
+        assert_eq!(INODES_PER_BLOCK * INODE_SIZE, BLOCK_SIZE);
+        assert_eq!(MAX_FILE_SIZE, (9 + 1024) * 4096);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sk-fs-legacy — "cext4", the Step-0 file system
+//!
+//! An ext2-like file system written deliberately in the legacy C idiom the
+//! paper catalogues:
+//!
+//! - its interface is a [`sk_vfs::legacy_ops::LegacyFsOps`] table:
+//!   `ERR_PTR` returns, signed count-or-errno returns;
+//! - `write_begin` allocates a private context struct and returns it as a
+//!   bare `VoidPtr` which `write_end` casts back on faith (§4.2's example);
+//! - it updates the generic inode's `i_size` on its write path *without*
+//!   taking `i_lock`, relying on "specific, known code paths" for safety
+//!   (§4.3's example) — the lock registry records every such access;
+//! - size/offset arithmetic is wrapping, like C's.
+//!
+//! On top of the idiom, the implementation carries **injectable bug
+//! knobs** ([`knobs::BugKnobs`]) that switch on representative bug classes
+//! (wrong cast in `write_end`, `ERR_PTR` deref on lookup miss, fsdata leak,
+//! use-after-free of the inode private object, off-by-one in directory
+//! parsing, unchecked size arithmetic). The empirical prevention study
+//! (`sk-faultgen`) flips these knobs one at a time and observes which
+//! roadmap step stops each class.
+//!
+//! The on-disk format ([`layout`]) is a classic bitmap file system:
+//! superblock, block/inode bitmaps, inode table, data blocks; files use
+//! nine direct pointers plus one single-indirect block; directories are
+//! packed `(ino, name)` records in the directory file's content.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cext4;
+pub mod knobs;
+pub mod layout;
+pub mod ops;
+
+pub use cext4::Cext4;
+pub use knobs::BugKnobs;
+pub use ops::cext4_ops;

@@ -1,0 +1,165 @@
+//! The cext4 ops table: cext4's face to the legacy VFS.
+
+use std::sync::Arc;
+
+
+use sk_legacy::ErrPtr;
+use sk_vfs::legacy_ops::{ret_err, ret_ok, LegacyFsOps};
+
+use crate::cext4::Cext4;
+use crate::layout::{MODE_DIR, MODE_REG, ROOT_INO};
+
+/// Builds the legacy ops table for a mounted cext4 instance.
+pub fn cext4_ops(fs: Arc<Cext4>) -> LegacyFsOps {
+    let mut ops = LegacyFsOps::empty("cext4", ROOT_INO);
+
+    let f = Arc::clone(&fs);
+    ops.lookup = Some(Box::new(move |_, dir, name| f.lookup_errptr(dir, name)));
+
+    let f = Arc::clone(&fs);
+    ops.create = Some(Box::new(move |_, dir, name| {
+        f.create_errptr(dir, name, MODE_REG)
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.mkdir = Some(Box::new(move |_, dir, name| {
+        f.create_errptr(dir, name, MODE_DIR)
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.unlink = Some(Box::new(move |_, dir, name| {
+        match f.unlink_inner(dir, name) {
+            Ok(()) => 0,
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.rmdir = Some(Box::new(move |_, dir, name| match f.rmdir_inner(dir, name) {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.read = Some(Box::new(move |_, ino, off, buf| {
+        match f.read_range(ino, off, buf) {
+            Ok(n) => ret_ok(n as u64),
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.write_begin = Some(Box::new(move |_, ino, off, len| f.write_begin(ino, off, len)));
+
+    let f = Arc::clone(&fs);
+    ops.write_end = Some(Box::new(move |_, ino, off, data, fsdata| {
+        match f.write_end(ino, off, data, fsdata) {
+            Ok(n) => ret_ok(n as u64),
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.readdir = Some(Box::new(move |ctx, dir| match f.readdir_inner(dir) {
+        Ok(entries) => ErrPtr::ok(ctx.vp_new(entries)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.rename = Some(Box::new(move |_, od, on, nd, nn| {
+        match f.rename_inner(od, on, nd, nn) {
+            Ok(()) => 0,
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.truncate = Some(Box::new(move |_, ino, size| {
+        match f.truncate_inner(ino, size) {
+            Ok(()) => 0,
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.sync = Some(Box::new(move |_| match f.sync_inner() {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.getattr = Some(Box::new(move |_, ino| f.getattr_errptr(ino)));
+
+    let f = Arc::clone(&fs);
+    ops.statfs = Some(Box::new(move |ctx, | match f.statfs_inner() {
+        Ok(s) => ErrPtr::ok(ctx.vp_new(s)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_ksim::block::{BlockDevice, RamDisk};
+    use sk_ksim::errno::Errno;
+    use sk_legacy::LegacyCtx;
+    use sk_vfs::inode::InodeNo;
+
+    use crate::knobs::BugKnobs;
+
+    fn ops_and_ctx() -> (LegacyFsOps, LegacyCtx) {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512));
+        Cext4::mkfs(&dev, 128).unwrap();
+        let ctx = LegacyCtx::new();
+        let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+        (cext4_ops(fs), ctx)
+    }
+
+    #[test]
+    fn full_table_is_populated() {
+        let (ops, _) = ops_and_ctx();
+        assert!(ops.lookup.is_some());
+        assert!(ops.create.is_some());
+        assert!(ops.mkdir.is_some());
+        assert!(ops.unlink.is_some());
+        assert!(ops.rmdir.is_some());
+        assert!(ops.read.is_some());
+        assert!(ops.write_begin.is_some());
+        assert!(ops.write_end.is_some());
+        assert!(ops.readdir.is_some());
+        assert!(ops.rename.is_some());
+        assert!(ops.truncate.is_some());
+        assert!(ops.sync.is_some());
+        assert!(ops.getattr.is_some());
+        assert!(ops.statfs.is_some());
+    }
+
+    #[test]
+    fn table_drives_create_write_read() {
+        let (ops, ctx) = ops_and_ctx();
+        let create = ops.create.as_ref().unwrap();
+        let e = create(&ctx, ROOT_INO, "x");
+        let ino = ctx
+            .vp_take::<InodeNo>(e.check().unwrap(), "t")
+            .unwrap();
+        let begin = ops.write_begin.as_ref().unwrap();
+        let end = ops.write_end.as_ref().unwrap();
+        let fsdata = begin(&ctx, ino, 0, 3).check().unwrap();
+        assert_eq!(end(&ctx, ino, 0, b"abc", fsdata), 3);
+        let read = ops.read.as_ref().unwrap();
+        let mut buf = vec![0u8; 8];
+        assert_eq!(read(&ctx, ino, 0, &mut buf), 3);
+        assert_eq!(&buf[..3], b"abc");
+    }
+
+    #[test]
+    fn table_errors_are_c_shaped() {
+        let (ops, ctx) = ops_and_ctx();
+        let unlink = ops.unlink.as_ref().unwrap();
+        assert_eq!(unlink(&ctx, ROOT_INO, "ghost"), -(Errno::ENOENT.as_i32() as i64));
+        let lookup = ops.lookup.as_ref().unwrap();
+        assert!(lookup(&ctx, ROOT_INO, "ghost").is_err());
+    }
+}

@@ -1,0 +1,552 @@
+//! jbd2-style write-ahead journal.
+//!
+//! The journal occupies the tail of the device:
+//!
+//! ```text
+//! jsb                    journal superblock: magic, next sequence number
+//! jsb+1                  transaction descriptor: seq, count, home blknos,
+//!                        payload checksum
+//! jsb+2 .. jsb+1+count   payload blocks (full images)
+//! jsb+2+count            commit record: seq, same checksum
+//! ```
+//!
+//! Because every transaction checkpoints synchronously before the next one
+//! starts, at most one transaction ever occupies the area, and it always
+//! starts right after the journal superblock — a deliberately simple
+//! instance of jbd2's design that keeps crash-schedule enumeration
+//! exhaustive (see `sk_core::spec::crash`).
+//!
+//! **Commit protocol** (each step separated by a flush barrier):
+//! 1. write descriptor + payload + commit record into the journal area;
+//! 2. write the payload to its home locations (checkpoint);
+//! 3. bump the sequence number in the journal superblock (retire).
+//!
+//! **Recovery**: read the journal superblock; if the transaction slot holds
+//! a descriptor and commit record with the *current* sequence number and a
+//! matching payload checksum, the crash happened after step 1 but possibly
+//! during step 2 — replay the payload to home locations and retire.
+//! Anything else (torn descriptor, missing commit, checksum mismatch,
+//! stale sequence) means the transaction never committed or was already
+//! retired — discard. Replay is idempotent, so crashing *during recovery*
+//! is also covered.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sk_ksim::block::BlockDevice;
+use sk_ksim::errno::{Errno, KResult};
+
+/// Journal-superblock magic.
+pub const JSB_MAGIC: u32 = 0x4A_5342; // "JSB"
+/// Descriptor magic.
+pub const DESC_MAGIC: u32 = 0x4A_4453; // "JDS"
+/// Commit-record magic.
+pub const COMMIT_MAGIC: u32 = 0x4A_434D; // "JCM"
+
+/// FNV-1a 64-bit, the journal's payload checksum.
+pub fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Journal usage counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Blocks journaled (payload only).
+    pub blocks_journaled: u64,
+    /// Transactions replayed by recovery.
+    pub replays: u64,
+    /// Flush barriers issued.
+    pub barriers: u64,
+}
+
+/// What recovery found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// Journal was empty/retired; nothing to do.
+    Clean,
+    /// A committed transaction was replayed.
+    Replayed {
+        /// Number of payload blocks written home.
+        blocks: usize,
+    },
+    /// An uncommitted (torn) transaction was discarded.
+    DiscardedTorn,
+}
+
+/// The write-ahead journal over a device region `[start, start+blocks)`.
+pub struct Journal {
+    dev: Arc<dyn BlockDevice>,
+    start: u64,
+    blocks: u64,
+    seq: Mutex<u64>,
+    stats: Mutex<JournalStats>,
+}
+
+impl Journal {
+    /// Maximum payload blocks per transaction for this journal geometry.
+    pub fn capacity(&self) -> usize {
+        // jsb + descriptor + commit leave blocks-3 payload slots.
+        (self.blocks as usize).saturating_sub(3)
+    }
+
+    /// Formats the journal region (sequence starts at 1).
+    pub fn format(dev: &Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<()> {
+        if blocks < 4 {
+            return Err(Errno::EINVAL);
+        }
+        let bs = dev.block_size();
+        let mut jsb = vec![0u8; bs];
+        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
+        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
+        dev.write_block(start, &jsb)?;
+        dev.flush()
+    }
+
+    /// Opens a formatted journal. **Run [`Journal::recover`] first** after
+    /// an unclean shutdown.
+    pub fn open(dev: Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<Journal> {
+        let bs = dev.block_size();
+        let mut jsb = vec![0u8; bs];
+        dev.read_block(start, &mut jsb)?;
+        if u32::from_le_bytes(jsb[0..4].try_into().expect("4 bytes")) != JSB_MAGIC {
+            return Err(Errno::EUCLEAN);
+        }
+        let seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+        Ok(Journal {
+            dev,
+            start,
+            blocks,
+            seq: Mutex::new(seq),
+            stats: Mutex::new(JournalStats::default()),
+        })
+    }
+
+    /// Current sequence number (next transaction's).
+    pub fn seq(&self) -> u64 {
+        *self.seq.lock()
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> JournalStats {
+        *self.stats.lock()
+    }
+
+    fn write_jsb(dev: &Arc<dyn BlockDevice>, start: u64, seq: u64) -> KResult<()> {
+        let mut jsb = vec![0u8; dev.block_size()];
+        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
+        jsb[4..12].copy_from_slice(&seq.to_le_bytes());
+        dev.write_block(start, &jsb)
+    }
+
+    /// Commits `writes` (home blkno → full block image) atomically.
+    ///
+    /// Duplicate block numbers are allowed; the last image wins. Empty
+    /// transactions are a no-op. Oversize transactions return `ENOSPC` —
+    /// the caller must keep operations within journal capacity.
+    pub fn commit(&self, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let bs = self.dev.block_size();
+        // Deduplicate, last image wins, stable home order.
+        let mut dedup: Vec<(u64, &Vec<u8>)> = Vec::new();
+        for (blkno, data) in writes {
+            if data.len() != bs {
+                return Err(Errno::EINVAL);
+            }
+            if *blkno >= self.start {
+                // Nothing may journal a write into the journal itself.
+                return Err(Errno::EINVAL);
+            }
+            if let Some(slot) = dedup.iter_mut().find(|(b, _)| b == blkno) {
+                slot.1 = data;
+            } else {
+                dedup.push((*blkno, data));
+            }
+        }
+        if dedup.len() > self.capacity() {
+            return Err(Errno::ENOSPC);
+        }
+        let seq = *self.seq.lock();
+
+        // Checksum covers seq, home blknos, and payload bytes.
+        let seq_bytes = seq.to_le_bytes();
+        let blkno_bytes: Vec<u8> = dedup
+            .iter()
+            .flat_map(|(b, _)| b.to_le_bytes())
+            .collect();
+        let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
+        for (_, data) in &dedup {
+            chunks.push(data.as_slice());
+        }
+        let checksum = fnv1a(&chunks);
+
+        // Step 1: descriptor + payload + commit record, then barrier.
+        let mut desc = vec![0u8; bs];
+        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        desc[4..12].copy_from_slice(&seq_bytes);
+        desc[12..16].copy_from_slice(&(dedup.len() as u32).to_le_bytes());
+        for (i, (blkno, _)) in dedup.iter().enumerate() {
+            let o = 16 + i * 8;
+            desc[o..o + 8].copy_from_slice(&blkno.to_le_bytes());
+        }
+        desc[bs - 8..].copy_from_slice(&checksum.to_le_bytes());
+        self.dev.write_block(self.start + 1, &desc)?;
+        for (i, (_, data)) in dedup.iter().enumerate() {
+            self.dev.write_block(self.start + 2 + i as u64, data)?;
+        }
+        let mut commit = vec![0u8; bs];
+        commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+        commit[4..12].copy_from_slice(&seq_bytes);
+        commit[12..20].copy_from_slice(&checksum.to_le_bytes());
+        self.dev
+            .write_block(self.start + 2 + dedup.len() as u64, &commit)?;
+        self.dev.flush()?;
+
+        // Step 2: checkpoint to home locations, then barrier.
+        for (blkno, data) in &dedup {
+            self.dev.write_block(*blkno, data)?;
+        }
+        self.dev.flush()?;
+
+        // Step 3: retire by bumping the sequence.
+        {
+            let mut s = self.seq.lock();
+            *s += 1;
+            Self::write_jsb(&self.dev, self.start, *s)?;
+        }
+        self.dev.flush()?;
+
+        let mut st = self.stats.lock();
+        st.commits += 1;
+        st.blocks_journaled += dedup.len() as u64;
+        st.barriers += 3;
+        Ok(())
+    }
+
+    /// Scans the journal after an unclean shutdown and replays any
+    /// committed-but-unretired transaction.
+    pub fn recover(dev: &Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<RecoveryOutcome> {
+        let bs = dev.block_size();
+        let mut jsb = vec![0u8; bs];
+        dev.read_block(start, &mut jsb)?;
+        if u32::from_le_bytes(jsb[0..4].try_into().expect("4 bytes")) != JSB_MAGIC {
+            return Err(Errno::EUCLEAN);
+        }
+        let seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+
+        // Parse the descriptor slot.
+        let mut desc = vec![0u8; bs];
+        dev.read_block(start + 1, &mut desc)?;
+        if u32::from_le_bytes(desc[0..4].try_into().expect("4 bytes")) != DESC_MAGIC {
+            return Ok(RecoveryOutcome::Clean);
+        }
+        let dseq = u64::from_le_bytes(desc[4..12].try_into().expect("8 bytes"));
+        if dseq != seq {
+            // A retired (older) transaction's residue.
+            return Ok(RecoveryOutcome::Clean);
+        }
+        let count = u32::from_le_bytes(desc[12..16].try_into().expect("4 bytes")) as usize;
+        if count == 0 || count > (blocks as usize).saturating_sub(3) {
+            return Ok(RecoveryOutcome::DiscardedTorn);
+        }
+        let claimed = u64::from_le_bytes(desc[bs - 8..].try_into().expect("8 bytes"));
+        let mut blknos = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = 16 + i * 8;
+            blknos.push(u64::from_le_bytes(desc[o..o + 8].try_into().expect("8 bytes")));
+        }
+        if blknos.iter().any(|&b| b >= start) {
+            return Ok(RecoveryOutcome::DiscardedTorn);
+        }
+
+        // Commit record must match.
+        let mut commit = vec![0u8; bs];
+        dev.read_block(start + 2 + count as u64, &mut commit)?;
+        if u32::from_le_bytes(commit[0..4].try_into().expect("4 bytes")) != COMMIT_MAGIC
+            || u64::from_le_bytes(commit[4..12].try_into().expect("8 bytes")) != seq
+            || u64::from_le_bytes(commit[12..20].try_into().expect("8 bytes")) != claimed
+        {
+            return Ok(RecoveryOutcome::DiscardedTorn);
+        }
+
+        // Verify the payload checksum.
+        let mut payload = Vec::with_capacity(count);
+        for i in 0..count {
+            let mut data = vec![0u8; bs];
+            dev.read_block(start + 2 + i as u64, &mut data)?;
+            payload.push(data);
+        }
+        let seq_bytes = seq.to_le_bytes();
+        let blkno_bytes: Vec<u8> = blknos.iter().flat_map(|b| b.to_le_bytes()).collect();
+        let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
+        for p in &payload {
+            chunks.push(p.as_slice());
+        }
+        if fnv1a(&chunks) != claimed {
+            return Ok(RecoveryOutcome::DiscardedTorn);
+        }
+
+        // Replay and retire.
+        for (blkno, data) in blknos.iter().zip(payload.iter()) {
+            dev.write_block(*blkno, data)?;
+        }
+        dev.flush()?;
+        Self::write_jsb(dev, start, seq + 1)?;
+        dev.flush()?;
+        Ok(RecoveryOutcome::Replayed { blocks: count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_ksim::block::{CrashDevice, RamDisk, BLOCK_SIZE};
+
+    const JSTART: u64 = 56;
+    const JBLOCKS: u64 = 8;
+
+    fn fresh() -> (Arc<dyn BlockDevice>, Journal) {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(64));
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+        (dev, j)
+    }
+
+    fn img(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn commit_writes_home_blocks() {
+        let (dev, j) = fresh();
+        j.commit(&[(3, img(7)), (5, img(9))]).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        dev.read_block(5, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+        assert_eq!(j.seq(), 2);
+        assert_eq!(j.stats().commits, 1);
+    }
+
+    #[test]
+    fn duplicate_blocks_last_wins() {
+        let (dev, j) = fresh();
+        j.commit(&[(3, img(1)), (3, img(2))]).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 2);
+        assert_eq!(j.stats().blocks_journaled, 1);
+    }
+
+    #[test]
+    fn oversize_and_misdirected_transactions_rejected() {
+        let (_, j) = fresh();
+        let too_many: Vec<(u64, Vec<u8>)> = (0..6).map(|i| (i, img(1))).collect();
+        assert_eq!(j.commit(&too_many), Err(Errno::ENOSPC));
+        assert_eq!(j.commit(&[(JSTART + 1, img(1))]), Err(Errno::EINVAL));
+        assert_eq!(j.commit(&[(1, vec![0u8; 10])]), Err(Errno::EINVAL));
+        assert!(j.commit(&[]).is_ok(), "empty commit is a no-op");
+    }
+
+    #[test]
+    fn recovery_clean_on_fresh_journal() {
+        let (dev, _) = fresh();
+        assert_eq!(
+            Journal::recover(&dev, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn crash_before_commit_record_discards() {
+        let ram = Arc::new(RamDisk::new(64));
+        let crash: Arc<dyn BlockDevice> = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        Journal::format(&crash, JSTART, JBLOCKS).unwrap();
+        // Manually write a descriptor + payload but no commit, unflushed
+        // descriptor torn off by the crash is the interesting case; here we
+        // flush a descriptor-only prefix.
+        let j = Journal::open(Arc::clone(&crash), JSTART, JBLOCKS).unwrap();
+        let _ = j; // The protocol always writes commit, so simulate a torn
+                   // transaction directly:
+        let bs = BLOCK_SIZE;
+        let mut desc = vec![0u8; bs];
+        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        desc[4..12].copy_from_slice(&1u64.to_le_bytes());
+        desc[12..16].copy_from_slice(&1u32.to_le_bytes());
+        desc[16..24].copy_from_slice(&3u64.to_le_bytes());
+        crash.write_block(JSTART + 1, &desc).unwrap();
+        crash.flush().unwrap();
+        // Home block untouched; recovery must discard the torn txn.
+        let ram_dyn: Arc<dyn BlockDevice> = ram;
+        let outcome = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::DiscardedTorn);
+        let mut out = vec![0u8; bs];
+        ram_dyn.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 0, "home never written");
+    }
+
+    #[test]
+    fn crash_after_commit_before_checkpoint_replays() {
+        // Drive the real commit protocol against a crash device and cut it
+        // after the first barrier (journal durable, home not).
+        let ram = Arc::new(RamDisk::new(64));
+        let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        let crash_dyn: Arc<dyn BlockDevice> = Arc::clone(&crash) as Arc<dyn BlockDevice>;
+        Journal::format(&crash_dyn, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&crash_dyn), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(42))]).unwrap();
+        // Rewind the durable image to "after barrier 1": replay the commit
+        // onto a fresh device by hand — instead, simply crash now (all
+        // flushed), then corrupt home block to simulate lost checkpoint,
+        // and check recovery restores it from the journal.
+        crash.crash();
+        crash.recover();
+        let zero = img(0);
+        ram.write_block(3, &zero).unwrap(); // "lost" checkpoint
+        // jsb already retired (seq=2), so recovery would be Clean; rewind
+        // the jsb to seq=1 to model the pre-retire crash.
+        let mut jsb = vec![0u8; BLOCK_SIZE];
+        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
+        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
+        ram.write_block(JSTART, &jsb).unwrap();
+        let ram_dyn: Arc<dyn BlockDevice> = ram;
+        let outcome = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::Replayed { blocks: 1 });
+        let mut out = vec![0u8; BLOCK_SIZE];
+        ram_dyn.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 42, "journal replayed the lost home write");
+        // And recovery is idempotent.
+        let outcome2 = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome2, RecoveryOutcome::Clean);
+    }
+
+    #[test]
+    fn corrupted_payload_checksum_discards() {
+        let ram = Arc::new(RamDisk::new(64));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&ram) as Arc<dyn BlockDevice>;
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(42))]).unwrap();
+        // Rewind jsb and corrupt the journaled payload.
+        let mut jsb = vec![0u8; BLOCK_SIZE];
+        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
+        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
+        ram.write_block(JSTART, &jsb).unwrap();
+        let mut payload = vec![0u8; BLOCK_SIZE];
+        ram.read_block(JSTART + 2, &mut payload).unwrap();
+        payload[100] ^= 0xFF;
+        ram.write_block(JSTART + 2, &payload).unwrap();
+        let outcome = Journal::recover(&dev, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::DiscardedTorn);
+    }
+
+    #[test]
+    fn exhaustive_prefix_crash_check() {
+        // The flagship property: for EVERY prefix of the device-write
+        // sequence of a commit, recovery yields either the old or the new
+        // contents of the home block — never a mix, never a torn state.
+        use sk_core::spec::crash::{crash_images, CrashPolicy};
+
+        let ram = Arc::new(RamDisk::new(64));
+        let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        let crash_dyn: Arc<dyn BlockDevice> = Arc::clone(&crash) as Arc<dyn BlockDevice>;
+        Journal::format(&crash_dyn, JSTART, JBLOCKS).unwrap();
+        // Old contents: block 3 = 1, block 5 = 2 (flushed).
+        crash_dyn.write_block(3, &img(1)).unwrap();
+        crash_dyn.write_block(5, &img(2)).unwrap();
+        crash_dyn.flush().unwrap();
+        let base = ram.snapshot();
+
+        // Run a commit but capture the pending writes of each barrier
+        // interval by not flushing: we reimplement the sequence manually to
+        // keep every write pending. Simpler: run the real commit against a
+        // second crash device that never flushes to its inner store.
+        // Here we exploit CrashDevice: writes buffer until flush. The real
+        // commit flushes 3 times, so enumerate crash points per interval by
+        // replaying the intervals' pending writes over the base snapshot.
+        let j = Journal::open(Arc::clone(&crash_dyn), JSTART, JBLOCKS).unwrap();
+
+        // Interval capture: wrap flushes by snapshotting pending writes.
+        // CrashDevice drains on flush, so capture before each drain via a
+        // probe sequence: we re-run the commit with a tap.
+        struct Tap {
+            inner: Arc<CrashDevice<Arc<RamDisk>>>,
+            script: Mutex<Vec<Vec<sk_ksim::block::PendingWrite>>>,
+        }
+        impl BlockDevice for Tap {
+            fn num_blocks(&self) -> u64 {
+                self.inner.num_blocks()
+            }
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn read_block(&self, b: u64, buf: &mut [u8]) -> KResult<()> {
+                self.inner.read_block(b, buf)
+            }
+            fn write_block(&self, b: u64, buf: &[u8]) -> KResult<()> {
+                self.inner.write_block(b, buf)
+            }
+            fn flush(&self) -> KResult<()> {
+                self.script.lock().push(self.inner.pending_writes());
+                self.inner.flush()
+            }
+            fn stats(&self) -> sk_ksim::block::DeviceStats {
+                self.inner.stats()
+            }
+        }
+        drop(j);
+        let tap = Arc::new(Tap {
+            inner: Arc::clone(&crash),
+            script: Mutex::new(Vec::new()),
+        });
+        let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+        let j = Journal::open(Arc::clone(&tap_dyn), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(11)), (5, img(12))]).unwrap();
+
+        // Flatten the intervals into one ordered write script; crash points
+        // between barriers are prefixes of each interval appended to all
+        // fully-applied earlier intervals.
+        let script = tap.script.lock().clone();
+        let mut checked = 0;
+        let mut applied_base = base.clone();
+        for interval in &script {
+            for image in crash_images(&applied_base, interval, BLOCK_SIZE, CrashPolicy::Prefixes) {
+                // Recover this crash image on a scratch device.
+                let scratch = Arc::new(RamDisk::new(64));
+                scratch.restore(&image).unwrap();
+                let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+                Journal::recover(&scratch_dyn, JSTART, JBLOCKS).unwrap();
+                let mut b3 = vec![0u8; BLOCK_SIZE];
+                let mut b5 = vec![0u8; BLOCK_SIZE];
+                scratch_dyn.read_block(3, &mut b3).unwrap();
+                scratch_dyn.read_block(5, &mut b5).unwrap();
+                let old = b3[0] == 1 && b5[0] == 2;
+                let new = b3[0] == 11 && b5[0] == 12;
+                assert!(
+                    old || new,
+                    "crash image {checked}: torn state b3={} b5={}",
+                    b3[0],
+                    b5[0]
+                );
+                checked += 1;
+            }
+            // Apply the full interval before moving to the next barrier.
+            for w in interval {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                applied_base[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+        }
+        assert!(checked >= 8, "checked {checked} crash points");
+    }
+}

@@ -1,0 +1,288 @@
+//! On-disk layout of rsfs.
+//!
+//! ```text
+//! block 0                superblock (v2: includes journal geometry)
+//! block 1                block bitmap
+//! block 2                inode bitmap
+//! blocks 3 .. 3+T        inode table (64-byte inodes)
+//! blocks 3+T .. J        data
+//! blocks J .. end        journal region (see `journal`)
+//! ```
+//!
+//! The inode and dirent formats match the cext4 family (nine direct
+//! pointers + one single-indirect; packed `(ino, len, name)` records), but
+//! the implementation here is written in the safe idiom: every decode is
+//! bounds-checked and corruption reports `EUCLEAN` instead of reading on.
+
+use sk_ksim::errno::{Errno, KResult};
+
+/// rsfs magic number.
+pub const MAGIC: u32 = 0x5258_5346; // "RXSF"
+
+/// Block size.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Bytes per on-disk inode.
+pub const INODE_SIZE: usize = 64;
+
+/// Inodes per inode-table block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_SIZE;
+
+/// Direct pointers per inode.
+pub const NDIRECT: usize = 9;
+
+/// Entries in the single-indirect block.
+pub const NINDIRECT: usize = BLOCK_SIZE / 4;
+
+/// Maximum file size.
+pub const MAX_FILE_SIZE: u64 = ((NDIRECT + NINDIRECT) * BLOCK_SIZE) as u64;
+
+/// Superblock block number.
+pub const SB_BLOCK: u64 = 0;
+/// Block bitmap block number.
+pub const BLOCK_BITMAP: u64 = 1;
+/// Inode bitmap block number.
+pub const INODE_BITMAP: u64 = 2;
+/// First inode-table block.
+pub const INODE_TABLE: u64 = 3;
+
+/// Root inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// Inode mode: free slot.
+pub const MODE_FREE: u16 = 0;
+/// Inode mode: regular file.
+pub const MODE_REG: u16 = 1;
+/// Inode mode: directory.
+pub const MODE_DIR: u16 = 2;
+
+/// Parsed rsfs superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Magic; must equal [`MAGIC`].
+    pub magic: u32,
+    /// Total device blocks.
+    pub total_blocks: u32,
+    /// Inode count.
+    pub inode_count: u32,
+    /// First data block.
+    pub data_start: u32,
+    /// First journal block.
+    pub journal_start: u32,
+    /// Journal length in blocks (including the journal superblock).
+    pub journal_blocks: u32,
+}
+
+impl Superblock {
+    /// Designs a layout: `journal_blocks` are carved off the end.
+    pub fn design(total_blocks: u64, inode_count: u32, journal_blocks: u32) -> KResult<Superblock> {
+        let table_blocks = (inode_count as usize).div_ceil(INODES_PER_BLOCK) as u64;
+        let data_start = INODE_TABLE + table_blocks;
+        let journal_start = total_blocks
+            .checked_sub(u64::from(journal_blocks))
+            .ok_or(Errno::EINVAL)?;
+        if journal_blocks < 8
+            || journal_start <= data_start + 1
+            || total_blocks > (BLOCK_SIZE * 8) as u64
+        {
+            return Err(Errno::EINVAL);
+        }
+        Ok(Superblock {
+            magic: MAGIC,
+            total_blocks: total_blocks as u32,
+            inode_count,
+            data_start: data_start as u32,
+            journal_start: journal_start as u32,
+            journal_blocks,
+        })
+    }
+
+    /// Serializes into a block image.
+    pub fn encode(&self, block: &mut [u8]) {
+        block[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        block[4..8].copy_from_slice(&self.total_blocks.to_le_bytes());
+        block[8..12].copy_from_slice(&self.inode_count.to_le_bytes());
+        block[12..16].copy_from_slice(&self.data_start.to_le_bytes());
+        block[16..20].copy_from_slice(&self.journal_start.to_le_bytes());
+        block[20..24].copy_from_slice(&self.journal_blocks.to_le_bytes());
+    }
+
+    /// Parses a block image, verifying the magic and internal consistency.
+    pub fn decode(block: &[u8]) -> KResult<Superblock> {
+        if block.len() < 24 {
+            return Err(Errno::EINVAL);
+        }
+        let sb = Superblock {
+            magic: u32::from_le_bytes(block[0..4].try_into().expect("4 bytes")),
+            total_blocks: u32::from_le_bytes(block[4..8].try_into().expect("4 bytes")),
+            inode_count: u32::from_le_bytes(block[8..12].try_into().expect("4 bytes")),
+            data_start: u32::from_le_bytes(block[12..16].try_into().expect("4 bytes")),
+            journal_start: u32::from_le_bytes(block[16..20].try_into().expect("4 bytes")),
+            journal_blocks: u32::from_le_bytes(block[20..24].try_into().expect("4 bytes")),
+        };
+        if sb.magic != MAGIC {
+            return Err(Errno::EUCLEAN);
+        }
+        if sb.journal_start + sb.journal_blocks != sb.total_blocks
+            || sb.data_start >= sb.journal_start
+        {
+            return Err(Errno::EUCLEAN);
+        }
+        Ok(sb)
+    }
+}
+
+/// Parsed on-disk inode (same wire format as the cext4 family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskInode {
+    /// Mode.
+    pub mode: u16,
+    /// Link count.
+    pub nlink: u16,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time.
+    pub mtime: u64,
+    /// Direct pointers.
+    pub direct: [u32; NDIRECT],
+    /// Single-indirect pointer.
+    pub indirect: u32,
+}
+
+impl DiskInode {
+    /// A zeroed inode.
+    pub fn empty() -> DiskInode {
+        DiskInode {
+            mode: MODE_FREE,
+            nlink: 0,
+            size: 0,
+            mtime: 0,
+            direct: [0; NDIRECT],
+            indirect: 0,
+        }
+    }
+
+    /// Serializes into a 64-byte slot.
+    pub fn encode(&self, slot: &mut [u8]) {
+        slot[0..2].copy_from_slice(&self.mode.to_le_bytes());
+        slot[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        slot[4..8].fill(0);
+        slot[8..16].copy_from_slice(&self.size.to_le_bytes());
+        slot[16..24].copy_from_slice(&self.mtime.to_le_bytes());
+        for (i, d) in self.direct.iter().enumerate() {
+            let o = 24 + i * 4;
+            slot[o..o + 4].copy_from_slice(&d.to_le_bytes());
+        }
+        slot[60..64].copy_from_slice(&self.indirect.to_le_bytes());
+    }
+
+    /// Parses a 64-byte slot.
+    pub fn decode(slot: &[u8]) -> KResult<DiskInode> {
+        if slot.len() < INODE_SIZE {
+            return Err(Errno::EUCLEAN);
+        }
+        let mut direct = [0u32; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            let o = 24 + i * 4;
+            *d = u32::from_le_bytes(slot[o..o + 4].try_into().expect("4 bytes"));
+        }
+        Ok(DiskInode {
+            mode: u16::from_le_bytes(slot[0..2].try_into().expect("2 bytes")),
+            nlink: u16::from_le_bytes(slot[2..4].try_into().expect("2 bytes")),
+            size: u64::from_le_bytes(slot[8..16].try_into().expect("8 bytes")),
+            mtime: u64::from_le_bytes(slot[16..24].try_into().expect("8 bytes")),
+            direct,
+            indirect: u32::from_le_bytes(slot[60..64].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// Appends a directory entry record.
+pub fn dirent_encode(out: &mut Vec<u8>, ino: u64, name: &str) {
+    debug_assert!(name.len() <= 255);
+    out.extend_from_slice(&(ino as u32).to_le_bytes());
+    out.push(name.len() as u8);
+    out.extend_from_slice(name.as_bytes());
+}
+
+/// Parses directory content; every read is bounds-checked.
+pub fn dirent_parse(content: &[u8]) -> KResult<Vec<(u64, String)>> {
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    while off < content.len() {
+        let header = content.get(off..off + 5).ok_or(Errno::EUCLEAN)?;
+        let ino = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as u64;
+        let nlen = header[4] as usize;
+        off += 5;
+        let name_bytes = content.get(off..off + nlen).ok_or(Errno::EUCLEAN)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|_| Errno::EUCLEAN)?
+            .to_string();
+        off += nlen;
+        if ino != 0 {
+            entries.push((ino, name));
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip_with_journal() {
+        let sb = Superblock::design(1024, 256, 64).unwrap();
+        assert_eq!(sb.journal_start, 1024 - 64);
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        sb.encode(&mut blk);
+        assert_eq!(Superblock::decode(&blk).unwrap(), sb);
+    }
+
+    #[test]
+    fn superblock_rejects_inconsistency() {
+        let sb = Superblock::design(1024, 256, 64).unwrap();
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        sb.encode(&mut blk);
+        // Corrupt the journal length.
+        blk[20] = 0xFF;
+        assert_eq!(Superblock::decode(&blk), Err(Errno::EUCLEAN));
+    }
+
+    #[test]
+    fn design_requires_minimum_journal() {
+        assert_eq!(Superblock::design(1024, 64, 4), Err(Errno::EINVAL));
+        assert!(Superblock::design(1024, 64, 8).is_ok());
+    }
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut di = DiskInode::empty();
+        di.mode = MODE_DIR;
+        di.size = 99;
+        di.direct[3] = 17;
+        di.indirect = 1000;
+        let mut slot = vec![0u8; INODE_SIZE];
+        di.encode(&mut slot);
+        assert_eq!(DiskInode::decode(&slot).unwrap(), di);
+        assert_eq!(DiskInode::decode(&slot[..10]), Err(Errno::EUCLEAN));
+    }
+
+    #[test]
+    fn dirent_parse_is_strict() {
+        let mut content = Vec::new();
+        dirent_encode(&mut content, 7, "name");
+        assert_eq!(
+            dirent_parse(&content).unwrap(),
+            vec![(7, "name".to_string())]
+        );
+        // Truncated record: EUCLEAN, never an over-read.
+        assert_eq!(dirent_parse(&content[..6]), Err(Errno::EUCLEAN));
+        // Invalid UTF-8: EUCLEAN.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&7u32.to_le_bytes());
+        bad.push(2);
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(dirent_parse(&bad), Err(Errno::EUCLEAN));
+    }
+}

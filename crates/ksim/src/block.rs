@@ -1,0 +1,658 @@
+//! Block device layer.
+//!
+//! Three devices compose into the substrate the file systems run on:
+//!
+//! - [`RamDisk`]: the "hardware" — a RAM-backed array of fixed-size blocks
+//!   with IO accounting and a simple seek/transfer latency model driven by
+//!   the simulated clock.
+//! - [`FaultyDevice`]: wraps any device and injects deterministic faults
+//!   (read/write `EIO`, torn writes, silent corruption) from a seeded RNG.
+//! - [`CrashDevice`]: wraps any device and models a **volatile write cache**:
+//!   writes land in the cache and only reach the backing device on `flush`.
+//!   A simulated crash discards the cache — and, crucially for §4.4's
+//!   crash-consistency checking, the wrapper can enumerate *every* crash
+//!   point (each prefix of the pending write sequence, plus reorderings) so
+//!   a checker can exhaustively explore what the disk may look like after a
+//!   power failure.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::errno::{Errno, KResult};
+use crate::time::SimClock;
+
+/// Default block size, matching Linux's default page/block size.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Cumulative IO statistics for a device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Number of block reads served.
+    pub reads: u64,
+    /// Number of block writes accepted.
+    pub writes: u64,
+    /// Number of flushes (cache barriers) processed.
+    pub flushes: u64,
+    /// Number of injected IO errors returned to callers.
+    pub io_errors: u64,
+}
+
+/// A block device: fixed-size blocks addressed by index.
+///
+/// All file systems in the workspace — legacy and safe — sit on this trait,
+/// which plays the role of the paper's "unverified block I/O layer" (§4.4).
+/// The axiomatic model of this interface lives in `sk-core::spec::axioms`.
+pub trait BlockDevice: Send + Sync {
+    /// Number of blocks on the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Block size in bytes. Every read/write moves exactly one block.
+    fn block_size(&self) -> usize;
+
+    /// Reads block `blkno` into `buf`.
+    ///
+    /// `buf.len()` must equal [`BlockDevice::block_size`]; short buffers
+    /// return `EINVAL`, out-of-range block numbers return `ENXIO`.
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()>;
+
+    /// Writes `buf` to block `blkno`. Same size/range rules as reads.
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()>;
+
+    /// Write barrier: all previously accepted writes become durable.
+    fn flush(&self) -> KResult<()>;
+
+    /// Returns a snapshot of the device's IO statistics.
+    fn stats(&self) -> DeviceStats;
+}
+
+struct RamDiskInner {
+    data: Vec<u8>,
+    stats: DeviceStats,
+}
+
+/// RAM-backed block device with a seek/transfer latency model.
+///
+/// The latency model exists so benchmarks have a stable notion of "device
+/// time": each read/write advances the shared [`SimClock`] by a fixed
+/// per-operation seek cost plus a per-byte transfer cost.
+pub struct RamDisk {
+    inner: Mutex<RamDiskInner>,
+    num_blocks: u64,
+    block_size: usize,
+    clock: Arc<SimClock>,
+    seek_ns: u64,
+    ns_per_byte: u64,
+    /// Extra simulated cost per block of head travel (0 = flat model).
+    seek_ns_per_block: u64,
+    last_blkno: Mutex<u64>,
+}
+
+impl RamDisk {
+    /// Creates a RAM disk of `num_blocks` blocks of [`BLOCK_SIZE`] bytes.
+    pub fn new(num_blocks: u64) -> Self {
+        Self::with_geometry(num_blocks, BLOCK_SIZE, Arc::new(SimClock::new()))
+    }
+
+    /// Creates a RAM disk with explicit geometry and clock.
+    pub fn with_geometry(num_blocks: u64, block_size: usize, clock: Arc<SimClock>) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        assert!(num_blocks > 0, "device must have at least one block");
+        RamDisk {
+            inner: Mutex::new(RamDiskInner {
+                data: vec![0u8; num_blocks as usize * block_size],
+                stats: DeviceStats::default(),
+            }),
+            num_blocks,
+            block_size,
+            clock,
+            // Defaults loosely modelled on a fast NVMe device: ~10us access,
+            // ~3GB/s transfer. Absolute values only matter relatively.
+            seek_ns: 10_000,
+            ns_per_byte: 1,
+            seek_ns_per_block: 0,
+            last_blkno: Mutex::new(0),
+        }
+    }
+
+    /// Enables a rotational-style seek model: each IO additionally costs
+    /// `ns_per_block` × the head-travel distance from the previous IO.
+    /// Used by the elevator ablation.
+    pub fn set_seek_model(&mut self, ns_per_block: u64) {
+        self.seek_ns_per_block = ns_per_block;
+    }
+
+    fn charge_io(&self, blkno: u64) {
+        let mut cost = self.seek_ns + self.ns_per_byte * self.block_size as u64;
+        if self.seek_ns_per_block > 0 {
+            let mut last = self.last_blkno.lock();
+            cost += self.seek_ns_per_block * blkno.abs_diff(*last);
+            *last = blkno;
+        }
+        self.clock.advance(cost);
+    }
+
+    /// The simulated clock this device charges IO time to.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Returns a full snapshot of the device contents (for crash checking).
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.inner.lock().data.clone()
+    }
+
+    /// Restores a snapshot previously taken with [`RamDisk::snapshot`].
+    ///
+    /// Returns `EINVAL` if the image size does not match the geometry.
+    pub fn restore(&self, image: &[u8]) -> KResult<()> {
+        let mut inner = self.inner.lock();
+        if image.len() != inner.data.len() {
+            return Err(Errno::EINVAL);
+        }
+        inner.data.copy_from_slice(image);
+        Ok(())
+    }
+
+    fn check(&self, blkno: u64, len: usize) -> KResult<usize> {
+        if len != self.block_size {
+            return Err(Errno::EINVAL);
+        }
+        if blkno >= self.num_blocks {
+            return Err(Errno::ENXIO);
+        }
+        Ok(blkno as usize * self.block_size)
+    }
+}
+
+impl BlockDevice for RamDisk {
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        let off = self.check(blkno, buf.len())?;
+        let mut inner = self.inner.lock();
+        buf.copy_from_slice(&inner.data[off..off + self.block_size]);
+        inner.stats.reads += 1;
+        drop(inner);
+        self.charge_io(blkno);
+        Ok(())
+    }
+
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        let off = self.check(blkno, buf.len())?;
+        let mut inner = self.inner.lock();
+        inner.data[off..off + self.block_size].copy_from_slice(buf);
+        inner.stats.writes += 1;
+        drop(inner);
+        self.charge_io(blkno);
+        Ok(())
+    }
+
+    fn flush(&self) -> KResult<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.flushes += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.lock().stats
+    }
+}
+
+/// Configuration for [`FaultyDevice`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability in [0, 1] that a read fails with `EIO`.
+    pub read_error_rate: f64,
+    /// Probability in [0, 1] that a write fails with `EIO`.
+    pub write_error_rate: f64,
+    /// Probability in [0, 1] that a write is *torn*: only a prefix of the
+    /// block reaches the media, the rest keeps its old contents.
+    pub torn_write_rate: f64,
+    /// Probability in [0, 1] that a write is silently corrupted (one byte
+    /// flipped) — models media bit rot for checksum testing.
+    pub corruption_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            torn_write_rate: 0.0,
+            corruption_rate: 0.0,
+        }
+    }
+}
+
+/// Deterministic fault-injecting wrapper around a block device.
+pub struct FaultyDevice<D> {
+    inner: D,
+    config: Mutex<FaultConfig>,
+    rng: Mutex<StdRng>,
+    injected: Mutex<DeviceStats>,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    /// Wraps `inner` with the given fault configuration and RNG seed.
+    pub fn new(inner: D, config: FaultConfig, seed: u64) -> Self {
+        FaultyDevice {
+            inner,
+            config: Mutex::new(config),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            injected: Mutex::new(DeviceStats::default()),
+        }
+    }
+
+    /// Replaces the fault configuration at runtime.
+    pub fn set_config(&self, config: FaultConfig) {
+        *self.config.lock() = config;
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.rng.lock().gen_bool(p.clamp(0.0, 1.0))
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        let rate = self.config.lock().read_error_rate;
+        if self.roll(rate) {
+            self.injected.lock().io_errors += 1;
+            return Err(Errno::EIO);
+        }
+        self.inner.read_block(blkno, buf)
+    }
+
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        let cfg = *self.config.lock();
+        if self.roll(cfg.write_error_rate) {
+            self.injected.lock().io_errors += 1;
+            return Err(Errno::EIO);
+        }
+        if self.roll(cfg.torn_write_rate) {
+            // Tear the write: persist only a random prefix of the block.
+            let bs = self.block_size();
+            let cut = self.rng.lock().gen_range(1..bs);
+            let mut old = vec![0u8; bs];
+            self.inner.read_block(blkno, &mut old)?;
+            old[..cut].copy_from_slice(&buf[..cut]);
+            return self.inner.write_block(blkno, &old);
+        }
+        if self.roll(cfg.corruption_rate) {
+            let bs = self.block_size();
+            let mut corrupted = buf.to_vec();
+            let (idx, bit) = {
+                let mut rng = self.rng.lock();
+                (rng.gen_range(0..bs), rng.gen_range(0..8u8))
+            };
+            corrupted[idx] ^= 1 << bit;
+            return self.inner.write_block(blkno, &corrupted);
+        }
+        self.inner.write_block(blkno, buf)
+    }
+
+    fn flush(&self) -> KResult<()> {
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let mut s = self.inner.stats();
+        s.io_errors += self.injected.lock().io_errors;
+        s
+    }
+}
+
+/// A single write sitting in the volatile cache of a [`CrashDevice`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingWrite {
+    /// Destination block number.
+    pub blkno: u64,
+    /// Full block payload.
+    pub data: Vec<u8>,
+}
+
+struct CrashInner {
+    /// Writes accepted since the last flush, in arrival order.
+    pending: Vec<PendingWrite>,
+    /// Set when `crash()` is called: all IO fails with `EIO` until `recover`.
+    crashed: bool,
+    stats: DeviceStats,
+}
+
+/// Volatile-write-cache wrapper used for crash-consistency checking.
+///
+/// Writes are buffered; `flush` drains them (in order) to the backing
+/// device. [`CrashDevice::crash`] discards the cache and takes the device
+/// offline, modelling power failure. For exhaustive checking,
+/// [`CrashDevice::pending_writes`] exposes the buffered sequence so a checker
+/// can replay every prefix (and, with reordering enabled in the checker,
+/// every admissible subset) onto a snapshot of the backing store.
+pub struct CrashDevice<D> {
+    inner: D,
+    state: Mutex<CrashInner>,
+}
+
+impl<D: BlockDevice> CrashDevice<D> {
+    /// Wraps `inner` with an empty volatile cache.
+    pub fn new(inner: D) -> Self {
+        CrashDevice {
+            inner,
+            state: Mutex::new(CrashInner {
+                pending: Vec::new(),
+                crashed: false,
+                stats: DeviceStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped (durable) device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Returns the writes currently sitting in the volatile cache.
+    pub fn pending_writes(&self) -> Vec<PendingWrite> {
+        self.state.lock().pending.clone()
+    }
+
+    /// Simulates power failure: the volatile cache is lost and the device
+    /// goes offline (all IO returns `EIO`) until [`CrashDevice::recover`].
+    pub fn crash(&self) {
+        let mut st = self.state.lock();
+        st.pending.clear();
+        st.crashed = true;
+    }
+
+    /// Brings the device back online after a crash, cache empty.
+    pub fn recover(&self) {
+        let mut st = self.state.lock();
+        st.pending.clear();
+        st.crashed = false;
+    }
+
+    /// True if the device is currently offline after a crash.
+    pub fn is_crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Number of writes in the volatile cache.
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Errno::EIO);
+        }
+        st.stats.reads += 1;
+        // Reads must observe the cache: newest pending write to this block wins.
+        if let Some(w) = st.pending.iter().rev().find(|w| w.blkno == blkno) {
+            if buf.len() != self.inner.block_size() {
+                return Err(Errno::EINVAL);
+            }
+            if blkno >= self.inner.num_blocks() {
+                return Err(Errno::ENXIO);
+            }
+            buf.copy_from_slice(&w.data);
+            return Ok(());
+        }
+        drop(st);
+        self.inner.read_block(blkno, buf)
+    }
+
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        if buf.len() != self.inner.block_size() {
+            return Err(Errno::EINVAL);
+        }
+        if blkno >= self.inner.num_blocks() {
+            return Err(Errno::ENXIO);
+        }
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(Errno::EIO);
+        }
+        st.stats.writes += 1;
+        st.pending.push(PendingWrite {
+            blkno,
+            data: buf.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn flush(&self) -> KResult<()> {
+        let drained = {
+            let mut st = self.state.lock();
+            if st.crashed {
+                return Err(Errno::EIO);
+            }
+            st.stats.flushes += 1;
+            std::mem::take(&mut st.pending)
+        };
+        for w in drained {
+            self.inner.write_block(w.blkno, &w.data)?;
+        }
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.state.lock().stats
+    }
+}
+
+// `Arc<D>` devices forward transparently so subsystems can share one device.
+impl<D: BlockDevice + ?Sized> BlockDevice for Arc<D> {
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        (**self).read_block(blkno, buf)
+    }
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        (**self).write_block(blkno, buf)
+    }
+    fn flush(&self) -> KResult<()> {
+        (**self).flush()
+    }
+    fn stats(&self) -> DeviceStats {
+        (**self).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramdisk_read_back_what_was_written() {
+        let d = RamDisk::new(8);
+        let mut block = vec![0u8; BLOCK_SIZE];
+        block[0] = 0xAB;
+        block[BLOCK_SIZE - 1] = 0xCD;
+        d.write_block(3, &block).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(3, &mut out).unwrap();
+        assert_eq!(out, block);
+    }
+
+    #[test]
+    fn ramdisk_rejects_bad_geometry() {
+        let d = RamDisk::new(4);
+        let mut small = vec![0u8; 16];
+        assert_eq!(d.read_block(0, &mut small), Err(Errno::EINVAL));
+        let mut ok = vec![0u8; BLOCK_SIZE];
+        assert_eq!(d.read_block(4, &mut ok), Err(Errno::ENXIO));
+        assert_eq!(d.write_block(99, &ok), Err(Errno::ENXIO));
+    }
+
+    #[test]
+    fn ramdisk_counts_io_and_charges_time() {
+        let d = RamDisk::new(4);
+        let t0 = d.clock().now_ns();
+        let buf = vec![0u8; BLOCK_SIZE];
+        d.write_block(0, &buf).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        d.flush().unwrap();
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes, s.flushes), (1, 1, 1));
+        assert!(d.clock().now_ns() > t0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let d = RamDisk::new(2);
+        let mut b = vec![7u8; BLOCK_SIZE];
+        d.write_block(1, &b).unwrap();
+        let snap = d.snapshot();
+        b[0] = 9;
+        d.write_block(1, &b).unwrap();
+        d.restore(&snap).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(1, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        assert_eq!(d.restore(&[0u8; 3]), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn faulty_device_injects_read_errors_deterministically() {
+        let cfg = FaultConfig {
+            read_error_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let d = FaultyDevice::new(RamDisk::new(4), cfg, 42);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert_eq!(d.read_block(0, &mut buf), Err(Errno::EIO));
+        assert!(d.stats().io_errors >= 1);
+    }
+
+    #[test]
+    fn faulty_device_torn_write_persists_prefix_only() {
+        let cfg = FaultConfig {
+            torn_write_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let d = FaultyDevice::new(RamDisk::new(4), cfg, 7);
+        let ones = vec![1u8; BLOCK_SIZE];
+        d.write_block(0, &ones).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.inner().read_block(0, &mut out).unwrap();
+        assert_eq!(out[0], 1, "some prefix must have landed");
+        assert_eq!(out[BLOCK_SIZE - 1], 0, "the tail must be old data");
+    }
+
+    #[test]
+    fn faulty_device_corruption_flips_one_bit() {
+        let cfg = FaultConfig {
+            corruption_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let d = FaultyDevice::new(RamDisk::new(4), cfg, 3);
+        let zeros = vec![0u8; BLOCK_SIZE];
+        d.write_block(0, &zeros).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.inner().read_block(0, &mut out).unwrap();
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn crash_device_loses_unflushed_writes() {
+        let d = CrashDevice::new(RamDisk::new(4));
+        let ones = vec![1u8; BLOCK_SIZE];
+        d.write_block(0, &ones).unwrap();
+        assert_eq!(d.pending_len(), 1);
+        d.crash();
+        d.recover();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        assert_eq!(out[0], 0, "unflushed write must be gone");
+    }
+
+    #[test]
+    fn crash_device_flush_makes_writes_durable() {
+        let d = CrashDevice::new(RamDisk::new(4));
+        let ones = vec![1u8; BLOCK_SIZE];
+        d.write_block(0, &ones).unwrap();
+        d.flush().unwrap();
+        d.crash();
+        d.recover();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn crash_device_reads_observe_cache() {
+        let d = CrashDevice::new(RamDisk::new(4));
+        let ones = vec![1u8; BLOCK_SIZE];
+        let twos = vec![2u8; BLOCK_SIZE];
+        d.write_block(0, &ones).unwrap();
+        d.write_block(0, &twos).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        assert_eq!(out[0], 2, "newest pending write wins");
+    }
+
+    #[test]
+    fn crash_device_offline_until_recover() {
+        let d = CrashDevice::new(RamDisk::new(4));
+        d.crash();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        assert_eq!(d.read_block(0, &mut out), Err(Errno::EIO));
+        assert_eq!(d.write_block(0, &out), Err(Errno::EIO));
+        assert_eq!(d.flush(), Err(Errno::EIO));
+        assert!(d.is_crashed());
+        d.recover();
+        assert!(d.read_block(0, &mut out).is_ok());
+    }
+
+    #[test]
+    fn pending_writes_exposed_in_order() {
+        let d = CrashDevice::new(RamDisk::new(8));
+        for i in 0..3u64 {
+            let b = vec![i as u8; BLOCK_SIZE];
+            d.write_block(i, &b).unwrap();
+        }
+        let pend = d.pending_writes();
+        assert_eq!(pend.len(), 3);
+        assert_eq!(pend[0].blkno, 0);
+        assert_eq!(pend[2].blkno, 2);
+        assert_eq!(pend[1].data[0], 1);
+    }
+}

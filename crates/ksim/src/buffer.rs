@@ -1,0 +1,705 @@
+//! Buffer cache with Linux `buffer_head` state flags.
+//!
+//! The paper's §4.4 singles out `buffer_head` as its example of complex
+//! interface semantics: "includes 16 state flags … set independently,
+//! resulting in many possible combinations of states. Not all of the
+//! combinations are valid, but even determining which are can be
+//! complicated." This module reproduces that interface: a write-back buffer
+//! cache whose buffers carry the sixteen flags, set independently by file
+//! systems and the journal, plus a [`BufferHead::validate`] routine encoding
+//! the legal-combination rules — the machine-checkable fragment of the
+//! specification the paper says a verified file system would need.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::BlockDevice;
+use crate::errno::KResult;
+
+/// The sixteen `buffer_head` state flags (names follow Linux's
+/// `enum bh_state_bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+#[allow(missing_docs)]
+pub enum BhFlag {
+    Uptodate = 1 << 0,
+    Dirty = 1 << 1,
+    Lock = 1 << 2,
+    Req = 1 << 3,
+    Mapped = 1 << 4,
+    New = 1 << 5,
+    AsyncRead = 1 << 6,
+    AsyncWrite = 1 << 7,
+    Delay = 1 << 8,
+    Boundary = 1 << 9,
+    WriteEio = 1 << 10,
+    Unwritten = 1 << 11,
+    Quiet = 1 << 12,
+    Meta = 1 << 13,
+    Prio = 1 << 14,
+    DeferCompletion = 1 << 15,
+}
+
+/// All sixteen flags, for exhaustive enumeration in tests and the study.
+pub const ALL_FLAGS: [BhFlag; 16] = [
+    BhFlag::Uptodate,
+    BhFlag::Dirty,
+    BhFlag::Lock,
+    BhFlag::Req,
+    BhFlag::Mapped,
+    BhFlag::New,
+    BhFlag::AsyncRead,
+    BhFlag::AsyncWrite,
+    BhFlag::Delay,
+    BhFlag::Boundary,
+    BhFlag::WriteEio,
+    BhFlag::Unwritten,
+    BhFlag::Quiet,
+    BhFlag::Meta,
+    BhFlag::Prio,
+    BhFlag::DeferCompletion,
+];
+
+/// A packed set of [`BhFlag`]s.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferState(pub u16);
+
+impl BufferState {
+    /// The empty state.
+    pub const EMPTY: BufferState = BufferState(0);
+
+    /// True if `flag` is set.
+    pub fn has(self, flag: BhFlag) -> bool {
+        self.0 & flag as u16 != 0
+    }
+
+    /// Returns the state with `flag` set.
+    #[must_use]
+    pub fn with(self, flag: BhFlag) -> BufferState {
+        BufferState(self.0 | flag as u16)
+    }
+
+    /// Returns the state with `flag` cleared.
+    #[must_use]
+    pub fn without(self, flag: BhFlag) -> BufferState {
+        BufferState(self.0 & !(flag as u16))
+    }
+}
+
+/// A violated `buffer_head` flag invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagViolation {
+    /// `Dirty` without `Uptodate`: modified contents that were never valid.
+    DirtyNotUptodate,
+    /// `Dirty` without `Mapped`: nothing to write the buffer back to.
+    DirtyNotMapped,
+    /// `Unwritten` without `Mapped`: an unwritten extent must be mapped.
+    UnwrittenNotMapped,
+    /// `New` without `Mapped`: `New` marks a freshly mapped block.
+    NewNotMapped,
+    /// `AsyncRead` without `Lock`: IO in flight must hold the buffer lock.
+    AsyncReadNotLocked,
+    /// `AsyncWrite` without `Lock`.
+    AsyncWriteNotLocked,
+    /// `AsyncRead` and `AsyncWrite` simultaneously.
+    ReadWriteRace,
+    /// `Unwritten` and `Dirty` simultaneously (ext4 converts before dirtying).
+    DirtyUnwritten,
+}
+
+/// Checks the legal-combination rules for a flag state.
+///
+/// These eight rules are the subset of `buffer_head` semantics that the
+/// workspace's file systems and journal rely on; they correspond to the
+/// axioms the §4.4 "axiomatic model of unverified code" exports.
+pub fn validate_state(s: BufferState) -> Result<(), FlagViolation> {
+    use BhFlag::*;
+    if s.has(Dirty) && !s.has(Uptodate) {
+        return Err(FlagViolation::DirtyNotUptodate);
+    }
+    if s.has(Dirty) && !s.has(Mapped) {
+        return Err(FlagViolation::DirtyNotMapped);
+    }
+    if s.has(Unwritten) && !s.has(Mapped) {
+        return Err(FlagViolation::UnwrittenNotMapped);
+    }
+    if s.has(New) && !s.has(Mapped) {
+        return Err(FlagViolation::NewNotMapped);
+    }
+    if s.has(AsyncRead) && !s.has(Lock) {
+        return Err(FlagViolation::AsyncReadNotLocked);
+    }
+    if s.has(AsyncWrite) && !s.has(Lock) {
+        return Err(FlagViolation::AsyncWriteNotLocked);
+    }
+    if s.has(AsyncRead) && s.has(AsyncWrite) {
+        return Err(FlagViolation::ReadWriteRace);
+    }
+    if s.has(Unwritten) && s.has(Dirty) {
+        return Err(FlagViolation::DirtyUnwritten);
+    }
+    Ok(())
+}
+
+/// In-memory state of one cached block.
+#[derive(Debug)]
+pub struct BufferHead {
+    /// The block this buffer shadows.
+    pub blkno: u64,
+    /// Block contents.
+    pub data: Vec<u8>,
+    /// Packed flag state.
+    pub state: BufferState,
+}
+
+impl BufferHead {
+    /// Validates the flag combination currently set on this buffer.
+    pub fn validate(&self) -> Result<(), FlagViolation> {
+        validate_state(self.state)
+    }
+}
+
+/// A cached buffer; shared between the cache and its users.
+pub struct Buffer {
+    blkno: u64,
+    head: Mutex<BufferHead>,
+}
+
+impl Buffer {
+    /// The block number this buffer shadows.
+    pub fn blkno(&self) -> u64 {
+        self.blkno
+    }
+
+    /// Runs `f` over the buffer contents.
+    pub fn read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        f(&self.head.lock().data)
+    }
+
+    /// Runs `f` over mutable contents and marks the buffer dirty
+    /// (`Dirty | Uptodate | Mapped`), clearing `New`.
+    pub fn write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut h = self.head.lock();
+        let r = f(&mut h.data);
+        h.state = h
+            .state
+            .with(BhFlag::Uptodate)
+            .with(BhFlag::Mapped)
+            .with(BhFlag::Dirty)
+            .without(BhFlag::New);
+        r
+    }
+
+    /// Current flag state.
+    pub fn state(&self) -> BufferState {
+        self.head.lock().state
+    }
+
+    /// Sets a flag (raw access for legacy code and the journal).
+    pub fn set_flag(&self, flag: BhFlag) {
+        let mut h = self.head.lock();
+        h.state = h.state.with(flag);
+    }
+
+    /// Clears a flag.
+    pub fn clear_flag(&self, flag: BhFlag) {
+        let mut h = self.head.lock();
+        h.state = h.state.without(flag);
+    }
+
+    /// Tests a flag.
+    pub fn test_flag(&self, flag: BhFlag) -> bool {
+        self.head.lock().state.has(flag)
+    }
+
+    /// Validates the current flag combination.
+    pub fn validate(&self) -> Result<(), FlagViolation> {
+        self.head.lock().validate()
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that went to the device.
+    pub misses: u64,
+    /// Dirty buffers written back.
+    pub writebacks: u64,
+    /// Clean buffers evicted to stay under capacity.
+    pub evictions: u64,
+    /// Blocks prefetched by sequential readahead.
+    pub readaheads: u64,
+}
+
+struct CacheInner {
+    map: HashMap<u64, Arc<Buffer>>,
+    /// LRU order, least-recent first.
+    lru: Vec<u64>,
+    stats: CacheStats,
+    /// Recent stream cursors (sequential-pattern detector; one slot per
+    /// concurrent sequential stream, as Linux keeps per-file readahead
+    /// state).
+    stream_cursors: [u64; 4],
+    /// Round-robin eviction index for `stream_cursors`.
+    cursor_clock: usize,
+    /// Prefetch depth; 0 disables readahead.
+    readahead: usize,
+}
+
+/// A write-back buffer cache over a block device.
+pub struct BufferCache {
+    dev: Arc<dyn BlockDevice>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl BufferCache {
+    /// Creates a cache of at most `capacity` buffers over `dev`.
+    pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize) -> Self {
+        BufferCache {
+            dev,
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: Vec::new(),
+                stats: CacheStats::default(),
+                stream_cursors: [u64::MAX; 4],
+                cursor_clock: 0,
+                readahead: 0,
+            }),
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+
+    /// Enables sequential readahead: when `bread` detects a sequential
+    /// pattern (block N follows block N-1), the next `depth` blocks are
+    /// prefetched. `0` disables.
+    pub fn set_readahead(&self, depth: usize) {
+        self.inner.lock().readahead = depth;
+    }
+
+    fn touch(inner: &mut CacheInner, blkno: u64) {
+        if let Some(pos) = inner.lru.iter().position(|&b| b == blkno) {
+            inner.lru.remove(pos);
+        }
+        inner.lru.push(blkno);
+    }
+
+    /// Evicts clean, unreferenced buffers until the cache fits its capacity.
+    /// Dirty buffers are written back first; buffers still referenced
+    /// elsewhere are skipped.
+    fn shrink(&self, inner: &mut CacheInner) -> KResult<()> {
+        let mut idx = 0;
+        while inner.map.len() > self.capacity && idx < inner.lru.len() {
+            let blkno = inner.lru[idx];
+            let buf = match inner.map.get(&blkno) {
+                Some(b) => Arc::clone(b),
+                None => {
+                    inner.lru.remove(idx);
+                    continue;
+                }
+            };
+            // Two strong refs: the map's and ours.
+            if Arc::strong_count(&buf) > 2 {
+                idx += 1;
+                continue;
+            }
+            if buf.test_flag(BhFlag::Dirty) {
+                self.writeback(&buf, inner)?;
+            }
+            inner.map.remove(&blkno);
+            inner.lru.remove(idx);
+            inner.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    fn writeback(&self, buf: &Buffer, inner: &mut CacheInner) -> KResult<()> {
+        let data = {
+            let mut h = buf.head.lock();
+            h.state = h.state.with(BhFlag::Lock).with(BhFlag::AsyncWrite);
+            h.data.clone()
+        };
+        let res = self.dev.write_block(buf.blkno(), &data);
+        let mut h = buf.head.lock();
+        h.state = h.state.without(BhFlag::AsyncWrite).without(BhFlag::Lock);
+        match res {
+            Ok(()) => {
+                h.state = h.state.without(BhFlag::Dirty).with(BhFlag::Req);
+                inner.stats.writebacks += 1;
+                Ok(())
+            }
+            Err(e) => {
+                h.state = h.state.with(BhFlag::WriteEio);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reads block `blkno` through the cache (`bread` in Linux terms):
+    /// the returned buffer is `Uptodate | Mapped`.
+    pub fn bread(&self, blkno: u64) -> KResult<Arc<Buffer>> {
+        let mut inner = self.inner.lock();
+        if let Some(buf) = inner.map.get(&blkno).cloned() {
+            inner.stats.hits += 1;
+            Self::touch(&mut inner, blkno);
+            if buf.test_flag(BhFlag::Uptodate) {
+                return Ok(buf);
+            }
+            // Cached but not uptodate (getblk'd earlier): read it in.
+            let mut data = vec![0u8; self.dev.block_size()];
+            self.dev.read_block(blkno, &mut data)?;
+            let mut h = buf.head.lock();
+            h.data = data;
+            h.state = h.state.with(BhFlag::Uptodate).with(BhFlag::Mapped);
+            drop(h);
+            return Ok(buf);
+        }
+        inner.stats.misses += 1;
+        let mut data = vec![0u8; self.dev.block_size()];
+        self.dev.read_block(blkno, &mut data)?;
+        let buf = Arc::new(Buffer {
+            blkno,
+            head: Mutex::new(BufferHead {
+                blkno,
+                data,
+                state: BufferState::EMPTY
+                    .with(BhFlag::Uptodate)
+                    .with(BhFlag::Mapped)
+                    .with(BhFlag::Req),
+            }),
+        });
+        inner.map.insert(blkno, Arc::clone(&buf));
+        Self::touch(&mut inner, blkno);
+        // Sequential readahead: prefetch the blocks that are about to be
+        // asked for, while the "head" is in the neighbourhood. A block
+        // continues whichever stream it extends; otherwise it starts a new
+        // stream in a round-robin slot.
+        let sequential = match inner
+            .stream_cursors
+            .iter()
+            .position(|&c| c != u64::MAX && blkno == c + 1)
+        {
+            Some(slot) => {
+                inner.stream_cursors[slot] = blkno;
+                true
+            }
+            None => {
+                let slot = inner.cursor_clock;
+                inner.cursor_clock = (inner.cursor_clock + 1) % inner.stream_cursors.len();
+                inner.stream_cursors[slot] = blkno;
+                false
+            }
+        };
+        let depth = if sequential { inner.readahead } else { 0 };
+        for ahead in 0..depth as u64 {
+            let next = blkno + 1 + ahead;
+            if next >= self.dev.num_blocks() || inner.map.contains_key(&next) {
+                break;
+            }
+            let mut data = vec![0u8; self.dev.block_size()];
+            if self.dev.read_block(next, &mut data).is_err() {
+                break;
+            }
+            let pre = Arc::new(Buffer {
+                blkno: next,
+                head: Mutex::new(BufferHead {
+                    blkno: next,
+                    data,
+                    state: BufferState::EMPTY
+                        .with(BhFlag::Uptodate)
+                        .with(BhFlag::Mapped)
+                        .with(BhFlag::Req),
+                }),
+            });
+            inner.map.insert(next, pre);
+            Self::touch(&mut inner, next);
+            inner.stats.readaheads += 1;
+        }
+        self.shrink(&mut inner)?;
+        Ok(buf)
+    }
+
+    /// Gets a buffer for `blkno` without reading the device (`getblk`):
+    /// contents are zeroed and the buffer is `Mapped | New`, not `Uptodate`.
+    pub fn getblk(&self, blkno: u64) -> KResult<Arc<Buffer>> {
+        let mut inner = self.inner.lock();
+        if let Some(buf) = inner.map.get(&blkno).cloned() {
+            inner.stats.hits += 1;
+            Self::touch(&mut inner, blkno);
+            return Ok(buf);
+        }
+        inner.stats.misses += 1;
+        let buf = Arc::new(Buffer {
+            blkno,
+            head: Mutex::new(BufferHead {
+                blkno,
+                data: vec![0u8; self.dev.block_size()],
+                state: BufferState::EMPTY.with(BhFlag::Mapped).with(BhFlag::New),
+            }),
+        });
+        inner.map.insert(blkno, Arc::clone(&buf));
+        Self::touch(&mut inner, blkno);
+        self.shrink(&mut inner)?;
+        Ok(buf)
+    }
+
+    /// Writes back one block if it is cached and dirty.
+    pub fn sync_block(&self, blkno: u64) -> KResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(buf) = inner.map.get(&blkno).cloned() {
+            if buf.test_flag(BhFlag::Dirty) {
+                self.writeback(&buf, &mut inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty buffer (ascending block order, for
+    /// determinism) and issues a device flush barrier.
+    pub fn sync_all(&self) -> KResult<()> {
+        let mut inner = self.inner.lock();
+        let mut dirty: Vec<Arc<Buffer>> = inner
+            .map
+            .values()
+            .filter(|b| b.test_flag(BhFlag::Dirty))
+            .cloned()
+            .collect();
+        dirty.sort_by_key(|b| b.blkno());
+        for buf in dirty {
+            self.writeback(&buf, &mut inner)?;
+        }
+        drop(inner);
+        self.dev.flush()
+    }
+
+    /// Drops every cached buffer without writeback (used after a simulated
+    /// crash, when cached state is by definition lost).
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.lru.clear();
+    }
+
+    /// Number of buffers currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if the cache holds no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Validates the flag state of every cached buffer, returning the block
+    /// numbers (with violations) that fail.
+    pub fn validate_all(&self) -> Vec<(u64, FlagViolation)> {
+        let inner = self.inner.lock();
+        let mut bad: Vec<(u64, FlagViolation)> = inner
+            .map
+            .values()
+            .filter_map(|b| b.validate().err().map(|v| (b.blkno(), v)))
+            .collect();
+        bad.sort_by_key(|&(b, _)| b);
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{RamDisk, BLOCK_SIZE};
+
+    fn cache(blocks: u64, cap: usize) -> BufferCache {
+        BufferCache::new(Arc::new(RamDisk::new(blocks)), cap)
+    }
+
+    #[test]
+    fn bread_sets_uptodate_mapped() {
+        let c = cache(8, 4);
+        let b = c.bread(0).unwrap();
+        assert!(b.test_flag(BhFlag::Uptodate));
+        assert!(b.test_flag(BhFlag::Mapped));
+        assert!(!b.test_flag(BhFlag::Dirty));
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn getblk_is_new_not_uptodate() {
+        let c = cache(8, 4);
+        let b = c.getblk(1).unwrap();
+        assert!(b.test_flag(BhFlag::New));
+        assert!(!b.test_flag(BhFlag::Uptodate));
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn write_marks_dirty_and_sync_writes_back() {
+        let c = cache(8, 4);
+        let b = c.bread(2).unwrap();
+        b.write(|d| d[0] = 0xEE);
+        assert!(b.test_flag(BhFlag::Dirty));
+        c.sync_all().unwrap();
+        assert!(!b.test_flag(BhFlag::Dirty));
+        let mut out = vec![0u8; BLOCK_SIZE];
+        c.device().read_block(2, &mut out).unwrap();
+        assert_eq!(out[0], 0xEE);
+    }
+
+    #[test]
+    fn cache_hits_counted() {
+        let c = cache(8, 4);
+        c.bread(0).unwrap();
+        c.bread(0).unwrap();
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_writes_back_dirty() {
+        let c = cache(16, 2);
+        for i in 0..4u64 {
+            let b = c.bread(i).unwrap();
+            b.write(|d| d[0] = i as u8);
+            drop(b);
+        }
+        assert!(c.len() <= 2);
+        assert!(c.stats().evictions >= 2);
+        // Evicted dirty data must have reached the device.
+        let mut out = vec![0u8; BLOCK_SIZE];
+        c.device().read_block(0, &mut out).unwrap();
+        assert_eq!(out[0], 0);
+        c.device().read_block(1, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn referenced_buffers_not_evicted() {
+        let c = cache(16, 2);
+        let held = c.bread(0).unwrap();
+        for i in 1..5u64 {
+            c.bread(i).unwrap();
+        }
+        // Buffer 0 is still reachable through `held` and must stay cached.
+        let again = c.bread(0).unwrap();
+        assert!(Arc::ptr_eq(&held, &again));
+    }
+
+    #[test]
+    fn getblk_then_bread_reads_device() {
+        let c = cache(8, 4);
+        // Write directly to the device, then getblk (no read), then bread.
+        let mut raw = vec![0u8; BLOCK_SIZE];
+        raw[0] = 7;
+        c.device().write_block(3, &raw).unwrap();
+        let g = c.getblk(3).unwrap();
+        assert!(!g.test_flag(BhFlag::Uptodate));
+        let b = c.bread(3).unwrap();
+        assert!(b.test_flag(BhFlag::Uptodate));
+        assert_eq!(b.read(|d| d[0]), 7);
+    }
+
+    #[test]
+    fn validate_rejects_illegal_combinations() {
+        use BhFlag::*;
+        let bad = BufferState::EMPTY.with(Dirty).with(Mapped);
+        assert_eq!(validate_state(bad), Err(FlagViolation::DirtyNotUptodate));
+        let bad = BufferState::EMPTY.with(Dirty).with(Uptodate);
+        assert_eq!(validate_state(bad), Err(FlagViolation::DirtyNotMapped));
+        let bad = BufferState::EMPTY.with(AsyncRead);
+        assert_eq!(validate_state(bad), Err(FlagViolation::AsyncReadNotLocked));
+        let bad = BufferState::EMPTY
+            .with(AsyncRead)
+            .with(AsyncWrite)
+            .with(Lock);
+        assert_eq!(validate_state(bad), Err(FlagViolation::ReadWriteRace));
+        let ok = BufferState::EMPTY.with(Uptodate).with(Mapped).with(Dirty);
+        assert_eq!(validate_state(ok), Ok(()));
+    }
+
+    #[test]
+    fn validate_all_reports_bad_buffers() {
+        let c = cache(8, 4);
+        let b = c.bread(1).unwrap();
+        // Force an illegal combination through the raw flag API.
+        b.set_flag(BhFlag::AsyncWrite);
+        let bad = c.validate_all();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, 1);
+        assert_eq!(bad[0].1, FlagViolation::AsyncWriteNotLocked);
+    }
+
+    #[test]
+    fn flag_set_has_sixteen_distinct_bits() {
+        let mut seen = std::collections::HashSet::new();
+        for f in ALL_FLAGS {
+            assert!(seen.insert(f as u16));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn readahead_prefetches_sequential_runs() {
+        let c = cache(64, 32);
+        c.set_readahead(4);
+        // Random access: no prefetch.
+        c.bread(10).unwrap();
+        c.bread(30).unwrap();
+        assert_eq!(c.stats().readaheads, 0);
+        // Sequential: 30 then 31 triggers prefetch of 32..=35.
+        c.bread(31).unwrap();
+        assert_eq!(c.stats().readaheads, 4);
+        let misses_before = c.stats().misses;
+        c.bread(32).unwrap();
+        c.bread(33).unwrap();
+        assert_eq!(c.stats().misses, misses_before, "prefetched blocks hit");
+        // Prefetched buffers carry a valid flag state.
+        assert!(c.validate_all().is_empty());
+    }
+
+    #[test]
+    fn readahead_tracks_interleaved_streams() {
+        // Two sequential streams, interleaved — per-stream cursors keep
+        // both hot (the single-cursor design loses both).
+        let c = cache(2048, 64);
+        c.set_readahead(4);
+        c.bread(0).unwrap();
+        c.bread(1000).unwrap();
+        c.bread(1).unwrap(); // continues stream A
+        c.bread(1001).unwrap(); // continues stream B
+        assert_eq!(c.stats().readaheads, 8, "both streams prefetched");
+    }
+
+    #[test]
+    fn readahead_respects_device_end() {
+        let c = cache(8, 8);
+        c.set_readahead(8);
+        c.bread(6).unwrap();
+        c.bread(7).unwrap(); // sequential at the last block
+        assert_eq!(c.stats().readaheads, 0, "nothing past the end");
+    }
+
+    #[test]
+    fn invalidate_clears_cache() {
+        let c = cache(8, 4);
+        c.bread(0).unwrap();
+        c.bread(1).unwrap();
+        assert_eq!(c.len(), 2);
+        c.invalidate();
+        assert!(c.is_empty());
+    }
+}

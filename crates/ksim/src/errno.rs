@@ -1,0 +1,228 @@
+//! Linux-style error numbers.
+//!
+//! The kernel's C interfaces report failure as negative `errno` values, often
+//! punned into pointers (`ERR_PTR`). The safe interfaces in this workspace
+//! use [`KResult`] instead; the legacy emulation in `sk-legacy` reproduces the
+//! punning on top of this enum.
+
+use std::fmt;
+
+/// A Linux-style error number.
+///
+/// The numeric values match the classic Linux `errno` assignments so that the
+/// legacy `ERR_PTR` emulation can pun them into machine words the same way
+/// the kernel does (`(void *)-ENOENT` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+#[allow(missing_docs)]
+pub enum Errno {
+    EPERM = 1,
+    ENOENT = 2,
+    EIO = 5,
+    ENXIO = 6,
+    EBADF = 9,
+    EAGAIN = 11,
+    ENOMEM = 12,
+    EACCES = 13,
+    EFAULT = 14,
+    EBUSY = 16,
+    EEXIST = 17,
+    ENODEV = 19,
+    ENOTDIR = 20,
+    EISDIR = 21,
+    EINVAL = 22,
+    ENFILE = 23,
+    EMFILE = 24,
+    EFBIG = 27,
+    ENOSPC = 28,
+    ESPIPE = 29,
+    EROFS = 30,
+    EMLINK = 31,
+    EPIPE = 32,
+    ERANGE = 34,
+    ENAMETOOLONG = 36,
+    ENOSYS = 38,
+    ENOTEMPTY = 39,
+    EOVERFLOW = 75,
+    EBADMSG = 74,
+    EPROTO = 71,
+    ENOTSOCK = 88,
+    EPROTONOSUPPORT = 93,
+    EADDRINUSE = 98,
+    EADDRNOTAVAIL = 99,
+    ENETUNREACH = 101,
+    ECONNRESET = 104,
+    ENOBUFS = 105,
+    EISCONN = 106,
+    ENOTCONN = 107,
+    ETIMEDOUT = 110,
+    ECONNREFUSED = 111,
+    EALREADY = 114,
+    EINPROGRESS = 115,
+    ESTALE = 116,
+    EUCLEAN = 117,
+}
+
+impl Errno {
+    /// Returns the numeric errno value (positive, as in `errno.h`).
+    pub const fn as_i32(self) -> i32 {
+        self as i32
+    }
+
+    /// Reconstructs an [`Errno`] from its numeric value.
+    ///
+    /// Unknown values map to [`Errno::EINVAL`]; the legacy `ERR_PTR` decoder
+    /// relies on this being total.
+    pub fn from_i32(v: i32) -> Errno {
+        use Errno::*;
+        match v {
+            1 => EPERM,
+            2 => ENOENT,
+            5 => EIO,
+            6 => ENXIO,
+            9 => EBADF,
+            11 => EAGAIN,
+            12 => ENOMEM,
+            13 => EACCES,
+            14 => EFAULT,
+            16 => EBUSY,
+            17 => EEXIST,
+            19 => ENODEV,
+            20 => ENOTDIR,
+            21 => EISDIR,
+            22 => EINVAL,
+            23 => ENFILE,
+            24 => EMFILE,
+            27 => EFBIG,
+            28 => ENOSPC,
+            29 => ESPIPE,
+            30 => EROFS,
+            31 => EMLINK,
+            32 => EPIPE,
+            34 => ERANGE,
+            36 => ENAMETOOLONG,
+            38 => ENOSYS,
+            39 => ENOTEMPTY,
+            71 => EPROTO,
+            74 => EBADMSG,
+            75 => EOVERFLOW,
+            88 => ENOTSOCK,
+            93 => EPROTONOSUPPORT,
+            98 => EADDRINUSE,
+            99 => EADDRNOTAVAIL,
+            101 => ENETUNREACH,
+            104 => ECONNRESET,
+            105 => ENOBUFS,
+            106 => EISCONN,
+            107 => ENOTCONN,
+            110 => ETIMEDOUT,
+            111 => ECONNREFUSED,
+            114 => EALREADY,
+            115 => EINPROGRESS,
+            116 => ESTALE,
+            117 => EUCLEAN,
+            _ => EINVAL,
+        }
+    }
+
+    /// The symbolic name, e.g. `"ENOENT"`.
+    pub fn name(self) -> &'static str {
+        use Errno::*;
+        match self {
+            EPERM => "EPERM",
+            ENOENT => "ENOENT",
+            EIO => "EIO",
+            ENXIO => "ENXIO",
+            EBADF => "EBADF",
+            EAGAIN => "EAGAIN",
+            ENOMEM => "ENOMEM",
+            EACCES => "EACCES",
+            EFAULT => "EFAULT",
+            EBUSY => "EBUSY",
+            EEXIST => "EEXIST",
+            ENODEV => "ENODEV",
+            ENOTDIR => "ENOTDIR",
+            EISDIR => "EISDIR",
+            EINVAL => "EINVAL",
+            ENFILE => "ENFILE",
+            EMFILE => "EMFILE",
+            EFBIG => "EFBIG",
+            ENOSPC => "ENOSPC",
+            ESPIPE => "ESPIPE",
+            EROFS => "EROFS",
+            EMLINK => "EMLINK",
+            EPIPE => "EPIPE",
+            ERANGE => "ERANGE",
+            ENAMETOOLONG => "ENAMETOOLONG",
+            ENOSYS => "ENOSYS",
+            ENOTEMPTY => "ENOTEMPTY",
+            EOVERFLOW => "EOVERFLOW",
+            EBADMSG => "EBADMSG",
+            EPROTO => "EPROTO",
+            ENOTSOCK => "ENOTSOCK",
+            EPROTONOSUPPORT => "EPROTONOSUPPORT",
+            EADDRINUSE => "EADDRINUSE",
+            EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            ENETUNREACH => "ENETUNREACH",
+            ECONNRESET => "ECONNRESET",
+            ENOBUFS => "ENOBUFS",
+            EISCONN => "EISCONN",
+            ENOTCONN => "ENOTCONN",
+            ETIMEDOUT => "ETIMEDOUT",
+            ECONNREFUSED => "ECONNREFUSED",
+            EALREADY => "EALREADY",
+            EINPROGRESS => "EINPROGRESS",
+            ESTALE => "ESTALE",
+            EUCLEAN => "EUCLEAN",
+        }
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.as_i32())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Result type used by every safe interface in the workspace.
+///
+/// This is the paper's Step-2 replacement for `ERR_PTR`-style punning: a sum
+/// type that can hold either valid data or an error, so no caller ever has to
+/// remember to `IS_ERR()`-check a pointer.
+pub type KResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_errnos() {
+        for v in 1..=120 {
+            let e = Errno::from_i32(v);
+            // Every known errno must roundtrip; unknown values collapse to EINVAL.
+            if e.as_i32() == v {
+                assert_eq!(Errno::from_i32(e.as_i32()), e);
+            } else {
+                assert_eq!(e, Errno::EINVAL);
+            }
+        }
+    }
+
+    #[test]
+    fn display_contains_name_and_number() {
+        let s = format!("{}", Errno::ENOENT);
+        assert!(s.contains("ENOENT"));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn known_values_match_linux() {
+        assert_eq!(Errno::ENOENT.as_i32(), 2);
+        assert_eq!(Errno::EIO.as_i32(), 5);
+        assert_eq!(Errno::EINVAL.as_i32(), 22);
+        assert_eq!(Errno::ENOSPC.as_i32(), 28);
+        assert_eq!(Errno::ECONNRESET.as_i32(), 104);
+    }
+}

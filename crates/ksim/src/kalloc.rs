@@ -1,0 +1,340 @@
+//! Kernel object arena with generational handles.
+//!
+//! Linux kernel objects live in slab caches and are referenced by raw
+//! pointers; use-after-free and double-free are therefore silent until they
+//! corrupt something. This arena gives every object a slot plus a
+//! **generation counter**: freeing a slot bumps the generation, so any stale
+//! handle presented later is *detected* as [`AccessError::UseAfterFree`]
+//! rather than silently reading recycled memory. The `sk-legacy` crate builds
+//! its `void *` emulation on these handles, which is what lets the empirical
+//! bug study count "this bug manifested" events without committing UB.
+//!
+//! Objects are stored type-erased (`dyn Any`); typed accessors return
+//! [`AccessError::TypeConfusion`] on a mismatched downcast, the arena-level
+//! analogue of casting a `void *` to the wrong struct.
+
+use std::any::{type_name, Any, TypeId};
+
+use parking_lot::Mutex;
+
+/// An untyped handle to an arena object: slot index + generation.
+///
+/// Handles are `Copy` on purpose — like raw pointers, they can be duplicated
+/// freely and may dangle; the arena detects dangling use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef {
+    slot: u32,
+    generation: u32,
+}
+
+impl ObjRef {
+    /// A handle that never resolves, the arena's `NULL`.
+    pub const NULL: ObjRef = ObjRef {
+        slot: u32::MAX,
+        generation: u32::MAX,
+    };
+
+    /// True if this is the null handle.
+    pub fn is_null(self) -> bool {
+        self == ObjRef::NULL
+    }
+
+    /// Packs the handle into a single machine word (slot in the high half).
+    ///
+    /// The legacy `ERR_PTR` emulation needs object references and error
+    /// values to share one word, exactly as kernel pointers and `-errno` do.
+    pub fn to_word(self) -> u64 {
+        (u64::from(self.slot) << 32) | u64::from(self.generation)
+    }
+
+    /// Unpacks a handle previously packed with [`ObjRef::to_word`].
+    pub fn from_word(w: u64) -> ObjRef {
+        ObjRef {
+            slot: (w >> 32) as u32,
+            generation: w as u32,
+        }
+    }
+}
+
+/// Why an arena access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessError {
+    /// The handle's generation is stale: the object was freed (and the slot
+    /// possibly reused). The C analogue is a use-after-free dereference.
+    UseAfterFree,
+    /// The slot was already free when a free was requested: double free.
+    DoubleFree,
+    /// The object is live but is not of the requested type: a bad cast.
+    TypeConfusion {
+        /// `type_name` of the type actually stored.
+        actual: &'static str,
+    },
+    /// The handle never referred to an object (null or out of range).
+    NullDeref,
+}
+
+struct Slot {
+    generation: u32,
+    /// `Some` while live. The stored `TypeId`/name pair is the "hidden tag"
+    /// that makes type confusion detectable.
+    value: Option<(TypeId, &'static str, Box<dyn Any + Send>)>,
+}
+
+/// Allocation statistics, used for leak accounting in the ownership study.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total successful allocations.
+    pub allocs: u64,
+    /// Total successful frees.
+    pub frees: u64,
+}
+
+/// A type-erased generational object arena.
+#[derive(Default)]
+pub struct Arena {
+    inner: Mutex<ArenaInner>,
+}
+
+#[derive(Default)]
+struct ArenaInner {
+    slots: Vec<Slot>,
+    free_list: Vec<u32>,
+    stats: ArenaStats,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Allocates `value`, returning its handle.
+    pub fn insert<T: Any + Send>(&self, value: T) -> ObjRef {
+        let mut inner = self.inner.lock();
+        inner.stats.allocs += 1;
+        let boxed: Box<dyn Any + Send> = Box::new(value);
+        let entry = (TypeId::of::<T>(), type_name::<T>(), boxed);
+        if let Some(slot) = inner.free_list.pop() {
+            let s = &mut inner.slots[slot as usize];
+            debug_assert!(s.value.is_none());
+            s.value = Some(entry);
+            ObjRef {
+                slot,
+                generation: s.generation,
+            }
+        } else {
+            let slot = inner.slots.len() as u32;
+            inner.slots.push(Slot {
+                generation: 0,
+                value: Some(entry),
+            });
+            ObjRef {
+                slot,
+                generation: 0,
+            }
+        }
+    }
+
+    fn locate<'a>(
+        inner: &'a ArenaInner,
+        r: ObjRef,
+    ) -> Result<&'a (TypeId, &'static str, Box<dyn Any + Send>), AccessError> {
+        if r.is_null() {
+            return Err(AccessError::NullDeref);
+        }
+        let slot = inner
+            .slots
+            .get(r.slot as usize)
+            .ok_or(AccessError::NullDeref)?;
+        if slot.generation != r.generation {
+            return Err(AccessError::UseAfterFree);
+        }
+        slot.value.as_ref().ok_or(AccessError::UseAfterFree)
+    }
+
+    /// Runs `f` over a shared view of the object, checking type and liveness.
+    pub fn with<T: Any, R>(&self, r: ObjRef, f: impl FnOnce(&T) -> R) -> Result<R, AccessError> {
+        let inner = self.inner.lock();
+        let (tid, name, boxed) = Self::locate(&inner, r)?;
+        if *tid != TypeId::of::<T>() {
+            return Err(AccessError::TypeConfusion { actual: name });
+        }
+        // The downcast cannot fail after the TypeId check.
+        Ok(f(boxed.downcast_ref::<T>().expect("TypeId already checked")))
+    }
+
+    /// Runs `f` over an exclusive view of the object.
+    pub fn with_mut<T: Any, R>(
+        &self,
+        r: ObjRef,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, AccessError> {
+        let mut inner = self.inner.lock();
+        if r.is_null() {
+            return Err(AccessError::NullDeref);
+        }
+        let slot = inner
+            .slots
+            .get_mut(r.slot as usize)
+            .ok_or(AccessError::NullDeref)?;
+        if slot.generation != r.generation {
+            return Err(AccessError::UseAfterFree);
+        }
+        let (tid, name, boxed) = slot.value.as_mut().ok_or(AccessError::UseAfterFree)?;
+        if *tid != TypeId::of::<T>() {
+            return Err(AccessError::TypeConfusion { actual: name });
+        }
+        Ok(f(boxed.downcast_mut::<T>().expect("TypeId already checked")))
+    }
+
+    /// Returns the stored type name of a live object (the "hidden tag").
+    pub fn type_name_of(&self, r: ObjRef) -> Result<&'static str, AccessError> {
+        let inner = self.inner.lock();
+        Self::locate(&inner, r).map(|(_, name, _)| *name)
+    }
+
+    /// Frees the object behind `r` and returns it, typed.
+    pub fn remove<T: Any>(&self, r: ObjRef) -> Result<T, AccessError> {
+        let mut inner = self.inner.lock();
+        if r.is_null() {
+            return Err(AccessError::NullDeref);
+        }
+        let slot = inner
+            .slots
+            .get_mut(r.slot as usize)
+            .ok_or(AccessError::NullDeref)?;
+        if slot.generation != r.generation {
+            // Stale generation on a free path is a double free (the first
+            // free bumped the generation).
+            return Err(AccessError::DoubleFree);
+        }
+        let (tid, name, _) = slot.value.as_ref().ok_or(AccessError::DoubleFree)?;
+        if *tid != TypeId::of::<T>() {
+            return Err(AccessError::TypeConfusion { actual: name });
+        }
+        let (_, _, boxed) = slot.value.take().expect("checked live above");
+        slot.generation = slot.generation.wrapping_add(1);
+        let slot_idx = r.slot;
+        inner.free_list.push(slot_idx);
+        inner.stats.frees += 1;
+        Ok(*boxed.downcast::<T>().expect("TypeId already checked"))
+    }
+
+    /// Frees the object behind `r` without naming its type (C's `kfree`).
+    pub fn free(&self, r: ObjRef) -> Result<(), AccessError> {
+        let mut inner = self.inner.lock();
+        if r.is_null() {
+            return Err(AccessError::NullDeref);
+        }
+        let slot = inner
+            .slots
+            .get_mut(r.slot as usize)
+            .ok_or(AccessError::NullDeref)?;
+        if slot.generation != r.generation || slot.value.is_none() {
+            return Err(AccessError::DoubleFree);
+        }
+        slot.value = None;
+        slot.generation = slot.generation.wrapping_add(1);
+        let slot_idx = r.slot;
+        inner.free_list.push(slot_idx);
+        inner.stats.frees += 1;
+        Ok(())
+    }
+
+    /// Number of currently live objects (allocs − frees).
+    pub fn live_count(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.stats.allocs - inner.stats.frees
+    }
+
+    /// Snapshot of the allocation statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_access_remove() {
+        let a = Arena::new();
+        let r = a.insert(41u32);
+        assert_eq!(a.with(r, |v: &u32| *v + 1).unwrap(), 42);
+        a.with_mut(r, |v: &mut u32| *v = 7).unwrap();
+        assert_eq!(a.remove::<u32>(r).unwrap(), 7);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn use_after_free_detected() {
+        let a = Arena::new();
+        let r = a.insert(String::from("x"));
+        a.free(r).unwrap();
+        assert_eq!(
+            a.with(r, |_: &String| ()).unwrap_err(),
+            AccessError::UseAfterFree
+        );
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_stale_handles() {
+        let a = Arena::new();
+        let r1 = a.insert(1u8);
+        a.free(r1).unwrap();
+        let r2 = a.insert(2u8);
+        // Same slot, new generation: r1 is stale, r2 valid.
+        assert_eq!(a.with(r1, |_: &u8| ()).unwrap_err(), AccessError::UseAfterFree);
+        assert_eq!(a.with(r2, |v: &u8| *v).unwrap(), 2);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let a = Arena::new();
+        let r = a.insert(3i64);
+        a.free(r).unwrap();
+        assert_eq!(a.free(r).unwrap_err(), AccessError::DoubleFree);
+        assert_eq!(a.stats().frees, 1, "second free is not counted");
+    }
+
+    #[test]
+    fn type_confusion_detected_with_actual_name() {
+        let a = Arena::new();
+        let r = a.insert(5u64);
+        match a.with(r, |_: &String| ()).unwrap_err() {
+            AccessError::TypeConfusion { actual } => assert!(actual.contains("u64")),
+            other => panic!("expected TypeConfusion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_handle_detected() {
+        let a = Arena::new();
+        assert_eq!(
+            a.with(ObjRef::NULL, |_: &u8| ()).unwrap_err(),
+            AccessError::NullDeref
+        );
+        assert!(ObjRef::NULL.is_null());
+    }
+
+    #[test]
+    fn word_packing_roundtrip() {
+        let a = Arena::new();
+        let r = a.insert(9u32);
+        let w = r.to_word();
+        assert_eq!(ObjRef::from_word(w), r);
+    }
+
+    #[test]
+    fn remove_with_wrong_type_is_confusion_not_free() {
+        let a = Arena::new();
+        let r = a.insert(1.5f64);
+        assert!(matches!(
+            a.remove::<u32>(r).unwrap_err(),
+            AccessError::TypeConfusion { .. }
+        ));
+        // Object must still be live afterwards.
+        assert_eq!(a.with(r, |v: &f64| *v).unwrap(), 1.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Ring-buffer kernel log (a miniature `dmesg`).
+//!
+//! Modules log through a shared [`KLog`]; the ring bounds memory use and the
+//! test harness asserts on log contents (e.g. that a contract violation was
+//! reported exactly once).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Severity of a log record, mirroring the kernel's printk levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Debug chatter.
+    Debug,
+    /// Normal operational messages.
+    Info,
+    /// Something unexpected but recoverable.
+    Warn,
+    /// An error the subsystem handled.
+    Err,
+    /// A detected safety violation (the substrate's analogue of an oops).
+    Oops,
+}
+
+/// One log record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Severity.
+    pub level: Level,
+    /// Subsystem tag, e.g. `"vfs"` or `"rsfs"`.
+    pub tag: &'static str,
+    /// Message body.
+    pub msg: String,
+}
+
+/// Bounded ring-buffer log.
+#[derive(Debug)]
+pub struct KLog {
+    ring: Mutex<VecDeque<Record>>,
+    capacity: usize,
+}
+
+impl Default for KLog {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl KLog {
+    /// Creates a log holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        KLog {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn log(&self, level: Level, tag: &'static str, msg: impl Into<String>) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(Record {
+            level,
+            tag,
+            msg: msg.into(),
+        });
+    }
+
+    /// Returns a copy of all retained records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Counts retained records at `level` or above.
+    pub fn count_at_least(&self, level: Level) -> usize {
+        self.ring.lock().iter().filter(|r| r.level >= level).count()
+    }
+
+    /// Drops all retained records.
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_in_order_and_bounds_capacity() {
+        let log = KLog::new(3);
+        for i in 0..5 {
+            log.log(Level::Info, "t", format!("m{i}"));
+        }
+        let recs = log.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].msg, "m2");
+        assert_eq!(recs[2].msg, "m4");
+    }
+
+    #[test]
+    fn level_counting() {
+        let log = KLog::default();
+        log.log(Level::Debug, "t", "d");
+        log.log(Level::Warn, "t", "w");
+        log.log(Level::Oops, "t", "o");
+        assert_eq!(log.count_at_least(Level::Warn), 2);
+        assert_eq!(log.count_at_least(Level::Oops), 1);
+        log.clear();
+        assert_eq!(log.records().len(), 0);
+    }
+}

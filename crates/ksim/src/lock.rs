@@ -1,0 +1,374 @@
+//! Lock primitives with discipline tracking.
+//!
+//! The paper's §4.3 example: the VFS `inode` has fields "only modified on
+//! specific, known code paths protected by other synchronization mechanisms",
+//! three fields protected by `i_lock`, and one (`i_size`) "only *maybe*
+//! protected, according to the relevant comment". Nothing but vigilant code
+//! review enforces any of this in C.
+//!
+//! This module makes the discipline *observable*: [`KLock`] registers every
+//! acquisition with a [`LockRegistry`] that tracks, per thread, which locks
+//! are held and in what order (detecting lock-order inversions), and
+//! [`Protected`] wraps a field with the identity of the lock that must be
+//! held to touch it, recording a [`Violation`] on undisciplined access. The
+//! legacy file system commits exactly the undisciplined `i_size` access the
+//! paper describes, and the bug study counts the recorded violations; the
+//! safe interfaces make the same access unrepresentable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, ThreadId};
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Identity of a registered lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId(u64);
+
+/// A recorded lock-discipline violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A [`Protected`] field was accessed without holding its lock.
+    UnlockedFieldAccess {
+        /// Name of the protecting lock.
+        lock: &'static str,
+        /// Name of the field that was touched.
+        field: &'static str,
+    },
+    /// Two locks were acquired in both orders by different call paths.
+    OrderInversion {
+        /// Name of the first lock of the inverted pair.
+        a: &'static str,
+        /// Name of the second lock of the inverted pair.
+        b: &'static str,
+    },
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Locks currently held, per thread, in acquisition order.
+    held: HashMap<ThreadId, Vec<LockId>>,
+    /// Observed acquired-before pairs: (a, b) means b was taken while a held.
+    order: HashMap<(LockId, LockId), ()>,
+    names: HashMap<LockId, &'static str>,
+    violations: Vec<Violation>,
+}
+
+/// Tracks lock acquisitions across a subsystem.
+#[derive(Default)]
+pub struct LockRegistry {
+    inner: Mutex<RegistryInner>,
+    next_id: AtomicU64,
+}
+
+impl LockRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LockRegistry::default())
+    }
+
+    fn register(&self, name: &'static str) -> LockId {
+        let id = LockId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.inner.lock().names.insert(id, name);
+        id
+    }
+
+    fn on_acquire(&self, id: LockId) {
+        let tid = thread::current().id();
+        let mut inner = self.inner.lock();
+        let held = inner.held.entry(tid).or_default().clone();
+        for &h in &held {
+            if h == id {
+                continue;
+            }
+            // Record h -> id; if id -> h already exists, that's an inversion.
+            if inner.order.contains_key(&(id, h)) && !inner.order.contains_key(&(h, id)) {
+                let a = inner.names.get(&h).copied().unwrap_or("?");
+                let b = inner.names.get(&id).copied().unwrap_or("?");
+                inner.violations.push(Violation::OrderInversion { a, b });
+            }
+            inner.order.insert((h, id), ());
+        }
+        inner.held.entry(tid).or_default().push(id);
+    }
+
+    fn on_release(&self, id: LockId) {
+        let tid = thread::current().id();
+        let mut inner = self.inner.lock();
+        if let Some(held) = inner.held.get_mut(&tid) {
+            if let Some(pos) = held.iter().rposition(|&h| h == id) {
+                held.remove(pos);
+            }
+        }
+    }
+
+    /// True if the calling thread currently holds `id`.
+    pub fn holds(&self, id: LockId) -> bool {
+        let tid = thread::current().id();
+        self.inner
+            .lock()
+            .held
+            .get(&tid)
+            .map(|v| v.contains(&id))
+            .unwrap_or(false)
+    }
+
+    /// Records an undisciplined access to a protected field.
+    pub fn record_field_violation(&self, lock: &'static str, field: &'static str) {
+        self.inner
+            .lock()
+            .violations
+            .push(Violation::UnlockedFieldAccess { lock, field });
+    }
+
+    /// Returns all recorded violations.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.lock().violations.clone()
+    }
+
+    /// Clears recorded violations (between test cases).
+    pub fn clear_violations(&self) {
+        self.inner.lock().violations.clear();
+    }
+}
+
+/// A mutex whose acquisitions are tracked by a [`LockRegistry`].
+pub struct KLock<T> {
+    mutex: Mutex<T>,
+    id: LockId,
+    name: &'static str,
+    registry: Arc<LockRegistry>,
+}
+
+/// Guard for a [`KLock`]; releases and unregisters on drop.
+pub struct KLockGuard<'a, T> {
+    guard: Option<MutexGuard<'a, T>>,
+    id: LockId,
+    registry: &'a LockRegistry,
+}
+
+impl<T> KLock<T> {
+    /// Creates a tracked lock named `name` in `registry`.
+    pub fn new(registry: Arc<LockRegistry>, name: &'static str, value: T) -> Self {
+        let id = registry.register(name);
+        KLock {
+            mutex: Mutex::new(value),
+            id,
+            name,
+            registry,
+        }
+    }
+
+    /// Acquires the lock, recording the acquisition.
+    pub fn lock(&self) -> KLockGuard<'_, T> {
+        let guard = self.mutex.lock();
+        self.registry.on_acquire(self.id);
+        KLockGuard {
+            guard: Some(guard),
+            id: self.id,
+            registry: &self.registry,
+        }
+    }
+
+    /// This lock's registry identity (for [`Protected`] contracts).
+    pub fn id(&self) -> LockId {
+        self.id
+    }
+
+    /// This lock's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The registry this lock reports to.
+    pub fn registry(&self) -> &Arc<LockRegistry> {
+        &self.registry
+    }
+}
+
+impl<T> std::ops::Deref for KLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for KLockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for KLockGuard<'_, T> {
+    fn drop(&mut self) {
+        // Unregister before the underlying mutex releases so a racing
+        // acquirer never observes us as "still holding".
+        self.registry.on_release(self.id);
+        drop(self.guard.take());
+    }
+}
+
+/// A field that a specific lock is documented to protect.
+///
+/// Reads and writes go through [`Protected::read`] / [`Protected::write`],
+/// which verify the protecting lock is held by the calling thread, or
+/// through the `_unchecked` variants, which model the legacy kernel's
+/// "access it anyway" paths and record a [`Violation`] when undisciplined.
+///
+/// Interior storage is a plain atomic-free cell guarded by its own private
+/// mutex, so *memory* safety is never at stake — only the discipline is.
+pub struct Protected<T> {
+    value: Mutex<T>,
+    lock: LockId,
+    lock_name: &'static str,
+    field: &'static str,
+    registry: Arc<LockRegistry>,
+}
+
+impl<T: Clone> Protected<T> {
+    /// Declares that `field` is protected by `lock`.
+    pub fn new<L>(lock: &KLock<L>, field: &'static str, value: T) -> Self {
+        Protected {
+            value: Mutex::new(value),
+            lock: lock.id(),
+            lock_name: lock.name(),
+            field,
+            registry: Arc::clone(lock.registry()),
+        }
+    }
+
+    /// Disciplined read: requires the protecting lock to be held.
+    ///
+    /// Returns `None` (and records a violation) when undisciplined, so
+    /// callers cannot accidentally ignore the contract.
+    pub fn read(&self) -> Option<T> {
+        if !self.registry.holds(self.lock) {
+            self.registry
+                .record_field_violation(self.lock_name, self.field);
+            return None;
+        }
+        Some(self.value.lock().clone())
+    }
+
+    /// Disciplined write; same contract as [`Protected::read`].
+    pub fn write(&self, v: T) -> bool {
+        if !self.registry.holds(self.lock) {
+            self.registry
+                .record_field_violation(self.lock_name, self.field);
+            return false;
+        }
+        *self.value.lock() = v;
+        true
+    }
+
+    /// Legacy-style read that goes through regardless, recording a
+    /// violation when the lock is not held (the `i_size` "maybe protected"
+    /// pattern).
+    pub fn read_unchecked(&self) -> T {
+        if !self.registry.holds(self.lock) {
+            self.registry
+                .record_field_violation(self.lock_name, self.field);
+        }
+        self.value.lock().clone()
+    }
+
+    /// Legacy-style write that goes through regardless (recording a
+    /// violation when undisciplined).
+    pub fn write_unchecked(&self, v: T) {
+        if !self.registry.holds(self.lock) {
+            self.registry
+                .record_field_violation(self.lock_name, self.field);
+        }
+        *self.value.lock() = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_registers_and_unregisters() {
+        let reg = LockRegistry::new();
+        let l = KLock::new(Arc::clone(&reg), "l", 0u32);
+        assert!(!reg.holds(l.id()));
+        {
+            let _g = l.lock();
+            assert!(reg.holds(l.id()));
+        }
+        assert!(!reg.holds(l.id()));
+    }
+
+    #[test]
+    fn protected_field_requires_lock() {
+        let reg = LockRegistry::new();
+        let l = KLock::new(Arc::clone(&reg), "i_lock", ());
+        let size = Protected::new(&l, "i_size", 0u64);
+        assert_eq!(size.read(), None, "undisciplined read refused");
+        assert!(!size.write(10));
+        assert_eq!(reg.violations().len(), 2);
+        let _g = l.lock();
+        assert!(size.write(10));
+        assert_eq!(size.read(), Some(10));
+        assert_eq!(reg.violations().len(), 2, "disciplined access is clean");
+    }
+
+    #[test]
+    fn unchecked_access_goes_through_but_is_recorded() {
+        let reg = LockRegistry::new();
+        let l = KLock::new(Arc::clone(&reg), "i_lock", ());
+        let size = Protected::new(&l, "i_size", 5u64);
+        size.write_unchecked(6);
+        assert_eq!(size.read_unchecked(), 6);
+        assert_eq!(
+            reg.violations(),
+            vec![
+                Violation::UnlockedFieldAccess {
+                    lock: "i_lock",
+                    field: "i_size"
+                };
+                2
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_order_inversion_detected() {
+        let reg = LockRegistry::new();
+        let a = KLock::new(Arc::clone(&reg), "a", ());
+        let b = KLock::new(Arc::clone(&reg), "b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // Order a -> b recorded.
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock(); // Order b -> a: inversion.
+        }
+        let v = reg.violations();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::OrderInversion { .. }));
+    }
+
+    #[test]
+    fn reacquiring_same_pair_in_same_order_is_clean() {
+        let reg = LockRegistry::new();
+        let a = KLock::new(Arc::clone(&reg), "a", ());
+        let b = KLock::new(Arc::clone(&reg), "b", ());
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert!(reg.violations().is_empty());
+    }
+
+    #[test]
+    fn violations_clearable() {
+        let reg = LockRegistry::new();
+        reg.record_field_violation("l", "f");
+        assert_eq!(reg.violations().len(), 1);
+        reg.clear_violations();
+        assert!(reg.violations().is_empty());
+    }
+}

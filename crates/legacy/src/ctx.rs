@@ -1,0 +1,120 @@
+//! The legacy kernel context: the environment a legacy module sees.
+//!
+//! Bundles the object arena, the bug ledger, the lock registry, and the
+//! kernel log — the equivalent of "the rest of the kernel" from a legacy
+//! module's point of view.
+
+use std::sync::Arc;
+
+use sk_ksim::kalloc::{AccessError, Arena};
+use sk_ksim::klog::KLog;
+use sk_ksim::lock::LockRegistry;
+
+use crate::ledger::{BugClass, BugLedger};
+
+/// Shared environment handed to legacy modules.
+#[derive(Clone)]
+pub struct LegacyCtx {
+    /// The object arena all `void *` data lives in.
+    pub arena: Arc<Arena>,
+    /// Sink for detected misbehaviour.
+    pub ledger: Arc<BugLedger>,
+    /// Lock-discipline tracker.
+    pub locks: Arc<LockRegistry>,
+    /// Kernel log.
+    pub log: Arc<KLog>,
+}
+
+impl Default for LegacyCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LegacyCtx {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        LegacyCtx {
+            arena: Arc::new(Arena::new()),
+            ledger: Arc::new(BugLedger::new()),
+            locks: LockRegistry::new(),
+            log: Arc::new(KLog::default()),
+        }
+    }
+
+    /// Maps an arena access failure to the bug class it manifests as and
+    /// records it.
+    pub fn record_access_error(&self, err: AccessError, site: &'static str) {
+        let (class, detail) = match err {
+            AccessError::UseAfterFree => (BugClass::UseAfterFree, String::new()),
+            AccessError::DoubleFree => (BugClass::DoubleFree, String::new()),
+            AccessError::NullDeref => (BugClass::NullDeref, String::new()),
+            AccessError::TypeConfusion { actual } => {
+                (BugClass::TypeConfusion, format!("actual type: {actual}"))
+            }
+        };
+        self.ledger.record(class, site, detail);
+    }
+
+    /// Leak check: if more than `expected_live` objects remain in the arena,
+    /// records one [`BugClass::MemoryLeak`] event per leaked object and
+    /// returns the leak count.
+    pub fn leak_check(&self, expected_live: u64, site: &'static str) -> u64 {
+        let live = self.arena.live_count();
+        let leaked = live.saturating_sub(expected_live);
+        for _ in 0..leaked {
+            self.ledger.record(BugClass::MemoryLeak, site, "");
+        }
+        leaked
+    }
+
+    /// Imports any lock-discipline violations recorded in the lock registry
+    /// into the ledger as [`BugClass::DataRace`] events, then clears them.
+    pub fn import_lock_violations(&self, site: &'static str) -> usize {
+        let violations = self.locks.violations();
+        let n = violations.len();
+        for v in violations {
+            self.ledger.record(BugClass::DataRace, site, format!("{v:?}"));
+        }
+        self.locks.clear_violations();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_ksim::kalloc::ObjRef;
+
+    #[test]
+    fn access_errors_map_to_bug_classes() {
+        let ctx = LegacyCtx::new();
+        ctx.record_access_error(AccessError::UseAfterFree, "t");
+        ctx.record_access_error(AccessError::NullDeref, "t");
+        ctx.record_access_error(AccessError::TypeConfusion { actual: "u8" }, "t");
+        assert_eq!(ctx.ledger.count(BugClass::UseAfterFree), 1);
+        assert_eq!(ctx.ledger.count(BugClass::NullDeref), 1);
+        assert_eq!(ctx.ledger.count(BugClass::TypeConfusion), 1);
+    }
+
+    #[test]
+    fn leak_check_counts_excess_live_objects() {
+        let ctx = LegacyCtx::new();
+        let _a = ctx.arena.insert(1u8);
+        let b = ctx.arena.insert(2u8);
+        assert_eq!(ctx.leak_check(2, "t"), 0);
+        assert_eq!(ctx.leak_check(1, "t"), 1);
+        assert_eq!(ctx.ledger.count(BugClass::MemoryLeak), 1);
+        ctx.arena.free(b).unwrap();
+        let _ = ObjRef::NULL;
+    }
+
+    #[test]
+    fn lock_violations_imported_as_data_races() {
+        let ctx = LegacyCtx::new();
+        ctx.locks.record_field_violation("i_lock", "i_size");
+        assert_eq!(ctx.import_lock_violations("t"), 1);
+        assert_eq!(ctx.ledger.count(BugClass::DataRace), 1);
+        assert!(ctx.locks.violations().is_empty(), "registry drained");
+    }
+}

@@ -1,0 +1,149 @@
+//! `ERR_PTR` punning: pointers and error values sharing one word.
+//!
+//! The paper (§4.2): "Many functions, such as VFS lookup, return a pointer
+//! on success or an error value on failure. To achieve this in C, the error
+//! value is cast to a pointer, and the caller must manually check that the
+//! pointer is valid before dereferencing it."
+//!
+//! Linux reserves the top 4095 values of the address space: a return value
+//! `v` is an error iff `v >= (unsigned long)-MAX_ERRNO`. This module
+//! reproduces the encoding over [`VoidPtr`] words. Forgetting the
+//! `IS_ERR()` check and dereferencing anyway is *detected* and recorded as
+//! [`BugClass::ErrPtrDeref`].
+
+use std::any::Any;
+
+use sk_ksim::errno::Errno;
+
+use crate::ctx::LegacyCtx;
+use crate::ledger::BugClass;
+use crate::voidptr::VoidPtr;
+
+/// Highest errno representable in the punned range, as in Linux.
+pub const MAX_ERRNO: u64 = 4095;
+
+/// A pointer-or-error word, as returned by legacy interfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ErrPtr(u64);
+
+impl ErrPtr {
+    /// Wraps a valid pointer.
+    pub fn ok(p: VoidPtr) -> ErrPtr {
+        debug_assert!(
+            p.to_word() < u64::MAX - MAX_ERRNO,
+            "pointer collides with the errno range"
+        );
+        ErrPtr(p.to_word())
+    }
+
+    /// Encodes an error (`ERR_PTR(-errno)` in Linux).
+    pub fn err(e: Errno) -> ErrPtr {
+        ErrPtr((e.as_i32() as i64).wrapping_neg() as u64)
+    }
+
+    /// `IS_ERR()`: true if this word encodes an error.
+    pub fn is_err(self) -> bool {
+        self.0 >= u64::MAX - MAX_ERRNO + 1
+    }
+
+    /// `PTR_ERR()`: decodes the errno. Only meaningful when
+    /// [`ErrPtr::is_err`]; on a valid pointer it returns `EINVAL` (which is
+    /// exactly the garbage a C caller would get).
+    pub fn ptr_err(self) -> Errno {
+        Errno::from_i32((self.0 as i64).wrapping_neg() as i32)
+    }
+
+    /// The disciplined decode: what a careful C caller writes.
+    pub fn check(self) -> Result<VoidPtr, Errno> {
+        if self.is_err() {
+            Err(self.ptr_err())
+        } else {
+            Ok(VoidPtr::from_word(self.0))
+        }
+    }
+
+    /// The raw word.
+    pub fn to_word(self) -> u64 {
+        self.0
+    }
+}
+
+impl LegacyCtx {
+    /// The *undisciplined* decode: dereferences the word as a pointer
+    /// without an `IS_ERR()` check — the classic bug. If the word is in
+    /// fact an error value, the event is recorded and `None` returned.
+    pub fn errptr_deref<T: Any, R>(
+        &self,
+        e: ErrPtr,
+        site: &'static str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        if e.is_err() {
+            self.ledger.record(
+                BugClass::ErrPtrDeref,
+                site,
+                format!("dereferenced ERR_PTR({})", e.ptr_err()),
+            );
+            return None;
+        }
+        self.vp_cast(VoidPtr::from_word(e.to_word()), site, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_pointers_are_not_errors() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(5u32);
+        let e = ErrPtr::ok(p);
+        assert!(!e.is_err());
+        assert_eq!(e.check(), Ok(p));
+    }
+
+    #[test]
+    fn errors_encode_and_decode() {
+        for errno in [Errno::ENOENT, Errno::EIO, Errno::EINVAL, Errno::ENOSPC] {
+            let e = ErrPtr::err(errno);
+            assert!(e.is_err());
+            assert_eq!(e.ptr_err(), errno);
+            assert_eq!(e.check(), Err(errno));
+        }
+    }
+
+    #[test]
+    fn null_is_a_valid_pointer_word() {
+        // As in Linux, NULL is not an ERR_PTR.
+        let e = ErrPtr::ok(VoidPtr::NULL);
+        assert!(!e.is_err());
+    }
+
+    #[test]
+    fn undisciplined_deref_of_error_recorded() {
+        let ctx = LegacyCtx::new();
+        let e = ErrPtr::err(Errno::ENOENT);
+        assert_eq!(ctx.errptr_deref(e, "t", |v: &u32| *v), None);
+        assert_eq!(ctx.ledger.count(BugClass::ErrPtrDeref), 1);
+    }
+
+    #[test]
+    fn undisciplined_deref_of_ok_pointer_works() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(9u32);
+        let e = ErrPtr::ok(p);
+        assert_eq!(ctx.errptr_deref(e, "t", |v: &u32| *v), Some(9));
+        assert!(ctx.ledger.is_clean());
+    }
+
+    #[test]
+    fn boundary_of_errno_range() {
+        // Largest errno must still be recognized as an error.
+        let e = ErrPtr((MAX_ERRNO as i64).wrapping_neg() as u64);
+        assert!(e.is_err());
+        // One below the range is a plain (enormous) pointer.
+        let p = ErrPtr(u64::MAX - MAX_ERRNO);
+        assert!(!p.is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! The bug ledger: where detected legacy misbehaviour is recorded.
+//!
+//! Every event corresponds to something that would be undefined behaviour
+//! (or a silent logic error) in the real kernel. The ledger is the
+//! measurement instrument for the paper's §2 claim that ~42% of Linux CVEs
+//! are type/ownership bugs: the empirical study injects bug classes and
+//! counts which ledger events fire under which interface regime.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// The class of a detected bug, aligned with the CWE families the paper's
+/// CVE study categorizes (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BugClass {
+    /// Wrong-type cast of a `void *` (CWE-843). Prevented by Step 2.
+    TypeConfusion,
+    /// Dereference of freed memory (CWE-416). Prevented by Step 3.
+    UseAfterFree,
+    /// Second free of the same object (CWE-415). Prevented by Step 3.
+    DoubleFree,
+    /// NULL/invalid pointer dereference (CWE-476). Prevented by Step 2/3.
+    NullDeref,
+    /// Dereference of an `ERR_PTR` error value (CWE-476 family).
+    ErrPtrDeref,
+    /// Read of never-initialized data (CWE-908). Prevented by Step 2/3.
+    UninitRead,
+    /// Out-of-bounds access (CWE-125/787). Prevented by Step 3.
+    OutOfBounds,
+    /// Unsynchronized access to lock-protected state (CWE-362).
+    DataRace,
+    /// Object never freed by its responsible owner (CWE-401).
+    MemoryLeak,
+    /// Arithmetic wrapped around (CWE-190). Caught by checked arithmetic.
+    IntegerOverflow,
+    /// Behaviour diverged from the component's specification — the residue
+    /// only functional correctness (Step 4) can catch.
+    SpecViolation,
+}
+
+impl BugClass {
+    /// The CWE identifier the paper's study files this class under.
+    pub fn cwe(self) -> &'static str {
+        match self {
+            BugClass::TypeConfusion => "CWE-843",
+            BugClass::UseAfterFree => "CWE-416",
+            BugClass::DoubleFree => "CWE-415",
+            BugClass::NullDeref => "CWE-476",
+            BugClass::ErrPtrDeref => "CWE-476",
+            BugClass::UninitRead => "CWE-908",
+            BugClass::OutOfBounds => "CWE-787",
+            BugClass::DataRace => "CWE-362",
+            BugClass::MemoryLeak => "CWE-401",
+            BugClass::IntegerOverflow => "CWE-190",
+            BugClass::SpecViolation => "CWE-840",
+        }
+    }
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} ({})", self, self.cwe())
+    }
+}
+
+/// One detected bug event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugEvent {
+    /// Bug class.
+    pub class: BugClass,
+    /// Call site tag, e.g. `"cext4::write_end"`.
+    pub site: &'static str,
+    /// Free-form detail (actual type found, block number, …).
+    pub detail: String,
+}
+
+/// Thread-safe sink of detected bug events.
+#[derive(Debug, Default)]
+pub struct BugLedger {
+    events: Mutex<Vec<BugEvent>>,
+}
+
+impl BugLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        BugLedger::default()
+    }
+
+    /// Records one event.
+    pub fn record(&self, class: BugClass, site: &'static str, detail: impl Into<String>) {
+        self.events.lock().push(BugEvent {
+            class,
+            site,
+            detail: detail.into(),
+        });
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> Vec<BugEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events of `class`.
+    pub fn count(&self, class: BugClass) -> usize {
+        self.events.lock().iter().filter(|e| e.class == class).count()
+    }
+
+    /// Total number of events.
+    pub fn total(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clears the ledger (between study trials).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let l = BugLedger::new();
+        assert!(l.is_clean());
+        l.record(BugClass::TypeConfusion, "t::a", "u64 vs String");
+        l.record(BugClass::TypeConfusion, "t::b", "");
+        l.record(BugClass::UseAfterFree, "t::c", "");
+        assert_eq!(l.count(BugClass::TypeConfusion), 2);
+        assert_eq!(l.count(BugClass::UseAfterFree), 1);
+        assert_eq!(l.count(BugClass::DoubleFree), 0);
+        assert_eq!(l.total(), 3);
+        l.clear();
+        assert!(l.is_clean());
+    }
+
+    #[test]
+    fn every_class_has_a_cwe() {
+        use BugClass::*;
+        for c in [
+            TypeConfusion,
+            UseAfterFree,
+            DoubleFree,
+            NullDeref,
+            ErrPtrDeref,
+            UninitRead,
+            OutOfBounds,
+            DataRace,
+            MemoryLeak,
+            IntegerOverflow,
+            SpecViolation,
+        ] {
+            assert!(c.cwe().starts_with("CWE-"));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # sk-legacy — the C idioms the paper wants to retire
+//!
+//! The roadmap of "An Incremental Path Towards a Safer OS Kernel" starts
+//! from Linux's existing design patterns: `void *` custom data threaded
+//! through interfaces (§4.2's `write_begin`/`write_end` example), error
+//! values punned into pointers (`ERR_PTR`), fn-pointer ops tables, and
+//! shared structures whose locking rules live in comments (§4.3's
+//! `i_lock`/`i_size` example). To *measure* how much each roadmap step
+//! helps, this workspace needs those idioms to exist — so this crate
+//! reproduces them in controlled form.
+//!
+//! **The emulation principle.** Real C commits undefined behaviour when
+//! these idioms are misused; we cannot (and must not) do that in Safe Rust.
+//! Instead, every legacy object lives in a generational `Arena`
+//! (`sk_ksim::kalloc`) that carries a *hidden* type tag and liveness
+//! generation. Legacy code cannot see the tag — a [`VoidPtr`] is a bare
+//! machine word, exactly as expressive as `void *` — but when legacy code
+//! casts wrongly, dereferences a freed object, double-frees, or dereferences
+//! an `ERR_PTR`, the substrate *detects* the event, records it in the
+//! [`BugLedger`], and lets execution continue with a degraded result (the
+//! observable misbehaviour). This mirrors how KASAN and syzkaller surface
+//! bugs in the real kernel: the bug still "happens"; it is just visible.
+//!
+//! The empirical prevention study (`sk-faultgen`) runs the same workloads
+//! against the legacy interfaces (ledger fills up) and against the safe
+//! interfaces from `sk-core` (the same misuse no longer compiles or is
+//! refused at the boundary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod errptr;
+pub mod ledger;
+pub mod ops;
+pub mod voidptr;
+
+pub use ctx::LegacyCtx;
+pub use errptr::ErrPtr;
+pub use ledger::{BugClass, BugEvent, BugLedger};
+pub use ops::OpsTable;
+pub use voidptr::VoidPtr;

@@ -1,0 +1,141 @@
+//! C-style operation tables: string-keyed fn pointers over `void *` args.
+//!
+//! Linux modules export behaviour as structs of function pointers
+//! (`struct file_operations`, `struct proto_ops`, …) taking loosely-typed
+//! arguments. Nothing in the table says what each slot expects; optional
+//! slots are NULL and some call sites forget to check. This module is the
+//! generic form; `sk-vfs::legacy_ops` and the legacy netstack build their
+//! concrete tables on it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sk_ksim::errno::Errno;
+
+use crate::ctx::LegacyCtx;
+use crate::errptr::ErrPtr;
+use crate::ledger::BugClass;
+use crate::voidptr::VoidPtr;
+
+/// A legacy operation: takes the kernel context and erased args, returns a
+/// pointer-or-error word.
+pub type LegacyFn = Arc<dyn Fn(&LegacyCtx, &[VoidPtr]) -> ErrPtr + Send + Sync>;
+
+/// A table of legacy operations.
+#[derive(Clone)]
+pub struct OpsTable {
+    name: &'static str,
+    ops: HashMap<&'static str, LegacyFn>,
+}
+
+impl OpsTable {
+    /// Creates an empty table named `name`.
+    pub fn new(name: &'static str) -> Self {
+        OpsTable {
+            name,
+            ops: HashMap::new(),
+        }
+    }
+
+    /// The table's name (the module that registered it).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Installs (or replaces) the handler for `op`.
+    pub fn set(
+        &mut self,
+        op: &'static str,
+        f: impl Fn(&LegacyCtx, &[VoidPtr]) -> ErrPtr + Send + Sync + 'static,
+    ) {
+        self.ops.insert(op, Arc::new(f));
+    }
+
+    /// True if the slot is populated.
+    pub fn has(&self, op: &str) -> bool {
+        self.ops.contains_key(op)
+    }
+
+    /// Disciplined call: a missing slot returns `ENOSYS`, as careful kernel
+    /// call sites do after checking the fn pointer.
+    pub fn call(&self, ctx: &LegacyCtx, op: &str, args: &[VoidPtr]) -> ErrPtr {
+        match self.ops.get(op) {
+            Some(f) => f(ctx, args),
+            None => ErrPtr::err(Errno::ENOSYS),
+        }
+    }
+
+    /// Undisciplined call: invoking a missing slot is a NULL function
+    /// pointer dereference — recorded, then surfaced as `EFAULT`.
+    pub fn call_unchecked(&self, ctx: &LegacyCtx, op: &str, args: &[VoidPtr]) -> ErrPtr {
+        match self.ops.get(op) {
+            Some(f) => f(ctx, args),
+            None => {
+                ctx.ledger.record(
+                    BugClass::NullDeref,
+                    "ops_table::call_unchecked",
+                    format!("{}::{op} is a NULL fn pointer", self.name),
+                );
+                ErrPtr::err(Errno::EFAULT)
+            }
+        }
+    }
+
+    /// Names of the populated slots, sorted (for diagnostics).
+    pub fn slots(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.ops.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_dispatches_with_args() {
+        let mut t = OpsTable::new("demo");
+        t.set("double", |ctx, args| {
+            let v = ctx.vp_cast(args[0], "demo::double", |x: &u32| *x * 2);
+            match v {
+                Some(out) => ErrPtr::ok(ctx.vp_new(out)),
+                None => ErrPtr::err(Errno::EFAULT),
+            }
+        });
+        let ctx = LegacyCtx::new();
+        let arg = ctx.vp_new(21u32);
+        let res = t.call(&ctx, "double", &[arg]);
+        let p = res.check().unwrap();
+        assert_eq!(ctx.vp_cast(p, "t", |x: &u32| *x), Some(42));
+    }
+
+    #[test]
+    fn missing_slot_checked_is_enosys() {
+        let t = OpsTable::new("demo");
+        let ctx = LegacyCtx::new();
+        let r = t.call(&ctx, "nope", &[]);
+        assert_eq!(r.check(), Err(Errno::ENOSYS));
+        assert!(ctx.ledger.is_clean());
+    }
+
+    #[test]
+    fn missing_slot_unchecked_is_null_fn_deref() {
+        let t = OpsTable::new("demo");
+        let ctx = LegacyCtx::new();
+        let r = t.call_unchecked(&ctx, "nope", &[]);
+        assert_eq!(r.check(), Err(Errno::EFAULT));
+        assert_eq!(ctx.ledger.count(BugClass::NullDeref), 1);
+    }
+
+    #[test]
+    fn slots_sorted_and_replaceable() {
+        let mut t = OpsTable::new("demo");
+        t.set("b", |_, _| ErrPtr::err(Errno::ENOSYS));
+        t.set("a", |_, _| ErrPtr::err(Errno::ENOSYS));
+        t.set("a", |_, _| ErrPtr::err(Errno::EIO));
+        assert_eq!(t.slots(), vec!["a", "b"]);
+        let ctx = LegacyCtx::new();
+        assert_eq!(t.call(&ctx, "a", &[]).check(), Err(Errno::EIO));
+    }
+}

@@ -1,0 +1,203 @@
+//! `void *` emulation.
+//!
+//! A [`VoidPtr`] is one machine word with no visible type information —
+//! exactly as expressive as C's `void *`. Creating one erases the type;
+//! using one requires naming a type, and nothing ties the two together.
+//! The paper's §4.2 example is VFS letting a file system pass custom data
+//! from `write_begin` to `write_end` as `void *`; `sk-fs-legacy` does
+//! precisely that through this type.
+//!
+//! Misuse is detected by the hidden arena tag and recorded in the
+//! [`BugLedger`](crate::BugLedger); see the crate docs for the emulation
+//! principle.
+
+use std::any::Any;
+
+use sk_ksim::kalloc::ObjRef;
+
+use crate::ctx::LegacyCtx;
+
+/// A type-erased pointer word. `Copy`, comparable, and as dumb as `void *`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VoidPtr(u64);
+
+impl VoidPtr {
+    /// The NULL pointer.
+    pub const NULL: VoidPtr = VoidPtr(0);
+
+    /// True if this is NULL.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw word (used by the `ERR_PTR` punning layer).
+    pub fn to_word(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a pointer from a raw word.
+    pub fn from_word(w: u64) -> VoidPtr {
+        VoidPtr(w)
+    }
+
+    fn obj(self) -> ObjRef {
+        // Word 0 is reserved for NULL; object words are offset by 1.
+        ObjRef::from_word(self.0 - 1)
+    }
+
+    fn from_obj(r: ObjRef) -> VoidPtr {
+        VoidPtr(r.to_word() + 1)
+    }
+}
+
+impl LegacyCtx {
+    /// Allocates `value` and returns its type-erased pointer (`kmalloc` +
+    /// implicit cast to `void *`).
+    pub fn vp_new<T: Any + Send>(&self, value: T) -> VoidPtr {
+        VoidPtr::from_obj(self.arena.insert(value))
+    }
+
+    /// Casts the pointer to `&T` and runs `f` — the legacy idiom
+    /// `((struct T *)p)->…`.
+    ///
+    /// On misuse (wrong type, freed object, NULL) the event is recorded and
+    /// `None` is returned: the bug has *manifested* (the caller gets no
+    /// usable data and typically limps on with a default), and the ledger
+    /// has seen it.
+    pub fn vp_cast<T: Any, R>(
+        &self,
+        p: VoidPtr,
+        site: &'static str,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        if p.is_null() {
+            self.record_access_error(sk_ksim::kalloc::AccessError::NullDeref, site);
+            return None;
+        }
+        match self.arena.with(p.obj(), f) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                self.record_access_error(e, site);
+                None
+            }
+        }
+    }
+
+    /// Mutable variant of [`LegacyCtx::vp_cast`].
+    pub fn vp_cast_mut<T: Any, R>(
+        &self,
+        p: VoidPtr,
+        site: &'static str,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        if p.is_null() {
+            self.record_access_error(sk_ksim::kalloc::AccessError::NullDeref, site);
+            return None;
+        }
+        match self.arena.with_mut(p.obj(), f) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                self.record_access_error(e, site);
+                None
+            }
+        }
+    }
+
+    /// Frees the object behind the pointer (`kfree`). Double frees and
+    /// stale pointers are recorded.
+    pub fn vp_free(&self, p: VoidPtr, site: &'static str) {
+        if p.is_null() {
+            // `kfree(NULL)` is defined and silent in Linux.
+            return;
+        }
+        if let Err(e) = self.arena.free(p.obj()) {
+            self.record_access_error(e, site);
+        }
+    }
+
+    /// Takes the object out by value, typed (`container_of` + free).
+    pub fn vp_take<T: Any>(&self, p: VoidPtr, site: &'static str) -> Option<T> {
+        if p.is_null() {
+            self.record_access_error(sk_ksim::kalloc::AccessError::NullDeref, site);
+            return None;
+        }
+        match self.arena.remove::<T>(p.obj()) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.record_access_error(e, site);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::BugClass;
+
+    #[test]
+    fn correct_cast_roundtrips() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(123u32);
+        assert_eq!(ctx.vp_cast(p, "t", |v: &u32| *v), Some(123));
+        assert!(ctx.ledger.is_clean());
+        ctx.vp_free(p, "t");
+        assert!(ctx.ledger.is_clean());
+    }
+
+    #[test]
+    fn wrong_cast_is_type_confusion() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(String::from("inode"));
+        assert_eq!(ctx.vp_cast(p, "t", |v: &u64| *v), None);
+        assert_eq!(ctx.ledger.count(BugClass::TypeConfusion), 1);
+    }
+
+    #[test]
+    fn stale_pointer_is_use_after_free() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(1u8);
+        ctx.vp_free(p, "t");
+        assert_eq!(ctx.vp_cast(p, "t", |v: &u8| *v), None);
+        assert_eq!(ctx.ledger.count(BugClass::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn double_free_recorded() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(1u8);
+        ctx.vp_free(p, "t");
+        ctx.vp_free(p, "t");
+        assert_eq!(ctx.ledger.count(BugClass::DoubleFree), 1);
+    }
+
+    #[test]
+    fn null_deref_recorded_but_null_free_silent() {
+        let ctx = LegacyCtx::new();
+        assert_eq!(ctx.vp_cast(VoidPtr::NULL, "t", |v: &u8| *v), None);
+        assert_eq!(ctx.ledger.count(BugClass::NullDeref), 1);
+        ctx.vp_free(VoidPtr::NULL, "t");
+        assert_eq!(ctx.ledger.total(), 1, "kfree(NULL) is not a bug");
+    }
+
+    #[test]
+    fn take_returns_value_and_frees() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(vec![1, 2, 3]);
+        assert_eq!(ctx.vp_take::<Vec<i32>>(p, "t"), Some(vec![1, 2, 3]));
+        assert_eq!(ctx.arena.live_count(), 0);
+        // A second take is a detected double free.
+        assert_eq!(ctx.vp_take::<Vec<i32>>(p, "t"), None);
+        assert_eq!(ctx.ledger.count(BugClass::DoubleFree), 1);
+    }
+
+    #[test]
+    fn word_roundtrip_preserves_identity() {
+        let ctx = LegacyCtx::new();
+        let p = ctx.vp_new(7i16);
+        let q = VoidPtr::from_word(p.to_word());
+        assert_eq!(p, q);
+        assert_eq!(ctx.vp_cast(q, "t", |v: &i16| *v), Some(7));
+    }
+}

@@ -1,0 +1,561 @@
+//! The Step-0 socket layer: TCP state threaded through generic code.
+//!
+//! Faithful to the paper's two observations about Linux networking:
+//!
+//! - Every socket's protocol-private state is a `void *` (`sk_protinfo`).
+//!   Generic socket code "knows" which sockets are TCP and casts
+//!   accordingly; [`LegacyStack::poll`] is the deliberate reproduction of
+//!   "references to TCP state can be found throughout generic socket
+//!   code" — it casts *every* socket's protinfo to TCP state, which is a
+//!   detected type confusion the moment it runs on a UDP socket.
+//! - [`LegacyStack::handle_ctrl_packet`] reproduces the CVE-2020-12351
+//!   shape: an AMP control packet names a channel id, and the handler
+//!   casts that channel's private data to the AMP structure without
+//!   checking what the channel actually is. A crafted packet pointing a
+//!   *move* opcode at an ordinary L2CAP channel triggers the confusion.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sk_ksim::errno::{Errno, KResult};
+use sk_ksim::time::SimClock;
+use sk_legacy::{LegacyCtx, VoidPtr};
+
+use crate::packet::{proto, Packet};
+use crate::tcp::{TcpPcb, TcpState};
+use crate::udp::UdpPcb;
+use crate::wire::{Side, Wire};
+
+/// An L2CAP data channel's private state.
+#[derive(Debug)]
+pub struct L2capChan {
+    /// Channel id.
+    pub cid: u16,
+    /// Negotiated MTU.
+    pub mtu: u16,
+    /// Flow-control credits.
+    pub credits: u16,
+}
+
+/// An AMP (alternate MAC/PHY) channel's private state — a different
+/// structure that happens to share a prefix with [`L2capChan`].
+#[derive(Debug)]
+pub struct AmpChan {
+    /// Channel id.
+    pub cid: u16,
+    /// AMP controller id.
+    pub controller_id: u8,
+    /// Physical-link handle.
+    pub link: u64,
+}
+
+/// AMP control opcode: move channel to another controller.
+pub const OP_AMP_MOVE: u8 = 0x0A;
+
+struct LegacySock {
+    proto: u8,
+    local_port: u16,
+    /// The `void *` protocol-private state.
+    sk_protinfo: VoidPtr,
+}
+
+/// The legacy socket layer on one end of a wire.
+pub struct LegacyStack {
+    ctx: LegacyCtx,
+    side: Side,
+    wire: Arc<Wire>,
+    clock: Arc<SimClock>,
+    sockets: Mutex<HashMap<u64, LegacySock>>,
+    channels: Mutex<HashMap<u16, VoidPtr>>,
+    next_fd: AtomicU64,
+    iss: AtomicU64,
+}
+
+impl LegacyStack {
+    /// Creates a stack on `side` of `wire`.
+    pub fn new(ctx: LegacyCtx, side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> LegacyStack {
+        LegacyStack {
+            ctx,
+            side,
+            wire,
+            clock,
+            sockets: Mutex::new(HashMap::new()),
+            channels: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3),
+            iss: AtomicU64::new(100),
+        }
+    }
+
+    /// The kernel context (ledger access for tests and the study).
+    pub fn ctx(&self) -> &LegacyCtx {
+        &self.ctx
+    }
+
+    /// Creates a socket of `proto` bound to `local_port`.
+    pub fn socket(&self, protocol: u8, local_port: u16) -> KResult<u64> {
+        let sk_protinfo = match protocol {
+            proto::TCP => {
+                let iss = self.iss.fetch_add(1000, Ordering::Relaxed) as u32;
+                self.ctx.vp_new(TcpPcb::new(local_port, iss))
+            }
+            proto::UDP => self.ctx.vp_new(UdpPcb::new(local_port)),
+            _ => return Err(Errno::EPROTONOSUPPORT),
+        };
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.sockets.lock().insert(
+            fd,
+            LegacySock {
+                proto: protocol,
+                local_port,
+                sk_protinfo,
+            },
+        );
+        Ok(fd)
+    }
+
+    fn with_sock<R>(&self, fd: u64, f: impl FnOnce(&LegacySock) -> R) -> KResult<R> {
+        let socks = self.sockets.lock();
+        socks.get(&fd).map(f).ok_or(Errno::EBADF)
+    }
+
+    /// Moves a TCP socket to LISTEN.
+    pub fn listen(&self, fd: u64) -> KResult<()> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        self.ctx
+            .vp_cast_mut(p, "legacy_stack::listen", |pcb: &mut TcpPcb| pcb.listen())
+            .ok_or(Errno::EPROTO)
+    }
+
+    /// Starts a TCP connection.
+    pub fn connect(&self, fd: u64, remote_port: u16) -> KResult<()> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let now = self.clock.now_ns();
+        let syn = self
+            .ctx
+            .vp_cast_mut(p, "legacy_stack::connect", |pcb: &mut TcpPcb| {
+                pcb.connect(remote_port, now)
+            })
+            .ok_or(Errno::EPROTO)?;
+        self.wire.send(self.side, &syn);
+        Ok(())
+    }
+
+    /// Sends on a socket (TCP stream data or a UDP datagram).
+    pub fn send(&self, fd: u64, dst_port: u16, data: &[u8]) -> KResult<usize> {
+        let (protocol, p) = self.with_sock(fd, |s| (s.proto, s.sk_protinfo))?;
+        let now = self.clock.now_ns();
+        match protocol {
+            proto::TCP => {
+                let pkts = self
+                    .ctx
+                    .vp_cast_mut(p, "legacy_stack::send", |pcb: &mut TcpPcb| {
+                        pcb.send(data, now)
+                    })
+                    .ok_or(Errno::EPROTO)?;
+                if pkts.is_empty() && !data.is_empty() {
+                    return Err(Errno::ENOTCONN);
+                }
+                for pkt in pkts {
+                    self.wire.send(self.side, &pkt);
+                }
+                Ok(data.len())
+            }
+            proto::UDP => {
+                let pkt = self
+                    .ctx
+                    .vp_cast_mut(p, "legacy_stack::send", |pcb: &mut UdpPcb| {
+                        pcb.send(dst_port, data)
+                    })
+                    .ok_or(Errno::EPROTO)?
+                    // Oversized datagram (EMSGSIZE is not in the errno set).
+                    .ok_or(Errno::EINVAL)?;
+                self.wire.send(self.side, &pkt);
+                Ok(data.len())
+            }
+            _ => Err(Errno::EPROTONOSUPPORT),
+        }
+    }
+
+    /// Receives available bytes (TCP) or the next datagram payload (UDP).
+    pub fn recv(&self, fd: u64) -> KResult<Vec<u8>> {
+        let (protocol, p) = self.with_sock(fd, |s| (s.proto, s.sk_protinfo))?;
+        match protocol {
+            proto::TCP => self
+                .ctx
+                .vp_cast_mut(p, "legacy_stack::recv", |pcb: &mut TcpPcb| {
+                    pcb.take_received()
+                })
+                .ok_or(Errno::EPROTO),
+            proto::UDP => Ok(self
+                .ctx
+                .vp_cast_mut(p, "legacy_stack::recv", |pcb: &mut UdpPcb| pcb.recv())
+                .ok_or(Errno::EPROTO)?
+                .map(|(_, d)| d)
+                .unwrap_or_default()),
+            _ => Err(Errno::EPROTONOSUPPORT),
+        }
+    }
+
+    /// THE COUPLING BUG (§4.1): generic readiness polling that assumes
+    /// every socket is TCP. On a TCP socket it works; on a UDP socket the
+    /// cast is a detected type confusion and poll limps home `false`.
+    pub fn poll(&self, fd: u64) -> KResult<bool> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        // "References to TCP state can be found throughout generic socket
+        // code": no protocol dispatch here, just the cast.
+        Ok(self
+            .ctx
+            .vp_cast(p, "legacy_stack::poll", |pcb: &TcpPcb| {
+                pcb.available() > 0 || pcb.state == TcpState::CloseWait
+            })
+            .unwrap_or(false))
+    }
+
+    /// TCP connection state, for tests.
+    pub fn tcp_state(&self, fd: u64) -> KResult<TcpState> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        self.ctx
+            .vp_cast(p, "legacy_stack::tcp_state", |pcb: &TcpPcb| pcb.state)
+            .ok_or(Errno::EPROTO)
+    }
+
+    /// Closes a socket, freeing its protinfo.
+    pub fn close(&self, fd: u64) -> KResult<()> {
+        let sock = self.sockets.lock().remove(&fd).ok_or(Errno::EBADF)?;
+        if sock.proto == proto::TCP {
+            let now = self.clock.now_ns();
+            if let Some(fin) = self
+                .ctx
+                .vp_cast_mut(sock.sk_protinfo, "legacy_stack::close", |pcb: &mut TcpPcb| {
+                    pcb.close(now)
+                })
+                .flatten()
+            {
+                self.wire.send(self.side, &fin);
+            }
+        }
+        self.ctx.vp_free(sock.sk_protinfo, "legacy_stack::close");
+        Ok(())
+    }
+
+    /// Drains the wire, dispatching packets to sockets and channels.
+    /// Returns the number of packets processed.
+    pub fn pump(&self) -> KResult<usize> {
+        let now = self.clock.now_ns();
+        let mut count = 0;
+        while let Some(pkt) = self.wire.recv(self.side)? {
+            count += 1;
+            if pkt.proto == proto::AMP_CTRL {
+                let _ = self.handle_ctrl_packet(&pkt);
+                continue;
+            }
+            // TCP demultiplexing: an exact (local, remote) match wins;
+            // otherwise a socket in LISTEN on the local port takes the SYN
+            // (pre-forked listeners give multi-connection servers).
+            let target = {
+                let socks = self.sockets.lock();
+                let candidates: Vec<VoidPtr> = socks
+                    .values()
+                    .filter(|s| s.local_port == pkt.dst_port && s.proto == pkt.proto)
+                    .map(|s| s.sk_protinfo)
+                    .collect();
+                if pkt.proto == proto::TCP {
+                    let exact = candidates.iter().copied().find(|&p| {
+                        self.ctx
+                            .vp_cast(p, "legacy_stack::demux", |pcb: &TcpPcb| {
+                                pcb.state != TcpState::Listen
+                                    && pcb.state != TcpState::Closed
+                                    && pcb.remote_port == pkt.src_port
+                            })
+                            .unwrap_or(false)
+                    });
+                    exact.or_else(|| {
+                        candidates.iter().copied().find(|&p| {
+                            self.ctx
+                                .vp_cast(p, "legacy_stack::demux", |pcb: &TcpPcb| {
+                                    pcb.state == TcpState::Listen
+                                })
+                                .unwrap_or(false)
+                        })
+                    })
+                } else {
+                    candidates.first().copied()
+                }
+            };
+            let Some(p) = target else { continue };
+            match pkt.proto {
+                proto::TCP => {
+                    let responses = self
+                        .ctx
+                        .vp_cast_mut(p, "legacy_stack::pump", |pcb: &mut TcpPcb| {
+                            pcb.on_packet(&pkt, now)
+                        })
+                        .unwrap_or_default();
+                    for r in responses {
+                        self.wire.send(self.side, &r);
+                    }
+                }
+                proto::UDP => {
+                    let _ = self
+                        .ctx
+                        .vp_cast_mut(p, "legacy_stack::pump", |pcb: &mut UdpPcb| {
+                            pcb.on_packet(&pkt)
+                        });
+                }
+                _ => {}
+            }
+        }
+        Ok(count)
+    }
+
+    /// Runs retransmission timers on every TCP socket.
+    pub fn tick(&self) {
+        let now = self.clock.now_ns();
+        let protinfos: Vec<VoidPtr> = {
+            let socks = self.sockets.lock();
+            socks
+                .values()
+                .filter(|s| s.proto == proto::TCP)
+                .map(|s| s.sk_protinfo)
+                .collect()
+        };
+        for p in protinfos {
+            let pkts = self
+                .ctx
+                .vp_cast_mut(p, "legacy_stack::tick", |pcb: &mut TcpPcb| pcb.tick(now))
+                .unwrap_or_default();
+            for pkt in pkts {
+                self.wire.send(self.side, &pkt);
+            }
+        }
+    }
+
+    // --- the CVE-2020-12351 analogue ---------------------------------------
+
+    /// Registers an ordinary L2CAP data channel.
+    pub fn create_l2cap_channel(&self, cid: u16, mtu: u16) {
+        let p = self.ctx.vp_new(L2capChan {
+            cid,
+            mtu,
+            credits: 10,
+        });
+        self.channels.lock().insert(cid, p);
+    }
+
+    /// Registers an AMP channel.
+    pub fn create_amp_channel(&self, cid: u16, controller_id: u8) {
+        let p = self.ctx.vp_new(AmpChan {
+            cid,
+            controller_id,
+            link: 0,
+        });
+        self.channels.lock().insert(cid, p);
+    }
+
+    /// Processes an AMP control packet. Payload: `[opcode, cid_lo, cid_hi,
+    /// dest_controller]`.
+    ///
+    /// The bug, as in the CVE: the handler assumes the named channel is an
+    /// AMP channel and casts its private data accordingly — "custom data
+    /// gets wrongly casted" when a crafted packet names an L2CAP channel.
+    pub fn handle_ctrl_packet(&self, pkt: &Packet) -> KResult<()> {
+        if pkt.payload.len() < 4 {
+            return Err(Errno::EBADMSG);
+        }
+        let opcode = pkt.payload[0];
+        let cid = u16::from_le_bytes([pkt.payload[1], pkt.payload[2]]);
+        match opcode {
+            OP_AMP_MOVE => {
+                let chan = *self.channels.lock().get(&cid).ok_or(Errno::ENOENT)?;
+                // No check of what kind of channel `cid` names:
+                let controller = pkt.payload[3];
+                self.ctx
+                    .vp_cast_mut(chan, "legacy_stack::amp_move", |amp: &mut AmpChan| {
+                        amp.controller_id = controller;
+                    })
+                    .ok_or(Errno::EFAULT)
+            }
+            _ => Err(Errno::EPROTONOSUPPORT),
+        }
+    }
+
+    /// Live arena objects (leak accounting).
+    pub fn live_objects(&self) -> u64 {
+        self.ctx.arena.live_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_legacy::BugClass;
+
+    fn pair() -> (LegacyStack, LegacyStack) {
+        let wire = Arc::new(Wire::new());
+        let clock = Arc::new(SimClock::new());
+        let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+        let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock);
+        (a, b)
+    }
+
+    fn pump_both(a: &LegacyStack, b: &LegacyStack) {
+        for _ in 0..8 {
+            a.pump().unwrap();
+            b.pump().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_echo_over_the_wire() {
+        let (a, b) = pair();
+        let server = b.socket(proto::TCP, 80).unwrap();
+        b.listen(server).unwrap();
+        let client = a.socket(proto::TCP, 1234).unwrap();
+        a.connect(client, 80).unwrap();
+        pump_both(&a, &b);
+        assert_eq!(a.tcp_state(client).unwrap(), TcpState::Established);
+        assert_eq!(b.tcp_state(server).unwrap(), TcpState::Established);
+        a.send(client, 80, b"hello").unwrap();
+        pump_both(&a, &b);
+        assert_eq!(b.recv(server).unwrap(), b"hello");
+        b.send(server, 1234, b"world").unwrap();
+        pump_both(&a, &b);
+        assert_eq!(a.recv(client).unwrap(), b"world");
+    }
+
+    #[test]
+    fn udp_datagrams_flow() {
+        let (a, b) = pair();
+        let sa = a.socket(proto::UDP, 1000).unwrap();
+        let sb = b.socket(proto::UDP, 2000).unwrap();
+        a.send(sa, 2000, b"ping").unwrap();
+        pump_both(&a, &b);
+        assert_eq!(b.recv(sb).unwrap(), b"ping");
+    }
+
+    #[test]
+    fn poll_on_tcp_works() {
+        let (a, b) = pair();
+        let server = b.socket(proto::TCP, 80).unwrap();
+        b.listen(server).unwrap();
+        let client = a.socket(proto::TCP, 1234).unwrap();
+        a.connect(client, 80).unwrap();
+        pump_both(&a, &b);
+        a.send(client, 80, b"x").unwrap();
+        pump_both(&a, &b);
+        assert!(b.poll(server).unwrap());
+        assert!(b.ctx().ledger.is_clean());
+    }
+
+    #[test]
+    fn poll_on_udp_is_type_confusion() {
+        let (a, _b) = pair();
+        let s = a.socket(proto::UDP, 1000).unwrap();
+        // The §4.1 coupling: generic poll casts protinfo to TcpPcb.
+        assert_eq!(a.poll(s).unwrap(), false, "bug manifests as bogus result");
+        assert_eq!(a.ctx().ledger.count(BugClass::TypeConfusion), 1);
+    }
+
+    #[test]
+    fn crafted_amp_packet_is_the_cve() {
+        let (a, _b) = pair();
+        a.create_l2cap_channel(0x40, 672);
+        a.create_amp_channel(0x41, 1);
+        // Legitimate move on the AMP channel: fine.
+        let mut ok = Packet::new(proto::AMP_CTRL, 1, 1);
+        ok.payload = vec![OP_AMP_MOVE, 0x41, 0x00, 2];
+        a.handle_ctrl_packet(&ok).unwrap();
+        assert!(a.ctx().ledger.is_clean());
+        // Crafted move naming the L2CAP channel: type confusion.
+        let mut evil = Packet::new(proto::AMP_CTRL, 1, 1);
+        evil.payload = vec![OP_AMP_MOVE, 0x40, 0x00, 2];
+        assert_eq!(a.handle_ctrl_packet(&evil), Err(Errno::EFAULT));
+        assert_eq!(a.ctx().ledger.count(BugClass::TypeConfusion), 1);
+    }
+
+    #[test]
+    fn retransmission_over_lossy_wire() {
+        use crate::wire::WireFaults;
+        let wire = Arc::new(Wire::with_faults(
+            WireFaults {
+                loss: 0.3,
+                duplicate: 0.1,
+            },
+            42,
+        ));
+        let clock = Arc::new(SimClock::new());
+        let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+        let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, Arc::clone(&clock));
+        let server = b.socket(proto::TCP, 80).unwrap();
+        b.listen(server).unwrap();
+        let client = a.socket(proto::TCP, 1234).unwrap();
+        a.connect(client, 80).unwrap();
+        let payload = vec![9u8; 5000];
+        let mut sent = false;
+        let mut got = Vec::new();
+        for round in 0..200 {
+            a.pump().unwrap();
+            b.pump().unwrap();
+            if !sent && a.tcp_state(client).unwrap() == TcpState::Established {
+                a.send(client, 80, &payload).unwrap();
+                sent = true;
+            }
+            got.extend(b.recv(server).unwrap());
+            if got.len() == payload.len() {
+                break;
+            }
+            clock.advance(crate::tcp::DEFAULT_RTO_NS / 2);
+            a.tick();
+            b.tick();
+            assert!(round < 199, "never completed over lossy wire");
+        }
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn preforked_listeners_serve_multiple_clients() {
+        let (a, b) = pair();
+        // Three pre-forked listeners on port 80.
+        let servers: Vec<u64> = (0..3)
+            .map(|_| {
+                let s = b.socket(proto::TCP, 80).unwrap();
+                b.listen(s).unwrap();
+                s
+            })
+            .collect();
+        // Three clients from distinct source ports.
+        let clients: Vec<u64> = (0..3u16)
+            .map(|i| {
+                let c = a.socket(proto::TCP, 1000 + i).unwrap();
+                a.connect(c, 80).unwrap();
+                c
+            })
+            .collect();
+        pump_both(&a, &b);
+        for (i, &c) in clients.iter().enumerate() {
+            assert_eq!(a.tcp_state(c).unwrap(), TcpState::Established, "client {i}");
+            a.send(c, 80, format!("from {i}").as_bytes()).unwrap();
+        }
+        pump_both(&a, &b);
+        // Each server got exactly its own client's bytes.
+        let mut got: Vec<String> = servers
+            .iter()
+            .map(|&s| String::from_utf8(b.recv(s).unwrap()).unwrap())
+            .collect();
+        got.sort();
+        assert_eq!(got, vec!["from 0", "from 1", "from 2"]);
+        assert!(b.ctx().ledger.is_clean());
+    }
+
+    #[test]
+    fn close_frees_protinfo() {
+        let (a, _b) = pair();
+        let s = a.socket(proto::UDP, 7).unwrap();
+        assert_eq!(a.live_objects(), 1);
+        a.close(s).unwrap();
+        assert_eq!(a.live_objects(), 0);
+        assert_eq!(a.recv(s), Err(Errno::EBADF));
+    }
+}

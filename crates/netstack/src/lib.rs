@@ -1,0 +1,43 @@
+//! # sk-netstack — the socket layer, twice
+//!
+//! §4.1 of the paper: "while Linux sockets support multiple protocol
+//! families and multiple protocols within those families, references to TCP
+//! state can be found throughout generic socket code and data structures."
+//! And §4.2 cites CVE-2020-12351 — "net: bluetooth: type confusion while
+//! processing AMP packets" — as a type-confusion bug in the wild.
+//!
+//! This crate reproduces both observations:
+//!
+//! - [`tcp`]/[`udp`]: the protocol engines themselves — a deterministic
+//!   TCP state machine (three-way handshake, cumulative ACKs, out-of-order
+//!   reassembly, timeout retransmission, FIN teardown) and a trivial UDP.
+//!   The engines are *shared* by both stacks: the experiment is about
+//!   interface structure, not protocol logic.
+//! - [`legacy_stack`]: the Step-0 socket layer. Every socket's
+//!   protocol-private state hangs off a `void *` (`sk_protinfo`); generic
+//!   socket code casts it to TCP state on paths that "know" the socket is
+//!   TCP; and an AMP-like control-packet handler reproduces the
+//!   CVE-2020-12351 shape — a crafted packet makes it cast a channel's
+//!   private data to the wrong structure.
+//! - [`modular_stack`]: the roadmap socket layer. Protocols implement a
+//!   typed [`modular_stack::ProtoSocket`] trait behind the Step-1 registry;
+//!   per-socket state is an enum, so the same crafted packet is refused
+//!   with `EPROTO` instead of confusing types.
+//! - [`wire`]/[`packet`]: the substrate — a byte-serialized packet format
+//!   and an in-memory duplex wire with deterministic loss/duplication.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod legacy_stack;
+pub mod modular_stack;
+pub mod packet;
+pub mod spec;
+pub mod tcp;
+pub mod udp;
+pub mod wire;
+
+pub use packet::Packet;
+pub use spec::{StreamChecker, StreamModel};
+pub use tcp::{TcpPcb, TcpState};
+pub use wire::Wire;

@@ -1,0 +1,155 @@
+//! The wire packet format.
+//!
+//! A fixed 16-byte header followed by the payload:
+//!
+//! ```text
+//! proto: u8 | flags: u8 | src_port: u16 | dst_port: u16 | len: u16
+//! seq: u32  | ack: u32  | payload: [u8; len]
+//! ```
+//!
+//! Decoding is strict: short frames, bad lengths, and unknown protocol
+//! numbers are `EBADMSG`, never a sliced-anyway read.
+
+use sk_ksim::errno::{Errno, KResult};
+
+/// Protocol numbers.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+    /// The AMP-like control protocol (the CVE-2020-12351 stand-in).
+    pub const AMP_CTRL: u8 = 0x20;
+}
+
+/// TCP header flags.
+pub mod flags {
+    /// Synchronize sequence numbers.
+    pub const SYN: u8 = 0x01;
+    /// Acknowledgement field is valid.
+    pub const ACK: u8 = 0x02;
+    /// No more data from sender.
+    pub const FIN: u8 = 0x04;
+    /// Reset the connection.
+    pub const RST: u8 = 0x08;
+}
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Maximum payload per packet (the wire MTU minus headers).
+pub const MAX_PAYLOAD: usize = 1000;
+
+/// A network packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Protocol number ([`proto`]).
+    pub proto: u8,
+    /// Flag bits ([`flags`]).
+    pub flags: u8,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number (TCP) or opaque (others).
+    pub seq: u32,
+    /// Acknowledgement number (TCP) or opaque.
+    pub ack: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// A bare packet with the given protocol and ports.
+    pub fn new(proto: u8, src_port: u16, dst_port: u16) -> Packet {
+        Packet {
+            proto,
+            flags: 0,
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.push(self.proto);
+        out.push(self.flags);
+        out.extend_from_slice(&self.src_port.to_le_bytes());
+        out.extend_from_slice(&self.dst_port.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ack.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire bytes, strictly.
+    pub fn decode(bytes: &[u8]) -> KResult<Packet> {
+        if bytes.len() < HEADER_LEN {
+            return Err(Errno::EBADMSG);
+        }
+        let len = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes")) as usize;
+        if bytes.len() != HEADER_LEN + len || len > MAX_PAYLOAD {
+            return Err(Errno::EBADMSG);
+        }
+        let proto = bytes[0];
+        if !matches!(proto, proto::TCP | proto::UDP | proto::AMP_CTRL) {
+            return Err(Errno::EPROTONOSUPPORT);
+        }
+        Ok(Packet {
+            proto,
+            flags: bytes[1],
+            src_port: u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")),
+            dst_port: u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes")),
+            seq: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            ack: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut p = Packet::new(proto::TCP, 80, 1234);
+        p.flags = flags::SYN | flags::ACK;
+        p.seq = 0xDEAD;
+        p.ack = 0xBEEF;
+        p.payload = b"data".to_vec();
+        let bytes = p.encode();
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_short_frames() {
+        assert_eq!(Packet::decode(&[0u8; 4]), Err(Errno::EBADMSG));
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let p = Packet::new(proto::UDP, 1, 2);
+        let mut bytes = p.encode();
+        bytes.push(0xFF); // trailing garbage
+        assert_eq!(Packet::decode(&bytes), Err(Errno::EBADMSG));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_protocol() {
+        let mut p = Packet::new(proto::TCP, 1, 2);
+        p.proto = 0x7F;
+        assert_eq!(Packet::decode(&p.encode()), Err(Errno::EPROTONOSUPPORT));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let p = Packet::new(proto::UDP, 5, 6);
+        assert_eq!(Packet::decode(&p.encode()).unwrap().payload.len(), 0);
+    }
+}

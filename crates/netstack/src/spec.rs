@@ -1,0 +1,221 @@
+//! The abstract specification of a TCP connection (§4.4's modeling
+//! language applied to the second subsystem).
+//!
+//! A connection direction is modeled as the pair *(sent, delivered)*: the
+//! byte sequence the sender's application has submitted, and how much of
+//! it the receiver's application has consumed. The whole of TCP's
+//! machinery — sequencing, retransmission, reassembly — exists to maintain
+//! one relation:
+//!
+//! > **prefix delivery**: the bytes delivered are exactly a prefix of the
+//! > bytes sent, in order, without duplication or invention; and given a
+//! > quiescent (eventually-delivering) wire, the prefix eventually reaches
+//! > the whole sequence.
+//!
+//! [`StreamModel`] is the pure model; [`StreamChecker`] validates an
+//! implementation's delivery events against it. The netstack test suites
+//! (and `tests/netstack_interop.rs`) drive real engines over lossy,
+//! duplicating wires and feed every delivery into the checker.
+
+/// The abstract state of one direction of a connection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamModel {
+    /// Bytes submitted by the sending application, in order.
+    pub sent: Vec<u8>,
+    /// How many of them the receiving application has consumed.
+    pub delivered: usize,
+}
+
+impl StreamModel {
+    /// The model's invariant.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        if self.delivered > self.sent.len() {
+            return Err(format!(
+                "delivered {} bytes but only {} were ever sent",
+                self.delivered,
+                self.sent.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// True when everything sent has been delivered.
+    pub fn is_complete(&self) -> bool {
+        self.delivered == self.sent.len()
+    }
+}
+
+/// Checks an implementation's delivery stream against the model.
+///
+/// # Examples
+///
+/// ```
+/// use sk_netstack::spec::StreamChecker;
+///
+/// let mut chk = StreamChecker::new();
+/// chk.on_send(b"reliable ");
+/// chk.on_send(b"bytes");
+/// chk.on_deliver(b"reliable ");
+/// chk.on_deliver(b"bytes");
+/// assert!(chk.is_clean() && chk.model().is_complete());
+///
+/// // A duplicated delivery violates prefix delivery and is caught:
+/// chk.on_deliver(b"bytes");
+/// assert!(!chk.is_clean());
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamChecker {
+    model: StreamModel,
+    violations: Vec<String>,
+}
+
+impl StreamChecker {
+    /// A fresh checker (empty stream).
+    pub fn new() -> StreamChecker {
+        StreamChecker::default()
+    }
+
+    /// Records that the sending application submitted `data`.
+    pub fn on_send(&mut self, data: &[u8]) {
+        self.model.sent.extend_from_slice(data);
+    }
+
+    /// Records that the receiving application consumed `data`, checking
+    /// the prefix-delivery relation byte for byte.
+    pub fn on_deliver(&mut self, data: &[u8]) {
+        let start = self.model.delivered;
+        let end = start + data.len();
+        if end > self.model.sent.len() {
+            self.violations.push(format!(
+                "delivered past the end of the sent stream: {} > {}",
+                end,
+                self.model.sent.len()
+            ));
+            return;
+        }
+        if &self.model.sent[start..end] != data {
+            self.violations.push(format!(
+                "delivered bytes diverge from the sent stream at offset {start}"
+            ));
+            return;
+        }
+        self.model.delivered = end;
+    }
+
+    /// The current abstract state.
+    pub fn model(&self) -> &StreamModel {
+        &self.model
+    }
+
+    /// Violations of the prefix-delivery relation.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// True if the relation held for every delivery so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{TcpPcb, DEFAULT_RTO_NS};
+    use crate::wire::{Side, Wire, WireFaults};
+    use std::sync::Arc;
+
+    #[test]
+    fn clean_delivery_satisfies_the_relation() {
+        let mut chk = StreamChecker::new();
+        chk.on_send(b"hello ");
+        chk.on_send(b"world");
+        chk.on_deliver(b"hello");
+        chk.on_deliver(b" world");
+        assert!(chk.is_clean());
+        assert!(chk.model().is_complete());
+        chk.model().check_invariant().unwrap();
+    }
+
+    #[test]
+    fn divergent_delivery_is_flagged() {
+        let mut chk = StreamChecker::new();
+        chk.on_send(b"abc");
+        chk.on_deliver(b"abX");
+        assert!(!chk.is_clean());
+    }
+
+    #[test]
+    fn over_delivery_is_flagged() {
+        let mut chk = StreamChecker::new();
+        chk.on_send(b"ab");
+        chk.on_deliver(b"abc");
+        assert!(!chk.is_clean());
+    }
+
+    /// The flagship check: a real engine pair over a lossy, duplicating
+    /// wire refines the stream model — every delivery is a prefix
+    /// extension, and the stream completes.
+    #[test]
+    fn tcp_engine_refines_the_stream_model_under_loss() {
+        for seed in [1u64, 7, 42, 1234] {
+            let wire = Arc::new(Wire::with_faults(
+                WireFaults {
+                    loss: 0.25,
+                    duplicate: 0.10,
+                },
+                seed,
+            ));
+            let mut a = TcpPcb::new(1000, 100);
+            let mut b = TcpPcb::new(80, 9000);
+            b.listen();
+            wire.send(Side::A, &a.connect(80, 0));
+            let mut chk = StreamChecker::new();
+            let mut now = 0u64;
+            let mut sent_chunks = 0;
+            for round in 0..4000 {
+                now += DEFAULT_RTO_NS / 4;
+                // Drain the wire in both directions.
+                while let Ok(Some(pkt)) = wire.recv(Side::B) {
+                    for r in b.on_packet(&pkt, now) {
+                        wire.send(Side::B, &r);
+                    }
+                }
+                while let Ok(Some(pkt)) = wire.recv(Side::A) {
+                    for r in a.on_packet(&pkt, now) {
+                        wire.send(Side::A, &r);
+                    }
+                }
+                // Submit a few chunks once established.
+                if sent_chunks < 10 && a.state == crate::tcp::TcpState::Established {
+                    let chunk: Vec<u8> = (0..500u32)
+                        .map(|i| (i as u64 * seed + sent_chunks as u64) as u8)
+                        .collect();
+                    chk.on_send(&chunk);
+                    for p in a.send(&chunk, now) {
+                        wire.send(Side::A, &p);
+                    }
+                    sent_chunks += 1;
+                }
+                // Consume whatever arrived in order.
+                let got = b.take_received();
+                if !got.is_empty() {
+                    chk.on_deliver(&got);
+                }
+                chk.model().check_invariant().unwrap();
+                assert!(chk.is_clean(), "seed {seed}: {:?}", chk.violations());
+                if sent_chunks == 10 && chk.model().is_complete() && a.all_acked() {
+                    break;
+                }
+                for p in a.tick(now) {
+                    wire.send(Side::A, &p);
+                }
+                for p in b.tick(now) {
+                    wire.send(Side::B, &p);
+                }
+                assert!(round < 3999, "seed {seed}: stream never completed");
+            }
+            assert!(chk.model().is_complete(), "seed {seed}");
+        }
+    }
+}

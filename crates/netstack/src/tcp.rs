@@ -1,0 +1,485 @@
+//! The TCP protocol engine: a deterministic state machine.
+//!
+//! Pure state + packet-in/packets-out functions — no IO, no clocks of its
+//! own (time is passed in, from the simulated clock). Covers the
+//! three-way handshake, cumulative acknowledgement, out-of-order segment
+//! reassembly, timeout retransmission, RST handling, and the FIN teardown
+//! handshake. Segments carry at most [`MAX_PAYLOAD`] bytes.
+//!
+//! Both the legacy and the modular socket layers drive this same engine;
+//! the roadmap experiment varies only the interface around it.
+
+use std::collections::BTreeMap;
+
+use crate::packet::{flags, proto, Packet, MAX_PAYLOAD};
+
+/// TCP connection states (the classic diagram, minus TIME_WAIT timers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TcpState {
+    Closed,
+    Listen,
+    SynSent,
+    SynRcvd,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    TimeWait,
+}
+
+/// Default retransmission timeout (simulated ns).
+pub const DEFAULT_RTO_NS: u64 = 200_000_000;
+
+/// A segment awaiting acknowledgement.
+#[derive(Debug, Clone)]
+struct InFlight {
+    seq: u32,
+    data: Vec<u8>,
+    fin: bool,
+    sent_at: u64,
+}
+
+/// The TCP protocol control block.
+#[derive(Debug)]
+pub struct TcpPcb {
+    /// Connection state.
+    pub state: TcpState,
+    /// Local port.
+    pub local_port: u16,
+    /// Remote port (0 until known).
+    pub remote_port: u16,
+    /// Next sequence number to send.
+    pub snd_nxt: u32,
+    /// Oldest unacknowledged sequence number.
+    pub snd_una: u32,
+    /// Next sequence number expected from the peer.
+    pub rcv_nxt: u32,
+    /// In-order received bytes, ready for the application.
+    recv_ready: Vec<u8>,
+    /// Out-of-order segments keyed by sequence number.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Unacknowledged segments for retransmission.
+    in_flight: Vec<InFlight>,
+    /// Retransmission timeout.
+    pub rto_ns: u64,
+    /// Retransmissions performed (stats).
+    pub retransmits: u64,
+}
+
+impl TcpPcb {
+    /// A closed PCB bound to `local_port` with initial sequence `iss`.
+    pub fn new(local_port: u16, iss: u32) -> TcpPcb {
+        TcpPcb {
+            state: TcpState::Closed,
+            local_port,
+            remote_port: 0,
+            snd_nxt: iss,
+            snd_una: iss,
+            rcv_nxt: 0,
+            recv_ready: Vec::new(),
+            ooo: BTreeMap::new(),
+            in_flight: Vec::new(),
+            rto_ns: DEFAULT_RTO_NS,
+            retransmits: 0,
+        }
+    }
+
+    /// Moves to LISTEN.
+    pub fn listen(&mut self) {
+        self.state = TcpState::Listen;
+    }
+
+    fn mk(&self, fl: u8) -> Packet {
+        Packet {
+            proto: proto::TCP,
+            flags: fl,
+            src_port: self.local_port,
+            dst_port: self.remote_port,
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Initiates a connection to `remote_port`; returns the SYN.
+    pub fn connect(&mut self, remote_port: u16, now: u64) -> Packet {
+        self.remote_port = remote_port;
+        self.state = TcpState::SynSent;
+        let syn = self.mk(flags::SYN);
+        self.in_flight.push(InFlight {
+            seq: self.snd_nxt,
+            data: Vec::new(),
+            fin: false,
+            sent_at: now,
+        });
+        self.snd_nxt = self.snd_nxt.wrapping_add(1); // SYN consumes one.
+        syn
+    }
+
+    /// Queues `data` for transmission; returns the segments to send.
+    pub fn send(&mut self, data: &[u8], now: u64) -> Vec<Packet> {
+        if self.state != TcpState::Established && self.state != TcpState::CloseWait {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for chunk in data.chunks(MAX_PAYLOAD) {
+            let mut pkt = self.mk(flags::ACK);
+            pkt.payload = chunk.to_vec();
+            self.in_flight.push(InFlight {
+                seq: self.snd_nxt,
+                data: chunk.to_vec(),
+                fin: false,
+                sent_at: now,
+            });
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            out.push(pkt);
+        }
+        out
+    }
+
+    /// Takes the bytes received in order so far.
+    pub fn take_received(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.recv_ready)
+    }
+
+    /// Bytes available without taking them.
+    pub fn available(&self) -> usize {
+        self.recv_ready.len()
+    }
+
+    /// Begins an active close; returns the FIN if one can be sent now.
+    pub fn close(&mut self, now: u64) -> Option<Packet> {
+        match self.state {
+            TcpState::Established => self.state = TcpState::FinWait1,
+            TcpState::CloseWait => self.state = TcpState::LastAck,
+            TcpState::SynSent | TcpState::Listen | TcpState::Closed => {
+                self.state = TcpState::Closed;
+                return None;
+            }
+            _ => return None,
+        }
+        let fin = self.mk(flags::FIN | flags::ACK);
+        self.in_flight.push(InFlight {
+            seq: self.snd_nxt,
+            data: Vec::new(),
+            fin: true,
+            sent_at: now,
+        });
+        self.snd_nxt = self.snd_nxt.wrapping_add(1); // FIN consumes one.
+        Some(fin)
+    }
+
+    fn process_ack(&mut self, ack: u32) {
+        // Cumulative ACK: retire fully acknowledged segments.
+        self.in_flight.retain(|seg| {
+            let seg_end = seg
+                .seq
+                .wrapping_add(seg.data.len() as u32)
+                .wrapping_add(u32::from(seg.fin) + u32::from(seg.data.is_empty() && !seg.fin));
+            // For SYN segments data is empty and !fin: they occupy 1 seq.
+            seq_lt(ack, seg_end)
+        });
+        if seq_lt(self.snd_una, ack) {
+            self.snd_una = ack;
+        }
+    }
+
+    fn absorb_payload(&mut self, seq: u32, payload: Vec<u8>) {
+        if payload.is_empty() {
+            return;
+        }
+        if seq == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.recv_ready.extend_from_slice(&payload);
+            // Drain any now-contiguous out-of-order segments.
+            while let Some((&s, _)) = self.ooo.iter().next() {
+                if s != self.rcv_nxt {
+                    break;
+                }
+                let data = self.ooo.remove(&s).expect("key just seen");
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
+                self.recv_ready.extend_from_slice(&data);
+            }
+        } else if seq_lt(self.rcv_nxt, seq) {
+            self.ooo.entry(seq).or_insert(payload);
+        }
+        // Old (duplicate) data is dropped.
+    }
+
+    /// Handles an incoming packet; returns the packets to send in response.
+    pub fn on_packet(&mut self, pkt: &Packet, now: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        if pkt.flags & flags::RST != 0 {
+            self.state = TcpState::Closed;
+            self.in_flight.clear();
+            return out;
+        }
+        match self.state {
+            TcpState::Listen => {
+                if pkt.flags & flags::SYN != 0 {
+                    self.remote_port = pkt.src_port;
+                    self.rcv_nxt = pkt.seq.wrapping_add(1);
+                    self.state = TcpState::SynRcvd;
+                    let synack = self.mk(flags::SYN | flags::ACK);
+                    self.in_flight.push(InFlight {
+                        seq: self.snd_nxt,
+                        data: Vec::new(),
+                        fin: false,
+                        sent_at: now,
+                    });
+                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                    out.push(synack);
+                }
+            }
+            TcpState::SynSent => {
+                if pkt.flags & (flags::SYN | flags::ACK) == flags::SYN | flags::ACK {
+                    self.rcv_nxt = pkt.seq.wrapping_add(1);
+                    self.process_ack(pkt.ack);
+                    self.state = TcpState::Established;
+                    out.push(self.mk(flags::ACK));
+                }
+            }
+            TcpState::SynRcvd => {
+                if pkt.flags & flags::ACK != 0 {
+                    self.process_ack(pkt.ack);
+                    self.state = TcpState::Established;
+                    // Fall through into data handling for piggybacked data.
+                    self.absorb_payload(pkt.seq, pkt.payload.clone());
+                    if !pkt.payload.is_empty() {
+                        out.push(self.mk(flags::ACK));
+                    }
+                }
+            }
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::FinWait2
+            | TcpState::CloseWait
+            | TcpState::LastAck
+            | TcpState::TimeWait => {
+                if pkt.flags & flags::ACK != 0 {
+                    self.process_ack(pkt.ack);
+                    // State progress driven by our FIN being acknowledged.
+                    if self.in_flight.is_empty() {
+                        match self.state {
+                            TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                            TcpState::LastAck => self.state = TcpState::Closed,
+                            _ => {}
+                        }
+                    }
+                }
+                self.absorb_payload(pkt.seq, pkt.payload.clone());
+                if pkt.flags & flags::FIN != 0 && pkt.seq == self.rcv_nxt {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    match self.state {
+                        TcpState::Established => self.state = TcpState::CloseWait,
+                        TcpState::FinWait1 => self.state = TcpState::TimeWait,
+                        TcpState::FinWait2 => self.state = TcpState::TimeWait,
+                        _ => {}
+                    }
+                    out.push(self.mk(flags::ACK));
+                } else if !pkt.payload.is_empty() {
+                    out.push(self.mk(flags::ACK));
+                }
+            }
+            TcpState::Closed => {
+                if pkt.flags & flags::RST == 0 {
+                    let mut rst = self.mk(flags::RST);
+                    rst.dst_port = pkt.src_port;
+                    out.push(rst);
+                }
+            }
+        }
+        out
+    }
+
+    /// Retransmits timed-out segments.
+    pub fn tick(&mut self, now: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let rto = self.rto_ns;
+        for seg in &mut self.in_flight {
+            if now.saturating_sub(seg.sent_at) >= rto {
+                let mut fl = flags::ACK;
+                let empty = seg.data.is_empty();
+                if seg.fin {
+                    fl |= flags::FIN;
+                } else if empty {
+                    // A bare SYN or SYN|ACK retransmission.
+                    fl = if self.state == TcpState::SynSent {
+                        flags::SYN
+                    } else {
+                        flags::SYN | flags::ACK
+                    };
+                }
+                out.push(Packet {
+                    proto: proto::TCP,
+                    flags: fl,
+                    src_port: self.local_port,
+                    dst_port: self.remote_port,
+                    seq: seg.seq,
+                    ack: self.rcv_nxt,
+                    payload: seg.data.clone(),
+                });
+                seg.sent_at = now;
+                self.retransmits += 1;
+            }
+        }
+        out
+    }
+
+    /// True when all sent data has been acknowledged.
+    pub fn all_acked(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+/// Serial-number "less than" for 32-bit sequence space.
+fn seq_lt(a: u32, b: u32) -> bool {
+    (b.wrapping_sub(a) as i32) > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Delivers every packet in `pkts` to `dst`, returning responses.
+    fn deliver(dst: &mut TcpPcb, pkts: Vec<Packet>, now: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for p in pkts {
+            out.extend(dst.on_packet(&p, now));
+        }
+        out
+    }
+
+    fn established_pair() -> (TcpPcb, TcpPcb) {
+        let mut a = TcpPcb::new(1000, 100);
+        let mut b = TcpPcb::new(80, 9000);
+        b.listen();
+        let syn = a.connect(80, 0);
+        let synack = b.on_packet(&syn, 0);
+        let ack = deliver(&mut a, synack, 0);
+        deliver(&mut b, ack, 0);
+        assert_eq!(a.state, TcpState::Established);
+        assert_eq!(b.state, TcpState::Established);
+        (a, b)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (_a, _b) = established_pair();
+    }
+
+    #[test]
+    fn data_transfer_with_ack() {
+        let (mut a, mut b) = established_pair();
+        let segs = a.send(b"hello tcp", 1);
+        assert_eq!(segs.len(), 1);
+        let acks = deliver(&mut b, segs, 1);
+        assert_eq!(b.take_received(), b"hello tcp");
+        deliver(&mut a, acks, 1);
+        assert!(a.all_acked());
+    }
+
+    #[test]
+    fn large_send_is_segmented() {
+        let (mut a, mut b) = established_pair();
+        let data = vec![7u8; MAX_PAYLOAD * 3 + 10];
+        let segs = a.send(&data, 1);
+        assert_eq!(segs.len(), 4);
+        let acks = deliver(&mut b, segs, 1);
+        assert_eq!(b.take_received(), data);
+        deliver(&mut a, acks, 1);
+        assert!(a.all_acked());
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let (mut a, mut b) = established_pair();
+        let mut segs = a.send(&[vec![1u8; 100], vec![2u8; 100]].concat(), 1);
+        // Deliver the second segment first... need two segments; 200 bytes
+        // fits one segment, so send two separate chunks instead.
+        assert_eq!(segs.len(), 1);
+        let seg1 = segs.remove(0);
+        let seg2 = a.send(&vec![3u8; 50], 1).remove(0);
+        b.on_packet(&seg2, 1);
+        assert_eq!(b.available(), 0, "gap: nothing delivered yet");
+        b.on_packet(&seg1, 1);
+        let got = b.take_received();
+        assert_eq!(got.len(), 250);
+        assert_eq!(&got[200..], &[3u8; 50][..]);
+    }
+
+    #[test]
+    fn duplicate_segment_ignored() {
+        let (mut a, mut b) = established_pair();
+        let seg = a.send(b"once", 1).remove(0);
+        b.on_packet(&seg, 1);
+        b.on_packet(&seg, 1);
+        assert_eq!(b.take_received(), b"once");
+    }
+
+    #[test]
+    fn retransmission_after_timeout() {
+        let (mut a, mut b) = established_pair();
+        let segs = a.send(b"lost", 1);
+        drop(segs); // The wire ate them.
+        assert!(a.tick(1 + DEFAULT_RTO_NS / 2).is_empty(), "not yet");
+        let rts = a.tick(1 + DEFAULT_RTO_NS);
+        assert_eq!(rts.len(), 1);
+        assert_eq!(a.retransmits, 1);
+        let acks = deliver(&mut b, rts, 2);
+        assert_eq!(b.take_received(), b"lost");
+        deliver(&mut a, acks, 2);
+        assert!(a.all_acked());
+    }
+
+    #[test]
+    fn fin_teardown_both_directions() {
+        let (mut a, mut b) = established_pair();
+        let fin = a.close(1).expect("fin");
+        assert_eq!(a.state, TcpState::FinWait1);
+        let acks = b.on_packet(&fin, 1);
+        assert_eq!(b.state, TcpState::CloseWait);
+        deliver(&mut a, acks, 1);
+        assert!(matches!(a.state, TcpState::FinWait2 | TcpState::TimeWait));
+        let fin2 = b.close(2).expect("fin2");
+        assert_eq!(b.state, TcpState::LastAck);
+        let acks2 = a.on_packet(&fin2, 2);
+        assert_eq!(a.state, TcpState::TimeWait);
+        deliver(&mut b, acks2, 2);
+        assert_eq!(b.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_kills_connection() {
+        let (mut a, _b) = established_pair();
+        let mut rst = Packet::new(proto::TCP, 80, 1000);
+        rst.flags = flags::RST;
+        a.on_packet(&rst, 1);
+        assert_eq!(a.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn packet_to_closed_socket_gets_rst() {
+        let mut closed = TcpPcb::new(7, 1);
+        let mut probe = Packet::new(proto::TCP, 99, 7);
+        probe.flags = flags::ACK;
+        let out = closed.on_packet(&probe, 0);
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].flags & flags::RST, 0);
+    }
+
+    #[test]
+    fn seq_comparison_wraps() {
+        assert!(seq_lt(u32::MAX - 1, 2));
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+    }
+
+    #[test]
+    fn send_before_established_is_dropped() {
+        let mut a = TcpPcb::new(1, 0);
+        assert!(a.send(b"nope", 0).is_empty());
+    }
+}

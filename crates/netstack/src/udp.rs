@@ -1,0 +1,88 @@
+//! The UDP protocol engine: datagrams, no state worth the name.
+
+use std::collections::VecDeque;
+
+use crate::packet::{proto, Packet, MAX_PAYLOAD};
+
+/// The UDP protocol control block.
+#[derive(Debug, Default)]
+pub struct UdpPcb {
+    /// Local port.
+    pub local_port: u16,
+    /// Received datagrams: (source port, payload).
+    queue: VecDeque<(u16, Vec<u8>)>,
+    /// Datagrams dropped for being oversized.
+    pub dropped_oversize: u64,
+}
+
+impl UdpPcb {
+    /// A PCB bound to `local_port`.
+    pub fn new(local_port: u16) -> UdpPcb {
+        UdpPcb {
+            local_port,
+            ..UdpPcb::default()
+        }
+    }
+
+    /// Builds a datagram to `dst_port`; `None` if oversized.
+    pub fn send(&mut self, dst_port: u16, data: &[u8]) -> Option<Packet> {
+        if data.len() > MAX_PAYLOAD {
+            self.dropped_oversize += 1;
+            return None;
+        }
+        let mut p = Packet::new(proto::UDP, self.local_port, dst_port);
+        p.payload = data.to_vec();
+        Some(p)
+    }
+
+    /// Accepts an incoming datagram.
+    pub fn on_packet(&mut self, pkt: &Packet) {
+        self.queue.push_back((pkt.src_port, pkt.payload.clone()));
+    }
+
+    /// Takes the next received datagram.
+    pub fn recv(&mut self) -> Option<(u16, Vec<u8>)> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued datagrams.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datagram_roundtrip() {
+        let mut a = UdpPcb::new(1000);
+        let mut b = UdpPcb::new(2000);
+        let pkt = a.send(2000, b"ping").unwrap();
+        b.on_packet(&pkt);
+        assert_eq!(b.recv(), Some((1000, b"ping".to_vec())));
+        assert_eq!(b.recv(), None);
+    }
+
+    #[test]
+    fn oversized_datagram_refused() {
+        let mut a = UdpPcb::new(1);
+        assert!(a.send(2, &vec![0u8; MAX_PAYLOAD + 1]).is_none());
+        assert_eq!(a.dropped_oversize, 1);
+    }
+
+    #[test]
+    fn queue_preserves_order() {
+        let mut b = UdpPcb::new(9);
+        let mut a = UdpPcb::new(1);
+        for i in 0..3u8 {
+            let pkt = a.send(9, &[i]).unwrap();
+            b.on_packet(&pkt);
+        }
+        assert_eq!(b.pending(), 3);
+        for i in 0..3u8 {
+            assert_eq!(b.recv().unwrap().1, vec![i]);
+        }
+    }
+}

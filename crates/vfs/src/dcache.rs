@@ -1,0 +1,217 @@
+//! Dentry cache: memoizes `lookup(dir, name) → ino` during path walks.
+//!
+//! Bounded LRU keyed by `(directory inode, component name)`. The path layer
+//! invalidates entries on unlink/rmdir/rename; a stale dcache is itself a
+//! classic kernel bug source, so the tests pin the invalidation behaviour.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::inode::InodeNo;
+
+/// Cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DcacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the file system.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped by invalidation.
+    pub invalidations: u64,
+}
+
+struct Inner {
+    map: HashMap<(InodeNo, String), InodeNo>,
+    lru: Vec<(InodeNo, String)>,
+    stats: DcacheStats,
+}
+
+/// A bounded dentry cache.
+pub struct Dcache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl Dcache {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Dcache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                lru: Vec::new(),
+                stats: DcacheStats::default(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a cached entry, refreshing its recency.
+    pub fn get(&self, dir: InodeNo, name: &str) -> Option<InodeNo> {
+        let mut inner = self.inner.lock();
+        let key = (dir, name.to_string());
+        if let Some(&ino) = inner.map.get(&key) {
+            inner.stats.hits += 1;
+            if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                inner.lru.remove(pos);
+            }
+            inner.lru.push(key);
+            Some(ino)
+        } else {
+            inner.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts an entry, evicting the least-recent when full.
+    pub fn insert(&self, dir: InodeNo, name: &str, ino: InodeNo) {
+        let mut inner = self.inner.lock();
+        let key = (dir, name.to_string());
+        if inner.map.insert(key.clone(), ino).is_none() {
+            inner.lru.push(key);
+            if inner.map.len() > self.capacity {
+                let victim = inner.lru.remove(0);
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        } else if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+            let k = inner.lru.remove(pos);
+            inner.lru.push(k);
+        }
+    }
+
+    /// Drops one entry (on unlink/rmdir/rename of that name).
+    pub fn invalidate(&self, dir: InodeNo, name: &str) {
+        let mut inner = self.inner.lock();
+        let key = (dir, name.to_string());
+        if inner.map.remove(&key).is_some() {
+            if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                inner.lru.remove(pos);
+            }
+            inner.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops every entry under directory `dir` (on rmdir of `dir` or a
+    /// rename that moves it).
+    pub fn invalidate_dir(&self, dir: InodeNo) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<(InodeNo, String)> = inner
+            .map
+            .keys()
+            .filter(|(d, _)| *d == dir)
+            .cloned()
+            .collect();
+        for key in victims {
+            inner.map.remove(&key);
+            if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                inner.lru.remove(pos);
+            }
+            inner.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        let n = inner.map.len() as u64;
+        inner.map.clear();
+        inner.lru.clear();
+        inner.stats.invalidations += n;
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> DcacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let d = Dcache::new(8);
+        assert_eq!(d.get(1, "a"), None);
+        d.insert(1, "a", 42);
+        assert_eq!(d.get(1, "a"), Some(42));
+        let s = d.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recent() {
+        let d = Dcache::new(2);
+        d.insert(1, "a", 10);
+        d.insert(1, "b", 11);
+        d.get(1, "a"); // refresh a
+        d.insert(1, "c", 12); // evicts b
+        assert_eq!(d.get(1, "a"), Some(10));
+        assert_eq!(d.get(1, "b"), None);
+        assert_eq!(d.get(1, "c"), Some(12));
+        assert_eq!(d.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_removes_entry() {
+        let d = Dcache::new(8);
+        d.insert(1, "a", 10);
+        d.invalidate(1, "a");
+        assert_eq!(d.get(1, "a"), None);
+        assert_eq!(d.stats().invalidations, 1);
+        // Invalidating a missing entry is a no-op.
+        d.invalidate(1, "zzz");
+        assert_eq!(d.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_dir_scopes_to_directory() {
+        let d = Dcache::new(8);
+        d.insert(1, "a", 10);
+        d.insert(1, "b", 11);
+        d.insert(2, "a", 20);
+        d.invalidate_dir(1);
+        assert_eq!(d.get(1, "a"), None);
+        assert_eq!(d.get(1, "b"), None);
+        assert_eq!(d.get(2, "a"), Some(20));
+    }
+
+    #[test]
+    fn same_name_in_different_dirs_distinct() {
+        let d = Dcache::new(8);
+        d.insert(1, "x", 100);
+        d.insert(2, "x", 200);
+        assert_eq!(d.get(1, "x"), Some(100));
+        assert_eq!(d.get(2, "x"), Some(200));
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let d = Dcache::new(8);
+        d.insert(1, "a", 10);
+        d.insert(1, "a", 99);
+        assert_eq!(d.get(1, "a"), Some(99));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let d = Dcache::new(8);
+        d.insert(1, "a", 10);
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The generic inode and its lock discipline.
+//!
+//! §4.3, verbatim: "the kernel's generic inode data structure is passed
+//! from the VFS layer to the file system on most file system calls. Many of
+//! the inode's fields aren't associated with any inode-level
+//! synchronization mechanism … Three fields are explicitly protected by
+//! the `i_lock` field, but one of those three, the `i_size` field, is only
+//! *maybe* protected, according to the relevant comment."
+//!
+//! [`Inode`] reproduces that structure: `i_nlink`, `i_ctime_ns`, and
+//! `i_blocks` are declared protected by `i_lock` via
+//! [`Protected`]; `i_size` is *also* declared
+//! protected — but the legacy file system updates it through the
+//! `_unchecked` accessors on code paths where VFS has not taken `i_lock`,
+//! exactly the ambiguity the paper describes, and the lock registry records
+//! each such access. The safe file system only ever uses the disciplined
+//! accessors.
+
+use std::sync::Arc;
+
+use sk_ksim::lock::{KLock, LockRegistry, Protected};
+use sk_legacy::VoidPtr;
+
+/// Inode number.
+pub type InodeNo = u64;
+
+/// File type, as in `i_mode`'s format bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+}
+
+/// Attributes returned by `getattr`/`stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attr {
+    /// Inode number.
+    pub ino: InodeNo,
+    /// File type.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Link count.
+    pub nlink: u32,
+    /// Last-modification time (simulated ns).
+    pub mtime_ns: u64,
+}
+
+/// The generic in-memory inode shared between VFS and file systems.
+pub struct Inode {
+    /// Inode number (immutable; safe to read without locks).
+    pub i_ino: InodeNo,
+    /// File type (immutable after creation).
+    pub i_ftype: FileType,
+    /// The inode spinlock.
+    pub i_lock: KLock<()>,
+    /// File size. Declared protected by `i_lock`, but legacy code paths
+    /// update it without the lock (the "maybe protected" comment).
+    pub i_size: Protected<u64>,
+    /// Link count; protected by `i_lock`.
+    pub i_nlink: Protected<u32>,
+    /// Change time; protected by `i_lock`.
+    pub i_ctime_ns: Protected<u64>,
+    /// Block count; protected by `i_lock`.
+    pub i_blocks: Protected<u64>,
+    /// File-system private data — a raw `void *` in the legacy world.
+    /// The safe interface never touches this field.
+    pub i_private: parking_lot::Mutex<VoidPtr>,
+}
+
+impl Inode {
+    /// Creates an inode registered against `registry`.
+    pub fn new(registry: Arc<LockRegistry>, ino: InodeNo, ftype: FileType) -> Arc<Inode> {
+        let i_lock = KLock::new(registry, "i_lock", ());
+        let i_size = Protected::new(&i_lock, "i_size", 0u64);
+        let i_nlink = Protected::new(&i_lock, "i_nlink", 1u32);
+        let i_ctime_ns = Protected::new(&i_lock, "i_ctime", 0u64);
+        let i_blocks = Protected::new(&i_lock, "i_blocks", 0u64);
+        Arc::new(Inode {
+            i_ino: ino,
+            i_ftype: ftype,
+            i_lock,
+            i_size,
+            i_nlink,
+            i_ctime_ns,
+            i_blocks,
+            i_private: parking_lot::Mutex::new(VoidPtr::NULL),
+        })
+    }
+
+    /// Disciplined size read (takes `i_lock`).
+    pub fn size(&self) -> u64 {
+        let _g = self.i_lock.lock();
+        self.i_size.read().expect("lock held")
+    }
+
+    /// Disciplined size update (takes `i_lock`).
+    pub fn set_size(&self, size: u64) {
+        let _g = self.i_lock.lock();
+        self.i_size.write(size);
+    }
+
+    /// Builds an [`Attr`] snapshot under `i_lock`.
+    pub fn attr(&self) -> Attr {
+        let _g = self.i_lock.lock();
+        Attr {
+            ino: self.i_ino,
+            ftype: self.i_ftype,
+            size: self.i_size.read().expect("lock held"),
+            nlink: self.i_nlink.read().expect("lock held"),
+            mtime_ns: self.i_ctime_ns.read().expect("lock held"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sk_ksim::lock::Violation;
+
+    #[test]
+    fn disciplined_accessors_are_clean() {
+        let reg = LockRegistry::new();
+        let ino = Inode::new(Arc::clone(&reg), 1, FileType::Regular);
+        ino.set_size(100);
+        assert_eq!(ino.size(), 100);
+        let a = ino.attr();
+        assert_eq!(a.size, 100);
+        assert_eq!(a.nlink, 1);
+        assert_eq!(a.ftype, FileType::Regular);
+        assert!(reg.violations().is_empty());
+    }
+
+    #[test]
+    fn legacy_unchecked_size_update_is_recorded() {
+        let reg = LockRegistry::new();
+        let ino = Inode::new(Arc::clone(&reg), 2, FileType::Regular);
+        // The "file systems are responsible for updating i_size" path,
+        // without i_lock:
+        ino.i_size.write_unchecked(4096);
+        assert_eq!(ino.i_size.read_unchecked(), 4096);
+        let v = reg.violations();
+        assert_eq!(v.len(), 2);
+        assert!(matches!(
+            v[0],
+            Violation::UnlockedFieldAccess { lock: "i_lock", field: "i_size" }
+        ));
+    }
+
+    #[test]
+    fn private_data_defaults_to_null() {
+        let reg = LockRegistry::new();
+        let ino = Inode::new(reg, 3, FileType::Directory);
+        assert!(ino.i_private.lock().is_null());
+    }
+}

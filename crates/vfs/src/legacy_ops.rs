@@ -1,0 +1,138 @@
+//! The legacy (Step 0) file system interface: the C idioms, faithfully.
+//!
+//! Three unsafe patterns from the paper live in these signatures:
+//!
+//! - **`ERR_PTR` returns** (§4.2): [`LegacyFsOps::lookup`], `create`,
+//!   `mkdir`, `getattr`, `readdir`, and `write_begin` return an
+//!   [`ErrPtr`] — one word that is either a `VoidPtr` to a heap object or
+//!   a negative errno, and the caller had better remember `IS_ERR()`.
+//! - **Signed count-or-errno returns**: `read`, `write_end`, `unlink`,
+//!   `rmdir`, `rename`, `truncate`, `sync` return `i64` — non-negative on
+//!   success, `-errno` on failure, with nothing stopping a caller from
+//!   using a negative count as a length.
+//! - **`void *` custom data** (§4.2): `write_begin` hands back an opaque
+//!   `VoidPtr` "fsdata" that VFS must thread to `write_end`, which casts
+//!   it back to whatever the file system privately assumes.
+//!
+//! Ops are optional (`Option<…>`), as in Linux where unimplemented slots
+//! are NULL function pointers.
+
+use sk_ksim::errno::Errno;
+use sk_legacy::{ErrPtr, LegacyCtx, VoidPtr};
+
+use crate::inode::InodeNo;
+
+/// Boxed legacy op type aliases (all take the kernel context first).
+type LookupFn = Box<dyn Fn(&LegacyCtx, InodeNo, &str) -> ErrPtr + Send + Sync>;
+type CreateFn = Box<dyn Fn(&LegacyCtx, InodeNo, &str) -> ErrPtr + Send + Sync>;
+type RetFn = Box<dyn Fn(&LegacyCtx, InodeNo, &str) -> i64 + Send + Sync>;
+type ReadFn = Box<dyn Fn(&LegacyCtx, InodeNo, u64, &mut [u8]) -> i64 + Send + Sync>;
+type WriteBeginFn = Box<dyn Fn(&LegacyCtx, InodeNo, u64, usize) -> ErrPtr + Send + Sync>;
+type WriteEndFn = Box<dyn Fn(&LegacyCtx, InodeNo, u64, &[u8], VoidPtr) -> i64 + Send + Sync>;
+type ReaddirFn = Box<dyn Fn(&LegacyCtx, InodeNo) -> ErrPtr + Send + Sync>;
+type RenameFn = Box<dyn Fn(&LegacyCtx, InodeNo, &str, InodeNo, &str) -> i64 + Send + Sync>;
+type TruncateFn = Box<dyn Fn(&LegacyCtx, InodeNo, u64) -> i64 + Send + Sync>;
+type SyncFn = Box<dyn Fn(&LegacyCtx) -> i64 + Send + Sync>;
+type GetattrFn = Box<dyn Fn(&LegacyCtx, InodeNo) -> ErrPtr + Send + Sync>;
+type StatfsFn = Box<dyn Fn(&LegacyCtx) -> ErrPtr + Send + Sync>;
+
+/// The legacy file system operations struct (`struct file_operations` +
+/// `inode_operations` + `address_space_operations`, merged).
+pub struct LegacyFsOps {
+    /// Implementation name.
+    pub fs_name: &'static str,
+    /// Root inode number.
+    pub root_ino: InodeNo,
+    /// Lookup: returns `ERR_PTR` to a `VoidPtr`-wrapped [`InodeNo`].
+    pub lookup: Option<LookupFn>,
+    /// Create a regular file; `ERR_PTR` to the new `InodeNo`.
+    pub create: Option<CreateFn>,
+    /// Create a directory; `ERR_PTR` to the new `InodeNo`.
+    pub mkdir: Option<CreateFn>,
+    /// Unlink a file; 0 or `-errno`.
+    pub unlink: Option<RetFn>,
+    /// Remove an empty directory; 0 or `-errno`.
+    pub rmdir: Option<RetFn>,
+    /// Read; byte count or `-errno`.
+    pub read: Option<ReadFn>,
+    /// Begin a write; `ERR_PTR` to the opaque fsdata `VoidPtr`.
+    pub write_begin: Option<WriteBeginFn>,
+    /// End a write (consuming fsdata); byte count or `-errno`.
+    pub write_end: Option<WriteEndFn>,
+    /// List a directory; `ERR_PTR` to a `Vec<(String, InodeNo)>`.
+    pub readdir: Option<ReaddirFn>,
+    /// Rename; 0 or `-errno`.
+    pub rename: Option<RenameFn>,
+    /// Truncate; 0 or `-errno`.
+    pub truncate: Option<TruncateFn>,
+    /// Sync everything; 0 or `-errno`.
+    pub sync: Option<SyncFn>,
+    /// Attributes; `ERR_PTR` to a `VoidPtr`-wrapped [`crate::inode::Attr`].
+    pub getattr: Option<GetattrFn>,
+    /// Usage summary; `ERR_PTR` to a `VoidPtr`-wrapped [`crate::modular::StatFs`].
+    pub statfs: Option<StatfsFn>,
+}
+
+impl LegacyFsOps {
+    /// An all-NULL ops table (every op unimplemented).
+    pub fn empty(fs_name: &'static str, root_ino: InodeNo) -> Self {
+        LegacyFsOps {
+            fs_name,
+            root_ino,
+            lookup: None,
+            create: None,
+            mkdir: None,
+            unlink: None,
+            rmdir: None,
+            read: None,
+            write_begin: None,
+            write_end: None,
+            readdir: None,
+            rename: None,
+            truncate: None,
+            sync: None,
+            getattr: None,
+            statfs: None,
+        }
+    }
+}
+
+/// Encodes a success count the C way.
+pub fn ret_ok(n: u64) -> i64 {
+    n as i64
+}
+
+/// Encodes an error the C way (`-errno`).
+pub fn ret_err(e: Errno) -> i64 {
+    -i64::from(e.as_i32())
+}
+
+/// Decodes a C-style signed return into a `Result`.
+pub fn ret_check(r: i64) -> Result<u64, Errno> {
+    if r < 0 {
+        Err(Errno::from_i32((-r) as i32))
+    } else {
+        Ok(r as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_return_roundtrip() {
+        assert_eq!(ret_check(ret_ok(4096)), Ok(4096));
+        assert_eq!(ret_check(ret_err(Errno::ENOSPC)), Err(Errno::ENOSPC));
+        assert_eq!(ret_check(0), Ok(0));
+    }
+
+    #[test]
+    fn empty_ops_have_no_slots() {
+        let ops = LegacyFsOps::empty("null", 1);
+        assert!(ops.lookup.is_none());
+        assert!(ops.sync.is_none());
+        assert_eq!(ops.fs_name, "null");
+        assert_eq!(ops.root_ino, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sk-vfs — the virtual file system layer
+//!
+//! The VFS is the paper's recurring example of both the good and the bad in
+//! Linux interface design: "VFS provides an abstract file system interface"
+//! (§4.1's example of modularity that already exists), but it also passes
+//! `void *` custom data between `write_begin`/`write_end` (§4.2), returns
+//! pointer-or-error words from `lookup` (§4.2), and hands file systems a
+//! generic `inode` whose locking rules live in comments (§4.3).
+//!
+//! This crate implements the layer twice over:
+//!
+//! - [`legacy_ops`]: the Step-0 interface — C-style ops struct with
+//!   `ERR_PTR` returns, signed count-or-errno returns, and the
+//!   `write_begin`/`write_end` `void *` plumbing.
+//! - [`modular`]: the roadmap interface — a [`modular::FileSystem`] trait
+//!   whose signatures encode the paper's three ownership-sharing models
+//!   and whose errors are `KResult`.
+//! - [`inode`]: the shared generic inode, with `i_lock` and the "maybe
+//!   protected" `i_size` field reproduced faithfully via
+//!   `sk_ksim::lock::Protected`.
+//! - [`path`]: mount table, path resolution, fd table — the kernel-side
+//!   machinery above the file system interface, generic over which backend
+//!   is mounted (so one workload runs unchanged across every roadmap step).
+//! - [`dcache`]: a dentry cache with invalidation on unlink/rename.
+//! - [`spec`]: the abstract file-system model from §4.4 — "a map from path
+//!   strings to file content bytes" — with the paper's prefix-substitution
+//!   rename relation, used by the refinement and crash checkers.
+//! - [`shim`]: the adapter exposing a legacy ops table through the modular
+//!   interface (and vice versa), the "shim layer at every incremental
+//!   boundary".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dcache;
+pub mod inode;
+pub mod legacy_ops;
+pub mod memfs;
+pub mod modular;
+pub mod path;
+pub mod shim;
+pub mod spec;
+
+pub use inode::{Attr, FileType, InodeNo};
+pub use memfs::MemFs;
+pub use modular::{DirEntry, FileSystem, StatFs};
+pub use path::{OpenFlags, Vfs};
+pub use spec::FsModel;

@@ -1,0 +1,364 @@
+//! A trivial in-memory reference file system.
+//!
+//! [`MemFs`] is the simplest possible correct implementation of the
+//! modular [`FileSystem`] interface: a table of inodes holding either
+//! bytes or a name→ino map. It exists for three jobs:
+//!
+//! - unit-testing the VFS layer without dragging in a real file system;
+//! - serving as the *executable reference* the disk file systems are
+//!   compared against (its `Refines<FsModel>` is nearly definitional);
+//! - providing benches a no-IO upper bound.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sk_ksim::errno::{Errno, KResult};
+
+use crate::inode::{Attr, FileType, InodeNo};
+use crate::modular::{validate_name, DirEntry, FileSystem, StatFs};
+
+enum Node {
+    File(Vec<u8>),
+    Dir(BTreeMap<String, InodeNo>),
+}
+
+/// The in-memory reference file system.
+pub struct MemFs {
+    nodes: Mutex<BTreeMap<InodeNo, Node>>,
+    next_ino: AtomicU64,
+    tick: AtomicU64,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// An empty file system (root is inode 1).
+    pub fn new() -> MemFs {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(1, Node::Dir(BTreeMap::new()));
+        MemFs {
+            nodes: Mutex::new(nodes),
+            next_ino: AtomicU64::new(2),
+            tick: AtomicU64::new(1),
+        }
+    }
+
+    fn insert_child(&self, dir: InodeNo, name: &str, node: Node) -> KResult<InodeNo> {
+        validate_name(name)?;
+        let mut nodes = self.nodes.lock();
+        // Allocate first to avoid aliasing the map borrow.
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        match nodes.get_mut(&dir) {
+            Some(Node::Dir(entries)) => {
+                if entries.contains_key(name) {
+                    return Err(Errno::EEXIST);
+                }
+                entries.insert(name.to_string(), ino);
+            }
+            Some(Node::File(_)) => return Err(Errno::ENOTDIR),
+            None => return Err(Errno::ENOENT),
+        }
+        nodes.insert(ino, node);
+        Ok(ino)
+    }
+}
+
+impl FileSystem for MemFs {
+    fn fs_name(&self) -> &'static str {
+        "memfs"
+    }
+
+    fn root_ino(&self) -> InodeNo {
+        1
+    }
+
+    fn lookup(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        validate_name(name)?;
+        let nodes = self.nodes.lock();
+        match nodes.get(&dir) {
+            Some(Node::Dir(entries)) => entries.get(name).copied().ok_or(Errno::ENOENT),
+            Some(Node::File(_)) => Err(Errno::ENOTDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn getattr(&self, ino: InodeNo) -> KResult<Attr> {
+        let nodes = self.nodes.lock();
+        match nodes.get(&ino) {
+            Some(Node::File(data)) => Ok(Attr {
+                ino,
+                ftype: FileType::Regular,
+                size: data.len() as u64,
+                nlink: 1,
+                mtime_ns: 0,
+            }),
+            Some(Node::Dir(_)) => Ok(Attr {
+                ino,
+                ftype: FileType::Directory,
+                size: 0,
+                nlink: 1,
+                mtime_ns: 0,
+            }),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn create(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        self.tick.fetch_add(1, Ordering::Relaxed);
+        self.insert_child(dir, name, Node::File(Vec::new()))
+    }
+
+    fn mkdir(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        self.insert_child(dir, name, Node::Dir(BTreeMap::new()))
+    }
+
+    fn unlink(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        validate_name(name)?;
+        let mut nodes = self.nodes.lock();
+        let victim = match nodes.get(&dir) {
+            Some(Node::Dir(entries)) => *entries.get(name).ok_or(Errno::ENOENT)?,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        match nodes.get(&victim) {
+            Some(Node::Dir(_)) => return Err(Errno::EISDIR),
+            Some(Node::File(_)) => {}
+            None => return Err(Errno::ENOENT),
+        }
+        if let Some(Node::Dir(entries)) = nodes.get_mut(&dir) {
+            entries.remove(name);
+        }
+        nodes.remove(&victim);
+        Ok(())
+    }
+
+    fn rmdir(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        validate_name(name)?;
+        let mut nodes = self.nodes.lock();
+        let victim = match nodes.get(&dir) {
+            Some(Node::Dir(entries)) => *entries.get(name).ok_or(Errno::ENOENT)?,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        match nodes.get(&victim) {
+            Some(Node::Dir(entries)) if !entries.is_empty() => return Err(Errno::ENOTEMPTY),
+            Some(Node::Dir(_)) => {}
+            Some(Node::File(_)) => return Err(Errno::ENOTDIR),
+            None => return Err(Errno::ENOENT),
+        }
+        if let Some(Node::Dir(entries)) = nodes.get_mut(&dir) {
+            entries.remove(name);
+        }
+        nodes.remove(&victim);
+        Ok(())
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> KResult<usize> {
+        let nodes = self.nodes.lock();
+        match nodes.get(&ino) {
+            Some(Node::File(data)) => {
+                let off = usize::try_from(off).map_err(|_| Errno::EFBIG)?;
+                if off >= data.len() {
+                    return Ok(0);
+                }
+                let n = buf.len().min(data.len() - off);
+                buf[..n].copy_from_slice(&data[off..off + n]);
+                Ok(n)
+            }
+            Some(Node::Dir(_)) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
+        let mut nodes = self.nodes.lock();
+        match nodes.get_mut(&ino) {
+            Some(Node::File(content)) => {
+                let off = usize::try_from(off).map_err(|_| Errno::EFBIG)?;
+                let end = off.checked_add(data.len()).ok_or(Errno::EOVERFLOW)?;
+                if content.len() < end {
+                    content.resize(end, 0);
+                }
+                content[off..end].copy_from_slice(data);
+                Ok(data.len())
+            }
+            Some(Node::Dir(_)) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn readdir(&self, dir: InodeNo) -> KResult<Vec<DirEntry>> {
+        let nodes = self.nodes.lock();
+        match nodes.get(&dir) {
+            Some(Node::Dir(entries)) => Ok(entries
+                .iter()
+                .map(|(name, &ino)| DirEntry {
+                    name: name.clone(),
+                    ino,
+                })
+                .collect()),
+            Some(Node::File(_)) => Err(Errno::ENOTDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn rename(
+        &self,
+        olddir: InodeNo,
+        oldname: &str,
+        newdir: InodeNo,
+        newname: &str,
+    ) -> KResult<()> {
+        validate_name(oldname)?;
+        validate_name(newname)?;
+        let mut nodes = self.nodes.lock();
+        let src = match nodes.get(&olddir) {
+            Some(Node::Dir(entries)) => *entries.get(oldname).ok_or(Errno::ENOENT)?,
+            _ => return Err(Errno::ENOTDIR),
+        };
+        if olddir == newdir && oldname == newname {
+            return Ok(());
+        }
+        let src_is_dir = matches!(nodes.get(&src), Some(Node::Dir(_)));
+        // Target handling per the model semantics.
+        let target = match nodes.get(&newdir) {
+            Some(Node::Dir(entries)) => entries.get(newname).copied(),
+            _ => return Err(Errno::ENOTDIR),
+        };
+        if let Some(t) = target {
+            match (src_is_dir, nodes.get(&t)) {
+                (false, Some(Node::Dir(_))) => return Err(Errno::EISDIR),
+                (true, Some(Node::File(_))) => return Err(Errno::ENOTDIR),
+                (true, Some(Node::Dir(entries))) if !entries.is_empty() => {
+                    return Err(Errno::ENOTEMPTY)
+                }
+                _ => {}
+            }
+            nodes.remove(&t);
+        }
+        if let Some(Node::Dir(entries)) = nodes.get_mut(&olddir) {
+            entries.remove(oldname);
+        }
+        if let Some(Node::Dir(entries)) = nodes.get_mut(&newdir) {
+            entries.insert(newname.to_string(), src);
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, ino: InodeNo, size: u64) -> KResult<()> {
+        let mut nodes = self.nodes.lock();
+        match nodes.get_mut(&ino) {
+            Some(Node::File(content)) => {
+                let size = usize::try_from(size).map_err(|_| Errno::EFBIG)?;
+                content.resize(size, 0);
+                Ok(())
+            }
+            Some(Node::Dir(_)) => Err(Errno::EISDIR),
+            None => Err(Errno::ENOENT),
+        }
+    }
+
+    fn sync(&self) -> KResult<()> {
+        Ok(())
+    }
+
+    fn statfs(&self) -> KResult<StatFs> {
+        let nodes = self.nodes.lock();
+        Ok(StatFs {
+            blocks_total: u64::MAX / 2,
+            blocks_free: u64::MAX / 2,
+            inodes_total: u64::MAX / 2,
+            inodes_free: u64::MAX / 2 - nodes.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::fs_abstraction;
+    use crate::path::{Vfs, FS_INTERFACE};
+    use crate::spec::FsModel;
+    use sk_core::modularity::Registry;
+    use std::sync::Arc;
+
+    fn mount() -> Vfs {
+        let registry = Registry::new();
+        registry
+            .register::<dyn FileSystem>(FS_INTERFACE, "memfs", Arc::new(MemFs::new()) as _)
+            .unwrap();
+        Vfs::mount(&registry).unwrap()
+    }
+
+    #[test]
+    fn memfs_basic_tree() {
+        let fs = MemFs::new();
+        let d = fs.mkdir(1, "d").unwrap();
+        let f = fs.create(d, "f").unwrap();
+        fs.write(f, 2, b"xy").unwrap();
+        let mut buf = [0u8; 8];
+        assert_eq!(fs.read(f, 0, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"\0\0xy");
+        assert_eq!(fs.lookup(d, "f").unwrap(), f);
+        assert_eq!(fs.readdir(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memfs_abstraction_matches_model() {
+        let fs = MemFs::new();
+        let d = fs.mkdir(1, "dir").unwrap();
+        let f = fs.create(d, "f").unwrap();
+        fs.write(f, 0, b"abc").unwrap();
+        let model = FsModel::new()
+            .mkdir("/dir")
+            .unwrap()
+            .create("/dir/f")
+            .unwrap()
+            .write("/dir/f", 0, b"abc")
+            .unwrap();
+        assert_eq!(fs_abstraction(&fs), model);
+    }
+
+    #[test]
+    fn vfs_over_memfs_full_pass() {
+        // The VFS layer's own logic exercised against the reference impl:
+        // resolution, dcache, fds, rename ancestor check.
+        let vfs = mount();
+        vfs.mkdir("/a").unwrap();
+        vfs.mkdir("/a/b").unwrap();
+        vfs.create("/a/b/c").unwrap();
+        vfs.write_file("/a/b/c", 0, b"deep").unwrap();
+        assert_eq!(vfs.read_file("/a/./b/../b/c").unwrap(), b"deep");
+        assert_eq!(vfs.rename("/a", "/a/b/evil"), Err(Errno::EINVAL));
+        let fd = vfs.open("/a/b/c").unwrap();
+        let mut buf = [0u8; 2];
+        assert_eq!(vfs.read(fd, &mut buf).unwrap(), 2);
+        assert_eq!(vfs.read(fd, &mut buf).unwrap(), 2);
+        assert_eq!(vfs.read(fd, &mut buf).unwrap(), 0);
+        vfs.close(fd).unwrap();
+        vfs.rename("/a/b/c", "/top").unwrap();
+        assert_eq!(vfs.read_file("/top").unwrap(), b"deep");
+        vfs.rmdir("/a/b").unwrap();
+        vfs.rmdir("/a").unwrap();
+        assert_eq!(vfs.readdir("/").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn memfs_error_paths() {
+        let fs = MemFs::new();
+        assert_eq!(fs.lookup(1, "x"), Err(Errno::ENOENT));
+        assert_eq!(fs.getattr(99), Err(Errno::ENOENT));
+        let f = fs.create(1, "f").unwrap();
+        assert_eq!(fs.create(1, "f"), Err(Errno::EEXIST));
+        assert_eq!(fs.lookup(f, "sub"), Err(Errno::ENOTDIR));
+        assert_eq!(fs.rmdir(1, "f"), Err(Errno::ENOTDIR));
+        assert_eq!(fs.readdir(f), Err(Errno::ENOTDIR));
+        let d = fs.mkdir(1, "d").unwrap();
+        fs.create(d, "kid").unwrap();
+        assert_eq!(fs.rmdir(1, "d"), Err(Errno::ENOTEMPTY));
+        assert_eq!(fs.unlink(1, "d"), Err(Errno::EISDIR));
+    }
+}

@@ -1,0 +1,321 @@
+//! Path resolution, file descriptors, and the syscall-shaped API.
+//!
+//! [`Vfs`] is "the rest of the kernel" relative to a file system module: it
+//! owns path walking (through the [`Dcache`]), the file descriptor table,
+//! and the mount point. Crucially for the roadmap, it holds the file system
+//! only as an `InterfaceHandle<dyn FileSystem>` (Step 1): the workloads in
+//! the examples and benches run unchanged while the implementation behind
+//! the handle is hot-swapped from the legacy adapter to the safe file
+//! system.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use sk_core::modularity::{InterfaceHandle, Registry};
+use sk_core::spec::Refines;
+use sk_ksim::errno::{Errno, KResult};
+
+use crate::dcache::Dcache;
+use crate::inode::{Attr, FileType, InodeNo};
+use crate::modular::{validate_name, DirEntry, FileSystem, StatFs};
+use crate::spec::{normalize, FsModel};
+
+/// A file descriptor.
+pub type Fd = u64;
+
+/// The interface name the VFS subscribes to in the registry.
+pub const FS_INTERFACE: &str = "vfs.filesystem";
+
+/// Open-mode flags for the fd API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Refuse writes through this descriptor.
+    pub read_only: bool,
+    /// Every write lands at end-of-file, regardless of the cursor.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Read-write, positional (the default).
+    pub const RDWR: OpenFlags = OpenFlags {
+        read_only: false,
+        append: false,
+    };
+    /// Read-only.
+    pub const RDONLY: OpenFlags = OpenFlags {
+        read_only: true,
+        append: false,
+    };
+    /// Append mode.
+    pub const APPEND: OpenFlags = OpenFlags {
+        read_only: false,
+        append: true,
+    };
+}
+
+struct OpenFile {
+    ino: InodeNo,
+    pos: u64,
+    flags: OpenFlags,
+}
+
+/// The VFS layer: path walking + fd table over a modular file system.
+pub struct Vfs {
+    fs: InterfaceHandle<dyn FileSystem>,
+    dcache: Dcache,
+    fds: Mutex<HashMap<Fd, OpenFile>>,
+    next_fd: AtomicU64,
+}
+
+impl Vfs {
+    /// Mounts whatever file system is registered under
+    /// [`FS_INTERFACE`] in `registry`.
+    pub fn mount(registry: &Registry) -> KResult<Vfs> {
+        let fs = registry.subscribe::<dyn FileSystem>(FS_INTERFACE)?;
+        Ok(Vfs {
+            fs,
+            dcache: Dcache::new(1024),
+            fds: Mutex::new(HashMap::new()),
+            next_fd: AtomicU64::new(3), // 0-2 reserved, as tradition demands
+        })
+    }
+
+    /// The interface handle (e.g. to inspect which implementation serves).
+    pub fn fs_handle(&self) -> &InterfaceHandle<dyn FileSystem> {
+        &self.fs
+    }
+
+    /// The dentry cache (exposed for stats in benches).
+    pub fn dcache(&self) -> &Dcache {
+        &self.dcache
+    }
+
+    /// Resolves a path to an inode, walking component by component.
+    pub fn resolve(&self, path: &str) -> KResult<InodeNo> {
+        let path = normalize(path)?;
+        let fs = self.fs.get();
+        let mut cur = fs.root_ino();
+        if path == "/" {
+            return Ok(cur);
+        }
+        for comp in path[1..].split('/') {
+            if let Some(ino) = self.dcache.get(cur, comp) {
+                cur = ino;
+                continue;
+            }
+            let ino = fs.lookup(cur, comp)?;
+            self.dcache.insert(cur, comp, ino);
+            cur = ino;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves a path's parent directory and final component.
+    fn resolve_parent(&self, path: &str) -> KResult<(InodeNo, String)> {
+        let path = normalize(path)?;
+        let name = crate::spec::basename_of(&path)
+            .ok_or(Errno::EINVAL)?
+            .to_string();
+        validate_name(&name)?;
+        let parent = crate::spec::parent_of(&path).ok_or(Errno::EINVAL)?;
+        let dir = self.resolve(&parent)?;
+        Ok((dir, name))
+    }
+
+    /// Creates a regular file.
+    pub fn create(&self, path: &str) -> KResult<InodeNo> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let ino = self.fs.get().create(dir, &name)?;
+        self.dcache.insert(dir, &name, ino);
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str) -> KResult<InodeNo> {
+        let (dir, name) = self.resolve_parent(path)?;
+        let ino = self.fs.get().mkdir(dir, &name)?;
+        self.dcache.insert(dir, &name, ino);
+        Ok(ino)
+    }
+
+    /// Removes a regular file.
+    pub fn unlink(&self, path: &str) -> KResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        self.fs.get().unlink(dir, &name)?;
+        self.dcache.invalidate(dir, &name);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> KResult<()> {
+        let (dir, name) = self.resolve_parent(path)?;
+        // Invalidate children entries of the dying directory first.
+        if let Ok(victim) = self.resolve(path) {
+            self.dcache.invalidate_dir(victim);
+        }
+        self.fs.get().rmdir(dir, &name)?;
+        self.dcache.invalidate(dir, &name);
+        Ok(())
+    }
+
+    /// Renames `old` to `new`.
+    ///
+    /// The VFS (not the file system) owns the ancestor check: renaming a
+    /// directory into its own subtree is refused with `EINVAL`, as in
+    /// Linux's `lock_rename` path — the file system only ever sees
+    /// per-directory entry moves and cannot detect the cycle itself.
+    pub fn rename(&self, old: &str, new: &str) -> KResult<()> {
+        let old_n = normalize(old)?;
+        let new_n = normalize(new)?;
+        if new_n != old_n && new_n.starts_with(&format!("{old_n}/")) {
+            let attr = self.stat(&old_n)?;
+            if attr.ftype == FileType::Directory {
+                return Err(Errno::EINVAL);
+            }
+        }
+        let (odir, oname) = self.resolve_parent(old)?;
+        let (ndir, nname) = self.resolve_parent(new)?;
+        self.fs.get().rename(odir, &oname, ndir, &nname)?;
+        self.dcache.invalidate(odir, &oname);
+        self.dcache.invalidate(ndir, &nname);
+        Ok(())
+    }
+
+    /// Attributes of the object at `path`.
+    pub fn stat(&self, path: &str) -> KResult<Attr> {
+        let ino = self.resolve(path)?;
+        self.fs.get().getattr(ino)
+    }
+
+    /// Directory listing.
+    pub fn readdir(&self, path: &str) -> KResult<Vec<DirEntry>> {
+        let ino = self.resolve(path)?;
+        self.fs.get().readdir(ino)
+    }
+
+    /// Truncates a file.
+    pub fn truncate(&self, path: &str, size: u64) -> KResult<()> {
+        let ino = self.resolve(path)?;
+        self.fs.get().truncate(ino, size)
+    }
+
+    /// Whole-file convenience read.
+    pub fn read_file(&self, path: &str) -> KResult<Vec<u8>> {
+        let ino = self.resolve(path)?;
+        let fs = self.fs.get();
+        let attr = fs.getattr(ino)?;
+        if attr.ftype == FileType::Directory {
+            return Err(Errno::EISDIR);
+        }
+        let mut buf = vec![0u8; attr.size as usize];
+        let n = fs.read(ino, 0, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+
+    /// Positional write by path.
+    pub fn write_file(&self, path: &str, off: u64, data: &[u8]) -> KResult<usize> {
+        let ino = self.resolve(path)?;
+        self.fs.get().write(ino, off, data)
+    }
+
+    /// Makes everything durable.
+    pub fn sync(&self) -> KResult<()> {
+        self.fs.get().sync()
+    }
+
+    /// File system usage summary.
+    pub fn statfs(&self) -> KResult<StatFs> {
+        self.fs.get().statfs()
+    }
+
+    // --- fd-based API -----------------------------------------------------
+
+    /// Opens an existing regular file read-write at offset 0.
+    pub fn open(&self, path: &str) -> KResult<Fd> {
+        self.open_with(path, OpenFlags::RDWR)
+    }
+
+    /// Opens an existing regular file with explicit [`OpenFlags`].
+    pub fn open_with(&self, path: &str, flags: OpenFlags) -> KResult<Fd> {
+        let ino = self.resolve(path)?;
+        let attr = self.fs.get().getattr(ino)?;
+        if attr.ftype == FileType::Directory {
+            return Err(Errno::EISDIR);
+        }
+        let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.fds.lock().insert(
+            fd,
+            OpenFile {
+                ino,
+                pos: 0,
+                flags,
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Sequential read advancing the descriptor offset.
+    pub fn read(&self, fd: Fd, buf: &mut [u8]) -> KResult<usize> {
+        let (ino, pos) = {
+            let fds = self.fds.lock();
+            let f = fds.get(&fd).ok_or(Errno::EBADF)?;
+            (f.ino, f.pos)
+        };
+        let n = self.fs.get().read(ino, pos, buf)?;
+        if let Some(f) = self.fds.lock().get_mut(&fd) {
+            f.pos += n as u64;
+        }
+        Ok(n)
+    }
+
+    /// Sequential write advancing the descriptor offset. Honors
+    /// [`OpenFlags`]: read-only descriptors refuse with `EBADF`; append
+    /// descriptors write at end-of-file.
+    pub fn write(&self, fd: Fd, data: &[u8]) -> KResult<usize> {
+        let (ino, pos, flags) = {
+            let fds = self.fds.lock();
+            let f = fds.get(&fd).ok_or(Errno::EBADF)?;
+            (f.ino, f.pos, f.flags)
+        };
+        if flags.read_only {
+            return Err(Errno::EBADF);
+        }
+        let fs = self.fs.get();
+        let pos = if flags.append {
+            fs.getattr(ino)?.size
+        } else {
+            pos
+        };
+        let n = fs.write(ino, pos, data)?;
+        if let Some(f) = self.fds.lock().get_mut(&fd) {
+            f.pos = pos + n as u64;
+        }
+        Ok(n)
+    }
+
+    /// Absolute seek; returns the new offset.
+    pub fn seek(&self, fd: Fd, pos: u64) -> KResult<u64> {
+        let mut fds = self.fds.lock();
+        let f = fds.get_mut(&fd).ok_or(Errno::EBADF)?;
+        f.pos = pos;
+        Ok(pos)
+    }
+
+    /// Closes a descriptor.
+    pub fn close(&self, fd: Fd) -> KResult<()> {
+        self.fds
+            .lock()
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or(Errno::EBADF)
+    }
+}
+
+impl Refines<FsModel> for Vfs {
+    /// Interprets the mounted tree as the abstract model by walking it.
+    fn abstraction(&self) -> FsModel {
+        crate::modular::fs_abstraction(&*self.fs.get())
+    }
+}

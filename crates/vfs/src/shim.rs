@@ -1,0 +1,265 @@
+//! Shim layers between the legacy and modular file system interfaces.
+//!
+//! "A shim layer is then needed to bridge the communication gap between the
+//! verified modules and unverified components" (§4.4). Two directions:
+//!
+//! - [`LegacyFsAdapter`]: presents a legacy ops table *as* a modular
+//!   [`FileSystem`], so a Step-0 implementation can sit behind the Step-1
+//!   registry while awaiting replacement. This is the state of the world at
+//!   the start of `examples/incremental_migration.rs`. Every call crosses a
+//!   [`Boundary`] (counted), decodes `ERR_PTR`/signed returns into
+//!   `KResult`, and — faithfully to the paper's `write_begin`/`write_end`
+//!   example — threads the legacy `void *` fsdata between the two halves of
+//!   a write.
+//! - [`export_legacy`]: wraps a modular [`FileSystem`] in a legacy ops
+//!   table, for unconverted callers that still speak `ERR_PTR`. Incremental
+//!   replacement needs both directions, since callers and callees convert
+//!   at different times.
+
+use std::sync::Arc;
+
+use sk_core::shim::Boundary;
+use sk_ksim::errno::{Errno, KResult};
+use sk_legacy::{ErrPtr, LegacyCtx, VoidPtr};
+
+use crate::inode::{Attr, InodeNo};
+use crate::legacy_ops::{ret_check, ret_err, ret_ok, LegacyFsOps};
+use crate::modular::{DirEntry, FileSystem, StatFs};
+
+/// Adapts a legacy ops table to the modular interface.
+pub struct LegacyFsAdapter {
+    ops: Arc<LegacyFsOps>,
+    ctx: LegacyCtx,
+    boundary: Boundary,
+}
+
+impl LegacyFsAdapter {
+    /// Wraps `ops`, calling it in `ctx` and accounting crossings to a
+    /// boundary named after the file system.
+    pub fn new(ops: Arc<LegacyFsOps>, ctx: LegacyCtx) -> Self {
+        LegacyFsAdapter {
+            boundary: Boundary::new("vfs<->legacy-fs"),
+            ops,
+            ctx,
+        }
+    }
+
+    /// The boundary instrumentation.
+    pub fn boundary(&self) -> &Boundary {
+        &self.boundary
+    }
+
+    /// The legacy kernel context (for the fault study's ledger).
+    pub fn ctx(&self) -> &LegacyCtx {
+        &self.ctx
+    }
+
+    /// Decodes an `ERR_PTR` that should point at a `T`, freeing the carrier
+    /// object (the legacy side allocates, the shim frees — that contract is
+    /// itself part of the boundary's axioms).
+    fn take<T: 'static>(&self, e: ErrPtr, site: &'static str) -> KResult<T> {
+        let p = e.check()?;
+        self.ctx.vp_take::<T>(p, site).ok_or(Errno::EFAULT)
+    }
+}
+
+impl FileSystem for LegacyFsAdapter {
+    fn fs_name(&self) -> &'static str {
+        self.ops.fs_name
+    }
+
+    fn root_ino(&self) -> InodeNo {
+        self.ops.root_ino
+    }
+
+    fn lookup(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        let op = self.ops.lookup.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx, dir, name));
+        self.take::<InodeNo>(e, "shim::lookup")
+    }
+
+    fn getattr(&self, ino: InodeNo) -> KResult<Attr> {
+        let op = self.ops.getattr.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx, ino));
+        self.take::<Attr>(e, "shim::getattr")
+    }
+
+    fn create(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        let op = self.ops.create.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx, dir, name));
+        self.take::<InodeNo>(e, "shim::create")
+    }
+
+    fn mkdir(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
+        let op = self.ops.mkdir.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx, dir, name));
+        self.take::<InodeNo>(e, "shim::mkdir")
+    }
+
+    fn unlink(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        let op = self.ops.unlink.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx, dir, name))).map(|_| ())
+    }
+
+    fn rmdir(&self, dir: InodeNo, name: &str) -> KResult<()> {
+        let op = self.ops.rmdir.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx, dir, name))).map(|_| ())
+    }
+
+    fn read(&self, ino: InodeNo, off: u64, buf: &mut [u8]) -> KResult<usize> {
+        let op = self.ops.read.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx, ino, off, buf))).map(|n| n as usize)
+    }
+
+    fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
+        // The paper's example, across the boundary: write_begin returns a
+        // `void *` fsdata that the kernel must carry to write_end.
+        let begin = self.ops.write_begin.as_ref().ok_or(Errno::ENOSYS)?;
+        let end = self.ops.write_end.as_ref().ok_or(Errno::ENOSYS)?;
+        let fsdata = self
+            .boundary
+            .cross(|| begin(&self.ctx, ino, off, data.len()))
+            .check()?;
+        let r = self.boundary.cross(|| end(&self.ctx, ino, off, data, fsdata));
+        ret_check(r).map(|n| n as usize)
+    }
+
+    fn readdir(&self, dir: InodeNo) -> KResult<Vec<DirEntry>> {
+        let op = self.ops.readdir.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx, dir));
+        let raw: Vec<(String, InodeNo)> = self.take(e, "shim::readdir")?;
+        Ok(raw
+            .into_iter()
+            .map(|(name, ino)| DirEntry { name, ino })
+            .collect())
+    }
+
+    fn rename(
+        &self,
+        olddir: InodeNo,
+        oldname: &str,
+        newdir: InodeNo,
+        newname: &str,
+    ) -> KResult<()> {
+        let op = self.ops.rename.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(
+            self.boundary
+                .cross(|| op(&self.ctx, olddir, oldname, newdir, newname)),
+        )
+        .map(|_| ())
+    }
+
+    fn truncate(&self, ino: InodeNo, size: u64) -> KResult<()> {
+        let op = self.ops.truncate.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx, ino, size))).map(|_| ())
+    }
+
+    fn sync(&self) -> KResult<()> {
+        let op = self.ops.sync.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx))).map(|_| ())
+    }
+
+    fn statfs(&self) -> KResult<StatFs> {
+        let op = self.ops.statfs.as_ref().ok_or(Errno::ENOSYS)?;
+        let e = self.boundary.cross(|| op(&self.ctx));
+        self.take::<StatFs>(e, "shim::statfs")
+    }
+}
+
+/// Exports a modular file system through the legacy ops interface, for
+/// callers that have not converted yet.
+pub fn export_legacy(fs: Arc<dyn FileSystem>, _ctx: &LegacyCtx) -> LegacyFsOps {
+    let mut ops = LegacyFsOps::empty(fs.fs_name(), fs.root_ino());
+
+    let f = Arc::clone(&fs);
+    ops.lookup = Some(Box::new(move |ctx, dir, name| match f.lookup(dir, name) {
+        Ok(ino) => ErrPtr::ok(ctx.vp_new(ino)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.create = Some(Box::new(move |ctx, dir, name| match f.create(dir, name) {
+        Ok(ino) => ErrPtr::ok(ctx.vp_new(ino)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.mkdir = Some(Box::new(move |ctx, dir, name| match f.mkdir(dir, name) {
+        Ok(ino) => ErrPtr::ok(ctx.vp_new(ino)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.unlink = Some(Box::new(move |_, dir, name| match f.unlink(dir, name) {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.rmdir = Some(Box::new(move |_, dir, name| match f.rmdir(dir, name) {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.read = Some(Box::new(move |_, ino, off, buf| match f.read(ino, off, buf) {
+        Ok(n) => ret_ok(n as u64),
+        Err(e) => ret_err(e),
+    }));
+
+    // The safe side has no fsdata to smuggle; the shim gives legacy callers
+    // a NULL `void *`, which `write_end` below ignores.
+    ops.write_begin = Some(Box::new(move |_, _, _, _| ErrPtr::ok(VoidPtr::NULL)));
+
+    let f = Arc::clone(&fs);
+    ops.write_end = Some(Box::new(move |_, ino, off, data, _fsdata| {
+        match f.write(ino, off, data) {
+            Ok(n) => ret_ok(n as u64),
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.readdir = Some(Box::new(move |ctx, dir| match f.readdir(dir) {
+        Ok(entries) => {
+            let raw: Vec<(String, InodeNo)> =
+                entries.into_iter().map(|e| (e.name, e.ino)).collect();
+            ErrPtr::ok(ctx.vp_new(raw))
+        }
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.rename = Some(Box::new(move |_, od, on, nd, nn| {
+        match f.rename(od, on, nd, nn) {
+            Ok(()) => 0,
+            Err(e) => ret_err(e),
+        }
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.truncate = Some(Box::new(move |_, ino, size| match f.truncate(ino, size) {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.sync = Some(Box::new(move |_| match f.sync() {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.getattr = Some(Box::new(move |ctx, ino| match f.getattr(ino) {
+        Ok(attr) => ErrPtr::ok(ctx.vp_new(attr)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.statfs = Some(Box::new(move |ctx| match f.statfs() {
+        Ok(s) => ErrPtr::ok(ctx.vp_new(s)),
+        Err(e) => ErrPtr::err(e),
+    }));
+
+    ops
+}

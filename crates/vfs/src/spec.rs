@@ -1,0 +1,520 @@
+//! The abstract file-system model (§4.4's modeling language, instantiated).
+//!
+//! "For example, a file system can be modeled as a map from path strings to
+//! file content bytes." [`FsModel`] is exactly that map (plus the set of
+//! directories), and every operation is a *pure function* from model to
+//! model — immutable objects, no side effects, as the paper prescribes for
+//! modeling languages. The implementation's operations are then verified as
+//! relations between before- and after-models by
+//! `sk_core::spec::RefinementChecker`.
+//!
+//! The rename specification is the paper's own example: "the
+//! directory-rename operation may be modeled as a relation between old and
+//! new maps in which every path key with a given prefix is substituted with
+//! a new prefix" — see [`FsModel::rename`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sk_ksim::errno::{Errno, KResult};
+
+/// Normalizes an absolute path: collapses `//`, resolves `.` and `..`,
+/// strips trailing slashes. Returns `EINVAL` for relative paths and for
+/// `..` escaping the root.
+pub fn normalize(path: &str) -> KResult<String> {
+    if !path.starts_with('/') {
+        return Err(Errno::EINVAL);
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                if parts.pop().is_none() {
+                    return Err(Errno::EINVAL);
+                }
+            }
+            c => parts.push(c),
+        }
+    }
+    if parts.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", parts.join("/")))
+    }
+}
+
+/// The parent directory of a normalized path (`/` has no parent).
+pub fn parent_of(path: &str) -> Option<String> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(path[..i].to_string()),
+        None => None,
+    }
+}
+
+/// The final component of a normalized path.
+pub fn basename_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    path.rfind('/').map(|i| &path[i + 1..])
+}
+
+/// The abstract file system: a map from path strings to content bytes,
+/// plus the directory set. The root `/` is always a directory.
+///
+/// # Examples
+///
+/// Every operation is a pure function; the paper's prefix-substitution
+/// rename falls out of the map view:
+///
+/// ```
+/// use sk_vfs::spec::FsModel;
+///
+/// let m = FsModel::new()
+///     .mkdir("/etc").unwrap()
+///     .create("/etc/motd").unwrap()
+///     .write("/etc/motd", 0, b"hi").unwrap();
+/// let renamed = m.rename("/etc", "/sysconfig").unwrap();
+/// assert_eq!(renamed.read("/sysconfig/motd", 0, 2).unwrap(), b"hi");
+/// assert!(!renamed.exists("/etc/motd"));
+/// // `m` is untouched: models are immutable values.
+/// assert!(m.exists("/etc/motd"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsModel {
+    /// Regular files: normalized absolute path → content.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Directories, including `/`.
+    pub dirs: BTreeSet<String>,
+}
+
+impl Default for FsModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FsModel {
+    /// The empty file system (just `/`).
+    pub fn new() -> Self {
+        let mut dirs = BTreeSet::new();
+        dirs.insert("/".to_string());
+        FsModel {
+            files: BTreeMap::new(),
+            dirs,
+        }
+    }
+
+    /// True if `path` names an existing file or directory.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path) || self.dirs.contains(path)
+    }
+
+    /// True if `path` names a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.dirs.contains(path)
+    }
+
+    fn require_parent(&self, path: &str) -> KResult<()> {
+        let parent = parent_of(path).ok_or(Errno::EINVAL)?;
+        if !self.dirs.contains(&parent) {
+            return Err(if self.files.contains_key(&parent) {
+                Errno::ENOTDIR
+            } else {
+                Errno::ENOENT
+            });
+        }
+        Ok(())
+    }
+
+    /// Creates an empty file.
+    pub fn create(&self, path: &str) -> KResult<FsModel> {
+        self.require_parent(path)?;
+        if self.exists(path) {
+            return Err(Errno::EEXIST);
+        }
+        let mut next = self.clone();
+        next.files.insert(path.to_string(), Vec::new());
+        Ok(next)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&self, path: &str) -> KResult<FsModel> {
+        self.require_parent(path)?;
+        if self.exists(path) {
+            return Err(Errno::EEXIST);
+        }
+        let mut next = self.clone();
+        next.dirs.insert(path.to_string());
+        Ok(next)
+    }
+
+    /// Removes a file.
+    pub fn unlink(&self, path: &str) -> KResult<FsModel> {
+        if self.dirs.contains(path) {
+            return Err(Errno::EISDIR);
+        }
+        if !self.files.contains_key(path) {
+            return Err(Errno::ENOENT);
+        }
+        let mut next = self.clone();
+        next.files.remove(path);
+        Ok(next)
+    }
+
+    /// True if directory `path` has any child.
+    pub fn has_children(&self, path: &str) -> bool {
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        self.files.keys().any(|k| k.starts_with(&prefix))
+            || self
+                .dirs
+                .iter()
+                .any(|d| d != path && d.starts_with(&prefix))
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> KResult<FsModel> {
+        if path == "/" {
+            return Err(Errno::EBUSY);
+        }
+        if self.files.contains_key(path) {
+            return Err(Errno::ENOTDIR);
+        }
+        if !self.dirs.contains(path) {
+            return Err(Errno::ENOENT);
+        }
+        if self.has_children(path) {
+            return Err(Errno::ENOTEMPTY);
+        }
+        let mut next = self.clone();
+        next.dirs.remove(path);
+        Ok(next)
+    }
+
+    /// Writes `data` at `off`, zero-filling any gap.
+    pub fn write(&self, path: &str, off: u64, data: &[u8]) -> KResult<FsModel> {
+        let content = self.files.get(path).ok_or(if self.dirs.contains(path) {
+            Errno::EISDIR
+        } else {
+            Errno::ENOENT
+        })?;
+        let off = usize::try_from(off).map_err(|_| Errno::EFBIG)?;
+        let mut content = content.clone();
+        if content.len() < off + data.len() {
+            content.resize(off + data.len(), 0);
+        }
+        content[off..off + data.len()].copy_from_slice(data);
+        let mut next = self.clone();
+        next.files.insert(path.to_string(), content);
+        Ok(next)
+    }
+
+    /// Pure read query: bytes in `[off, off+len)`, truncated at EOF.
+    pub fn read(&self, path: &str, off: u64, len: usize) -> KResult<Vec<u8>> {
+        let content = self.files.get(path).ok_or(if self.dirs.contains(path) {
+            Errno::EISDIR
+        } else {
+            Errno::ENOENT
+        })?;
+        let off = usize::try_from(off).map_err(|_| Errno::EFBIG)?;
+        if off >= content.len() {
+            return Ok(Vec::new());
+        }
+        let end = (off + len).min(content.len());
+        Ok(content[off..end].to_vec())
+    }
+
+    /// Sets file size, truncating or zero-extending.
+    pub fn truncate(&self, path: &str, size: u64) -> KResult<FsModel> {
+        let content = self.files.get(path).ok_or(if self.dirs.contains(path) {
+            Errno::EISDIR
+        } else {
+            Errno::ENOENT
+        })?;
+        let size = usize::try_from(size).map_err(|_| Errno::EFBIG)?;
+        let mut content = content.clone();
+        content.resize(size, 0);
+        let mut next = self.clone();
+        next.files.insert(path.to_string(), content);
+        Ok(next)
+    }
+
+    /// Renames `old` to `new` — the paper's prefix-substitution relation.
+    ///
+    /// For a file, the key moves (silently replacing a regular file at the
+    /// destination, as POSIX allows). For a directory, "every path key with
+    /// a given prefix is substituted with a new prefix".
+    pub fn rename(&self, old: &str, new: &str) -> KResult<FsModel> {
+        if old == "/" || new == "/" {
+            return Err(Errno::EBUSY);
+        }
+        if !self.exists(old) {
+            return Err(Errno::ENOENT);
+        }
+        self.require_parent(new)?;
+        if new == old {
+            return Ok(self.clone());
+        }
+        // Renaming a directory into its own subtree is forbidden.
+        let old_prefix = format!("{old}/");
+        if new.starts_with(&old_prefix) {
+            return Err(Errno::EINVAL);
+        }
+        let mut next = self.clone();
+        if self.files.contains_key(old) {
+            if next.dirs.contains(new) {
+                return Err(Errno::EISDIR);
+            }
+            let content = next.files.remove(old).expect("checked above");
+            next.files.insert(new.to_string(), content);
+        } else {
+            // Directory rename: destination must not exist (non-empty dir
+            // replacement is refused; empty dir replacement is allowed).
+            if next.files.contains_key(new) {
+                return Err(Errno::ENOTDIR);
+            }
+            if next.dirs.contains(new) {
+                if next.has_children(new) {
+                    return Err(Errno::ENOTEMPTY);
+                }
+                next.dirs.remove(new);
+            }
+            // Prefix substitution over both maps.
+            let moved_dirs: Vec<String> = next
+                .dirs
+                .iter()
+                .filter(|d| *d == old || d.starts_with(&old_prefix))
+                .cloned()
+                .collect();
+            for d in moved_dirs {
+                next.dirs.remove(&d);
+                let suffix = &d[old.len()..];
+                next.dirs.insert(format!("{new}{suffix}"));
+            }
+            let moved_files: Vec<String> = next
+                .files
+                .keys()
+                .filter(|f| f.starts_with(&old_prefix))
+                .cloned()
+                .collect();
+            for f in moved_files {
+                let content = next.files.remove(&f).expect("key just listed");
+                let suffix = &f[old.len()..];
+                next.files.insert(format!("{new}{suffix}"), content);
+            }
+        }
+        Ok(next)
+    }
+
+    /// Names of the direct children of directory `path`.
+    pub fn list(&self, path: &str) -> KResult<Vec<String>> {
+        if !self.dirs.contains(path) {
+            return Err(if self.files.contains_key(path) {
+                Errno::ENOTDIR
+            } else {
+                Errno::ENOENT
+            });
+        }
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let mut names: Vec<String> = Vec::new();
+        for k in self.files.keys().chain(self.dirs.iter()) {
+            if let Some(rest) = k.strip_prefix(&prefix) {
+                if !rest.is_empty() && !rest.contains('/') {
+                    names.push(rest.to_string());
+                }
+            }
+        }
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// The well-formedness invariant: every entry's parent is a directory,
+    /// `/` is a directory, and no path is both a file and a directory.
+    pub fn check_invariant(&self) -> Result<(), String> {
+        if !self.dirs.contains("/") {
+            return Err("root directory missing".into());
+        }
+        for path in self.files.keys() {
+            if self.dirs.contains(path) {
+                return Err(format!("{path} is both file and directory"));
+            }
+            let parent = parent_of(path).ok_or_else(|| format!("{path} has no parent"))?;
+            if !self.dirs.contains(&parent) {
+                return Err(format!("file {path} has no parent directory"));
+            }
+        }
+        for path in &self.dirs {
+            if path == "/" {
+                continue;
+            }
+            let parent = parent_of(path).ok_or_else(|| format!("{path} has no parent"))?;
+            if !self.dirs.contains(&parent) {
+                return Err(format!("dir {path} has no parent directory"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> FsModel {
+        FsModel::new()
+            .mkdir("/a").unwrap()
+            .mkdir("/a/b").unwrap()
+            .create("/a/f").unwrap()
+            .write("/a/f", 0, b"hello").unwrap()
+            .create("/a/b/g").unwrap()
+    }
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(normalize("//a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/./b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/../b").unwrap(), "/b");
+        assert_eq!(normalize("a/b"), Err(Errno::EINVAL));
+        assert_eq!(normalize("/.."), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn parent_and_basename() {
+        assert_eq!(parent_of("/a/b").as_deref(), Some("/a"));
+        assert_eq!(parent_of("/a").as_deref(), Some("/"));
+        assert_eq!(parent_of("/"), None);
+        assert_eq!(basename_of("/a/b"), Some("b"));
+        assert_eq!(basename_of("/"), None);
+    }
+
+    #[test]
+    fn create_write_read() {
+        let m = setup();
+        assert_eq!(m.read("/a/f", 0, 10).unwrap(), b"hello");
+        assert_eq!(m.read("/a/f", 1, 3).unwrap(), b"ell");
+        assert_eq!(m.read("/a/f", 10, 3).unwrap(), b"");
+        m.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn write_extends_with_zero_fill() {
+        let m = setup().write("/a/f", 8, b"XY").unwrap();
+        let content = m.read("/a/f", 0, 64).unwrap();
+        assert_eq!(content, b"hello\0\0\0XY");
+    }
+
+    #[test]
+    fn create_errors() {
+        let m = setup();
+        assert_eq!(m.create("/a/f").unwrap_err(), Errno::EEXIST);
+        assert_eq!(m.create("/nope/x").unwrap_err(), Errno::ENOENT);
+        assert_eq!(m.create("/a/f/x").unwrap_err(), Errno::ENOTDIR);
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let m = setup();
+        let m = m.unlink("/a/f").unwrap();
+        assert!(!m.exists("/a/f"));
+        assert_eq!(m.unlink("/a/f").unwrap_err(), Errno::ENOENT);
+        assert_eq!(m.unlink("/a").unwrap_err(), Errno::EISDIR);
+        assert_eq!(m.rmdir("/a").unwrap_err(), Errno::ENOTEMPTY);
+        let m = m.unlink("/a/b/g").unwrap().rmdir("/a/b").unwrap();
+        let m = m.rmdir("/a").unwrap();
+        assert_eq!(m, FsModel::new());
+    }
+
+    #[test]
+    fn rmdir_root_refused() {
+        assert_eq!(FsModel::new().rmdir("/").unwrap_err(), Errno::EBUSY);
+    }
+
+    #[test]
+    fn file_rename_moves_content() {
+        let m = setup().rename("/a/f", "/a/b/h").unwrap();
+        assert!(!m.exists("/a/f"));
+        assert_eq!(m.read("/a/b/h", 0, 10).unwrap(), b"hello");
+        m.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn file_rename_replaces_destination() {
+        let m = setup().create("/a/t").unwrap();
+        let m = m.rename("/a/f", "/a/t").unwrap();
+        assert_eq!(m.read("/a/t", 0, 10).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn directory_rename_substitutes_prefixes() {
+        // The paper's example relation, directly.
+        let m = setup().rename("/a", "/z").unwrap();
+        assert!(m.is_dir("/z"));
+        assert!(m.is_dir("/z/b"));
+        assert_eq!(m.read("/z/f", 0, 10).unwrap(), b"hello");
+        assert_eq!(m.read("/z/b/g", 0, 10).unwrap(), b"");
+        assert!(!m.exists("/a"));
+        assert!(!m.exists("/a/b"));
+        m.check_invariant().unwrap();
+    }
+
+    #[test]
+    fn rename_into_own_subtree_refused() {
+        let m = setup();
+        assert_eq!(m.rename("/a", "/a/b/c").unwrap_err(), Errno::EINVAL);
+    }
+
+    #[test]
+    fn rename_noop_when_same() {
+        let m = setup();
+        assert_eq!(m.rename("/a/f", "/a/f").unwrap(), m);
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let m = setup().truncate("/a/f", 2).unwrap();
+        assert_eq!(m.read("/a/f", 0, 10).unwrap(), b"he");
+        let m = m.truncate("/a/f", 4).unwrap();
+        assert_eq!(m.read("/a/f", 0, 10).unwrap(), b"he\0\0");
+    }
+
+    #[test]
+    fn list_direct_children_only() {
+        let m = setup();
+        assert_eq!(m.list("/").unwrap(), vec!["a"]);
+        assert_eq!(m.list("/a").unwrap(), vec!["b", "f"]);
+        assert_eq!(m.list("/a/b").unwrap(), vec!["g"]);
+        assert_eq!(m.list("/a/f").unwrap_err(), Errno::ENOTDIR);
+        assert_eq!(m.list("/zzz").unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn invariant_detects_orphans() {
+        let mut m = setup();
+        m.files.insert("/ghost/file".to_string(), Vec::new());
+        assert!(m.check_invariant().is_err());
+    }
+
+    #[test]
+    fn model_ops_are_pure() {
+        let m = setup();
+        let snapshot = m.clone();
+        let _ = m.write("/a/f", 0, b"XXXX").unwrap();
+        let _ = m.unlink("/a/f").unwrap();
+        let _ = m.rename("/a", "/q").unwrap();
+        assert_eq!(m, snapshot, "operations never mutate the receiver");
+    }
+}

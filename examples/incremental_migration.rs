@@ -1,0 +1,157 @@
+//! The paper's thesis, live: replace a legacy kernel module with a safer
+//! one **while the system runs**, behind an unchanged interface.
+//!
+//! The workload starts on cext4 (the C-idiom file system, reached through
+//! the legacy shim), the operator migrates the data and hot-swaps the
+//! registry slot to rsfs (safe, journaled), and the same `Vfs` object —
+//! same handle, no remount — keeps serving. This is §3's "components can
+//! be replaced one at a time, and each component can be replaced with an
+//! incrementally-safer implementation".
+//!
+//! ```text
+//! cargo run --example incremental_migration
+//! ```
+
+use std::sync::Arc;
+
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::core::roadmap::{Roadmap, SafetyLevel};
+use safer_kernel::fs_legacy::{cext4_ops, BugKnobs, Cext4};
+use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
+use safer_kernel::ksim::block::{BlockDevice, RamDisk};
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::vfs::inode::FileType;
+use safer_kernel::vfs::modular::FileSystem;
+use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
+use safer_kernel::vfs::shim::LegacyFsAdapter;
+
+/// Copies the tree at `dir`/`path` from `src` to `dst` (the migration).
+fn copy_tree(src: &dyn FileSystem, dst: &dyn FileSystem, sdir: u64, ddir: u64) {
+    for entry in src.readdir(sdir).expect("readdir") {
+        let attr = src.getattr(entry.ino).expect("getattr");
+        match attr.ftype {
+            FileType::Directory => {
+                let nd = dst.mkdir(ddir, &entry.name).expect("mkdir");
+                copy_tree(src, dst, entry.ino, nd);
+            }
+            FileType::Regular => {
+                let nf = dst.create(ddir, &entry.name).expect("create");
+                let mut data = vec![0u8; attr.size as usize];
+                let n = src.read(entry.ino, 0, &mut data).expect("read");
+                data.truncate(n);
+                dst.write(nf, 0, &data).expect("write");
+            }
+        }
+    }
+}
+
+fn main() {
+    // Step 0: the legacy file system on its device, behind the shim.
+    let legacy_dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096));
+    Cext4::mkfs(&legacy_dev, 256).expect("mkfs");
+    let ctx = LegacyCtx::new();
+    let cext4 = Arc::new(
+        Cext4::mount(legacy_dev, ctx.clone(), Arc::new(BugKnobs::none())).expect("mount"),
+    );
+    let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(cext4)), ctx.clone());
+
+    // Step 1: register it; the VFS subscribes to the *interface*.
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::new(adapter) as Arc<dyn FileSystem>)
+        .expect("register");
+    let vfs = Vfs::mount(&registry).expect("vfs");
+    println!("phase 1: serving from '{}'", vfs.fs_handle().impl_name());
+
+    // The roadmap ledger (§3): track what the current module certifies.
+    let roadmap = Roadmap::new();
+    roadmap.track(FS_INTERFACE, "cext4");
+    roadmap
+        .certify(FS_INTERFACE, SafetyLevel::Modular, "reached through the legacy shim")
+        .expect("certify");
+    println!(
+        "roadmap: {} is '{}'",
+        FS_INTERFACE,
+        roadmap.level_of(FS_INTERFACE).name()
+    );
+
+    // A live workload writes state the migration must carry over.
+    vfs.mkdir("/home").expect("mkdir");
+    for user in ["alice", "bob"] {
+        vfs.mkdir(&format!("/home/{user}")).expect("mkdir");
+        vfs.create(&format!("/home/{user}/notes.txt")).expect("create");
+        vfs.write_file(
+            &format!("/home/{user}/notes.txt"),
+            0,
+            format!("{user}'s data, written on cext4\n").as_bytes(),
+        )
+        .expect("write");
+    }
+    println!(
+        "phase 1: wrote {} entries under /home (cext4); legacy idiom logged {} unlocked i_size accesses",
+        vfs.readdir("/home").expect("readdir").len(),
+        ctx.locks.violations().len(),
+    );
+
+    // The replacement: rsfs on its own device, data migrated over.
+    let safe_dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096));
+    Rsfs::mkfs(&safe_dev, 256, 64).expect("mkfs");
+    let rsfs = Rsfs::mount(safe_dev, JournalMode::PerOp).expect("mount");
+    {
+        let old = vfs.fs_handle().get();
+        copy_tree(&*old, &rsfs, old.root_ino(), rsfs.root_ino());
+    }
+    println!("migration: copied the tree onto rsfs");
+
+    // The hot swap — the paper's module-by-module replacement.
+    let old = registry
+        .replace::<dyn FileSystem>(FS_INTERFACE, "rsfs", Arc::new(rsfs) as Arc<dyn FileSystem>)
+        .expect("replace");
+    println!(
+        "phase 2: swapped '{}' -> '{}' (swap #{}); the Vfs object was never told",
+        old.fs_name(),
+        vfs.fs_handle().impl_name(),
+        vfs.fs_handle().swap_count()
+    );
+
+    // The same workload continues through the same handle. The dentry
+    // cache is cleared because inode numbers changed underneath.
+    vfs.dcache().clear();
+    let alice = vfs.read_file("/home/alice/notes.txt").expect("read");
+    print!("phase 2 read (via rsfs): {}", String::from_utf8_lossy(&alice));
+    vfs.create("/home/alice/new-on-rsfs.txt").expect("create");
+    vfs.write_file("/home/alice/new-on-rsfs.txt", 0, b"journaled now\n")
+        .expect("write");
+    println!(
+        "phase 2: /home/alice now has {} entries, served by '{}'",
+        vfs.readdir("/home/alice").expect("readdir").len(),
+        vfs.fs_handle().impl_name()
+    );
+
+    // Update the ledger: the swap resets certification to Modular, and the
+    // new implementation re-earns its levels with its evidence.
+    roadmap.replaced(FS_INTERFACE, "rsfs").expect("replaced");
+    roadmap
+        .certify(FS_INTERFACE, SafetyLevel::TypeSafe, "no void*/ERR_PTR in the interface")
+        .expect("certify");
+    roadmap
+        .certify(
+            FS_INTERFACE,
+            SafetyLevel::OwnershipSafe,
+            "#![forbid(unsafe_code)] + the three sharing models in the signatures",
+        )
+        .expect("certify");
+    roadmap
+        .certify(
+            FS_INTERFACE,
+            SafetyLevel::FunctionallyVerified,
+            "refinement property suite + exhaustive crash checker + fsck",
+        )
+        .expect("certify");
+    println!(
+        "roadmap: {} is now '{}'",
+        FS_INTERFACE,
+        roadmap.level_of(FS_INTERFACE).name()
+    );
+    println!("incremental replacement complete: same interface, safer module");
+}

@@ -1,0 +1,42 @@
+//! # safer-kernel — reproduction of "An Incremental Path Towards a Safer
+//! # OS Kernel" (HotOS '21)
+//!
+//! This facade crate re-exports the whole workspace. Start here:
+//!
+//! - [`core`] (`sk-core`) — the paper's contribution: the incremental-
+//!   safety interface framework (modularity → type safety → ownership
+//!   safety → functional correctness).
+//! - [`ksim`] (`sk-ksim`) — the simulated kernel substrate.
+//! - [`legacy`] (`sk-legacy`) — the emulated C idioms being retired.
+//! - [`vfs`] (`sk-vfs`) — the VFS layer, with both legacy and modular
+//!   backend interfaces, and the abstract file-system model.
+//! - [`fs_legacy`] (`sk-fs-legacy`) — cext4, the Step-0 file system.
+//! - [`fs_safe`] (`sk-fs-safe`) — rsfs, the journaled safe file system.
+//! - [`netstack`] (`sk-netstack`) — the socket layer, coupled and modular.
+//! - [`cvedb`] (`sk-cvedb`) — the Figure 2 bug study.
+//! - [`faultgen`] (`sk-faultgen`) — the empirical prevention study.
+//!
+//! Run `cargo run --example quickstart` for a guided tour; see DESIGN.md
+//! for the experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+pub use sk_core as core;
+pub use sk_cvedb as cvedb;
+pub use sk_faultgen as faultgen;
+pub use sk_fs_legacy as fs_legacy;
+pub use sk_fs_safe as fs_safe;
+pub use sk_ksim as ksim;
+pub use sk_legacy as legacy;
+pub use sk_netstack as netstack;
+pub use sk_vfs as vfs;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::ksim::SimClock::new();
+        let _ = crate::legacy::LegacyCtx::new();
+        let _ = crate::core::Registry::new();
+        let _ = crate::vfs::FsModel::new();
+    }
+}

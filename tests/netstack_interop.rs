@@ -1,0 +1,202 @@
+//! Integration: the two socket-layer generations interoperate on the wire.
+//!
+//! The roadmap replaces modules *one side at a time*: during migration a
+//! legacy stack on one host talks to a modular stack on another. Both
+//! speak the same wire format and the same TCP engine, so sessions must
+//! work in both directions — including under loss.
+
+use std::sync::Arc;
+
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::ksim::time::SimClock;
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::netstack::legacy_stack::LegacyStack;
+use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
+use safer_kernel::netstack::packet::proto;
+use safer_kernel::netstack::tcp::DEFAULT_RTO_NS;
+use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
+
+fn modular(side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> ModularStack {
+    let registry = Arc::new(Registry::new());
+    register_families(&registry).unwrap();
+    ModularStack::new(registry, side, wire, clock)
+}
+
+#[test]
+fn legacy_client_talks_to_modular_server() {
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let client_stack =
+        LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let server_stack = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+
+    let server = server_stack.socket("tcp", 80).unwrap();
+    server_stack.listen(server).unwrap();
+    let client = client_stack.socket(proto::TCP, 5555).unwrap();
+    client_stack.connect(client, 80).unwrap();
+    for _ in 0..6 {
+        client_stack.pump().unwrap();
+        server_stack.pump().unwrap();
+    }
+    client_stack.send(client, 80, b"GET /").unwrap();
+    for _ in 0..4 {
+        client_stack.pump().unwrap();
+        server_stack.pump().unwrap();
+    }
+    assert_eq!(server_stack.recv(server).unwrap(), b"GET /");
+    server_stack.send(server, 5555, b"200 OK").unwrap();
+    for _ in 0..4 {
+        client_stack.pump().unwrap();
+        server_stack.pump().unwrap();
+    }
+    assert_eq!(client_stack.recv(client).unwrap(), b"200 OK");
+}
+
+#[test]
+fn modular_client_talks_to_legacy_server() {
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let client_stack = modular(Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let server_stack =
+        LegacyStack::new(LegacyCtx::new(), Side::B, Arc::clone(&wire), Arc::clone(&clock));
+
+    let server = server_stack.socket(proto::TCP, 80).unwrap();
+    server_stack.listen(server).unwrap();
+    let client = client_stack.socket("tcp", 7777).unwrap();
+    client_stack.connect(client, 80).unwrap();
+    for _ in 0..6 {
+        client_stack.pump().unwrap();
+        server_stack.pump().unwrap();
+    }
+    client_stack.send(client, 80, b"ping").unwrap();
+    for _ in 0..4 {
+        client_stack.pump().unwrap();
+        server_stack.pump().unwrap();
+    }
+    assert_eq!(server_stack.recv(server).unwrap(), b"ping");
+}
+
+#[test]
+fn cross_generation_session_survives_loss() {
+    let wire = Arc::new(Wire::with_faults(
+        WireFaults {
+            loss: 0.25,
+            duplicate: 0.05,
+        },
+        99,
+    ));
+    let clock = Arc::new(SimClock::new());
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+
+    let server = b.socket("tcp", 80).unwrap();
+    b.listen(server).unwrap();
+    let client = a.socket(proto::TCP, 2000).unwrap();
+    a.connect(client, 80).unwrap();
+
+    let payload = vec![0xABu8; 6000];
+    let mut sent = false;
+    let mut got = Vec::new();
+    for round in 0..300 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+        if !sent {
+            // The legacy send path returns ENOTCONN until established.
+            if a.send(client, 80, &payload).is_ok() {
+                sent = true;
+            }
+        }
+        got.extend(b.recv(server).unwrap());
+        if got.len() >= payload.len() {
+            break;
+        }
+        clock.advance(DEFAULT_RTO_NS / 2);
+        a.tick();
+        b.tick();
+        assert!(round < 299, "session never completed under loss");
+    }
+    assert_eq!(got, payload, "retransmission healed the lossy link");
+}
+
+#[test]
+fn connection_teardown_across_generations() {
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let server = b.socket("tcp", 80).unwrap();
+    b.listen(server).unwrap();
+    let client = a.socket(proto::TCP, 3100).unwrap();
+    a.connect(client, 80).unwrap();
+    for _ in 0..6 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+    }
+    a.send(client, 80, b"bye soon").unwrap();
+    for _ in 0..4 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+    }
+    assert_eq!(b.recv(server).unwrap(), b"bye soon");
+    // Active close on the legacy side; the modular side ACKs and closes.
+    a.close(client).unwrap();
+    for _ in 0..4 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+    }
+    b.close(server).unwrap();
+    for _ in 0..4 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+    }
+    // Both descriptors gone; further use is EBADF.
+    assert!(a.recv(client).is_err());
+    assert!(b.recv(server).is_err());
+    // Wire drains to empty — no retransmission storm after teardown.
+    for _ in 0..4 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+        a.tick();
+        b.tick();
+    }
+    assert_eq!(wire.in_flight(), 0);
+}
+
+#[test]
+fn udp_crosses_generations() {
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let sa = a.socket(proto::UDP, 100).unwrap();
+    let sb = b.socket("udp", 200).unwrap();
+    a.send(sa, 200, b"legacy->modular").unwrap();
+    b.pump().unwrap();
+    assert_eq!(b.recv(sb).unwrap(), b"legacy->modular");
+    b.send(sb, 100, b"modular->legacy").unwrap();
+    a.pump().unwrap();
+    assert_eq!(a.recv(sa).unwrap(), b"modular->legacy");
+}
+
+#[test]
+fn the_coupling_bug_vanishes_on_the_migrated_side_only() {
+    // One wire, one legacy side, one modular side. Generic-poll on a UDP
+    // socket: type confusion on the legacy side, a correct answer on the
+    // modular side — the per-module payoff of §3's incremental migration.
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let legacy = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let modular_side = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+
+    let lu = legacy.socket(proto::UDP, 300).unwrap();
+    let mu = modular_side.socket("udp", 400).unwrap();
+
+    assert_eq!(legacy.poll(lu).unwrap(), false);
+    assert_eq!(
+        legacy.ctx().ledger.count(safer_kernel::legacy::BugClass::TypeConfusion),
+        1,
+        "legacy generic poll mis-cast the UDP pcb"
+    );
+    assert_eq!(modular_side.poll(mu).unwrap(), false);
+    // No ledger on the modular side — nothing to mis-cast.
+}

@@ -1,0 +1,148 @@
+//! Property tests for the network stack: packet codec totality and the
+//! TCP prefix-delivery specification under arbitrary wire behaviour.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use safer_kernel::netstack::packet::{flags, proto, Packet, HEADER_LEN, MAX_PAYLOAD};
+use safer_kernel::netstack::spec::StreamChecker;
+use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode/decode is the identity on valid packets.
+    #[test]
+    fn packet_codec_roundtrips(
+        p in (0u8..3, any::<u8>(), any::<u16>(), any::<u16>(), any::<u32>(), any::<u32>(),
+              prop::collection::vec(any::<u8>(), 0..MAX_PAYLOAD))
+            .prop_map(|(pr, fl, sp, dp, seq, ack, payload)| Packet {
+                proto: [proto::TCP, proto::UDP, proto::AMP_CTRL][pr as usize],
+                flags: fl,
+                src_port: sp,
+                dst_port: dp,
+                seq,
+                ack,
+                payload,
+            })
+    ) {
+        let bytes = p.encode();
+        prop_assert_eq!(bytes.len(), HEADER_LEN + p.payload.len());
+        prop_assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    /// The decoder is total: arbitrary bytes never panic, they parse or
+    /// error.
+    #[test]
+    fn packet_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..1200)) {
+        let _ = Packet::decode(&bytes);
+    }
+
+    /// The TCP engines refine the stream specification under arbitrary
+    /// loss and duplication rates, and complete whenever the wire is not
+    /// fully opaque.
+    #[test]
+    fn tcp_prefix_delivery_under_arbitrary_faults(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.5,
+        duplicate in 0.0f64..0.3,
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..800), 1..6),
+    ) {
+        let wire = Arc::new(Wire::with_faults(WireFaults { loss, duplicate }, seed));
+        let mut a = TcpPcb::new(1000, 100);
+        let mut b = TcpPcb::new(80, 9000);
+        b.listen();
+        wire.send(Side::A, &a.connect(80, 0));
+        let mut chk = StreamChecker::new();
+        let mut submitted = 0usize;
+        let mut now = 0u64;
+        for _round in 0..3000 {
+            now += DEFAULT_RTO_NS / 4;
+            while let Ok(Some(pkt)) = wire.recv(Side::B) {
+                for r in b.on_packet(&pkt, now) {
+                    wire.send(Side::B, &r);
+                }
+            }
+            while let Ok(Some(pkt)) = wire.recv(Side::A) {
+                for r in a.on_packet(&pkt, now) {
+                    wire.send(Side::A, &r);
+                }
+            }
+            if submitted < chunks.len() && a.state == TcpState::Established {
+                chk.on_send(&chunks[submitted]);
+                for p in a.send(&chunks[submitted], now) {
+                    wire.send(Side::A, &p);
+                }
+                submitted += 1;
+            }
+            let got = b.take_received();
+            if !got.is_empty() {
+                chk.on_deliver(&got);
+            }
+            prop_assert!(chk.is_clean(), "{:?}", chk.violations());
+            chk.model().check_invariant().map_err(|e| TestCaseError::fail(e))?;
+            if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
+                break;
+            }
+            for p in a.tick(now) {
+                wire.send(Side::A, &p);
+            }
+            for p in b.tick(now) {
+                wire.send(Side::B, &p);
+            }
+        }
+        prop_assert!(chk.model().is_complete(), "stream did not complete");
+    }
+
+    /// RST at any point kills the connection without violating the
+    /// delivered-prefix property (nothing un-delivers).
+    #[test]
+    fn rst_never_unwinds_delivered_bytes(
+        data in prop::collection::vec(any::<u8>(), 1..2000),
+        rst_after in 0usize..3,
+    ) {
+        let wire = Arc::new(Wire::new());
+        let mut a = TcpPcb::new(1000, 100);
+        let mut b = TcpPcb::new(80, 9000);
+        b.listen();
+        wire.send(Side::A, &a.connect(80, 0));
+        let mut chk = StreamChecker::new();
+        let mut now = 0;
+        let mut delivered_before_rst = 0usize;
+        for round in 0..20 {
+            now += 1;
+            while let Ok(Some(pkt)) = wire.recv(Side::B) {
+                for r in b.on_packet(&pkt, now) {
+                    wire.send(Side::B, &r);
+                }
+            }
+            while let Ok(Some(pkt)) = wire.recv(Side::A) {
+                for r in a.on_packet(&pkt, now) {
+                    wire.send(Side::A, &r);
+                }
+            }
+            if round == 1 {
+                chk.on_send(&data);
+                for p in a.send(&data, now) {
+                    wire.send(Side::A, &p);
+                }
+            }
+            let got = b.take_received();
+            if !got.is_empty() {
+                chk.on_deliver(&got);
+            }
+            if round == 2 + rst_after {
+                let mut rst = Packet::new(proto::TCP, 1000, 80);
+                rst.flags = flags::RST;
+                b.on_packet(&rst, now);
+                delivered_before_rst = chk.model().delivered;
+            }
+            prop_assert!(chk.is_clean());
+        }
+        // After the RST the receiver is dead; whatever was delivered stays
+        // a valid prefix and never shrinks.
+        prop_assert!(chk.model().delivered >= delivered_before_rst);
+        prop_assert_eq!(b.state, TcpState::Closed);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based refinement: arbitrary operation sequences on both file
+//! system generations must refine the abstract model.
+//!
+//! For every randomly generated op sequence, the test mirrors each VFS
+//! call on the pure [`FsModel`]: success/failure must agree, and whenever
+//! an operation succeeds the file system's abstraction must equal the
+//! model — the paper's "each operation performed by the implementation is
+//! a valid relation between the before- and after- model interpretations",
+//! checked wholesale.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::core::spec::Refines;
+use safer_kernel::fs_legacy::{cext4_ops, BugKnobs, Cext4};
+use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
+use safer_kernel::ksim::block::{BlockDevice, RamDisk};
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::vfs::modular::FileSystem;
+use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
+use safer_kernel::vfs::shim::LegacyFsAdapter;
+use safer_kernel::vfs::spec::FsModel;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Unlink(String),
+    Rmdir(String),
+    Write(String, u64, Vec<u8>),
+    Truncate(String, u64),
+    Rename(String, String),
+    ReadCheck(String),
+}
+
+/// A small universe of paths, one and two levels deep, so collisions and
+/// interesting errors are frequent.
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop::sample::select(vec!["/a", "/b", "/c", "/d"]).prop_map(String::from),
+        prop::sample::select(vec!["/a/x", "/a/y", "/b/x", "/c/z"]).prop_map(String::from),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        path_strategy().prop_map(Op::Create),
+        path_strategy().prop_map(Op::Mkdir),
+        path_strategy().prop_map(Op::Unlink),
+        path_strategy().prop_map(Op::Rmdir),
+        (path_strategy(), 0u64..5000, prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(p, o, d)| Op::Write(p, o, d)),
+        (path_strategy(), 0u64..9000).prop_map(|(p, s)| Op::Truncate(p, s)),
+        (path_strategy(), path_strategy()).prop_map(|(a, b)| Op::Rename(a, b)),
+        path_strategy().prop_map(Op::ReadCheck),
+    ]
+}
+
+/// Applies one op to both the VFS and the model, checking agreement.
+fn apply(vfs: &Vfs, model: FsModel, op: &Op, label: &str) -> FsModel {
+    use safer_kernel::vfs::spec::normalize;
+    match op {
+        Op::Create(p) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.create(p);
+            let spec = model.create(&path);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: create {p}: {sys:?} vs {spec:?}");
+            spec.unwrap_or(model)
+        }
+        Op::Mkdir(p) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.mkdir(p);
+            let spec = model.mkdir(&path);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: mkdir {p}");
+            spec.unwrap_or(model)
+        }
+        Op::Unlink(p) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.unlink(p);
+            let spec = model.unlink(&path);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: unlink {p}");
+            spec.unwrap_or(model)
+        }
+        Op::Rmdir(p) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.rmdir(p);
+            let spec = model.rmdir(&path);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: rmdir {p}");
+            spec.unwrap_or(model)
+        }
+        Op::Write(p, off, data) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.write_file(p, *off, data);
+            let spec = model.write(&path, *off, data);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: write {p}@{off}");
+            spec.unwrap_or(model)
+        }
+        Op::Truncate(p, size) => {
+            let sys = vfs.truncate(p, *size);
+            let path = normalize(p).unwrap();
+            let spec = model.truncate(&path, *size);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: truncate {p}");
+            spec.unwrap_or(model)
+        }
+        Op::Rename(a, b) => {
+            let pa = normalize(a).unwrap();
+            let pb = normalize(b).unwrap();
+            let sys = vfs.rename(a, b);
+            let spec = model.rename(&pa, &pb);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: rename {a} -> {b}: {sys:?} vs {spec:?}");
+            spec.unwrap_or(model)
+        }
+        Op::ReadCheck(p) => {
+            let path = normalize(p).unwrap();
+            let sys = vfs.read_file(p);
+            let spec = model.read(&path, 0, usize::MAX / 2);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: read {p}");
+            if let (Ok(got), Ok(want)) = (&sys, &spec) {
+                assert_eq!(got, want, "{label}: read {p} content");
+            }
+            model
+        }
+    }
+}
+
+fn mount_rsfs() -> Vfs {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Rsfs::mkfs(&dev, 256, 64).unwrap();
+    let fs = Rsfs::mount(dev, JournalMode::PerOp).unwrap();
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "rsfs", Arc::new(fs) as Arc<dyn FileSystem>)
+        .unwrap();
+    Vfs::mount(&registry).unwrap()
+}
+
+fn mount_cext4() -> Vfs {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Cext4::mkfs(&dev, 256).unwrap();
+    let ctx = LegacyCtx::new();
+    let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+    let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::new(adapter) as Arc<dyn FileSystem>)
+        .unwrap();
+    Vfs::mount(&registry).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rsfs_refines_the_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let vfs = mount_rsfs();
+        let mut model = FsModel::new();
+        for op in &ops {
+            model = apply(&vfs, model, op, "rsfs");
+        }
+        model.check_invariant().expect("model invariant");
+        prop_assert_eq!(vfs.abstraction(), model);
+    }
+
+    #[test]
+    fn cext4_refines_the_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let vfs = mount_cext4();
+        let mut model = FsModel::new();
+        for op in &ops {
+            model = apply(&vfs, model, op, "cext4");
+        }
+        prop_assert_eq!(vfs.abstraction(), model);
+    }
+
+    #[test]
+    fn both_generations_agree_with_each_other(
+        ops in prop::collection::vec(op_strategy(), 1..30)
+    ) {
+        let safe = mount_rsfs();
+        let legacy = mount_cext4();
+        let mut m1 = FsModel::new();
+        let mut m2 = FsModel::new();
+        for op in &ops {
+            m1 = apply(&safe, m1, op, "rsfs");
+            m2 = apply(&legacy, m2, op, "cext4");
+        }
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(safe.abstraction(), legacy.abstraction());
+    }
+}

@@ -1,0 +1,154 @@
+//! Soak: a long randomized workload across the whole stack, with the
+//! implementation hot-swapped back and forth *mid-workload* while the
+//! model keeps tracking — the paper's incremental world in one test.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::core::spec::Refines;
+use safer_kernel::fs_legacy::{cext4_ops, BugKnobs, Cext4};
+use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
+use safer_kernel::ksim::block::{BlockDevice, RamDisk};
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::vfs::inode::FileType;
+use safer_kernel::vfs::modular::FileSystem;
+use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
+use safer_kernel::vfs::shim::LegacyFsAdapter;
+use safer_kernel::vfs::spec::FsModel;
+
+fn make_cext4() -> Arc<dyn FileSystem> {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Cext4::mkfs(&dev, 512).unwrap();
+    let ctx = LegacyCtx::new();
+    let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+    Arc::new(LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx))
+}
+
+fn make_rsfs() -> Arc<dyn FileSystem> {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Rsfs::mkfs(&dev, 512, 64).unwrap();
+    Arc::new(Rsfs::mount(dev, JournalMode::PerOp).unwrap())
+}
+
+fn copy_tree(src: &dyn FileSystem, dst: &dyn FileSystem, sdir: u64, ddir: u64) {
+    for entry in src.readdir(sdir).unwrap() {
+        let attr = src.getattr(entry.ino).unwrap();
+        match attr.ftype {
+            FileType::Directory => {
+                let nd = dst.mkdir(ddir, &entry.name).unwrap();
+                copy_tree(src, dst, entry.ino, nd);
+            }
+            FileType::Regular => {
+                let nf = dst.create(ddir, &entry.name).unwrap();
+                let mut data = vec![0u8; attr.size as usize];
+                let n = src.read(entry.ino, 0, &mut data).unwrap();
+                data.truncate(n);
+                dst.write(nf, 0, &data).unwrap();
+            }
+        }
+    }
+}
+
+/// One random op against both the VFS and the model; results must agree.
+fn random_op(vfs: &Vfs, model: FsModel, rng: &mut StdRng) -> FsModel {
+    let dirs = ["", "/d0", "/d1"];
+    let dir = dirs[rng.gen_range(0..dirs.len())];
+    let name = format!("f{}", rng.gen_range(0..12));
+    let path = format!("{dir}/{name}");
+    let norm = safer_kernel::vfs::spec::normalize(&path).unwrap();
+    match rng.gen_range(0..7) {
+        0 => {
+            let sys = vfs.create(&path);
+            let spec = model.create(&norm);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "create {path}");
+            spec.unwrap_or(model)
+        }
+        1 => {
+            let data: Vec<u8> = (0..rng.gen_range(1..400)).map(|_| rng.gen()).collect();
+            let off = rng.gen_range(0..2000u64);
+            let sys = vfs.write_file(&path, off, &data);
+            let spec = model.write(&norm, off, &data);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "write {path}");
+            spec.unwrap_or(model)
+        }
+        2 => {
+            let sys = vfs.unlink(&path);
+            let spec = model.unlink(&norm);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "unlink {path}");
+            spec.unwrap_or(model)
+        }
+        3 => {
+            let d = format!("/d{}", rng.gen_range(0..2));
+            let sys = vfs.mkdir(&d);
+            let spec = model.mkdir(&d);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "mkdir {d}");
+            spec.unwrap_or(model)
+        }
+        4 => {
+            let to = format!("{}/g{}", dirs[rng.gen_range(0..dirs.len())], rng.gen_range(0..12));
+            let to_norm = safer_kernel::vfs::spec::normalize(&to).unwrap();
+            let sys = vfs.rename(&path, &to);
+            let spec = model.rename(&norm, &to_norm);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "rename {path} -> {to}");
+            spec.unwrap_or(model)
+        }
+        5 => {
+            let size = rng.gen_range(0..3000u64);
+            let sys = vfs.truncate(&path, size);
+            let spec = model.truncate(&norm, size);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "truncate {path}");
+            spec.unwrap_or(model)
+        }
+        _ => {
+            let sys = vfs.read_file(&path);
+            let spec = model.read(&norm, 0, usize::MAX / 2);
+            assert_eq!(sys.is_ok(), spec.is_ok(), "read {path}");
+            if let (Ok(a), Ok(b)) = (&sys, &spec) {
+                assert_eq!(a, b, "read {path} content");
+            }
+            model
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// 300 random ops with 3 hot swaps in the middle; the tree, the model,
+    /// and the implementation agree at every step and at the end.
+    #[test]
+    fn soak_with_mid_workload_migrations(seed in any::<u64>()) {
+        let legacy = make_cext4();
+        let registry = Registry::new();
+        registry
+            .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::clone(&legacy))
+            .unwrap();
+        let vfs = Vfs::mount(&registry).unwrap();
+        let mut model = FsModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut on_safe = false;
+
+        for step in 0..300 {
+            model = random_op(&vfs, model, &mut rng);
+            if step % 100 == 99 {
+                // Migrate to the other generation, mid-workload.
+                let current = vfs.fs_handle().get();
+                let next: Arc<dyn FileSystem> = if on_safe { make_cext4() } else { make_rsfs() };
+                copy_tree(&*current, &*next, current.root_ino(), next.root_ino());
+                let impl_name: &'static str = if on_safe { "cext4" } else { "rsfs" };
+                registry
+                    .replace::<dyn FileSystem>(FS_INTERFACE, impl_name, next)
+                    .unwrap();
+                vfs.dcache().clear();
+                on_safe = !on_safe;
+                prop_assert_eq!(vfs.abstraction(), model.clone(), "post-swap step {}", step);
+            }
+        }
+        model.check_invariant().expect("model invariant");
+        prop_assert_eq!(vfs.abstraction(), model);
+        prop_assert_eq!(vfs.fs_handle().swap_count(), 3);
+    }
+}

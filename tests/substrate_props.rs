@@ -1,0 +1,363 @@
+//! Property tests on the substrate's core data structures and invariants:
+//! the generational arena, the buffer cache, the journal, the dentry
+//! cache, the ownership tracker, and the abstract model's algebra.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use safer_kernel::core::ownership::{Access, ContractTracker};
+use safer_kernel::fs_safe::journal::{Journal, RecoveryOutcome};
+use safer_kernel::ksim::block::{BlockDevice, RamDisk, BLOCK_SIZE};
+use safer_kernel::ksim::buffer::BufferCache;
+use safer_kernel::ksim::kalloc::{AccessError, Arena, ObjRef};
+use safer_kernel::vfs::dcache::Dcache;
+use safer_kernel::vfs::spec::FsModel;
+
+// --- arena ------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Insert(u64),
+    Free(usize),
+    Access(usize),
+    DoubleFree(usize),
+}
+
+fn arena_ops() -> impl Strategy<Value = Vec<ArenaOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u64>().prop_map(ArenaOp::Insert),
+            (0usize..64).prop_map(ArenaOp::Free),
+            (0usize..64).prop_map(ArenaOp::Access),
+            (0usize..64).prop_map(ArenaOp::DoubleFree),
+        ],
+        1..100,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena never conflates objects: every live handle reads back the
+    /// exact value inserted; every stale handle errors; live accounting is
+    /// exact.
+    #[test]
+    fn arena_is_a_faithful_store(ops in arena_ops()) {
+        let arena = Arena::new();
+        let mut shadow: Vec<(ObjRef, u64, bool)> = Vec::new(); // (ref, value, live)
+        for op in ops {
+            match op {
+                ArenaOp::Insert(v) => {
+                    let r = arena.insert(v);
+                    shadow.push((r, v, true));
+                }
+                ArenaOp::Free(i) | ArenaOp::DoubleFree(i) => {
+                    let idx = i % shadow.len().max(1);
+                    if let Some(entry) = shadow.get_mut(idx) {
+                        let expect_ok = entry.2;
+                        let got = arena.free(entry.0);
+                        prop_assert_eq!(got.is_ok(), expect_ok);
+                        if !expect_ok {
+                            prop_assert_eq!(got.unwrap_err(), AccessError::DoubleFree);
+                        }
+                        entry.2 = false;
+                    }
+                }
+                ArenaOp::Access(i) => {
+                    if let Some(&(r, v, live)) = shadow.get(i % shadow.len().max(1)) {
+                        let got = arena.with(r, |x: &u64| *x);
+                        if live {
+                            prop_assert_eq!(got, Ok(v));
+                        } else {
+                            prop_assert_eq!(got, Err(AccessError::UseAfterFree));
+                        }
+                    }
+                }
+            }
+            let live = shadow.iter().filter(|e| e.2).count() as u64;
+            prop_assert_eq!(arena.live_count(), live);
+        }
+    }
+}
+
+// --- buffer cache -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever interleaving of reads, writes, syncs, and evictions, the
+    /// cache behaves like the device plus a write-back overlay: reading
+    /// any block through the cache equals the most recent write to it, and
+    /// after sync_all the raw device agrees. Flag invariants hold for
+    /// every cached buffer throughout.
+    #[test]
+    fn buffer_cache_is_coherent(
+        ops in prop::collection::vec((0u64..32, any::<u8>(), any::<bool>()), 1..120),
+        capacity in 2usize..16,
+    ) {
+        let dev = Arc::new(RamDisk::new(32));
+        let cache = BufferCache::new(Arc::clone(&dev) as Arc<dyn BlockDevice>, capacity);
+        let mut shadow: HashMap<u64, u8> = HashMap::new();
+        for (blk, value, is_write) in ops {
+            if is_write {
+                let b = cache.bread(blk).unwrap();
+                b.write(|d| d.fill(value));
+                shadow.insert(blk, value);
+            } else {
+                let b = cache.bread(blk).unwrap();
+                let got = b.read(|d| d[0]);
+                prop_assert_eq!(got, *shadow.get(&blk).unwrap_or(&0));
+            }
+            prop_assert!(cache.validate_all().is_empty(), "flag invariant broke");
+            prop_assert!(cache.len() <= capacity + 1, "capacity respected");
+        }
+        cache.sync_all().unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for (blk, value) in shadow {
+            dev.read_block(blk, &mut buf).unwrap();
+            prop_assert_eq!(buf[0], value, "device diverged after sync");
+        }
+    }
+}
+
+// --- journal -----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For a random transaction and a random crash cut through its write
+    /// sequence, recovery always lands the home blocks in either the old
+    /// or the new state — the journal's atomicity contract.
+    #[test]
+    fn journal_transactions_are_atomic_under_any_cut(
+        blocks in prop::collection::btree_set(0u64..40, 1..4),
+        fills in prop::collection::vec(1u8..=255, 4),
+        cut_salt in any::<u64>(),
+    ) {
+        const JSTART: u64 = 48;
+        const JBLOCKS: u64 = 16;
+        let ram = Arc::new(RamDisk::new(64));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&ram) as Arc<dyn BlockDevice>;
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        // Old state.
+        for (i, &b) in blocks.iter().enumerate() {
+            dev.write_block(b, &vec![fills[i % fills.len()]; BLOCK_SIZE]).unwrap();
+        }
+        dev.flush().unwrap();
+        let old_img = ram.snapshot();
+
+        // Record the write sequence of a commit via a logging device.
+        struct Log {
+            inner: Arc<RamDisk>,
+            writes: parking_lot::Mutex<Vec<(u64, Vec<u8>)>>,
+        }
+        impl BlockDevice for Log {
+            fn num_blocks(&self) -> u64 { self.inner.num_blocks() }
+            fn block_size(&self) -> usize { self.inner.block_size() }
+            fn read_block(&self, b: u64, buf: &mut [u8]) -> safer_kernel::ksim::errno::KResult<()> {
+                self.inner.read_block(b, buf)
+            }
+            fn write_block(&self, b: u64, buf: &[u8]) -> safer_kernel::ksim::errno::KResult<()> {
+                self.writes.lock().push((b, buf.to_vec()));
+                self.inner.write_block(b, buf)
+            }
+            fn flush(&self) -> safer_kernel::ksim::errno::KResult<()> { self.inner.flush() }
+            fn stats(&self) -> safer_kernel::ksim::block::DeviceStats { self.inner.stats() }
+        }
+        let log = Arc::new(Log { inner: Arc::clone(&ram), writes: parking_lot::Mutex::new(Vec::new()) });
+        let j = Journal::open(Arc::clone(&log) as Arc<dyn BlockDevice>, JSTART, JBLOCKS).unwrap();
+        let txn: Vec<(u64, Vec<u8>)> = blocks
+            .iter()
+            .map(|&b| (b, vec![0xEEu8; BLOCK_SIZE]))
+            .collect();
+        j.commit(&txn).unwrap();
+        let writes = log.writes.lock().clone();
+        prop_assert!(!writes.is_empty());
+
+        // Random cut through the *ordered* write sequence (pessimistic: we
+        // treat all writes as flushed in order, which prefix-crashes of a
+        // FIFO cache produce).
+        let cut = (cut_salt as usize) % (writes.len() + 1);
+        let mut img = old_img.clone();
+        for (b, data) in &writes[..cut] {
+            let off = *b as usize * BLOCK_SIZE;
+            img[off..off + BLOCK_SIZE].copy_from_slice(data);
+        }
+        let scratch = Arc::new(RamDisk::new(64));
+        scratch.restore(&img).unwrap();
+        let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+        let outcome = Journal::recover(&scratch_dyn, JSTART, JBLOCKS).unwrap();
+        let outcome_ok = matches!(
+            outcome,
+            RecoveryOutcome::Clean
+                | RecoveryOutcome::Replayed { .. }
+                | RecoveryOutcome::DiscardedTorn
+        );
+        prop_assert!(outcome_ok);
+        // Judge: all home blocks old, or all new.
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let mut states = Vec::new();
+        for (i, &b) in blocks.iter().enumerate() {
+            scratch_dyn.read_block(b, &mut buf).unwrap();
+            let old = buf[0] == fills[i % fills.len()];
+            let new = buf[0] == 0xEE;
+            prop_assert!(old || new, "torn block {b}: {}", buf[0]);
+            states.push(new);
+        }
+        prop_assert!(
+            states.iter().all(|&s| s) || states.iter().all(|&s| !s),
+            "mixed old/new across the transaction: {states:?}"
+        );
+    }
+}
+
+// --- dcache --------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dcache is a transparent memo: against a shadow map, every hit
+    /// returns the shadow's value and invalidation removes exactly the
+    /// targeted entries.
+    #[test]
+    fn dcache_is_a_transparent_memo(
+        ops in prop::collection::vec((0u64..4, 0u8..4, any::<u16>(), 0u8..3), 1..80),
+    ) {
+        let cache = Dcache::new(8);
+        let mut shadow: HashMap<(u64, String), u64> = HashMap::new();
+        for (dir, name_sel, val, kind) in ops {
+            let name = format!("n{name_sel}");
+            match kind {
+                0 => {
+                    cache.insert(dir, &name, u64::from(val));
+                    shadow.insert((dir, name), u64::from(val));
+                }
+                1 => {
+                    if let Some(got) = cache.get(dir, &name) {
+                        prop_assert_eq!(Some(&got), shadow.get(&(dir, name)));
+                    }
+                    // A miss is always legal (evictions are invisible).
+                }
+                _ => {
+                    cache.invalidate(dir, &name);
+                    shadow.remove(&(dir, name.clone()));
+                    prop_assert_eq!(cache.get(dir, &name), None);
+                }
+            }
+        }
+    }
+}
+
+// --- ownership tracker -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random module behaviour against the tracker: a module that follows
+    /// the protocol is never flagged; the violation count equals exactly
+    /// the number of illegal actions taken.
+    #[test]
+    fn tracker_counts_exactly_the_violations(
+        actions in prop::collection::vec((0u8..6, any::<bool>()), 1..60),
+    ) {
+        let t = ContractTracker::new();
+        let obj = t.register("owner");
+        let mut lent_exclusive = false;
+        let mut freed = false;
+        let mut expected_violations = 0usize;
+        for (kind, _salt) in actions {
+            match kind {
+                0 => {
+                    // Owner read: legal iff not exclusively lent and live.
+                    let legal = !lent_exclusive && !freed;
+                    let ok = t.access(obj, "owner", Access::Read);
+                    prop_assert_eq!(ok, legal);
+                    if !legal { expected_violations += 1; }
+                }
+                1 => {
+                    let legal = !lent_exclusive && !freed;
+                    let ok = t.lend_exclusive(obj, "owner", "callee");
+                    prop_assert_eq!(ok, legal);
+                    if legal { lent_exclusive = true; } else { expected_violations += 1; }
+                }
+                2 => {
+                    let legal = lent_exclusive;
+                    let ok = t.return_exclusive(obj, "callee");
+                    prop_assert_eq!(ok, legal);
+                    if legal { lent_exclusive = false; } else { expected_violations += 1; }
+                }
+                3 => {
+                    // Callee write: legal only during the loan.
+                    let legal = lent_exclusive && !freed;
+                    let ok = t.access(obj, "callee", Access::Write);
+                    prop_assert_eq!(ok, legal);
+                    if !legal { expected_violations += 1; }
+                }
+                4 => {
+                    let legal = !lent_exclusive && !freed;
+                    let ok = t.free(obj, "owner");
+                    prop_assert_eq!(ok, legal);
+                    if legal { freed = true; } else { expected_violations += 1; }
+                }
+                _ => {
+                    // A stranger touching the object is never legal.
+                    let ok = t.access(obj, "stranger", Access::Read);
+                    prop_assert!(!ok);
+                    expected_violations += 1;
+                }
+            }
+        }
+        prop_assert_eq!(t.violations().len(), expected_violations);
+    }
+}
+
+// --- model algebra -----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rename is invertible: renaming A→B then B→A restores the model.
+    #[test]
+    fn rename_roundtrips(content in prop::collection::vec(any::<u8>(), 0..64)) {
+        let m = FsModel::new()
+            .mkdir("/d").unwrap()
+            .create("/d/f").unwrap()
+            .write("/d/f", 0, &content).unwrap();
+        let moved = m.rename("/d", "/e").unwrap();
+        let back = moved.rename("/e", "/d").unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    /// create then unlink is the identity; mkdir then rmdir is the identity.
+    #[test]
+    fn create_unlink_identity(name in "[a-z]{1,6}") {
+        let base = FsModel::new().mkdir("/dir").unwrap();
+        let path = format!("/dir/{name}");
+        let round = base.create(&path).unwrap().unlink(&path).unwrap();
+        prop_assert_eq!(round, base.clone());
+        let round = base.mkdir(&path).unwrap().rmdir(&path).unwrap();
+        prop_assert_eq!(round, base);
+    }
+
+    /// Writes at disjoint offsets commute.
+    #[test]
+    fn disjoint_writes_commute(
+        a in prop::collection::vec(any::<u8>(), 1..16),
+        b in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let base = FsModel::new().create("/f").unwrap();
+        let off_b = 64 + a.len() as u64;
+        let ab = base.write("/f", 0, &a).unwrap().write("/f", off_b, &b).unwrap();
+        let ba = base.write("/f", off_b, &b).unwrap().write("/f", 0, &a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Truncate to the current size is the identity.
+    #[test]
+    fn truncate_to_size_is_identity(content in prop::collection::vec(any::<u8>(), 0..64)) {
+        let m = FsModel::new().create("/f").unwrap().write("/f", 0, &content).unwrap();
+        let size = content.len() as u64;
+        prop_assert_eq!(m.truncate("/f", size).unwrap(), m);
+    }
+}
