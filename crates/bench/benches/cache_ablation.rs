@@ -127,7 +127,10 @@ fn report_elevator_simulated() {
     for &blk in &order {
         disk.write_block(blk, &payload).unwrap();
     }
-    println!("fifo dispatch:     {:.2} ms simulated", clock.now_ns() as f64 / 1e6);
+    println!(
+        "fifo dispatch:     {:.2} ms simulated",
+        clock.now_ns() as f64 / 1e6
+    );
 
     let clock = Arc::new(SimClock::new());
     let mut disk = RamDisk::with_geometry(256, 4096, Arc::clone(&clock));
@@ -137,7 +140,10 @@ fn report_elevator_simulated() {
         elev.write_block(blk, &payload).unwrap();
     }
     elev.flush().unwrap();
-    println!("elevator dispatch: {:.2} ms simulated\n", clock.now_ns() as f64 / 1e6);
+    println!(
+        "elevator dispatch: {:.2} ms simulated\n",
+        clock.now_ns() as f64 / 1e6
+    );
 }
 
 criterion_group!(benches, bench_dcache, bench_buffer_capacity);
@@ -146,5 +152,7 @@ fn main() {
     report_readahead_simulated();
     report_elevator_simulated();
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

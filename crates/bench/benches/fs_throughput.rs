@@ -4,12 +4,12 @@
 //! Per-operation cost of create / write(4 KiB) / read(4 KiB) / rename /
 //! unlink on:
 //!
-//! - `cext4`        — the Step-0 baseline, reached through the legacy shim
-//!                    (exactly how the migration example mounts it);
-//! - `rsfs`         — the safe file system, journal off (apples-to-apples
-//!                    with cext4, which has no journal);
+//! - `cext4` — the Step-0 baseline, reached through the legacy shim
+//!   (exactly how the migration example mounts it);
+//! - `rsfs` — the safe file system, journal off (apples-to-apples
+//!   with cext4, which has no journal);
 //! - `rsfs_journal` — the safe file system with per-op atomic commits —
-//!                    the durability upgrade's price.
+//!   the durability upgrade's price.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sk_bench::{make_cext4_adapter, make_rsfs};

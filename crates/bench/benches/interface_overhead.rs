@@ -5,15 +5,15 @@
 //! One operation (`getattr` on a cached inode) dispatched through each
 //! regime:
 //!
-//! - `direct`            — concrete `Rsfs` method call (no roadmap).
-//! - `dyn_trait`         — `Arc<dyn FileSystem>` virtual call (Step 1's
-//!                         interface, statically wired).
-//! - `registry_handle`   — `InterfaceHandle` dispatch (Step 1 with hot
-//!                         replacement: one `RwLock` read + `Arc` clone).
-//! - `boundary_counted`  — plus a shim `Boundary` crossing counter.
-//! - `boundary_checked`  — plus ownership-contract validation.
-//! - `refinement_checked`— plus Step 4's per-op abstraction + relation
-//!                         check (the expensive one, by design).
+//! - `direct` — concrete `Rsfs` method call (no roadmap).
+//! - `dyn_trait` — `Arc<dyn FileSystem>` virtual call (Step 1's
+//!   interface, statically wired).
+//! - `registry_handle` — `InterfaceHandle` dispatch (Step 1 with hot
+//!   replacement: one `RwLock` read + `Arc` clone).
+//! - `boundary_counted` — plus a shim `Boundary` crossing counter.
+//! - `boundary_checked` — plus ownership-contract validation.
+//! - `refinement_checked` — plus Step 4's per-op abstraction + relation
+//!   check (the expensive one, by design).
 
 use std::sync::Arc;
 
@@ -62,8 +62,13 @@ fn bench(c: &mut Criterion) {
             Arc::new(make_rsfs(JournalMode::None, 2048)) as Arc<dyn FileSystem>,
         )
         .expect("register");
-    let handle = registry.subscribe::<dyn FileSystem>("vfs.filesystem").expect("subscribe");
-    let hino = handle.get().create(handle.get().root_ino(), "probe").expect("create");
+    let handle = registry
+        .subscribe::<dyn FileSystem>("vfs.filesystem")
+        .expect("subscribe");
+    let hino = handle
+        .get()
+        .create(handle.get().root_ino(), "probe")
+        .expect("create");
     group.bench_function("registry_handle", |b| {
         b.iter(|| handle.get().getattr(std::hint::black_box(hino)).unwrap())
     });

@@ -31,8 +31,18 @@ fn bench(c: &mut Criterion) {
     // Legacy pair, established connection.
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let la = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
-    let lb = LegacyStack::new(LegacyCtx::new(), Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let la = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
+    let lb = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::B,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let lserver = lb.socket(proto::TCP, 80).unwrap();
     lb.listen(lserver).unwrap();
     let lclient = la.socket(proto::TCP, 1234).unwrap();
@@ -62,7 +72,12 @@ fn bench(c: &mut Criterion) {
     let registry = Arc::new(Registry::new());
     register_families(&registry).unwrap();
     let wire2 = Arc::new(Wire::new());
-    let ma = ModularStack::new(Arc::clone(&registry), Side::A, Arc::clone(&wire2), Arc::clone(&clock));
+    let ma = ModularStack::new(
+        Arc::clone(&registry),
+        Side::A,
+        Arc::clone(&wire2),
+        Arc::clone(&clock),
+    );
     let mb = ModularStack::new(registry, Side::B, wire2, Arc::clone(&clock));
     let mserver = mb.socket("tcp", 80).unwrap();
     mb.listen(mserver).unwrap();

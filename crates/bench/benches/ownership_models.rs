@@ -7,19 +7,21 @@
 //! The callee computes a checksum over the buffer (so the bytes are really
 //! touched); the *transfer* mechanism varies:
 //!
-//! - `message_copy`    — the strict message-passing baseline: the payload
-//!                       is cloned across the boundary.
-//! - `model1_owned`    — ownership passes ([`Owned`]); no copy, callee
-//!                       frees. (Allocation is inside the loop for both
-//!                       this and the copy case, so they are comparable.)
-//! - `model2_exclusive`— exclusive loan; caller keeps the buffer.
-//! - `model3_shared`   — shared read-only loan; zero transfer cost.
+//! - `message_copy` — the strict message-passing baseline: the payload
+//!   is cloned across the boundary.
+//! - `model1_owned` — ownership passes ([`Owned`]); no copy, callee
+//!   frees. (Allocation is inside the loop for both
+//!   this and the copy case, so they are comparable.)
+//! - `model2_exclusive` — exclusive loan; caller keeps the buffer.
+//! - `model3_shared` — shared read-only loan; zero transfer cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sk_core::ownership::{Exclusive, Owned, Shared};
 
 fn checksum(data: &[u8]) -> u64 {
-    data.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(u64::from(b)))
+    data.iter().fold(0u64, |acc, &b| {
+        acc.wrapping_mul(31).wrapping_add(u64::from(b))
+    })
 }
 
 // The "callee module" for each model.

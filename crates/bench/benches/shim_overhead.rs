@@ -15,8 +15,8 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sk_fs_safe::rsfs::{JournalMode, Rsfs};
 use sk_core::spec::AxiomaticDevice;
+use sk_fs_safe::rsfs::{JournalMode, Rsfs};
 use sk_ksim::block::{BlockDevice, RamDisk};
 use sk_legacy::LegacyCtx;
 use sk_vfs::modular::FileSystem;
@@ -59,8 +59,9 @@ fn bench(c: &mut Criterion) {
     drive(c, "boundaries_2", &one);
 
     // 2 boundaries + axiom validation on the device underneath.
-    let axio: Arc<dyn BlockDevice> =
-        Arc::new(AxiomaticDevice::new(Arc::new(RamDisk::new(4096)) as Arc<dyn BlockDevice>));
+    let axio: Arc<dyn BlockDevice> = Arc::new(AxiomaticDevice::new(
+        Arc::new(RamDisk::new(4096)) as Arc<dyn BlockDevice>
+    ));
     let fs2: Arc<dyn FileSystem> = Arc::new(rsfs_on(axio));
     let ctx2 = LegacyCtx::new();
     let ops2 = Arc::new(export_legacy(Arc::clone(&fs2), &ctx2));

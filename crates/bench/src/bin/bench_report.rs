@@ -1,0 +1,400 @@
+//! Storage-path benchmark report: measures the lock-striped buffer
+//! cache, the sharded dcache, group commit, and vectored IO, then writes
+//! `BENCH_storage.json` for EXPERIMENTS.md.
+//!
+//! Usage: `bench_report [--shards 1,8] [--threads N] [--out PATH]`
+//!
+//! Two kinds of numbers, clearly separated in the output:
+//!
+//! - **wall-clock** (`*_wall_ns`, `ops_per_sec`): real multi-threaded
+//!   execution, the contention ablation — shard counts from `--shards`
+//!   run the identical workload on one cache;
+//! - **simulated** (`*_sim_ns`): deterministic device-model time from
+//!   [`sk_ksim::time::SimClock`], which isolates seek/transfer effects
+//!   (group-commit barrier counts, vectored-extent coalescing) from
+//!   host noise.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::Value;
+use sk_bench::{make_cext4_adapter, make_rsfs};
+use sk_fs_safe::rsfs::JournalMode;
+use sk_ksim::block::{BlockDevice, RamDisk, BLOCK_SIZE};
+use sk_ksim::buffer::BufferCache;
+use sk_ksim::time::SimClock;
+use sk_vfs::dcache::Dcache;
+use sk_vfs::modular::FileSystem;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<String, Value>>(),
+    )
+}
+
+fn num(n: f64) -> Value {
+    Value::Number(n)
+}
+
+/// Median wall time of `runs` executions of `f`, in nanoseconds.
+fn median_wall_ns(runs: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Metadata-churn workload over one shared buffer cache, repeated for
+/// each shard count: every op is a `getblk` miss (insert + LRU eviction
+/// under the shard's exclusive lock) on a per-thread block range. This is
+/// the path a create/delete storm drives; with one stripe all threads
+/// serialize on a single write lock, with N stripes they don't.
+fn bench_buffer_cache(shard_counts: &[usize], threads: usize) -> Value {
+    const OPS_PER_THREAD: usize = 6_000;
+    const RANGE_PER_THREAD: u64 = 512;
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let dev: Arc<dyn BlockDevice> =
+            Arc::new(RamDisk::new(threads as u64 * RANGE_PER_THREAD + 8));
+        // Capacity far below the working set: every op inserts and evicts.
+        let cache = Arc::new(BufferCache::with_shards(dev, 64, shards));
+        let wall_ns = median_wall_ns(3, || {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                handles.push(std::thread::spawn(move || {
+                    let base = t as u64 * RANGE_PER_THREAD;
+                    for i in 0..OPS_PER_THREAD {
+                        let blk = base + (i as u64 % RANGE_PER_THREAD);
+                        let buf = cache.getblk(blk).unwrap();
+                        std::hint::black_box(buf.read(|d| d[0]));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let total_ops = (threads * OPS_PER_THREAD) as f64;
+        let s = cache.stats();
+        rows.push(obj(vec![
+            ("shards", num(shards as f64)),
+            ("threads", num(threads as f64)),
+            ("total_ops", num(total_ops)),
+            ("wall_ns", num(wall_ns as f64)),
+            ("ops_per_sec", num(total_ops / (wall_ns as f64 / 1e9))),
+            ("hits", num(s.hits as f64)),
+            ("misses", num(s.misses as f64)),
+            ("evictions", num(s.evictions as f64)),
+        ]));
+        println!(
+            "buffer_cache shards={shards}: {:>8.0}k ops/s ({} threads)",
+            total_ops / (wall_ns as f64 / 1e9) / 1e3,
+            threads
+        );
+    }
+    Value::Array(rows)
+}
+
+/// Same ablation for the dcache: path-component lookups are short
+/// critical sections on a Mutex, so striping is the whole ballgame.
+fn bench_dcache(shard_counts: &[usize], threads: usize) -> Value {
+    const OPS_PER_THREAD: usize = 20_000;
+    const NAMES_PER_THREAD: u64 = 32;
+    let mut rows = Vec::new();
+    for &shards in shard_counts {
+        let dcache = Arc::new(Dcache::with_shards(
+            threads * NAMES_PER_THREAD as usize,
+            shards,
+        ));
+        for t in 0..threads as u64 {
+            for i in 0..NAMES_PER_THREAD {
+                dcache.insert(t, &format!("n{i}"), t * 100 + i);
+            }
+        }
+        let wall_ns = median_wall_ns(3, || {
+            let mut handles = Vec::new();
+            for t in 0..threads as u64 {
+                let dcache = Arc::clone(&dcache);
+                handles.push(std::thread::spawn(move || {
+                    let names: Vec<String> =
+                        (0..NAMES_PER_THREAD).map(|i| format!("n{i}")).collect();
+                    for i in 0..OPS_PER_THREAD {
+                        let name = &names[(i * 13) % NAMES_PER_THREAD as usize];
+                        std::hint::black_box(dcache.get(t, name));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let total_ops = (threads * OPS_PER_THREAD) as f64;
+        rows.push(obj(vec![
+            ("shards", num(shards as f64)),
+            ("threads", num(threads as f64)),
+            ("total_ops", num(total_ops)),
+            ("wall_ns", num(wall_ns as f64)),
+            ("ops_per_sec", num(total_ops / (wall_ns as f64 / 1e9))),
+        ]));
+        println!(
+            "dcache       shards={shards}: {:>8.0}k ops/s ({} threads)",
+            total_ops / (wall_ns as f64 / 1e9) / 1e3,
+            threads
+        );
+    }
+    Value::Array(rows)
+}
+
+/// Single-threaded ops/sec per file system — the fs_throughput series
+/// (cext4 vs rsfs vs rsfs+journal) in report form.
+fn bench_fs_throughput() -> Value {
+    const FILES: usize = 64;
+    let payload = vec![0xA5u8; 1024];
+    let mut rows = Vec::new();
+    let mut run = |label: &str, fs: &dyn FileSystem| {
+        let root = fs.root_ino();
+        let wall_ns = median_wall_ns(3, || {
+            for i in 0..FILES {
+                let name = format!("f{i}");
+                let ino = fs.create(root, &name).unwrap();
+                fs.write(ino, 0, &payload).unwrap();
+                let mut out = vec![0u8; 1024];
+                fs.read(ino, 0, &mut out).unwrap();
+                fs.unlink(root, &name).unwrap();
+            }
+        });
+        let ops = (FILES * 4) as f64;
+        rows.push(obj(vec![
+            ("fs", Value::String(label.to_string())),
+            ("ops", num(ops)),
+            ("wall_ns", num(wall_ns as f64)),
+            ("ops_per_sec", num(ops / (wall_ns as f64 / 1e9))),
+        ]));
+        println!(
+            "fs_throughput {label:<14}: {:>8.1}k ops/s",
+            ops / (wall_ns as f64 / 1e9) / 1e3
+        );
+    };
+    run("cext4", &make_cext4_adapter(4096));
+    run("rsfs", &make_rsfs(JournalMode::None, 4096));
+    run("rsfs+journal", &make_rsfs(JournalMode::PerOp, 4096));
+    Value::Array(rows)
+}
+
+/// Forwarding device whose `flush` costs real wall time — the storage
+/// barrier a commit record pays on actual hardware. Group commit exists
+/// to amortize exactly this.
+struct SlowFlushDevice {
+    inner: Arc<RamDisk>,
+    flush_cost: std::time::Duration,
+}
+
+impl BlockDevice for SlowFlushDevice {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> sk_ksim::errno::KResult<()> {
+        self.inner.read_block(blkno, buf)
+    }
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> sk_ksim::errno::KResult<()> {
+        self.inner.write_block(blkno, buf)
+    }
+    fn read_blocks(&self, start: u64, count: usize, buf: &mut [u8]) -> sk_ksim::errno::KResult<()> {
+        self.inner.read_blocks(start, count, buf)
+    }
+    fn write_blocks(&self, start: u64, count: usize, buf: &[u8]) -> sk_ksim::errno::KResult<()> {
+        self.inner.write_blocks(start, count, buf)
+    }
+    fn flush(&self) -> sk_ksim::errno::KResult<()> {
+        std::thread::sleep(self.flush_cost);
+        self.inner.flush()
+    }
+    fn stats(&self) -> sk_ksim::block::DeviceStats {
+        self.inner.stats()
+    }
+}
+
+/// Group commit under concurrency: T threads write disjoint files through
+/// one journaled rsfs on a device with a 50µs flush barrier. Reports both
+/// wall time and the journal's own accounting — `batches < commits` is
+/// the merge working; `barriers` tracks batches, not commits, which is
+/// the whole point.
+fn bench_group_commit(thread_counts: &[usize]) -> Value {
+    const WRITES_PER_THREAD: usize = 48;
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let ram = Arc::new(RamDisk::new(8192));
+        let dev: Arc<dyn BlockDevice> = Arc::new(SlowFlushDevice {
+            inner: ram,
+            flush_cost: std::time::Duration::from_micros(50),
+        });
+        sk_fs_safe::rsfs::Rsfs::mkfs(&dev, 1024, 128).expect("mkfs");
+        let fs = Arc::new(sk_fs_safe::rsfs::Rsfs::mount(dev, JournalMode::PerOp).expect("mount"));
+        let root = fs.root_ino();
+        let inos: Vec<u64> = (0..threads)
+            .map(|t| fs.create(root, &format!("t{t}")).unwrap())
+            .collect();
+        let before = fs.journal().unwrap().stats();
+        let payload = vec![0x5Au8; 512];
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        for &ino in &inos {
+            let fs = Arc::clone(&fs);
+            let payload = payload.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..WRITES_PER_THREAD {
+                    fs.write(ino, (i * 512) as u64, &payload).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let after = fs.journal().unwrap().stats();
+        let commits = after.commits - before.commits;
+        let batches = after.batches - before.batches;
+        let barriers = after.barriers - before.barriers;
+        let ns_per_commit = wall_ns as f64 / commits.max(1) as f64;
+        rows.push(obj(vec![
+            ("threads", num(threads as f64)),
+            ("commits", num(commits as f64)),
+            ("batches", num(batches as f64)),
+            ("merge_factor", num(commits as f64 / batches.max(1) as f64)),
+            ("barriers", num(barriers as f64)),
+            ("wall_ns", num(wall_ns as f64)),
+            ("ns_per_commit", num(ns_per_commit)),
+        ]));
+        println!(
+            "group_commit threads={threads}: {commits} commits in {batches} batches \
+             (merge ×{:.2}, {barriers} barriers, {:.0} µs/commit)",
+            commits as f64 / batches.max(1) as f64,
+            ns_per_commit / 1e3
+        );
+    }
+    Value::Array(rows)
+}
+
+/// Vectored IO on a seeking device, in deterministic simulated time: 64
+/// scattered single-block writes vs the same bytes as one coalesced
+/// extent via `write_blocks`.
+fn bench_vectored_io() -> Value {
+    let scattered_sim_ns = {
+        let clock = Arc::new(SimClock::new());
+        let mut disk = RamDisk::with_geometry(512, BLOCK_SIZE, Arc::clone(&clock));
+        disk.set_seek_model(1_000);
+        let payload = vec![7u8; BLOCK_SIZE];
+        let t0 = clock.now_ns();
+        for i in 0..64u64 {
+            // Alternate ends of the disk: every write pays a seek.
+            let blk = if i % 2 == 0 { i } else { 400 + i };
+            disk.write_block(blk, &payload).unwrap();
+        }
+        clock.now_ns() - t0
+    };
+    let coalesced_sim_ns = {
+        let clock = Arc::new(SimClock::new());
+        let mut disk = RamDisk::with_geometry(512, BLOCK_SIZE, Arc::clone(&clock));
+        disk.set_seek_model(1_000);
+        let payload = vec![7u8; BLOCK_SIZE * 64];
+        let t0 = clock.now_ns();
+        disk.write_blocks(8, 64, &payload).unwrap();
+        clock.now_ns() - t0
+    };
+    println!(
+        "vectored_io: scattered {scattered_sim_ns} ns sim, coalesced {coalesced_sim_ns} ns sim \
+         (×{:.1})",
+        scattered_sim_ns as f64 / coalesced_sim_ns.max(1) as f64
+    );
+    obj(vec![
+        ("scattered_sim_ns", num(scattered_sim_ns as f64)),
+        ("coalesced_sim_ns", num(coalesced_sim_ns as f64)),
+        (
+            "speedup",
+            num(scattered_sim_ns as f64 / coalesced_sim_ns.max(1) as f64),
+        ),
+    ])
+}
+
+fn parse_args() -> (Vec<usize>, usize, String) {
+    let mut shards = vec![1usize, 8];
+    let mut threads = 8usize;
+    let mut out = "BENCH_storage.json".to_string();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" if i + 1 < args.len() => {
+                shards = args[i + 1]
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                threads = args[i + 1].parse().unwrap_or(8);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (shards, threads, out)
+}
+
+fn main() {
+    let (shards, threads, out) = parse_args();
+    println!("== storage-path benchmark report (shards {shards:?}, {threads} threads) ==\n");
+
+    // Verify rsfs state survives the concurrent group-commit run: a quick
+    // correctness canary so throughput numbers are never from a broken fs.
+    {
+        let fs = Arc::new(make_rsfs(JournalMode::PerOp, 4096));
+        let ino = fs.create(fs.root_ino(), "canary").unwrap();
+        fs.write(ino, 0, b"canary").unwrap();
+        let mut buf = vec![0u8; 6];
+        assert_eq!(fs.read(ino, 0, &mut buf).unwrap(), 6);
+        assert_eq!(&buf, b"canary");
+    }
+
+    let report = obj(vec![
+        (
+            "meta",
+            obj(vec![
+                ("threads", num(threads as f64)),
+                (
+                    "shard_counts",
+                    Value::Array(shards.iter().map(|&s| num(s as f64)).collect()),
+                ),
+            ]),
+        ),
+        ("buffer_cache_scaling", bench_buffer_cache(&shards, threads)),
+        ("dcache_scaling", bench_dcache(&shards, threads)),
+        ("fs_throughput", bench_fs_throughput()),
+        ("group_commit", bench_group_commit(&[1, threads.max(2)])),
+        ("vectored_io", bench_vectored_io()),
+    ]);
+
+    let json = serde_json::to_string(&report).expect("serialize");
+    std::fs::write(&out, &json).expect("write report");
+    println!("\nwrote {out}");
+}

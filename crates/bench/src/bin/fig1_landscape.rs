@@ -15,7 +15,7 @@ use sk_bench::count_loc;
 
 fn main() {
     println!("== Figure 1: safety level vs code size ==\n");
-    println!("{:<14} {:>12}  {}", "system", "LoC", "safety level");
+    println!("{:<14} {:>12}  safety level", "system", "LoC");
     println!("{:-<14} {:->12}  {:-<24}", "", "", "");
     // Published/approximate sizes, as in the paper's Figure 1 bands.
     let landscape: &[(&str, u64, &str)] = &[
@@ -35,12 +35,18 @@ fn main() {
     println!("\n-- this workspace (measured from source) --\n");
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let crates: &[(&str, &str)] = &[
-        ("crates/ksim", "substrate (simulated kernel: block, cache, elevator, workqueue)"),
+        (
+            "crates/ksim",
+            "substrate (simulated kernel: block, cache, elevator, workqueue)",
+        ),
         ("crates/legacy", "no guarantees (the C idiom, emulated)"),
         ("crates/fs-legacy", "no guarantees (Step 0 baseline)"),
         ("crates/core", "the incremental-safety framework"),
         ("crates/vfs", "modular interfaces (Step 1)"),
-        ("crates/fs-safe", "ownership safety + checked refinement (Steps 2-4)"),
+        (
+            "crates/fs-safe",
+            "ownership safety + checked refinement (Steps 2-4)",
+        ),
         ("crates/netstack", "Step 0 and Steps 1-2, side by side"),
         ("crates/cvedb", "bug-study analysis"),
         ("crates/faultgen", "prevention study"),

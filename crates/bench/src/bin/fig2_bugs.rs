@@ -16,10 +16,7 @@ fn print_2a(ds: &Dataset) {
         .map(|&(y, n)| (y.to_string(), f64::from(n)))
         .collect();
     print!("{}", render_bars(&rows, 48));
-    let json: Vec<String> = series
-        .iter()
-        .map(|(y, n)| format!("[{y},{n}]"))
-        .collect();
+    let json: Vec<String> = series.iter().map(|(y, n)| format!("[{y},{n}]")).collect();
     println!("\nJSON: [{}]\n", json.join(","));
 }
 
@@ -30,7 +27,11 @@ fn print_2b(ds: &Dataset) {
         let bar = "#".repeat((frac * 40.0).round() as usize);
         println!("<= {y:>2} yr | {bar} {frac:.2}");
     }
-    let at_6 = cdf.iter().find(|(y, _)| *y == 6).map(|(_, f)| *f).unwrap_or(0.0);
+    let at_6 = cdf
+        .iter()
+        .find(|(y, _)| *y == 6)
+        .map(|(_, f)| *f)
+        .unwrap_or(0.0);
     println!(
         "\n  -> {:.0}% of ext4 CVEs were reported 7+ years after release \
          (paper: 50%)",
@@ -48,7 +49,12 @@ fn print_2c(ds: &Dataset) {
         let rows: Vec<(String, f64)> = points
             .iter()
             .filter(|p| p.fs == fs)
-            .map(|p| (format!("year {:>2}", p.year_since_release), p.bugs_per_loc * 100.0))
+            .map(|p| {
+                (
+                    format!("year {:>2}", p.year_since_release),
+                    p.bugs_per_loc * 100.0,
+                )
+            })
             .collect();
         print!("{}", render_bars(&rows, 40));
         println!();

@@ -23,7 +23,10 @@ fn main() {
         "{:<38} {:>7} {:>6.1}%   ~35%",
         "functional correctness (step 4)", s.functional, fun
     );
-    println!("{:<38} {:>7} {:>6.1}%   ~23%", "other causes", s.other, other);
+    println!(
+        "{:<38} {:>7} {:>6.1}%   ~23%",
+        "other causes", s.other, other
+    );
     println!("{:-<38} {:->7} {:->7}", "", "", "");
     println!("{:<38} {:>7} {:>6.1}%", "total", s.total, 100.0);
 

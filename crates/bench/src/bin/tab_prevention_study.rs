@@ -17,8 +17,8 @@ fn main() {
 
     println!("== Per-class pipeline verification ==\n");
     println!(
-        "{:<26} {:<9} {:<15} {:<15} {}",
-        "bug class", "CWE", "measured", "expected", "trials"
+        "{:<26} {:<9} {:<15} {:<15} trials",
+        "bug class", "CWE", "measured", "expected"
     );
     println!("{:-<26} {:-<9} {:-<15} {:-<15} ------", "", "", "", "");
     for r in &report.specs {
@@ -36,7 +36,10 @@ fn main() {
     }
 
     let (ty, fun, other) = report.percentages();
-    println!("\n== Corpus-weighted prevention table ({} records) ==\n", report.total);
+    println!(
+        "\n== Corpus-weighted prevention table ({} records) ==\n",
+        report.total
+    );
     println!("{:<38} {:>7} {:>7}   paper", "category", "count", "pct");
     println!("{:-<38} {:->7} {:->7}   -----", "", "", "");
     println!(

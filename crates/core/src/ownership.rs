@@ -70,7 +70,9 @@ impl<T> Owned<T> {
 
     /// Loans the object exclusively (model 2) without giving it up.
     pub fn lend_exclusive(&mut self) -> Exclusive<'_, T> {
-        Exclusive { value: &mut self.value }
+        Exclusive {
+            value: &mut self.value,
+        }
     }
 
     /// Loans the object shared (model 3) without giving it up.
@@ -243,7 +245,9 @@ impl ContractTracker {
             };
             ledger.record(class, "contract_tracker", what.clone());
         }
-        inner.violations.push(ContractViolation { obj, module, what });
+        inner
+            .violations
+            .push(ContractViolation { obj, module, what });
     }
 
     /// Registers a new object owned by `owner`.
@@ -264,7 +268,12 @@ impl ContractTracker {
                 true
             }
             Some(Rights::Freed) => {
-                self.violate(&mut inner, obj, from, "passed ownership of freed object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    from,
+                    "passed ownership of freed object".into(),
+                );
                 false
             }
             Some(state) => {
@@ -277,7 +286,12 @@ impl ContractTracker {
                 false
             }
             None => {
-                self.violate(&mut inner, obj, from, "pass_ownership of unknown object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    from,
+                    "pass_ownership of unknown object".into(),
+                );
                 false
             }
         }
@@ -303,7 +317,12 @@ impl ContractTracker {
                 false
             }
             None => {
-                self.violate(&mut inner, obj, owner, "lend_exclusive of unknown object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    owner,
+                    "lend_exclusive of unknown object".into(),
+                );
                 false
             }
         }
@@ -327,7 +346,12 @@ impl ContractTracker {
                 false
             }
             None => {
-                self.violate(&mut inner, obj, borrower, "return_exclusive of unknown object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    borrower,
+                    "return_exclusive of unknown object".into(),
+                );
                 false
             }
         }
@@ -348,7 +372,10 @@ impl ContractTracker {
                 );
                 true
             }
-            Some(Rights::LentShared { owner: o, mut readers }) if o == owner => {
+            Some(Rights::LentShared {
+                owner: o,
+                mut readers,
+            }) if o == owner => {
                 readers.push(reader);
                 inner
                     .objects
@@ -365,7 +392,12 @@ impl ContractTracker {
                 false
             }
             None => {
-                self.violate(&mut inner, obj, owner, "lend_shared of unknown object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    owner,
+                    "lend_shared of unknown object".into(),
+                );
                 false
             }
         }
@@ -406,7 +438,12 @@ impl ContractTracker {
                 false
             }
             None => {
-                self.violate(&mut inner, obj, reader, "return_shared of unknown object".into());
+                self.violate(
+                    &mut inner,
+                    obj,
+                    reader,
+                    "return_shared of unknown object".into(),
+                );
                 false
             }
         }

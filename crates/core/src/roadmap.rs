@@ -158,28 +158,24 @@ impl Roadmap {
         let mut rows: Vec<(String, String, SafetyLevel)> = entries
             .iter()
             .map(|(iface, e)| {
-                (
-                    iface.to_string(),
-                    e.implementation.clone(),
-                    {
-                        let has = |l: SafetyLevel| e.certs.iter().any(|c| c.level == l);
-                        let chain = [
-                            SafetyLevel::Modular,
-                            SafetyLevel::TypeSafe,
-                            SafetyLevel::OwnershipSafe,
-                            SafetyLevel::FunctionallyVerified,
-                        ];
-                        let mut eff = SafetyLevel::NoGuarantees;
-                        for l in chain {
-                            if has(l) {
-                                eff = l;
-                            } else {
-                                break;
-                            }
+                (iface.to_string(), e.implementation.clone(), {
+                    let has = |l: SafetyLevel| e.certs.iter().any(|c| c.level == l);
+                    let chain = [
+                        SafetyLevel::Modular,
+                        SafetyLevel::TypeSafe,
+                        SafetyLevel::OwnershipSafe,
+                        SafetyLevel::FunctionallyVerified,
+                    ];
+                    let mut eff = SafetyLevel::NoGuarantees;
+                    for l in chain {
+                        if has(l) {
+                            eff = l;
+                        } else {
+                            break;
                         }
-                        eff
-                    },
-                )
+                    }
+                    eff
+                })
             })
             .collect();
         rows.sort();
@@ -204,12 +200,23 @@ mod tests {
         let r = Roadmap::new();
         r.track("vfs.filesystem", "rsfs");
         assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::NoGuarantees);
-        r.certify("vfs.filesystem", SafetyLevel::Modular, "registry swap test").unwrap();
+        r.certify("vfs.filesystem", SafetyLevel::Modular, "registry swap test")
+            .unwrap();
         // Skipping type safety: ownership cert alone doesn't raise the
         // effective level past the gap.
-        r.certify("vfs.filesystem", SafetyLevel::OwnershipSafe, "forbid(unsafe)").unwrap();
+        r.certify(
+            "vfs.filesystem",
+            SafetyLevel::OwnershipSafe,
+            "forbid(unsafe)",
+        )
+        .unwrap();
         assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::Modular);
-        r.certify("vfs.filesystem", SafetyLevel::TypeSafe, "no void ptr in iface").unwrap();
+        r.certify(
+            "vfs.filesystem",
+            SafetyLevel::TypeSafe,
+            "no void ptr in iface",
+        )
+        .unwrap();
         assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::OwnershipSafe);
         r.certify(
             "vfs.filesystem",
@@ -227,8 +234,10 @@ mod tests {
     fn replacement_resets_to_modular() {
         let r = Roadmap::new();
         r.track("vfs.filesystem", "cext4");
-        r.certify("vfs.filesystem", SafetyLevel::Modular, "adapter").unwrap();
-        r.certify("vfs.filesystem", SafetyLevel::TypeSafe, "claimed").unwrap();
+        r.certify("vfs.filesystem", SafetyLevel::Modular, "adapter")
+            .unwrap();
+        r.certify("vfs.filesystem", SafetyLevel::TypeSafe, "claimed")
+            .unwrap();
         r.replaced("vfs.filesystem", "rsfs").unwrap();
         assert_eq!(r.level_of("vfs.filesystem"), SafetyLevel::Modular);
         let rows = r.summary();
@@ -250,8 +259,10 @@ mod tests {
     fn recertifying_a_level_replaces_evidence() {
         let r = Roadmap::new();
         r.track("net.tcp", "tcp-v1");
-        r.certify("net.tcp", SafetyLevel::Modular, "old evidence").unwrap();
-        r.certify("net.tcp", SafetyLevel::Modular, "new evidence").unwrap();
+        r.certify("net.tcp", SafetyLevel::Modular, "old evidence")
+            .unwrap();
+        r.certify("net.tcp", SafetyLevel::Modular, "new evidence")
+            .unwrap();
         assert_eq!(r.level_of("net.tcp"), SafetyLevel::Modular);
     }
 }

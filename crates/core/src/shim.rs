@@ -99,7 +99,9 @@ impl Boundary {
         self.stats.crossings.fetch_add(1, Ordering::Relaxed);
         if let Some(tracker) = &self.tracker {
             if !precondition(tracker) {
-                self.stats.validation_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .validation_failures
+                    .fetch_add(1, Ordering::Relaxed);
                 return Err(Errno::EACCES);
             }
         }
@@ -142,10 +144,7 @@ mod tests {
         let b = Boundary::with_tracker("vfs<->fs", Arc::clone(&tracker));
         // The *caller* (vfs) trying to read during an exclusive loan: the
         // precondition fails and the crossing is refused.
-        let r: KResult<()> = b.cross_checked(
-            |t| t.access(obj, "vfs", Access::Read),
-            || Ok(()),
-        );
+        let r: KResult<()> = b.cross_checked(|t| t.access(obj, "vfs", Access::Read), || Ok(()));
         assert_eq!(r, Err(Errno::EACCES));
         assert_eq!(b.stats().validation_failures(), 1);
         // The borrower passes.

@@ -217,7 +217,7 @@ mod tests {
         let d = AxiomaticDevice::new(Arc::clone(&ram));
         let mut out = vec![0u8; BLOCK_SIZE];
         d.read_block(3, &mut out).unwrap(); // Baseline: zeros.
-        // Mutate behind the model's back.
+                                            // Mutate behind the model's back.
         let sneaky = vec![9u8; BLOCK_SIZE];
         ram.write_block(3, &sneaky).unwrap();
         d.read_block(3, &mut out).unwrap();

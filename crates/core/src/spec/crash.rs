@@ -150,9 +150,7 @@ mod tests {
         assert_eq!(images.len(), 4);
         // One of the images must have block 1 written but not block 0 —
         // the reordering the prefix policy can't produce.
-        assert!(images
-            .iter()
-            .any(|img| img[0] == 0 && img[bs] == 2));
+        assert!(images.iter().any(|img| img[0] == 0 && img[bs] == 2));
     }
 
     #[test]

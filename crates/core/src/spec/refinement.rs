@@ -132,9 +132,17 @@ mod tests {
 
     #[test]
     fn correct_op_passes_relation() {
-        let mut c = Counter { hi: 0, lo: u32::MAX };
+        let mut c = Counter {
+            hi: 0,
+            lo: u32::MAX,
+        };
         let mut chk = RefinementChecker::new();
-        chk.step(&mut c, "incr", |c| c.incr(), |pre, post, _: &()| *post == pre + 1);
+        chk.step(
+            &mut c,
+            "incr",
+            |c| c.incr(),
+            |pre, post, _: &()| *post == pre + 1,
+        );
         assert!(chk.is_clean());
         assert_eq!(chk.ops_checked(), 1);
         assert_eq!(c.abstraction(), u64::from(u32::MAX) + 1);

@@ -5,12 +5,10 @@
 //! additional 35% with functional correctness verification. The remaining
 //! 23% have a variety of causes."
 
-use serde::Serialize;
-
 use crate::dataset::Dataset;
 
 /// Which roadmap step first prevents a bug class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Prevention {
     /// Steps 2–3: compile-time type and ownership safety.
     TypeOwnership,
@@ -19,6 +17,12 @@ pub enum Prevention {
     /// Neither (design flaws, info exposure, numeric errors, …).
     Other,
 }
+
+serde::impl_serialize_enum!(Prevention {
+    TypeOwnership,
+    Functional,
+    Other
+});
 
 /// Maps a CWE to its prevention category — the hand-labelling rule the
 /// paper's authors applied, written down as code.
@@ -36,7 +40,7 @@ pub fn categorize_cwe(cwe: &str) -> Prevention {
 }
 
 /// Aggregate result of categorizing a corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CategorizationSummary {
     /// Corpus size.
     pub total: usize,
@@ -47,6 +51,13 @@ pub struct CategorizationSummary {
     /// Count with other causes.
     pub other: usize,
 }
+
+serde::impl_serialize_struct!(CategorizationSummary {
+    total,
+    type_ownership,
+    functional,
+    other
+});
 
 impl CategorizationSummary {
     /// Percentage helpers (rounded to one decimal).

@@ -13,10 +13,8 @@
 //! - Per-file-system LoC and bug-patch series decay toward the "0.5% bugs
 //!   per LoC per year" tail the paper reports for year ten (Figure 2c).
 
-use serde::Serialize;
-
 /// One CVE record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CveRecord {
     /// Synthetic identifier, e.g. `CVE-2017-0042`.
     pub id: String,
@@ -27,6 +25,13 @@ pub struct CveRecord {
     /// CWE identifier, e.g. `"CWE-416"`.
     pub cwe: &'static str,
 }
+
+serde::impl_serialize_struct!(CveRecord {
+    id,
+    year,
+    subsystem,
+    cwe
+});
 
 /// Per-year CVE counts, 1999–2009 (public NVD shape, pre-corpus years).
 pub const COUNTS_1999_2009: [(u32, u32); 11] = [
@@ -73,16 +78,16 @@ pub const CWE_MIX: [(&str, u32); 15] = [
     ("CWE-362", 50),  // race condition
     ("CWE-415", 20),  // double free
     // Functional-correctness preventable (350 ‰):
-    ("CWE-20", 120),  // improper input validation
-    ("CWE-840", 90),  // business-logic error
-    ("CWE-682", 50),  // incorrect calculation
-    ("CWE-459", 40),  // incomplete cleanup
-    ("CWE-269", 50),  // improper privilege management
+    ("CWE-20", 120), // improper input validation
+    ("CWE-840", 90), // business-logic error
+    ("CWE-682", 50), // incorrect calculation
+    ("CWE-459", 40), // incomplete cleanup
+    ("CWE-269", 50), // improper privilege management
     // Other (230 ‰):
-    ("CWE-200", 90),  // information exposure
-    ("CWE-190", 60),  // integer overflow
-    ("CWE-264", 50),  // access-control design
-    ("CWE-330", 30),  // weak randomness
+    ("CWE-200", 90), // information exposure
+    ("CWE-190", 60), // integer overflow
+    ("CWE-264", 50), // access-control design
+    ("CWE-330", 30), // weak randomness
 ];
 
 /// Subsystem attribution weights in tenths of a percent (sums to 1000).
@@ -132,7 +137,7 @@ pub const EXT4_LATENCY_YEARS: [u32; 24] = [
 pub const EXT4_RELEASE_YEAR: u32 = 2008;
 
 /// A per-file-system code-size and bug-patch history entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FsYear {
     /// Years since the file system's initial release (0-based).
     pub year_since_release: u32,
@@ -141,6 +146,12 @@ pub struct FsYear {
     /// New bug patches that year.
     pub bug_patches: u32,
 }
+
+serde::impl_serialize_struct!(FsYear {
+    year_since_release,
+    loc,
+    bug_patches
+});
 
 /// Generates a file system's history: LoC grows linearly, bugs-per-LoC
 /// decays from `start_rate` toward the 0.5%/year floor the paper reports.
@@ -210,8 +221,8 @@ impl Dataset {
                 };
                 let mut chosen = CWE_MIX.len() - 1;
                 let mut cum_emitted = 0u32;
-                for k in 0..CWE_MIX.len() {
-                    cum_emitted += emitted[k];
+                for (k, e) in emitted.iter().enumerate().take(CWE_MIX.len()) {
+                    cum_emitted += e;
                     if cum_emitted < target(k) {
                         chosen = k;
                         break;
@@ -298,7 +309,7 @@ mod tests {
         let hist = fs_history(30_000, 2_000, 22, 13);
         let last = hist.last().unwrap();
         let rate = last.bug_patches as f64 / last.loc as f64;
-        assert!(rate >= 0.004 && rate <= 0.008, "tail rate {rate}");
+        assert!((0.004..=0.008).contains(&rate), "tail rate {rate}");
         let first = &hist[0];
         let first_rate = first.bug_patches as f64 / first.loc as f64;
         assert!(first_rate > rate, "rates decline over time");

@@ -4,8 +4,6 @@
 //! `render_*` helpers produce terminal charts for the figure binaries, and
 //! everything serializes to JSON for machine-checked EXPERIMENTS.md.
 
-use serde::Serialize;
-
 use crate::dataset::Dataset;
 
 /// Figure 2a: (year, new CVE count).
@@ -36,7 +34,7 @@ pub fn fig2b(ds: &Dataset) -> Vec<(u32, f64)> {
 }
 
 /// One Figure 2c series point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BugsPerLoc {
     /// File system name.
     pub fs: &'static str,
@@ -45,6 +43,12 @@ pub struct BugsPerLoc {
     /// New bug patches per line of code that year.
     pub bugs_per_loc: f64,
 }
+
+serde::impl_serialize_struct!(BugsPerLoc {
+    fs,
+    year_since_release,
+    bugs_per_loc
+});
 
 /// Figure 2c: bugs per LoC per year for each studied file system.
 pub fn fig2c(ds: &Dataset) -> Vec<BugsPerLoc> {
@@ -78,7 +82,7 @@ pub fn subsystem_shares(ds: &Dataset) -> Vec<(&'static str, usize, f64)> {
             None => counts.push((c.subsystem, 1)),
         }
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|b| std::cmp::Reverse(b.1));
     counts
         .into_iter()
         .map(|(s, n)| (s, n, n as f64 / total))

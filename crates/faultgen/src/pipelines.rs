@@ -118,7 +118,10 @@ fn fresh_cext4(knob: Option<&str>) -> (LegacyFsAdapter, LegacyCtx) {
         assert!(knobs.set(k, true), "unknown knob {k}");
     }
     let fs = Arc::new(Cext4::mount(dev, ctx.clone(), knobs).expect("mount"));
-    (LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx.clone()), ctx)
+    (
+        LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx.clone()),
+        ctx,
+    )
 }
 
 /// Runs the workload on cext4 with `knob`, measuring events of `class`
@@ -142,8 +145,7 @@ fn run_legacy_once(knob: Option<&str>, class: BugClass, seed: u64) -> RunOutcome
     ctx.import_lock_violations("study");
     let class_events = ctx.ledger.count(class);
     let leaks = ctx.arena.live_count().saturating_sub(live_before);
-    let state_correct =
-        result.is_ok() && fs_abstraction(&adapter) == workload_model(seed);
+    let state_correct = result.is_ok() && fs_abstraction(&adapter) == workload_model(seed);
     RunOutcome {
         class_events,
         leaks,
@@ -184,10 +186,7 @@ impl Refines<FsModel> for Abstracted<'_> {
 /// Runs the workload under the Step-4 refinement checker: every operation
 /// is checked against its model relation, so semantic bugs produce
 /// counterexamples at the operation that commits them.
-pub fn run_spec_checked(
-    wrap: impl FnOnce(Rsfs) -> Box<dyn FileSystem>,
-    seed: u64,
-) -> RunOutcome {
+pub fn run_spec_checked(wrap: impl FnOnce(Rsfs) -> Box<dyn FileSystem>, seed: u64) -> RunOutcome {
     let fs = wrap(fresh_rsfs());
     let mut sys = Abstracted(fs.as_ref());
     let mut chk: RefinementChecker<FsModel> = RefinementChecker::new();
@@ -213,10 +212,7 @@ pub fn run_spec_checked(
         |s| s.0.create(root, &a),
         |pre, post, r| r.is_ok() && pre.create(&pa).map(|m| m == *post).unwrap_or(false),
     );
-    let fa = match fa {
-        Ok(v) => v,
-        Err(_) => 0,
-    };
+    let fa = fa.unwrap_or_default();
     let _ = chk.step(
         &mut sys,
         "create_z",
@@ -228,7 +224,11 @@ pub fn run_spec_checked(
         "write",
         |s| s.0.write(fa, off, &payload),
         |pre, post, r| {
-            r.is_ok() && pre.write(&pa, off, &payload).map(|m| m == *post).unwrap_or(false)
+            r.is_ok()
+                && pre
+                    .write(&pa, off, &payload)
+                    .map(|m| m == *post)
+                    .unwrap_or(false)
         },
     );
     let _ = chk.step(
@@ -281,9 +281,7 @@ pub fn run_spec_checked(
         &mut sys,
         "rmdir_nonempty",
         |s| s.0.rmdir(root, &e),
-        |pre, post, r| {
-            *r == Err(sk_ksim::errno::Errno::ENOTEMPTY) && pre == post
-        },
+        |pre, post, r| *r == Err(sk_ksim::errno::Errno::ENOTEMPTY) && pre == post,
     );
     if refused.is_err() {
         let _ = chk.step(
@@ -313,7 +311,11 @@ pub fn run_spec_checked(
         "truncate",
         |s| s.0.truncate(fa, trunc),
         |pre, post, r| {
-            r.is_ok() && pre.truncate(&pa, trunc).map(|m| m == *post).unwrap_or(false)
+            r.is_ok()
+                && pre
+                    .truncate(&pa, trunc)
+                    .map(|m| m == *post)
+                    .unwrap_or(false)
         },
     );
     let _ = chk.step(

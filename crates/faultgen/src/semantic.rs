@@ -204,7 +204,7 @@ mod tests {
         let fs = SemanticFaultFs::new(rsfs(), SemanticBug::TruncateRoundsUp);
         let root = fs.root_ino();
         let ino = fs.create(root, "f").unwrap();
-        fs.write(ino, 0, &vec![1u8; 20]).unwrap();
+        fs.write(ino, 0, &[1u8; 20]).unwrap();
         fs.truncate(ino, 5).unwrap();
         assert_eq!(fs.getattr(ino).unwrap().size, 8);
     }

@@ -210,7 +210,12 @@ fn legacy_net_pair() -> (LegacyStack, LegacyStack) {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
     (
-        LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock)),
+        LegacyStack::new(
+            LegacyCtx::new(),
+            Side::A,
+            Arc::clone(&wire),
+            Arc::clone(&clock),
+        ),
         LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock),
     )
 }
@@ -239,7 +244,9 @@ pub fn eval_baseline(spec: &BugSpec, seed: u64) -> RunOutcome {
         }
         Mechanism::LegacyNetPoll => {
             let (a, _b) = legacy_net_pair();
-            let s = a.socket(proto::UDP, 1000 + (seed % 100) as u16).expect("socket");
+            let s = a
+                .socket(proto::UDP, 1000 + (seed % 100) as u16)
+                .expect("socket");
             let _ = a.poll(s);
             RunOutcome {
                 class_events: a.ctx().ledger.count(BugClass::TypeConfusion),
@@ -330,7 +337,7 @@ pub fn eval_spec_checked(spec: &BugSpec, seed: u64) -> RunOutcome {
 /// CWE-190 on the legacy side: offsets near `u64::MAX` wrap past the
 /// bounds check and are detected as `IntegerOverflow` by the substrate.
 fn overflow_probe_legacy(seed: u64) -> RunOutcome {
-    use sk_fs_legacy::{Cext4, BugKnobs};
+    use sk_fs_legacy::{BugKnobs, Cext4};
     use sk_ksim::block::{BlockDevice, RamDisk};
     let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(512));
     Cext4::mkfs(&dev, 64).expect("mkfs");

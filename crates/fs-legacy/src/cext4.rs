@@ -85,12 +85,11 @@ impl Cext4 {
         ibitmap[0] |= 0b11;
         dev.write_block(INODE_BITMAP, &ibitmap)?;
 
-        // Zero the inode table, then write the root inode.
+        // Zero the inode table in one vectored extent (one seek), then
+        // write the root inode.
         let table_blocks = (inode_count as usize).div_ceil(INODES_PER_BLOCK) as u64;
-        let zero = vec![0u8; bs];
-        for t in 0..table_blocks {
-            dev.write_block(INODE_TABLE + t, &zero)?;
-        }
+        let zeros = vec![0u8; bs * table_blocks as usize];
+        dev.write_blocks(INODE_TABLE, table_blocks as usize, &zeros)?;
         let mut root = DiskInode::empty();
         root.mode = MODE_DIR;
         root.nlink = 1;
@@ -280,9 +279,8 @@ impl Cext4 {
             di.indirect = self.balloc()? as u32;
         }
         let ibuf = self.cache.bread(u64::from(di.indirect))?;
-        let existing = ibuf.read(|d| {
-            u32::from_le_bytes(d[idx * 4..idx * 4 + 4].try_into().expect("4 bytes"))
-        });
+        let existing =
+            ibuf.read(|d| u32::from_le_bytes(d[idx * 4..idx * 4 + 4].try_into().expect("4 bytes")));
         if existing != 0 || !alloc {
             return Ok(u64::from(existing));
         }
@@ -407,13 +405,12 @@ impl Cext4 {
             &content,
             self.knobs.off_by_one_dirent.load(Ordering::Relaxed),
         )
-        .map_err(|e| {
+        .inspect_err(|_| {
             self.ctx.ledger.record(
                 BugClass::OutOfBounds,
                 "cext4::entries",
                 "directory parse over-read",
             );
-            e
         })
     }
 
@@ -502,7 +499,7 @@ impl Cext4 {
         let mut di = self.read_inode(ino)?;
         let keep_blocks = new_size.div_ceil(BLOCK_SIZE as u64);
         // Zero the tail of the last kept block so re-extension reads zeros.
-        if new_size % BLOCK_SIZE as u64 != 0 {
+        if !new_size.is_multiple_of(BLOCK_SIZE as u64) {
             let last_fblk = new_size / BLOCK_SIZE as u64;
             let dblk = self.bmap(&mut di, last_fblk, false)?;
             if dblk != 0 {
@@ -608,7 +605,13 @@ impl Cext4 {
     }
 
     /// write_end: casts the `void *` back and performs the write.
-    pub fn write_end(&self, ino: InodeNo, off: u64, data: &[u8], fsdata: VoidPtr) -> KResult<usize> {
+    pub fn write_end(
+        &self,
+        ino: InodeNo,
+        off: u64,
+        data: &[u8],
+        fsdata: VoidPtr,
+    ) -> KResult<usize> {
         // The §4.2 example: "the file system assumes that the pointer was
         // from its write_begin function and casts the pointer to the
         // relevant type."
@@ -756,8 +759,7 @@ impl Cext4 {
     pub fn statfs_inner(&self) -> KResult<StatFs> {
         Ok(StatFs {
             blocks_total: u64::from(self.sb.total_blocks) - u64::from(self.sb.data_start),
-            blocks_free: self
-                .bitmap_count_free(BLOCK_BITMAP, u64::from(self.sb.total_blocks))?,
+            blocks_free: self.bitmap_count_free(BLOCK_BITMAP, u64::from(self.sb.total_blocks))?,
             inodes_total: u64::from(self.sb.inode_count) - 2,
             inodes_free: self.bitmap_count_free(INODE_BITMAP, u64::from(self.sb.inode_count))?,
         })
@@ -793,7 +795,7 @@ mod tests {
         let mut buf = vec![0u8; 32];
         let n = fs.read_range(ino, 0, &mut buf).unwrap();
         assert_eq!(&buf[..n], b"hello world");
-        assert_eq!(fs.getattr_errptr(ino).check().is_ok(), true);
+        assert!(fs.getattr_errptr(ino).check().is_ok());
     }
 
     #[test]
@@ -807,7 +809,10 @@ mod tests {
             .vp_take::<InodeNo>(e.check().unwrap(), "t")
             .unwrap();
         assert_eq!(found, ino);
-        assert_eq!(fs.lookup_errptr(ROOT_INO, "nope").check(), Err(Errno::ENOENT));
+        assert_eq!(
+            fs.lookup_errptr(ROOT_INO, "nope").check(),
+            Err(Errno::ENOENT)
+        );
     }
 
     #[test]
@@ -827,7 +832,10 @@ mod tests {
     #[test]
     fn sparse_write_reads_zero_holes() {
         let fs = mkfs_mount(Arc::new(BugKnobs::none()));
-        let p = fs.create_errptr(ROOT_INO, "sparse", MODE_REG).check().unwrap();
+        let p = fs
+            .create_errptr(ROOT_INO, "sparse", MODE_REG)
+            .check()
+            .unwrap();
         let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
         write_via_begin_end(&fs, ino, 3 * BLOCK_SIZE as u64 + 5, b"X").unwrap();
         let mut out = vec![0xFFu8; BLOCK_SIZE];
@@ -928,7 +936,11 @@ mod tests {
         fs.knobs().set("leak_fsdata", true);
         let live_before = fs.ctx().arena.live_count();
         write_via_begin_end(&fs, ino, 0, b"data").unwrap();
-        assert_eq!(fs.ctx().arena.live_count(), live_before + 1, "fsdata leaked");
+        assert_eq!(
+            fs.ctx().arena.live_count(),
+            live_before + 1,
+            "fsdata leaked"
+        );
     }
 
     #[test]
@@ -1002,7 +1014,10 @@ mod tests {
                 Arc::new(BugKnobs::none()),
             )
             .unwrap();
-            let p = fs.create_errptr(ROOT_INO, "persist", MODE_REG).check().unwrap();
+            let p = fs
+                .create_errptr(ROOT_INO, "persist", MODE_REG)
+                .check()
+                .unwrap();
             let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
             write_via_begin_end(&fs, ino, 0, b"durable").unwrap();
             fs.sync_inner().unwrap();

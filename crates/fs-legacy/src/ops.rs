@@ -2,7 +2,6 @@
 
 use std::sync::Arc;
 
-
 use sk_legacy::ErrPtr;
 use sk_vfs::legacy_ops::{ret_err, ret_ok, LegacyFsOps};
 
@@ -35,9 +34,11 @@ pub fn cext4_ops(fs: Arc<Cext4>) -> LegacyFsOps {
     }));
 
     let f = Arc::clone(&fs);
-    ops.rmdir = Some(Box::new(move |_, dir, name| match f.rmdir_inner(dir, name) {
-        Ok(()) => 0,
-        Err(e) => ret_err(e),
+    ops.rmdir = Some(Box::new(move |_, dir, name| {
+        match f.rmdir_inner(dir, name) {
+            Ok(()) => 0,
+            Err(e) => ret_err(e),
+        }
     }));
 
     let f = Arc::clone(&fs);
@@ -49,7 +50,9 @@ pub fn cext4_ops(fs: Arc<Cext4>) -> LegacyFsOps {
     }));
 
     let f = Arc::clone(&fs);
-    ops.write_begin = Some(Box::new(move |_, ino, off, len| f.write_begin(ino, off, len)));
+    ops.write_begin = Some(Box::new(move |_, ino, off, len| {
+        f.write_begin(ino, off, len)
+    }));
 
     let f = Arc::clone(&fs);
     ops.write_end = Some(Box::new(move |_, ino, off, data, fsdata| {
@@ -91,7 +94,7 @@ pub fn cext4_ops(fs: Arc<Cext4>) -> LegacyFsOps {
     ops.getattr = Some(Box::new(move |_, ino| f.getattr_errptr(ino)));
 
     let f = Arc::clone(&fs);
-    ops.statfs = Some(Box::new(move |ctx, | match f.statfs_inner() {
+    ops.statfs = Some(Box::new(move |ctx| match f.statfs_inner() {
         Ok(s) => ErrPtr::ok(ctx.vp_new(s)),
         Err(e) => ErrPtr::err(e),
     }));
@@ -141,9 +144,7 @@ mod tests {
         let (ops, ctx) = ops_and_ctx();
         let create = ops.create.as_ref().unwrap();
         let e = create(&ctx, ROOT_INO, "x");
-        let ino = ctx
-            .vp_take::<InodeNo>(e.check().unwrap(), "t")
-            .unwrap();
+        let ino = ctx.vp_take::<InodeNo>(e.check().unwrap(), "t").unwrap();
         let begin = ops.write_begin.as_ref().unwrap();
         let end = ops.write_end.as_ref().unwrap();
         let fsdata = begin(&ctx, ino, 0, 3).check().unwrap();
@@ -158,7 +159,10 @@ mod tests {
     fn table_errors_are_c_shaped() {
         let (ops, ctx) = ops_and_ctx();
         let unlink = ops.unlink.as_ref().unwrap();
-        assert_eq!(unlink(&ctx, ROOT_INO, "ghost"), -(Errno::ENOENT.as_i32() as i64));
+        assert_eq!(
+            unlink(&ctx, ROOT_INO, "ghost"),
+            -(Errno::ENOENT.as_i32() as i64)
+        );
         let lookup = ops.lookup.as_ref().unwrap();
         assert!(lookup(&ctx, ROOT_INO, "ghost").is_err());
     }

@@ -147,7 +147,10 @@ pub fn fsck(dev: &dyn BlockDevice) -> KResult<FsckReport> {
     // I4: bitmap/table agreement.
     for ino in 2..u64::from(sb.inode_count) {
         let live_bitmap = bit(&inode_bitmap, ino);
-        let live_table = inodes.get(&ino).map(|d| d.mode != MODE_FREE).unwrap_or(false);
+        let live_table = inodes
+            .get(&ino)
+            .map(|d| d.mode != MODE_FREE)
+            .unwrap_or(false);
         if live_bitmap != live_table {
             report.findings.push(Finding::BitmapTableMismatch {
                 ino,
@@ -199,7 +202,9 @@ pub fn fsck(dev: &dyn BlockDevice) -> KResult<FsckReport> {
         // maximum (nine direct + one single-indirect block's worth).
         let max_by_format = ((NDIRECT + NINDIRECT) * BLOCK_SIZE) as u64;
         if di.size > max_by_format {
-            report.findings.push(Finding::SizeBeyondAllocation { ino, size: di.size });
+            report
+                .findings
+                .push(Finding::SizeBeyondAllocation { ino, size: di.size });
         }
     }
 
@@ -240,9 +245,14 @@ pub fn fsck(dev: &dyn BlockDevice) -> KResult<FsckReport> {
         match dirent_parse(&content) {
             Ok(entries) => {
                 for (target, name) in entries {
-                    let live = inodes.get(&target).map(|d| d.mode != MODE_FREE).unwrap_or(false);
+                    let live = inodes
+                        .get(&target)
+                        .map(|d| d.mode != MODE_FREE)
+                        .unwrap_or(false);
                     if !live {
-                        report.findings.push(Finding::DanglingDirent { dir, name, target });
+                        report
+                            .findings
+                            .push(Finding::DanglingDirent { dir, name, target });
                     } else if reachable.insert(target) {
                         queue.push_back(target);
                     }
@@ -279,6 +289,9 @@ mod tests {
         let f = fs.create(d, "file").unwrap();
         fs.write(f, 0, &vec![3u8; 10_000]).unwrap();
         fs.create(root, "top").unwrap();
+        // fsck reads the raw device: drain the deferred checkpoints so
+        // home locations reflect every committed transaction.
+        fs.sync().unwrap();
         (ram, dev)
     }
 
@@ -307,13 +320,15 @@ mod tests {
                 if i % 2 == 0 {
                     fs.unlink(root, &format!("f{i}")).unwrap();
                 } else {
-                    fs.rename(root, &format!("f{i}"), root, &format!("g{i}")).unwrap();
+                    fs.rename(root, &format!("f{i}"), root, &format!("g{i}"))
+                        .unwrap();
                 }
             }
             for i in (1..20).step_by(2) {
                 fs.unlink(root, &format!("g{i}")).unwrap();
             }
         }
+        fs.sync().unwrap();
         let report = fsck(&*dev).unwrap();
         assert!(report.is_clean(), "{:?}", report.findings);
     }
@@ -327,10 +342,13 @@ mod tests {
         bm[0] &= !(1 << 2); // inode 2 is the first allocated after root
         ram.write_block(INODE_BITMAP, &bm).unwrap();
         let report = fsck(&*dev).unwrap();
-        assert!(report
-            .findings
-            .iter()
-            .any(|f| matches!(f, Finding::BitmapTableMismatch { ino: 2, bitmap_live: false })));
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            Finding::BitmapTableMismatch {
+                ino: 2,
+                bitmap_live: false
+            }
+        )));
     }
 
     #[test]
@@ -344,7 +362,10 @@ mod tests {
         ram.write_block(INODE_TABLE, &tbl).unwrap();
         let report = fsck(&*dev).unwrap();
         assert!(
-            report.findings.iter().any(|f| matches!(f, Finding::DanglingDirent { .. })),
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::DanglingDirent { .. })),
             "{:?}",
             report.findings
         );
@@ -359,9 +380,12 @@ mod tests {
         // Find two live regular files and alias their first blocks.
         let mut live: Vec<usize> = Vec::new();
         for s in 2..64 {
-            let mode = u16::from_le_bytes(tbl[s * INODE_SIZE..s * INODE_SIZE + 2].try_into().unwrap());
+            let mode =
+                u16::from_le_bytes(tbl[s * INODE_SIZE..s * INODE_SIZE + 2].try_into().unwrap());
             let d0 = u32::from_le_bytes(
-                tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28].try_into().unwrap(),
+                tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28]
+                    .try_into()
+                    .unwrap(),
             );
             if mode == MODE_REG && d0 != 0 {
                 live.push(s);
@@ -374,13 +398,16 @@ mod tests {
             let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap();
             let f = fs.create(fs.root_ino(), "second").unwrap();
             fs.write(f, 0, b"data").unwrap();
+            fs.sync().unwrap();
             ram.read_block(INODE_TABLE, &mut tbl).unwrap();
             live.clear();
             for s in 2..64 {
                 let mode =
                     u16::from_le_bytes(tbl[s * INODE_SIZE..s * INODE_SIZE + 2].try_into().unwrap());
                 let d0 = u32::from_le_bytes(
-                    tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28].try_into().unwrap(),
+                    tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28]
+                        .try_into()
+                        .unwrap(),
                 );
                 if mode == MODE_REG && d0 != 0 {
                     live.push(s);
@@ -416,9 +443,12 @@ mod tests {
         ram.read_block(INODE_TABLE, &mut tbl).unwrap();
         let mut target = 0u32;
         for s in 2..64 {
-            let mode = u16::from_le_bytes(tbl[s * INODE_SIZE..s * INODE_SIZE + 2].try_into().unwrap());
+            let mode =
+                u16::from_le_bytes(tbl[s * INODE_SIZE..s * INODE_SIZE + 2].try_into().unwrap());
             let d0 = u32::from_le_bytes(
-                tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28].try_into().unwrap(),
+                tbl[s * INODE_SIZE + 24..s * INODE_SIZE + 28]
+                    .try_into()
+                    .unwrap(),
             );
             if mode == MODE_REG && d0 != 0 {
                 target = d0;

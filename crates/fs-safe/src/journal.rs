@@ -1,38 +1,51 @@
-//! jbd2-style write-ahead journal.
+//! jbd2-style write-ahead journal with **group commit** and **deferred
+//! checkpointing**.
 //!
 //! The journal occupies the tail of the device:
 //!
 //! ```text
-//! jsb                    journal superblock: magic, next sequence number
-//! jsb+1                  transaction descriptor: seq, count, home blknos,
-//!                        payload checksum
-//! jsb+2 .. jsb+1+count   payload blocks (full images)
-//! jsb+2+count            commit record: seq, same checksum
+//! jsb                 journal superblock: magic, tail_seq, tail_off
+//! jsb+1 .. jsb+blocks log area: committed transactions back to back,
+//!                     each   descriptor | payload .. | commit record
 //! ```
 //!
-//! Because every transaction checkpoints synchronously before the next one
-//! starts, at most one transaction ever occupies the area, and it always
-//! starts right after the journal superblock — a deliberately simple
-//! instance of jbd2's design that keeps crash-schedule enumeration
-//! exhaustive (see `sk_core::spec::crash`).
+//! Unlike the seed's one-transaction-at-a-time design, the log area holds
+//! **multiple committed, un-checkpointed transactions**. `tail_seq` /
+//! `tail_off` in the superblock name the oldest transaction whose home
+//! blocks may not be durable yet; everything from there to the in-memory
+//! head is replayed, in sequence order, by [`Journal::recover`].
 //!
-//! **Commit protocol** (each step separated by a flush barrier):
-//! 1. write descriptor + payload + commit record into the journal area;
-//! 2. write the payload to its home locations (checkpoint);
-//! 3. bump the sequence number in the journal superblock (retire).
+//! **Group commit.** Concurrent committers merge into one open
+//! transaction, exactly as jbd2 batches handles into its running
+//! transaction: each operation *joins* the open transaction (taking a
+//! monotonic order token) before it publishes its block images, and the
+//! first committer to find no leader becomes the leader, writing a single
+//! descriptor/payload/commit record — one flush barrier — for every
+//! member of the batch. Followers block on a condvar until their token's
+//! batch is durable. Batches always cover a token-contiguous prefix of
+//! operations, so a crash leaves a prefix of the operation history — never
+//! a later operation without an earlier one it may depend on.
 //!
-//! **Recovery**: read the journal superblock; if the transaction slot holds
-//! a descriptor and commit record with the *current* sequence number and a
-//! matching payload checksum, the crash happened after step 1 but possibly
-//! during step 2 — replay the payload to home locations and retire.
-//! Anything else (torn descriptor, missing commit, checksum mismatch,
-//! stale sequence) means the transaction never committed or was already
-//! retired — discard. Replay is idempotent, so crashing *during recovery*
-//! is also covered.
+//! **Deferred checkpoint.** `commit` returns once the journal record is
+//! durable; home-location writes are deferred. [`Journal::checkpoint`]
+//! (driven by the `Flusher` workqueue, or forced when the log area fills)
+//! drains transactions oldest-first: homes are written and flushed, then
+//! the superblock tail advances. Until then the journal is the only
+//! durable copy, so the log area is bounded and append forces a full
+//! drain when a record does not fit.
+//!
+//! **Recovery**: read the superblock; starting at `(tail_seq, tail_off)`,
+//! walk forward parsing descriptor/commit pairs with strictly increasing
+//! sequence numbers and matching payload checksums. Replay every valid
+//! transaction's payload to its home locations *in sequence order*, then
+//! retire them by advancing the tail. The walk stops at the first invalid
+//! or stale record: a torn transaction never committed and is discarded.
+//! Replay is idempotent, so crashing *during recovery* is also covered.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use sk_ksim::block::BlockDevice;
 use sk_ksim::errno::{Errno, KResult};
 
@@ -58,14 +71,21 @@ pub fn fnv1a(chunks: &[&[u8]]) -> u64 {
 /// Journal usage counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct JournalStats {
-    /// Transactions committed.
+    /// Logical transactions committed (one per `commit` caller).
     pub commits: u64,
+    /// Journal records written — group commit merges many commits into
+    /// one batch, so `batches <= commits`.
+    pub batches: u64,
     /// Blocks journaled (payload only).
     pub blocks_journaled: u64,
     /// Transactions replayed by recovery.
     pub replays: u64,
     /// Flush barriers issued.
     pub barriers: u64,
+    /// Transactions checkpointed (homes written, tail advanced).
+    pub checkpoints: u64,
+    /// Checkpoints forced by log-area pressure rather than the flusher.
+    pub forced_checkpoints: u64,
 }
 
 /// What recovery found.
@@ -73,7 +93,7 @@ pub struct JournalStats {
 pub enum RecoveryOutcome {
     /// Journal was empty/retired; nothing to do.
     Clean,
-    /// A committed transaction was replayed.
+    /// One or more committed transactions were replayed.
     Replayed {
         /// Number of payload blocks written home.
         blocks: usize,
@@ -82,37 +102,123 @@ pub enum RecoveryOutcome {
     DiscardedTorn,
 }
 
+/// One committed, un-checkpointed transaction (a journal record).
+struct TxnRecord {
+    seq: u64,
+    /// Offset of the descriptor in the log area.
+    off: u64,
+    /// Record size in blocks (descriptor + payload + commit).
+    len: u64,
+    /// Home images, kept in memory so checkpoint never re-reads the log.
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// Log-area bookkeeping: where the next record goes and which records
+/// still await checkpoint.
+struct Space {
+    head_off: u64,
+    tail_seq: u64,
+    tail_off: u64,
+    txns: VecDeque<TxnRecord>,
+}
+
+/// One member of the open transaction: an operation's block images,
+/// tagged with its join-order token.
+struct Member {
+    token: u64,
+    writes: Vec<(u64, Vec<u8>)>,
+}
+
+/// The open (merging) transaction plus the leader/follower machinery.
+struct GroupState {
+    /// Next join token; tokens order operations exactly as the file
+    /// system staged them.
+    next_token: u64,
+    /// Joined operations that have not yet handed in their writes. The
+    /// leader waits for this to reach zero so every batch is a
+    /// token-contiguous prefix.
+    outstanding: usize,
+    /// Contributed members of the open transaction, in token order.
+    members: Vec<Member>,
+    /// Whether a leader is currently flushing a batch.
+    leader_running: bool,
+    /// Next on-disk sequence number.
+    next_seq: u64,
+    /// Results of finished batches, keyed by member token; entries are
+    /// reaped as their waiters pick them up.
+    completed: HashMap<u64, KResult<()>>,
+}
+
+/// RAII handle for an operation that has joined the open transaction via
+/// [`Journal::begin_op`]. Dropping it without committing aborts the join
+/// so the group leader never waits for a dead operation.
+pub struct OpHandle<'a> {
+    journal: &'a Journal,
+    token: u64,
+    done: bool,
+}
+
+impl OpHandle<'_> {
+    /// This operation's position in the global commit order.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Publishes `writes` (home blkno → full block image) as one atomic
+    /// transaction and blocks until the batch containing it is durable in
+    /// the journal. Home writes are deferred to checkpoint.
+    pub fn commit(mut self, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
+        self.done = true;
+        self.journal.commit_op(self.token, writes)
+    }
+}
+
+impl Drop for OpHandle<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut g = self.journal.group.lock();
+            g.outstanding -= 1;
+            self.journal.group_cv.notify_all();
+        }
+    }
+}
+
 /// The write-ahead journal over a device region `[start, start+blocks)`.
 pub struct Journal {
     dev: Arc<dyn BlockDevice>,
     start: u64,
     blocks: u64,
-    seq: Mutex<u64>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    space: Mutex<Space>,
+    /// Serializes checkpointers (the flusher and forced drains).
+    ckpt_lock: Mutex<()>,
     stats: Mutex<JournalStats>,
 }
 
 impl Journal {
-    /// Maximum payload blocks per transaction for this journal geometry.
+    /// Log-area size in blocks (everything after the superblock).
+    fn area(&self) -> u64 {
+        self.blocks - 1
+    }
+
+    /// Maximum payload blocks per journal record for this geometry.
     pub fn capacity(&self) -> usize {
         // jsb + descriptor + commit leave blocks-3 payload slots.
         (self.blocks as usize).saturating_sub(3)
     }
 
-    /// Formats the journal region (sequence starts at 1).
+    /// Formats the journal region (sequence starts at 1, tail at offset 0).
     pub fn format(dev: &Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<()> {
         if blocks < 4 {
             return Err(Errno::EINVAL);
         }
-        let bs = dev.block_size();
-        let mut jsb = vec![0u8; bs];
-        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
-        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
-        dev.write_block(start, &jsb)?;
+        Self::write_jsb(dev, start, 1, 0)?;
         dev.flush()
     }
 
     /// Opens a formatted journal. **Run [`Journal::recover`] first** after
-    /// an unclean shutdown.
+    /// an unclean shutdown — open assumes a recovered (or clean) log.
     pub fn open(dev: Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<Journal> {
         let bs = dev.block_size();
         let mut jsb = vec![0u8; bs];
@@ -120,19 +226,44 @@ impl Journal {
         if u32::from_le_bytes(jsb[0..4].try_into().expect("4 bytes")) != JSB_MAGIC {
             return Err(Errno::EUCLEAN);
         }
-        let seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+        let tail_seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+        let tail_off = u64::from_le_bytes(jsb[12..20].try_into().expect("8 bytes"));
+        // A fully-drained tail may sit exactly at the end of the area.
+        if tail_off > blocks - 1 {
+            return Err(Errno::EUCLEAN);
+        }
         Ok(Journal {
             dev,
             start,
             blocks,
-            seq: Mutex::new(seq),
+            group: Mutex::new(GroupState {
+                next_token: 1,
+                outstanding: 0,
+                members: Vec::new(),
+                leader_running: false,
+                next_seq: tail_seq,
+                completed: HashMap::new(),
+            }),
+            group_cv: Condvar::new(),
+            space: Mutex::new(Space {
+                head_off: tail_off,
+                tail_seq,
+                tail_off,
+                txns: VecDeque::new(),
+            }),
+            ckpt_lock: Mutex::new(()),
             stats: Mutex::new(JournalStats::default()),
         })
     }
 
-    /// Current sequence number (next transaction's).
+    /// Next on-disk sequence number (the open transaction's).
     pub fn seq(&self) -> u64 {
-        *self.seq.lock()
+        self.group.lock().next_seq
+    }
+
+    /// Committed transactions awaiting checkpoint.
+    pub fn pending_checkpoints(&self) -> usize {
+        self.space.lock().txns.len()
     }
 
     /// Usage counters.
@@ -140,11 +271,28 @@ impl Journal {
         *self.stats.lock()
     }
 
-    fn write_jsb(dev: &Arc<dyn BlockDevice>, start: u64, seq: u64) -> KResult<()> {
+    fn write_jsb(dev: &Arc<dyn BlockDevice>, start: u64, seq: u64, tail_off: u64) -> KResult<()> {
         let mut jsb = vec![0u8; dev.block_size()];
         jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
         jsb[4..12].copy_from_slice(&seq.to_le_bytes());
+        jsb[12..20].copy_from_slice(&tail_off.to_le_bytes());
         dev.write_block(start, &jsb)
+    }
+
+    /// Joins the open transaction, fixing this operation's place in the
+    /// global commit order. Call while holding whatever lock orders the
+    /// caller's state updates, so token order matches state order; then
+    /// release that lock before [`OpHandle::commit`] so commits can merge.
+    pub fn begin_op(&self) -> OpHandle<'_> {
+        let mut g = self.group.lock();
+        let token = g.next_token;
+        g.next_token += 1;
+        g.outstanding += 1;
+        OpHandle {
+            journal: self,
+            token,
+            done: false,
+        }
     }
 
     /// Commits `writes` (home blkno → full block image) atomically.
@@ -153,12 +301,14 @@ impl Journal {
     /// transactions are a no-op. Oversize transactions return `ENOSPC` —
     /// the caller must keep operations within journal capacity.
     pub fn commit(&self, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
-        if writes.is_empty() {
-            return Ok(());
-        }
+        self.begin_op().commit(writes)
+    }
+
+    /// Validates one operation's writes, returning them deduplicated
+    /// (last image wins, stable home order).
+    fn validate(&self, writes: &[(u64, Vec<u8>)]) -> KResult<Vec<(u64, Vec<u8>)>> {
         let bs = self.dev.block_size();
-        // Deduplicate, last image wins, stable home order.
-        let mut dedup: Vec<(u64, &Vec<u8>)> = Vec::new();
+        let mut dedup: Vec<(u64, Vec<u8>)> = Vec::new();
         for (blkno, data) in writes {
             if data.len() != bs {
                 return Err(Errno::EINVAL);
@@ -168,142 +318,356 @@ impl Journal {
                 return Err(Errno::EINVAL);
             }
             if let Some(slot) = dedup.iter_mut().find(|(b, _)| b == blkno) {
-                slot.1 = data;
+                slot.1 = data.clone();
             } else {
-                dedup.push((*blkno, data));
+                dedup.push((*blkno, data.clone()));
             }
         }
         if dedup.len() > self.capacity() {
             return Err(Errno::ENOSPC);
         }
-        let seq = *self.seq.lock();
+        Ok(dedup)
+    }
+
+    fn commit_op(&self, token: u64, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
+        let mut g = self.group.lock();
+        if writes.is_empty() {
+            g.outstanding -= 1;
+            self.group_cv.notify_all();
+            return Ok(());
+        }
+        let dedup = match self.validate(writes) {
+            Ok(d) => d,
+            Err(e) => {
+                g.outstanding -= 1;
+                self.group_cv.notify_all();
+                return Err(e);
+            }
+        };
+        g.members.push(Member {
+            token,
+            writes: dedup,
+        });
+        g.outstanding -= 1;
+        self.group_cv.notify_all();
+
+        // Leader/follower: the first committer to find no leader flushes
+        // batches until the open transaction drains; everyone else waits
+        // for their token's batch.
+        loop {
+            if let Some(res) = g.completed.remove(&token) {
+                self.stats.lock().commits += 1;
+                return res;
+            }
+            if !g.leader_running {
+                g.leader_running = true;
+                self.lead(&mut g);
+                g.leader_running = false;
+                self.group_cv.notify_all();
+            } else {
+                self.group_cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// Leader duty: flush token-prefix batches until no members remain.
+    /// Called (and returns) with the group lock held; drops it around
+    /// device IO.
+    fn lead(&self, g: &mut parking_lot::MutexGuard<'_, GroupState>) {
+        loop {
+            // A batch must be a token-contiguous prefix of operations:
+            // wait for joined-but-uncommitted operations to hand in.
+            while g.outstanding > 0 {
+                self.group_cv.wait(g);
+            }
+            if g.members.is_empty() {
+                return;
+            }
+            g.members.sort_by_key(|m| m.token);
+            // Take the longest prefix of members whose merged image set
+            // fits one journal record.
+            let mut merged: Vec<(u64, Vec<u8>)> = Vec::new();
+            let mut taken = 0;
+            for m in g.members.iter() {
+                let mut trial = merged.clone();
+                for (blkno, data) in &m.writes {
+                    if let Some(slot) = trial.iter_mut().find(|(b, _)| b == blkno) {
+                        slot.1 = data.clone();
+                    } else {
+                        trial.push((*blkno, data.clone()));
+                    }
+                }
+                if taken > 0 && trial.len() > self.capacity() {
+                    break;
+                }
+                merged = trial;
+                taken += 1;
+            }
+            let batch: Vec<Member> = g.members.drain(..taken).collect();
+            let seq = g.next_seq;
+            g.next_seq += 1;
+
+            // Device IO without the group lock: later committers can keep
+            // joining the (new) open transaction meanwhile.
+            let res = parking_lot::MutexGuard::unlocked(g, || self.write_batch(seq, merged));
+            if res.is_ok() {
+                self.stats.lock().batches += 1;
+            }
+            for m in &batch {
+                g.completed.insert(m.token, res);
+            }
+            self.group_cv.notify_all();
+        }
+    }
+
+    /// Appends one record (descriptor + payload + commit) to the log and
+    /// flushes. On success the transaction is registered for checkpoint.
+    fn write_batch(&self, seq: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
+        let bs = self.dev.block_size();
+        let count = writes.len();
+        let need = count as u64 + 2;
+
+        // Reserve log space, forcing a drain when the record won't fit.
+        let off = loop {
+            let mut sp = self.space.lock();
+            if sp.head_off + need <= self.area() {
+                let off = sp.head_off;
+                sp.head_off += need;
+                break off;
+            }
+            if sp.txns.is_empty() {
+                // Fully drained: rewind the log to offset 0. The on-disk
+                // tail must move first, or a crash would recover from a
+                // stale offset and miss the record we are about to write.
+                if need > self.area() {
+                    return Err(Errno::ENOSPC);
+                }
+                Self::write_jsb(&self.dev, self.start, sp.tail_seq, 0)?;
+                self.dev.flush()?;
+                self.stats.lock().barriers += 1;
+                sp.head_off = 0;
+                sp.tail_off = 0;
+                continue;
+            }
+            drop(sp);
+            self.checkpoint_inner(usize::MAX, true)?;
+        };
 
         // Checksum covers seq, home blknos, and payload bytes.
         let seq_bytes = seq.to_le_bytes();
-        let blkno_bytes: Vec<u8> = dedup
-            .iter()
-            .flat_map(|(b, _)| b.to_le_bytes())
-            .collect();
+        let blkno_bytes: Vec<u8> = writes.iter().flat_map(|(b, _)| b.to_le_bytes()).collect();
         let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
-        for (_, data) in &dedup {
+        for (_, data) in &writes {
             chunks.push(data.as_slice());
         }
         let checksum = fnv1a(&chunks);
 
-        // Step 1: descriptor + payload + commit record, then barrier.
-        let mut desc = vec![0u8; bs];
-        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
-        desc[4..12].copy_from_slice(&seq_bytes);
-        desc[12..16].copy_from_slice(&(dedup.len() as u32).to_le_bytes());
-        for (i, (blkno, _)) in dedup.iter().enumerate() {
-            let o = 16 + i * 8;
-            desc[o..o + 8].copy_from_slice(&blkno.to_le_bytes());
-        }
-        desc[bs - 8..].copy_from_slice(&checksum.to_le_bytes());
-        self.dev.write_block(self.start + 1, &desc)?;
-        for (i, (_, data)) in dedup.iter().enumerate() {
-            self.dev.write_block(self.start + 2 + i as u64, data)?;
-        }
-        let mut commit = vec![0u8; bs];
-        commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
-        commit[4..12].copy_from_slice(&seq_bytes);
-        commit[12..20].copy_from_slice(&checksum.to_le_bytes());
-        self.dev
-            .write_block(self.start + 2 + dedup.len() as u64, &commit)?;
-        self.dev.flush()?;
-
-        // Step 2: checkpoint to home locations, then barrier.
-        for (blkno, data) in &dedup {
-            self.dev.write_block(*blkno, data)?;
-        }
-        self.dev.flush()?;
-
-        // Step 3: retire by bumping the sequence.
+        // Assemble the whole record and write it as one vectored extent.
+        let mut record = vec![0u8; need as usize * bs];
         {
-            let mut s = self.seq.lock();
-            *s += 1;
-            Self::write_jsb(&self.dev, self.start, *s)?;
+            let desc = &mut record[0..bs];
+            desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+            desc[4..12].copy_from_slice(&seq_bytes);
+            desc[12..16].copy_from_slice(&(count as u32).to_le_bytes());
+            for (i, (blkno, _)) in writes.iter().enumerate() {
+                let o = 16 + i * 8;
+                desc[o..o + 8].copy_from_slice(&blkno.to_le_bytes());
+            }
+            desc[bs - 8..].copy_from_slice(&checksum.to_le_bytes());
         }
+        for (i, (_, data)) in writes.iter().enumerate() {
+            record[(1 + i) * bs..(2 + i) * bs].copy_from_slice(data);
+        }
+        {
+            let commit = &mut record[(1 + count) * bs..];
+            commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+            commit[4..12].copy_from_slice(&seq_bytes);
+            commit[12..20].copy_from_slice(&checksum.to_le_bytes());
+        }
+        self.dev
+            .write_blocks(self.start + 1 + off, need as usize, &record)?;
         self.dev.flush()?;
 
-        let mut st = self.stats.lock();
-        st.commits += 1;
-        st.blocks_journaled += dedup.len() as u64;
-        st.barriers += 3;
+        let mut stats = self.stats.lock();
+        stats.blocks_journaled += count as u64;
+        stats.barriers += 1;
+        drop(stats);
+
+        self.space.lock().txns.push_back(TxnRecord {
+            seq,
+            off,
+            len: need,
+            writes,
+        });
         Ok(())
     }
 
-    /// Scans the journal after an unclean shutdown and replays any
-    /// committed-but-unretired transaction.
-    pub fn recover(dev: &Arc<dyn BlockDevice>, start: u64, blocks: u64) -> KResult<RecoveryOutcome> {
+    /// Checkpoints up to `max_txns` transactions oldest-first: writes
+    /// their home blocks, flushes, then advances the on-disk tail.
+    /// Returns the number of transactions drained.
+    pub fn checkpoint(&self, max_txns: usize) -> KResult<usize> {
+        self.checkpoint_inner(max_txns, false)
+    }
+
+    /// Drains every pending checkpoint.
+    pub fn checkpoint_all(&self) -> KResult<usize> {
+        self.checkpoint_inner(usize::MAX, false)
+    }
+
+    fn checkpoint_inner(&self, max_txns: usize, forced: bool) -> KResult<usize> {
+        // (seq, off, len, writes) per drained transaction.
+        type DrainEntry = (u64, u64, u64, Vec<(u64, Vec<u8>)>);
+        let _serialize = self.ckpt_lock.lock();
+        // Snapshot the drain set; records stay registered (and the tail
+        // on disk) until their homes are durable, so a crash mid-drain
+        // still replays them.
+        let drain: Vec<DrainEntry> = {
+            let sp = self.space.lock();
+            sp.txns
+                .iter()
+                .take(max_txns)
+                .map(|t| (t.seq, t.off, t.len, t.writes.clone()))
+                .collect()
+        };
+        if drain.is_empty() {
+            return Ok(0);
+        }
+        for (_, _, _, writes) in &drain {
+            for (blkno, data) in writes {
+                self.dev.write_block(*blkno, data)?;
+            }
+        }
+        self.dev.flush()?;
+        let (last_seq, last_off, last_len, _) = drain.last().expect("non-empty");
+        Self::write_jsb(&self.dev, self.start, last_seq + 1, last_off + last_len)?;
+        self.dev.flush()?;
+
+        let mut sp = self.space.lock();
+        for _ in 0..drain.len() {
+            sp.txns.pop_front();
+        }
+        sp.tail_seq = last_seq + 1;
+        sp.tail_off = last_off + last_len;
+        drop(sp);
+
+        let mut stats = self.stats.lock();
+        stats.checkpoints += drain.len() as u64;
+        stats.barriers += 2;
+        if forced {
+            stats.forced_checkpoints += 1;
+        }
+        Ok(drain.len())
+    }
+
+    /// Scans the journal after an unclean shutdown and replays every
+    /// committed-but-unretired transaction in sequence order.
+    pub fn recover(
+        dev: &Arc<dyn BlockDevice>,
+        start: u64,
+        blocks: u64,
+    ) -> KResult<RecoveryOutcome> {
         let bs = dev.block_size();
+        let area = blocks - 1;
         let mut jsb = vec![0u8; bs];
         dev.read_block(start, &mut jsb)?;
         if u32::from_le_bytes(jsb[0..4].try_into().expect("4 bytes")) != JSB_MAGIC {
             return Err(Errno::EUCLEAN);
         }
-        let seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
-
-        // Parse the descriptor slot.
-        let mut desc = vec![0u8; bs];
-        dev.read_block(start + 1, &mut desc)?;
-        if u32::from_le_bytes(desc[0..4].try_into().expect("4 bytes")) != DESC_MAGIC {
-            return Ok(RecoveryOutcome::Clean);
-        }
-        let dseq = u64::from_le_bytes(desc[4..12].try_into().expect("8 bytes"));
-        if dseq != seq {
-            // A retired (older) transaction's residue.
-            return Ok(RecoveryOutcome::Clean);
-        }
-        let count = u32::from_le_bytes(desc[12..16].try_into().expect("4 bytes")) as usize;
-        if count == 0 || count > (blocks as usize).saturating_sub(3) {
-            return Ok(RecoveryOutcome::DiscardedTorn);
-        }
-        let claimed = u64::from_le_bytes(desc[bs - 8..].try_into().expect("8 bytes"));
-        let mut blknos = Vec::with_capacity(count);
-        for i in 0..count {
-            let o = 16 + i * 8;
-            blknos.push(u64::from_le_bytes(desc[o..o + 8].try_into().expect("8 bytes")));
-        }
-        if blknos.iter().any(|&b| b >= start) {
-            return Ok(RecoveryOutcome::DiscardedTorn);
+        let tail_seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+        let tail_off = u64::from_le_bytes(jsb[12..20].try_into().expect("8 bytes"));
+        if tail_off > area {
+            return Err(Errno::EUCLEAN);
         }
 
-        // Commit record must match.
-        let mut commit = vec![0u8; bs];
-        dev.read_block(start + 2 + count as u64, &mut commit)?;
-        if u32::from_le_bytes(commit[0..4].try_into().expect("4 bytes")) != COMMIT_MAGIC
-            || u64::from_le_bytes(commit[4..12].try_into().expect("8 bytes")) != seq
-            || u64::from_le_bytes(commit[12..20].try_into().expect("8 bytes")) != claimed
-        {
-            return Ok(RecoveryOutcome::DiscardedTorn);
+        // Walk committed records forward from the tail.
+        let mut expected = tail_seq;
+        let mut off = tail_off;
+        let mut torn = false;
+        let mut replay: Vec<(Vec<u64>, Vec<Vec<u8>>)> = Vec::new();
+        'scan: while off + 3 <= area {
+            let mut desc = vec![0u8; bs];
+            dev.read_block(start + 1 + off, &mut desc)?;
+            if u32::from_le_bytes(desc[0..4].try_into().expect("4 bytes")) != DESC_MAGIC {
+                break;
+            }
+            let dseq = u64::from_le_bytes(desc[4..12].try_into().expect("8 bytes"));
+            if dseq != expected {
+                // Residue of an already-retired (older) transaction.
+                break;
+            }
+            let count = u32::from_le_bytes(desc[12..16].try_into().expect("4 bytes")) as u64;
+            if count == 0 || off + 2 + count > area {
+                torn = true;
+                break;
+            }
+            let claimed = u64::from_le_bytes(desc[bs - 8..].try_into().expect("8 bytes"));
+            let mut blknos = Vec::with_capacity(count as usize);
+            for i in 0..count as usize {
+                let o = 16 + i * 8;
+                let b = u64::from_le_bytes(desc[o..o + 8].try_into().expect("8 bytes"));
+                if b >= start {
+                    torn = true;
+                    break 'scan;
+                }
+                blknos.push(b);
+            }
+
+            // Commit record must match.
+            let mut commit = vec![0u8; bs];
+            dev.read_block(start + 1 + off + 1 + count, &mut commit)?;
+            if u32::from_le_bytes(commit[0..4].try_into().expect("4 bytes")) != COMMIT_MAGIC
+                || u64::from_le_bytes(commit[4..12].try_into().expect("8 bytes")) != expected
+                || u64::from_le_bytes(commit[12..20].try_into().expect("8 bytes")) != claimed
+            {
+                torn = true;
+                break;
+            }
+
+            // Verify the payload checksum.
+            let mut payload = Vec::with_capacity(count as usize);
+            for i in 0..count {
+                let mut data = vec![0u8; bs];
+                dev.read_block(start + 1 + off + 1 + i, &mut data)?;
+                payload.push(data);
+            }
+            let seq_bytes = expected.to_le_bytes();
+            let blkno_bytes: Vec<u8> = blknos.iter().flat_map(|b| b.to_le_bytes()).collect();
+            let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
+            for p in &payload {
+                chunks.push(p.as_slice());
+            }
+            if fnv1a(&chunks) != claimed {
+                torn = true;
+                break;
+            }
+
+            replay.push((blknos, payload));
+            expected += 1;
+            off += 2 + count;
         }
 
-        // Verify the payload checksum.
-        let mut payload = Vec::with_capacity(count);
-        for i in 0..count {
-            let mut data = vec![0u8; bs];
-            dev.read_block(start + 2 + i as u64, &mut data)?;
-            payload.push(data);
-        }
-        let seq_bytes = seq.to_le_bytes();
-        let blkno_bytes: Vec<u8> = blknos.iter().flat_map(|b| b.to_le_bytes()).collect();
-        let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
-        for p in &payload {
-            chunks.push(p.as_slice());
-        }
-        if fnv1a(&chunks) != claimed {
-            return Ok(RecoveryOutcome::DiscardedTorn);
+        if replay.is_empty() {
+            return Ok(if torn {
+                RecoveryOutcome::DiscardedTorn
+            } else {
+                RecoveryOutcome::Clean
+            });
         }
 
-        // Replay and retire.
-        for (blkno, data) in blknos.iter().zip(payload.iter()) {
-            dev.write_block(*blkno, data)?;
+        // Replay in sequence order, then retire the whole run.
+        let mut blocks_replayed = 0;
+        for (blknos, payload) in &replay {
+            for (blkno, data) in blknos.iter().zip(payload.iter()) {
+                dev.write_block(*blkno, data)?;
+                blocks_replayed += 1;
+            }
         }
         dev.flush()?;
-        Self::write_jsb(dev, start, seq + 1)?;
+        Self::write_jsb(dev, start, expected, off)?;
         dev.flush()?;
-        Ok(RecoveryOutcome::Replayed { blocks: count })
+        Ok(RecoveryOutcome::Replayed {
+            blocks: blocks_replayed,
+        })
     }
 }
 
@@ -327,22 +691,30 @@ mod tests {
     }
 
     #[test]
-    fn commit_writes_home_blocks() {
+    fn commit_then_checkpoint_writes_home_blocks() {
         let (dev, j) = fresh();
         j.commit(&[(3, img(7)), (5, img(9))]).unwrap();
+        // Checkpoint is deferred: commit only made the journal durable.
+        assert_eq!(j.pending_checkpoints(), 1);
         let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 0, "home write deferred until checkpoint");
+        assert_eq!(j.checkpoint_all().unwrap(), 1);
         dev.read_block(3, &mut out).unwrap();
         assert_eq!(out[0], 7);
         dev.read_block(5, &mut out).unwrap();
         assert_eq!(out[0], 9);
         assert_eq!(j.seq(), 2);
         assert_eq!(j.stats().commits, 1);
+        assert_eq!(j.stats().batches, 1);
+        assert_eq!(j.pending_checkpoints(), 0);
     }
 
     #[test]
     fn duplicate_blocks_last_wins() {
         let (dev, j) = fresh();
         j.commit(&[(3, img(1)), (3, img(2))]).unwrap();
+        j.checkpoint_all().unwrap();
         let mut out = vec![0u8; BLOCK_SIZE];
         dev.read_block(3, &mut out).unwrap();
         assert_eq!(out[0], 2);
@@ -360,6 +732,104 @@ mod tests {
     }
 
     #[test]
+    fn log_fills_then_forces_checkpoint_and_wraps() {
+        // Area is 7 blocks; each 1-payload record takes 3. Two fit; the
+        // third forces a drain and rewinds to offset 0.
+        let (dev, j) = fresh();
+        for i in 0..5u64 {
+            j.commit(&[(3 + i, img(10 + i as u8))]).unwrap();
+        }
+        assert!(j.stats().forced_checkpoints >= 1, "log pressure drained");
+        j.checkpoint_all().unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for i in 0..5u64 {
+            dev.read_block(3 + i, &mut out).unwrap();
+            assert_eq!(out[0], 10 + i as u8, "commit {i} reached home");
+        }
+        // After a full drain the journal is clean.
+        assert_eq!(
+            Journal::recover(&dev, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn recovery_replays_multiple_txns_in_sequence_order() {
+        let (dev, j) = fresh();
+        // Two committed, un-checkpointed txns touching the same block:
+        // replay must apply seq 1 then seq 2, ending on the newer image.
+        j.commit(&[(3, img(1)), (4, img(7))]).unwrap();
+        j.commit(&[(3, img(2))]).unwrap();
+        assert_eq!(j.pending_checkpoints(), 2);
+        drop(j);
+        let outcome = Journal::recover(&dev, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::Replayed { blocks: 3 });
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 2, "later txn wins after ordered replay");
+        dev.read_block(4, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        // Idempotent.
+        assert_eq!(
+            Journal::recover(&dev, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn group_commit_merges_concurrent_committers() {
+        use std::sync::Barrier;
+        use std::thread;
+
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(128));
+        Journal::format(&dev, 64, 32).unwrap();
+        let j = Arc::new(Journal::open(Arc::clone(&dev), 64, 32).unwrap());
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let mut handles = Vec::new();
+        for t in 0..threads as u64 {
+            let j = Arc::clone(&j);
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                barrier.wait();
+                j.commit(&[(t, img(100 + t as u8))]).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = j.stats();
+        assert_eq!(s.commits, 8);
+        assert!(
+            s.batches <= s.commits,
+            "batches {} > commits {}",
+            s.batches,
+            s.commits
+        );
+        assert_eq!(s.blocks_journaled, 8, "every image journaled once");
+        j.checkpoint_all().unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for t in 0..threads as u64 {
+            dev.read_block(t, &mut out).unwrap();
+            assert_eq!(out[0], 100 + t as u8, "thread {t}'s commit reached home");
+        }
+        assert_eq!(
+            Journal::recover(&dev, 64, 32).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    #[test]
+    fn abandoned_join_does_not_wedge_the_group() {
+        let (_, j) = fresh();
+        {
+            let _handle = j.begin_op(); // dropped without committing
+        }
+        j.commit(&[(3, img(5))]).unwrap();
+        assert_eq!(j.stats().commits, 1);
+    }
+
+    #[test]
     fn recovery_clean_on_fresh_journal() {
         let (dev, _) = fresh();
         assert_eq!(
@@ -373,12 +843,8 @@ mod tests {
         let ram = Arc::new(RamDisk::new(64));
         let crash: Arc<dyn BlockDevice> = Arc::new(CrashDevice::new(Arc::clone(&ram)));
         Journal::format(&crash, JSTART, JBLOCKS).unwrap();
-        // Manually write a descriptor + payload but no commit, unflushed
-        // descriptor torn off by the crash is the interesting case; here we
-        // flush a descriptor-only prefix.
-        let j = Journal::open(Arc::clone(&crash), JSTART, JBLOCKS).unwrap();
-        let _ = j; // The protocol always writes commit, so simulate a torn
-                   // transaction directly:
+        // A descriptor with the expected sequence but no commit record is
+        // a torn transaction and must be discarded.
         let bs = BLOCK_SIZE;
         let mut desc = vec![0u8; bs];
         desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
@@ -398,34 +864,22 @@ mod tests {
 
     #[test]
     fn crash_after_commit_before_checkpoint_replays() {
-        // Drive the real commit protocol against a crash device and cut it
-        // after the first barrier (journal durable, home not).
+        // Commit leaves the txn in the journal with the checkpoint
+        // deferred; crashing now models the pre-checkpoint window.
         let ram = Arc::new(RamDisk::new(64));
         let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
         let crash_dyn: Arc<dyn BlockDevice> = Arc::clone(&crash) as Arc<dyn BlockDevice>;
         Journal::format(&crash_dyn, JSTART, JBLOCKS).unwrap();
         let j = Journal::open(Arc::clone(&crash_dyn), JSTART, JBLOCKS).unwrap();
         j.commit(&[(3, img(42))]).unwrap();
-        // Rewind the durable image to "after barrier 1": replay the commit
-        // onto a fresh device by hand — instead, simply crash now (all
-        // flushed), then corrupt home block to simulate lost checkpoint,
-        // and check recovery restores it from the journal.
         crash.crash();
         crash.recover();
-        let zero = img(0);
-        ram.write_block(3, &zero).unwrap(); // "lost" checkpoint
-        // jsb already retired (seq=2), so recovery would be Clean; rewind
-        // the jsb to seq=1 to model the pre-retire crash.
-        let mut jsb = vec![0u8; BLOCK_SIZE];
-        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
-        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
-        ram.write_block(JSTART, &jsb).unwrap();
         let ram_dyn: Arc<dyn BlockDevice> = ram;
         let outcome = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
         assert_eq!(outcome, RecoveryOutcome::Replayed { blocks: 1 });
         let mut out = vec![0u8; BLOCK_SIZE];
         ram_dyn.read_block(3, &mut out).unwrap();
-        assert_eq!(out[0], 42, "journal replayed the lost home write");
+        assert_eq!(out[0], 42, "journal replayed the deferred home write");
         // And recovery is idempotent.
         let outcome2 = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
         assert_eq!(outcome2, RecoveryOutcome::Clean);
@@ -438,11 +892,7 @@ mod tests {
         Journal::format(&dev, JSTART, JBLOCKS).unwrap();
         let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
         j.commit(&[(3, img(42))]).unwrap();
-        // Rewind jsb and corrupt the journaled payload.
-        let mut jsb = vec![0u8; BLOCK_SIZE];
-        jsb[0..4].copy_from_slice(&JSB_MAGIC.to_le_bytes());
-        jsb[4..12].copy_from_slice(&1u64.to_le_bytes());
-        ram.write_block(JSTART, &jsb).unwrap();
+        // The txn awaits checkpoint; corrupt its journaled payload.
         let mut payload = vec![0u8; BLOCK_SIZE];
         ram.read_block(JSTART + 2, &mut payload).unwrap();
         payload[100] ^= 0xFF;
@@ -454,8 +904,8 @@ mod tests {
     #[test]
     fn exhaustive_prefix_crash_check() {
         // The flagship property: for EVERY prefix of the device-write
-        // sequence of a commit, recovery yields either the old or the new
-        // contents of the home block — never a mix, never a torn state.
+        // sequence of a commit + checkpoint, recovery yields either the
+        // old or the new contents of the home blocks — never a mix.
         use sk_core::spec::crash::{crash_images, CrashPolicy};
 
         let ram = Arc::new(RamDisk::new(64));
@@ -468,18 +918,8 @@ mod tests {
         crash_dyn.flush().unwrap();
         let base = ram.snapshot();
 
-        // Run a commit but capture the pending writes of each barrier
-        // interval by not flushing: we reimplement the sequence manually to
-        // keep every write pending. Simpler: run the real commit against a
-        // second crash device that never flushes to its inner store.
-        // Here we exploit CrashDevice: writes buffer until flush. The real
-        // commit flushes 3 times, so enumerate crash points per interval by
-        // replaying the intervals' pending writes over the base snapshot.
-        let j = Journal::open(Arc::clone(&crash_dyn), JSTART, JBLOCKS).unwrap();
-
-        // Interval capture: wrap flushes by snapshotting pending writes.
-        // CrashDevice drains on flush, so capture before each drain via a
-        // probe sequence: we re-run the commit with a tap.
+        // Tap the device to capture each barrier interval's pending
+        // writes, then enumerate every crash prefix of every interval.
         struct Tap {
             inner: Arc<CrashDevice<Arc<RamDisk>>>,
             script: Mutex<Vec<Vec<sk_ksim::block::PendingWrite>>>,
@@ -505,7 +945,6 @@ mod tests {
                 self.inner.stats()
             }
         }
-        drop(j);
         let tap = Arc::new(Tap {
             inner: Arc::clone(&crash),
             script: Mutex::new(Vec::new()),
@@ -513,6 +952,7 @@ mod tests {
         let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
         let j = Journal::open(Arc::clone(&tap_dyn), JSTART, JBLOCKS).unwrap();
         j.commit(&[(3, img(11)), (5, img(12))]).unwrap();
+        j.checkpoint_all().unwrap();
 
         // Flatten the intervals into one ordered write script; crash points
         // between barriers are prefixes of each interval appended to all

@@ -56,21 +56,29 @@ struct RsfsWriteCtx {
 
 /// The safe, journaled file system.
 pub struct Rsfs {
-    dev: Arc<dyn BlockDevice>,
-    cache: BufferCache,
+    cache: Arc<BufferCache>,
     journal: Option<Journal>,
     sb: Superblock,
-    /// Serializes mutating operations (one transaction at a time).
+    /// Serializes the *staging* phase of mutating operations. The journal
+    /// append itself happens outside this lock so concurrent operations
+    /// merge into one group commit.
     op_lock: Mutex<()>,
+    /// Pin counts for cache buffers whose newest image is not yet durable
+    /// in the journal (`BhFlag::Delay` holders); writeback must skip them
+    /// or the write-ahead ordering breaks.
+    delay_pins: Mutex<HashMap<u64, usize>>,
     lock_registry: Arc<LockRegistry>,
     icache: Mutex<HashMap<InodeNo, Arc<Inode>>>,
     op_counter: AtomicU64,
 }
 
-/// A staged transaction: an overlay of pending block images.
+/// A staged transaction: an overlay of pending block images. Mutating
+/// operations build it with [`Txn::begin`], which holds the op lock so
+/// staging is serializable; read-only paths use [`Txn::new`].
 struct Txn<'a> {
     fs: &'a Rsfs,
     writes: BTreeMap<u64, Vec<u8>>,
+    guard: Option<parking_lot::MutexGuard<'a, ()>>,
 }
 
 impl<'a> Txn<'a> {
@@ -78,6 +86,18 @@ impl<'a> Txn<'a> {
         Txn {
             fs,
             writes: BTreeMap::new(),
+            guard: None,
+        }
+    }
+
+    /// Starts a mutating transaction: takes the op lock so staging (and
+    /// the commit-order token) is serialized against other mutations.
+    fn begin(fs: &'a Rsfs) -> Txn<'a> {
+        let guard = fs.op_lock.lock();
+        Txn {
+            fs,
+            writes: BTreeMap::new(),
+            guard: Some(guard),
         }
     }
 
@@ -96,35 +116,77 @@ impl<'a> Txn<'a> {
         self.writes.insert(blkno, data);
     }
 
-    /// Commits the staged writes atomically (journal) or into the cache
-    /// (no journal), then reconciles the buffer cache.
-    fn commit(self) -> KResult<()> {
+    /// Commits the staged writes atomically.
+    ///
+    /// With a journal, this is the jbd2-style group-commit path:
+    /// 1. still holding the op lock, join the open transaction (fixing
+    ///    this operation's place in the global commit order) and publish
+    ///    the new images into the buffer cache, `Dirty | Delay` — visible
+    ///    to readers, pinned against writeback;
+    /// 2. release the op lock and hand the images to the journal, where
+    ///    concurrent committers merge into one batch with one barrier;
+    /// 3. once the batch is durable, unpin (`Delay` off) so the flusher
+    ///    and the deferred checkpoint may write the homes.
+    ///
+    /// Without a journal the images just dirty the cache.
+    fn commit(mut self) -> KResult<()> {
         if self.writes.is_empty() {
             return Ok(());
         }
-        match &self.fs.journal {
-            Some(journal) => {
-                let list: Vec<(u64, Vec<u8>)> =
-                    self.writes.iter().map(|(b, d)| (*b, d.clone())).collect();
-                journal.commit(&list)?;
-                // The home locations are durable; refresh the cache copies
-                // and leave them clean.
-                for (blkno, data) in &self.writes {
-                    let buf = self.fs.cache.getblk(*blkno)?;
-                    buf.write(|d| d.copy_from_slice(data));
-                    buf.clear_flag(BhFlag::Dirty);
-                    buf.set_flag(BhFlag::Uptodate);
-                }
-                Ok(())
-            }
+        let journal = match &self.fs.journal {
+            Some(j) => j,
             None => {
                 for (blkno, data) in &self.writes {
                     let buf = self.fs.cache.getblk(*blkno)?;
                     buf.write(|d| d.copy_from_slice(data));
                 }
-                Ok(())
+                return Ok(());
+            }
+        };
+        let list: Vec<(u64, Vec<u8>)> = self.writes.iter().map(|(b, d)| (*b, d.clone())).collect();
+        let handle = journal.begin_op();
+        // Publish to the cache under the op lock, pinned with Delay:
+        // readers see the new state immediately, writeback cannot leak
+        // it to home locations before the journal record is durable.
+        let mut pinned: Vec<u64> = Vec::with_capacity(self.writes.len());
+        let mut apply_err = None;
+        {
+            let mut pins = self.fs.delay_pins.lock();
+            for (blkno, data) in &self.writes {
+                match self.fs.cache.getblk(*blkno) {
+                    Ok(buf) => {
+                        buf.write(|d| d.copy_from_slice(data));
+                        buf.set_flag(BhFlag::Delay);
+                        *pins.entry(*blkno).or_insert(0) += 1;
+                        pinned.push(*blkno);
+                    }
+                    Err(e) => {
+                        apply_err = Some(e);
+                        break;
+                    }
+                }
             }
         }
+        // Staging is published; later operations may now take the lock,
+        // observe this state, and race into the same commit batch.
+        self.guard = None;
+        let res = match apply_err {
+            Some(e) => {
+                drop(handle); // abort the join so the leader can proceed
+                Err(e)
+            }
+            None => handle.commit(&list),
+        };
+        self.fs.unpin_delays(&pinned);
+        if let Err(e) = res {
+            // The transaction is not durable and must not be observable:
+            // drain what *is* durable to the homes, then drop every
+            // cached buffer so reads refetch consistent device state.
+            let _ = journal.checkpoint_all();
+            self.fs.cache.invalidate();
+            return Err(e);
+        }
+        Ok(())
     }
 
     // --- transactional metadata helpers -----------------------------------
@@ -324,7 +386,7 @@ impl<'a> Txn<'a> {
     /// last kept block.
     fn shrink_blocks(&mut self, ino: InodeNo, new_size: u64) -> KResult<()> {
         let keep_blocks = new_size.div_ceil(BLOCK_SIZE as u64);
-        if new_size % BLOCK_SIZE as u64 != 0 {
+        if !new_size.is_multiple_of(BLOCK_SIZE as u64) {
             let last_fblk = new_size / BLOCK_SIZE as u64;
             let dblk = self.bmap(ino, last_fblk, false)?;
             if dblk != 0 {
@@ -445,11 +507,10 @@ impl Rsfs {
         ibitmap[0] |= 0b11;
         dev.write_block(INODE_BITMAP, &ibitmap)?;
 
+        // One vectored extent zeroes the whole inode table (single seek).
         let table_blocks = (inode_count as usize).div_ceil(INODES_PER_BLOCK) as u64;
-        let zero = vec![0u8; bs];
-        for t in 0..table_blocks {
-            dev.write_block(INODE_TABLE + t, &zero)?;
-        }
+        let zeros = vec![0u8; bs * table_blocks as usize];
+        dev.write_blocks(INODE_TABLE, table_blocks as usize, &zeros)?;
         let mut root = DiskInode::empty();
         root.mode = MODE_DIR;
         root.nlink = 1;
@@ -476,11 +537,11 @@ impl Rsfs {
             JournalMode::None => None,
         };
         Ok(Rsfs {
-            cache: BufferCache::new(Arc::clone(&dev), 256),
-            dev,
+            cache: Arc::new(BufferCache::new(dev, 256)),
             journal,
             sb,
             op_lock: Mutex::new(()),
+            delay_pins: Mutex::new(HashMap::new()),
             lock_registry: LockRegistry::new(),
             icache: Mutex::new(HashMap::new()),
             op_counter: AtomicU64::new(1),
@@ -491,14 +552,45 @@ impl Rsfs {
         self.op_counter.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Drops one Delay pin per listed block; a buffer whose pin count
+    /// reaches zero becomes eligible for writeback and eviction again.
+    fn unpin_delays(&self, blknos: &[u64]) {
+        if blknos.is_empty() {
+            return;
+        }
+        let mut pins = self.delay_pins.lock();
+        for blkno in blknos {
+            if let Some(count) = pins.get_mut(blkno) {
+                *count -= 1;
+                if *count == 0 {
+                    pins.remove(blkno);
+                    if let Ok(buf) = self.cache.getblk(*blkno) {
+                        buf.clear_flag(BhFlag::Delay);
+                    }
+                }
+            }
+        }
+    }
+
     /// The journal (when mounted with [`JournalMode::PerOp`]).
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
     }
 
-    /// The buffer cache (stats).
-    pub fn cache(&self) -> &BufferCache {
+    /// The buffer cache (stats; shareable with a `Flusher`).
+    pub fn cache(&self) -> &Arc<BufferCache> {
         &self.cache
+    }
+
+    /// Checkpoints up to `max_txns` committed transactions to their home
+    /// locations. The deferred-checkpoint drain: hang this off a
+    /// [`sk_ksim::workqueue::Flusher`] hook (with an `Arc<Rsfs>`) so the
+    /// writeback daemon retires journal space in the background.
+    pub fn checkpoint(&self, max_txns: usize) -> KResult<usize> {
+        match &self.journal {
+            Some(j) => j.checkpoint(max_txns),
+            None => Ok(0),
+        }
     }
 
     /// The lock registry backing the generic inodes — test suites assert it
@@ -574,8 +666,7 @@ impl FileSystem for Rsfs {
 
     fn create(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
         validate_name(name)?;
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         match txn.dir_lookup(dir, name) {
             Ok(_) => return Err(Errno::EEXIST),
             Err(Errno::ENOENT) => {}
@@ -589,8 +680,7 @@ impl FileSystem for Rsfs {
 
     fn mkdir(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
         validate_name(name)?;
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         match txn.dir_lookup(dir, name) {
             Ok(_) => return Err(Errno::EEXIST),
             Err(Errno::ENOENT) => {}
@@ -604,8 +694,7 @@ impl FileSystem for Rsfs {
 
     fn unlink(&self, dir: InodeNo, name: &str) -> KResult<()> {
         validate_name(name)?;
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         let victim = txn.dir_lookup(dir, name)?;
         let di = txn.read_inode(victim)?;
         if di.mode == MODE_DIR {
@@ -619,8 +708,7 @@ impl FileSystem for Rsfs {
 
     fn rmdir(&self, dir: InodeNo, name: &str) -> KResult<()> {
         validate_name(name)?;
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         let victim = txn.dir_lookup(dir, name)?;
         let di = txn.read_inode(victim)?;
         if di.mode != MODE_DIR {
@@ -646,7 +734,6 @@ impl FileSystem for Rsfs {
     }
 
     fn write(&self, ino: InodeNo, off: u64, data: &[u8]) -> KResult<usize> {
-        let _g = self.op_lock.lock();
         {
             let probe = Txn::new(self);
             let di = probe.read_inode(ino)?;
@@ -655,11 +742,14 @@ impl FileSystem for Rsfs {
             }
         }
         // Chunk oversized writes into successive atomic transactions.
+        // Each chunk takes the op lock itself (Txn::begin) and releases
+        // it once staged, so concurrent writers interleave per chunk and
+        // group-commit can batch them.
         let chunk = self.max_txn_data();
         let mut done = 0usize;
         while done < data.len() {
             let n = chunk.min(data.len() - done);
-            let mut txn = Txn::new(self);
+            let mut txn = Txn::begin(self);
             txn.write_range(ino, ovf::add(off, done as u64)?, &data[done..done + n])?;
             txn.commit()?;
             done += n;
@@ -698,7 +788,9 @@ impl FileSystem for Rsfs {
 
     fn write_end(&self, ino: InodeNo, off: u64, data: &[u8], ctx: WriteCtx) -> KResult<usize> {
         let boxed = ctx.consume();
-        let wc = boxed.downcast::<RsfsWriteCtx>().map_err(|_| Errno::EINVAL)?;
+        let wc = boxed
+            .downcast::<RsfsWriteCtx>()
+            .map_err(|_| Errno::EINVAL)?;
         if wc.ino != ino || wc.off != off || wc.len != data.len() {
             return Err(Errno::EINVAL);
         }
@@ -723,8 +815,7 @@ impl FileSystem for Rsfs {
     ) -> KResult<()> {
         validate_name(oldname)?;
         validate_name(newname)?;
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         let src = txn.dir_lookup(olddir, oldname)?;
         if olddir == newdir && oldname == newname {
             return Ok(());
@@ -762,8 +853,7 @@ impl FileSystem for Rsfs {
         if size > MAX_FILE_SIZE {
             return Err(Errno::EFBIG);
         }
-        let _g = self.op_lock.lock();
-        let mut txn = Txn::new(self);
+        let mut txn = Txn::begin(self);
         let di = txn.read_inode(ino)?;
         if di.mode != MODE_REG {
             return Err(Errno::EISDIR);
@@ -784,10 +874,14 @@ impl FileSystem for Rsfs {
     }
 
     fn sync(&self) -> KResult<()> {
-        match &self.journal {
-            Some(_) => self.dev.flush(),
-            None => self.cache.sync_all(),
+        // With a journal: drain deferred checkpoints so home locations
+        // catch up with every committed transaction, then write back
+        // whatever the cache still holds dirty. Without one, the cache
+        // is the only copy — push it all out.
+        if let Some(j) = &self.journal {
+            j.checkpoint_all()?;
         }
+        self.cache.sync_all()
     }
 
     fn statfs(&self) -> KResult<StatFs> {
@@ -827,6 +921,45 @@ mod tests {
     }
 
     #[test]
+    fn flusher_hook_drains_deferred_checkpoints() {
+        use sk_ksim::time::SimClock;
+        use sk_ksim::workqueue::{Flusher, WorkQueue};
+
+        let clock = Arc::new(SimClock::new());
+        let ram = Arc::new(sk_ksim::block::RamDisk::with_geometry(
+            1024,
+            BLOCK_SIZE,
+            Arc::clone(&clock),
+        ));
+        let dev: Arc<dyn BlockDevice> = ram;
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        let fs = Arc::new(Rsfs::mount(dev, JournalMode::PerOp).unwrap());
+
+        let wq = WorkQueue::new(Arc::clone(&clock));
+        let flusher = Flusher::new(Arc::clone(fs.cache()), Arc::clone(&wq), 1_000);
+        let hooked = Arc::clone(&fs);
+        flusher.add_hook(move || hooked.checkpoint(usize::MAX).map(|_| ()));
+        flusher.start();
+
+        let ino = fs.create(ROOT_INO, "bg").unwrap();
+        fs.write(ino, 0, b"background-drain").unwrap();
+        let j = fs.journal().unwrap();
+        assert!(
+            j.pending_checkpoints() > 0,
+            "commits deferred, not checkpointed"
+        );
+
+        clock.advance(1_000);
+        assert!(wq.pump() >= 1);
+        assert_eq!(
+            j.pending_checkpoints(),
+            0,
+            "the writeback daemon drained them"
+        );
+        assert!(j.stats().checkpoints >= 1);
+    }
+
+    #[test]
     fn create_write_read_roundtrip() {
         for mode in [JournalMode::PerOp, JournalMode::None] {
             let fs = mount(mode);
@@ -849,8 +982,12 @@ mod tests {
         assert_eq!(fs.lookup(ROOT_INO, "a").unwrap(), a);
         assert_eq!(fs.lookup(ROOT_INO, "d").unwrap(), d);
         assert_eq!(fs.lookup(ROOT_INO, "x"), Err(Errno::ENOENT));
-        let mut names: Vec<String> =
-            fs.readdir(ROOT_INO).unwrap().into_iter().map(|e| e.name).collect();
+        let mut names: Vec<String> = fs
+            .readdir(ROOT_INO)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         names.sort();
         assert_eq!(names, vec!["a", "d"]);
     }

@@ -11,9 +11,10 @@
 //! specification the paper says a verified file system would need.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::block::BlockDevice;
 use crate::errno::KResult;
@@ -165,6 +166,9 @@ impl BufferHead {
 pub struct Buffer {
     blkno: u64,
     head: Mutex<BufferHead>,
+    /// Global LRU tick of the last access — updated with a relaxed store
+    /// so the read fast path never takes an exclusive cache lock.
+    last_used: AtomicU64,
 }
 
 impl Buffer {
@@ -235,41 +239,102 @@ pub struct CacheStats {
     pub readaheads: u64,
 }
 
-struct CacheInner {
+/// Default shard count for [`BufferCache`] (a modest power of two: enough
+/// to take lock contention off the storage hot path without fragmenting
+/// small caches).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// One lock stripe: a hash-partitioned slice of the cache.
+struct Shard {
     map: HashMap<u64, Arc<Buffer>>,
-    /// LRU order, least-recent first.
-    lru: Vec<u64>,
-    stats: CacheStats,
-    /// Recent stream cursors (sequential-pattern detector; one slot per
-    /// concurrent sequential stream, as Linux keeps per-file readahead
-    /// state).
+}
+
+/// Per-shard statistics counters. Atomics so the read fast path (shard
+/// read lock only) can still count hits.
+#[derive(Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writebacks: AtomicU64,
+    evictions: AtomicU64,
+    readaheads: AtomicU64,
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            readaheads: self.readaheads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sequential-pattern detector state (one slot per concurrent sequential
+/// stream, as Linux keeps per-file readahead state). Global across shards
+/// — a stream's blocks stripe over all of them.
+struct ReadaheadState {
     stream_cursors: [u64; 4],
     /// Round-robin eviction index for `stream_cursors`.
     cursor_clock: usize,
-    /// Prefetch depth; 0 disables readahead.
-    readahead: usize,
 }
 
-/// A write-back buffer cache over a block device.
+/// A write-back buffer cache over a block device, lock-striped into
+/// [`DEFAULT_SHARDS`] shards (hash of the block number picks the stripe).
+///
+/// Reads of already-cached buffers take only a shard *read* lock plus the
+/// buffer's own mutex; LRU position is a relaxed atomic tick on the
+/// buffer, so concurrent readers of different blocks — and even of the
+/// same shard — never serialize on an exclusive cache lock. Device IO
+/// (miss fill, readahead) happens outside every shard lock, so slow
+/// simulated IO overlaps across threads instead of queueing behind one
+/// cache-wide mutex.
 pub struct BufferCache {
     dev: Arc<dyn BlockDevice>,
-    capacity: usize,
-    inner: Mutex<CacheInner>,
+    /// Per-shard buffer capacity (total ≈ `per_shard_cap × shards.len()`).
+    per_shard_cap: usize,
+    shards: Vec<RwLock<Shard>>,
+    stats: Vec<ShardStats>,
+    /// Global LRU tick source.
+    tick: AtomicU64,
+    /// Prefetch depth; 0 disables readahead.
+    readahead: AtomicUsize,
+    ra: Mutex<ReadaheadState>,
 }
 
 impl BufferCache {
-    /// Creates a cache of at most `capacity` buffers over `dev`.
+    /// Creates a cache of at most `capacity` buffers over `dev`, striped
+    /// into [`DEFAULT_SHARDS`] shards (fewer for tiny capacities).
     pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self::with_shards(dev, capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (clamped to
+    /// `[1, capacity]` so every shard holds at least one buffer). The
+    /// single-shard configuration reproduces the old global-lock design
+    /// for ablation benchmarks.
+    pub fn with_shards(dev: Arc<dyn BlockDevice>, capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let nshards = shards.clamp(1, capacity);
         BufferCache {
             dev,
-            capacity: capacity.max(1),
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                lru: Vec::new(),
-                stats: CacheStats::default(),
+            per_shard_cap: (capacity / nshards).max(1),
+            shards: (0..nshards)
+                .map(|_| {
+                    RwLock::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            stats: (0..nshards).map(|_| ShardStats::default()).collect(),
+            tick: AtomicU64::new(0),
+            readahead: AtomicUsize::new(0),
+            ra: Mutex::new(ReadaheadState {
                 stream_cursors: [u64::MAX; 4],
                 cursor_clock: 0,
-                readahead: 0,
             }),
         }
     }
@@ -279,53 +344,91 @@ impl BufferCache {
         &self.dev
     }
 
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Enables sequential readahead: when `bread` detects a sequential
     /// pattern (block N follows block N-1), the next `depth` blocks are
     /// prefetched. `0` disables.
     pub fn set_readahead(&self, depth: usize) {
-        self.inner.lock().readahead = depth;
+        self.readahead.store(depth, Ordering::Relaxed);
     }
 
-    fn touch(inner: &mut CacheInner, blkno: u64) {
-        if let Some(pos) = inner.lru.iter().position(|&b| b == blkno) {
-            inner.lru.remove(pos);
+    /// Shard index for a block number (multiplicative hash so strided
+    /// access patterns still spread across stripes).
+    fn shard_of(&self, blkno: u64) -> usize {
+        let h = blkno.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    fn touch(&self, buf: &Buffer) {
+        let t = self.tick.fetch_add(1, Ordering::Relaxed);
+        buf.last_used.store(t, Ordering::Relaxed);
+    }
+
+    fn new_buffer(&self, blkno: u64, data: Vec<u8>, state: BufferState) -> Arc<Buffer> {
+        let buf = Arc::new(Buffer {
+            blkno,
+            head: Mutex::new(BufferHead { blkno, data, state }),
+            last_used: AtomicU64::new(0),
+        });
+        self.touch(&buf);
+        buf
+    }
+
+    /// Evicts clean, unreferenced buffers (least-recently used first)
+    /// until the shard fits its capacity. Dirty buffers are written back
+    /// first; buffers still referenced elsewhere are skipped.
+    fn shrink(&self, idx: usize, shard: &mut Shard) -> KResult<()> {
+        if shard.map.len() <= self.per_shard_cap {
+            return Ok(());
         }
-        inner.lru.push(blkno);
-    }
-
-    /// Evicts clean, unreferenced buffers until the cache fits its capacity.
-    /// Dirty buffers are written back first; buffers still referenced
-    /// elsewhere are skipped.
-    fn shrink(&self, inner: &mut CacheInner) -> KResult<()> {
-        let mut idx = 0;
-        while inner.map.len() > self.capacity && idx < inner.lru.len() {
-            let blkno = inner.lru[idx];
-            let buf = match inner.map.get(&blkno) {
+        let mut order: Vec<(u64, u64)> = shard
+            .map
+            .values()
+            .map(|b| (b.last_used.load(Ordering::Relaxed), b.blkno()))
+            .collect();
+        order.sort_unstable();
+        for (_, blkno) in order {
+            if shard.map.len() <= self.per_shard_cap {
+                break;
+            }
+            let buf = match shard.map.get(&blkno) {
                 Some(b) => Arc::clone(b),
-                None => {
-                    inner.lru.remove(idx);
-                    continue;
-                }
+                None => continue,
             };
             // Two strong refs: the map's and ours.
             if Arc::strong_count(&buf) > 2 {
-                idx += 1;
+                continue;
+            }
+            // Delay-pinned: the newest image is not yet journal-durable,
+            // so it must neither reach its home location nor be dropped.
+            if buf.test_flag(BhFlag::Delay) {
                 continue;
             }
             if buf.test_flag(BhFlag::Dirty) {
-                self.writeback(&buf, inner)?;
+                self.writeback(idx, &buf)?;
             }
-            inner.map.remove(&blkno);
-            inner.lru.remove(idx);
-            inner.stats.evictions += 1;
+            shard.map.remove(&blkno);
+            self.stats[idx].evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
     }
 
-    fn writeback(&self, buf: &Buffer, inner: &mut CacheInner) -> KResult<()> {
+    /// Writes one buffer back to the device. Dirtiness transfers to the
+    /// in-flight IO at snapshot time: a concurrent re-dirty during the
+    /// write stays set and reaches the device on the next sync, so no
+    /// update is lost.
+    fn writeback(&self, idx: usize, buf: &Buffer) -> KResult<()> {
         let data = {
             let mut h = buf.head.lock();
-            h.state = h.state.with(BhFlag::Lock).with(BhFlag::AsyncWrite);
+            h.state = h
+                .state
+                .with(BhFlag::Lock)
+                .with(BhFlag::AsyncWrite)
+                .without(BhFlag::Dirty);
             h.data.clone()
         };
         let res = self.dev.write_block(buf.blkno(), &data);
@@ -333,12 +436,12 @@ impl BufferCache {
         h.state = h.state.without(BhFlag::AsyncWrite).without(BhFlag::Lock);
         match res {
             Ok(()) => {
-                h.state = h.state.without(BhFlag::Dirty).with(BhFlag::Req);
-                inner.stats.writebacks += 1;
+                h.state = h.state.with(BhFlag::Req);
+                self.stats[idx].writebacks.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             Err(e) => {
-                h.state = h.state.with(BhFlag::WriteEio);
+                h.state = h.state.with(BhFlag::WriteEio).with(BhFlag::Dirty);
                 Err(e)
             }
         }
@@ -347,10 +450,12 @@ impl BufferCache {
     /// Reads block `blkno` through the cache (`bread` in Linux terms):
     /// the returned buffer is `Uptodate | Mapped`.
     pub fn bread(&self, blkno: u64) -> KResult<Arc<Buffer>> {
-        let mut inner = self.inner.lock();
-        if let Some(buf) = inner.map.get(&blkno).cloned() {
-            inner.stats.hits += 1;
-            Self::touch(&mut inner, blkno);
+        let idx = self.shard_of(blkno);
+        // Fast path: shard read lock only. The common case — an
+        // already-cached, uptodate buffer — never blocks other readers.
+        if let Some(buf) = self.shards[idx].read().map.get(&blkno).cloned() {
+            self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&buf);
             if buf.test_flag(BhFlag::Uptodate) {
                 return Ok(buf);
             }
@@ -358,140 +463,237 @@ impl BufferCache {
             let mut data = vec![0u8; self.dev.block_size()];
             self.dev.read_block(blkno, &mut data)?;
             let mut h = buf.head.lock();
-            h.data = data;
-            h.state = h.state.with(BhFlag::Uptodate).with(BhFlag::Mapped);
+            if !h.state.has(BhFlag::Uptodate) {
+                h.data = data;
+                h.state = h.state.with(BhFlag::Uptodate).with(BhFlag::Mapped);
+            }
             drop(h);
             return Ok(buf);
         }
-        inner.stats.misses += 1;
+        // Miss: fill from the device *before* taking the write lock, so
+        // concurrent misses on one shard overlap their device reads.
         let mut data = vec![0u8; self.dev.block_size()];
         self.dev.read_block(blkno, &mut data)?;
-        let buf = Arc::new(Buffer {
-            blkno,
-            head: Mutex::new(BufferHead {
-                blkno,
-                data,
-                state: BufferState::EMPTY
-                    .with(BhFlag::Uptodate)
-                    .with(BhFlag::Mapped)
-                    .with(BhFlag::Req),
-            }),
-        });
-        inner.map.insert(blkno, Arc::clone(&buf));
-        Self::touch(&mut inner, blkno);
-        // Sequential readahead: prefetch the blocks that are about to be
-        // asked for, while the "head" is in the neighbourhood. A block
-        // continues whichever stream it extends; otherwise it starts a new
-        // stream in a round-robin slot.
-        let sequential = match inner
-            .stream_cursors
-            .iter()
-            .position(|&c| c != u64::MAX && blkno == c + 1)
-        {
-            Some(slot) => {
-                inner.stream_cursors[slot] = blkno;
-                true
-            }
-            None => {
-                let slot = inner.cursor_clock;
-                inner.cursor_clock = (inner.cursor_clock + 1) % inner.stream_cursors.len();
-                inner.stream_cursors[slot] = blkno;
-                false
-            }
-        };
-        let depth = if sequential { inner.readahead } else { 0 };
-        for ahead in 0..depth as u64 {
-            let next = blkno + 1 + ahead;
-            if next >= self.dev.num_blocks() || inner.map.contains_key(&next) {
-                break;
-            }
-            let mut data = vec![0u8; self.dev.block_size()];
-            if self.dev.read_block(next, &mut data).is_err() {
-                break;
-            }
-            let pre = Arc::new(Buffer {
-                blkno: next,
-                head: Mutex::new(BufferHead {
-                    blkno: next,
+        let buf = {
+            let mut shard = self.shards[idx].write();
+            if let Some(raced) = shard.map.get(&blkno).cloned() {
+                // Another thread filled it while we read: theirs wins.
+                self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&raced);
+                raced
+            } else {
+                self.stats[idx].misses.fetch_add(1, Ordering::Relaxed);
+                let buf = self.new_buffer(
+                    blkno,
                     data,
-                    state: BufferState::EMPTY
+                    BufferState::EMPTY
                         .with(BhFlag::Uptodate)
                         .with(BhFlag::Mapped)
                         .with(BhFlag::Req),
-                }),
-            });
-            inner.map.insert(next, pre);
-            Self::touch(&mut inner, next);
-            inner.stats.readaheads += 1;
-        }
-        self.shrink(&mut inner)?;
+                );
+                shard.map.insert(blkno, Arc::clone(&buf));
+                self.shrink(idx, &mut shard)?;
+                buf
+            }
+        };
+        self.maybe_readahead(blkno)?;
         Ok(buf)
+    }
+
+    /// Sequential readahead: prefetch the blocks that are about to be
+    /// asked for, while the "head" is in the neighbourhood. A block
+    /// continues whichever stream it extends; otherwise it starts a new
+    /// stream in a round-robin slot. The prefetch run is issued as one
+    /// vectored [`BlockDevice::read_blocks`] extent.
+    fn maybe_readahead(&self, blkno: u64) -> KResult<()> {
+        let depth = self.readahead.load(Ordering::Relaxed);
+        let sequential = {
+            let mut ra = self.ra.lock();
+            match ra
+                .stream_cursors
+                .iter()
+                .position(|&c| c != u64::MAX && blkno == c + 1)
+            {
+                Some(slot) => {
+                    ra.stream_cursors[slot] = blkno;
+                    true
+                }
+                None => {
+                    let slot = ra.cursor_clock;
+                    ra.cursor_clock = (ra.cursor_clock + 1) % ra.stream_cursors.len();
+                    ra.stream_cursors[slot] = blkno;
+                    false
+                }
+            }
+        };
+        if !sequential || depth == 0 {
+            return Ok(());
+        }
+        // The run ends at device end or the first already-cached block.
+        let mut count = 0usize;
+        for ahead in 0..depth as u64 {
+            let next = blkno + 1 + ahead;
+            if next >= self.dev.num_blocks() {
+                break;
+            }
+            let idx = self.shard_of(next);
+            if self.shards[idx].read().map.contains_key(&next) {
+                break;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let bs = self.dev.block_size();
+        let mut data = vec![0u8; count * bs];
+        if self.dev.read_blocks(blkno + 1, count, &mut data).is_err() {
+            return Ok(()); // prefetch is best-effort
+        }
+        for (i, chunk) in data.chunks(bs).enumerate() {
+            let next = blkno + 1 + i as u64;
+            let idx = self.shard_of(next);
+            let mut shard = self.shards[idx].write();
+            if shard.map.contains_key(&next) {
+                continue;
+            }
+            let pre = self.new_buffer(
+                next,
+                chunk.to_vec(),
+                BufferState::EMPTY
+                    .with(BhFlag::Uptodate)
+                    .with(BhFlag::Mapped)
+                    .with(BhFlag::Req),
+            );
+            shard.map.insert(next, pre);
+            self.stats[idx].readaheads.fetch_add(1, Ordering::Relaxed);
+            self.shrink(idx, &mut shard)?;
+        }
+        Ok(())
     }
 
     /// Gets a buffer for `blkno` without reading the device (`getblk`):
     /// contents are zeroed and the buffer is `Mapped | New`, not `Uptodate`.
     pub fn getblk(&self, blkno: u64) -> KResult<Arc<Buffer>> {
-        let mut inner = self.inner.lock();
-        if let Some(buf) = inner.map.get(&blkno).cloned() {
-            inner.stats.hits += 1;
-            Self::touch(&mut inner, blkno);
+        let idx = self.shard_of(blkno);
+        if let Some(buf) = self.shards[idx].read().map.get(&blkno).cloned() {
+            self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&buf);
             return Ok(buf);
         }
-        inner.stats.misses += 1;
-        let buf = Arc::new(Buffer {
+        let mut shard = self.shards[idx].write();
+        if let Some(buf) = shard.map.get(&blkno).cloned() {
+            self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&buf);
+            return Ok(buf);
+        }
+        self.stats[idx].misses.fetch_add(1, Ordering::Relaxed);
+        let buf = self.new_buffer(
             blkno,
-            head: Mutex::new(BufferHead {
-                blkno,
-                data: vec![0u8; self.dev.block_size()],
-                state: BufferState::EMPTY.with(BhFlag::Mapped).with(BhFlag::New),
-            }),
-        });
-        inner.map.insert(blkno, Arc::clone(&buf));
-        Self::touch(&mut inner, blkno);
-        self.shrink(&mut inner)?;
+            vec![0u8; self.dev.block_size()],
+            BufferState::EMPTY.with(BhFlag::Mapped).with(BhFlag::New),
+        );
+        shard.map.insert(blkno, Arc::clone(&buf));
+        self.shrink(idx, &mut shard)?;
         Ok(buf)
     }
 
     /// Writes back one block if it is cached and dirty.
     pub fn sync_block(&self, blkno: u64) -> KResult<()> {
-        let mut inner = self.inner.lock();
-        if let Some(buf) = inner.map.get(&blkno).cloned() {
-            if buf.test_flag(BhFlag::Dirty) {
-                self.writeback(&buf, &mut inner)?;
+        let idx = self.shard_of(blkno);
+        let buf = self.shards[idx].read().map.get(&blkno).cloned();
+        if let Some(buf) = buf {
+            if buf.test_flag(BhFlag::Dirty) && !buf.test_flag(BhFlag::Delay) {
+                self.writeback(idx, &buf)?;
             }
         }
         Ok(())
     }
 
     /// Writes back every dirty buffer (ascending block order, for
-    /// determinism) and issues a device flush barrier.
+    /// determinism) and issues a device flush barrier. Adjacent dirty
+    /// blocks coalesce into vectored [`BlockDevice::write_blocks`]
+    /// extents, charging one seek per run instead of one per block.
     pub fn sync_all(&self) -> KResult<()> {
-        let mut inner = self.inner.lock();
-        let mut dirty: Vec<Arc<Buffer>> = inner
-            .map
-            .values()
-            .filter(|b| b.test_flag(BhFlag::Dirty))
-            .cloned()
-            .collect();
-        dirty.sort_by_key(|b| b.blkno());
-        for buf in dirty {
-            self.writeback(&buf, &mut inner)?;
+        let mut dirty: Vec<Arc<Buffer>> = Vec::new();
+        for shard in &self.shards {
+            dirty.extend(
+                shard
+                    .read()
+                    .map
+                    .values()
+                    // Delay-pinned buffers wait for their journal record
+                    // to become durable before any home write.
+                    .filter(|b| b.test_flag(BhFlag::Dirty) && !b.test_flag(BhFlag::Delay))
+                    .cloned(),
+            );
         }
-        drop(inner);
+        dirty.sort_by_key(|b| b.blkno());
+        let mut run: Vec<Arc<Buffer>> = Vec::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i <= dirty.len() {
+            let extends = i < dirty.len()
+                && match run.last() {
+                    Some(prev) => dirty[i].blkno() == prev.blkno() + 1,
+                    None => true,
+                };
+            if extends {
+                // Snapshot under the buffer lock, transferring dirtiness
+                // to the in-flight extent (see `writeback`).
+                let buf = &dirty[i];
+                let mut h = buf.head.lock();
+                h.state = h
+                    .state
+                    .with(BhFlag::Lock)
+                    .with(BhFlag::AsyncWrite)
+                    .without(BhFlag::Dirty);
+                payload.extend_from_slice(&h.data);
+                drop(h);
+                run.push(Arc::clone(buf));
+                i += 1;
+                continue;
+            }
+            if !run.is_empty() {
+                let start = run[0].blkno();
+                let res = self.dev.write_blocks(start, run.len(), &payload);
+                for (j, buf) in run.iter().enumerate() {
+                    let mut h = buf.head.lock();
+                    h.state = h.state.without(BhFlag::AsyncWrite).without(BhFlag::Lock);
+                    match &res {
+                        Ok(()) => {
+                            h.state = h.state.with(BhFlag::Req);
+                            drop(h);
+                            let idx = self.shard_of(start + j as u64);
+                            self.stats[idx].writebacks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            h.state = h.state.with(BhFlag::WriteEio).with(BhFlag::Dirty);
+                        }
+                    }
+                }
+                res?;
+                run.clear();
+                payload.clear();
+            }
+            if i >= dirty.len() {
+                break;
+            }
+        }
         self.dev.flush()
     }
 
     /// Drops every cached buffer without writeback (used after a simulated
     /// crash, when cached state is by definition lost).
     pub fn invalidate(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.lru.clear();
+        for shard in &self.shards {
+            shard.write().map.clear();
+        }
     }
 
     /// Number of buffers currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.read().map.len()).sum()
     }
 
     /// True if the cache holds no buffers.
@@ -499,20 +701,38 @@ impl BufferCache {
         self.len() == 0
     }
 
-    /// Snapshot of cache statistics.
+    /// Snapshot of cache statistics, summed over shards.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let mut total = CacheStats::default();
+        for s in &self.stats {
+            let snap = s.snapshot();
+            total.hits += snap.hits;
+            total.misses += snap.misses;
+            total.writebacks += snap.writebacks;
+            total.evictions += snap.evictions;
+            total.readaheads += snap.readaheads;
+        }
+        total
+    }
+
+    /// Per-shard statistics snapshots (for the striping ablation).
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.stats.iter().map(|s| s.snapshot()).collect()
     }
 
     /// Validates the flag state of every cached buffer, returning the block
     /// numbers (with violations) that fail.
     pub fn validate_all(&self) -> Vec<(u64, FlagViolation)> {
-        let inner = self.inner.lock();
-        let mut bad: Vec<(u64, FlagViolation)> = inner
-            .map
-            .values()
-            .filter_map(|b| b.validate().err().map(|v| (b.blkno(), v)))
-            .collect();
+        let mut bad: Vec<(u64, FlagViolation)> = Vec::new();
+        for shard in &self.shards {
+            bad.extend(
+                shard
+                    .read()
+                    .map
+                    .values()
+                    .filter_map(|b| b.validate().err().map(|v| (b.blkno(), v))),
+            );
+        }
         bad.sort_by_key(|&(b, _)| b);
         bad
     }
@@ -571,7 +791,8 @@ mod tests {
 
     #[test]
     fn eviction_respects_capacity_and_writes_back_dirty() {
-        let c = cache(16, 2);
+        // Single shard reproduces the global-LRU eviction order exactly.
+        let c = BufferCache::with_shards(Arc::new(RamDisk::new(16)), 2, 1);
         for i in 0..4u64 {
             let b = c.bread(i).unwrap();
             b.write(|d| d[0] = i as u8);
@@ -585,6 +806,28 @@ mod tests {
         assert_eq!(out[0], 0);
         c.device().read_block(1, &mut out).unwrap();
         assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn sharded_eviction_writes_back_dirty() {
+        // With striping, which blocks evict is hash-dependent; what must
+        // hold is that every dirty buffer's data is either still cached
+        // or already on the device.
+        let c = cache(64, 4);
+        assert!(c.shard_count() > 1);
+        for i in 0..16u64 {
+            let b = c.bread(i).unwrap();
+            b.write(|d| d[0] = 0x40 + i as u8);
+            drop(b);
+        }
+        assert!(c.len() <= 8, "len {} exceeds total capacity", c.len());
+        assert!(c.stats().evictions >= 8);
+        c.sync_all().unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for i in 0..16u64 {
+            c.device().read_block(i, &mut out).unwrap();
+            assert_eq!(out[0], 0x40 + i as u8, "block {i} lost its write");
+        }
     }
 
     #[test]

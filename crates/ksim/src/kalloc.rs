@@ -135,10 +135,10 @@ impl Arena {
         }
     }
 
-    fn locate<'a>(
-        inner: &'a ArenaInner,
+    fn locate(
+        inner: &ArenaInner,
         r: ObjRef,
-    ) -> Result<&'a (TypeId, &'static str, Box<dyn Any + Send>), AccessError> {
+    ) -> Result<&(TypeId, &'static str, Box<dyn Any + Send>), AccessError> {
         if r.is_null() {
             return Err(AccessError::NullDeref);
         }
@@ -160,7 +160,9 @@ impl Arena {
             return Err(AccessError::TypeConfusion { actual: name });
         }
         // The downcast cannot fail after the TypeId check.
-        Ok(f(boxed.downcast_ref::<T>().expect("TypeId already checked")))
+        Ok(f(boxed
+            .downcast_ref::<T>()
+            .expect("TypeId already checked")))
     }
 
     /// Runs `f` over an exclusive view of the object.
@@ -184,7 +186,9 @@ impl Arena {
         if *tid != TypeId::of::<T>() {
             return Err(AccessError::TypeConfusion { actual: name });
         }
-        Ok(f(boxed.downcast_mut::<T>().expect("TypeId already checked")))
+        Ok(f(boxed
+            .downcast_mut::<T>()
+            .expect("TypeId already checked")))
     }
 
     /// Returns the stored type name of a live object (the "hidden tag").
@@ -285,7 +289,10 @@ mod tests {
         a.free(r1).unwrap();
         let r2 = a.insert(2u8);
         // Same slot, new generation: r1 is stale, r2 valid.
-        assert_eq!(a.with(r1, |_: &u8| ()).unwrap_err(), AccessError::UseAfterFree);
+        assert_eq!(
+            a.with(r1, |_: &u8| ()).unwrap_err(),
+            AccessError::UseAfterFree
+        );
         assert_eq!(a.with(r2, |v: &u8| *v).unwrap(), 2);
     }
 

@@ -8,8 +8,8 @@
 //! simulated-clock deadline and run, in order, when [`WorkQueue::pump`] is
 //! called — no threads, no nondeterminism, same semantics.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -132,6 +132,10 @@ impl WorkQueue {
     }
 }
 
+/// A deferred maintenance callback run by the [`Flusher`] each pass —
+/// e.g. draining a journal's checkpoint backlog before cache writeback.
+pub type FlushHook = Box<dyn Fn() -> KResult<()> + Send + Sync>;
+
 /// The writeback daemon: periodically flushes the buffer cache through a
 /// work queue, rescheduling itself — the substrate's `pdflush`.
 pub struct Flusher {
@@ -139,6 +143,7 @@ pub struct Flusher {
     wq: Arc<WorkQueue>,
     interval_ns: u64,
     flushes: AtomicU64,
+    hooks: Mutex<Vec<FlushHook>>,
 }
 
 impl Flusher {
@@ -149,7 +154,15 @@ impl Flusher {
             wq,
             interval_ns,
             flushes: AtomicU64::new(0),
+            hooks: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Registers a hook that runs at the start of every flush pass (the
+    /// journal's deferred-checkpoint drain rides the writeback daemon this
+    /// way, like jbd2's kjournald riding behind the flusher threads).
+    pub fn add_hook(&self, hook: impl Fn() -> KResult<()> + Send + Sync + 'static) {
+        self.hooks.lock().push(Box::new(hook));
     }
 
     /// Arms the first wakeup.
@@ -166,10 +179,21 @@ impl Flusher {
             .queue_delayed("flusher", self.interval_ns, move || me.run_once());
     }
 
-    /// Flushes immediately (also used by sync paths).
+    /// Flushes immediately (also used by sync paths). Hooks run first so
+    /// journal checkpoints release their Delay pins before writeback
+    /// collects the dirty set; the first error wins but writeback still
+    /// runs.
     pub fn flush_now(&self) -> KResult<()> {
         self.flushes.fetch_add(1, Ordering::Relaxed);
-        self.cache.sync_all()
+        let mut first_err = Ok(());
+        for hook in self.hooks.lock().iter() {
+            let res = hook();
+            if first_err.is_ok() {
+                first_err = res;
+            }
+        }
+        self.cache.sync_all()?;
+        first_err
     }
 
     /// Number of writeback passes performed.
@@ -247,6 +271,28 @@ mod tests {
         assert_eq!(wq.pump(), 2, "chained item ran in the same pump");
         assert_eq!(counter.load(Ordering::Relaxed), 11);
         assert_eq!(wq.stats().executed, 2);
+    }
+
+    #[test]
+    fn flush_hooks_run_before_writeback_and_errors_surface() {
+        let clock = Arc::new(SimClock::new());
+        let dev = Arc::new(RamDisk::with_geometry(16, BLOCK_SIZE, Arc::clone(&clock)));
+        let cache = Arc::new(BufferCache::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            8,
+        ));
+        let wq = WorkQueue::new(Arc::clone(&clock));
+        let flusher = Flusher::new(Arc::clone(&cache), Arc::clone(&wq), 1_000);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        flusher.add_hook(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        flusher.add_hook(|| Err(crate::errno::Errno::EIO));
+        assert_eq!(flusher.flush_now(), Err(crate::errno::Errno::EIO));
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "earlier hooks still ran");
+        assert_eq!(flusher.flush_count(), 1);
     }
 
     #[test]

@@ -74,7 +74,8 @@ impl LegacyCtx {
         let violations = self.locks.violations();
         let n = violations.len();
         for v in violations {
-            self.ledger.record(BugClass::DataRace, site, format!("{v:?}"));
+            self.ledger
+                .record(BugClass::DataRace, site, format!("{v:?}"));
         }
         self.locks.clear_violations();
         n

@@ -43,7 +43,7 @@ impl ErrPtr {
 
     /// `IS_ERR()`: true if this word encodes an error.
     pub fn is_err(self) -> bool {
-        self.0 >= u64::MAX - MAX_ERRNO + 1
+        self.0 > u64::MAX - MAX_ERRNO
     }
 
     /// `PTR_ERR()`: decodes the errno. Only meaningful when

@@ -103,7 +103,11 @@ impl BugLedger {
 
     /// Number of events of `class`.
     pub fn count(&self, class: BugClass) -> usize {
-        self.events.lock().iter().filter(|e| e.class == class).count()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.class == class)
+            .count()
     }
 
     /// Total number of events.

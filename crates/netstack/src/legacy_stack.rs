@@ -228,9 +228,11 @@ impl LegacyStack {
             let now = self.clock.now_ns();
             if let Some(fin) = self
                 .ctx
-                .vp_cast_mut(sock.sk_protinfo, "legacy_stack::close", |pcb: &mut TcpPcb| {
-                    pcb.close(now)
-                })
+                .vp_cast_mut(
+                    sock.sk_protinfo,
+                    "legacy_stack::close",
+                    |pcb: &mut TcpPcb| pcb.close(now),
+                )
                 .flatten()
             {
                 self.wire.send(self.side, &fin);
@@ -395,7 +397,12 @@ mod tests {
     fn pair() -> (LegacyStack, LegacyStack) {
         let wire = Arc::new(Wire::new());
         let clock = Arc::new(SimClock::new());
-        let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+        let a = LegacyStack::new(
+            LegacyCtx::new(),
+            Side::A,
+            Arc::clone(&wire),
+            Arc::clone(&clock),
+        );
         let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock);
         (a, b)
     }
@@ -454,7 +461,7 @@ mod tests {
         let (a, _b) = pair();
         let s = a.socket(proto::UDP, 1000).unwrap();
         // The §4.1 coupling: generic poll casts protinfo to TcpPcb.
-        assert_eq!(a.poll(s).unwrap(), false, "bug manifests as bogus result");
+        assert!(!a.poll(s).unwrap(), "bug manifests as bogus result");
         assert_eq!(a.ctx().ledger.count(BugClass::TypeConfusion), 1);
     }
 
@@ -486,7 +493,12 @@ mod tests {
             42,
         ));
         let clock = Arc::new(SimClock::new());
-        let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+        let a = LegacyStack::new(
+            LegacyCtx::new(),
+            Side::A,
+            Arc::clone(&wire),
+            Arc::clone(&clock),
+        );
         let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, Arc::clone(&clock));
         let server = b.socket(proto::TCP, 80).unwrap();
         b.listen(server).unwrap();

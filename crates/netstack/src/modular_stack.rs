@@ -261,11 +261,7 @@ impl ModularStack {
         Ok(fd)
     }
 
-    fn with_sock<R>(
-        &self,
-        fd: u64,
-        f: impl FnOnce(&mut Box<dyn ProtoSocket>) -> R,
-    ) -> KResult<R> {
+    fn with_sock<R>(&self, fd: u64, f: impl FnOnce(&mut Box<dyn ProtoSocket>) -> R) -> KResult<R> {
         let mut socks = self.sockets.lock();
         socks.get_mut(&fd).map(f).ok_or(Errno::EBADF)
     }
@@ -350,7 +346,10 @@ impl ModularStack {
                     .map(|(&fd, _)| fd)
             });
             if let Some(fd) = chosen {
-                let responses = socks.get_mut(&fd).expect("fd just found").on_packet(&pkt, now);
+                let responses = socks
+                    .get_mut(&fd)
+                    .expect("fd just found")
+                    .on_packet(&pkt, now);
                 drop(socks);
                 self.transmit(responses);
             }

@@ -401,7 +401,7 @@ mod tests {
         // fits one segment, so send two separate chunks instead.
         assert_eq!(segs.len(), 1);
         let seg1 = segs.remove(0);
-        let seg2 = a.send(&vec![3u8; 50], 1).remove(0);
+        let seg2 = a.send(&[3u8; 50], 1).remove(0);
         b.on_packet(&seg2, 1);
         assert_eq!(b.available(), 0, "gap: nothing delivered yet");
         b.on_packet(&seg1, 1);

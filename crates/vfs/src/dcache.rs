@@ -1,14 +1,22 @@
 //! Dentry cache: memoizes `lookup(dir, name) → ino` during path walks.
 //!
-//! Bounded LRU keyed by `(directory inode, component name)`. The path layer
-//! invalidates entries on unlink/rmdir/rename; a stale dcache is itself a
-//! classic kernel bug source, so the tests pin the invalidation behaviour.
+//! Lock-striped bounded LRU keyed by `(directory inode, component name)`:
+//! entries hash to one of N independently locked shards, so concurrent
+//! path walks over different dentries never serialize on one mutex (the
+//! same reason Linux moved the dcache to per-bucket locks). The path
+//! layer invalidates entries on unlink/rmdir/rename; a stale dcache is
+//! itself a classic kernel bug source, so the tests pin the invalidation
+//! behaviour.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use parking_lot::Mutex;
 
 use crate::inode::InodeNo;
+
+/// Default shard count; matches the buffer cache's striping.
+const DEFAULT_SHARDS: usize = 8;
 
 /// Cache statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -23,34 +31,52 @@ pub struct DcacheStats {
     pub invalidations: u64,
 }
 
+#[derive(Default)]
 struct Inner {
     map: HashMap<(InodeNo, String), InodeNo>,
     lru: Vec<(InodeNo, String)>,
     stats: DcacheStats,
 }
 
-/// A bounded dentry cache.
+/// A bounded, lock-striped dentry cache.
 pub struct Dcache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Vec<Mutex<Inner>>,
+    per_shard_cap: usize,
 }
 
 impl Dcache {
-    /// Creates a cache holding at most `capacity` entries.
+    /// Creates a cache holding at most `capacity` entries, striped over
+    /// the default shard count.
     pub fn new(capacity: usize) -> Self {
+        Dcache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache with an explicit shard count (1 reproduces the
+    /// single-lock global LRU exactly; tests use it for determinism).
+    pub fn with_shards(capacity: usize, nshards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let nshards = nshards.clamp(1, capacity);
         Dcache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                lru: Vec::new(),
-                stats: DcacheStats::default(),
-            }),
-            capacity: capacity.max(1),
+            shards: (0..nshards).map(|_| Mutex::new(Inner::default())).collect(),
+            per_shard_cap: (capacity / nshards).max(1),
         }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, dir: InodeNo, name: &str) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        dir.hash(&mut h);
+        name.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
     }
 
     /// Looks up a cached entry, refreshing its recency.
     pub fn get(&self, dir: InodeNo, name: &str) -> Option<InodeNo> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[self.shard_of(dir, name)].lock();
         let key = (dir, name.to_string());
         if let Some(&ino) = inner.map.get(&key) {
             inner.stats.hits += 1;
@@ -65,13 +91,13 @@ impl Dcache {
         }
     }
 
-    /// Inserts an entry, evicting the least-recent when full.
+    /// Inserts an entry, evicting the shard's least-recent when full.
     pub fn insert(&self, dir: InodeNo, name: &str, ino: InodeNo) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[self.shard_of(dir, name)].lock();
         let key = (dir, name.to_string());
         if inner.map.insert(key.clone(), ino).is_none() {
             inner.lru.push(key);
-            if inner.map.len() > self.capacity {
+            if inner.map.len() > self.per_shard_cap {
                 let victim = inner.lru.remove(0);
                 inner.map.remove(&victim);
                 inner.stats.evictions += 1;
@@ -84,7 +110,7 @@ impl Dcache {
 
     /// Drops one entry (on unlink/rmdir/rename of that name).
     pub fn invalidate(&self, dir: InodeNo, name: &str) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shards[self.shard_of(dir, name)].lock();
         let key = (dir, name.to_string());
         if inner.map.remove(&key).is_some() {
             if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
@@ -95,41 +121,54 @@ impl Dcache {
     }
 
     /// Drops every entry under directory `dir` (on rmdir of `dir` or a
-    /// rename that moves it).
+    /// rename that moves it). Entries of one directory spread across
+    /// shards, so every stripe is visited.
     pub fn invalidate_dir(&self, dir: InodeNo) {
-        let mut inner = self.inner.lock();
-        let victims: Vec<(InodeNo, String)> = inner
-            .map
-            .keys()
-            .filter(|(d, _)| *d == dir)
-            .cloned()
-            .collect();
-        for key in victims {
-            inner.map.remove(&key);
-            if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
-                inner.lru.remove(pos);
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let victims: Vec<(InodeNo, String)> = inner
+                .map
+                .keys()
+                .filter(|(d, _)| *d == dir)
+                .cloned()
+                .collect();
+            for key in victims {
+                inner.map.remove(&key);
+                if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                    inner.lru.remove(pos);
+                }
+                inner.stats.invalidations += 1;
             }
-            inner.stats.invalidations += 1;
         }
     }
 
     /// Drops everything.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        let n = inner.map.len() as u64;
-        inner.map.clear();
-        inner.lru.clear();
-        inner.stats.invalidations += n;
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let n = inner.map.len() as u64;
+            inner.map.clear();
+            inner.lru.clear();
+            inner.stats.invalidations += n;
+        }
     }
 
-    /// Snapshot of the statistics.
+    /// Snapshot of the statistics, aggregated over all shards.
     pub fn stats(&self) -> DcacheStats {
-        self.inner.lock().stats
+        let mut total = DcacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.invalidations += s.invalidations;
+        }
+        total
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True if the cache is empty.
@@ -154,7 +193,8 @@ mod tests {
 
     #[test]
     fn capacity_evicts_least_recent() {
-        let d = Dcache::new(2);
+        // One shard: the per-shard LRU is the global LRU.
+        let d = Dcache::with_shards(2, 1);
         d.insert(1, "a", 10);
         d.insert(1, "b", 11);
         d.get(1, "a"); // refresh a
@@ -163,6 +203,23 @@ mod tests {
         assert_eq!(d.get(1, "b"), None);
         assert_eq!(d.get(1, "c"), Some(12));
         assert_eq!(d.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sharded_capacity_stays_bounded() {
+        let d = Dcache::new(16);
+        for i in 0..200u64 {
+            d.insert(1, &format!("n{i}"), i);
+        }
+        assert!(d.len() <= 16, "len {} exceeds capacity", d.len());
+        assert!(d.stats().evictions >= 184);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_capacity() {
+        assert_eq!(Dcache::new(2).shard_count(), 2);
+        assert_eq!(Dcache::with_shards(64, 4).shard_count(), 4);
+        assert_eq!(Dcache::with_shards(8, 0).shard_count(), 1);
     }
 
     #[test]
@@ -213,5 +270,28 @@ mod tests {
         d.insert(1, "a", 10);
         d.clear();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn concurrent_walks_hit_distinct_shards() {
+        use std::sync::Arc;
+        let d = Arc::new(Dcache::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let name = format!("t{t}-n{i}");
+                    d.insert(t, &name, i);
+                    assert_eq!(d.get(t, &name), Some(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = d.stats();
+        assert_eq!(s.hits, 1600);
+        assert!(d.len() <= 1024);
     }
 }

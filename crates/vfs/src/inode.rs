@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(matches!(
             v[0],
-            Violation::UnlockedFieldAccess { lock: "i_lock", field: "i_size" }
+            Violation::UnlockedFieldAccess {
+                lock: "i_lock",
+                field: "i_size"
+            }
         ));
     }
 

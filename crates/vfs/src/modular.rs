@@ -118,13 +118,8 @@ pub trait FileSystem: Send + Sync {
 
     /// Moves `oldname` in `olddir` to `newname` in `newdir`, replacing any
     /// existing regular file at the destination.
-    fn rename(
-        &self,
-        olddir: InodeNo,
-        oldname: &str,
-        newdir: InodeNo,
-        newname: &str,
-    ) -> KResult<()>;
+    fn rename(&self, olddir: InodeNo, oldname: &str, newdir: InodeNo, newname: &str)
+        -> KResult<()>;
 
     /// Sets the size of `ino` (zero-filling on extension).
     fn truncate(&self, ino: InodeNo, size: u64) -> KResult<()>;

@@ -245,14 +245,7 @@ impl Vfs {
             return Err(Errno::EISDIR);
         }
         let fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
-        self.fds.lock().insert(
-            fd,
-            OpenFile {
-                ino,
-                pos: 0,
-                flags,
-            },
-        );
+        self.fds.lock().insert(fd, OpenFile { ino, pos: 0, flags });
         Ok(fd)
     }
 
@@ -305,11 +298,7 @@ impl Vfs {
 
     /// Closes a descriptor.
     pub fn close(&self, fd: Fd) -> KResult<()> {
-        self.fds
-            .lock()
-            .remove(&fd)
-            .map(|_| ())
-            .ok_or(Errno::EBADF)
+        self.fds.lock().remove(&fd).map(|_| ()).ok_or(Errno::EBADF)
     }
 }
 

@@ -120,7 +120,9 @@ impl FileSystem for LegacyFsAdapter {
             .boundary
             .cross(|| begin(&self.ctx, ino, off, data.len()))
             .check()?;
-        let r = self.boundary.cross(|| end(&self.ctx, ino, off, data, fsdata));
+        let r = self
+            .boundary
+            .cross(|| end(&self.ctx, ino, off, data, fsdata));
         ret_check(r).map(|n| n as usize)
     }
 
@@ -202,9 +204,11 @@ pub fn export_legacy(fs: Arc<dyn FileSystem>, _ctx: &LegacyCtx) -> LegacyFsOps {
     }));
 
     let f = Arc::clone(&fs);
-    ops.read = Some(Box::new(move |_, ino, off, buf| match f.read(ino, off, buf) {
-        Ok(n) => ret_ok(n as u64),
-        Err(e) => ret_err(e),
+    ops.read = Some(Box::new(move |_, ino, off, buf| {
+        match f.read(ino, off, buf) {
+            Ok(n) => ret_ok(n as u64),
+            Err(e) => ret_err(e),
+        }
     }));
 
     // The safe side has no fsdata to smuggle; the shim gives legacy callers

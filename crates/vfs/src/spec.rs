@@ -375,11 +375,16 @@ mod tests {
 
     fn setup() -> FsModel {
         FsModel::new()
-            .mkdir("/a").unwrap()
-            .mkdir("/a/b").unwrap()
-            .create("/a/f").unwrap()
-            .write("/a/f", 0, b"hello").unwrap()
-            .create("/a/b/g").unwrap()
+            .mkdir("/a")
+            .unwrap()
+            .mkdir("/a/b")
+            .unwrap()
+            .create("/a/f")
+            .unwrap()
+            .write("/a/f", 0, b"hello")
+            .unwrap()
+            .create("/a/b/g")
+            .unwrap()
     }
 
     #[test]

@@ -16,10 +16,22 @@ fn main() {
     let ds = Dataset::build();
     let s = categorize(&ds);
     let (ty, fun, other) = s.percentages();
-    println!("== retrospective categorization of {} CVEs (2010-2020) ==", s.total);
-    println!("  type + ownership safety : {:>4} ({ty:.1}%; paper ~42%)", s.type_ownership);
-    println!("  functional correctness  : {:>4} ({fun:.1}%; paper ~35%)", s.functional);
-    println!("  other causes            : {:>4} ({other:.1}%; paper ~23%)", s.other);
+    println!(
+        "== retrospective categorization of {} CVEs (2010-2020) ==",
+        s.total
+    );
+    println!(
+        "  type + ownership safety : {:>4} ({ty:.1}%; paper ~42%)",
+        s.type_ownership
+    );
+    println!(
+        "  functional correctness  : {:>4} ({fun:.1}%; paper ~35%)",
+        s.functional
+    );
+    println!(
+        "  other causes            : {:>4} ({other:.1}%; paper ~23%)",
+        s.other
+    );
 
     // Half 2: the same split measured by actually running each bug class
     // through the roadmap pipelines.
@@ -35,7 +47,11 @@ fn main() {
             r.name,
             r.cwe,
             r.measured,
-            if r.measured == r.expected { "" } else { "  (MISMATCH)" }
+            if r.measured == r.expected {
+                ""
+            } else {
+                "  (MISMATCH)"
+            }
         );
     }
     let (ty, fun, other) = report.percentages();

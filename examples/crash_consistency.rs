@@ -82,8 +82,12 @@ fn main() {
         pre_model.files.keys().collect::<Vec<_>>()
     );
 
-    // The operation under test: an overwrite that must be atomic.
+    // The operation under test: an overwrite that must be atomic,
+    // followed by the sync that checkpoints the journaled record home
+    // (checkpointing is deferred, so the home-block writes only happen
+    // here — the claim is "recovers to the last *synced* version").
     fs.write(f, 0, b"balance=042").expect("write");
+    fs.sync().expect("sync");
     let post_model = fs.abstraction();
     let intervals = tap.intervals.lock().clone();
     let total_writes: usize = intervals.iter().map(|i| i.len()).sum();
@@ -140,7 +144,10 @@ fn main() {
         println!("  {failure}");
     }
     assert!(report.is_clean());
-    assert!(report.images_checked > 5, "the enumeration must be nontrivial");
+    assert!(
+        report.images_checked > 5,
+        "the enumeration must be nontrivial"
+    );
     println!(
         "journal stats: {:?}",
         fs.journal().expect("journaled").stats()

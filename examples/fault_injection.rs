@@ -61,7 +61,22 @@ fn main() {
     let dev: Arc<dyn BlockDevice> = Arc::clone(&axio) as Arc<dyn BlockDevice>;
     Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
     match Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp) {
-        Ok(fs) => workload(&fs),
+        Ok(fs) => {
+            workload(&fs);
+            // Corruption is only observable at read-back, and the cache
+            // (plus deferred checkpointing) satisfies the workload's reads
+            // from memory. Push everything home, drop the cache, and read
+            // it again from the rotten medium.
+            let _ = fs.sync();
+            fs.cache().invalidate();
+            let root = fs.root_ino();
+            for i in 0..8 {
+                if let Ok(ino) = fs.lookup(root, &format!("f{i}")) {
+                    let mut buf = vec![0u8; 6000];
+                    let _ = fs.read(ino, 0, &mut buf);
+                }
+            }
+        }
         Err(e) => println!("mount already failed: {e} (rot hit the superblock)"),
     }
     let violations = axio.violations();
@@ -80,6 +95,7 @@ fn main() {
     Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
     let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).expect("mount");
     fs.create(fs.root_ino(), "survivor").expect("create");
+    fs.sync().expect("sync"); // Checkpoint, so the txn is retired on disk.
     drop(fs);
     let jstart = 2048 - 64;
     // Rewind the journal superblock so recovery reconsiders the last txn...
@@ -87,10 +103,12 @@ fn main() {
     dev.read_block(jstart, &mut jsb).expect("read jsb");
     let seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
     jsb[4..12].copy_from_slice(&(seq - 1).to_le_bytes());
+    jsb[12..20].copy_from_slice(&0u64.to_le_bytes());
     ram.write_block(jstart, &jsb).expect("rewind");
     // ...and tear the journaled payload (half old, half new — a torn write).
     let mut payload = vec![0u8; BLOCK_SIZE];
-    ram.read_block(jstart + 2, &mut payload).expect("read payload");
+    ram.read_block(jstart + 2, &mut payload)
+        .expect("read payload");
     payload[BLOCK_SIZE / 2..].fill(0xFF);
     ram.write_block(jstart + 2, &payload).expect("tear");
     let outcome = Journal::recover(&dev, jstart, 64).expect("recover");

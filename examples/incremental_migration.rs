@@ -50,15 +50,18 @@ fn main() {
     let legacy_dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096));
     Cext4::mkfs(&legacy_dev, 256).expect("mkfs");
     let ctx = LegacyCtx::new();
-    let cext4 = Arc::new(
-        Cext4::mount(legacy_dev, ctx.clone(), Arc::new(BugKnobs::none())).expect("mount"),
-    );
+    let cext4 =
+        Arc::new(Cext4::mount(legacy_dev, ctx.clone(), Arc::new(BugKnobs::none())).expect("mount"));
     let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(cext4)), ctx.clone());
 
     // Step 1: register it; the VFS subscribes to the *interface*.
     let registry = Registry::new();
     registry
-        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::new(adapter) as Arc<dyn FileSystem>)
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "cext4",
+            Arc::new(adapter) as Arc<dyn FileSystem>,
+        )
         .expect("register");
     let vfs = Vfs::mount(&registry).expect("vfs");
     println!("phase 1: serving from '{}'", vfs.fs_handle().impl_name());
@@ -67,7 +70,11 @@ fn main() {
     let roadmap = Roadmap::new();
     roadmap.track(FS_INTERFACE, "cext4");
     roadmap
-        .certify(FS_INTERFACE, SafetyLevel::Modular, "reached through the legacy shim")
+        .certify(
+            FS_INTERFACE,
+            SafetyLevel::Modular,
+            "reached through the legacy shim",
+        )
         .expect("certify");
     println!(
         "roadmap: {} is '{}'",
@@ -79,7 +86,8 @@ fn main() {
     vfs.mkdir("/home").expect("mkdir");
     for user in ["alice", "bob"] {
         vfs.mkdir(&format!("/home/{user}")).expect("mkdir");
-        vfs.create(&format!("/home/{user}/notes.txt")).expect("create");
+        vfs.create(&format!("/home/{user}/notes.txt"))
+            .expect("create");
         vfs.write_file(
             &format!("/home/{user}/notes.txt"),
             0,
@@ -118,7 +126,10 @@ fn main() {
     // cache is cleared because inode numbers changed underneath.
     vfs.dcache().clear();
     let alice = vfs.read_file("/home/alice/notes.txt").expect("read");
-    print!("phase 2 read (via rsfs): {}", String::from_utf8_lossy(&alice));
+    print!(
+        "phase 2 read (via rsfs): {}",
+        String::from_utf8_lossy(&alice)
+    );
     vfs.create("/home/alice/new-on-rsfs.txt").expect("create");
     vfs.write_file("/home/alice/new-on-rsfs.txt", 0, b"journaled now\n")
         .expect("write");
@@ -132,7 +143,11 @@ fn main() {
     // new implementation re-earns its levels with its evidence.
     roadmap.replaced(FS_INTERFACE, "rsfs").expect("replaced");
     roadmap
-        .certify(FS_INTERFACE, SafetyLevel::TypeSafe, "no void*/ERR_PTR in the interface")
+        .certify(
+            FS_INTERFACE,
+            SafetyLevel::TypeSafe,
+            "no void*/ERR_PTR in the interface",
+        )
         .expect("certify");
     roadmap
         .certify(

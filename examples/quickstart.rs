@@ -35,8 +35,12 @@ fn main() {
     // 3. Ordinary file work, by path.
     vfs.mkdir("/etc").expect("mkdir");
     vfs.create("/etc/motd").expect("create");
-    vfs.write_file("/etc/motd", 0, b"an incremental path towards a safer OS kernel\n")
-        .expect("write");
+    vfs.write_file(
+        "/etc/motd",
+        0,
+        b"an incremental path towards a safer OS kernel\n",
+    )
+    .expect("write");
     let motd = vfs.read_file("/etc/motd").expect("read");
     print!("/etc/motd: {}", String::from_utf8_lossy(&motd));
 
@@ -44,7 +48,10 @@ fn main() {
     let fd = vfs.open("/etc/motd").expect("open");
     let mut buf = [0u8; 14];
     let n = vfs.read(fd, &mut buf).expect("read");
-    println!("first {n} bytes via fd: {:?}", String::from_utf8_lossy(&buf[..n]));
+    println!(
+        "first {n} bytes via fd: {:?}",
+        String::from_utf8_lossy(&buf[..n])
+    );
     vfs.close(fd).expect("close");
 
     // 5. Rename uses the paper's prefix-substitution semantics.

@@ -86,7 +86,10 @@ fn main() {
     let r = fs.write_end(ino, 0, b"data", fsdata);
     println!("cext4 write_end with wrong cast: {r:?}");
     for event in ctx.ledger.events() {
-        println!("cext4: DETECTED {} at {} ({})", event.class, event.site, event.detail);
+        println!(
+            "cext4: DETECTED {} at {} ({})",
+            event.class, event.site, event.detail
+        );
     }
 
     // The safe interface's replacement: a move-only typed token. The
@@ -100,7 +103,10 @@ fn main() {
         "\ntyped tokens: pairing t2 against session-1 -> {:?}",
         t2.consume_for(s1).map(|_| ())
     );
-    println!("typed tokens: correct pairing -> {:?}", t1.consume_for(s1).map(|_| ()));
+    println!(
+        "typed tokens: correct pairing -> {:?}",
+        t1.consume_for(s1).map(|_| ())
+    );
     // let reuse = t1.get(); // <- does not compile: t1 was consumed.
     println!("\ntype confusion: detected in the legacy idiom, unrepresentable in the typed one");
 }

@@ -67,7 +67,10 @@ fn axioms_catch_a_corrupting_device_under_the_fs() {
         !axio.is_clean(),
         "30% corruption must trip the read-after-write axiom"
     );
-    assert!(axio.violations().iter().all(|v| v.axiom == "A1" || v.axiom == "A2"));
+    assert!(axio
+        .violations()
+        .iter()
+        .all(|v| v.axiom == "A1" || v.axiom == "A2"));
 }
 
 #[test]
@@ -102,13 +105,15 @@ fn ownership_contract_enforced_across_a_legacy_boundary() {
 
     // A rogue late access by the legacy module is refused at the boundary
     // and lands in the same ledger as the memory-safety detections.
-    let r: Result<(), Errno> = boundary.cross_checked(
-        |t| t.access(obj, "legacy_module", Access::Write),
-        || Ok(()),
-    );
+    let r: Result<(), Errno> =
+        boundary.cross_checked(|t| t.access(obj, "legacy_module", Access::Write), || Ok(()));
     assert_eq!(r, Err(Errno::EACCES));
     assert_eq!(boundary.stats().validation_failures(), 1);
-    assert_eq!(ledger.count(BugClass::DataRace), 2, "caller-during-loan + rogue access");
+    assert_eq!(
+        ledger.count(BugClass::DataRace),
+        2,
+        "caller-during-loan + rogue access"
+    );
 }
 
 #[test]
@@ -134,8 +139,12 @@ fn double_shim_roundtrip_preserves_behaviour() {
     let entries = shimmed.readdir(root).unwrap();
     assert_eq!(entries.len(), 1);
     assert_eq!(entries[0].name, "through-two-shims");
-    shimmed.rename(root, "through-two-shims", root, "renamed").unwrap();
-    shimmed.truncate(shimmed.lookup(root, "renamed").unwrap(), 2).unwrap();
+    shimmed
+        .rename(root, "through-two-shims", root, "renamed")
+        .unwrap();
+    shimmed
+        .truncate(shimmed.lookup(root, "renamed").unwrap(), 2)
+        .unwrap();
     shimmed.unlink(root, "renamed").unwrap();
     assert_eq!(shimmed.lookup(root, "renamed"), Err(Errno::ENOENT));
     shimmed.sync().unwrap();

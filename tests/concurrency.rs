@@ -57,7 +57,11 @@ fn expected_model(threads: usize, files_per_thread: usize) -> FsModel {
             }
             let path = format!("/t{t}f{i}");
             let payload = vec![(t * 16 + i) as u8; 500 + i * 37];
-            model = model.create(&path).unwrap().write(&path, 0, &payload).unwrap();
+            model = model
+                .create(&path)
+                .unwrap()
+                .write(&path, 0, &payload)
+                .unwrap();
         }
     }
     model
@@ -80,13 +84,123 @@ fn rsfs_survives_concurrent_writers_and_still_refines() {
     assert!(report.is_clean(), "{:?}", report.findings);
 }
 
+/// The storage-hot-path stress test: eight writers hammer the journaled
+/// fs, then every layer's accounting must reconcile — the quiesced state
+/// refines the model (no lost updates), per-shard cache stats sum to the
+/// aggregate, the journal batched at least as tightly as it committed,
+/// and the checkpointed image is fsck-clean.
+#[test]
+fn rsfs_eight_thread_stress_stats_consistent_no_lost_updates() {
+    const THREADS: usize = 8;
+    const FILES: usize = 16;
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(16384));
+    Rsfs::mkfs(&dev, 512, 128).unwrap();
+    let fs = Arc::new(Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap());
+    concurrent_workload(Arc::clone(&fs) as Arc<dyn FileSystem>, THREADS, FILES);
+
+    // No lost updates: the quiesced state is exactly the model.
+    assert_eq!(fs.abstraction(), expected_model(THREADS, FILES));
+    assert!(fs.lock_registry().violations().is_empty());
+
+    // Stats consistency: shard counters sum to the aggregate snapshot
+    // (taken quiesced, so no in-flight increments can skew it).
+    let total = fs.cache().stats();
+    let per_shard = fs.cache().shard_stats();
+    assert!(per_shard.len() > 1, "cache is striped");
+    assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+    assert_eq!(
+        per_shard.iter().map(|s| s.misses).sum::<u64>(),
+        total.misses
+    );
+    assert_eq!(
+        per_shard.iter().map(|s| s.writebacks).sum::<u64>(),
+        total.writebacks
+    );
+    assert_eq!(
+        per_shard.iter().map(|s| s.evictions).sum::<u64>(),
+        total.evictions
+    );
+    assert!(total.hits + total.misses > 0);
+    assert!(
+        fs.cache().validate_all().is_empty(),
+        "buffer flags stay legal"
+    );
+
+    // Journal accounting: every mutating op committed; group commit never
+    // needs more batches than commits; everything journaled got sequenced.
+    let js = fs.journal().unwrap().stats();
+    let min_ops = (THREADS * FILES * 2) as u64; // create + write, at least
+    assert!(js.commits >= min_ops, "commits {} < {min_ops}", js.commits);
+    assert!(js.batches <= js.commits);
+    assert!(js.blocks_journaled >= js.commits);
+
+    // Quiesce fully and check the on-disk image.
+    fs.sync().unwrap();
+    assert_eq!(fs.journal().unwrap().pending_checkpoints(), 0);
+    let report = safer_kernel::fs_safe::fsck(&*dev).unwrap();
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+/// Eight threads increment disjoint byte slots of the same shared blocks
+/// through a deliberately tiny cache, so hits, misses, evictions and
+/// writebacks all interleave. Dirtiness transfers to in-flight IO at
+/// snapshot time — if any update were lost the final counts would be
+/// short.
+#[test]
+fn buffer_cache_concurrent_increments_lose_no_updates() {
+    const THREADS: usize = 8;
+    const INCS: usize = 300;
+    const HOT_BLOCKS: u64 = 16;
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(64));
+    let cache = Arc::new(safer_kernel::ksim::buffer::BufferCache::with_shards(
+        Arc::clone(&dev),
+        8, // capacity < working set: constant eviction + writeback churn
+        4,
+    ));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let cache = Arc::clone(&cache);
+        handles.push(thread::spawn(move || {
+            for i in 0..INCS {
+                let blk = (i as u64 * 3) % HOT_BLOCKS;
+                let buf = cache.bread(blk).expect("bread");
+                buf.write(|d| d[t] = d[t].wrapping_add(1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    cache.sync_all().unwrap();
+
+    // Replay the visit sequence to get the expected per-block count.
+    let mut expected = [0u8; HOT_BLOCKS as usize];
+    for i in 0..INCS {
+        expected[((i as u64 * 3) % HOT_BLOCKS) as usize] += 1;
+    }
+    for blk in 0..HOT_BLOCKS {
+        let mut out = vec![0u8; 4096];
+        dev.read_block(blk, &mut out).unwrap();
+        for (t, slot) in out.iter().take(THREADS).enumerate() {
+            assert_eq!(
+                *slot, expected[blk as usize],
+                "block {blk} slot {t}: lost update"
+            );
+        }
+    }
+    let s = cache.stats();
+    assert!(s.evictions > 0, "the cache actually churned");
+    assert!(s.writebacks > 0);
+}
+
 #[test]
 fn cext4_survives_concurrent_writers_and_still_refines() {
     let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
     Cext4::mkfs(&dev, 256).unwrap();
     let ctx = LegacyCtx::new();
     let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
-    let adapter: Arc<dyn FileSystem> = Arc::new(LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx.clone()));
+    let adapter: Arc<dyn FileSystem> =
+        Arc::new(LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx.clone()));
     concurrent_workload(Arc::clone(&adapter), 4, 12);
     assert_eq!(fs_abstraction(&*adapter), expected_model(4, 12));
     // The legacy idiom's unlocked i_size updates *are* recorded under

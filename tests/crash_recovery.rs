@@ -118,10 +118,13 @@ fn run_op_and_check(
 #[test]
 fn create_is_atomic_across_all_prefix_crashes() {
     let h = harness();
-    let (checked, failures) =
-        run_op_and_check(&h, |fs| {
+    let (checked, failures) = run_op_and_check(
+        &h,
+        |fs| {
             fs.create(fs.root_ino(), "atomic").unwrap();
-        }, CrashPolicy::Prefixes);
+        },
+        CrashPolicy::Prefixes,
+    );
     assert!(checked >= 5, "checked {checked}");
     assert!(failures.is_empty(), "{failures:?}");
 }
@@ -149,7 +152,8 @@ fn rename_is_atomic_even_under_write_reordering() {
     let (checked, failures) = run_op_and_check(
         &h,
         |fs| {
-            fs.rename(fs.root_ino(), "src", fs.root_ino(), "dst").unwrap();
+            fs.rename(fs.root_ino(), "src", fs.root_ino(), "dst")
+                .unwrap();
         },
         CrashPolicy::Subsets,
     );
@@ -177,7 +181,8 @@ fn unlink_is_atomic_across_subset_crashes() {
 fn multi_op_sequence_each_op_atomic() {
     let h = harness();
     // Check a chain of operations, each against its own pre/post pair.
-    let ops: Vec<Box<dyn Fn(&Rsfs)>> = vec![
+    type FsOp = Box<dyn Fn(&Rsfs)>;
+    let ops: Vec<FsOp> = vec![
         Box::new(|fs: &Rsfs| {
             fs.mkdir(fs.root_ino(), "dir").unwrap();
         }),
@@ -209,14 +214,17 @@ fn journal_discards_commit_corrupted_by_bitrot() {
     Rsfs::mkfs(&dev, 128, 64).unwrap();
     let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap();
     fs.create(fs.root_ino(), "x").unwrap();
+    fs.sync().unwrap(); // checkpoint: homes durable, jsb tail advanced
     drop(fs);
     // Journal geometry from the layout: last 64 blocks, jsb first.
     let jstart = 2048 - 64;
-    // Rewind the jsb to claim the last txn is still pending.
+    // Rewind the jsb (tail_seq and tail_off) to claim the checkpointed
+    // txn is still pending, as if the crash hit before the tail advanced.
     let mut jsb = vec![0u8; BLOCK_SIZE];
     dev.read_block(jstart, &mut jsb).unwrap();
     let seq = u64::from_le_bytes(jsb[4..12].try_into().unwrap());
     jsb[4..12].copy_from_slice(&(seq - 1).to_le_bytes());
+    jsb[12..20].copy_from_slice(&0u64.to_le_bytes());
     ram.write_block(jstart, &jsb).unwrap();
     // Corrupt the journaled payload.
     let mut payload = vec![0u8; BLOCK_SIZE];
@@ -274,5 +282,81 @@ proptest! {
         );
         prop_assert!(checked > 0);
         prop_assert!(failures.is_empty(), "{:?}", failures);
+    }
+
+    /// Property: with checkpoints deferred (no sync), a crash at *every*
+    /// write prefix — including mid-way through a group-commit record —
+    /// recovers to exactly some prefix of the operation history: the
+    /// journal replays every durably committed transaction in sequence
+    /// order and discards the torn tail, never yielding a state outside
+    /// the op chain.
+    #[test]
+    fn deferred_group_commits_recover_to_an_op_prefix(
+        plan in prop::collection::vec((0u8..3, 1usize..400), 3..7),
+    ) {
+        let h = harness();
+        let base = h.ram.snapshot();
+        h.tap.intervals.lock().clear();
+        let root = h.fs.root_ino();
+        let mut models = vec![h.fs.abstraction()];
+        let mut live: Vec<String> = Vec::new();
+        for (k, (kind, len)) in plan.iter().enumerate() {
+            match kind {
+                1 if !live.is_empty() => {
+                    let name = &live[k % live.len()];
+                    let ino = h.fs.lookup(root, name).unwrap();
+                    h.fs.write(ino, 0, &vec![k as u8; *len]).unwrap();
+                }
+                2 if !live.is_empty() => {
+                    let name = live.remove(k % live.len());
+                    h.fs.unlink(root, &name).unwrap();
+                }
+                _ => {
+                    let name = format!("f{k}");
+                    h.fs.create(root, &name).unwrap();
+                    live.push(name);
+                }
+            }
+            models.push(h.fs.abstraction());
+        }
+        // Deliberately NO sync(): every transaction sits committed but
+        // un-checkpointed, so recovery must replay a multi-txn journal.
+        let mut intervals = h.tap.intervals.lock().clone();
+        intervals.push(h.tap.inner.pending_writes());
+
+        let mut checked = 0usize;
+        let mut applied = base;
+        let mut last_img = None;
+        for interval in &intervals {
+            for img in crash_images(&applied, interval, BLOCK_SIZE, CrashPolicy::Prefixes) {
+                checked += 1;
+                let scratch = Arc::new(RamDisk::new(2048));
+                scratch.restore(&img).unwrap();
+                let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+                let recovered = Rsfs::mount(Arc::clone(&scratch_dyn), JournalMode::PerOp)
+                    .expect("mount after crash");
+                let m = recovered.abstraction();
+                prop_assert!(
+                    models.contains(&m),
+                    "recovered state is not a prefix of the op history: {m:?}"
+                );
+                let report = safer_kernel::fs_safe::fsck(&*scratch_dyn).unwrap();
+                prop_assert!(report.is_clean(), "{:?}", report.findings);
+                last_img = Some(img);
+            }
+            for w in interval {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+        }
+        prop_assert!(checked >= plan.len(), "only {checked} crash points");
+        // The final crash point (everything durable) must recover the
+        // complete history — the committed prefix is ALL of it.
+        let full = last_img.expect("at least one crash image");
+        let scratch = Arc::new(RamDisk::new(2048));
+        scratch.restore(&full).unwrap();
+        let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+        let recovered = Rsfs::mount(scratch_dyn, JournalMode::PerOp).unwrap();
+        prop_assert!(recovered.abstraction() == *models.last().unwrap());
     }
 }

@@ -113,7 +113,12 @@ fn swap_back_and_forth_is_symmetric() {
     // Backward migration (rollback): copy the new state onto a fresh
     // legacy instance and swap back.
     let (legacy2, _ctx2) = make_cext4();
-    copy_tree(&*safe_keep, &*legacy2, safe_keep.root_ino(), legacy2.root_ino());
+    copy_tree(
+        &*safe_keep,
+        &*legacy2,
+        safe_keep.root_ino(),
+        legacy2.root_ino(),
+    );
     registry
         .replace::<dyn FileSystem>(FS_INTERFACE, "cext4", legacy2)
         .unwrap();

@@ -26,8 +26,12 @@ fn modular(side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> ModularStack {
 fn legacy_client_talks_to_modular_server() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let client_stack =
-        LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let client_stack = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let server_stack = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
 
     let server = server_stack.socket("tcp", 80).unwrap();
@@ -57,8 +61,12 @@ fn modular_client_talks_to_legacy_server() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
     let client_stack = modular(Side::A, Arc::clone(&wire), Arc::clone(&clock));
-    let server_stack =
-        LegacyStack::new(LegacyCtx::new(), Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let server_stack = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::B,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
 
     let server = server_stack.socket(proto::TCP, 80).unwrap();
     server_stack.listen(server).unwrap();
@@ -86,7 +94,12 @@ fn cross_generation_session_survives_loss() {
         99,
     ));
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
 
     let server = b.socket("tcp", 80).unwrap();
@@ -122,7 +135,12 @@ fn cross_generation_session_survives_loss() {
 fn connection_teardown_across_generations() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
     let server = b.socket("tcp", 80).unwrap();
     b.listen(server).unwrap();
@@ -166,7 +184,12 @@ fn connection_teardown_across_generations() {
 fn udp_crosses_generations() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
     let sa = a.socket(proto::UDP, 100).unwrap();
     let sb = b.socket("udp", 200).unwrap();
@@ -185,18 +208,26 @@ fn the_coupling_bug_vanishes_on_the_migrated_side_only() {
     // modular side — the per-module payoff of §3's incremental migration.
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let legacy = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), Arc::clone(&clock));
+    let legacy = LegacyStack::new(
+        LegacyCtx::new(),
+        Side::A,
+        Arc::clone(&wire),
+        Arc::clone(&clock),
+    );
     let modular_side = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
 
     let lu = legacy.socket(proto::UDP, 300).unwrap();
     let mu = modular_side.socket("udp", 400).unwrap();
 
-    assert_eq!(legacy.poll(lu).unwrap(), false);
+    assert!(!(legacy.poll(lu).unwrap()));
     assert_eq!(
-        legacy.ctx().ledger.count(safer_kernel::legacy::BugClass::TypeConfusion),
+        legacy
+            .ctx()
+            .ledger
+            .count(safer_kernel::legacy::BugClass::TypeConfusion),
         1,
         "legacy generic poll mis-cast the UDP pcb"
     );
-    assert_eq!(modular_side.poll(mu).unwrap(), false);
+    assert!(!(modular_side.poll(mu).unwrap()));
     // No ledger on the modular side — nothing to mis-cast.
 }

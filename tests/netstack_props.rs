@@ -81,7 +81,7 @@ proptest! {
                 chk.on_deliver(&got);
             }
             prop_assert!(chk.is_clean(), "{:?}", chk.violations());
-            chk.model().check_invariant().map_err(|e| TestCaseError::fail(e))?;
+            chk.model().check_invariant().map_err(TestCaseError::fail)?;
             if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
                 break;
             }

@@ -49,7 +49,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         path_strategy().prop_map(Op::Mkdir),
         path_strategy().prop_map(Op::Unlink),
         path_strategy().prop_map(Op::Rmdir),
-        (path_strategy(), 0u64..5000, prop::collection::vec(any::<u8>(), 0..200))
+        (
+            path_strategy(),
+            0u64..5000,
+            prop::collection::vec(any::<u8>(), 0..200)
+        )
             .prop_map(|(p, o, d)| Op::Write(p, o, d)),
         (path_strategy(), 0u64..9000).prop_map(|(p, s)| Op::Truncate(p, s)),
         (path_strategy(), path_strategy()).prop_map(|(a, b)| Op::Rename(a, b)),
@@ -65,7 +69,11 @@ fn apply(vfs: &Vfs, model: FsModel, op: &Op, label: &str) -> FsModel {
             let path = normalize(p).unwrap();
             let sys = vfs.create(p);
             let spec = model.create(&path);
-            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: create {p}: {sys:?} vs {spec:?}");
+            assert_eq!(
+                sys.is_ok(),
+                spec.is_ok(),
+                "{label}: create {p}: {sys:?} vs {spec:?}"
+            );
             spec.unwrap_or(model)
         }
         Op::Mkdir(p) => {
@@ -108,7 +116,11 @@ fn apply(vfs: &Vfs, model: FsModel, op: &Op, label: &str) -> FsModel {
             let pb = normalize(b).unwrap();
             let sys = vfs.rename(a, b);
             let spec = model.rename(&pa, &pb);
-            assert_eq!(sys.is_ok(), spec.is_ok(), "{label}: rename {a} -> {b}: {sys:?} vs {spec:?}");
+            assert_eq!(
+                sys.is_ok(),
+                spec.is_ok(),
+                "{label}: rename {a} -> {b}: {sys:?} vs {spec:?}"
+            );
             spec.unwrap_or(model)
         }
         Op::ReadCheck(p) => {
@@ -143,7 +155,11 @@ fn mount_cext4() -> Vfs {
     let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
     let registry = Registry::new();
     registry
-        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::new(adapter) as Arc<dyn FileSystem>)
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "cext4",
+            Arc::new(adapter) as Arc<dyn FileSystem>,
+        )
         .unwrap();
     Vfs::mount(&registry).unwrap()
 }

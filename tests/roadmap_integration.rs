@@ -37,15 +37,19 @@ fn refinement_evidence(fs: &dyn FileSystem) -> usize {
         |pre, post, r| r.is_ok() && pre.create("/cert").map(|m| m == *post).unwrap_or(false),
     );
     let ino = ino.unwrap_or(0);
-    chk.step(
+    let _ = chk.step(
         &mut sys,
         "write",
         |s| s.0.write(ino, 3, b"evidence"),
         |pre, post, r| {
-            r.is_ok() && pre.write("/cert", 3, b"evidence").map(|m| m == *post).unwrap_or(false)
+            r.is_ok()
+                && pre
+                    .write("/cert", 3, b"evidence")
+                    .map(|m| m == *post)
+                    .unwrap_or(false)
         },
     );
-    chk.step(
+    let _ = chk.step(
         &mut sys,
         "unlink",
         |s| s.0.unlink(root, "cert"),
@@ -76,7 +80,11 @@ fn levels_are_earned_by_running_the_checkers() {
         .unwrap();
     roadmap.track(FS_INTERFACE, "cext4");
     roadmap
-        .certify(FS_INTERFACE, SafetyLevel::Modular, "registered behind the registry")
+        .certify(
+            FS_INTERFACE,
+            SafetyLevel::Modular,
+            "registered behind the registry",
+        )
         .unwrap();
     let legacy_violations = refinement_evidence(&*legacy);
     assert_eq!(legacy_violations, 0, "cext4 is correct, just not safe");

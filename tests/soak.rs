@@ -88,7 +88,11 @@ fn random_op(vfs: &Vfs, model: FsModel, rng: &mut StdRng) -> FsModel {
             spec.unwrap_or(model)
         }
         4 => {
-            let to = format!("{}/g{}", dirs[rng.gen_range(0..dirs.len())], rng.gen_range(0..12));
+            let to = format!(
+                "{}/g{}",
+                dirs[rng.gen_range(0..dirs.len())],
+                rng.gen_range(0..12)
+            );
             let to_norm = safer_kernel::vfs::spec::normalize(&to).unwrap();
             let sys = vfs.rename(&path, &to);
             let spec = model.rename(&norm, &to_norm);

@@ -36,7 +36,11 @@ fn mount_cext4() -> Vfs {
     let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
     let registry = Registry::new();
     registry
-        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::new(adapter) as Arc<dyn FileSystem>)
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "cext4",
+            Arc::new(adapter) as Arc<dyn FileSystem>,
+        )
         .unwrap();
     Vfs::mount(&registry).unwrap()
 }
@@ -48,7 +52,8 @@ fn all_mounts() -> Vec<(&'static str, Vfs)> {
 #[test]
 fn basic_tree_operations_match_across_generations() {
     for (name, vfs) in all_mounts() {
-        vfs.mkdir("/dir").unwrap_or_else(|e| panic!("{name}: mkdir {e}"));
+        vfs.mkdir("/dir")
+            .unwrap_or_else(|e| panic!("{name}: mkdir {e}"));
         vfs.create("/dir/file").unwrap();
         vfs.write_file("/dir/file", 0, b"payload").unwrap();
         assert_eq!(vfs.read_file("/dir/file").unwrap(), b"payload", "{name}");
@@ -56,7 +61,12 @@ fn basic_tree_operations_match_across_generations() {
         assert_eq!(attr.size, 7, "{name}");
         assert_eq!(attr.ftype, FileType::Regular, "{name}");
         assert_eq!(vfs.stat("/dir").unwrap().ftype, FileType::Directory);
-        let names: Vec<String> = vfs.readdir("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = vfs
+            .readdir("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["dir"], "{name}");
     }
 }
@@ -134,9 +144,16 @@ fn deep_paths_resolve_with_dcache() {
         assert_eq!(vfs.read_file("/a/b/c/leaf").unwrap(), b"deep", "{name}");
         let hits_before = vfs.dcache().stats().hits;
         assert_eq!(vfs.read_file("/a/b/c/leaf").unwrap(), b"deep", "{name}");
-        assert!(vfs.dcache().stats().hits > hits_before, "{name}: dcache used");
+        assert!(
+            vfs.dcache().stats().hits > hits_before,
+            "{name}: dcache used"
+        );
         // Normalization: dots and double slashes.
-        assert_eq!(vfs.read_file("//a/./b/c/../c/leaf").unwrap(), b"deep", "{name}");
+        assert_eq!(
+            vfs.read_file("//a/./b/c/../c/leaf").unwrap(),
+            b"deep",
+            "{name}"
+        );
     }
 }
 
@@ -175,7 +192,10 @@ fn truncate_and_sparse_files() {
         vfs.write_file("/sparse", 10_000, b"tail").unwrap();
         let data = vfs.read_file("/sparse").unwrap();
         assert_eq!(data.len(), 10_004, "{name}");
-        assert!(data[..10_000].iter().all(|&b| b == 0), "{name}: hole is zeros");
+        assert!(
+            data[..10_000].iter().all(|&b| b == 0),
+            "{name}: hole is zeros"
+        );
         assert_eq!(&data[10_000..], b"tail", "{name}");
         vfs.truncate("/sparse", 3).unwrap();
         assert_eq!(vfs.stat("/sparse").unwrap().size, 3, "{name}");
@@ -204,8 +224,12 @@ fn many_files_in_one_directory() {
         for i in 0..100 {
             vfs.create(&format!("/f{i:03}")).unwrap();
         }
-        let mut names: Vec<String> =
-            vfs.readdir("/").unwrap().into_iter().map(|e| e.name).collect();
+        let mut names: Vec<String> = vfs
+            .readdir("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         names.sort();
         assert_eq!(names.len(), 100, "{name}");
         assert_eq!(names[0], "f000", "{name}");

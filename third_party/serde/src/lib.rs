@@ -1,0 +1,229 @@
+//! Minimal vendored `serde` (hermetic build, no crates.io).
+//!
+//! Provides a [`Serialize`] trait that renders directly to JSON text
+//! (the only format this workspace emits) plus declarative macros
+//! standing in for `#[derive(Serialize)]`, which needs a proc-macro
+//! crate this environment cannot fetch:
+//!
+//! ```ignore
+//! serde::impl_serialize_struct!(CveRecord { id, year, subsystem, cwe });
+//! serde::impl_serialize_enum!(Prevention { TypeOwnership, Functional, Other });
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_str(self, out);
+    }
+}
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! impl_serialize_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // JSON has no NaN/inf; finite floats print via Display,
+            // which round-trips in Rust.
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        (*self as f64).write_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($T:ident $idx:tt),+))*) => {$(
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Implements [`Serialize`] for a struct as a JSON object of its
+/// named fields — the stand-in for `#[derive(Serialize)]`.
+#[macro_export]
+macro_rules! impl_serialize_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    $crate::write_json_str(stringify!($field), out);
+                    out.push(':');
+                    $crate::Serialize::write_json(&self.$field, out);
+                )+
+                let _ = first;
+                out.push('}');
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] for a fieldless enum as the variant name
+/// string (derive-compatible encoding).
+#[macro_export]
+macro_rules! impl_serialize_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn write_json(&self, out: &mut String) {
+                let name = match self {
+                    $( $ty::$variant => stringify!($variant), )+
+                };
+                $crate::write_json_str(name, out);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: u32,
+        label: String,
+    }
+    crate::impl_serialize_struct!(Point { x, label });
+
+    #[derive(Clone, Copy)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+    crate::impl_serialize_enum!(Kind { Alpha, Beta });
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn structs_and_enums_encode() {
+        let p = Point {
+            x: 3,
+            label: "a\"b".into(),
+        };
+        assert_eq!(to_json(&p), r#"{"x":3,"label":"a\"b"}"#);
+        assert_eq!(to_json(&Kind::Alpha), r#""Alpha""#);
+        assert_eq!(to_json(&Kind::Beta), r#""Beta""#);
+    }
+
+    #[test]
+    fn containers_encode() {
+        assert_eq!(to_json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&(1u32, "x")), r#"[1,"x"]"#);
+        assert_eq!(to_json(&Some(5u8)), "5");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&1.5f64), "1.5");
+    }
+}
