@@ -32,7 +32,14 @@
 //! drains transactions oldest-first: homes are written and flushed, then
 //! the superblock tail advances. Until then the journal is the only
 //! durable copy, so the log area is bounded and append forces a full
-//! drain when a record does not fit.
+//! drain when a record does not fit. Checkpoint is the **only** writer
+//! of journaled blocks' home locations: the file system keeps such
+//! blocks `Delay`-pinned in the buffer cache (writeback and eviction
+//! skip them) until the [`RetireHook`] reports their transactions
+//! retired, and a per-block newest-committed-seq map keeps a partial
+//! drain from ever writing an image home when a later pending
+//! transaction holds a newer one — the pair rules out home-write
+//! reordering between checkpoint and cache writeback entirely.
 //!
 //! **Recovery**: read the superblock; starting at `(tail_seq, tail_off)`,
 //! walk forward parsing descriptor/commit pairs with strictly increasing
@@ -42,7 +49,7 @@
 //! or stale record: a torn transaction never committed and is discarded.
 //! Replay is idempotent, so crashing *during recovery* is also covered.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -120,7 +127,21 @@ struct Space {
     tail_seq: u64,
     tail_off: u64,
     txns: VecDeque<TxnRecord>,
+    /// Per home block, the sequence number of the newest committed
+    /// transaction that journaled it (jbd2-style). Checkpoint consults
+    /// this to never write an image home when a newer committed image
+    /// exists in a later, still-pending transaction; entries retire with
+    /// their transactions.
+    newest_seq: HashMap<u64, u64>,
 }
+
+/// Callback invoked after checkpoint retires transactions: receives the
+/// home block numbers of every retired transaction, with multiplicity (a
+/// block appears once per retired transaction that journaled it). The
+/// file system hangs its `Delay`-pin release off this, so cache
+/// writeback stays out of the home-write path until the journal is done
+/// with a block.
+pub type RetireHook = Box<dyn Fn(&[u64]) + Send + Sync>;
 
 /// One member of the open transaction: an operation's block images,
 /// tagged with its join-order token.
@@ -193,6 +214,7 @@ pub struct Journal {
     space: Mutex<Space>,
     /// Serializes checkpointers (the flusher and forced drains).
     ckpt_lock: Mutex<()>,
+    retire_hook: Mutex<Option<RetireHook>>,
     stats: Mutex<JournalStats>,
 }
 
@@ -250,8 +272,10 @@ impl Journal {
                 tail_seq,
                 tail_off,
                 txns: VecDeque::new(),
+                newest_seq: HashMap::new(),
             }),
             ckpt_lock: Mutex::new(()),
+            retire_hook: Mutex::new(None),
             stats: Mutex::new(JournalStats::default()),
         })
     }
@@ -269,6 +293,13 @@ impl Journal {
     /// Usage counters.
     pub fn stats(&self) -> JournalStats {
         *self.stats.lock()
+    }
+
+    /// Installs the transaction-retire callback (see [`RetireHook`]).
+    /// Called with no journal locks the caller could conflict with; the
+    /// hook may take file-system locks and touch the buffer cache.
+    pub fn set_retire_hook(&self, hook: impl Fn(&[u64]) + Send + Sync + 'static) {
+        *self.retire_hook.lock() = Some(Box::new(hook));
     }
 
     fn write_jsb(dev: &Arc<dyn BlockDevice>, start: u64, seq: u64, tail_off: u64) -> KResult<()> {
@@ -493,7 +524,13 @@ impl Journal {
         stats.barriers += 1;
         drop(stats);
 
-        self.space.lock().txns.push_back(TxnRecord {
+        let mut sp = self.space.lock();
+        for (blkno, _) in &writes {
+            // Batches register in ascending seq order (one leader at a
+            // time), so a plain insert keeps the newest seq per block.
+            sp.newest_seq.insert(*blkno, seq);
+        }
+        sp.txns.push_back(TxnRecord {
             seq,
             off,
             len: need,
@@ -518,27 +555,48 @@ impl Journal {
         // (seq, off, len, writes) per drained transaction.
         type DrainEntry = (u64, u64, u64, Vec<(u64, Vec<u8>)>);
         let _serialize = self.ckpt_lock.lock();
-        // Snapshot the drain set; records stay registered (and the tail
-        // on disk) until their homes are durable, so a crash mid-drain
-        // still replays them.
-        let drain: Vec<DrainEntry> = {
+        // Snapshot the drain set together with the newest-committed-seq
+        // map; records stay registered (and the tail on disk) until
+        // their homes are durable, so a crash mid-drain still replays
+        // them.
+        let (drain, newest): (Vec<DrainEntry>, HashMap<u64, u64>) = {
             let sp = self.space.lock();
-            sp.txns
-                .iter()
-                .take(max_txns)
-                .map(|t| (t.seq, t.off, t.len, t.writes.clone()))
-                .collect()
+            (
+                sp.txns
+                    .iter()
+                    .take(max_txns)
+                    .map(|t| (t.seq, t.off, t.len, t.writes.clone()))
+                    .collect(),
+                sp.newest_seq.clone(),
+            )
         };
         if drain.is_empty() {
             return Ok(0);
         }
+        let (last_seq, last_off, last_len, _) = *drain.last().expect("non-empty");
+        // One home write per block, newest drained image wins — and none
+        // at all for a block whose newest committed image sits in a
+        // later, still-pending transaction: writing our older image
+        // could regress the home past what that transaction (or a
+        // recovery replaying it) has already put there. The skip is
+        // race-free, not merely narrow: `Delay` pins keep journaled
+        // blocks out of cache writeback until retire, so home writes
+        // happen only on this `ckpt_lock`-serialized path, and a
+        // transaction committing after our snapshot cannot reach its
+        // home before its own (later) checkpoint.
+        let mut homes: BTreeMap<u64, &Vec<u8>> = BTreeMap::new();
         for (_, _, _, writes) in &drain {
             for (blkno, data) in writes {
-                self.dev.write_block(*blkno, data)?;
+                homes.insert(*blkno, data);
             }
         }
+        for (blkno, data) in &homes {
+            if newest.get(blkno).copied().unwrap_or(0) > last_seq {
+                continue;
+            }
+            self.dev.write_block(*blkno, data)?;
+        }
         self.dev.flush()?;
-        let (last_seq, last_off, last_len, _) = drain.last().expect("non-empty");
         Self::write_jsb(&self.dev, self.start, last_seq + 1, last_off + last_len)?;
         self.dev.flush()?;
 
@@ -548,6 +606,7 @@ impl Journal {
         }
         sp.tail_seq = last_seq + 1;
         sp.tail_off = last_off + last_len;
+        sp.newest_seq.retain(|_, seq| *seq > last_seq);
         drop(sp);
 
         let mut stats = self.stats.lock();
@@ -555,6 +614,17 @@ impl Journal {
         stats.barriers += 2;
         if forced {
             stats.forced_checkpoints += 1;
+        }
+        drop(stats);
+
+        // Tell the file system which transactions' blocks retired, so it
+        // can release the Delay pins that kept writeback away.
+        if let Some(hook) = self.retire_hook.lock().as_ref() {
+            let retired: Vec<u64> = drain
+                .iter()
+                .flat_map(|(_, _, _, writes)| writes.iter().map(|(b, _)| *b))
+                .collect();
+            hook(&retired);
         }
         Ok(drain.len())
     }
@@ -774,6 +844,64 @@ mod tests {
             Journal::recover(&dev, JSTART, JBLOCKS).unwrap(),
             RecoveryOutcome::Clean
         );
+    }
+
+    /// Regression for the checkpoint TOCTOU: a partial drain must never
+    /// write an image home when a newer committed image for the same
+    /// block sits in a later, still-pending transaction — neither the
+    /// running system nor a crash right after the partial drain may
+    /// observe the older image winning.
+    #[test]
+    fn partial_checkpoint_skips_blocks_with_newer_committed_images() {
+        let (dev, j) = fresh();
+        j.commit(&[(3, img(1))]).unwrap(); // seq 1
+        j.commit(&[(3, img(2)), (4, img(9))]).unwrap(); // seq 2: newer image of 3
+        assert_eq!(j.checkpoint(1).unwrap(), 1);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(
+            out[0], 0,
+            "home write skipped: seq 2 holds the newer committed image"
+        );
+        // A crash here recovers from the advanced tail and replays seq 2.
+        let outcome = Journal::recover(&dev, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::Replayed { blocks: 2 });
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 2, "recovery lands on the newest committed image");
+        dev.read_block(4, &mut out).unwrap();
+        assert_eq!(out[0], 9);
+    }
+
+    /// Without a crash, the rest of the drain delivers the newer image.
+    #[test]
+    fn full_drain_after_partial_checkpoint_writes_newest_image() {
+        let (dev, j) = fresh();
+        j.commit(&[(3, img(1))]).unwrap();
+        j.commit(&[(3, img(2)), (4, img(9))]).unwrap();
+        assert_eq!(j.checkpoint(1).unwrap(), 1);
+        assert_eq!(j.checkpoint_all().unwrap(), 1);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 2);
+        assert_eq!(j.pending_checkpoints(), 0);
+        assert_eq!(
+            Journal::recover(&dev, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    /// The retire hook reports every retired transaction's blocks, with
+    /// multiplicity, in drain order.
+    #[test]
+    fn retire_hook_reports_retired_blocks() {
+        let (_, j) = fresh();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        j.set_retire_hook(move |blknos| sink.lock().extend_from_slice(blknos));
+        j.commit(&[(3, img(1))]).unwrap();
+        j.commit(&[(3, img(2)), (4, img(9))]).unwrap();
+        j.checkpoint_all().unwrap();
+        assert_eq!(*seen.lock(), vec![3, 3, 4]);
     }
 
     #[test]

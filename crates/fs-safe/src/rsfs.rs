@@ -40,7 +40,8 @@ pub enum JournalMode {
     /// Crash consistency is best-effort (the benchmark baseline).
     None,
     /// Every operation commits one atomic transaction (data journaling
-    /// with synchronous checkpoint) — the crash-checked configuration.
+    /// with deferred, flusher-driven checkpoint) — the crash-checked
+    /// configuration.
     PerOp,
 }
 
@@ -63,10 +64,14 @@ pub struct Rsfs {
     /// append itself happens outside this lock so concurrent operations
     /// merge into one group commit.
     op_lock: Mutex<()>,
-    /// Pin counts for cache buffers whose newest image is not yet durable
-    /// in the journal (`BhFlag::Delay` holders); writeback must skip them
-    /// or the write-ahead ordering breaks.
-    delay_pins: Mutex<HashMap<u64, usize>>,
+    /// Pin counts for cache buffers with journaled images the checkpoint
+    /// has not yet retired (`BhFlag::Delay` holders). One pin per
+    /// (transaction, block), taken at publish and released by the
+    /// journal's retire hook, so cache writeback and eviction stay away
+    /// from a block's home location for as long as the journal owns it —
+    /// checkpoint is the sole home writer. Shared (`Arc`) with the hook
+    /// closure installed at mount.
+    delay_pins: Arc<Mutex<HashMap<u64, usize>>>,
     lock_registry: Arc<LockRegistry>,
     icache: Mutex<HashMap<InodeNo, Arc<Inode>>>,
     op_counter: AtomicU64,
@@ -124,9 +129,13 @@ impl<'a> Txn<'a> {
     ///    the new images into the buffer cache, `Dirty | Delay` — visible
     ///    to readers, pinned against writeback;
     /// 2. release the op lock and hand the images to the journal, where
-    ///    concurrent committers merge into one batch with one barrier;
-    /// 3. once the batch is durable, unpin (`Delay` off) so the flusher
-    ///    and the deferred checkpoint may write the homes.
+    ///    concurrent committers merge into one batch with one barrier.
+    ///
+    /// The pins stay until the deferred *checkpoint* retires the
+    /// transaction (the journal's retire hook drops them): the home
+    /// locations are written exclusively by the checkpoint, so cache
+    /// writeback can never race it into regressing a home block past a
+    /// newer committed image.
     ///
     /// Without a journal the images just dirty the cache.
     fn commit(mut self) -> KResult<()> {
@@ -177,15 +186,23 @@ impl<'a> Txn<'a> {
             }
             None => handle.commit(&list),
         };
-        self.fs.unpin_delays(&pinned);
         if let Err(e) = res {
-            // The transaction is not durable and must not be observable:
-            // drain what *is* durable to the homes, then drop every
-            // cached buffer so reads refetch consistent device state.
+            // The transaction is not durable and must not be observable
+            // — and must never reach its home locations. Discard our own
+            // pins (clearing Dirty so writeback cannot push the failed
+            // images), drain what *is* durable to the homes, then drop
+            // our blocks from the cache so reads refetch committed
+            // device state. Blocks still Delay-pinned by other in-flight
+            // transactions are left alone: clobbering them would hide
+            // those transactions' committed images from readers until
+            // the next checkpoint.
+            self.fs.unpin_discard(&pinned);
             let _ = journal.checkpoint_all();
-            self.fs.cache.invalidate();
+            self.fs.cache.invalidate_blocks(&pinned);
             return Err(e);
         }
+        // Success: the Delay pins stay until the checkpoint retires the
+        // batch — the journal's retire hook releases them.
         Ok(())
     }
 
@@ -536,12 +553,39 @@ impl Rsfs {
             JournalMode::PerOp => Some(Journal::open(Arc::clone(&dev), jstart, jblocks)?),
             JournalMode::None => None,
         };
+        let cache = Arc::new(BufferCache::new(dev, 256));
+        let delay_pins: Arc<Mutex<HashMap<u64, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+        if let Some(j) = &journal {
+            // Checkpoint retirement releases the Delay pins taken at
+            // publish: a buffer whose last pin drops is clean — the
+            // checkpoint just wrote its exact image home (had a newer
+            // committed or in-flight image existed, its pin would still
+            // be held and the checkpoint would have skipped the block).
+            let pins = Arc::clone(&delay_pins);
+            let cache_for_hook = Arc::clone(&cache);
+            j.set_retire_hook(move |blknos| {
+                let mut pins = pins.lock();
+                for blkno in blknos {
+                    let Some(count) = pins.get_mut(blkno) else {
+                        continue;
+                    };
+                    *count -= 1;
+                    if *count == 0 {
+                        pins.remove(blkno);
+                        if let Some(buf) = cache_for_hook.peek(*blkno) {
+                            buf.clear_flag(BhFlag::Delay);
+                            buf.clear_flag(BhFlag::Dirty);
+                        }
+                    }
+                }
+            });
+        }
         Ok(Rsfs {
-            cache: Arc::new(BufferCache::new(dev, 256)),
+            cache,
             journal,
             sb,
             op_lock: Mutex::new(()),
-            delay_pins: Mutex::new(HashMap::new()),
+            delay_pins,
             lock_registry: LockRegistry::new(),
             icache: Mutex::new(HashMap::new()),
             op_counter: AtomicU64::new(1),
@@ -552,9 +596,11 @@ impl Rsfs {
         self.op_counter.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Drops one Delay pin per listed block; a buffer whose pin count
-    /// reaches zero becomes eligible for writeback and eviction again.
-    fn unpin_delays(&self, blknos: &[u64]) {
+    /// Failed-commit cleanup: drops one Delay pin per listed block, and
+    /// for a buffer whose pin count reaches zero clears `Dirty` along
+    /// with `Delay` — its content is the failed transaction's image,
+    /// which must never be written back.
+    fn unpin_discard(&self, blknos: &[u64]) {
         if blknos.is_empty() {
             return;
         }
@@ -564,8 +610,9 @@ impl Rsfs {
                 *count -= 1;
                 if *count == 0 {
                     pins.remove(blkno);
-                    if let Ok(buf) = self.cache.getblk(*blkno) {
+                    if let Some(buf) = self.cache.peek(*blkno) {
                         buf.clear_flag(BhFlag::Delay);
+                        buf.clear_flag(BhFlag::Dirty);
                     }
                 }
             }
@@ -957,6 +1004,37 @@ mod tests {
             "the writeback daemon drained them"
         );
         assert!(j.stats().checkpoints >= 1);
+    }
+
+    /// Journaled blocks belong to the checkpoint until it retires them:
+    /// cache writeback must never write their homes (Delay pins hold
+    /// from publish to retire), and after the checkpoint has written the
+    /// homes itself the buffers are clean, so writeback still has
+    /// nothing to do. This single-writer discipline is what makes the
+    /// checkpoint's newer-image skip race-free.
+    #[test]
+    fn writeback_never_touches_journaled_homes() {
+        let fs = mount(JournalMode::PerOp);
+        let ino = fs.create(ROOT_INO, "pinned").unwrap();
+        fs.write(ino, 0, b"not yet home").unwrap();
+        fs.cache().sync_all().unwrap();
+        assert_eq!(
+            fs.cache().stats().writebacks,
+            0,
+            "every journaled block stays Delay-pinned until checkpoint"
+        );
+        assert!(fs.journal().unwrap().pending_checkpoints() > 0);
+        fs.checkpoint(usize::MAX).unwrap();
+        fs.cache().sync_all().unwrap();
+        assert_eq!(
+            fs.cache().stats().writebacks,
+            0,
+            "checkpoint wrote the homes and retired the pins; nothing left dirty"
+        );
+        // Reads still see the data, and the checkpointed image is sound.
+        let mut buf = vec![0u8; 16];
+        let n = fs.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"not yet home");
     }
 
     #[test]

@@ -453,31 +453,25 @@ impl BufferCache {
         let idx = self.shard_of(blkno);
         // Fast path: shard read lock only. The common case — an
         // already-cached, uptodate buffer — never blocks other readers.
-        if let Some(buf) = self.shards[idx].read().map.get(&blkno).cloned() {
+        // The lookup is a standalone statement so the read guard is
+        // released before the miss path below takes the write lock
+        // (an `if let` scrutinee guard would outlive the else branch
+        // on edition 2021 and self-deadlock).
+        let cached = self.shards[idx].read().map.get(&blkno).cloned();
+        let buf = if let Some(buf) = cached {
             self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
             self.touch(&buf);
-            if buf.test_flag(BhFlag::Uptodate) {
-                return Ok(buf);
-            }
-            // Cached but not uptodate (getblk'd earlier): read it in.
-            let mut data = vec![0u8; self.dev.block_size()];
-            self.dev.read_block(blkno, &mut data)?;
-            let mut h = buf.head.lock();
-            if !h.state.has(BhFlag::Uptodate) {
-                h.data = data;
-                h.state = h.state.with(BhFlag::Uptodate).with(BhFlag::Mapped);
-            }
-            drop(h);
-            return Ok(buf);
-        }
-        // Miss: fill from the device *before* taking the write lock, so
-        // concurrent misses on one shard overlap their device reads.
-        let mut data = vec![0u8; self.dev.block_size()];
-        self.dev.read_block(blkno, &mut data)?;
-        let buf = {
+            buf
+        } else {
+            // Miss: reserve a placeholder under the shard write lock,
+            // then fill it from the device *outside* the lock. The
+            // reservation must come before the device read: with
+            // read-then-insert, a concurrent thread can create, dirty,
+            // write back, and evict a buffer for this block while our
+            // read is in flight, and inserting our pre-writeback image
+            // afterwards would silently discard its committed update.
             let mut shard = self.shards[idx].write();
             if let Some(raced) = shard.map.get(&blkno).cloned() {
-                // Another thread filled it while we read: theirs wins.
                 self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
                 self.touch(&raced);
                 raced
@@ -485,19 +479,44 @@ impl BufferCache {
                 self.stats[idx].misses.fetch_add(1, Ordering::Relaxed);
                 let buf = self.new_buffer(
                     blkno,
-                    data,
-                    BufferState::EMPTY
-                        .with(BhFlag::Uptodate)
-                        .with(BhFlag::Mapped)
-                        .with(BhFlag::Req),
+                    vec![0u8; self.dev.block_size()],
+                    BufferState::EMPTY.with(BhFlag::Mapped),
                 );
                 shard.map.insert(blkno, Arc::clone(&buf));
                 self.shrink(idx, &mut shard)?;
                 buf
             }
         };
+        // Whether cached, raced, or freshly reserved: anything not yet
+        // uptodate (placeholder or earlier getblk) is read in here, so
+        // the documented `Uptodate | Mapped` contract holds on every
+        // path. Device IO overlaps across threads — no shard lock held.
+        self.fill_uptodate(&buf)?;
         self.maybe_readahead(blkno)?;
         Ok(buf)
+    }
+
+    /// Reads `buf` in from the device unless it is already uptodate.
+    /// `Uptodate` is never cleared once set, so the re-check under the
+    /// buffer's own mutex is decisive: a concurrent writer that made the
+    /// buffer uptodate (and possibly dirty) wins, and the device image —
+    /// which may predate that write — is discarded.
+    fn fill_uptodate(&self, buf: &Arc<Buffer>) -> KResult<()> {
+        if buf.test_flag(BhFlag::Uptodate) {
+            return Ok(());
+        }
+        let mut data = vec![0u8; self.dev.block_size()];
+        self.dev.read_block(buf.blkno(), &mut data)?;
+        let mut h = buf.head.lock();
+        if !h.state.has(BhFlag::Uptodate) {
+            h.data = data;
+            h.state = h
+                .state
+                .with(BhFlag::Uptodate)
+                .with(BhFlag::Mapped)
+                .with(BhFlag::Req);
+        }
+        Ok(())
     }
 
     /// Sequential readahead: prefetch the blocks that are about to be
@@ -529,45 +548,51 @@ impl BufferCache {
         if !sequential || depth == 0 {
             return Ok(());
         }
-        // The run ends at device end or the first already-cached block.
-        let mut count = 0usize;
+        // Reserve placeholders for the run first, under each shard's
+        // write lock; the run ends at device end or the first
+        // already-cached block. Reserving before the vectored device
+        // read closes the same stale-insert window as the bread miss
+        // path: a block another thread caches (and possibly dirties and
+        // writes back) meanwhile keeps that thread's buffer, and our
+        // prefetched image only lands in buffers we reserved that are
+        // still not uptodate.
+        let bs = self.dev.block_size();
+        let mut reserved: Vec<Arc<Buffer>> = Vec::new();
         for ahead in 0..depth as u64 {
             let next = blkno + 1 + ahead;
             if next >= self.dev.num_blocks() {
                 break;
             }
             let idx = self.shard_of(next);
-            if self.shards[idx].read().map.contains_key(&next) {
-                break;
-            }
-            count += 1;
-        }
-        if count == 0 {
-            return Ok(());
-        }
-        let bs = self.dev.block_size();
-        let mut data = vec![0u8; count * bs];
-        if self.dev.read_blocks(blkno + 1, count, &mut data).is_err() {
-            return Ok(()); // prefetch is best-effort
-        }
-        for (i, chunk) in data.chunks(bs).enumerate() {
-            let next = blkno + 1 + i as u64;
-            let idx = self.shard_of(next);
             let mut shard = self.shards[idx].write();
             if shard.map.contains_key(&next) {
-                continue;
+                break;
             }
-            let pre = self.new_buffer(
-                next,
-                chunk.to_vec(),
-                BufferState::EMPTY
-                    .with(BhFlag::Uptodate)
-                    .with(BhFlag::Mapped)
-                    .with(BhFlag::Req),
-            );
-            shard.map.insert(next, pre);
+            let pre = self.new_buffer(next, vec![0u8; bs], BufferState::EMPTY.with(BhFlag::Mapped));
+            shard.map.insert(next, Arc::clone(&pre));
             self.stats[idx].readaheads.fetch_add(1, Ordering::Relaxed);
             self.shrink(idx, &mut shard)?;
+            reserved.push(pre);
+        }
+        if reserved.is_empty() {
+            return Ok(());
+        }
+        let mut data = vec![0u8; reserved.len() * bs];
+        if self
+            .dev
+            .read_blocks(blkno + 1, reserved.len(), &mut data)
+            .is_err()
+        {
+            // Prefetch is best-effort: the placeholders stay cached and
+            // `bread` fills them on demand.
+            return Ok(());
+        }
+        for (pre, chunk) in reserved.iter().zip(data.chunks(bs)) {
+            let mut h = pre.head.lock();
+            if !h.state.has(BhFlag::Uptodate) {
+                h.data.copy_from_slice(chunk);
+                h.state = h.state.with(BhFlag::Uptodate).with(BhFlag::Req);
+            }
         }
         Ok(())
     }
@@ -683,11 +708,38 @@ impl BufferCache {
         self.dev.flush()
     }
 
+    /// Returns the cached buffer for `blkno`, if any, without touching
+    /// LRU position, statistics, or the device — unlike [`Self::getblk`],
+    /// a miss does not insert anything.
+    pub fn peek(&self, blkno: u64) -> Option<Arc<Buffer>> {
+        let idx = self.shard_of(blkno);
+        self.shards[idx].read().map.get(&blkno).cloned()
+    }
+
     /// Drops every cached buffer without writeback (used after a simulated
     /// crash, when cached state is by definition lost).
     pub fn invalidate(&self) {
         for shard in &self.shards {
             shard.write().map.clear();
+        }
+    }
+
+    /// Drops the listed blocks' buffers without writeback — except
+    /// buffers that are `Delay`-pinned, whose newest image belongs to an
+    /// in-flight journal transaction and must stay visible to readers.
+    /// Failed-commit paths use this to revert only their own published
+    /// blocks instead of clobbering the whole cache.
+    pub fn invalidate_blocks(&self, blknos: &[u64]) {
+        for &blkno in blknos {
+            let idx = self.shard_of(blkno);
+            let mut shard = self.shards[idx].write();
+            let pinned = shard
+                .map
+                .get(&blkno)
+                .is_some_and(|b| b.test_flag(BhFlag::Delay));
+            if !pinned {
+                shard.map.remove(&blkno);
+            }
         }
     }
 
@@ -934,6 +986,110 @@ mod tests {
         c.bread(6).unwrap();
         c.bread(7).unwrap(); // sequential at the last block
         assert_eq!(c.stats().readaheads, 0, "nothing past the end");
+    }
+
+    /// Regression for the bread miss-path lost-update race: with
+    /// read-then-insert, a thread's cold miss could read the device and
+    /// lose the CPU while another thread inserted, dirtied, wrote back,
+    /// and evicted the same block, then insert its stale pre-writeback
+    /// image as clean and uptodate. The slow device stretches every read
+    /// so the window — now closed by reserve-then-fill — is hit
+    /// constantly if it exists at all.
+    #[test]
+    fn concurrent_cold_misses_lose_no_updates_on_slow_device() {
+        use std::thread;
+
+        struct SlowDev(RamDisk);
+        impl BlockDevice for SlowDev {
+            fn num_blocks(&self) -> u64 {
+                self.0.num_blocks()
+            }
+            fn block_size(&self) -> usize {
+                self.0.block_size()
+            }
+            fn read_block(&self, b: u64, buf: &mut [u8]) -> KResult<()> {
+                std::thread::sleep(std::time::Duration::from_micros(20));
+                self.0.read_block(b, buf)
+            }
+            fn write_block(&self, b: u64, buf: &[u8]) -> KResult<()> {
+                self.0.write_block(b, buf)
+            }
+            fn flush(&self) -> KResult<()> {
+                self.0.flush()
+            }
+            fn stats(&self) -> crate::block::DeviceStats {
+                self.0.stats()
+            }
+        }
+
+        const THREADS: usize = 4;
+        const INCS: usize = 150;
+        // More hot blocks than threads: shrink refuses to evict a
+        // buffer some thread still holds, so with as many blocks as
+        // threads the cache can reach a stable all-resident state and
+        // stop missing entirely. With 8 blocks and at most 4 held,
+        // every shrink finds an unreferenced victim and churn persists.
+        const HOT_BLOCKS: u64 = 8;
+        let dev: Arc<dyn BlockDevice> = Arc::new(SlowDev(RamDisk::new(16)));
+        // Capacity 1, one shard: every miss immediately evicts (and
+        // writes back) whatever the other threads just dirtied.
+        let c = Arc::new(BufferCache::with_shards(Arc::clone(&dev), 1, 1));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let c = Arc::clone(&c);
+            handles.push(thread::spawn(move || {
+                for i in 0..INCS {
+                    let blk = (t as u64 + i as u64) % HOT_BLOCKS;
+                    let buf = c.bread(blk).expect("bread");
+                    buf.write(|d| d[t] = d[t].wrapping_add(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        c.sync_all().unwrap();
+        let mut expected = [[0u8; THREADS]; HOT_BLOCKS as usize];
+        for t in 0..THREADS {
+            for i in 0..INCS {
+                expected[((t as u64 + i as u64) % HOT_BLOCKS) as usize][t] += 1;
+            }
+        }
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for blk in 0..HOT_BLOCKS {
+            dev.read_block(blk, &mut out).unwrap();
+            for t in 0..THREADS {
+                assert_eq!(
+                    out[t], expected[blk as usize][t],
+                    "block {blk} slot {t}: lost update"
+                );
+            }
+        }
+        assert!(c.stats().evictions > 0, "the cache actually churned");
+    }
+
+    #[test]
+    fn peek_does_not_insert_or_count() {
+        let c = cache(8, 4);
+        assert!(c.peek(3).is_none());
+        assert!(c.is_empty());
+        c.bread(3).unwrap();
+        let stats_before = c.stats();
+        let b = c.peek(3).expect("cached");
+        assert!(b.test_flag(BhFlag::Uptodate));
+        assert_eq!(c.stats(), stats_before);
+    }
+
+    #[test]
+    fn invalidate_blocks_spares_delay_pinned() {
+        let c = cache(8, 8);
+        let pinned = c.bread(1).unwrap();
+        pinned.write(|d| d[0] = 9);
+        pinned.set_flag(BhFlag::Delay);
+        c.bread(2).unwrap();
+        c.invalidate_blocks(&[1, 2]);
+        assert!(c.peek(1).is_some(), "Delay-pinned buffer survives");
+        assert!(c.peek(2).is_none(), "unpinned buffer dropped");
     }
 
     #[test]
