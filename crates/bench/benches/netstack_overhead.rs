@@ -31,18 +31,8 @@ fn bench(c: &mut Criterion) {
     // Legacy pair, established connection.
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let la = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let lb = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::B,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
+    let la = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let lb = LegacyStack::new(LegacyCtx::new(), Side::B, wire.clone(), Arc::clone(&clock));
     let lserver = lb.socket(proto::TCP, 80).unwrap();
     lb.listen(lserver).unwrap();
     let lclient = la.socket(proto::TCP, 1234).unwrap();
@@ -75,7 +65,7 @@ fn bench(c: &mut Criterion) {
     let ma = ModularStack::new(
         Arc::clone(&registry),
         Side::A,
-        Arc::clone(&wire2),
+        wire2.clone(),
         Arc::clone(&clock),
     );
     let mb = ModularStack::new(registry, Side::B, wire2, Arc::clone(&clock));

@@ -1,8 +1,10 @@
-//! Storage-path benchmark report: measures the lock-striped buffer
-//! cache, the sharded dcache, group commit, and vectored IO, then writes
-//! `BENCH_storage.json` for EXPERIMENTS.md.
+//! Benchmark report: measures the lock-striped buffer cache, the
+//! sharded dcache, group commit, and vectored IO (`BENCH_storage.json`),
+//! plus both socket-layer generations over clean and adversarial links
+//! (`BENCH_net.json`), for EXPERIMENTS.md.
 //!
-//! Usage: `bench_report [--shards 1,8] [--threads N] [--out PATH]`
+//! Usage: `bench_report [--shards 1,8] [--threads N] [--out PATH]
+//! [--net-out PATH]`
 //!
 //! Two kinds of numbers, clearly separated in the output:
 //!
@@ -329,10 +331,213 @@ fn bench_vectored_io() -> Value {
     ])
 }
 
-fn parse_args() -> (Vec<usize>, usize, String) {
+/// The netstack soak in report form: one socket-layer generation pushes a
+/// fixed byte stream over a link profile; the row records how hard the
+/// TCP hardening had to work to get it across.
+mod netbench {
+    use super::{num, obj, Value};
+    use sk_core::modularity::Registry;
+    use sk_ksim::time::SimClock;
+    use sk_legacy::LegacyCtx;
+    use sk_netstack::fault::{FaultConfig, FaultyLink};
+    use sk_netstack::legacy_stack::LegacyStack;
+    use sk_netstack::modular_stack::{register_families, ModularStack};
+    use sk_netstack::packet::proto;
+    use sk_netstack::tcp::{TcpCounters, DEFAULT_RTO_NS};
+    use sk_netstack::wire::Side;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// The least common denominator of the two socket layers — only
+    /// socket creation differs between generations.
+    trait NetStack {
+        fn tcp_socket(&self, port: u16) -> u64;
+        fn listen(&self, fd: u64);
+        fn connect(&self, fd: u64, port: u16);
+        fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool;
+        fn recv(&self, fd: u64) -> Vec<u8>;
+        fn pump(&self);
+        fn tick(&self);
+        fn conn_failed(&self, fd: u64) -> bool;
+        fn counters(&self, fd: u64) -> TcpCounters;
+    }
+
+    impl NetStack for LegacyStack {
+        fn tcp_socket(&self, port: u16) -> u64 {
+            self.socket(proto::TCP, port).unwrap()
+        }
+        fn listen(&self, fd: u64) {
+            LegacyStack::listen(self, fd).unwrap()
+        }
+        fn connect(&self, fd: u64, port: u16) {
+            LegacyStack::connect(self, fd, port).unwrap()
+        }
+        fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool {
+            LegacyStack::send(self, fd, dst, data).is_ok()
+        }
+        fn recv(&self, fd: u64) -> Vec<u8> {
+            LegacyStack::recv(self, fd).unwrap_or_default()
+        }
+        fn pump(&self) {
+            LegacyStack::pump(self).unwrap();
+        }
+        fn tick(&self) {
+            LegacyStack::tick(self)
+        }
+        fn conn_failed(&self, fd: u64) -> bool {
+            LegacyStack::conn_failed(self, fd).unwrap_or(false)
+        }
+        fn counters(&self, fd: u64) -> TcpCounters {
+            self.tcp_counters(fd).unwrap_or_default()
+        }
+    }
+
+    impl NetStack for ModularStack {
+        fn tcp_socket(&self, port: u16) -> u64 {
+            self.socket("tcp", port).unwrap()
+        }
+        fn listen(&self, fd: u64) {
+            ModularStack::listen(self, fd).unwrap()
+        }
+        fn connect(&self, fd: u64, port: u16) {
+            ModularStack::connect(self, fd, port).unwrap()
+        }
+        fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool {
+            ModularStack::send(self, fd, dst, data).is_ok()
+        }
+        fn recv(&self, fd: u64) -> Vec<u8> {
+            ModularStack::recv(self, fd).unwrap_or_default()
+        }
+        fn pump(&self) {
+            ModularStack::pump(self).unwrap();
+        }
+        fn tick(&self) {
+            ModularStack::tick(self)
+        }
+        fn conn_failed(&self, fd: u64) -> bool {
+            ModularStack::conn_failed(self, fd).unwrap_or(false)
+        }
+        fn counters(&self, fd: u64) -> TcpCounters {
+            self.tcp_counters(fd).unwrap_or_default()
+        }
+    }
+
+    const STREAM_BYTES: usize = 128 * 1024;
+    const CHUNK: usize = 4096;
+    const SEED: u64 = 42;
+
+    fn drive<S: NetStack>(
+        generation: &str,
+        profile: &str,
+        cfg: FaultConfig,
+        client: &S,
+        server: &S,
+        clock: &SimClock,
+        link: &FaultyLink,
+    ) -> Value {
+        let sfd = server.tcp_socket(80);
+        server.listen(sfd);
+        let cfd = client.tcp_socket(5000);
+        client.connect(cfd, 80);
+
+        let chunk: Vec<u8> = (0..CHUNK).map(|i| (i * 31) as u8).collect();
+        let mut submitted = 0usize;
+        let mut delivered = 0usize;
+        let mut rounds = 0u64;
+        let mut failed = false;
+        let t0 = Instant::now();
+        for round in 0..200_000u64 {
+            rounds = round + 1;
+            client.pump();
+            server.pump();
+            if submitted < STREAM_BYTES && client.try_send(cfd, 80, &chunk) {
+                submitted += chunk.len();
+            }
+            delivered += server.recv(sfd).len();
+            if delivered >= STREAM_BYTES {
+                break;
+            }
+            if client.conn_failed(cfd) || server.conn_failed(sfd) {
+                failed = true;
+                break;
+            }
+            clock.advance(DEFAULT_RTO_NS / 4);
+            client.tick();
+            server.tick();
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let c = client.counters(cfd);
+        let s = server.counters(sfd);
+        let ls = link.stats();
+        println!(
+            "netstack {generation:<7} {profile:<7}: {delivered} B in {rounds} rounds, \
+             {:.1} MB/s wall, {} retx, {} link drops{}",
+            delivered as f64 / (wall_ns as f64 / 1e9) / 1e6,
+            c.retransmits,
+            ls.dropped,
+            if failed { ", FAILED" } else { "" }
+        );
+        obj(vec![
+            ("generation", Value::String(generation.to_string())),
+            ("link", Value::String(profile.to_string())),
+            ("drop_rate", num(cfg.drop)),
+            ("bytes", num(delivered as f64)),
+            ("rounds", num(rounds as f64)),
+            ("wall_ns", num(wall_ns as f64)),
+            (
+                "throughput_mb_s",
+                num(delivered as f64 / (wall_ns as f64 / 1e9) / 1e6),
+            ),
+            ("retransmits", num(c.retransmits as f64)),
+            ("dup_acks_dropped", num(c.dup_acks_dropped as f64)),
+            ("ooo_buffered", num(s.ooo_buffered as f64)),
+            ("ooo_purged", num(s.ooo_purged as f64)),
+            ("link_sent", num(ls.sent as f64)),
+            ("link_dropped", num(ls.dropped as f64)),
+            ("link_duplicated", num(ls.duplicated as f64)),
+            ("link_reordered", num(ls.reordered as f64)),
+            ("link_corrupted", num(ls.corrupted as f64)),
+            ("completed", Value::Bool(!failed)),
+        ])
+    }
+
+    /// Both generations × {clean, lossy20} — the adversarial profile is
+    /// the soak link from `tests/netstack_props.rs`.
+    pub fn bench_netstack() -> Value {
+        let profiles = [
+            ("clean", FaultConfig::default()),
+            ("lossy20", FaultConfig::adversarial(DEFAULT_RTO_NS / 4)),
+        ];
+        let mut rows = Vec::new();
+        for (name, cfg) in profiles {
+            let clock = Arc::new(SimClock::new());
+            let link = Arc::new(FaultyLink::new(cfg, SEED, Arc::clone(&clock)));
+            let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+            let b = LegacyStack::new(LegacyCtx::new(), Side::B, link.clone(), Arc::clone(&clock));
+            rows.push(drive("legacy", name, cfg, &a, &b, &clock, &link));
+
+            let clock = Arc::new(SimClock::new());
+            let link = Arc::new(FaultyLink::new(cfg, SEED, Arc::clone(&clock)));
+            let registry = Arc::new(Registry::new());
+            register_families(&registry).unwrap();
+            let a = ModularStack::new(
+                Arc::clone(&registry),
+                Side::A,
+                link.clone(),
+                Arc::clone(&clock),
+            );
+            let b = ModularStack::new(registry, Side::B, link.clone(), Arc::clone(&clock));
+            rows.push(drive("modular", name, cfg, &a, &b, &clock, &link));
+        }
+        Value::Array(rows)
+    }
+}
+
+fn parse_args() -> (Vec<usize>, usize, String, String) {
     let mut shards = vec![1usize, 8];
     let mut threads = 8usize;
     let mut out = "BENCH_storage.json".to_string();
+    let mut net_out = "BENCH_net.json".to_string();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -352,17 +557,21 @@ fn parse_args() -> (Vec<usize>, usize, String) {
                 out = args[i + 1].clone();
                 i += 2;
             }
+            "--net-out" if i + 1 < args.len() => {
+                net_out = args[i + 1].clone();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
     }
-    (shards, threads, out)
+    (shards, threads, out, net_out)
 }
 
 fn main() {
-    let (shards, threads, out) = parse_args();
+    let (shards, threads, out, net_out) = parse_args();
     println!("== storage-path benchmark report (shards {shards:?}, {threads} threads) ==\n");
 
     // Verify rsfs state survives the concurrent group-commit run: a quick
@@ -396,5 +605,20 @@ fn main() {
 
     let json = serde_json::to_string(&report).expect("serialize");
     std::fs::write(&out, &json).expect("write report");
-    println!("\nwrote {out}");
+    println!("\nwrote {out}\n");
+
+    println!("== netstack benchmark report ==\n");
+    let net_report = obj(vec![
+        (
+            "meta",
+            obj(vec![
+                ("stream_bytes", num((128 * 1024) as f64)),
+                ("seed", num(42.0)),
+            ]),
+        ),
+        ("soak", netbench::bench_netstack()),
+    ]);
+    let json = serde_json::to_string(&net_report).expect("serialize");
+    std::fs::write(&net_out, &json).expect("write net report");
+    println!("\nwrote {net_out}");
 }

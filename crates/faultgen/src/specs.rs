@@ -210,12 +210,7 @@ fn legacy_net_pair() -> (LegacyStack, LegacyStack) {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
     (
-        LegacyStack::new(
-            LegacyCtx::new(),
-            Side::A,
-            Arc::clone(&wire),
-            Arc::clone(&clock),
-        ),
+        LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock)),
         LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock),
     )
 }
@@ -435,7 +430,7 @@ fn design_flaw_probe(seed: u64) -> RunOutcome {
 fn weak_entropy_probe() -> RunOutcome {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(LegacyCtx::new(), Side::A, Arc::clone(&wire), clock);
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), clock);
     let s1 = a.socket(proto::TCP, 10).expect("socket");
     let s2 = a.socket(proto::TCP, 11).expect("socket");
     a.connect(s1, 80).expect("connect");

@@ -24,9 +24,9 @@ use sk_ksim::time::SimClock;
 use sk_legacy::{LegacyCtx, VoidPtr};
 
 use crate::packet::{proto, Packet};
-use crate::tcp::{TcpPcb, TcpState};
+use crate::tcp::{TcpCounters, TcpPcb, TcpState};
 use crate::udp::UdpPcb;
-use crate::wire::{Side, Wire};
+use crate::wire::{Link, Side};
 
 /// An L2CAP data channel's private state.
 #[derive(Debug)]
@@ -61,11 +61,11 @@ struct LegacySock {
     sk_protinfo: VoidPtr,
 }
 
-/// The legacy socket layer on one end of a wire.
+/// The legacy socket layer on one end of a link.
 pub struct LegacyStack {
     ctx: LegacyCtx,
     side: Side,
-    wire: Arc<Wire>,
+    wire: Arc<dyn Link>,
     clock: Arc<SimClock>,
     sockets: Mutex<HashMap<u64, LegacySock>>,
     channels: Mutex<HashMap<u16, VoidPtr>>,
@@ -74,8 +74,14 @@ pub struct LegacyStack {
 }
 
 impl LegacyStack {
-    /// Creates a stack on `side` of `wire`.
-    pub fn new(ctx: LegacyCtx, side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> LegacyStack {
+    /// Creates a stack on `side` of `wire` — the perfect [`crate::wire::Wire`]
+    /// or the adversarial [`crate::fault::FaultyLink`].
+    pub fn new(
+        ctx: LegacyCtx,
+        side: Side,
+        wire: Arc<dyn Link>,
+        clock: Arc<SimClock>,
+    ) -> LegacyStack {
         LegacyStack {
             ctx,
             side,
@@ -221,6 +227,51 @@ impl LegacyStack {
             .ok_or(Errno::EPROTO)
     }
 
+    /// Per-connection event counters (retransmits, dropped dup-acks,
+    /// out-of-order buffering, resets).
+    pub fn tcp_counters(&self, fd: u64) -> KResult<TcpCounters> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        self.ctx
+            .vp_cast(p, "legacy_stack::tcp_counters", |pcb: &TcpPcb| pcb.counters)
+            .ok_or(Errno::EPROTO)
+    }
+
+    /// True once the connection died abnormally (retry budget exhausted or
+    /// reset by the peer) — the reportable failure the tentpole demands.
+    pub fn conn_failed(&self, fd: u64) -> KResult<bool> {
+        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        self.ctx
+            .vp_cast(p, "legacy_stack::conn_failed", |pcb: &TcpPcb| {
+                pcb.is_failed()
+            })
+            .ok_or(Errno::EPROTO)
+    }
+
+    /// Frees every TCP socket whose PCB has reached `Closed` after being
+    /// connected (orderly teardown, TIME_WAIT expiry, reset, or retry
+    /// exhaustion). Returns how many were reaped.
+    pub fn reap_closed(&self) -> usize {
+        let mut socks = self.sockets.lock();
+        let dead: Vec<u64> = socks
+            .iter()
+            .filter(|(_, s)| {
+                s.proto == proto::TCP
+                    && self
+                        .ctx
+                        .vp_cast(s.sk_protinfo, "legacy_stack::reap", |pcb: &TcpPcb| {
+                            pcb.is_defunct()
+                        })
+                        .unwrap_or(false)
+            })
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in &dead {
+            let s = socks.remove(fd).expect("fd just listed");
+            self.ctx.vp_free(s.sk_protinfo, "legacy_stack::reap");
+        }
+        dead.len()
+    }
+
     /// Closes a socket, freeing its protinfo.
     pub fn close(&self, fd: u64) -> KResult<()> {
         let sock = self.sockets.lock().remove(&fd).ok_or(Errno::EBADF)?;
@@ -247,7 +298,14 @@ impl LegacyStack {
     pub fn pump(&self) -> KResult<usize> {
         let now = self.clock.now_ns();
         let mut count = 0;
-        while let Some(pkt) = self.wire.recv(self.side)? {
+        loop {
+            let pkt = match self.wire.recv(self.side) {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                // A frame that failed checksum/parse: a detected loss the
+                // retransmission machinery heals — never a dead pump.
+                Err(_) => continue,
+            };
             count += 1;
             if pkt.proto == proto::AMP_CTRL {
                 let _ = self.handle_ctrl_packet(&pkt);
@@ -392,17 +450,13 @@ impl LegacyStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::Wire;
     use sk_legacy::BugClass;
 
     fn pair() -> (LegacyStack, LegacyStack) {
         let wire = Arc::new(Wire::new());
         let clock = Arc::new(SimClock::new());
-        let a = LegacyStack::new(
-            LegacyCtx::new(),
-            Side::A,
-            Arc::clone(&wire),
-            Arc::clone(&clock),
-        );
+        let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
         let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock);
         (a, b)
     }
@@ -493,12 +547,7 @@ mod tests {
             42,
         ));
         let clock = Arc::new(SimClock::new());
-        let a = LegacyStack::new(
-            LegacyCtx::new(),
-            Side::A,
-            Arc::clone(&wire),
-            Arc::clone(&clock),
-        );
+        let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
         let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, Arc::clone(&clock));
         let server = b.socket(proto::TCP, 80).unwrap();
         b.listen(server).unwrap();

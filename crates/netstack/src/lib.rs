@@ -23,12 +23,16 @@
 //!   typed [`modular_stack::ProtoSocket`] trait behind the Step-1 registry;
 //!   per-socket state is an enum, so the same crafted packet is refused
 //!   with `EPROTO` instead of confusing types.
-//! - [`wire`]/[`packet`]: the substrate — a byte-serialized packet format
-//!   and an in-memory duplex wire with deterministic loss/duplication.
+//! - [`wire`]/[`packet`]: the substrate — a checksummed byte-serialized
+//!   packet format and an in-memory duplex wire with deterministic
+//!   loss/duplication, both behind the [`wire::Link`] trait.
+//! - [`fault`]: the adversarial link — seeded drop/duplicate/reorder/
+//!   delay/corrupt injection that both stack generations must survive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod legacy_stack;
 pub mod modular_stack;
 pub mod packet;
@@ -37,7 +41,8 @@ pub mod tcp;
 pub mod udp;
 pub mod wire;
 
+pub use fault::{FaultConfig, FaultyLink};
 pub use packet::Packet;
 pub use spec::{StreamChecker, StreamModel};
-pub use tcp::{TcpPcb, TcpState};
-pub use wire::Wire;
+pub use tcp::{TcpCounters, TcpPcb, TcpState};
+pub use wire::{Link, LinkStats, Wire};

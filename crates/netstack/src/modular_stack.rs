@@ -18,9 +18,9 @@ use sk_ksim::errno::{Errno, KResult};
 use sk_ksim::time::SimClock;
 
 use crate::packet::{proto, Packet};
-use crate::tcp::{TcpPcb, TcpState};
+use crate::tcp::{TcpCounters, TcpPcb, TcpState};
 use crate::udp::UdpPcb;
-use crate::wire::{Side, Wire};
+use crate::wire::{Link, Side};
 
 /// A protocol's per-socket engine, behind the typed interface.
 pub trait ProtoSocket: Send {
@@ -53,6 +53,19 @@ pub trait ProtoSocket: Send {
     fn tick(&mut self, now: u64) -> Vec<Packet>;
     /// Begins close; returns packets to transmit.
     fn close(&mut self, now: u64) -> Vec<Packet>;
+    /// Per-connection event counters (zero for stateless protocols).
+    fn counters(&self) -> TcpCounters {
+        TcpCounters::default()
+    }
+    /// True once the connection died abnormally (retry budget exhausted
+    /// or reset by the peer).
+    fn conn_failed(&self) -> bool {
+        false
+    }
+    /// True when the socket is finished and the layer may reap it.
+    fn reapable(&self) -> bool {
+        false
+    }
 }
 
 /// A protocol family: a factory for sockets (what the registry stores).
@@ -109,6 +122,15 @@ impl ProtoSocket for TcpSocket {
     }
     fn close(&mut self, now: u64) -> Vec<Packet> {
         self.pcb.close(now).into_iter().collect()
+    }
+    fn counters(&self) -> TcpCounters {
+        self.pcb.counters
+    }
+    fn conn_failed(&self) -> bool {
+        self.pcb.is_failed()
+    }
+    fn reapable(&self) -> bool {
+        self.pcb.is_defunct()
     }
 }
 
@@ -213,10 +235,10 @@ pub enum Channel {
     },
 }
 
-/// The modular socket layer on one end of a wire.
+/// The modular socket layer on one end of a link.
 pub struct ModularStack {
     side: Side,
-    wire: Arc<Wire>,
+    wire: Arc<dyn Link>,
     clock: Arc<SimClock>,
     sockets: Mutex<HashMap<u64, Box<dyn ProtoSocket>>>,
     channels: Mutex<HashMap<u16, Channel>>,
@@ -227,11 +249,13 @@ pub struct ModularStack {
 
 impl ModularStack {
     /// Creates a stack using the protocol families registered in
-    /// `registry`.
+    /// `registry`, pumping through `wire` — the perfect
+    /// [`crate::wire::Wire`] or the adversarial
+    /// [`crate::fault::FaultyLink`].
     pub fn new(
         registry: Arc<Registry>,
         side: Side,
-        wire: Arc<Wire>,
+        wire: Arc<dyn Link>,
         clock: Arc<SimClock>,
     ) -> ModularStack {
         ModularStack {
@@ -317,7 +341,14 @@ impl ModularStack {
     pub fn pump(&self) -> KResult<usize> {
         let now = self.clock.now_ns();
         let mut count = 0;
-        while let Some(pkt) = self.wire.recv(self.side)? {
+        loop {
+            let pkt = match self.wire.recv(self.side) {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                // A frame that failed checksum/parse: a detected loss the
+                // retransmission machinery heals — never a dead pump.
+                Err(_) => continue,
+            };
             count += 1;
             if pkt.proto == proto::AMP_CTRL {
                 let _ = self.handle_ctrl_packet(&pkt);
@@ -412,6 +443,32 @@ impl ModularStack {
         }
     }
 
+    /// Per-connection event counters, through the typed interface.
+    pub fn tcp_counters(&self, fd: u64) -> KResult<TcpCounters> {
+        self.with_sock(fd, |s| s.counters())
+    }
+
+    /// True once the connection died abnormally — the typed failure
+    /// report (no downcast required).
+    pub fn conn_failed(&self, fd: u64) -> KResult<bool> {
+        self.with_sock(fd, |s| s.conn_failed())
+    }
+
+    /// Removes every socket that reports itself finished
+    /// ([`ProtoSocket::reapable`]). Returns how many were reaped.
+    pub fn reap_closed(&self) -> usize {
+        let mut socks = self.sockets.lock();
+        let dead: Vec<u64> = socks
+            .iter()
+            .filter(|(_, s)| s.reapable())
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in &dead {
+            socks.remove(fd);
+        }
+        dead.len()
+    }
+
     /// TCP state of a socket, when it is one (tests).
     pub fn tcp_state(&self, fd: u64) -> KResult<Option<TcpState>> {
         self.with_sock(fd, |s| {
@@ -430,6 +487,7 @@ impl ModularStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::Wire;
 
     fn pair() -> (ModularStack, ModularStack, Arc<SimClock>) {
         let registry = Arc::new(Registry::new());
@@ -439,7 +497,7 @@ mod tests {
         let a = ModularStack::new(
             Arc::clone(&registry),
             Side::A,
-            Arc::clone(&wire),
+            wire.clone(),
             Arc::clone(&clock),
         );
         let b = ModularStack::new(registry, Side::B, wire, Arc::clone(&clock));
@@ -606,7 +664,7 @@ mod tests {
         let a = ModularStack::new(
             Arc::clone(&registry),
             Side::A,
-            Arc::clone(&wire),
+            wire.clone(),
             Arc::clone(&clock),
         );
         let b = ModularStack::new(registry, Side::B, wire, Arc::clone(&clock));

@@ -1,14 +1,18 @@
 //! The wire packet format.
 //!
-//! A fixed 16-byte header followed by the payload:
+//! A fixed 20-byte header followed by the payload:
 //!
 //! ```text
 //! proto: u8 | flags: u8 | src_port: u16 | dst_port: u16 | len: u16
-//! seq: u32  | ack: u32  | payload: [u8; len]
+//! seq: u32  | ack: u32  | csum: u32     | payload: [u8; len]
 //! ```
 //!
-//! Decoding is strict: short frames, bad lengths, and unknown protocol
-//! numbers are `EBADMSG`, never a sliced-anyway read.
+//! Decoding is strict: short frames, bad lengths, unknown protocol
+//! numbers, and checksum mismatches are `EBADMSG`, never a sliced-anyway
+//! read. The checksum (FNV-1a over header fields and payload) is what
+//! turns a corrupting link into a *detected* loss: a flipped bit anywhere
+//! in the frame fails verification and the frame is dropped, so TCP's
+//! retransmission machinery heals it instead of delivering garbage.
 
 use sk_ksim::errno::{Errno, KResult};
 
@@ -35,7 +39,7 @@ pub mod flags {
 }
 
 /// Header length in bytes.
-pub const HEADER_LEN: usize = 16;
+pub const HEADER_LEN: usize = 20;
 
 /// Maximum payload per packet (the wire MTU minus headers).
 pub const MAX_PAYLOAD: usize = 1000;
@@ -73,6 +77,32 @@ impl Packet {
         }
     }
 
+    /// FNV-1a over everything but the checksum field itself.
+    fn checksum(&self) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        let mut mix = |b: u8| {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        mix(self.proto);
+        mix(self.flags);
+        for b in self
+            .src_port
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.dst_port.to_le_bytes())
+            .chain((self.payload.len() as u16).to_le_bytes())
+            .chain(self.seq.to_le_bytes())
+            .chain(self.ack.to_le_bytes())
+        {
+            mix(b);
+        }
+        for &b in &self.payload {
+            mix(b);
+        }
+        h
+    }
+
     /// Serializes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
@@ -83,6 +113,7 @@ impl Packet {
         out.extend_from_slice(&(self.payload.len() as u16).to_le_bytes());
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&self.ack.to_le_bytes());
+        out.extend_from_slice(&self.checksum().to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
@@ -100,7 +131,7 @@ impl Packet {
         if !matches!(proto, proto::TCP | proto::UDP | proto::AMP_CTRL) {
             return Err(Errno::EPROTONOSUPPORT);
         }
-        Ok(Packet {
+        let pkt = Packet {
             proto,
             flags: bytes[1],
             src_port: u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")),
@@ -108,7 +139,12 @@ impl Packet {
             seq: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
             ack: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
             payload: bytes[HEADER_LEN..].to_vec(),
-        })
+        };
+        let csum = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        if csum != pkt.checksum() {
+            return Err(Errno::EBADMSG);
+        }
+        Ok(pkt)
     }
 }
 
@@ -151,5 +187,24 @@ mod tests {
     fn empty_payload_ok() {
         let p = Packet::new(proto::UDP, 5, 6);
         assert_eq!(Packet::decode(&p.encode()).unwrap().payload.len(), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_anywhere_is_detected() {
+        let mut p = Packet::new(proto::TCP, 80, 1234);
+        p.flags = flags::SYN;
+        p.seq = 42;
+        p.payload = b"checksummed".to_vec();
+        let clean = p.encode();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut dirty = clean.clone();
+                dirty[byte] ^= 1 << bit;
+                assert!(
+                    Packet::decode(&dirty).is_err(),
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
     }
 }

@@ -12,6 +12,11 @@
 //! > quiescent (eventually-delivering) wire, the prefix eventually reaches
 //! > the whole sequence.
 //!
+//! A connection may also **fail cleanly** (retry budget exhausted, reset
+//! by the peer): the delivered prefix freezes — it stays a valid prefix
+//! and nothing more may ever be delivered. [`StreamChecker::on_connection_failed`]
+//! records the event and enforces the freeze.
+//!
 //! [`StreamModel`] is the pure model; [`StreamChecker`] validates an
 //! implementation's delivery events against it. The netstack test suites
 //! (and `tests/netstack_interop.rs`) drive real engines over lossy,
@@ -67,6 +72,7 @@ impl StreamModel {
 pub struct StreamChecker {
     model: StreamModel,
     violations: Vec<String>,
+    failed: bool,
 }
 
 impl StreamChecker {
@@ -80,9 +86,25 @@ impl StreamChecker {
         self.model.sent.extend_from_slice(data);
     }
 
+    /// Records that the connection reported a clean failure. The
+    /// delivered prefix freezes: any later delivery is a violation.
+    pub fn on_connection_failed(&mut self) {
+        self.failed = true;
+    }
+
+    /// True once a clean connection failure was recorded.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
     /// Records that the receiving application consumed `data`, checking
     /// the prefix-delivery relation byte for byte.
     pub fn on_deliver(&mut self, data: &[u8]) {
+        if self.failed && !data.is_empty() {
+            self.violations
+                .push("delivery after reported connection failure".to_string());
+            return;
+        }
         let start = self.model.delivered;
         let end = start + data.len();
         if end > self.model.sent.len() {

@@ -3,8 +3,32 @@
 //! Pure state + packet-in/packets-out functions — no IO, no clocks of its
 //! own (time is passed in, from the simulated clock). Covers the
 //! three-way handshake, cumulative acknowledgement, out-of-order segment
-//! reassembly, timeout retransmission, RST handling, and the FIN teardown
-//! handshake. Segments carry at most [`MAX_PAYLOAD`] bytes.
+//! reassembly, timeout retransmission with exponential backoff, RST
+//! handling, and the FIN teardown handshake. Segments carry at most
+//! [`MAX_PAYLOAD`] bytes.
+//!
+//! Hardened against an adversarial link (`crate::fault::FaultyLink`):
+//!
+//! - **RST window check** — a reset is honoured only when it is plausibly
+//!   from the peer: `seq == rcv_nxt` in synchronized states, an ACK
+//!   covering our SYN in `SynSent`, never in `Listen`. Blind RSTs are
+//!   dropped.
+//! - **ACK window check** — only ACKs in `(snd_una, snd_nxt]` retire
+//!   in-flight data; stale duplicates and ghost ACKs beyond anything sent
+//!   are counted and dropped.
+//! - **Exponential RTO backoff with a retry budget** — each in-flight
+//!   segment may be retransmitted at most [`MAX_RETRIES`] times, with the
+//!   effective RTO doubling per backoff round (capped at
+//!   `RTO << MAX_BACKOFF_SHIFT`); exhausting the budget moves the
+//!   connection to a reportable failed-`Closed` state and stops all
+//!   transmission.
+//! - **TIME_WAIT expiry** — [`TIME_WAIT_NS`] after entering `TimeWait`
+//!   the PCB transitions to `Closed` on its own `tick`, so socket layers
+//!   can reap it.
+//! - **Bounded reassembly** — the out-of-order buffer holds at most
+//!   [`OOO_BUDGET`] segments, purges entries covered by cumulative
+//!   advances, and never scans by smallest numeric key (which is wrong
+//!   across sequence wraparound).
 //!
 //! Both the legacy and the modular socket layers drive this same engine;
 //! the roadmap experiment varies only the interface around it.
@@ -13,7 +37,7 @@ use std::collections::BTreeMap;
 
 use crate::packet::{flags, proto, Packet, MAX_PAYLOAD};
 
-/// TCP connection states (the classic diagram, minus TIME_WAIT timers).
+/// TCP connection states (the classic diagram).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum TcpState {
@@ -32,13 +56,62 @@ pub enum TcpState {
 /// Default retransmission timeout (simulated ns).
 pub const DEFAULT_RTO_NS: u64 = 200_000_000;
 
+/// Maximum retransmissions of a single segment before the connection is
+/// declared failed.
+pub const MAX_RETRIES: u32 = 8;
+
+/// Cap on the exponential backoff: the effective RTO never exceeds
+/// `rto_ns << MAX_BACKOFF_SHIFT`.
+pub const MAX_BACKOFF_SHIFT: u32 = 6;
+
+/// How long a PCB lingers in `TimeWait` before reaching `Closed` (the
+/// 2×MSL analogue, in simulated ns).
+pub const TIME_WAIT_NS: u64 = 4 * DEFAULT_RTO_NS;
+
+/// Maximum segments buffered out of order; arrivals beyond the budget are
+/// dropped (the sender retransmits them once the gap heals).
+pub const OOO_BUDGET: usize = 64;
+
+/// Per-connection event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpCounters {
+    /// Segments retransmitted after an RTO expiry.
+    pub retransmits: u64,
+    /// ACKs dropped for being outside `(snd_una, snd_nxt]` — stale
+    /// duplicates and ghost ACKs for data never sent.
+    pub dup_acks_dropped: u64,
+    /// Segments accepted into the out-of-order buffer.
+    pub ooo_buffered: u64,
+    /// Out-of-order entries discarded: covered by a cumulative advance,
+    /// or refused because the buffer was at budget.
+    pub ooo_purged: u64,
+    /// RST packets this endpoint emitted.
+    pub resets_sent: u64,
+    /// RST packets this endpoint accepted (blind RSTs are not counted;
+    /// they are dropped).
+    pub resets_received: u64,
+}
+
 /// A segment awaiting acknowledgement.
 #[derive(Debug, Clone)]
 struct InFlight {
     seq: u32,
     data: Vec<u8>,
-    fin: bool,
+    /// The flags the segment was originally sent with — retransmissions
+    /// reuse them verbatim instead of re-deriving (and mis-deriving) them
+    /// from the current connection state.
+    flags: u8,
     sent_at: u64,
+    retries: u32,
+}
+
+impl InFlight {
+    /// Sequence space the segment occupies (payload plus SYN/FIN).
+    fn occupied(&self) -> u32 {
+        self.data.len() as u32
+            + u32::from(self.flags & flags::SYN != 0)
+            + u32::from(self.flags & flags::FIN != 0)
+    }
 }
 
 /// The TCP protocol control block.
@@ -62,10 +135,17 @@ pub struct TcpPcb {
     ooo: BTreeMap<u32, Vec<u8>>,
     /// Unacknowledged segments for retransmission.
     in_flight: Vec<InFlight>,
-    /// Retransmission timeout.
+    /// Base retransmission timeout (doubled per backoff round).
     pub rto_ns: u64,
-    /// Retransmissions performed (stats).
-    pub retransmits: u64,
+    /// Current backoff round: effective RTO is `rto_ns << backoff_shift`.
+    backoff_shift: u32,
+    /// When the `TimeWait` lingering ends (valid while in `TimeWait`).
+    time_wait_until: u64,
+    /// True once the connection died abnormally (retry budget exhausted
+    /// or reset by the peer) rather than via an orderly FIN handshake.
+    failed: bool,
+    /// Event counters.
+    pub counters: TcpCounters,
 }
 
 impl TcpPcb {
@@ -82,13 +162,45 @@ impl TcpPcb {
             ooo: BTreeMap::new(),
             in_flight: Vec::new(),
             rto_ns: DEFAULT_RTO_NS,
-            retransmits: 0,
+            backoff_shift: 0,
+            time_wait_until: 0,
+            failed: false,
+            counters: TcpCounters::default(),
         }
     }
 
     /// Moves to LISTEN.
     pub fn listen(&mut self) {
         self.state = TcpState::Listen;
+    }
+
+    /// True once the connection died abnormally: the retry budget ran out
+    /// or the peer reset it. `Closed` + `!is_failed()` is an orderly end.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// True when the PCB is finished and the socket layer may reap it: it
+    /// reached `Closed` after actually being connected (a fresh, never-used
+    /// PCB is also `Closed` but not reapable).
+    pub fn is_defunct(&self) -> bool {
+        self.state == TcpState::Closed && (self.remote_port != 0 || self.failed)
+    }
+
+    /// The effective retransmission timeout under the current backoff.
+    pub fn effective_rto(&self) -> u64 {
+        self.rto_ns
+            .saturating_mul(1u64 << self.backoff_shift.min(MAX_BACKOFF_SHIFT))
+    }
+
+    /// Every transition into `Closed` funnels here: retransmission state
+    /// is cleared so a dead connection can never emit another segment.
+    fn enter_closed(&mut self, failed: bool) {
+        self.state = TcpState::Closed;
+        self.in_flight.clear();
+        self.counters.ooo_purged += self.ooo.len() as u64;
+        self.ooo.clear();
+        self.failed |= failed;
     }
 
     fn mk(&self, fl: u8) -> Packet {
@@ -103,17 +215,22 @@ impl TcpPcb {
         }
     }
 
+    fn track(&mut self, seq: u32, data: Vec<u8>, fl: u8, now: u64) {
+        self.in_flight.push(InFlight {
+            seq,
+            data,
+            flags: fl,
+            sent_at: now,
+            retries: 0,
+        });
+    }
+
     /// Initiates a connection to `remote_port`; returns the SYN.
     pub fn connect(&mut self, remote_port: u16, now: u64) -> Packet {
         self.remote_port = remote_port;
         self.state = TcpState::SynSent;
         let syn = self.mk(flags::SYN);
-        self.in_flight.push(InFlight {
-            seq: self.snd_nxt,
-            data: Vec::new(),
-            fin: false,
-            sent_at: now,
-        });
+        self.track(self.snd_nxt, Vec::new(), flags::SYN, now);
         self.snd_nxt = self.snd_nxt.wrapping_add(1); // SYN consumes one.
         syn
     }
@@ -127,12 +244,7 @@ impl TcpPcb {
         for chunk in data.chunks(MAX_PAYLOAD) {
             let mut pkt = self.mk(flags::ACK);
             pkt.payload = chunk.to_vec();
-            self.in_flight.push(InFlight {
-                seq: self.snd_nxt,
-                data: chunk.to_vec(),
-                fin: false,
-                sent_at: now,
-            });
+            self.track(self.snd_nxt, chunk.to_vec(), flags::ACK, now);
             self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
             out.push(pkt);
         }
@@ -149,40 +261,96 @@ impl TcpPcb {
         self.recv_ready.len()
     }
 
+    /// Segments currently buffered out of order (tests, stats).
+    pub fn ooo_len(&self) -> usize {
+        self.ooo.len()
+    }
+
     /// Begins an active close; returns the FIN if one can be sent now.
     pub fn close(&mut self, now: u64) -> Option<Packet> {
         match self.state {
             TcpState::Established => self.state = TcpState::FinWait1,
             TcpState::CloseWait => self.state = TcpState::LastAck,
             TcpState::SynSent | TcpState::Listen | TcpState::Closed => {
-                self.state = TcpState::Closed;
+                // Nothing to hand over: drop any in-flight SYN so a closed
+                // socket never keeps retransmitting.
+                self.enter_closed(false);
                 return None;
             }
             _ => return None,
         }
         let fin = self.mk(flags::FIN | flags::ACK);
-        self.in_flight.push(InFlight {
-            seq: self.snd_nxt,
-            data: Vec::new(),
-            fin: true,
-            sent_at: now,
-        });
+        self.track(self.snd_nxt, Vec::new(), flags::FIN | flags::ACK, now);
         self.snd_nxt = self.snd_nxt.wrapping_add(1); // FIN consumes one.
         Some(fin)
     }
 
-    fn process_ack(&mut self, ack: u32) {
-        // Cumulative ACK: retire fully acknowledged segments.
-        self.in_flight.retain(|seg| {
-            let seg_end = seg
-                .seq
-                .wrapping_add(seg.data.len() as u32)
-                .wrapping_add(u32::from(seg.fin) + u32::from(seg.data.is_empty() && !seg.fin));
-            // For SYN segments data is empty and !fin: they occupy 1 seq.
-            seq_lt(ack, seg_end)
-        });
-        if seq_lt(self.snd_una, ack) {
-            self.snd_una = ack;
+    /// Processes a cumulative ACK. Only values in `(snd_una, snd_nxt]`
+    /// retire data; anything else is dropped (and counted) so a stale or
+    /// forged ACK can never advance `snd_una` past data actually sent.
+    /// Returns true when the ACK made forward progress.
+    fn process_ack(&mut self, ack: u32) -> bool {
+        if !seq_lt(self.snd_una, ack) {
+            // Old news. A duplicate of the current edge while data is
+            // outstanding is the classic dup-ack; either way, drop it.
+            if !self.in_flight.is_empty() {
+                self.counters.dup_acks_dropped += 1;
+            }
+            return false;
+        }
+        if seq_lt(self.snd_nxt, ack) {
+            // Ghost ACK for bytes never sent: drop, never retire by it.
+            self.counters.dup_acks_dropped += 1;
+            return false;
+        }
+        self.in_flight
+            .retain(|seg| seq_lt(ack, seg.seq.wrapping_add(seg.occupied())));
+        self.snd_una = ack;
+        // Forward progress: the path is alive again. Reset the backoff
+        // and every surviving segment's retry count — the budget bounds
+        // consecutive timeouts *without* progress, so a long stream
+        // behind a head-of-line loss doesn't burn out its tail (RFC 6298
+        // restarts the retransmission timer on each new ACK).
+        self.backoff_shift = 0;
+        for seg in &mut self.in_flight {
+            seg.retries = 0;
+        }
+        true
+    }
+
+    /// Delivers contiguous out-of-order entries and purges entries the
+    /// cumulative advance has covered. Wrap-safe: entries are found by
+    /// direct `rcv_nxt` lookup, never by smallest numeric key.
+    fn drain_ooo(&mut self) {
+        loop {
+            if let Some(data) = self.ooo.remove(&self.rcv_nxt) {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
+                self.recv_ready.extend_from_slice(&data);
+                continue;
+            }
+            // Purge entries now behind rcv_nxt (a retransmission filled
+            // the gap past them); deliver the unseen tail of a straddler.
+            let mut advanced = false;
+            let behind: Vec<u32> = self
+                .ooo
+                .keys()
+                .copied()
+                .filter(|&s| seq_lt(s, self.rcv_nxt))
+                .collect();
+            for s in behind {
+                let data = self.ooo.remove(&s).expect("key just listed");
+                let end = s.wrapping_add(data.len() as u32);
+                if seq_lt(self.rcv_nxt, end) {
+                    let skip = self.rcv_nxt.wrapping_sub(s) as usize;
+                    self.recv_ready.extend_from_slice(&data[skip..]);
+                    self.rcv_nxt = end;
+                    advanced = true;
+                }
+                self.counters.ooo_purged += 1;
+            }
+            if !advanced {
+                break;
+            }
         }
     }
 
@@ -190,30 +358,52 @@ impl TcpPcb {
         if payload.is_empty() {
             return;
         }
+        let end = seq.wrapping_add(payload.len() as u32);
         if seq == self.rcv_nxt {
-            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.rcv_nxt = end;
             self.recv_ready.extend_from_slice(&payload);
-            // Drain any now-contiguous out-of-order segments.
-            while let Some((&s, _)) = self.ooo.iter().next() {
-                if s != self.rcv_nxt {
-                    break;
-                }
-                let data = self.ooo.remove(&s).expect("key just seen");
-                self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
-                self.recv_ready.extend_from_slice(&data);
-            }
+            self.drain_ooo();
         } else if seq_lt(self.rcv_nxt, seq) {
-            self.ooo.entry(seq).or_insert(payload);
+            if self.ooo.len() >= OOO_BUDGET && !self.ooo.contains_key(&seq) {
+                // At budget: refuse, the sender will retransmit.
+                self.counters.ooo_purged += 1;
+                return;
+            }
+            if self.ooo.insert(seq, payload).is_none() {
+                self.counters.ooo_buffered += 1;
+            }
+        } else if seq_lt(self.rcv_nxt, end) {
+            // Straddles rcv_nxt: the head was already delivered, take the
+            // tail.
+            let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+            self.recv_ready.extend_from_slice(&payload[skip..]);
+            self.rcv_nxt = end;
+            self.drain_ooo();
         }
-        // Old (duplicate) data is dropped.
+        // Wholly old (duplicate) data is dropped.
+    }
+
+    /// True when an RST is acceptable in the current state — the defence
+    /// against blind (off-path) resets.
+    fn rst_acceptable(&self, pkt: &Packet) -> bool {
+        match self.state {
+            // A listener is not a connection; a reset cannot kill it.
+            TcpState::Listen | TcpState::Closed => false,
+            // No sequence sync yet: the RST must acknowledge our SYN.
+            TcpState::SynSent => pkt.flags & flags::ACK != 0 && pkt.ack == self.snd_nxt,
+            // Synchronized: the RST must sit exactly at the receive edge.
+            _ => pkt.seq == self.rcv_nxt,
+        }
     }
 
     /// Handles an incoming packet; returns the packets to send in response.
     pub fn on_packet(&mut self, pkt: &Packet, now: u64) -> Vec<Packet> {
         let mut out = Vec::new();
         if pkt.flags & flags::RST != 0 {
-            self.state = TcpState::Closed;
-            self.in_flight.clear();
+            if self.rst_acceptable(pkt) {
+                self.counters.resets_received += 1;
+                self.enter_closed(true);
+            }
             return out;
         }
         match self.state {
@@ -223,18 +413,15 @@ impl TcpPcb {
                     self.rcv_nxt = pkt.seq.wrapping_add(1);
                     self.state = TcpState::SynRcvd;
                     let synack = self.mk(flags::SYN | flags::ACK);
-                    self.in_flight.push(InFlight {
-                        seq: self.snd_nxt,
-                        data: Vec::new(),
-                        fin: false,
-                        sent_at: now,
-                    });
+                    self.track(self.snd_nxt, Vec::new(), flags::SYN | flags::ACK, now);
                     self.snd_nxt = self.snd_nxt.wrapping_add(1);
                     out.push(synack);
                 }
             }
             TcpState::SynSent => {
-                if pkt.flags & (flags::SYN | flags::ACK) == flags::SYN | flags::ACK {
+                if pkt.flags & (flags::SYN | flags::ACK) == flags::SYN | flags::ACK
+                    && pkt.ack == self.snd_nxt
+                {
                     self.rcv_nxt = pkt.seq.wrapping_add(1);
                     self.process_ack(pkt.ack);
                     self.state = TcpState::Established;
@@ -242,7 +429,10 @@ impl TcpPcb {
                 }
             }
             TcpState::SynRcvd => {
-                if pkt.flags & flags::ACK != 0 {
+                // Only an ACK that covers our in-flight SYN-ACK completes
+                // the handshake; a stale ACK (e.g. from an old connection)
+                // must not conjure an Established connection.
+                if pkt.flags & flags::ACK != 0 && pkt.ack == self.snd_nxt {
                     self.process_ack(pkt.ack);
                     self.state = TcpState::Established;
                     // Fall through into data handling for piggybacked data.
@@ -250,6 +440,9 @@ impl TcpPcb {
                     if !pkt.payload.is_empty() {
                         out.push(self.mk(flags::ACK));
                     }
+                } else if pkt.flags & flags::SYN != 0 && pkt.seq.wrapping_add(1) == self.rcv_nxt {
+                    // The peer retransmitted its SYN: our SYN-ACK was lost.
+                    // tick() will resend it; nothing to do here.
                 }
             }
             TcpState::Established
@@ -264,66 +457,84 @@ impl TcpPcb {
                     if self.in_flight.is_empty() {
                         match self.state {
                             TcpState::FinWait1 => self.state = TcpState::FinWait2,
-                            TcpState::LastAck => self.state = TcpState::Closed,
+                            TcpState::LastAck => self.enter_closed(false),
                             _ => {}
                         }
                     }
+                }
+                if self.state == TcpState::Closed {
+                    return out;
                 }
                 self.absorb_payload(pkt.seq, pkt.payload.clone());
                 if pkt.flags & flags::FIN != 0 && pkt.seq == self.rcv_nxt {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
                     match self.state {
                         TcpState::Established => self.state = TcpState::CloseWait,
-                        TcpState::FinWait1 => self.state = TcpState::TimeWait,
-                        TcpState::FinWait2 => self.state = TcpState::TimeWait,
+                        TcpState::FinWait1 | TcpState::FinWait2 => {
+                            self.state = TcpState::TimeWait;
+                            self.time_wait_until = now + TIME_WAIT_NS;
+                        }
                         _ => {}
                     }
                     out.push(self.mk(flags::ACK));
-                } else if !pkt.payload.is_empty() {
+                } else if !pkt.payload.is_empty() || pkt.flags & flags::FIN != 0 {
+                    // Re-ACK data and duplicate FINs so a peer whose
+                    // FIN-ACK was lost can finish its LastAck instead of
+                    // burning its retry budget.
                     out.push(self.mk(flags::ACK));
                 }
             }
             TcpState::Closed => {
-                if pkt.flags & flags::RST == 0 {
-                    let mut rst = self.mk(flags::RST);
-                    rst.dst_port = pkt.src_port;
-                    out.push(rst);
-                }
+                let mut rst = self.mk(flags::RST);
+                rst.dst_port = pkt.src_port;
+                self.counters.resets_sent += 1;
+                out.push(rst);
             }
         }
         out
     }
 
-    /// Retransmits timed-out segments.
+    /// Timer processing: TIME_WAIT expiry, then timeout retransmission
+    /// under exponential backoff. A segment that exhausts [`MAX_RETRIES`]
+    /// fails the whole connection — it goes to `Closed` (reporting
+    /// [`TcpPcb::is_failed`]) and transmission stops for good.
     pub fn tick(&mut self, now: u64) -> Vec<Packet> {
+        if self.state == TcpState::TimeWait && now >= self.time_wait_until {
+            self.enter_closed(false);
+            return Vec::new();
+        }
+        if self.state == TcpState::Closed {
+            return Vec::new();
+        }
+        let rto = self.effective_rto();
         let mut out = Vec::new();
-        let rto = self.rto_ns;
-        for seg in &mut self.in_flight {
-            if now.saturating_sub(seg.sent_at) >= rto {
-                let mut fl = flags::ACK;
-                let empty = seg.data.is_empty();
-                if seg.fin {
-                    fl |= flags::FIN;
-                } else if empty {
-                    // A bare SYN or SYN|ACK retransmission.
-                    fl = if self.state == TcpState::SynSent {
-                        flags::SYN
-                    } else {
-                        flags::SYN | flags::ACK
-                    };
-                }
-                out.push(Packet {
-                    proto: proto::TCP,
-                    flags: fl,
-                    src_port: self.local_port,
-                    dst_port: self.remote_port,
-                    seq: seg.seq,
-                    ack: self.rcv_nxt,
-                    payload: seg.data.clone(),
-                });
-                seg.sent_at = now;
-                self.retransmits += 1;
+        let mut resent = false;
+        for i in 0..self.in_flight.len() {
+            if now.saturating_sub(self.in_flight[i].sent_at) < rto {
+                continue;
             }
+            if self.in_flight[i].retries >= MAX_RETRIES {
+                // Retry budget exhausted: the path is declared dead.
+                self.enter_closed(true);
+                return Vec::new();
+            }
+            self.in_flight[i].retries += 1;
+            self.in_flight[i].sent_at = now;
+            self.counters.retransmits += 1;
+            resent = true;
+            let seg = &self.in_flight[i];
+            out.push(Packet {
+                proto: proto::TCP,
+                flags: seg.flags,
+                src_port: self.local_port,
+                dst_port: self.remote_port,
+                seq: seg.seq,
+                ack: self.rcv_nxt,
+                payload: seg.data.clone(),
+            });
+        }
+        if resent && self.backoff_shift < MAX_BACKOFF_SHIFT {
+            self.backoff_shift += 1;
         }
         out
     }
@@ -427,7 +638,7 @@ mod tests {
         assert!(a.tick(1 + DEFAULT_RTO_NS / 2).is_empty(), "not yet");
         let rts = a.tick(1 + DEFAULT_RTO_NS);
         assert_eq!(rts.len(), 1);
-        assert_eq!(a.retransmits, 1);
+        assert_eq!(a.counters.retransmits, 1);
         let acks = deliver(&mut b, rts, 2);
         assert_eq!(b.take_received(), b"lost");
         deliver(&mut a, acks, 2);
@@ -449,15 +660,253 @@ mod tests {
         assert_eq!(a.state, TcpState::TimeWait);
         deliver(&mut b, acks2, 2);
         assert_eq!(b.state, TcpState::Closed);
+        assert!(!b.is_failed(), "orderly close is not a failure");
     }
 
     #[test]
-    fn rst_kills_connection() {
+    fn rst_at_the_receive_edge_kills_connection() {
         let (mut a, _b) = established_pair();
         let mut rst = Packet::new(proto::TCP, 80, 1000);
         rst.flags = flags::RST;
+        rst.seq = a.rcv_nxt;
         a.on_packet(&rst, 1);
         assert_eq!(a.state, TcpState::Closed);
+        assert!(a.is_failed());
+        assert_eq!(a.counters.resets_received, 1);
+    }
+
+    /// Regression (blind RST): an off-path attacker who does not know
+    /// `rcv_nxt` cannot reset an established connection.
+    #[test]
+    fn blind_rst_with_wrong_seq_is_ignored() {
+        let (mut a, _b) = established_pair();
+        for bogus in [
+            0u32,
+            1,
+            a.rcv_nxt.wrapping_add(1),
+            a.rcv_nxt.wrapping_sub(1),
+        ] {
+            let mut rst = Packet::new(proto::TCP, 80, 1000);
+            rst.flags = flags::RST;
+            rst.seq = bogus;
+            a.on_packet(&rst, 1);
+            assert_eq!(a.state, TcpState::Established, "blind RST seq={bogus}");
+        }
+        assert_eq!(a.counters.resets_received, 0);
+    }
+
+    /// Regression (blind RST): a listener survives any RST — it is not a
+    /// connection and must keep accepting new SYNs.
+    #[test]
+    fn rst_cannot_kill_a_listener() {
+        let mut srv = TcpPcb::new(80, 9000);
+        srv.listen();
+        for seq in [0u32, srv.rcv_nxt, 12345] {
+            let mut rst = Packet::new(proto::TCP, 99, 80);
+            rst.flags = flags::RST;
+            rst.seq = seq;
+            srv.on_packet(&rst, 0);
+            assert_eq!(srv.state, TcpState::Listen);
+        }
+        // Still accepts a connection afterwards.
+        let mut cli = TcpPcb::new(1000, 100);
+        let syn = cli.connect(80, 0);
+        assert_eq!(srv.on_packet(&syn, 0).len(), 1);
+        assert_eq!(srv.state, TcpState::SynRcvd);
+    }
+
+    /// Regression (stale ACK in SynRcvd): an ACK that does not cover the
+    /// in-flight SYN-ACK must not establish the connection.
+    #[test]
+    fn stale_ack_does_not_establish_from_syn_rcvd() {
+        let mut srv = TcpPcb::new(80, 9000);
+        srv.listen();
+        let mut cli = TcpPcb::new(1000, 100);
+        let syn = cli.connect(80, 0);
+        srv.on_packet(&syn, 0);
+        assert_eq!(srv.state, TcpState::SynRcvd);
+        // ACK from an old incarnation: acknowledges nothing of ours.
+        let mut stale = Packet::new(proto::TCP, 1000, 80);
+        stale.flags = flags::ACK;
+        stale.ack = srv.snd_nxt.wrapping_sub(1); // covers the ISS, not the SYN-ACK
+        stale.seq = srv.rcv_nxt;
+        srv.on_packet(&stale, 0);
+        assert_eq!(srv.state, TcpState::SynRcvd, "stale ACK must not establish");
+        // The genuine ACK does.
+        let mut good = Packet::new(proto::TCP, 1000, 80);
+        good.flags = flags::ACK;
+        good.ack = srv.snd_nxt;
+        good.seq = srv.rcv_nxt;
+        srv.on_packet(&good, 0);
+        assert_eq!(srv.state, TcpState::Established);
+    }
+
+    /// Regression (ghost ACK): an ACK beyond `snd_nxt` must not retire
+    /// in-flight segments or advance `snd_una` past data actually sent.
+    #[test]
+    fn ghost_ack_beyond_snd_nxt_is_dropped() {
+        let (mut a, _b) = established_pair();
+        a.send(b"unacked payload", 1);
+        let (una, nxt) = (a.snd_una, a.snd_nxt);
+        let mut ghost = Packet::new(proto::TCP, 80, 1000);
+        ghost.flags = flags::ACK;
+        ghost.ack = nxt.wrapping_add(5000);
+        ghost.seq = a.rcv_nxt;
+        a.on_packet(&ghost, 1);
+        assert_eq!(a.snd_una, una, "snd_una must not move past sent data");
+        assert!(!a.all_acked(), "in-flight data must not be ghost-retired");
+        assert_eq!(a.counters.dup_acks_dropped, 1);
+        // The retransmission machinery still heals the stream.
+        assert_eq!(a.tick(1 + DEFAULT_RTO_NS).len(), 1);
+    }
+
+    /// Regression (stale duplicate ACK): an ACK at or below `snd_una`
+    /// while data is outstanding is dropped and counted.
+    #[test]
+    fn duplicate_ack_is_dropped_and_counted() {
+        let (mut a, _b) = established_pair();
+        a.send(b"data", 1);
+        let mut dup = Packet::new(proto::TCP, 80, 1000);
+        dup.flags = flags::ACK;
+        dup.ack = a.snd_una;
+        dup.seq = a.rcv_nxt;
+        a.on_packet(&dup, 1);
+        a.on_packet(&dup, 1);
+        assert_eq!(a.counters.dup_acks_dropped, 2);
+        assert!(!a.all_acked());
+    }
+
+    /// Regression (close in SynSent): closing a half-open socket must stop
+    /// SYN retransmission — the old engine kept retransmitting the SYN
+    /// (re-flagged SYN|ACK) from a closed socket forever.
+    #[test]
+    fn close_in_syn_sent_stops_retransmission() {
+        let mut a = TcpPcb::new(1000, 100);
+        a.connect(80, 0);
+        assert!(a.close(1).is_none());
+        assert_eq!(a.state, TcpState::Closed);
+        assert!(a.all_acked(), "in-flight SYN cleared on close");
+        for round in 1..=20u64 {
+            assert!(
+                a.tick(round * DEFAULT_RTO_NS).is_empty(),
+                "closed socket retransmitted at round {round}"
+            );
+        }
+        assert_eq!(a.counters.retransmits, 0);
+    }
+
+    /// Regression (close in Listen): same contract for a listener.
+    #[test]
+    fn close_in_listen_is_quiet() {
+        let mut srv = TcpPcb::new(80, 9000);
+        srv.listen();
+        assert!(srv.close(0).is_none());
+        assert_eq!(srv.state, TcpState::Closed);
+        assert!(srv.tick(DEFAULT_RTO_NS * 2).is_empty());
+    }
+
+    /// Regression (ooo purge): entries below `rcv_nxt` — covered by a
+    /// retransmission that filled the gap — are purged on the cumulative
+    /// advance instead of accumulating forever.
+    #[test]
+    fn covered_ooo_entries_are_purged() {
+        let (mut a, mut b) = established_pair();
+        let seg1 = a.send(&[1u8; 100], 1).remove(0);
+        let seg2 = a.send(&[2u8; 100], 1).remove(0);
+        let seg3 = a.send(&[3u8; 100], 1).remove(0);
+        // seg2 and seg3 arrive out of order and are buffered.
+        b.on_packet(&seg2, 1);
+        b.on_packet(&seg3, 1);
+        assert_eq!(b.ooo_len(), 2);
+        assert_eq!(b.counters.ooo_buffered, 2);
+        // The gap heals: everything drains, nothing lingers.
+        b.on_packet(&seg1, 1);
+        assert_eq!(b.ooo_len(), 0);
+        assert_eq!(b.take_received().len(), 300);
+        // A late retransmission of seg2 (wholly old) does not re-buffer.
+        b.on_packet(&seg2, 2);
+        assert_eq!(b.ooo_len(), 0);
+    }
+
+    /// Regression (ooo budget): the reassembly buffer is bounded; arrivals
+    /// beyond the budget are refused, not hoarded.
+    #[test]
+    fn ooo_buffer_is_capped() {
+        let (mut a, mut b) = established_pair();
+        // One unsent head segment keeps everything after it out of order.
+        let _head = a.send(&[0u8; 10], 1).remove(0);
+        for i in 0..OOO_BUDGET + 8 {
+            let seg = a.send(&[i as u8; 10], 1).remove(0);
+            b.on_packet(&seg, 1);
+        }
+        assert_eq!(b.ooo_len(), OOO_BUDGET);
+        assert!(b.counters.ooo_purged >= 8, "over-budget arrivals refused");
+    }
+
+    /// Tentpole: the RTO backs off exponentially and a segment that
+    /// exhausts its retry budget fails the connection cleanly — no
+    /// retransmission continues past `Closed`.
+    #[test]
+    fn retry_budget_exhaustion_fails_the_connection() {
+        let (mut a, _b) = established_pair();
+        a.send(b"into the void", 1);
+        let mut now = 1u64;
+        let mut rts = 0u64;
+        let mut last_rto = 0u64;
+        for _ in 0..MAX_RETRIES * 2 {
+            let rto = a.effective_rto();
+            assert!(rto >= last_rto, "backoff never shrinks without progress");
+            last_rto = rto;
+            now += rto;
+            let pkts = a.tick(now);
+            if a.state == TcpState::Closed {
+                break;
+            }
+            rts += pkts.len() as u64;
+        }
+        assert_eq!(a.state, TcpState::Closed);
+        assert!(a.is_failed(), "budget exhaustion is a reported failure");
+        assert!(a.is_defunct());
+        assert_eq!(rts, u64::from(MAX_RETRIES));
+        assert_eq!(a.counters.retransmits, u64::from(MAX_RETRIES));
+        // Dead means dead: no further transmission, ever.
+        for i in 1..=10u64 {
+            assert!(a.tick(now + i * DEFAULT_RTO_NS).is_empty());
+        }
+    }
+
+    /// Tentpole: the backoff resets once an ACK makes forward progress.
+    #[test]
+    fn backoff_resets_on_forward_progress() {
+        let (mut a, mut b) = established_pair();
+        a.send(b"first", 1);
+        let mut now = 1 + a.effective_rto();
+        let rts = a.tick(now);
+        assert!(a.effective_rto() > DEFAULT_RTO_NS, "backed off");
+        let acks = deliver(&mut b, rts, now);
+        now += 1;
+        deliver(&mut a, acks, now);
+        assert_eq!(a.effective_rto(), DEFAULT_RTO_NS, "progress resets backoff");
+    }
+
+    /// Tentpole: TIME_WAIT expires via tick, so the PCB reaches `Closed`
+    /// and can be reaped.
+    #[test]
+    fn time_wait_expires_to_closed() {
+        let (mut a, mut b) = established_pair();
+        let fin = a.close(1).expect("fin");
+        let acks = b.on_packet(&fin, 1);
+        deliver(&mut a, acks, 1);
+        let fin2 = b.close(2).expect("fin2");
+        let acks2 = a.on_packet(&fin2, 2);
+        deliver(&mut b, acks2, 2);
+        assert_eq!(a.state, TcpState::TimeWait);
+        assert!(a.tick(2 + TIME_WAIT_NS / 2).is_empty());
+        assert_eq!(a.state, TcpState::TimeWait, "lingering");
+        a.tick(2 + TIME_WAIT_NS + 1);
+        assert_eq!(a.state, TcpState::Closed);
+        assert!(!a.is_failed());
+        assert!(a.is_defunct(), "reapable after expiry");
     }
 
     #[test]
@@ -468,6 +917,20 @@ mod tests {
         let out = closed.on_packet(&probe, 0);
         assert_eq!(out.len(), 1);
         assert_ne!(out[0].flags & flags::RST, 0);
+        assert_eq!(closed.counters.resets_sent, 1);
+    }
+
+    #[test]
+    fn retransmitted_segments_keep_their_original_flags() {
+        // A SYN-ACK retransmits as a SYN-ACK even after states move on.
+        let mut srv = TcpPcb::new(80, 9000);
+        srv.listen();
+        let mut cli = TcpPcb::new(1000, 100);
+        let syn = cli.connect(80, 0);
+        srv.on_packet(&syn, 0);
+        let rts = srv.tick(DEFAULT_RTO_NS);
+        assert_eq!(rts.len(), 1);
+        assert_eq!(rts[0].flags, flags::SYN | flags::ACK);
     }
 
     #[test]
@@ -475,6 +938,35 @@ mod tests {
         assert!(seq_lt(u32::MAX - 1, 2));
         assert!(seq_lt(1, 2));
         assert!(!seq_lt(2, 1));
+    }
+
+    #[test]
+    fn reassembly_works_across_sequence_wraparound() {
+        // Start the sender near the top of the sequence space so the
+        // stream wraps; the old smallest-numeric-key drain scan wedged
+        // here.
+        let mut a = TcpPcb::new(1000, u32::MAX - 120);
+        let mut b = TcpPcb::new(80, 9000);
+        b.listen();
+        let syn = a.connect(80, 0);
+        let synack = b.on_packet(&syn, 0);
+        let ack = deliver(&mut a, synack, 0);
+        deliver(&mut b, ack, 0);
+        let seg1 = a.send(&[1u8; 100], 1).remove(0);
+        let seg2 = a.send(&[2u8; 100], 1).remove(0);
+        let seg3 = a.send(&[3u8; 100], 1).remove(0);
+        // seg2 (pre-wrap) and seg3 (post-wrap) buffer out of order; the
+        // numeric BTreeMap order of their keys is inverted.
+        b.on_packet(&seg3, 1);
+        b.on_packet(&seg2, 1);
+        assert_eq!(b.available(), 0);
+        b.on_packet(&seg1, 1);
+        let got = b.take_received();
+        assert_eq!(got.len(), 300);
+        assert_eq!(&got[..100], &[1u8; 100][..]);
+        assert_eq!(&got[100..200], &[2u8; 100][..]);
+        assert_eq!(&got[200..], &[3u8; 100][..]);
+        assert_eq!(b.ooo_len(), 0);
     }
 
     #[test]

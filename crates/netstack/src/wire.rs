@@ -22,6 +22,51 @@ pub enum Side {
     B,
 }
 
+impl Side {
+    /// The opposite end.
+    pub fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// Counters every link implementation keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames submitted for transmission.
+    pub sent: u64,
+    /// Frames the link dropped.
+    pub dropped: u64,
+    /// Extra copies the link injected.
+    pub duplicated: u64,
+    /// Frames displaced from their transmit order.
+    pub reordered: u64,
+    /// Frames whose bytes the link flipped.
+    pub corrupted: u64,
+    /// Frames held back past their transmit time.
+    pub delayed: u64,
+}
+
+/// A duplex frame transport between two stack endpoints.
+///
+/// Both socket-layer generations drive their packets through this
+/// interface, so the same pump code runs over the perfect [`Wire`] and
+/// over the adversarial [`crate::fault::FaultyLink`].
+pub trait Link: Send + Sync {
+    /// Sends a packet from `side` toward the other end.
+    fn send(&self, side: Side, pkt: &Packet);
+    /// Receives the next frame destined for `side`, decoded. `Ok(None)`
+    /// when nothing is deliverable; `Err` for frames that fail to parse
+    /// (they are consumed — a detected loss).
+    fn recv(&self, side: Side) -> KResult<Option<Packet>>;
+    /// Frames currently queued in both directions.
+    fn in_flight(&self) -> usize;
+    /// Fault/traffic counters.
+    fn link_stats(&self) -> LinkStats;
+}
+
 /// Wire fault configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WireFaults {
@@ -122,6 +167,26 @@ impl Wire {
 impl Default for Wire {
     fn default() -> Self {
         Wire::new()
+    }
+}
+
+impl Link for Wire {
+    fn send(&self, side: Side, pkt: &Packet) {
+        Wire::send(self, side, pkt);
+    }
+    fn recv(&self, side: Side) -> KResult<Option<Packet>> {
+        Wire::recv(self, side)
+    }
+    fn in_flight(&self) -> usize {
+        Wire::in_flight(self)
+    }
+    fn link_stats(&self) -> LinkStats {
+        let (sent, dropped) = self.stats();
+        LinkStats {
+            sent,
+            dropped,
+            ..LinkStats::default()
+        }
     }
 }
 

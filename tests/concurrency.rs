@@ -259,7 +259,7 @@ fn netstack_sessions_from_multiple_threads() {
     let a = Arc::new(ModularStack::new(
         Arc::clone(&registry),
         Side::A,
-        Arc::clone(&wire),
+        wire.clone(),
         Arc::clone(&clock),
     ));
     let b = Arc::new(ModularStack::new(registry, Side::B, wire, clock));

@@ -14,9 +14,9 @@ use safer_kernel::netstack::legacy_stack::LegacyStack;
 use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
 use safer_kernel::netstack::packet::proto;
 use safer_kernel::netstack::tcp::DEFAULT_RTO_NS;
-use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
+use safer_kernel::netstack::wire::{Link, Side, Wire, WireFaults};
 
-fn modular(side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> ModularStack {
+fn modular(side: Side, wire: Arc<dyn Link>, clock: Arc<SimClock>) -> ModularStack {
     let registry = Arc::new(Registry::new());
     register_families(&registry).unwrap();
     ModularStack::new(registry, side, wire, clock)
@@ -26,13 +26,9 @@ fn modular(side: Side, wire: Arc<Wire>, clock: Arc<SimClock>) -> ModularStack {
 fn legacy_client_talks_to_modular_server() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let client_stack = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let server_stack = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let client_stack =
+        LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let server_stack = modular(Side::B, wire.clone(), Arc::clone(&clock));
 
     let server = server_stack.socket("tcp", 80).unwrap();
     server_stack.listen(server).unwrap();
@@ -60,13 +56,9 @@ fn legacy_client_talks_to_modular_server() {
 fn modular_client_talks_to_legacy_server() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let client_stack = modular(Side::A, Arc::clone(&wire), Arc::clone(&clock));
-    let server_stack = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::B,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
+    let client_stack = modular(Side::A, wire.clone(), Arc::clone(&clock));
+    let server_stack =
+        LegacyStack::new(LegacyCtx::new(), Side::B, wire.clone(), Arc::clone(&clock));
 
     let server = server_stack.socket(proto::TCP, 80).unwrap();
     server_stack.listen(server).unwrap();
@@ -94,13 +86,8 @@ fn cross_generation_session_survives_loss() {
         99,
     ));
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, wire.clone(), Arc::clone(&clock));
 
     let server = b.socket("tcp", 80).unwrap();
     b.listen(server).unwrap();
@@ -135,13 +122,8 @@ fn cross_generation_session_survives_loss() {
 fn connection_teardown_across_generations() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, wire.clone(), Arc::clone(&clock));
     let server = b.socket("tcp", 80).unwrap();
     b.listen(server).unwrap();
     let client = a.socket(proto::TCP, 3100).unwrap();
@@ -184,13 +166,8 @@ fn connection_teardown_across_generations() {
 fn udp_crosses_generations() {
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let a = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let b = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, wire.clone(), Arc::clone(&clock));
     let sa = a.socket(proto::UDP, 100).unwrap();
     let sb = b.socket("udp", 200).unwrap();
     a.send(sa, 200, b"legacy->modular").unwrap();
@@ -208,13 +185,8 @@ fn the_coupling_bug_vanishes_on_the_migrated_side_only() {
     // modular side — the per-module payoff of §3's incremental migration.
     let wire = Arc::new(Wire::new());
     let clock = Arc::new(SimClock::new());
-    let legacy = LegacyStack::new(
-        LegacyCtx::new(),
-        Side::A,
-        Arc::clone(&wire),
-        Arc::clone(&clock),
-    );
-    let modular_side = modular(Side::B, Arc::clone(&wire), Arc::clone(&clock));
+    let legacy = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let modular_side = modular(Side::B, wire.clone(), Arc::clone(&clock));
 
     let lu = legacy.socket(proto::UDP, 300).unwrap();
     let mu = modular_side.socket("udp", 400).unwrap();
@@ -230,4 +202,115 @@ fn the_coupling_bug_vanishes_on_the_migrated_side_only() {
     );
     assert!(!(modular_side.poll(mu).unwrap()));
     // No ledger on the modular side — nothing to mis-cast.
+}
+
+#[test]
+fn retry_exhaustion_is_reported_and_reaped_in_both_generations() {
+    use safer_kernel::netstack::fault::{FaultConfig, FaultyLink};
+    use safer_kernel::netstack::tcp::MAX_RETRIES;
+
+    // A link that eats everything: the SYN can never get through, so the
+    // client burns its whole retry budget and must report a clean failure
+    // instead of retransmitting forever.
+    let blackhole = FaultConfig {
+        drop: 1.0,
+        ..FaultConfig::default()
+    };
+
+    // Generation 0: legacy stack.
+    let clock = Arc::new(SimClock::new());
+    let link = Arc::new(FaultyLink::new(blackhole, 1, Arc::clone(&clock)));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+    let client = a.socket(proto::TCP, 2000).unwrap();
+    a.connect(client, 80).unwrap();
+    for _ in 0..(MAX_RETRIES + 2) {
+        // Cover the widest backoff step so every tick is a real timeout.
+        clock.advance(DEFAULT_RTO_NS << 7);
+        a.tick();
+        a.pump().unwrap();
+    }
+    assert!(
+        a.conn_failed(client).unwrap(),
+        "legacy client reports failure"
+    );
+    let c = a.tcp_counters(client).unwrap();
+    assert_eq!(c.retransmits as u32, MAX_RETRIES, "budget fully spent");
+    assert_eq!(a.reap_closed(), 1, "failed legacy PCB reaped");
+    assert!(a.conn_failed(client).is_err(), "fd gone after reaping");
+
+    // Generation 1: modular stack, same schedule, same verdict.
+    let clock = Arc::new(SimClock::new());
+    let link = Arc::new(FaultyLink::new(blackhole, 1, Arc::clone(&clock)));
+    let b = modular(Side::B, link.clone(), Arc::clone(&clock));
+    let client = b.socket("tcp", 2000).unwrap();
+    b.connect(client, 80).unwrap();
+    for _ in 0..(MAX_RETRIES + 2) {
+        clock.advance(DEFAULT_RTO_NS << 7);
+        b.tick();
+        b.pump().unwrap();
+    }
+    assert!(
+        b.conn_failed(client).unwrap(),
+        "modular client reports failure"
+    );
+    let c = b.tcp_counters(client).unwrap();
+    assert_eq!(c.retransmits as u32, MAX_RETRIES, "budget fully spent");
+    assert_eq!(b.reap_closed(), 1, "failed modular PCB reaped");
+    assert!(b.conn_failed(client).is_err(), "fd gone after reaping");
+}
+
+#[test]
+fn per_connection_counters_surface_in_both_generations() {
+    use safer_kernel::netstack::fault::{FaultConfig, FaultyLink};
+
+    // A moderately lossy adversarial link: the session completes, and the
+    // work it took shows up in the per-connection counters on both sides.
+    let cfg = FaultConfig {
+        drop: 0.25,
+        duplicate: 0.15,
+        reorder: 0.20,
+        ..FaultConfig::default()
+    };
+    let clock = Arc::new(SimClock::new());
+    let link = Arc::new(FaultyLink::new(cfg, 7, Arc::clone(&clock)));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, link.clone(), Arc::clone(&clock));
+
+    let server = b.socket("tcp", 80).unwrap();
+    b.listen(server).unwrap();
+    let client = a.socket(proto::TCP, 2100).unwrap();
+    a.connect(client, 80).unwrap();
+
+    let payload = vec![0x5Au8; 8000];
+    let mut sent = false;
+    let mut got = Vec::new();
+    for round in 0..400 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+        if !sent && a.send(client, 80, &payload).is_ok() {
+            sent = true;
+        }
+        got.extend(b.recv(server).unwrap());
+        if got.len() >= payload.len() {
+            break;
+        }
+        clock.advance(DEFAULT_RTO_NS / 2);
+        a.tick();
+        b.tick();
+        assert!(round < 399, "session never completed under loss");
+    }
+    assert_eq!(got, payload);
+    let ca = a.tcp_counters(client).unwrap();
+    let cb = b.tcp_counters(server).unwrap();
+    assert!(ca.retransmits > 0, "loss forced retransmission: {ca:?}");
+    assert!(
+        cb.dup_acks_dropped + cb.ooo_buffered + ca.dup_acks_dropped > 0,
+        "duplication/reordering left a trace: {ca:?} {cb:?}"
+    );
+    assert_eq!(
+        ca.resets_received + cb.resets_received,
+        0,
+        "no resets in a clean run"
+    );
+    assert!(link.stats().dropped > 0, "the link really was lossy");
 }

@@ -1,9 +1,17 @@
-//! Property tests for the network stack: packet codec totality and the
-//! TCP prefix-delivery specification under arbitrary wire behaviour.
+//! Property tests for the network stack: packet codec totality, the
+//! TCP prefix-delivery specification under arbitrary wire behaviour, and
+//! the adversarial-link soak that both socket-layer generations must
+//! survive.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::ksim::time::SimClock;
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::netstack::fault::{FaultConfig, FaultyLink};
+use safer_kernel::netstack::legacy_stack::LegacyStack;
+use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
 use safer_kernel::netstack::packet::{flags, proto, Packet, HEADER_LEN, MAX_PAYLOAD};
 use safer_kernel::netstack::spec::StreamChecker;
 use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
@@ -40,8 +48,9 @@ proptest! {
     }
 
     /// The TCP engines refine the stream specification under arbitrary
-    /// loss and duplication rates, and complete whenever the wire is not
-    /// fully opaque.
+    /// loss and duplication rates: every delivery extends the prefix, and
+    /// the connection either completes or fails cleanly (the retry budget
+    /// is allowed to fire when the wire eats most frames).
     #[test]
     fn tcp_prefix_delivery_under_arbitrary_faults(
         seed in any::<u64>(),
@@ -85,6 +94,9 @@ proptest! {
             if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
                 break;
             }
+            if a.is_failed() || b.is_failed() {
+                break;
+            }
             for p in a.tick(now) {
                 wire.send(Side::A, &p);
             }
@@ -92,11 +104,16 @@ proptest! {
                 wire.send(Side::B, &p);
             }
         }
-        prop_assert!(chk.model().is_complete(), "stream did not complete");
+        prop_assert!(
+            chk.model().is_complete() || a.is_failed() || b.is_failed(),
+            "stream neither completed nor failed cleanly"
+        );
     }
 
-    /// RST at any point kills the connection without violating the
-    /// delivered-prefix property (nothing un-delivers).
+    /// RST at the receive edge kills the connection without violating the
+    /// delivered-prefix property (nothing un-delivers). Blind RSTs with
+    /// an out-of-window sequence number would be ignored, so the attack
+    /// here is an in-window one.
     #[test]
     fn rst_never_unwinds_delivered_bytes(
         data in prop::collection::vec(any::<u8>(), 1..2000),
@@ -135,6 +152,7 @@ proptest! {
             if round == 2 + rst_after {
                 let mut rst = Packet::new(proto::TCP, 1000, 80);
                 rst.flags = flags::RST;
+                rst.seq = b.rcv_nxt;
                 b.on_packet(&rst, now);
                 delivered_before_rst = chk.model().delivered;
             }
@@ -144,5 +162,293 @@ proptest! {
         // a valid prefix and never shrinks.
         prop_assert!(chk.model().delivered >= delivered_before_rst);
         prop_assert_eq!(b.state, TcpState::Closed);
+        prop_assert_eq!(b.counters.resets_received, 1);
     }
+}
+
+// ---------------------------------------------------------------------------
+// The adversarial-link soak: both socket-layer generations over FaultyLink.
+// ---------------------------------------------------------------------------
+
+/// The least common denominator of the two socket layers, just enough to
+/// drive a client/server soak generically. Both stacks expose the same
+/// surface; only socket creation differs (protocol byte vs family name).
+trait SoakStack {
+    fn tcp_socket(&self, port: u16) -> u64;
+    fn listen(&self, fd: u64);
+    fn connect(&self, fd: u64, port: u16);
+    fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool;
+    fn recv(&self, fd: u64) -> Vec<u8>;
+    fn pump(&self);
+    fn tick(&self);
+    fn conn_failed(&self, fd: u64) -> bool;
+    fn retransmits(&self, fd: u64) -> u64;
+    fn reap(&self) -> usize;
+}
+
+impl SoakStack for LegacyStack {
+    fn tcp_socket(&self, port: u16) -> u64 {
+        self.socket(proto::TCP, port).unwrap()
+    }
+    fn listen(&self, fd: u64) {
+        LegacyStack::listen(self, fd).unwrap()
+    }
+    fn connect(&self, fd: u64, port: u16) {
+        LegacyStack::connect(self, fd, port).unwrap()
+    }
+    fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool {
+        LegacyStack::send(self, fd, dst, data).is_ok()
+    }
+    fn recv(&self, fd: u64) -> Vec<u8> {
+        LegacyStack::recv(self, fd).unwrap_or_default()
+    }
+    fn pump(&self) {
+        LegacyStack::pump(self).unwrap();
+    }
+    fn tick(&self) {
+        LegacyStack::tick(self)
+    }
+    fn conn_failed(&self, fd: u64) -> bool {
+        LegacyStack::conn_failed(self, fd).unwrap_or(false)
+    }
+    fn retransmits(&self, fd: u64) -> u64 {
+        self.tcp_counters(fd).map(|c| c.retransmits).unwrap_or(0)
+    }
+    fn reap(&self) -> usize {
+        self.reap_closed()
+    }
+}
+
+impl SoakStack for ModularStack {
+    fn tcp_socket(&self, port: u16) -> u64 {
+        self.socket("tcp", port).unwrap()
+    }
+    fn listen(&self, fd: u64) {
+        ModularStack::listen(self, fd).unwrap()
+    }
+    fn connect(&self, fd: u64, port: u16) {
+        ModularStack::connect(self, fd, port).unwrap()
+    }
+    fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool {
+        ModularStack::send(self, fd, dst, data).is_ok()
+    }
+    fn recv(&self, fd: u64) -> Vec<u8> {
+        ModularStack::recv(self, fd).unwrap_or_default()
+    }
+    fn pump(&self) {
+        ModularStack::pump(self).unwrap();
+    }
+    fn tick(&self) {
+        ModularStack::tick(self)
+    }
+    fn conn_failed(&self, fd: u64) -> bool {
+        ModularStack::conn_failed(self, fd).unwrap_or(false)
+    }
+    fn retransmits(&self, fd: u64) -> u64 {
+        self.tcp_counters(fd).map(|c| c.retransmits).unwrap_or(0)
+    }
+    fn reap(&self) -> usize {
+        self.reap_closed()
+    }
+}
+
+/// The soak outcome for one generation: what the checker saw.
+struct SoakOutcome {
+    complete: bool,
+    client_failed: bool,
+    server_failed: bool,
+    violations: Vec<String>,
+    retransmits: u64,
+}
+
+/// Drives one client/server pair over the adversarial link until the byte
+/// stream completes, a side reports clean failure, or the round budget
+/// runs out.
+fn soak<C: SoakStack, S: SoakStack>(
+    client: &C,
+    server: &S,
+    clock: &SimClock,
+    chunks: &[Vec<u8>],
+) -> SoakOutcome {
+    let sfd = server.tcp_socket(80);
+    server.listen(sfd);
+    let cfd = client.tcp_socket(4000);
+    client.connect(cfd, 80);
+
+    let mut chk = StreamChecker::new();
+    let mut submitted = 0usize;
+    let mut complete = false;
+    let mut client_failed = false;
+    let mut server_failed = false;
+    for _round in 0..6000 {
+        client.pump();
+        server.pump();
+        if submitted < chunks.len() && client.try_send(cfd, 80, &chunks[submitted]) {
+            chk.on_send(&chunks[submitted]);
+            submitted += 1;
+        }
+        let got = server.recv(sfd);
+        if !got.is_empty() {
+            chk.on_deliver(&got);
+        }
+        if submitted == chunks.len() && chk.model().is_complete() {
+            complete = true;
+            break;
+        }
+        client_failed = client.conn_failed(cfd);
+        server_failed = server.conn_failed(sfd);
+        if client_failed || server_failed {
+            // Clean failure: the delivered prefix freezes here. Stop
+            // pumping — straggler duplicates of pre-failure segments may
+            // still be in flight, but no *new* bytes may appear.
+            chk.on_connection_failed();
+            break;
+        }
+        clock.advance(DEFAULT_RTO_NS / 2);
+        client.tick();
+        server.tick();
+    }
+    let retransmits = client.retransmits(cfd);
+    if client_failed {
+        assert!(client.reap() >= 1, "failed client PCB must be reapable");
+    }
+    if server_failed {
+        assert!(server.reap() >= 1, "failed server PCB must be reapable");
+    }
+    SoakOutcome {
+        complete,
+        client_failed,
+        server_failed,
+        violations: chk.violations().to_vec(),
+        retransmits,
+    }
+}
+
+fn assert_soak_outcome(out: &SoakOutcome, generation: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        out.violations.is_empty(),
+        "{generation}: prefix-delivery violated: {:?}",
+        out.violations
+    );
+    prop_assert!(
+        out.complete || out.client_failed || out.server_failed,
+        "{generation}: stream neither completed nor failed cleanly \
+         (retransmits so far: {})",
+        out.retransmits
+    );
+    Ok(())
+}
+
+proptest! {
+    // The soak runs two whole stacks per case; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole soak: both socket-layer generations, pumping through a
+    /// 20%-drop, duplicating, reordering, corrupting, delaying link, must
+    /// deliver the byte stream exactly — or report a clean connection
+    /// failure with the delivered prefix frozen. Never garbage, never
+    /// silence.
+    #[test]
+    fn lossy_link_soak_both_generations(
+        seed in any::<u64>(),
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..2500), 1..6),
+    ) {
+        let cfg = FaultConfig::adversarial(DEFAULT_RTO_NS / 4);
+
+        // Generation 0: the legacy (void*-keyed) stack on both ends.
+        let clock = Arc::new(SimClock::new());
+        let link = Arc::new(FaultyLink::new(cfg, seed, Arc::clone(&clock)));
+        let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+        let b = LegacyStack::new(LegacyCtx::new(), Side::B, link.clone(), Arc::clone(&clock));
+        let legacy_out = soak(&a, &b, &clock, &chunks);
+        assert_soak_outcome(&legacy_out, "legacy")?;
+
+        // Generation 1: the modular (typed-registry) stack on both ends,
+        // over an identically-seeded link — same faults, same verdict.
+        let clock = Arc::new(SimClock::new());
+        let link = Arc::new(FaultyLink::new(cfg, seed, Arc::clone(&clock)));
+        let registry = Arc::new(Registry::new());
+        register_families(&registry).unwrap();
+        let a = ModularStack::new(Arc::clone(&registry), Side::A, link.clone(), Arc::clone(&clock));
+        let b = ModularStack::new(registry, Side::B, link.clone(), Arc::clone(&clock));
+        let modular_out = soak(&a, &b, &clock, &chunks);
+        assert_soak_outcome(&modular_out, "modular")?;
+
+        // The engines are shared, the link is seeded: the two generations
+        // must agree on the verdict for the same adversarial schedule.
+        prop_assert_eq!(
+            (legacy_out.complete, legacy_out.client_failed, legacy_out.server_failed),
+            (modular_out.complete, modular_out.client_failed, modular_out.server_failed),
+            "generations diverged on the same fault schedule"
+        );
+    }
+}
+
+/// Deterministic full-lifecycle check at the PCB level: handshake, data,
+/// FIN/ACK teardown in both directions, TIME_WAIT expiry — both ends reach
+/// `Closed` with nothing left in flight.
+#[test]
+fn full_lifecycle_reaches_closed_on_both_ends() {
+    use safer_kernel::netstack::tcp::TIME_WAIT_NS;
+
+    let wire = Arc::new(Wire::new());
+    let mut a = TcpPcb::new(1000, 100);
+    let mut b = TcpPcb::new(80, 9000);
+    b.listen();
+    wire.send(Side::A, &a.connect(80, 0));
+    let mut now = 0u64;
+    let mut b_done = false;
+    for round in 0..60 {
+        now += DEFAULT_RTO_NS / 4;
+        while let Ok(Some(pkt)) = wire.recv(Side::B) {
+            for r in b.on_packet(&pkt, now) {
+                wire.send(Side::B, &r);
+            }
+        }
+        while let Ok(Some(pkt)) = wire.recv(Side::A) {
+            for r in a.on_packet(&pkt, now) {
+                wire.send(Side::A, &r);
+            }
+        }
+        if round == 2 {
+            assert_eq!(a.state, TcpState::Established);
+            for p in a.send(b"final words", now) {
+                wire.send(Side::A, &p);
+            }
+        }
+        if round == 6 {
+            assert_eq!(b.take_received(), b"final words");
+            // Active close from A; B responds, then closes its half.
+            if let Some(fin) = a.close(now) {
+                wire.send(Side::A, &fin);
+            }
+        }
+        if !b_done && b.state == TcpState::CloseWait {
+            if let Some(fin) = b.close(now) {
+                wire.send(Side::B, &fin);
+            }
+            b_done = true;
+        }
+        for p in a.tick(now) {
+            wire.send(Side::A, &p);
+        }
+        for p in b.tick(now) {
+            wire.send(Side::B, &p);
+        }
+        if a.state == TcpState::TimeWait && b.state == TcpState::Closed {
+            break;
+        }
+    }
+    assert_eq!(b.state, TcpState::Closed, "passive closer fully closed");
+    assert_eq!(a.state, TcpState::TimeWait, "active closer lingers");
+    assert!(
+        !a.is_failed() && !b.is_failed(),
+        "orderly teardown, no failure"
+    );
+    // TIME_WAIT expires on the clock, not on traffic.
+    now += TIME_WAIT_NS;
+    assert!(a.tick(now).is_empty());
+    assert_eq!(a.state, TcpState::Closed);
+    assert!(a.is_defunct(), "expired PCB is reapable");
+    assert_eq!(wire.in_flight(), 0, "no retransmission storm after close");
 }
