@@ -331,6 +331,296 @@ fn bench_vectored_io() -> Value {
     ])
 }
 
+/// The §4.4 crash-consistency check in report form: a fixed
+/// create→write→sync schedule runs on each file-system generation over a
+/// `CrashDevice`; every flush-barrier interval is exploded into
+/// post-crash images under each [`CrashPolicy`] and every image is
+/// recovered and judged. The same section exercises the disk fault
+/// model: injected-fault counters (`io_errors`, `torn_writes`,
+/// `corrupt_reads`) from an adversarial [`FaultyDisk`] run, and the
+/// journal's abort behavior when a commit record write fails.
+mod crashbench {
+    use super::{num, obj, Value};
+    use sk_core::spec::crash::{crash_images, CrashPolicy};
+    use sk_core::spec::Refines;
+    use sk_fs_legacy::{BugKnobs, Cext4};
+    use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+    use sk_ksim::block::{
+        BlockDevice, CrashDevice, DeviceStats, DiskFaultConfig, FaultyDisk, PendingWrite, RamDisk,
+        BLOCK_SIZE,
+    };
+    use sk_ksim::errno::{Errno, KResult};
+    use sk_legacy::LegacyCtx;
+    use sk_vfs::modular::FileSystem;
+    use std::sync::{Arc, Mutex};
+
+    /// Captures the pending-write set at each flush barrier.
+    struct Tap {
+        inner: Arc<CrashDevice<Arc<RamDisk>>>,
+        intervals: Mutex<Vec<Vec<PendingWrite>>>,
+    }
+
+    impl BlockDevice for Tap {
+        fn num_blocks(&self) -> u64 {
+            self.inner.num_blocks()
+        }
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+            self.inner.read_block(blkno, buf)
+        }
+        fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+            self.inner.write_block(blkno, buf)
+        }
+        fn flush(&self) -> KResult<()> {
+            self.intervals
+                .lock()
+                .unwrap()
+                .push(self.inner.pending_writes());
+            self.inner.flush()
+        }
+        fn stats(&self) -> DeviceStats {
+            self.inner.stats()
+        }
+    }
+
+    fn tapped_device() -> (Arc<RamDisk>, Arc<Tap>) {
+        let ram = Arc::new(RamDisk::new(2048));
+        let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        let tap = Arc::new(Tap {
+            inner: crash,
+            intervals: Mutex::new(Vec::new()),
+        });
+        (ram, tap)
+    }
+
+    fn policy_name(p: CrashPolicy) -> &'static str {
+        match p {
+            CrashPolicy::Prefixes => "prefixes",
+            CrashPolicy::Subsets => "subsets",
+            CrashPolicy::Torn => "torn",
+        }
+    }
+
+    /// Explodes every barrier interval under `policy` and feeds each
+    /// image to `judge`; returns (images_checked, failures).
+    fn enumerate(
+        base: Vec<u8>,
+        intervals: &[Vec<PendingWrite>],
+        policy: CrashPolicy,
+        mut judge: impl FnMut(&[u8]) -> Result<(), String>,
+    ) -> (usize, usize) {
+        let mut checked = 0;
+        let mut failures = 0;
+        let mut applied = base;
+        for interval in intervals {
+            for img in crash_images(&applied, interval, BLOCK_SIZE, policy) {
+                checked += 1;
+                if judge(&img).is_err() {
+                    failures += 1;
+                }
+            }
+            for w in interval {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+        }
+        (checked, failures)
+    }
+
+    /// rsfs judge: the image must mount, recover to a state the schedule
+    /// passed through, and pass fsck.
+    fn judge_rsfs(img: &[u8], models: &[sk_vfs::spec::FsModel]) -> Result<(), String> {
+        let scratch = Arc::new(RamDisk::new(2048));
+        scratch.restore(img).map_err(|e| e.to_string())?;
+        let dev: Arc<dyn BlockDevice> = scratch;
+        let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).map_err(|e| e.to_string())?;
+        let m = fs.abstraction();
+        if !models.contains(&m) {
+            return Err("off-history state".into());
+        }
+        let report = sk_fs_safe::fsck(&*dev).map_err(|e| e.to_string())?;
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(format!("{:?}", report.findings))
+        }
+    }
+
+    /// cext4 judge (no journal, so a weak promise): the image either
+    /// mounts and a bounded cycle-guarded walk terminates, or is refused
+    /// with a clean errno.
+    fn judge_cext4(img: &[u8]) -> Result<(), String> {
+        let scratch = Arc::new(RamDisk::new(2048));
+        scratch.restore(img).map_err(|e| e.to_string())?;
+        let dev: Arc<dyn BlockDevice> = scratch;
+        let fs = match Cext4::mount(dev, LegacyCtx::new(), Arc::new(BugKnobs::none())) {
+            Ok(fs) => fs,
+            Err(_) => return Ok(()),
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![fs.root_ino()];
+        let mut steps = 0usize;
+        while let Some(dir) = stack.pop() {
+            if !seen.insert(dir) {
+                continue;
+            }
+            steps += 1;
+            if steps > 10_000 {
+                return Err("tree walk did not terminate".into());
+            }
+            if let Ok(entries) = fs.readdir_inner(dir) {
+                for (_, ino) in entries {
+                    stack.push(ino);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn bench_crash_consistency() -> Value {
+        let policies = [
+            CrashPolicy::Prefixes,
+            CrashPolicy::Subsets,
+            CrashPolicy::Torn,
+        ];
+        let mut rows = Vec::new();
+
+        for policy in policies {
+            // rsfs+journal: create → write → sync (commit, commit,
+            // checkpoint barriers), judged against the op history.
+            let (ram, tap) = tapped_device();
+            let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+            Rsfs::mkfs(&tap_dyn, 128, 64).expect("mkfs");
+            let base = ram.snapshot();
+            tap.intervals.lock().unwrap().clear();
+            let fs = Rsfs::mount(tap_dyn, JournalMode::PerOp).expect("mount");
+            let mut models = vec![fs.abstraction()];
+            let ino = fs.create(fs.root_ino(), "bench").unwrap();
+            models.push(fs.abstraction());
+            fs.write(ino, 0, &vec![0x5Au8; BLOCK_SIZE + 100]).unwrap();
+            models.push(fs.abstraction());
+            fs.sync().unwrap();
+            let intervals = tap.intervals.lock().unwrap().clone();
+            let (checked, failures) =
+                enumerate(base, &intervals, policy, |img| judge_rsfs(img, &models));
+            println!(
+                "crash_consistency rsfs+journal {:<8}: {checked} images, {failures} failures",
+                policy_name(policy)
+            );
+            rows.push(obj(vec![
+                ("fs", Value::String("rsfs+journal".into())),
+                ("policy", Value::String(policy_name(policy).into())),
+                ("barrier_intervals", num(intervals.len() as f64)),
+                ("images_checked", num(checked as f64)),
+                ("recovery_failures", num(failures as f64)),
+            ]));
+
+            // cext4: the same schedule shape, held to the weak judge.
+            let (ram, tap) = tapped_device();
+            let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+            Cext4::mkfs(&tap_dyn, 128).expect("mkfs");
+            let base = ram.snapshot();
+            tap.intervals.lock().unwrap().clear();
+            let fs =
+                Cext4::mount(tap_dyn, LegacyCtx::new(), Arc::new(BugKnobs::none())).expect("mount");
+            let root = fs.root_ino();
+            let p = fs.create_errptr(root, "bench", 0o100644).check().unwrap();
+            let ino = fs
+                .ctx()
+                .vp_take::<sk_vfs::inode::InodeNo>(p, "bench")
+                .unwrap();
+            fs.write_range(ino, 0, &vec![0x5Au8; BLOCK_SIZE + 100])
+                .unwrap();
+            fs.sync_inner().unwrap();
+            let intervals = tap.intervals.lock().unwrap().clone();
+            let (checked, failures) = enumerate(base, &intervals, policy, judge_cext4);
+            println!(
+                "crash_consistency cext4        {:<8}: {checked} images, {failures} failures",
+                policy_name(policy)
+            );
+            rows.push(obj(vec![
+                ("fs", Value::String("cext4".into())),
+                ("policy", Value::String(policy_name(policy).into())),
+                ("barrier_intervals", num(intervals.len() as f64)),
+                ("images_checked", num(checked as f64)),
+                ("recovery_failures", num(failures as f64)),
+            ]));
+        }
+
+        // Adversarial disk-fault soak: raw FaultyDisk IO at the
+        // adversarial rates, reporting the injected-fault counters.
+        let faulty = FaultyDisk::new(RamDisk::new(256), DiskFaultConfig::adversarial(), 0xD15C);
+        let payload = vec![0xA5u8; BLOCK_SIZE];
+        let mut ok_ops = 0u64;
+        let mut failed_ops = 0u64;
+        for i in 0..2_000u64 {
+            let blk = i % 256;
+            let r = if i % 3 == 0 {
+                let mut buf = vec![0u8; BLOCK_SIZE];
+                faulty.read_block(blk, &mut buf)
+            } else if i % 17 == 0 {
+                faulty.flush()
+            } else {
+                faulty.write_block(blk, &payload)
+            };
+            match r {
+                Ok(()) => ok_ops += 1,
+                Err(_) => failed_ops += 1,
+            }
+        }
+        let inj = faulty.injected();
+        println!(
+            "disk_faults: {ok_ops} ok / {failed_ops} failed ops, {} EIO, {} torn, {} corrupt",
+            inj.io_errors, inj.torn_writes, inj.corrupt_reads
+        );
+        let disk_faults = obj(vec![
+            ("ops_ok", num(ok_ops as f64)),
+            ("ops_failed", num(failed_ops as f64)),
+            ("injected_io_errors", num(inj.io_errors as f64)),
+            ("injected_torn_writes", num(inj.torn_writes as f64)),
+            ("injected_corrupt_reads", num(inj.corrupt_reads as f64)),
+        ]);
+
+        // Journal abort under a mid-commit write error: the op fails, the
+        // journal wedges read-only, and remount recovers the prefix.
+        let faulty = Arc::new(FaultyDisk::new(
+            RamDisk::new(1024),
+            DiskFaultConfig::default(),
+            7,
+        ));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
+        let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).expect("mount");
+        fs.create(fs.root_ino(), "a").unwrap();
+        faulty.fail_nth_write(0);
+        let op_failed = fs.create(fs.root_ino(), "b").is_err();
+        let aborted = fs.journal().map(|j| j.is_aborted()).unwrap_or(false);
+        let erofs = fs.create(fs.root_ino(), "c") == Err(Errno::EROFS);
+        drop(fs);
+        let fs = Rsfs::mount(dev, JournalMode::PerOp).expect("remount");
+        let recovered = fs.lookup(fs.root_ino(), "a").is_ok()
+            && fs.lookup(fs.root_ino(), "b") == Err(Errno::ENOENT);
+        println!(
+            "journal_abort: op_failed={op_failed} aborted={aborted} erofs={erofs} \
+             remount_recovered={recovered}"
+        );
+        let journal_abort = obj(vec![
+            ("op_failed", Value::Bool(op_failed)),
+            ("journal_aborted", Value::Bool(aborted)),
+            ("subsequent_op_erofs", Value::Bool(erofs)),
+            ("remount_recovers_prefix", Value::Bool(recovered)),
+        ]);
+
+        obj(vec![
+            ("enumeration", Value::Array(rows)),
+            ("disk_faults", disk_faults),
+            ("journal_abort", journal_abort),
+        ])
+    }
+}
+
 /// The netstack soak in report form: one socket-layer generation pushes a
 /// fixed byte stream over a link profile; the row records how hard the
 /// TCP hardening had to work to get it across.
@@ -601,6 +891,7 @@ fn main() {
         ("fs_throughput", bench_fs_throughput()),
         ("group_commit", bench_group_commit(&[1, threads.max(2)])),
         ("vectored_io", bench_vectored_io()),
+        ("crash_consistency", crashbench::bench_crash_consistency()),
     ]);
 
     let json = serde_json::to_string(&report).expect("serialize");

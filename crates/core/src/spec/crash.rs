@@ -12,11 +12,15 @@
 //!   pending writes may have reached media, with later writes to the same
 //!   block still winning among those applied (2^n images; n is capped
 //!   because this is exhaustive, not sampled).
+//! - [`CrashPolicy::Torn`] models sector-atomic hardware: like `Prefixes`,
+//!   but the write the crash lands on may itself be cut at any sector
+//!   boundary — only its first k sectors reach media. This is the schedule
+//!   that catches on-disk formats relying on whole-block atomicity.
 //!
 //! The journal's correctness argument in `sk-fs-safe` is exactly that under
-//! *both* policies every reachable image recovers to an allowed model.
+//! *all three* policies every reachable image recovers to an allowed model.
 
-use sk_ksim::block::PendingWrite;
+use sk_ksim::block::{PendingWrite, SECTOR_SIZE};
 
 /// Which crash schedules to enumerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +29,11 @@ pub enum CrashPolicy {
     Prefixes,
     /// Writes may reorder arbitrarily; a crash keeps any subset.
     Subsets,
+    /// Writes drain in order, and the write the crash interrupts may be
+    /// torn at any [`SECTOR_SIZE`] boundary: every prefix image plus, for
+    /// each pending write, one image per partial sector count
+    /// (`(n+1) + n·(sectors_per_block − 1)` images).
+    Torn,
 }
 
 /// Upper bound on pending writes for [`CrashPolicy::Subsets`] (2^16 images).
@@ -61,6 +70,27 @@ pub fn crash_images(
                 apply(base, &refs, block_size)
             })
             .collect(),
+        CrashPolicy::Torn => {
+            // Sector-atomic prefixes: the cut write lands partially.
+            let spb = (block_size / SECTOR_SIZE).max(1);
+            let mut images = Vec::new();
+            for n in 0..=pending.len() {
+                let refs: Vec<&PendingWrite> = pending[..n].iter().collect();
+                images.push(apply(base, &refs, block_size));
+                // The (n+1)-th write is the one the crash interrupts: apply
+                // its first k sectors over the prefix, for every proper k.
+                if let Some(cut) = pending.get(n) {
+                    for k in 1..spb {
+                        let mut img = images.last().unwrap().clone();
+                        let off = cut.blkno as usize * block_size;
+                        let bytes = k * SECTOR_SIZE;
+                        img[off..off + bytes].copy_from_slice(&cut.data[..bytes]);
+                        images.push(img);
+                    }
+                }
+            }
+            images
+        }
         CrashPolicy::Subsets => {
             assert!(
                 pending.len() <= MAX_SUBSET_PENDING,
@@ -166,6 +196,44 @@ mod tests {
         // yields 1.
         assert!(images.iter().any(|img| img[0] == 1));
         assert!(images.iter().any(|img| img[0] == 0));
+    }
+
+    #[test]
+    fn torn_enumerates_prefixes_plus_sector_cuts() {
+        let bs = 2 * SECTOR_SIZE;
+        let base = vec![0u8; 2 * bs];
+        let pending = vec![w(0, 1, bs), w(1, 2, bs)];
+        let images = crash_images(&base, &pending, bs, CrashPolicy::Torn);
+        // (n+1) prefixes + n·(spb−1) torn variants = 3 + 2·1.
+        assert_eq!(images.len(), 5);
+        // Every prefix image is present…
+        for img in crash_images(&base, &pending, bs, CrashPolicy::Prefixes) {
+            assert!(images.contains(&img));
+        }
+        // …plus the half-applied first write: sector 0 new, sector 1 old.
+        assert!(images.iter().any(|img| {
+            img[..SECTOR_SIZE].iter().all(|&b| b == 1)
+                && img[SECTOR_SIZE..bs].iter().all(|&b| b == 0)
+        }));
+        // No image tears *inside* a sector.
+        for img in &images {
+            for blk in img.chunks(bs) {
+                for sector in blk.chunks(SECTOR_SIZE) {
+                    assert!(sector.iter().all(|&b| b == sector[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_with_single_sector_blocks_degenerates_to_prefixes() {
+        let bs = 4; // smaller than a sector: whole-block atomic
+        let base = vec![0u8; 2 * bs];
+        let pending = vec![w(0, 1, bs), w(1, 2, bs)];
+        assert_eq!(
+            crash_images(&base, &pending, bs, CrashPolicy::Torn),
+            crash_images(&base, &pending, bs, CrashPolicy::Prefixes)
+        );
     }
 
     #[test]

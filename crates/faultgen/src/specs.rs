@@ -41,6 +41,13 @@ pub enum Mechanism {
     DesignFlaw,
     /// CWE-330: predictable initial sequence numbers.
     WeakEntropy,
+    /// CWE-459: crash consistency — without a journal, a crash during
+    /// writeback leaves a state that is neither the previous nor the new
+    /// synced version. Type/ownership safety does not help (the
+    /// un-journaled safe fs tears identically); only the crash
+    /// *specification* — checked by enumeration or a refinement crash
+    /// step — names the bug.
+    CrashLoss,
 }
 
 /// One catalog entry.
@@ -166,6 +173,12 @@ pub fn catalog() -> Vec<BugSpec> {
             expected: Prevention::Functional,
             mechanism: Semantic(SemanticBug::RmdirIgnoresNonempty),
         },
+        BugSpec {
+            name: "crash_tears_synced_write",
+            cwe: "CWE-459",
+            expected: Prevention::Functional,
+            mechanism: CrashLoss,
+        },
         // The residual 23%.
         BugSpec {
             name: "attr_info_leak",
@@ -272,6 +285,7 @@ pub fn eval_baseline(spec: &BugSpec, seed: u64) -> RunOutcome {
         Mechanism::InfoLeak => info_leak_probe(),
         Mechanism::DesignFlaw => design_flaw_probe(seed),
         Mechanism::WeakEntropy => weak_entropy_probe(),
+        Mechanism::CrashLoss => crash_loss_probe_legacy(seed),
     }
 }
 
@@ -311,6 +325,9 @@ pub fn eval_safe(spec: &BugSpec, seed: u64) -> RunOutcome {
         Mechanism::InfoLeak => info_leak_probe(),
         Mechanism::DesignFlaw => design_flaw_probe(seed),
         Mechanism::WeakEntropy => weak_entropy_probe(),
+        // Type/ownership safety alone buys no crash consistency: the
+        // un-journaled rsfs tears exactly like cext4.
+        Mechanism::CrashLoss => crash_loss_probe_safe(seed),
     }
 }
 
@@ -320,6 +337,7 @@ pub fn eval_spec_checked(spec: &BugSpec, seed: u64) -> RunOutcome {
         Mechanism::Semantic(bug) => {
             run_spec_checked(move |fs| Box::new(SemanticFaultFs::new(fs, bug)), seed)
         }
+        Mechanism::CrashLoss => crash_loss_probe_spec_checked(seed),
         // Memory-safety classes never reach this pipeline (already
         // prevented); the residual classes run the checker and stay clean —
         // which *is* the measurement: the spec does not constrain them.
@@ -421,6 +439,238 @@ fn design_flaw_probe(seed: u64) -> RunOutcome {
         leaks: 0,
         state_correct: !unauthorized_delete_succeeded,
         refinement_violations: 0,
+    }
+}
+
+// --- crash-consistency probes (CWE-459) --------------------------------------
+
+use sk_core::spec::crash::{crash_images, CrashPolicy};
+use sk_ksim::block::{BlockDevice, CrashDevice, DeviceStats, PendingWrite, RamDisk, BLOCK_SIZE};
+use sk_ksim::errno::KResult;
+use sk_vfs::modular::FileSystem;
+
+/// Captures the pending-write set of a [`CrashDevice`] at each flush
+/// barrier, so the crash probes can enumerate mid-sync crash images.
+struct FlushTap {
+    inner: Arc<CrashDevice<Arc<RamDisk>>>,
+    intervals: parking_lot::Mutex<Vec<Vec<PendingWrite>>>,
+}
+
+impl BlockDevice for FlushTap {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        self.inner.read_block(blkno, buf)
+    }
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        self.inner.write_block(blkno, buf)
+    }
+    fn flush(&self) -> KResult<()> {
+        self.intervals.lock().push(self.inner.pending_writes());
+        self.inner.flush()
+    }
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+fn crash_tapped() -> (Arc<RamDisk>, Arc<FlushTap>, Arc<dyn BlockDevice>) {
+    let ram = Arc::new(RamDisk::new(1024));
+    let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+    let tap = Arc::new(FlushTap {
+        inner: crash,
+        intervals: parking_lot::Mutex::new(Vec::new()),
+    });
+    let dyn_dev: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+    (ram, tap, dyn_dev)
+}
+
+/// The two-version crash scenario: a two-block file is written and
+/// synced (version 1), then overwritten and synced again. Returns the
+/// durable image as of version 1, the write intervals of the second
+/// sync, and both payloads.
+#[allow(clippy::type_complexity)]
+fn crash_schedule(
+    fs: &dyn FileSystem,
+    ram: &RamDisk,
+    tap: &FlushTap,
+    seed: u64,
+) -> (Vec<u8>, Vec<Vec<PendingWrite>>, Vec<u8>, Vec<u8>) {
+    let v1 = vec![seed as u8; 2 * BLOCK_SIZE];
+    let v2 = vec![!(seed as u8); 2 * BLOCK_SIZE];
+    let root = fs.root_ino();
+    let ino = fs.create(root, "cf").expect("create");
+    fs.write(ino, 0, &v1).expect("write v1");
+    fs.sync().expect("sync v1");
+    let base = ram.snapshot();
+    tap.intervals.lock().clear();
+    fs.write(ino, 0, &v2).expect("write v2");
+    fs.sync().expect("sync v2");
+    let intervals = tap.intervals.lock().clone();
+    (base, intervals, v1, v2)
+}
+
+/// Enumerates every prefix crash image of the second sync and returns
+/// the first whose recovered file content is *neither* synced version —
+/// the torn state the crash spec forbids. `reread` mounts an image and
+/// returns the file's content (`None` = unreadable, which also counts).
+fn find_torn_image(
+    base: &[u8],
+    intervals: &[Vec<PendingWrite>],
+    v1: &[u8],
+    v2: &[u8],
+    reread: impl Fn(&[u8]) -> Option<Vec<u8>>,
+) -> Option<Vec<u8>> {
+    let mut applied = base.to_vec();
+    for interval in intervals {
+        for img in crash_images(&applied, interval, BLOCK_SIZE, CrashPolicy::Prefixes) {
+            match reread(&img) {
+                Some(content) if content == v1 || content == v2 => {}
+                _ => return Some(img),
+            }
+        }
+        for w in interval {
+            let off = w.blkno as usize * BLOCK_SIZE;
+            applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+        }
+    }
+    None
+}
+
+fn reread_rsfs_none(img: &[u8]) -> Option<Vec<u8>> {
+    use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+    let ram = Arc::new(RamDisk::new(1024));
+    ram.restore(img).ok()?;
+    let dev: Arc<dyn BlockDevice> = ram;
+    let fs = Rsfs::mount(dev, JournalMode::None).ok()?;
+    let ino = fs.lookup(fs.root_ino(), "cf").ok()?;
+    let mut buf = vec![0u8; 4 * BLOCK_SIZE];
+    let n = fs.read(ino, 0, &mut buf).ok()?;
+    buf.truncate(n);
+    Some(buf)
+}
+
+/// CWE-459 on the legacy side: cext4 has no journal, so a crash during
+/// writeback can land *between* the two synced versions — a state the
+/// crash specification forbids, with no detector class to count it.
+fn crash_loss_probe_legacy(seed: u64) -> RunOutcome {
+    use sk_fs_legacy::{cext4_ops, BugKnobs, Cext4};
+    use sk_vfs::shim::LegacyFsAdapter;
+    let (ram, tap, dev) = crash_tapped();
+    Cext4::mkfs(&dev, 128).expect("mkfs");
+    let ctx = LegacyCtx::new();
+    let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).expect("mount"));
+    let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
+    let (base, intervals, v1, v2) = crash_schedule(&adapter, &ram, &tap, seed);
+    let torn = find_torn_image(&base, &intervals, &v1, &v2, |img| {
+        let ram = Arc::new(RamDisk::new(1024));
+        ram.restore(img).ok()?;
+        let dev: Arc<dyn BlockDevice> = ram;
+        let ctx = LegacyCtx::new();
+        let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).ok()?);
+        let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
+        let ino = adapter.lookup(adapter.root_ino(), "cf").ok()?;
+        let mut buf = vec![0u8; 4 * BLOCK_SIZE];
+        let n = adapter.read(ino, 0, &mut buf).ok()?;
+        buf.truncate(n);
+        Some(buf)
+    })
+    .is_some();
+    RunOutcome {
+        class_events: 0,
+        leaks: 0,
+        state_correct: !torn,
+        refinement_violations: 0,
+    }
+}
+
+/// The same probe against the *un-journaled* safe fs: memory safety is
+/// irrelevant to crash consistency, so the tear manifests identically —
+/// which is exactly why this class files under Functional.
+fn crash_loss_probe_safe(seed: u64) -> RunOutcome {
+    use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+    let (ram, tap, dev) = crash_tapped();
+    Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
+    let fs = Rsfs::mount(dev, JournalMode::None).expect("mount");
+    let (base, intervals, v1, v2) = crash_schedule(&fs, &ram, &tap, seed);
+    let torn = find_torn_image(&base, &intervals, &v1, &v2, reread_rsfs_none).is_some();
+    RunOutcome {
+        class_events: 0,
+        leaks: 0,
+        state_correct: !torn,
+        refinement_violations: 0,
+    }
+}
+
+/// The crash spec as a checkable refinement step: the checker drives the
+/// un-journaled fs to version 2, crashes it mid-sync onto the worst
+/// enumerated image, recovers, and requires the recovered abstraction to
+/// be one of the two synced versions. The torn image is the recorded
+/// counterexample. (The journaled rsfs passes this same step — that is
+/// `tests/crash_recovery.rs`.)
+fn crash_loss_probe_spec_checked(seed: u64) -> RunOutcome {
+    use sk_core::spec::{RefinementChecker, Refines};
+    use sk_fs_safe::rsfs::{JournalMode, Rsfs};
+    use sk_vfs::spec::FsModel;
+
+    struct CrashSys {
+        fs: Option<Rsfs>,
+    }
+    impl Refines<FsModel> for CrashSys {
+        fn abstraction(&self) -> FsModel {
+            self.fs.as_ref().expect("mounted").abstraction()
+        }
+    }
+
+    let (ram, tap, dev) = crash_tapped();
+    Rsfs::mkfs(&dev, 128, 64).expect("mkfs");
+    let fs = Rsfs::mount(dev, JournalMode::None).expect("mount");
+
+    let v1 = vec![seed as u8; 2 * BLOCK_SIZE];
+    let v2 = vec![!(seed as u8); 2 * BLOCK_SIZE];
+    // Setup (not under test): reach synced version 1, then stage v2.
+    let ino = fs.create(fs.root_ino(), "cf").expect("create");
+    fs.write(ino, 0, &v1).expect("write v1");
+    fs.sync().expect("sync v1");
+    let mut sys = CrashSys { fs: Some(fs) };
+    let model_v1 = sys.abstraction();
+    let base = ram.snapshot();
+    tap.intervals.lock().clear();
+    sys.fs
+        .as_ref()
+        .unwrap()
+        .write(ino, 0, &v2)
+        .expect("write v2");
+
+    let mut chk: RefinementChecker<FsModel> = RefinementChecker::new();
+    chk.step(
+        &mut sys,
+        "crash_during_sync",
+        |s| {
+            let fs = s.fs.take().expect("mounted");
+            fs.sync().expect("sync v2");
+            drop(fs);
+            let intervals = tap.intervals.lock().clone();
+            let img = find_torn_image(&base, &intervals, &v1, &v2, reread_rsfs_none)
+                .unwrap_or_else(|| ram.snapshot());
+            let ram2 = Arc::new(RamDisk::new(1024));
+            ram2.restore(&img).expect("restore");
+            let dev2: Arc<dyn BlockDevice> = ram2;
+            s.fs = Some(Rsfs::mount(dev2, JournalMode::None).expect("remount"));
+        },
+        // The crash spec: recovery yields a synced version — the one
+        // before the interrupted sync, or the one it was writing.
+        |pre, post, _| *post == *pre || *post == model_v1,
+    );
+    RunOutcome {
+        class_events: 0,
+        leaks: 0,
+        state_correct: chk.is_clean(),
+        refinement_violations: chk.violations().len(),
     }
 }
 

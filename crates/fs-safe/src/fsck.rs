@@ -13,7 +13,10 @@
 //!   the table, and vice versa;
 //! - **I5** every directory entry points to a live inode;
 //! - **I6** every file's size fits within its allocated blocks;
-//! - **I7** every live non-root inode is reachable from the root.
+//! - **I7** every live non-root inode is reachable from the root;
+//! - **I8** the journal superblock parses, and no fully committed journal
+//!   record is stranded beyond a tear in the descriptor chain (the walk is
+//!   strictly bounded — a corrupt record's count can never make it loop).
 //!
 //! The crash-recovery test suite runs fsck over every recovered image, so
 //! "recovers to an allowed model" is complemented by "recovers to a
@@ -24,6 +27,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use sk_ksim::block::BlockDevice;
 use sk_ksim::errno::KResult;
 
+use crate::journal::{fnv1a, COMMIT_MAGIC, DESC_MAGIC, JSB_MAGIC};
 use crate::layout::{
     dirent_parse, DiskInode, Superblock, BLOCK_BITMAP, BLOCK_SIZE, INODES_PER_BLOCK, INODE_BITMAP,
     INODE_SIZE, INODE_TABLE, MODE_DIR, MODE_FREE, NDIRECT, NINDIRECT, ROOT_INO, SB_BLOCK,
@@ -82,6 +86,20 @@ pub enum Finding {
     Orphan {
         /// The unreachable inode.
         ino: u64,
+    },
+    /// I8: the journal superblock failed to parse or points outside the
+    /// log area.
+    BadJournalSuperblock(String),
+    /// I8: the journal's descriptor chain is torn *with committed data
+    /// beyond the tear* — a fully committed record sits past a gap the
+    /// recovery walk can never cross, so it would be silently dropped.
+    /// (A torn record with nothing valid beyond it is normal crash
+    /// residue, not a finding: recovery discards it by design.)
+    TornJournal {
+        /// The sequence number recovery would expect at the tear.
+        expected_seq: u64,
+        /// Offset of the tear in the log area.
+        off: u64,
     },
 }
 
@@ -266,8 +284,141 @@ pub fn fsck(dev: &dyn BlockDevice) -> KResult<FsckReport> {
             report.findings.push(Finding::Orphan { ino });
         }
     }
+
+    check_journal(dev, &sb, &mut report)?;
+
     report.findings.sort_by_key(|f| format!("{f:?}"));
     Ok(report)
+}
+
+/// Parses the record starting at log offset `off`; returns `Some((seq,
+/// count))` only for a *fully committed* record (descriptor, in-range
+/// count, sane home blknos, matching commit record, matching payload
+/// checksum) whose sequence is at least `seq_min`.
+fn committed_record_at(
+    dev: &dyn BlockDevice,
+    jstart: u64,
+    area: u64,
+    off: u64,
+    seq_min: u64,
+) -> KResult<Option<(u64, u64)>> {
+    let bs = dev.block_size();
+    let mut desc = vec![0u8; bs];
+    dev.read_block(jstart + 1 + off, &mut desc)?;
+    if u32::from_le_bytes(desc[0..4].try_into().expect("4 bytes")) != DESC_MAGIC {
+        return Ok(None);
+    }
+    let dseq = u64::from_le_bytes(desc[4..12].try_into().expect("8 bytes"));
+    if dseq < seq_min {
+        return Ok(None);
+    }
+    let count = u64::from(u32::from_le_bytes(
+        desc[12..16].try_into().expect("4 bytes"),
+    ));
+    if count == 0 || off + 2 + count > area {
+        return Ok(None);
+    }
+    let claimed = u64::from_le_bytes(desc[bs - 8..].try_into().expect("8 bytes"));
+    let mut blknos = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let o = 16 + i * 8;
+        let b = u64::from_le_bytes(desc[o..o + 8].try_into().expect("8 bytes"));
+        if b >= jstart {
+            return Ok(None);
+        }
+        blknos.push(b);
+    }
+    let mut commit = vec![0u8; bs];
+    dev.read_block(jstart + 1 + off + 1 + count, &mut commit)?;
+    if u32::from_le_bytes(commit[0..4].try_into().expect("4 bytes")) != COMMIT_MAGIC
+        || u64::from_le_bytes(commit[4..12].try_into().expect("8 bytes")) != dseq
+        || u64::from_le_bytes(commit[12..20].try_into().expect("8 bytes")) != claimed
+    {
+        return Ok(None);
+    }
+    let mut payload = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let mut data = vec![0u8; bs];
+        dev.read_block(jstart + 1 + off + 1 + i, &mut data)?;
+        payload.push(data);
+    }
+    let seq_bytes = dseq.to_le_bytes();
+    let blkno_bytes: Vec<u8> = blknos.iter().flat_map(|b| b.to_le_bytes()).collect();
+    let mut chunks: Vec<&[u8]> = vec![&seq_bytes, &blkno_bytes];
+    for p in &payload {
+        chunks.push(p.as_slice());
+    }
+    if fnv1a(&chunks) != claimed {
+        return Ok(None);
+    }
+    Ok(Some((dseq, count)))
+}
+
+/// I8: the journal's descriptor chain. Mirrors the recovery walk but is
+/// read-only and *strictly bounded*: along the valid chain each record
+/// advances the offset by its full length, and past the first tear the
+/// probe advances one block at a time — an adversarial `count` field can
+/// make a record invalid, but never make the checker loop or run past
+/// the log area. A tear is only a finding when a fully committed record
+/// with a later sequence lies beyond it (committed data recovery can
+/// never reach); a bare torn tail is the normal residue of a crash
+/// mid-commit.
+fn check_journal(dev: &dyn BlockDevice, sb: &Superblock, report: &mut FsckReport) -> KResult<()> {
+    let jstart = u64::from(sb.journal_start);
+    let jblocks = u64::from(sb.journal_blocks);
+    if jblocks == 0 {
+        report.findings.push(Finding::BadJournalSuperblock(
+            "journal region is empty".into(),
+        ));
+        return Ok(());
+    }
+    let area = jblocks - 1;
+    let bs = dev.block_size();
+    let mut jsb = vec![0u8; bs];
+    dev.read_block(jstart, &mut jsb)?;
+    if u32::from_le_bytes(jsb[0..4].try_into().expect("4 bytes")) != JSB_MAGIC {
+        report.findings.push(Finding::BadJournalSuperblock(
+            "bad journal superblock magic".into(),
+        ));
+        return Ok(());
+    }
+    let tail_seq = u64::from_le_bytes(jsb[4..12].try_into().expect("8 bytes"));
+    let tail_off = u64::from_le_bytes(jsb[12..20].try_into().expect("8 bytes"));
+    if tail_off > area {
+        report.findings.push(Finding::BadJournalSuperblock(format!(
+            "journal tail offset {tail_off} beyond log area {area}"
+        )));
+        return Ok(());
+    }
+
+    // Follow the committed chain exactly as recovery would.
+    let mut expected = tail_seq;
+    let mut off = tail_off;
+    while off + 3 <= area {
+        match committed_record_at(dev, jstart, area, off, expected)? {
+            Some((dseq, count)) if dseq == expected => {
+                expected += 1;
+                off += 2 + count;
+            }
+            _ => break,
+        }
+    }
+    // Past the chain's end: any fully committed record with a sequence
+    // recovery still expects is unreachable behind the tear.
+    let mut probe = off;
+    while probe + 3 <= area {
+        if let Some((dseq, _)) = committed_record_at(dev, jstart, area, probe, expected)? {
+            if dseq >= expected {
+                report.findings.push(Finding::TornJournal {
+                    expected_seq: expected,
+                    off,
+                });
+                break;
+            }
+        }
+        probe += 1;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -473,5 +624,107 @@ mod tests {
         let report = fsck(&ram).unwrap();
         assert_eq!(report.findings.len(), 1);
         assert!(matches!(report.findings[0], Finding::BadSuperblock(_)));
+    }
+
+    /// Reads the journal geometry off a populated image.
+    fn journal_geom(ram: &RamDisk) -> (u64, u64) {
+        let mut blk = vec![0u8; 4096];
+        ram.read_block(SB_BLOCK, &mut blk).unwrap();
+        let sb = Superblock::decode(&blk).unwrap();
+        (u64::from(sb.journal_start), u64::from(sb.journal_blocks))
+    }
+
+    /// Builds a fully committed journal record (desc + payload + commit)
+    /// for `seq` writing `fill` to home block 4.
+    fn committed_record(seq: u64, fill: u8) -> Vec<Vec<u8>> {
+        use crate::journal::{fnv1a, COMMIT_MAGIC, DESC_MAGIC};
+        let bs = 4096;
+        let payload = vec![fill; bs];
+        let blkno = 4u64;
+        let seq_bytes = seq.to_le_bytes();
+        let blkno_bytes = blkno.to_le_bytes().to_vec();
+        let checksum = fnv1a(&[&seq_bytes, &blkno_bytes, payload.as_slice()]);
+        let mut desc = vec![0u8; bs];
+        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        desc[4..12].copy_from_slice(&seq_bytes);
+        desc[12..16].copy_from_slice(&1u32.to_le_bytes());
+        desc[16..24].copy_from_slice(&blkno.to_le_bytes());
+        desc[bs - 8..].copy_from_slice(&checksum.to_le_bytes());
+        let mut commit = vec![0u8; bs];
+        commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+        commit[4..12].copy_from_slice(&seq_bytes);
+        commit[12..20].copy_from_slice(&checksum.to_le_bytes());
+        vec![desc, payload, commit]
+    }
+
+    /// A torn record at the tail with nothing committed beyond it is the
+    /// normal residue of a crash mid-commit — not a finding.
+    #[test]
+    fn bare_torn_tail_record_is_clean() {
+        use crate::journal::DESC_MAGIC;
+        let (ram, dev) = populated();
+        let (jstart, _) = journal_geom(&ram);
+        let mut blk = vec![0u8; 4096];
+        ram.read_block(jstart, &mut blk).unwrap();
+        let tail_off = u64::from_le_bytes(blk[12..20].try_into().unwrap());
+        // A descriptor with the expected seq but an absurd count: torn.
+        let tail_seq = u64::from_le_bytes(blk[4..12].try_into().unwrap());
+        let mut desc = vec![0u8; 4096];
+        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        desc[4..12].copy_from_slice(&tail_seq.to_le_bytes());
+        desc[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        ram.write_block(jstart + 1 + tail_off, &desc).unwrap();
+        let report = fsck(&*dev).unwrap();
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    /// A committed record stranded beyond a tear is exactly the data-loss
+    /// image the journal-abort fix prevents; fsck must flag it — and must
+    /// terminate despite the torn descriptor's adversarial count.
+    #[test]
+    fn committed_record_beyond_tear_is_flagged() {
+        use crate::journal::DESC_MAGIC;
+        let (ram, dev) = populated();
+        let (jstart, _) = journal_geom(&ram);
+        let mut blk = vec![0u8; 4096];
+        ram.read_block(jstart, &mut blk).unwrap();
+        let tail_seq = u64::from_le_bytes(blk[4..12].try_into().unwrap());
+        let tail_off = u64::from_le_bytes(blk[12..20].try_into().unwrap());
+        // The gap: a torn descriptor (bad count) for the expected seq…
+        let mut desc = vec![0u8; 4096];
+        desc[0..4].copy_from_slice(&DESC_MAGIC.to_le_bytes());
+        desc[4..12].copy_from_slice(&tail_seq.to_le_bytes());
+        desc[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        ram.write_block(jstart + 1 + tail_off, &desc).unwrap();
+        // …followed by a fully committed record for the NEXT seq, as the
+        // pre-abort journal would have produced after a failed batch.
+        for (i, b) in committed_record(tail_seq + 1, 0xEE).iter().enumerate() {
+            ram.write_block(jstart + 1 + tail_off + 3 + i as u64, b)
+                .unwrap();
+        }
+        let report = fsck(&*dev).unwrap();
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| matches!(f, Finding::TornJournal { .. })),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn corrupt_journal_superblock_is_flagged() {
+        let (ram, dev) = populated();
+        let (jstart, _) = journal_geom(&ram);
+        let mut jsb = vec![0u8; 4096];
+        ram.read_block(jstart, &mut jsb).unwrap();
+        jsb[0] ^= 0xFF;
+        ram.write_block(jstart, &jsb).unwrap();
+        let report = fsck(&*dev).unwrap();
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::BadJournalSuperblock(_))));
     }
 }

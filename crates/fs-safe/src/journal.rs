@@ -47,9 +47,23 @@
 //! transaction's payload to its home locations *in sequence order*, then
 //! retire them by advancing the tail. The walk stops at the first invalid
 //! or stale record: a torn transaction never committed and is discarded.
-//! Replay is idempotent, so crashing *during recovery* is also covered.
+//! Replay is idempotent, so crashing *during recovery* is also covered,
+//! and an `EIO` mid-replay propagates as a reportable error — the retry
+//! replays from the unchanged tail.
+//!
+//! **Journal abort.** A failed record write leaves a gap in the log at a
+//! consumed sequence number; recovery's forward walk would stop there, so
+//! any record appended afterwards could be acknowledged and then lost.
+//! Like ext4, the journal therefore goes *sticky read-only*
+//! ([`Journal::is_aborted`]): every later commit and checkpoint fails
+//! with `EROFS` until the file system is remounted, at which point
+//! recovery replays exactly the durable prefix. An `EIO` during
+//! *checkpoint* is the benign counterpart: the drained transactions stay
+//! registered, the on-disk tail stays put, and no Delay pin is released,
+//! so the checkpoint simply retries.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -216,6 +230,18 @@ pub struct Journal {
     ckpt_lock: Mutex<()>,
     retire_hook: Mutex<Option<RetireHook>>,
     stats: Mutex<JournalStats>,
+    /// ext4-style journal abort: set when a record write fails partway.
+    ///
+    /// The leader consumes a sequence number and reserves log space
+    /// *before* the record IO, so a failed [`Journal::write_batch`] leaves
+    /// a gap (garbage or a partial record) in the log at the sequence
+    /// recovery will expect next. Any record appended after that gap is
+    /// unreachable: recovery's forward walk stops at the gap, so a later
+    /// commit could be acknowledged and then silently lost after a crash.
+    /// The only safe continuation is none — once set, every subsequent
+    /// commit and checkpoint fails with `EROFS` and the caller must
+    /// remount, which replays exactly the durable prefix.
+    aborted: AtomicBool,
 }
 
 impl Journal {
@@ -277,7 +303,20 @@ impl Journal {
             ckpt_lock: Mutex::new(()),
             retire_hook: Mutex::new(None),
             stats: Mutex::new(JournalStats::default()),
+            aborted: AtomicBool::new(false),
         })
+    }
+
+    /// True once the journal has aborted after a failed record write.
+    /// An aborted journal refuses all further commits and checkpoints
+    /// with `EROFS`; recovery at the next mount replays the durable
+    /// prefix of the log.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
     }
 
     /// Next on-disk sequence number (the open transaction's).
@@ -362,6 +401,11 @@ impl Journal {
 
     fn commit_op(&self, token: u64, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
         let mut g = self.group.lock();
+        if self.is_aborted() {
+            g.outstanding -= 1;
+            self.group_cv.notify_all();
+            return Err(Errno::EROFS);
+        }
         if writes.is_empty() {
             g.outstanding -= 1;
             self.group_cv.notify_all();
@@ -414,6 +458,16 @@ impl Journal {
             if g.members.is_empty() {
                 return;
             }
+            if self.is_aborted() {
+                // Members that joined before the abort landed: refuse them
+                // all — their writes never reach the log.
+                let refused: Vec<Member> = g.members.drain(..).collect();
+                for m in refused {
+                    g.completed.insert(m.token, Err(Errno::EROFS));
+                }
+                self.group_cv.notify_all();
+                return;
+            }
             g.members.sort_by_key(|m| m.token);
             // Take the longest prefix of members whose merged image set
             // fits one journal record.
@@ -443,6 +497,12 @@ impl Journal {
             let res = parking_lot::MutexGuard::unlocked(g, || self.write_batch(seq, merged));
             if res.is_ok() {
                 self.stats.lock().batches += 1;
+            } else {
+                // The sequence number is consumed and the log may hold a
+                // partial record at it; nothing appended after that gap
+                // would ever be replayed. Abort rather than lose an
+                // acknowledged later commit.
+                self.abort();
             }
             for m in &batch {
                 g.completed.insert(m.token, res);
@@ -554,6 +614,9 @@ impl Journal {
     fn checkpoint_inner(&self, max_txns: usize, forced: bool) -> KResult<usize> {
         // (seq, off, len, writes) per drained transaction.
         type DrainEntry = (u64, u64, u64, Vec<(u64, Vec<u8>)>);
+        if self.is_aborted() {
+            return Err(Errno::EROFS);
+        }
         let _serialize = self.ckpt_lock.lock();
         // Snapshot the drain set together with the newest-committed-seq
         // map; records stay registered (and the tail on disk) until
@@ -748,6 +811,34 @@ mod tests {
 
     const JSTART: u64 = 56;
     const JBLOCKS: u64 = 8;
+
+    /// Captures the pending-write set at each flush barrier, so a test can
+    /// enumerate crash images per barrier interval.
+    struct Tap {
+        inner: Arc<CrashDevice<Arc<RamDisk>>>,
+        script: Mutex<Vec<Vec<sk_ksim::block::PendingWrite>>>,
+    }
+    impl BlockDevice for Tap {
+        fn num_blocks(&self) -> u64 {
+            self.inner.num_blocks()
+        }
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn read_block(&self, b: u64, buf: &mut [u8]) -> KResult<()> {
+            self.inner.read_block(b, buf)
+        }
+        fn write_block(&self, b: u64, buf: &[u8]) -> KResult<()> {
+            self.inner.write_block(b, buf)
+        }
+        fn flush(&self) -> KResult<()> {
+            self.script.lock().push(self.inner.pending_writes());
+            self.inner.flush()
+        }
+        fn stats(&self) -> sk_ksim::block::DeviceStats {
+            self.inner.stats()
+        }
+    }
 
     fn fresh() -> (Arc<dyn BlockDevice>, Journal) {
         let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(64));
@@ -1013,6 +1104,183 @@ mod tests {
         assert_eq!(outcome2, RecoveryOutcome::Clean);
     }
 
+    /// Regression for the log-gap bug: a failed record write consumes a
+    /// sequence number and leaves garbage in the reserved log space, so a
+    /// *later* successful commit would sit beyond a gap recovery never
+    /// crosses — acknowledged, then lost. The fix is the ext4-style
+    /// abort: after a failed record write the journal refuses everything
+    /// with `EROFS`. Reverting the abort makes the second commit below
+    /// succeed, and the final assertions (commit 20 acknowledged ⇒
+    /// commit 20 recovered) fail.
+    #[test]
+    fn failed_record_write_aborts_the_journal() {
+        use sk_ksim::block::{DiskFaultConfig, FaultyDisk};
+        let ram = Arc::new(RamDisk::new(64));
+        let faulty = Arc::new(FaultyDisk::new(
+            Arc::clone(&ram),
+            DiskFaultConfig::default(),
+            0,
+        ));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(10))]).unwrap();
+        // Tear into commit 2's record IO (desc, payload, commit = writes
+        // 0..3 from here): the payload write fails.
+        faulty.fail_nth_write(1);
+        assert_eq!(j.commit(&[(4, img(20))]), Err(Errno::EIO));
+        assert!(j.is_aborted());
+        // Everything after the gap is refused, not silently lost.
+        assert_eq!(j.commit(&[(5, img(30))]), Err(Errno::EROFS));
+        assert_eq!(j.checkpoint_all(), Err(Errno::EROFS));
+        // Remount-time recovery replays exactly the durable prefix.
+        let ram_dyn: Arc<dyn BlockDevice> = ram;
+        let outcome = Journal::recover(&ram_dyn, JSTART, JBLOCKS).unwrap();
+        assert_eq!(outcome, RecoveryOutcome::Replayed { blocks: 1 });
+        let mut out = vec![0u8; BLOCK_SIZE];
+        ram_dyn.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 10, "acknowledged commit survived");
+        ram_dyn.read_block(4, &mut out).unwrap();
+        assert_eq!(out[0], 0, "failed commit never half-applied");
+        ram_dyn.read_block(5, &mut out).unwrap();
+        assert_eq!(out[0], 0, "refused commit never applied");
+    }
+
+    /// An `EIO` during checkpoint's home writes must not retire the
+    /// transaction, advance the tail, or fire the retire hook — the
+    /// checkpoint is simply retryable, and a crash in between still
+    /// replays from the unchanged tail.
+    #[test]
+    fn eio_during_checkpoint_retires_nothing_and_retries() {
+        use sk_ksim::block::{DiskFaultConfig, FaultyDisk};
+        let ram = Arc::new(RamDisk::new(64));
+        let faulty = Arc::new(FaultyDisk::new(
+            Arc::clone(&ram),
+            DiskFaultConfig::default(),
+            0,
+        ));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+        let retired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&retired);
+        j.set_retire_hook(move |blknos| sink.lock().extend_from_slice(blknos));
+        j.commit(&[(3, img(7))]).unwrap();
+        faulty.fail_nth_write(0); // the home write of block 3
+        assert_eq!(j.checkpoint_all(), Err(Errno::EIO));
+        assert_eq!(j.pending_checkpoints(), 1, "txn not retired");
+        assert!(retired.lock().is_empty(), "retire hook not fired");
+        assert!(!j.is_aborted(), "checkpoint EIO is retryable, not fatal");
+        // A crash now still replays from the unchanged on-disk tail.
+        let check = Arc::new(RamDisk::new(64));
+        check.restore(&ram.snapshot()).unwrap();
+        let check_dyn: Arc<dyn BlockDevice> = check;
+        assert_eq!(
+            Journal::recover(&check_dyn, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Replayed { blocks: 1 }
+        );
+        // And the live journal's retry completes the drain.
+        assert_eq!(j.checkpoint_all().unwrap(), 1);
+        assert_eq!(*retired.lock(), vec![3]);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        ram.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+    }
+
+    /// An `EIO` mid-replay surfaces as a reportable error and leaves the
+    /// tail untouched, so a retried recovery replays the same run.
+    #[test]
+    fn eio_during_recovery_is_reportable_and_retryable() {
+        use sk_ksim::block::{DiskFaultConfig, FaultyDisk};
+        let ram = Arc::new(RamDisk::new(64));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&ram) as Arc<dyn BlockDevice>;
+        Journal::format(&dev, JSTART, JBLOCKS).unwrap();
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(42)), (5, img(43))]).unwrap();
+        drop(j);
+        let faulty = Arc::new(FaultyDisk::new(
+            Arc::clone(&ram),
+            DiskFaultConfig::default(),
+            0,
+        ));
+        let fdyn: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        // Fail the second home write of the replay.
+        faulty.fail_nth_write(1);
+        assert_eq!(Journal::recover(&fdyn, JSTART, JBLOCKS), Err(Errno::EIO));
+        // Retry heals: the tail never advanced past the failed replay.
+        assert_eq!(
+            Journal::recover(&fdyn, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Replayed { blocks: 2 }
+        );
+        let mut out = vec![0u8; BLOCK_SIZE];
+        ram.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 42);
+        ram.read_block(5, &mut out).unwrap();
+        assert_eq!(out[0], 43);
+        assert_eq!(
+            Journal::recover(&fdyn, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean
+        );
+    }
+
+    /// The commit record's meaningful bytes (magic, seq, checksum) all sit
+    /// in sector 0 and the descriptor's claimed checksum sits in the LAST
+    /// sector, so a sector-torn record write can never produce a
+    /// descriptor/commit pair that validates: torn-write enumeration over
+    /// a whole commit must always recover old-or-new, never a mix.
+    #[test]
+    fn torn_record_writes_never_replay_partially() {
+        use sk_core::spec::crash::{crash_images, CrashPolicy};
+
+        let ram = Arc::new(RamDisk::new(64));
+        let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        let crash_dyn: Arc<dyn BlockDevice> = Arc::clone(&crash) as Arc<dyn BlockDevice>;
+        Journal::format(&crash_dyn, JSTART, JBLOCKS).unwrap();
+        crash_dyn.write_block(3, &img(1)).unwrap();
+        crash_dyn.write_block(5, &img(2)).unwrap();
+        crash_dyn.flush().unwrap();
+        let base = ram.snapshot();
+
+        let tap = Arc::new(Tap {
+            inner: Arc::clone(&crash),
+            script: Mutex::new(Vec::new()),
+        });
+        let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+        let j = Journal::open(Arc::clone(&tap_dyn), JSTART, JBLOCKS).unwrap();
+        j.commit(&[(3, img(11)), (5, img(12))]).unwrap();
+        j.checkpoint_all().unwrap();
+
+        let script = tap.script.lock().clone();
+        let mut checked = 0;
+        let mut applied_base = base.clone();
+        for interval in &script {
+            for image in crash_images(&applied_base, interval, BLOCK_SIZE, CrashPolicy::Torn) {
+                let scratch = Arc::new(RamDisk::new(64));
+                scratch.restore(&image).unwrap();
+                let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+                Journal::recover(&scratch_dyn, JSTART, JBLOCKS).unwrap();
+                let mut b3 = vec![0u8; BLOCK_SIZE];
+                let mut b5 = vec![0u8; BLOCK_SIZE];
+                scratch_dyn.read_block(3, &mut b3).unwrap();
+                scratch_dyn.read_block(5, &mut b5).unwrap();
+                let old = b3[0] == 1 && b5[0] == 2;
+                let new = b3[0] == 11 && b5[0] == 12;
+                assert!(
+                    old || new,
+                    "torn image {checked}: b3={} b5={}",
+                    b3[0],
+                    b5[0]
+                );
+                checked += 1;
+            }
+            for w in interval {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                applied_base[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+        }
+        assert!(checked > 30, "checked {checked} torn images");
+    }
+
     #[test]
     fn corrupted_payload_checksum_discards() {
         let ram = Arc::new(RamDisk::new(64));
@@ -1048,31 +1316,6 @@ mod tests {
 
         // Tap the device to capture each barrier interval's pending
         // writes, then enumerate every crash prefix of every interval.
-        struct Tap {
-            inner: Arc<CrashDevice<Arc<RamDisk>>>,
-            script: Mutex<Vec<Vec<sk_ksim::block::PendingWrite>>>,
-        }
-        impl BlockDevice for Tap {
-            fn num_blocks(&self) -> u64 {
-                self.inner.num_blocks()
-            }
-            fn block_size(&self) -> usize {
-                self.inner.block_size()
-            }
-            fn read_block(&self, b: u64, buf: &mut [u8]) -> KResult<()> {
-                self.inner.read_block(b, buf)
-            }
-            fn write_block(&self, b: u64, buf: &[u8]) -> KResult<()> {
-                self.inner.write_block(b, buf)
-            }
-            fn flush(&self) -> KResult<()> {
-                self.script.lock().push(self.inner.pending_writes());
-                self.inner.flush()
-            }
-            fn stats(&self) -> sk_ksim::block::DeviceStats {
-                self.inner.stats()
-            }
-        }
         let tap = Arc::new(Tap {
             inner: Arc::clone(&crash),
             script: Mutex::new(Vec::new()),

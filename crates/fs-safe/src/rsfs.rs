@@ -1289,4 +1289,52 @@ mod tests {
         fs.unlink(ROOT_INO, "f0").unwrap();
         assert!(fs.create(ROOT_INO, "again").is_ok());
     }
+
+    /// End-to-end journal abort: a disk error during a commit's record
+    /// write must fail that operation, wedge the journal read-only
+    /// (ext4-style abort), and leave the durable prefix fully
+    /// recoverable at remount — never silently lose acknowledged ops.
+    #[test]
+    fn write_error_mid_commit_aborts_and_remount_recovers_prefix() {
+        use sk_ksim::block::{DiskFaultConfig, FaultyDisk};
+
+        let faulty = Arc::new(FaultyDisk::new(
+            RamDisk::new(1024),
+            DiskFaultConfig::default(),
+            7,
+        ));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap();
+
+        // Op 1 commits cleanly: acknowledged, durable in the log.
+        fs.create(ROOT_INO, "a").unwrap();
+
+        // The next device write is op 2's journal record: fail it.
+        faulty.fail_nth_write(0);
+        assert_eq!(fs.create(ROOT_INO, "b"), Err(Errno::EIO));
+
+        // The journal is wedged: further mutations and checkpoints are
+        // refused rather than risk replaying past the log gap.
+        let j = fs.journal().unwrap();
+        assert!(j.is_aborted());
+        assert_eq!(fs.create(ROOT_INO, "c"), Err(Errno::EROFS));
+        assert_eq!(fs.checkpoint(usize::MAX), Err(Errno::EROFS));
+
+        // Reads of acknowledged state still work on the wedged mount.
+        assert!(fs.lookup(ROOT_INO, "a").is_ok());
+
+        // "Reboot": remount the surviving media. Recovery replays the
+        // durable prefix — the acknowledged op is there, the failed and
+        // refused ones are not, and fsck finds nothing stranded.
+        drop(fs);
+        let fs2 = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap();
+        assert!(fs2.lookup(ROOT_INO, "a").is_ok());
+        assert_eq!(fs2.lookup(ROOT_INO, "b"), Err(Errno::ENOENT));
+        assert_eq!(fs2.lookup(ROOT_INO, "c"), Err(Errno::ENOENT));
+        assert!(!fs2.journal().unwrap().is_aborted());
+        drop(fs2);
+        let report = crate::fsck::fsck(dev.as_ref()).unwrap();
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+    }
 }

@@ -7,6 +7,11 @@
 //!   the simulated clock.
 //! - [`FaultyDevice`]: wraps any device and injects deterministic faults
 //!   (read/write `EIO`, torn writes, silent corruption) from a seeded RNG.
+//! - [`FaultyDisk`]: the adversarial disk harness — everything
+//!   [`FaultyDevice`] does plus flush errors, *sector*-granular torn
+//!   writes, read-side corruption, and one-shot fail-the-nth-IO schedules
+//!   for exhaustive error-point enumeration (the storage twin of
+//!   `netstack::fault::FaultyLink`).
 //! - [`CrashDevice`]: wraps any device and models a **volatile write cache**:
 //!   writes land in the cache and only reach the backing device on `flush`.
 //!   A simulated crash discards the cache — and, crucially for §4.4's
@@ -27,6 +32,12 @@ use crate::time::SimClock;
 /// Default block size, matching Linux's default page/block size.
 pub const BLOCK_SIZE: usize = 4096;
 
+/// Sector size: the unit the hardware writes atomically. A power failure
+/// mid-write can tear a 4 KiB block at any 512-byte sector boundary, but
+/// never inside a sector — the granularity [`FaultyDisk`] tears at and
+/// the `Torn` crash policy enumerates over.
+pub const SECTOR_SIZE: usize = 512;
+
 /// Cumulative IO statistics for a device.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceStats {
@@ -38,6 +49,11 @@ pub struct DeviceStats {
     pub flushes: u64,
     /// Number of injected IO errors returned to callers.
     pub io_errors: u64,
+    /// Number of writes that were torn at a sector boundary (only a prefix
+    /// of the block's sectors reached media).
+    pub torn_writes: u64,
+    /// Number of reads whose returned data was silently corrupted.
+    pub corrupt_reads: u64,
     /// Number of vectored multi-block requests served natively (devices
     /// falling back to the per-block default leave this at zero).
     pub vec_ios: u64,
@@ -399,6 +415,279 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 }
 
+/// Fault probabilities for [`FaultyDisk`], all independent per operation.
+///
+/// The disk-side twin of `netstack::fault::FaultConfig`: every fault kind
+/// is seeded, so a failing run replays exactly from its seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DiskFaultConfig {
+    /// Probability a read fails with transient `EIO` (nothing delivered).
+    pub read_eio: f64,
+    /// Probability a write fails with transient `EIO` (nothing persisted).
+    pub write_eio: f64,
+    /// Probability a flush fails with transient `EIO` (barrier not issued).
+    pub flush_eio: f64,
+    /// Probability a read returns silently corrupted data (one bit flipped
+    /// in the returned buffer; media contents untouched).
+    pub read_corrupt: f64,
+    /// Probability a write is torn at a sector boundary: only the first
+    /// `k` sectors (seeded `k` in `1..sectors_per_block`) reach media.
+    pub torn_write: f64,
+}
+
+impl DiskFaultConfig {
+    /// The adversarial profile used by the crash-enumeration soak: every
+    /// fault kind enabled at rates a recoverable filesystem must survive.
+    pub fn adversarial() -> DiskFaultConfig {
+        DiskFaultConfig {
+            read_eio: 0.02,
+            write_eio: 0.02,
+            flush_eio: 0.01,
+            read_corrupt: 0.02,
+            torn_write: 0.05,
+        }
+    }
+}
+
+struct FaultyDiskState {
+    cfg: DiskFaultConfig,
+    rng: StdRng,
+    injected: DeviceStats,
+    reads_seen: u64,
+    writes_seen: u64,
+    flushes_seen: u64,
+    fail_read_at: Option<u64>,
+    fail_write_at: Option<u64>,
+    fail_flush_at: Option<u64>,
+    tear_write_at: Option<(u64, usize)>,
+}
+
+/// Seeded fault-injecting disk: transient `EIO`, silent read corruption,
+/// and sector-granular torn writes.
+///
+/// Two injection modes compose:
+///
+/// - **probabilistic** ([`DiskFaultConfig`] rates under a seeded RNG) for
+///   soak testing — reproducible chaos;
+/// - **scheduled** ([`FaultyDisk::fail_nth_write`] and friends) for
+///   exhaustive error-point enumeration: run a workload once to count its
+///   IOs, then re-run it once per IO index with exactly that operation
+///   failing, so every mid-commit / mid-checkpoint / mid-replay `EIO` path
+///   is visited deterministically.
+///
+/// `EIO` here is *transient and fail-stop*: the failed operation has no
+/// effect on media and later operations succeed — the discipline a storage
+/// stack must tolerate without corrupting itself. Torn writes model power
+/// loss mid-write: the hardware promises sector atomicity ([`SECTOR_SIZE`])
+/// but nothing block-wide, so only a prefix of the block's sectors lands.
+pub struct FaultyDisk<D> {
+    inner: D,
+    state: Mutex<FaultyDiskState>,
+}
+
+impl<D: BlockDevice> FaultyDisk<D> {
+    /// Wraps `inner` with `cfg` fault rates, deterministic under `seed`.
+    pub fn new(inner: D, cfg: DiskFaultConfig, seed: u64) -> Self {
+        FaultyDisk {
+            inner,
+            state: Mutex::new(FaultyDiskState {
+                cfg,
+                rng: StdRng::seed_from_u64(seed),
+                injected: DeviceStats::default(),
+                reads_seen: 0,
+                writes_seen: 0,
+                flushes_seen: 0,
+                fail_read_at: None,
+                fail_write_at: None,
+                fail_flush_at: None,
+                tear_write_at: None,
+            }),
+        }
+    }
+
+    /// Replaces the fault rates at runtime.
+    pub fn set_config(&self, cfg: DiskFaultConfig) {
+        self.state.lock().cfg = cfg;
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Arms a one-shot `EIO` on the `n`-th subsequent read (0-based).
+    pub fn fail_nth_read(&self, n: u64) {
+        let mut st = self.state.lock();
+        let at = st.reads_seen + n;
+        st.fail_read_at = Some(at);
+    }
+
+    /// Arms a one-shot `EIO` on the `n`-th subsequent write (0-based).
+    pub fn fail_nth_write(&self, n: u64) {
+        let mut st = self.state.lock();
+        let at = st.writes_seen + n;
+        st.fail_write_at = Some(at);
+    }
+
+    /// Arms a one-shot `EIO` on the `n`-th subsequent flush (0-based).
+    pub fn fail_nth_flush(&self, n: u64) {
+        let mut st = self.state.lock();
+        let at = st.flushes_seen + n;
+        st.fail_flush_at = Some(at);
+    }
+
+    /// Arms a one-shot torn write: the `n`-th subsequent write (0-based)
+    /// persists only its first `keep_sectors` sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ keep_sectors < block_size / SECTOR_SIZE` — keeping
+    /// zero sectors is a dropped write and keeping all of them isn't torn.
+    pub fn tear_nth_write(&self, n: u64, keep_sectors: usize) {
+        let spb = self.inner.block_size() / SECTOR_SIZE;
+        assert!(
+            keep_sectors >= 1 && keep_sectors < spb,
+            "keep_sectors must be in 1..{spb}"
+        );
+        let mut st = self.state.lock();
+        let at = st.writes_seen + n;
+        st.tear_write_at = Some((at, keep_sectors));
+    }
+
+    /// Disarms any scheduled one-shot faults.
+    pub fn clear_schedule(&self) {
+        let mut st = self.state.lock();
+        st.fail_read_at = None;
+        st.fail_write_at = None;
+        st.fail_flush_at = None;
+        st.tear_write_at = None;
+    }
+
+    /// Counters for faults injected so far (`io_errors`, `torn_writes`,
+    /// `corrupt_reads`; the rest zero).
+    pub fn injected(&self) -> DeviceStats {
+        self.state.lock().injected
+    }
+}
+
+fn roll(rng: &mut StdRng, p: f64) -> bool {
+    p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        let corrupt = {
+            let mut st = self.state.lock();
+            let idx = st.reads_seen;
+            st.reads_seen += 1;
+            if st.fail_read_at == Some(idx) {
+                st.fail_read_at = None;
+                st.injected.io_errors += 1;
+                return Err(Errno::EIO);
+            }
+            let cfg = st.cfg;
+            if roll(&mut st.rng, cfg.read_eio) {
+                st.injected.io_errors += 1;
+                return Err(Errno::EIO);
+            }
+            roll(&mut st.rng, cfg.read_corrupt)
+        };
+        self.inner.read_block(blkno, buf)?;
+        if corrupt {
+            let mut st = self.state.lock();
+            let bit = st.rng.gen_range(0..buf.len() * 8);
+            buf[bit / 8] ^= 1 << (bit % 8);
+            st.injected.corrupt_reads += 1;
+        }
+        Ok(())
+    }
+
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        let tear = {
+            let mut st = self.state.lock();
+            let idx = st.writes_seen;
+            st.writes_seen += 1;
+            if st.fail_write_at == Some(idx) {
+                st.fail_write_at = None;
+                st.injected.io_errors += 1;
+                return Err(Errno::EIO);
+            }
+            if let Some((at, keep)) = st.tear_write_at {
+                if at == idx {
+                    st.tear_write_at = None;
+                    st.injected.torn_writes += 1;
+                    Some(keep)
+                } else {
+                    None
+                }
+            } else {
+                let cfg = st.cfg;
+                if roll(&mut st.rng, cfg.write_eio) {
+                    st.injected.io_errors += 1;
+                    return Err(Errno::EIO);
+                }
+                if roll(&mut st.rng, cfg.torn_write) {
+                    st.injected.torn_writes += 1;
+                    let spb = (self.inner.block_size() / SECTOR_SIZE).max(2);
+                    Some(st.rng.gen_range(1..spb))
+                } else {
+                    None
+                }
+            }
+        };
+        match tear {
+            None => self.inner.write_block(blkno, buf),
+            Some(keep_sectors) => {
+                // Sector-atomic power loss: the first `keep_sectors` sectors
+                // of the new data land, the rest of the block keeps its old
+                // contents.
+                let cut = keep_sectors * SECTOR_SIZE;
+                let bs = self.inner.block_size();
+                let mut merged = vec![0u8; bs];
+                self.inner.read_block(blkno, &mut merged)?;
+                merged[..cut].copy_from_slice(&buf[..cut]);
+                self.inner.write_block(blkno, &merged)
+            }
+        }
+    }
+
+    fn flush(&self) -> KResult<()> {
+        {
+            let mut st = self.state.lock();
+            let idx = st.flushes_seen;
+            st.flushes_seen += 1;
+            if st.fail_flush_at == Some(idx) {
+                st.fail_flush_at = None;
+                st.injected.io_errors += 1;
+                return Err(Errno::EIO);
+            }
+            let cfg = st.cfg;
+            if roll(&mut st.rng, cfg.flush_eio) {
+                st.injected.io_errors += 1;
+                return Err(Errno::EIO);
+            }
+        }
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let mut s = self.inner.stats();
+        let inj = self.state.lock().injected;
+        s.io_errors += inj.io_errors;
+        s.torn_writes += inj.torn_writes;
+        s.corrupt_reads += inj.corrupt_reads;
+        s
+    }
+}
+
 /// A single write sitting in the volatile cache of a [`CrashDevice`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PendingWrite {
@@ -488,6 +777,12 @@ impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
     }
 
     fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        if buf.len() != self.inner.block_size() {
+            return Err(Errno::EINVAL);
+        }
+        if blkno >= self.inner.num_blocks() {
+            return Err(Errno::ENXIO);
+        }
         let mut st = self.state.lock();
         if st.crashed {
             return Err(Errno::EIO);
@@ -495,12 +790,6 @@ impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
         st.stats.reads += 1;
         // Reads must observe the cache: newest pending write to this block wins.
         if let Some(w) = st.pending.iter().rev().find(|w| w.blkno == blkno) {
-            if buf.len() != self.inner.block_size() {
-                return Err(Errno::EINVAL);
-            }
-            if blkno >= self.inner.num_blocks() {
-                return Err(Errno::ENXIO);
-            }
             buf.copy_from_slice(&w.data);
             return Ok(());
         }
@@ -536,8 +825,18 @@ impl<D: BlockDevice> BlockDevice for CrashDevice<D> {
             st.stats.flushes += 1;
             std::mem::take(&mut st.pending)
         };
-        for w in drained {
-            self.inner.write_block(w.blkno, &w.data)?;
+        for (i, w) in drained.iter().enumerate() {
+            if let Err(e) = self.inner.write_block(w.blkno, &w.data) {
+                // A mid-drain failure must not lose the undrained tail: put
+                // it back ahead of anything accepted while we were unlocked,
+                // preserving arrival order, so a retried flush still drains
+                // FIFO and a crash still sees the correct pending set.
+                let mut st = self.state.lock();
+                let newer = std::mem::take(&mut st.pending);
+                st.pending = drained[i..].to_vec();
+                st.pending.extend(newer);
+                return Err(e);
+            }
         }
         self.inner.flush()
     }
@@ -791,6 +1090,124 @@ mod tests {
             vectored < scattered,
             "extent read ({vectored} ns) should be cheaper than scattered reads ({scattered} ns)"
         );
+    }
+
+    #[test]
+    fn crash_device_read_validates_before_counting() {
+        let d = CrashDevice::new(RamDisk::new(4));
+        let mut small = vec![0u8; 16];
+        // Validation must not depend on whether the block is in the cache,
+        // and rejected reads must not bump the counters.
+        assert_eq!(d.read_block(0, &mut small), Err(Errno::EINVAL));
+        let mut ok = vec![0u8; BLOCK_SIZE];
+        assert_eq!(d.read_block(9, &mut ok), Err(Errno::ENXIO));
+        assert_eq!(d.stats().reads, 0);
+        d.write_block(0, &ok).unwrap();
+        assert_eq!(d.read_block(0, &mut small), Err(Errno::EINVAL));
+        assert_eq!(d.stats().reads, 0);
+    }
+
+    #[test]
+    fn crash_device_flush_error_keeps_unflushed_tail() {
+        // Back the cache with a disk that fails the second home write: the
+        // drain stops there and everything not yet durable must stay pending.
+        let faulty = FaultyDisk::new(RamDisk::new(8), DiskFaultConfig::default(), 1);
+        let d = CrashDevice::new(faulty);
+        for i in 0..3u64 {
+            let b = vec![i as u8 + 1; BLOCK_SIZE];
+            d.write_block(i, &b).unwrap();
+        }
+        d.inner().fail_nth_write(1);
+        assert_eq!(d.flush(), Err(Errno::EIO));
+        let pend = d.pending_writes();
+        assert_eq!(
+            pend.iter().map(|w| w.blkno).collect::<Vec<_>>(),
+            vec![1, 2],
+            "the failed write and the undrained tail stay cached, in order"
+        );
+        // A retried flush drains the remainder; nothing was lost.
+        d.flush().unwrap();
+        assert_eq!(d.pending_len(), 0);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for i in 0..3u64 {
+            d.inner().inner().read_block(i, &mut out).unwrap();
+            assert_eq!(out[0], i as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn faulty_disk_scheduled_write_error_is_one_shot() {
+        let d = FaultyDisk::new(RamDisk::new(8), DiskFaultConfig::default(), 0);
+        let b = vec![5u8; BLOCK_SIZE];
+        d.fail_nth_write(2);
+        d.write_block(0, &b).unwrap();
+        d.write_block(1, &b).unwrap();
+        assert_eq!(d.write_block(2, &b), Err(Errno::EIO));
+        d.write_block(2, &b).unwrap();
+        assert_eq!(d.stats().io_errors, 1);
+        // The failed write had no effect on media before the retry.
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(2, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn faulty_disk_scheduled_flush_error_is_one_shot() {
+        let d = FaultyDisk::new(RamDisk::new(4), DiskFaultConfig::default(), 0);
+        d.fail_nth_flush(0);
+        assert_eq!(d.flush(), Err(Errno::EIO));
+        d.flush().unwrap();
+        assert_eq!(d.stats().io_errors, 1);
+    }
+
+    #[test]
+    fn faulty_disk_tears_at_sector_boundaries() {
+        let d = FaultyDisk::new(RamDisk::new(4), DiskFaultConfig::default(), 0);
+        let ones = vec![1u8; BLOCK_SIZE];
+        d.tear_nth_write(0, 3);
+        d.write_block(0, &ones).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.inner().read_block(0, &mut out).unwrap();
+        let cut = 3 * SECTOR_SIZE;
+        assert!(out[..cut].iter().all(|&b| b == 1), "first 3 sectors landed");
+        assert!(out[cut..].iter().all(|&b| b == 0), "tail kept old data");
+        assert_eq!(d.stats().torn_writes, 1);
+    }
+
+    #[test]
+    fn faulty_disk_read_corruption_leaves_media_intact() {
+        let cfg = DiskFaultConfig {
+            read_corrupt: 1.0,
+            ..DiskFaultConfig::default()
+        };
+        let d = FaultyDisk::new(RamDisk::new(4), cfg, 9);
+        let zeros = vec![0u8; BLOCK_SIZE];
+        d.write_block(0, &zeros).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read_block(0, &mut out).unwrap();
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped in the returned copy");
+        assert!(d.stats().corrupt_reads >= 1);
+        // The media itself is clean: corruption happens on the wire.
+        d.inner().read_block(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn faulty_disk_seeded_runs_are_reproducible() {
+        let run = || {
+            let d = FaultyDisk::new(RamDisk::new(16), DiskFaultConfig::adversarial(), 1234);
+            let b = vec![7u8; BLOCK_SIZE];
+            let mut outcomes = Vec::new();
+            for i in 0..64u64 {
+                outcomes.push(d.write_block(i % 16, &b).is_ok());
+                let mut out = vec![0u8; BLOCK_SIZE];
+                outcomes.push(d.read_block(i % 16, &mut out).is_ok());
+            }
+            outcomes.push(d.flush().is_ok());
+            (outcomes, d.injected())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
