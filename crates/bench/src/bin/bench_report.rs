@@ -331,6 +331,92 @@ fn bench_vectored_io() -> Value {
     ])
 }
 
+/// The lockdep section: the eight-writer storage stress re-run with the
+/// whole-system lock registry live (buffer shards, journal classes, the
+/// per-op lock, inode locks), reporting the acquires-after graph the run
+/// built, the cycle count, and the top contended classes. Any ordering
+/// finding fails the report with a nonzero exit — this is the CI gate
+/// against new lock-order bugs on the storage hot path.
+fn bench_lockdep(threads: usize) -> Value {
+    const FILES_PER_THREAD: usize = 24;
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(16384));
+    sk_fs_safe::rsfs::Rsfs::mkfs(&dev, 1024, 128).expect("mkfs");
+    let fs = Arc::new(sk_fs_safe::rsfs::Rsfs::mount(dev, JournalMode::PerOp).expect("mount"));
+    let root = fs.root_ino();
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..FILES_PER_THREAD {
+                let name = format!("t{t}f{i}");
+                let ino = fs.create(root, &name).unwrap();
+                fs.write(ino, 0, &vec![(t + i) as u8; 700]).unwrap();
+                let mut buf = vec![0u8; 700];
+                fs.read(ino, 0, &mut buf).unwrap();
+                if i % 2 == 0 {
+                    fs.unlink(root, &name).unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    fs.sync().unwrap();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let reg = fs.lock_registry();
+    let violations = reg.violations();
+    let mut stats = reg.class_stats();
+    stats.sort_by_key(|s| std::cmp::Reverse((s.contended, s.acquisitions)));
+    let top: Vec<Value> = stats
+        .iter()
+        .take(5)
+        .map(|s| {
+            obj(vec![
+                ("class", Value::String(s.name.to_string())),
+                ("acquisitions", num(s.acquisitions as f64)),
+                ("contended", num(s.contended as f64)),
+                ("held_ns", num(s.held_ns as f64)),
+            ])
+        })
+        .collect();
+    let edges: Vec<Value> = reg
+        .edges()
+        .iter()
+        .map(|(a, b)| Value::String(format!("{a} -> {b}")))
+        .collect();
+    println!(
+        "lockdep: {} classes, {} edges, {} cycles, {} violations ({threads} threads)",
+        reg.class_count(),
+        edges.len(),
+        reg.cycles_found(),
+        violations.len(),
+    );
+    for s in stats.iter().take(5) {
+        println!(
+            "  contention {:<14} {:>8} acq {:>6} contended {:>12} ns held",
+            s.name, s.acquisitions, s.contended, s.held_ns
+        );
+    }
+    if !violations.is_empty() {
+        eprintln!("lockdep violations on the storage hot path: {violations:#?}");
+        std::process::exit(1);
+    }
+    obj(vec![
+        ("threads", num(threads as f64)),
+        ("files_per_thread", num(FILES_PER_THREAD as f64)),
+        ("wall_ns", num(wall_ns as f64)),
+        ("classes", num(reg.class_count() as f64)),
+        ("edges_observed", num(edges.len() as f64)),
+        ("cycles_found", num(reg.cycles_found() as f64)),
+        ("violations", num(violations.len() as f64)),
+        ("acquires_after_edges", Value::Array(edges)),
+        ("top_contention", Value::Array(top)),
+    ])
+}
+
 /// The §4.4 crash-consistency check in report form: a fixed
 /// create→write→sync schedule runs on each file-system generation over a
 /// `CrashDevice`; every flush-barrier interval is exploded into
@@ -823,15 +909,20 @@ mod netbench {
     }
 }
 
-fn parse_args() -> (Vec<usize>, usize, String, String) {
+fn parse_args() -> (Vec<usize>, usize, String, String, bool) {
     let mut shards = vec![1usize, 8];
     let mut threads = 8usize;
     let mut out = "BENCH_storage.json".to_string();
     let mut net_out = "BENCH_net.json".to_string();
+    let mut lockdep_only = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--lockdep" => {
+                lockdep_only = true;
+                i += 1;
+            }
             "--shards" if i + 1 < args.len() => {
                 shards = args[i + 1]
                     .split(',')
@@ -857,11 +948,18 @@ fn parse_args() -> (Vec<usize>, usize, String, String) {
             }
         }
     }
-    (shards, threads, out, net_out)
+    (shards, threads, out, net_out, lockdep_only)
 }
 
 fn main() {
-    let (shards, threads, out, net_out) = parse_args();
+    let (shards, threads, out, net_out, lockdep_only) = parse_args();
+    if lockdep_only {
+        // CI mode: just the lockdep stress — exits nonzero on any
+        // ordering finding, prints the graph summary.
+        println!("== lockdep stress ({threads} threads) ==\n");
+        bench_lockdep(threads);
+        return;
+    }
     println!("== storage-path benchmark report (shards {shards:?}, {threads} threads) ==\n");
 
     // Verify rsfs state survives the concurrent group-commit run: a quick
@@ -892,6 +990,7 @@ fn main() {
         ("group_commit", bench_group_commit(&[1, threads.max(2)])),
         ("vectored_io", bench_vectored_io()),
         ("crash_consistency", crashbench::bench_crash_consistency()),
+        ("lockdep", bench_lockdep(threads)),
     ]);
 
     let json = serde_json::to_string(&report).expect("serialize");

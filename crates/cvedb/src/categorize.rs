@@ -29,9 +29,11 @@ serde::impl_serialize_enum!(Prevention {
 pub fn categorize_cwe(cwe: &str) -> Prevention {
     match cwe {
         // Memory and thread safety: excluded by construction in a type-
-        // and ownership-safe language.
+        // and ownership-safe language. Improper locking and deadlock
+        // (CWE-667/833) sit here because guard types that encode the
+        // only legal acquisition order make the inversion unwritable.
         "CWE-416" | "CWE-415" | "CWE-476" | "CWE-787" | "CWE-125" | "CWE-362" | "CWE-843"
-        | "CWE-401" | "CWE-908" => Prevention::TypeOwnership,
+        | "CWE-401" | "CWE-908" | "CWE-667" | "CWE-833" => Prevention::TypeOwnership,
         // Semantic bugs: need a specification to rule out.
         "CWE-20" | "CWE-840" | "CWE-682" | "CWE-459" | "CWE-269" => Prevention::Functional,
         // Everything else: security design, info exposure, numeric error.
@@ -98,6 +100,8 @@ mod tests {
     fn mapping_covers_the_memory_safety_family() {
         assert_eq!(categorize_cwe("CWE-416"), Prevention::TypeOwnership);
         assert_eq!(categorize_cwe("CWE-362"), Prevention::TypeOwnership);
+        assert_eq!(categorize_cwe("CWE-667"), Prevention::TypeOwnership);
+        assert_eq!(categorize_cwe("CWE-833"), Prevention::TypeOwnership);
         assert_eq!(categorize_cwe("CWE-20"), Prevention::Functional);
         assert_eq!(categorize_cwe("CWE-200"), Prevention::Other);
         assert_eq!(categorize_cwe("CWE-190"), Prevention::Other);

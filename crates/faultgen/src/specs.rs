@@ -119,6 +119,15 @@ pub fn catalog() -> Vec<BugSpec> {
             },
         },
         BugSpec {
+            name: "reversed_double_lock",
+            cwe: "CWE-667",
+            expected: Prevention::TypeOwnership,
+            mechanism: LegacyFsKnob {
+                knob: "reversed_double_lock",
+                class: BugClass::LockInversion,
+            },
+        },
+        BugSpec {
             name: "double_free_fsdata",
             cwe: "CWE-415",
             expected: Prevention::TypeOwnership,

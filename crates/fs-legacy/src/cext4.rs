@@ -62,6 +62,10 @@ pub struct Cext4 {
     lock_registry: Arc<LockRegistry>,
     /// Directory-tree mutation lock.
     tree_lock: KLock<()>,
+    /// Block/inode quota accounting lock. Canonical order: `tree_lock`
+    /// before `quota_lock` (create's order). The `reversed_double_lock`
+    /// knob makes truncate take them the other way round.
+    quota_lock: KLock<()>,
 }
 
 impl Cext4 {
@@ -114,6 +118,7 @@ impl Cext4 {
             cache: BufferCache::new(dev, 256),
             sb,
             tree_lock: KLock::new(Arc::clone(&lock_registry), "cext4_tree", ()),
+            quota_lock: KLock::new(Arc::clone(&lock_registry), "cext4_quota", ()),
             lock_registry,
             ctx,
             knobs,
@@ -478,6 +483,9 @@ impl Cext4 {
             return Err(Errno::EINVAL);
         }
         let _g = self.tree_lock.lock();
+        // Charge the inode quota while the tree is stable: tree before
+        // quota is the canonical order.
+        let _q = self.quota_lock.lock();
         match self.dir_lookup(dir, name) {
             Ok(_) => return Err(Errno::EEXIST),
             Err(Errno::ENOENT) => {}
@@ -702,6 +710,18 @@ impl Cext4 {
         if size > MAX_FILE_SIZE {
             return Err(Errno::EFBIG);
         }
+        // Truncation releases blocks, so it needs both the tree lock and
+        // the quota lock. Canonical order is tree then quota; the injected
+        // bug takes them reversed, the classic AB/BA deadlock with
+        // `create` (CWE-667/833) that lockdep's graph flags.
+        let (_g, _q);
+        if self.knobs.reversed_double_lock.load(Ordering::Relaxed) {
+            _q = self.quota_lock.lock();
+            _g = self.tree_lock.lock();
+        } else {
+            _g = self.tree_lock.lock();
+            _q = self.quota_lock.lock();
+        }
         let mut di = self.read_inode(ino)?;
         if di.mode != MODE_REG {
             return Err(Errno::EISDIR);
@@ -901,6 +921,33 @@ mod tests {
         let mut buf = vec![0xAAu8; 6];
         fs.read_range(ino, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"abc\0\0\0", "shrink zeroes the dropped tail");
+    }
+
+    #[test]
+    fn reversed_double_lock_is_flagged_as_inversion() {
+        // Knob off: create (tree→quota) and truncate (tree→quota) agree,
+        // so the acquires-after graph stays acyclic.
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        let p = fs.create_errptr(ROOT_INO, "q", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.truncate_inner(ino, 0).unwrap();
+        fs.ctx().import_lock_violations("cext4-test");
+        assert_eq!(fs.ctx().ledger.count(BugClass::LockInversion), 0);
+
+        // Knob on: truncate takes quota→tree, the reverse of create's
+        // order — lockdep reports the AB/BA pair.
+        let fs = mkfs_mount(Arc::new(BugKnobs::none()));
+        fs.knobs()
+            .reversed_double_lock
+            .store(true, Ordering::Relaxed);
+        let p = fs.create_errptr(ROOT_INO, "q", MODE_REG).check().unwrap();
+        let ino = fs.ctx().vp_take::<InodeNo>(p, "t").unwrap();
+        fs.truncate_inner(ino, 0).unwrap();
+        fs.ctx().import_lock_violations("cext4-test");
+        assert!(
+            fs.ctx().ledger.count(BugClass::LockInversion) >= 1,
+            "reversed order must file a LockInversion event"
+        );
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct BugKnobs {
     /// unlocked `i_size` update of §4.3 is always on — it is the idiom,
     /// not an injected bug.)
     pub racy_truncate: AtomicBool,
+    /// `truncate` takes the quota lock *before* the tree lock — the
+    /// reverse of `create`'s order — so the two operations can deadlock
+    /// (CWE-667 improper locking / CWE-833 deadlock). Lockdep's
+    /// acquires-after graph reports the inversion.
+    pub reversed_double_lock: AtomicBool,
 }
 
 impl BugKnobs {
@@ -60,6 +65,7 @@ impl BugKnobs {
             "wrapping_size_math" => &self.wrapping_size_math,
             "double_free_fsdata" => &self.double_free_fsdata,
             "racy_truncate" => &self.racy_truncate,
+            "reversed_double_lock" => &self.reversed_double_lock,
             _ => return None,
         }))
     }
@@ -75,6 +81,7 @@ impl BugKnobs {
             "wrapping_size_math" => &self.wrapping_size_math,
             "double_free_fsdata" => &self.double_free_fsdata,
             "racy_truncate" => &self.racy_truncate,
+            "reversed_double_lock" => &self.reversed_double_lock,
             _ => return false,
         };
         flag.store(on, Ordering::Relaxed);
@@ -92,6 +99,7 @@ impl BugKnobs {
             "wrapping_size_math",
             "double_free_fsdata",
             "racy_truncate",
+            "reversed_double_lock",
         ]
     }
 }

@@ -21,7 +21,7 @@ use sk_core::typesafe::ovf;
 use sk_ksim::block::BlockDevice;
 use sk_ksim::buffer::{BhFlag, BufferCache};
 use sk_ksim::errno::{Errno, KResult};
-use sk_ksim::lock::LockRegistry;
+use sk_ksim::lock::{LockRegistry, TrackedMutex, TrackedMutexGuard};
 use sk_vfs::inode::{Attr, FileType, Inode, InodeNo};
 use sk_vfs::modular::{fs_abstraction, validate_name, DirEntry, FileSystem, StatFs, WriteCtx};
 use sk_vfs::spec::FsModel;
@@ -62,8 +62,10 @@ pub struct Rsfs {
     sb: Superblock,
     /// Serializes the *staging* phase of mutating operations. The journal
     /// append itself happens outside this lock so concurrent operations
-    /// merge into one group commit.
-    op_lock: Mutex<()>,
+    /// merge into one group commit. A sleepable whole-op lock: staging
+    /// reads blocks through the cache, so it legitimately spans device
+    /// I/O (lockdep class `rsfs.op`, io-ok).
+    op_lock: TrackedMutex<()>,
     /// Pin counts for cache buffers with journaled images the checkpoint
     /// has not yet retired (`BhFlag::Delay` holders). One pin per
     /// (transaction, block), taken at publish and released by the
@@ -83,7 +85,7 @@ pub struct Rsfs {
 struct Txn<'a> {
     fs: &'a Rsfs,
     writes: BTreeMap<u64, Vec<u8>>,
-    guard: Option<parking_lot::MutexGuard<'a, ()>>,
+    guard: Option<TrackedMutexGuard<'a, ()>>,
 }
 
 impl<'a> Txn<'a> {
@@ -549,11 +551,26 @@ impl Rsfs {
         let jblocks = u64::from(sb.journal_blocks);
         // Always run recovery at mount, as ext4 does.
         Journal::recover(&dev, jstart, jblocks)?;
+        // One registry for the whole mounted system: the journal's
+        // commit/space locks, the buffer cache's shards and head
+        // mutexes, the op lock, and the generic inode locks all report
+        // into a single acquires-after graph.
+        let lock_registry = LockRegistry::new();
         let journal = match mode {
-            JournalMode::PerOp => Some(Journal::open(Arc::clone(&dev), jstart, jblocks)?),
+            JournalMode::PerOp => Some(Journal::open_with_registry(
+                Arc::clone(&dev),
+                jstart,
+                jblocks,
+                Arc::clone(&lock_registry),
+            )?),
             JournalMode::None => None,
         };
-        let cache = Arc::new(BufferCache::new(dev, 256));
+        let cache = Arc::new(BufferCache::with_registry(
+            dev,
+            256,
+            8,
+            Arc::clone(&lock_registry),
+        ));
         let delay_pins: Arc<Mutex<HashMap<u64, usize>>> = Arc::new(Mutex::new(HashMap::new()));
         if let Some(j) = &journal {
             // Checkpoint retirement releases the Delay pins taken at
@@ -584,9 +601,9 @@ impl Rsfs {
             cache,
             journal,
             sb,
-            op_lock: Mutex::new(()),
+            op_lock: TrackedMutex::new_io_ok(&lock_registry, "rsfs.op", ()),
             delay_pins,
-            lock_registry: LockRegistry::new(),
+            lock_registry,
             icache: Mutex::new(HashMap::new()),
             op_counter: AtomicU64::new(1),
         })

@@ -14,10 +14,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
-
 use crate::block::BlockDevice;
 use crate::errno::KResult;
+use crate::lock::{LockRegistry, TrackedMutex, TrackedRwLock};
 
 /// The sixteen `buffer_head` state flags (names follow Linux's
 /// `enum bh_state_bits`).
@@ -165,7 +164,7 @@ impl BufferHead {
 /// A cached buffer; shared between the cache and its users.
 pub struct Buffer {
     blkno: u64,
-    head: Mutex<BufferHead>,
+    head: TrackedMutex<BufferHead>,
     /// Global LRU tick of the last access — updated with a relaxed store
     /// so the read fast path never takes an exclusive cache lock.
     last_used: AtomicU64,
@@ -295,18 +294,23 @@ pub struct BufferCache {
     dev: Arc<dyn BlockDevice>,
     /// Per-shard buffer capacity (total ≈ `per_shard_cap × shards.len()`).
     per_shard_cap: usize,
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<TrackedRwLock<Shard>>,
     stats: Vec<ShardStats>,
     /// Global LRU tick source.
     tick: AtomicU64,
     /// Prefetch depth; 0 disables readahead.
     readahead: AtomicUsize,
-    ra: Mutex<ReadaheadState>,
+    ra: TrackedMutex<ReadaheadState>,
+    /// Lockdep registry observing the shard locks, buffer-head mutexes
+    /// and the `BlockDevice` boundary.
+    registry: Arc<LockRegistry>,
 }
 
 impl BufferCache {
     /// Creates a cache of at most `capacity` buffers over `dev`, striped
     /// into [`DEFAULT_SHARDS`] shards (fewer for tiny capacities).
+    /// Lockdep is disabled; use [`BufferCache::with_registry`] to observe
+    /// this cache in a shared registry.
     pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         Self::with_shards(dev, capacity, DEFAULT_SHARDS)
@@ -315,33 +319,60 @@ impl BufferCache {
     /// Creates a cache with an explicit shard count (clamped to
     /// `[1, capacity]` so every shard holds at least one buffer). The
     /// single-shard configuration reproduces the old global-lock design
-    /// for ablation benchmarks.
+    /// for ablation benchmarks. Lockdep is disabled.
     pub fn with_shards(dev: Arc<dyn BlockDevice>, capacity: usize, shards: usize) -> Self {
+        Self::with_registry(dev, capacity, shards, LockRegistry::new_disabled())
+    }
+
+    /// Creates a cache whose locks report to `registry`, so one lockdep
+    /// graph can observe the cache together with the journal and file
+    /// system built on top of it.
+    pub fn with_registry(
+        dev: Arc<dyn BlockDevice>,
+        capacity: usize,
+        shards: usize,
+        registry: Arc<LockRegistry>,
+    ) -> Self {
         let capacity = capacity.max(1);
         let nshards = shards.clamp(1, capacity);
         BufferCache {
             dev,
             per_shard_cap: (capacity / nshards).max(1),
             shards: (0..nshards)
-                .map(|_| {
-                    RwLock::new(Shard {
-                        map: HashMap::new(),
-                    })
+                .map(|i| {
+                    TrackedRwLock::new_ranked(
+                        &registry,
+                        "buffer.shard",
+                        i as u64,
+                        Shard {
+                            map: HashMap::new(),
+                        },
+                    )
                 })
                 .collect(),
             stats: (0..nshards).map(|_| ShardStats::default()).collect(),
             tick: AtomicU64::new(0),
             readahead: AtomicUsize::new(0),
-            ra: Mutex::new(ReadaheadState {
-                stream_cursors: [u64::MAX; 4],
-                cursor_clock: 0,
-            }),
+            ra: TrackedMutex::new(
+                &registry,
+                "buffer.readahead",
+                ReadaheadState {
+                    stream_cursors: [u64::MAX; 4],
+                    cursor_clock: 0,
+                },
+            ),
+            registry,
         }
     }
 
     /// The underlying device.
     pub fn device(&self) -> &Arc<dyn BlockDevice> {
         &self.dev
+    }
+
+    /// The lockdep registry this cache reports to.
+    pub fn lock_registry(&self) -> &Arc<LockRegistry> {
+        &self.registry
     }
 
     /// Number of lock stripes.
@@ -371,7 +402,11 @@ impl BufferCache {
     fn new_buffer(&self, blkno: u64, data: Vec<u8>, state: BufferState) -> Arc<Buffer> {
         let buf = Arc::new(Buffer {
             blkno,
-            head: Mutex::new(BufferHead { blkno, data, state }),
+            head: TrackedMutex::new(
+                &self.registry,
+                "buffer.head",
+                BufferHead { blkno, data, state },
+            ),
             last_used: AtomicU64::new(0),
         });
         self.touch(&buf);
@@ -379,11 +414,23 @@ impl BufferCache {
     }
 
     /// Evicts clean, unreferenced buffers (least-recently used first)
-    /// until the shard fits its capacity. Dirty buffers are written back
-    /// first; buffers still referenced elsewhere are skipped.
-    fn shrink(&self, idx: usize, shard: &mut Shard) -> KResult<()> {
+    /// until the shard fits its capacity; buffers still referenced
+    /// elsewhere are skipped. Dirty victims are *not* written back here —
+    /// the caller holds the shard write lock, and device I/O under a
+    /// shard lock is exactly what lockdep's held-across-I/O check
+    /// forbids. They stay in the map and are returned for the caller to
+    /// hand to [`BufferCache::writeback_deferred`] once the lock drops,
+    /// which writes them back and then completes the eviction.
+    ///
+    /// Deferring (rather than remove-then-write) is load-bearing for the
+    /// no-lost-update invariant: were a dirty victim removed before its
+    /// home write landed, a concurrent miss on the same block would
+    /// reserve a fresh buffer and fill it with the stale device image.
+    #[must_use = "dirty victims must be written back after the shard lock drops"]
+    fn shrink(&self, idx: usize, shard: &mut Shard) -> Vec<Arc<Buffer>> {
+        let mut deferred: Vec<Arc<Buffer>> = Vec::new();
         if shard.map.len() <= self.per_shard_cap {
-            return Ok(());
+            return deferred;
         }
         let mut order: Vec<(u64, u64)> = shard
             .map
@@ -409,9 +456,38 @@ impl BufferCache {
                 continue;
             }
             if buf.test_flag(BhFlag::Dirty) {
-                self.writeback(idx, &buf)?;
+                deferred.push(buf);
+                continue;
             }
             shard.map.remove(&blkno);
+            self.stats[idx].evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        deferred
+    }
+
+    /// Writes back the dirty victims a `shrink` pass deferred, then
+    /// finishes their eviction. Must be called with no shard lock held:
+    /// the device write happens lock-free, and the removal re-checks the
+    /// buffer under the shard lock (a concurrent `bread` may have
+    /// re-referenced, re-dirtied, or Delay-pinned it meanwhile — or
+    /// replaced the map entry entirely).
+    fn writeback_deferred(&self, deferred: &[Arc<Buffer>]) -> KResult<()> {
+        for buf in deferred {
+            let idx = self.shard_of(buf.blkno());
+            self.writeback(idx, buf)?;
+            let mut shard = self.shards[idx].write();
+            match shard.map.get(&buf.blkno()) {
+                Some(b) if Arc::ptr_eq(b, buf) => {}
+                _ => continue,
+            }
+            // Two strong refs: the map's and the deferred list's.
+            if Arc::strong_count(buf) > 2
+                || buf.test_flag(BhFlag::Dirty)
+                || buf.test_flag(BhFlag::Delay)
+            {
+                continue;
+            }
+            shard.map.remove(&buf.blkno());
             self.stats[idx].evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok(())
@@ -431,6 +507,7 @@ impl BufferCache {
                 .without(BhFlag::Dirty);
             h.data.clone()
         };
+        self.registry.note_blocking_io("write_block");
         let res = self.dev.write_block(buf.blkno(), &data);
         let mut h = buf.head.lock();
         h.state = h.state.without(BhFlag::AsyncWrite).without(BhFlag::Lock);
@@ -458,6 +535,7 @@ impl BufferCache {
         // (an `if let` scrutinee guard would outlive the else branch
         // on edition 2021 and self-deadlock).
         let cached = self.shards[idx].read().map.get(&blkno).cloned();
+        let mut deferred: Vec<Arc<Buffer>> = Vec::new();
         let buf = if let Some(buf) = cached {
             self.stats[idx].hits.fetch_add(1, Ordering::Relaxed);
             self.touch(&buf);
@@ -483,10 +561,11 @@ impl BufferCache {
                     BufferState::EMPTY.with(BhFlag::Mapped),
                 );
                 shard.map.insert(blkno, Arc::clone(&buf));
-                self.shrink(idx, &mut shard)?;
+                deferred = self.shrink(idx, &mut shard);
                 buf
             }
         };
+        self.writeback_deferred(&deferred)?;
         // Whether cached, raced, or freshly reserved: anything not yet
         // uptodate (placeholder or earlier getblk) is read in here, so
         // the documented `Uptodate | Mapped` contract holds on every
@@ -506,6 +585,7 @@ impl BufferCache {
             return Ok(());
         }
         let mut data = vec![0u8; self.dev.block_size()];
+        self.registry.note_blocking_io("read_block");
         self.dev.read_block(buf.blkno(), &mut data)?;
         let mut h = buf.head.lock();
         if !h.state.has(BhFlag::Uptodate) {
@@ -558,6 +638,7 @@ impl BufferCache {
         // still not uptodate.
         let bs = self.dev.block_size();
         let mut reserved: Vec<Arc<Buffer>> = Vec::new();
+        let mut deferred: Vec<Arc<Buffer>> = Vec::new();
         for ahead in 0..depth as u64 {
             let next = blkno + 1 + ahead;
             if next >= self.dev.num_blocks() {
@@ -571,13 +652,15 @@ impl BufferCache {
             let pre = self.new_buffer(next, vec![0u8; bs], BufferState::EMPTY.with(BhFlag::Mapped));
             shard.map.insert(next, Arc::clone(&pre));
             self.stats[idx].readaheads.fetch_add(1, Ordering::Relaxed);
-            self.shrink(idx, &mut shard)?;
+            deferred.extend(self.shrink(idx, &mut shard));
             reserved.push(pre);
         }
+        self.writeback_deferred(&deferred)?;
         if reserved.is_empty() {
             return Ok(());
         }
         let mut data = vec![0u8; reserved.len() * bs];
+        self.registry.note_blocking_io("read_blocks");
         if self
             .dev
             .read_blocks(blkno + 1, reserved.len(), &mut data)
@@ -619,7 +702,9 @@ impl BufferCache {
             BufferState::EMPTY.with(BhFlag::Mapped).with(BhFlag::New),
         );
         shard.map.insert(blkno, Arc::clone(&buf));
-        self.shrink(idx, &mut shard)?;
+        let deferred = self.shrink(idx, &mut shard);
+        drop(shard);
+        self.writeback_deferred(&deferred)?;
         Ok(buf)
     }
 
@@ -681,6 +766,7 @@ impl BufferCache {
             }
             if !run.is_empty() {
                 let start = run[0].blkno();
+                self.registry.note_blocking_io("write_blocks");
                 let res = self.dev.write_blocks(start, run.len(), &payload);
                 for (j, buf) in run.iter().enumerate() {
                     let mut h = buf.head.lock();
@@ -705,6 +791,7 @@ impl BufferCache {
                 break;
             }
         }
+        self.registry.note_blocking_io("flush");
         self.dev.flush()
     }
 
@@ -1090,6 +1177,62 @@ mod tests {
         c.invalidate_blocks(&[1, 2]);
         assert!(c.peek(1).is_some(), "Delay-pinned buffer survives");
         assert!(c.peek(2).is_none(), "unpinned buffer dropped");
+    }
+
+    /// Regression for the shrink held-across-I/O bug: eviction used to
+    /// write dirty victims back *inside* `shrink`, i.e. while the caller
+    /// held the shard write lock — a blocking device write under a cache
+    /// lock, the exact hazard lockdep's `BlockDevice`-boundary check
+    /// exists to catch (and a real-kernel deadlock once the device path
+    /// needs memory reclaim, which needs the cache lock). Reverting the
+    /// deferred-writeback fix makes the `HeldAcrossIo` assertion fail.
+    #[test]
+    fn eviction_writeback_never_runs_under_a_shard_lock() {
+        use crate::lock::{LockRegistry, Violation};
+        let reg = LockRegistry::new();
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(16));
+        // Capacity 1, one shard: every second miss must evict a dirty
+        // victim, exercising the deferred-writeback path constantly.
+        let c = BufferCache::with_registry(Arc::clone(&dev), 1, 1, Arc::clone(&reg));
+        for i in 0..6u64 {
+            let b = c.bread(i).unwrap();
+            b.write(|d| d[0] = 0x50 + i as u8);
+            drop(b);
+        }
+        c.sync_all().unwrap();
+        let io: Vec<_> = reg
+            .violations()
+            .into_iter()
+            .filter(|v| matches!(v, Violation::HeldAcrossIo { .. }))
+            .collect();
+        assert!(io.is_empty(), "device I/O under a shard lock: {io:?}");
+        assert!(c.stats().evictions > 0, "eviction actually happened");
+        // And the deferred writebacks lost nothing.
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for i in 0..6u64 {
+            dev.read_block(i, &mut out).unwrap();
+            assert_eq!(out[0], 0x50 + i as u8, "block {i} lost its write");
+        }
+    }
+
+    /// The whole cache hot path — misses, hits, eviction, readahead,
+    /// sync — runs lockdep-clean: no cycles, no held-across-I/O, no
+    /// same-class nesting.
+    #[test]
+    fn cache_hot_paths_are_lockdep_clean() {
+        use crate::lock::LockRegistry;
+        let reg = LockRegistry::new();
+        let c = BufferCache::with_registry(Arc::new(RamDisk::new(64)), 8, 4, Arc::clone(&reg));
+        c.set_readahead(4);
+        for i in 0..32u64 {
+            let b = c.bread(i % 20).unwrap();
+            b.write(|d| d[1] = i as u8);
+            drop(b);
+        }
+        c.sync_all().unwrap();
+        c.invalidate_blocks(&[1, 2]);
+        assert!(reg.violations().is_empty(), "{:?}", reg.violations());
+        assert!(reg.class_count() >= 3, "shard, head, readahead classes");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use sk_ksim::kalloc::{AccessError, Arena};
 use sk_ksim::klog::KLog;
-use sk_ksim::lock::LockRegistry;
+use sk_ksim::lock::{LockRegistry, Violation};
 
 use crate::ledger::{BugClass, BugLedger};
 
@@ -69,13 +69,22 @@ impl LegacyCtx {
     }
 
     /// Imports any lock-discipline violations recorded in the lock registry
-    /// into the ledger as [`BugClass::DataRace`] events, then clears them.
+    /// into the ledger, then clears them. Unlocked-field accesses file as
+    /// [`BugClass::DataRace`]; ordering findings (inversions, transitive
+    /// cycles, held-across-I/O, same-class rank breaks) file as
+    /// [`BugClass::LockInversion`] — the deadlock family.
     pub fn import_lock_violations(&self, site: &'static str) -> usize {
         let violations = self.locks.violations();
         let n = violations.len();
         for v in violations {
-            self.ledger
-                .record(BugClass::DataRace, site, format!("{v:?}"));
+            let class = match v {
+                Violation::UnlockedFieldAccess { .. } => BugClass::DataRace,
+                Violation::OrderInversion { .. }
+                | Violation::OrderCycle { .. }
+                | Violation::HeldAcrossIo { .. }
+                | Violation::SameClassNesting { .. } => BugClass::LockInversion,
+            };
+            self.ledger.record(class, site, format!("{v:?}"));
         }
         self.locks.clear_violations();
         n
@@ -117,5 +126,25 @@ mod tests {
         assert_eq!(ctx.import_lock_violations("t"), 1);
         assert_eq!(ctx.ledger.count(BugClass::DataRace), 1);
         assert!(ctx.locks.violations().is_empty(), "registry drained");
+    }
+
+    #[test]
+    fn ordering_violations_import_as_lock_inversions() {
+        use sk_ksim::lock::KLock;
+        let ctx = LegacyCtx::new();
+        let a = KLock::new(Arc::clone(&ctx.locks), "lk_a", ());
+        let b = KLock::new(Arc::clone(&ctx.locks), "lk_b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        ctx.locks.record_field_violation("lk_a", "field");
+        assert_eq!(ctx.import_lock_violations("t"), 2);
+        assert_eq!(ctx.ledger.count(BugClass::LockInversion), 1);
+        assert_eq!(ctx.ledger.count(BugClass::DataRace), 1);
     }
 }

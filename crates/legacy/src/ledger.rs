@@ -30,6 +30,11 @@ pub enum BugClass {
     OutOfBounds,
     /// Unsynchronized access to lock-protected state (CWE-362).
     DataRace,
+    /// Locks taken in an order that can deadlock (CWE-667 improper
+    /// locking / CWE-833 deadlock). Caught by lockdep's acquires-after
+    /// graph; made unrepresentable by Step-3 ownership (guards that
+    /// encode the only legal order).
+    LockInversion,
     /// Object never freed by its responsible owner (CWE-401).
     MemoryLeak,
     /// Arithmetic wrapped around (CWE-190). Caught by checked arithmetic.
@@ -51,6 +56,7 @@ impl BugClass {
             BugClass::UninitRead => "CWE-908",
             BugClass::OutOfBounds => "CWE-787",
             BugClass::DataRace => "CWE-362",
+            BugClass::LockInversion => "CWE-667",
             BugClass::MemoryLeak => "CWE-401",
             BugClass::IntegerOverflow => "CWE-190",
             BugClass::SpecViolation => "CWE-840",
@@ -157,6 +163,7 @@ mod tests {
             UninitRead,
             OutOfBounds,
             DataRace,
+            LockInversion,
             MemoryLeak,
             IntegerOverflow,
             SpecViolation,

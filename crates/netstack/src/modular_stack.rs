@@ -12,9 +12,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sk_core::modularity::Registry;
 use sk_ksim::errno::{Errno, KResult};
+use sk_ksim::lock::{LockRegistry, TrackedMutex};
 use sk_ksim::time::SimClock;
 
 use crate::packet::{proto, Packet};
@@ -240,9 +240,12 @@ pub struct ModularStack {
     side: Side,
     wire: Arc<dyn Link>,
     clock: Arc<SimClock>,
-    sockets: Mutex<HashMap<u64, Box<dyn ProtoSocket>>>,
-    channels: Mutex<HashMap<u16, Channel>>,
+    /// The PCB table (lockdep class `net.sockets`).
+    sockets: TrackedMutex<HashMap<u64, Box<dyn ProtoSocket>>>,
+    /// The L2CAP/AMP channel table (lockdep class `net.channels`).
+    channels: TrackedMutex<HashMap<u16, Channel>>,
     registry: Arc<Registry>,
+    locks: Arc<LockRegistry>,
     next_fd: AtomicU64,
     iss: AtomicU64,
 }
@@ -258,16 +261,34 @@ impl ModularStack {
         wire: Arc<dyn Link>,
         clock: Arc<SimClock>,
     ) -> ModularStack {
+        Self::with_lockdep(registry, side, wire, clock, LockRegistry::new_disabled())
+    }
+
+    /// Creates a stack whose PCB/channel table locks report to `locks`,
+    /// so the soak suites can run with the acquires-after graph live.
+    pub fn with_lockdep(
+        registry: Arc<Registry>,
+        side: Side,
+        wire: Arc<dyn Link>,
+        clock: Arc<SimClock>,
+        locks: Arc<LockRegistry>,
+    ) -> ModularStack {
         ModularStack {
             side,
             wire,
             clock,
-            sockets: Mutex::new(HashMap::new()),
-            channels: Mutex::new(HashMap::new()),
+            sockets: TrackedMutex::new(&locks, "net.sockets", HashMap::new()),
+            channels: TrackedMutex::new(&locks, "net.channels", HashMap::new()),
             registry,
+            locks,
             next_fd: AtomicU64::new(3),
             iss: AtomicU64::new(100),
         }
+    }
+
+    /// The lockdep registry the stack's table locks report to.
+    pub fn lock_registry(&self) -> &Arc<LockRegistry> {
+        &self.locks
     }
 
     /// Creates a socket of family `family` ("tcp"/"udp") on `local_port`.

@@ -10,8 +10,9 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sk_ksim::lock::{LockRegistry, TrackedMutex};
 
 use crate::inode::InodeNo;
 
@@ -39,9 +40,17 @@ struct Inner {
 }
 
 /// A bounded, lock-striped dentry cache.
+///
+/// Shard locks live in the lockdep class `"dcache.shard"`, ranked by
+/// shard index: full-table walks ([`Dcache::stats`], [`Dcache::len`],
+/// [`Dcache::invalidate_dir`], [`Dcache::clear`]) visit shards in
+/// ascending index order, which is the only multi-hold pattern the rank
+/// discipline permits. A walk started while the caller already holds a
+/// higher-indexed shard lock is flagged by the registry.
 pub struct Dcache {
-    shards: Vec<Mutex<Inner>>,
+    shards: Vec<TrackedMutex<Inner>>,
     per_shard_cap: usize,
+    registry: Arc<LockRegistry>,
 }
 
 impl Dcache {
@@ -53,13 +62,31 @@ impl Dcache {
 
     /// Creates a cache with an explicit shard count (1 reproduces the
     /// single-lock global LRU exactly; tests use it for determinism).
+    /// Lockdep is disabled on the private registry this creates; use
+    /// [`Dcache::with_registry`] to join a shared, enabled graph.
     pub fn with_shards(capacity: usize, nshards: usize) -> Self {
+        Dcache::with_registry(capacity, nshards, LockRegistry::new_disabled())
+    }
+
+    /// Creates a cache whose shard locks register with `registry`, so a
+    /// mounted system can watch VFS and storage locks in one graph.
+    pub fn with_registry(capacity: usize, nshards: usize, registry: Arc<LockRegistry>) -> Self {
         let capacity = capacity.max(1);
         let nshards = nshards.clamp(1, capacity);
         Dcache {
-            shards: (0..nshards).map(|_| Mutex::new(Inner::default())).collect(),
+            shards: (0..nshards)
+                .map(|i| {
+                    TrackedMutex::new_ranked(&registry, "dcache.shard", i as u64, Inner::default())
+                })
+                .collect(),
             per_shard_cap: (capacity / nshards).max(1),
+            registry,
         }
+    }
+
+    /// The lock registry the shard locks report to.
+    pub fn lock_registry(&self) -> &Arc<LockRegistry> {
+        &self.registry
     }
 
     /// Number of lock stripes.
@@ -154,21 +181,29 @@ impl Dcache {
     }
 
     /// Snapshot of the statistics, aggregated over all shards.
+    ///
+    /// Holds every shard lock at once — acquired in ascending index
+    /// order, the one multi-hold order the `"dcache.shard"` rank
+    /// discipline allows — so the totals are a consistent cut rather
+    /// than a sum of per-shard reads taken at different instants.
+    /// Must not be called while the caller holds a shard lock.
     pub fn stats(&self) -> DcacheStats {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let mut total = DcacheStats::default();
-        for shard in &self.shards {
-            let s = shard.lock().stats;
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.evictions += s.evictions;
-            total.invalidations += s.invalidations;
+        for g in &guards {
+            total.hits += g.stats.hits;
+            total.misses += g.stats.misses;
+            total.evictions += g.stats.evictions;
+            total.invalidations += g.stats.invalidations;
         }
         total
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries (consistent snapshot; same ascending
+    /// multi-hold walk as [`Dcache::stats`]).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        guards.iter().map(|g| g.map.len()).sum()
     }
 
     /// True if the cache is empty.
@@ -180,6 +215,7 @@ impl Dcache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sk_ksim::lock::Violation;
 
     #[test]
     fn hit_after_insert() {
@@ -270,6 +306,61 @@ mod tests {
         d.insert(1, "a", 10);
         d.clear();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn full_table_walks_are_lockdep_clean() {
+        // Regression for the shard-sweep ordering fix: stats(), len(),
+        // invalidate_dir() and clear() multi-hold or sweep the shard
+        // locks in ascending index order. Reverting to an unordered
+        // (or descending) walk trips the same-class rank check.
+        let d = Dcache::with_registry(64, 4, LockRegistry::new());
+        for i in 0..32u64 {
+            d.insert(i % 3, &format!("n{i}"), i);
+        }
+        let _ = d.stats();
+        let _ = d.len();
+        d.invalidate_dir(1);
+        d.clear();
+        assert!(
+            d.lock_registry().violations().is_empty(),
+            "table walks must be ordering-clean: {:?}",
+            d.lock_registry().violations()
+        );
+    }
+
+    #[test]
+    fn detector_flags_out_of_order_shard_walk() {
+        // The bug class the walks above are fixed against: holding a
+        // high-indexed shard while taking a lower one.
+        let d = Dcache::with_registry(64, 4, LockRegistry::new());
+        {
+            let _hi = d.shards[2].lock();
+            let _lo = d.shards[0].lock();
+        }
+        assert!(
+            d.lock_registry().violations().iter().any(|v| matches!(
+                v,
+                Violation::SameClassNesting {
+                    class: "dcache.shard"
+                }
+            )),
+            "reversed shard walk must be flagged: {:?}",
+            d.lock_registry().violations()
+        );
+    }
+
+    #[test]
+    fn default_constructor_registry_is_disabled() {
+        // Bench paths construct via new()/with_shards(); their private
+        // registry must not spend graph time or collect reports.
+        let d = Dcache::new(8);
+        assert!(!d.lock_registry().is_enabled());
+        {
+            let _hi = d.shards[1].lock();
+            let _lo = d.shards[0].lock();
+        }
+        assert!(d.lock_registry().violations().is_empty());
     }
 
     #[test]

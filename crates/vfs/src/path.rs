@@ -10,11 +10,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use sk_core::modularity::{InterfaceHandle, Registry};
 use sk_core::spec::Refines;
 use sk_ksim::errno::{Errno, KResult};
+use sk_ksim::lock::LockRegistry;
 
 use crate::dcache::Dcache;
 use crate::inode::{Attr, FileType, InodeNo};
@@ -72,10 +74,17 @@ impl Vfs {
     /// Mounts whatever file system is registered under
     /// [`FS_INTERFACE`] in `registry`.
     pub fn mount(registry: &Registry) -> KResult<Vfs> {
+        Vfs::mount_with_lockdep(registry, LockRegistry::new_disabled())
+    }
+
+    /// Mounts with the dcache shard locks reporting to `locks`, so a
+    /// lockdep-enabled run sees VFS locks in the same acquires-after
+    /// graph as the file system and storage locks below it.
+    pub fn mount_with_lockdep(registry: &Registry, locks: Arc<LockRegistry>) -> KResult<Vfs> {
         let fs = registry.subscribe::<dyn FileSystem>(FS_INTERFACE)?;
         Ok(Vfs {
             fs,
-            dcache: Dcache::new(1024),
+            dcache: Dcache::with_registry(1024, 8, locks),
             fds: Mutex::new(HashMap::new()),
             next_fd: AtomicU64::new(3), // 0-2 reserved, as tradition demands
         })

@@ -212,6 +212,141 @@ fn cext4_survives_concurrent_writers_and_still_refines() {
     );
 }
 
+/// The migration interleaving test: seeded concurrent writers hammer the
+/// legacy generation through the VFS, the implementation is hot-swapped to
+/// the safe generation, and readers verify every file — with lockdep live
+/// on every registry in the system. At the end there must be zero
+/// *ordering* findings (inversions, transitive cycles, held-across-I/O,
+/// same-class rank breaks) anywhere. The legacy idiom's unlocked-`i_size`
+/// accesses are expected and excluded: they are the §4.3 exposure, not an
+/// ordering bug.
+#[test]
+fn hot_swap_under_load_is_ordering_clean_across_generations() {
+    use safer_kernel::core::modularity::Registry;
+    use safer_kernel::ksim::lock::{LockRegistry, Violation};
+    use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
+
+    fn ordering_findings(reg: &LockRegistry) -> Vec<Violation> {
+        reg.violations()
+            .into_iter()
+            .filter(|v| !matches!(v, Violation::UnlockedFieldAccess { .. }))
+            .collect()
+    }
+
+    for seed in [3u64, 17, 4242] {
+        // Mount the legacy generation behind the VFS, lockdep enabled at
+        // every layer: the VFS dcache registry, cext4's context registry,
+        // and (after the swap) rsfs's internal registry.
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+        Cext4::mkfs(&dev, 512).unwrap();
+        let ctx = LegacyCtx::new();
+        let cext4 = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+        let legacy: Arc<dyn FileSystem> = Arc::new(LegacyFsAdapter::new(
+            Arc::new(cext4_ops(cext4)),
+            ctx.clone(),
+        ));
+        let registry = Registry::new();
+        registry
+            .register::<dyn FileSystem>(FS_INTERFACE, "cext4", legacy)
+            .unwrap();
+        let vfs_locks = LockRegistry::new();
+        let vfs = Arc::new(Vfs::mount_with_lockdep(&registry, Arc::clone(&vfs_locks)).unwrap());
+
+        let payload = move |t: u64, i: u64| -> Vec<u8> {
+            vec![
+                (seed + t * 8 + i) as u8;
+                64 + ((seed as usize).wrapping_mul(37) + i as usize * 53) % 300
+            ]
+        };
+
+        // Phase 1: seeded writers interleave on the legacy generation.
+        // Each thread visits its files in a seed-dependent xorshift order,
+        // so different seeds exercise different interleavings.
+        let mut writers = Vec::new();
+        for t in 0..4u64 {
+            let vfs = Arc::clone(&vfs);
+            writers.push(thread::spawn(move || {
+                let mut x = seed ^ (t << 32) | 1;
+                let mut left: Vec<u64> = (0..8).collect();
+                while !left.is_empty() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = left.swap_remove((x % left.len() as u64) as usize);
+                    let path = format!("/t{t}f{i}");
+                    vfs.create(&path).expect("create");
+                    vfs.write_file(&path, 0, &payload(t, i)).expect("write");
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+
+        // Hot swap: copy the quiesced tree into the safe generation.
+        let dev2: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+        Rsfs::mkfs(&dev2, 512, 64).unwrap();
+        let rsfs = Arc::new(Rsfs::mount(dev2, JournalMode::PerOp).unwrap());
+        let current = vfs.fs_handle().get();
+        let next: Arc<dyn FileSystem> = Arc::clone(&rsfs) as Arc<dyn FileSystem>;
+        for entry in current.readdir(current.root_ino()).unwrap() {
+            let attr = current.getattr(entry.ino).unwrap();
+            let mut data = vec![0u8; attr.size as usize];
+            let n = current.read(entry.ino, 0, &mut data).unwrap();
+            data.truncate(n);
+            let nf = next.create(next.root_ino(), &entry.name).unwrap();
+            next.write(nf, 0, &data).unwrap();
+        }
+        registry
+            .replace::<dyn FileSystem>(FS_INTERFACE, "rsfs", next)
+            .unwrap();
+        vfs.dcache().clear();
+
+        // Phase 2: concurrent readers verify every migrated file on the
+        // safe generation (and write a little more to keep locks hot).
+        let mut readers = Vec::new();
+        for t in 0..4u64 {
+            let vfs = Arc::clone(&vfs);
+            readers.push(thread::spawn(move || {
+                for i in 0..8u64 {
+                    let got = vfs.read_file(&format!("/t{t}f{i}")).expect("read");
+                    assert_eq!(got, payload(t, i), "t{t}f{i} survived the migration");
+                }
+                let extra = format!("/t{t}g0");
+                vfs.create(&extra).expect("create post-swap");
+                vfs.write_file(&extra, 0, &payload(t, 99))
+                    .expect("write post-swap");
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+
+        // Lockdep observed real classes at every layer...
+        assert!(vfs_locks.class_count() > 0, "dcache classes registered");
+        assert!(
+            rsfs.lock_registry().class_count() > 0,
+            "rsfs classes registered"
+        );
+        // ...and none of them produced an ordering finding.
+        assert!(
+            ordering_findings(&vfs_locks).is_empty(),
+            "vfs layer (seed {seed}): {:?}",
+            ordering_findings(&vfs_locks)
+        );
+        assert!(
+            ordering_findings(rsfs.lock_registry()).is_empty(),
+            "rsfs (seed {seed}): {:?}",
+            ordering_findings(rsfs.lock_registry())
+        );
+        assert!(
+            ordering_findings(&ctx.locks).is_empty(),
+            "cext4 ctx (seed {seed}): {:?}",
+            ordering_findings(&ctx.locks)
+        );
+    }
+}
+
 #[test]
 fn concurrent_readers_share_immutable_state() {
     // The paper's "meta-logically safe extension": one writer quiesces,

@@ -369,10 +369,20 @@ proptest! {
         let link = Arc::new(FaultyLink::new(cfg, seed, Arc::clone(&clock)));
         let registry = Arc::new(Registry::new());
         register_families(&registry).unwrap();
-        let a = ModularStack::new(Arc::clone(&registry), Side::A, link.clone(), Arc::clone(&clock));
-        let b = ModularStack::new(registry, Side::B, link.clone(), Arc::clone(&clock));
+        // Lockdep rides along: both ends report into one enabled
+        // acquires-after graph, and the soak must finish clean.
+        let locks = safer_kernel::ksim::lock::LockRegistry::new();
+        let a = ModularStack::with_lockdep(
+            Arc::clone(&registry), Side::A, link.clone(), Arc::clone(&clock), Arc::clone(&locks));
+        let b = ModularStack::with_lockdep(
+            registry, Side::B, link.clone(), Arc::clone(&clock), Arc::clone(&locks));
         let modular_out = soak(&a, &b, &clock, &chunks);
         assert_soak_outcome(&modular_out, "modular")?;
+        prop_assert!(
+            locks.violations().is_empty(),
+            "netstack soak must be lockdep-clean: {:?}",
+            locks.violations()
+        );
 
         // The engines are shared, the link is seeded: the two generations
         // must agree on the verdict for the same adversarial schedule.

@@ -130,7 +130,10 @@ proptest! {
         registry
             .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::clone(&legacy))
             .unwrap();
-        let vfs = Vfs::mount(&registry).unwrap();
+        // Lockdep rides along on the VFS layer (the mounted file systems
+        // run their own enabled registries internally).
+        let locks = safer_kernel::ksim::lock::LockRegistry::new();
+        let vfs = Vfs::mount_with_lockdep(&registry, Arc::clone(&locks)).unwrap();
         let mut model = FsModel::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut on_safe = false;
@@ -154,5 +157,10 @@ proptest! {
         model.check_invariant().expect("model invariant");
         prop_assert_eq!(vfs.abstraction(), model);
         prop_assert_eq!(vfs.fs_handle().swap_count(), 3);
+        prop_assert!(
+            locks.violations().is_empty(),
+            "migration soak must be lockdep-clean: {:?}",
+            locks.violations()
+        );
     }
 }

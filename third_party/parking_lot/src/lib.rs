@@ -186,6 +186,17 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts to acquire the exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: g }),
+            Err(TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                guard: p.into_inner(),
+            }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
