@@ -31,10 +31,18 @@ use sk_legacy::LegacyCtx;
 use sk_vfs::shim::LegacyFsAdapter;
 
 /// Builds a freshly formatted rsfs.
+///
+/// Mounted with a *disabled* lock registry: throughput benches measure
+/// the uninstrumented hot path. The lockdep sections of `bench_report`
+/// build their own enabled mounts.
 pub fn make_rsfs(mode: JournalMode, blocks: u64) -> Rsfs {
     let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(blocks));
-    Rsfs::mkfs(&dev, 1024, 64).expect("mkfs");
-    Rsfs::mount(dev, mode).expect("mount")
+    // A quarter-device log keeps the async pipeline off the pressure
+    // threshold and out of wrap-forced checkpoints for the bench
+    // workloads; the per-op rows see the same format.
+    Rsfs::mkfs(&dev, 1024, (blocks / 4).max(64) as u32).expect("mkfs");
+    Rsfs::mount_with_registry(dev, mode, sk_ksim::lock::LockRegistry::new_disabled())
+        .expect("mount")
 }
 
 /// Builds a freshly formatted cext4 behind the legacy→modular shim.

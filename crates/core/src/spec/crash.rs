@@ -113,6 +113,32 @@ pub fn crash_images(
     }
 }
 
+/// Judges a recovered state against the fsync-refined crash contract.
+///
+/// With an async commit pipeline the promise is no longer "pre or post of
+/// the in-flight op" but "some prefix of the op history **at or after the
+/// last durability barrier**": `models` is the chronological state history,
+/// `floor` is the watermark index established by the barrier (0 when the
+/// crash point precedes every barrier), and recovery must land on
+/// `models[floor..]`. Landing below the floor means fsync'd data vanished;
+/// landing off-history means recovery invented a state.
+pub fn judge_with_floor<M: PartialEq + core::fmt::Debug>(
+    models: &[M],
+    floor: usize,
+    recovered: &M,
+) -> Result<(), String> {
+    // A history may revisit a state (create then unlink), so the recovered
+    // state is judged against *any* matching index, newest first.
+    match models.iter().rposition(|m| m == recovered) {
+        Some(i) if i >= floor => Ok(()),
+        Some(i) => Err(format!(
+            "recovered to model {i}, below the durability watermark {floor}: \
+             fsync'd data is missing"
+        )),
+        None => Err(format!("off-history state {recovered:?}")),
+    }
+}
+
 /// Result of driving a crash-consistency check over every enumerated image.
 #[derive(Debug, Default, Clone)]
 pub struct CrashReport {
@@ -243,6 +269,27 @@ mod tests {
         let base = vec![0u8; 32];
         let pending: Vec<PendingWrite> = (0..17).map(|i| w(i, 1, bs)).collect();
         let _ = crash_images(&base, &pending, bs, CrashPolicy::Subsets);
+    }
+
+    #[test]
+    fn floor_judge_enforces_the_watermark() {
+        let models = vec![0u32, 1, 2, 3];
+        // Above or at the floor: allowed.
+        assert!(judge_with_floor(&models, 2, &2).is_ok());
+        assert!(judge_with_floor(&models, 2, &3).is_ok());
+        // No barrier yet: any history prefix is allowed.
+        assert!(judge_with_floor(&models, 0, &0).is_ok());
+        // Below the floor: the fsync'd data went missing.
+        let why = judge_with_floor(&models, 2, &1).unwrap_err();
+        assert!(why.contains("watermark 2"), "{why}");
+        // Off-history: recovery invented a state.
+        let why = judge_with_floor(&models, 0, &9).unwrap_err();
+        assert!(why.contains("off-history"), "{why}");
+        // A revisited state (create then unlink back to empty) matches its
+        // newest occurrence, so it satisfies a floor at that index.
+        let looped = vec![0u32, 1, 0];
+        assert!(judge_with_floor(&looped, 2, &0).is_ok());
+        assert!(judge_with_floor(&looped, 2, &1).is_err());
     }
 
     #[test]

@@ -775,6 +775,19 @@ impl Cext4 {
         self.cache.sync_all()
     }
 
+    /// Per-file durability (`fsync(2)`). cext4 has no journal, so like
+    /// ext2 the honest implementation is a whole-cache writeback — but
+    /// the inode is validated first, so fsync of a deleted or
+    /// never-allocated inode fails with `ENOENT` instead of silently
+    /// succeeding.
+    pub fn fsync_inner(&self, ino: InodeNo) -> KResult<()> {
+        let di = self.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        self.cache.sync_all()
+    }
+
     /// Usage counters.
     pub fn statfs_inner(&self) -> KResult<StatFs> {
         Ok(StatFs {

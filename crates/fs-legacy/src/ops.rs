@@ -91,6 +91,12 @@ pub fn cext4_ops(fs: Arc<Cext4>) -> LegacyFsOps {
     }));
 
     let f = Arc::clone(&fs);
+    ops.fsync = Some(Box::new(move |_, ino| match f.fsync_inner(ino) {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
     ops.getattr = Some(Box::new(move |_, ino| f.getattr_errptr(ino)));
 
     let f = Arc::clone(&fs);
@@ -135,8 +141,19 @@ mod tests {
         assert!(ops.rename.is_some());
         assert!(ops.truncate.is_some());
         assert!(ops.sync.is_some());
+        assert!(ops.fsync.is_some());
         assert!(ops.getattr.is_some());
         assert!(ops.statfs.is_some());
+    }
+
+    #[test]
+    fn fsync_slot_validates_the_inode_then_syncs() {
+        use sk_vfs::legacy_ops::ret_check;
+        let (ops, ctx) = ops_and_ctx();
+        let fsync = ops.fsync.as_ref().unwrap();
+        assert_eq!(ret_check(fsync(&ctx, ops.root_ino)), Ok(0));
+        // A never-allocated inode is refused, C-style: -ENOENT.
+        assert_eq!(ret_check(fsync(&ctx, 99)), Err(Errno::ENOENT));
     }
 
     #[test]

@@ -95,6 +95,13 @@ pub fn fnv1a(chunks: &[&[u8]]) -> u64 {
 pub struct JournalStats {
     /// Logical transactions committed (one per `commit` caller).
     pub commits: u64,
+    /// Operations staged into the running transaction without waiting
+    /// for durability (the async-commit path).
+    pub stages: u64,
+    /// Running-transaction commits forced by log pressure: the staged
+    /// payload reached record capacity, so the staging operation ran
+    /// leader duty itself instead of waiting for the timer or an fsync.
+    pub pressure_commits: u64,
     /// Journal records written — group commit merges many commits into
     /// one batch, so `batches <= commits`.
     pub batches: u64,
@@ -108,6 +115,9 @@ pub struct JournalStats {
     pub checkpoints: u64,
     /// Checkpoints forced by log-area pressure rather than the flusher.
     pub forced_checkpoints: u64,
+    /// Ascending contiguous home-block runs checkpoint coalesced into a
+    /// single vectored `write_blocks` call (runs of length ≥ 2 only).
+    pub coalesced_runs: u64,
 }
 
 /// What recovery found.
@@ -163,6 +173,11 @@ pub type RetireHook = Box<dyn Fn(&[u64]) + Send + Sync>;
 struct Member {
     token: u64,
     writes: Vec<(u64, Vec<u8>)>,
+    /// True for [`OpHandle::commit`] members, whose caller blocks on the
+    /// batch result via `completed`. Staged ([`OpHandle::stage`]) members
+    /// have no waiter: their result is never inserted into `completed`
+    /// (a batch failure surfaces as the sticky journal abort instead).
+    sync: bool,
 }
 
 /// The open (merging) transaction plus the leader/follower machinery.
@@ -203,9 +218,24 @@ impl OpHandle<'_> {
     /// Publishes `writes` (home blkno → full block image) as one atomic
     /// transaction and blocks until the batch containing it is durable in
     /// the journal. Home writes are deferred to checkpoint.
-    pub fn commit(mut self, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
+    pub fn commit(mut self, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
         self.done = true;
         self.journal.commit_op(self.token, writes)
+    }
+
+    /// Publishes `writes` into the **running transaction** and returns as
+    /// soon as staging is published — without waiting for a journal
+    /// record or flush barrier. Durability arrives later, when the
+    /// running transaction commits: on the kupdate-style timer, under
+    /// log pressure (in which case this very call runs leader duty), or
+    /// at an explicit [`Journal::commit_running`] (fsync/sync).
+    ///
+    /// Validation errors (`EINVAL`/`ENOSPC`) and a pre-existing abort
+    /// (`EROFS`) still surface synchronously, so a failed stage leaves
+    /// nothing in the running transaction.
+    pub fn stage(mut self, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
+        self.done = true;
+        self.journal.stage_op(self.token, writes)
     }
 }
 
@@ -403,26 +433,26 @@ impl Journal {
     /// transactions are a no-op. Oversize transactions return `ENOSPC` —
     /// the caller must keep operations within journal capacity.
     pub fn commit(&self, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
-        self.begin_op().commit(writes)
+        self.begin_op().commit(writes.to_vec())
     }
 
     /// Validates one operation's writes, returning them deduplicated
     /// (last image wins, stable home order).
-    fn validate(&self, writes: &[(u64, Vec<u8>)]) -> KResult<Vec<(u64, Vec<u8>)>> {
+    fn validate(&self, writes: Vec<(u64, Vec<u8>)>) -> KResult<Vec<(u64, Vec<u8>)>> {
         let bs = self.dev.block_size();
-        let mut dedup: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut dedup: Vec<(u64, Vec<u8>)> = Vec::with_capacity(writes.len());
         for (blkno, data) in writes {
             if data.len() != bs {
                 return Err(Errno::EINVAL);
             }
-            if *blkno >= self.start {
+            if blkno >= self.start {
                 // Nothing may journal a write into the journal itself.
                 return Err(Errno::EINVAL);
             }
-            if let Some(slot) = dedup.iter_mut().find(|(b, _)| b == blkno) {
-                slot.1 = data.clone();
+            if let Some(slot) = dedup.iter_mut().find(|(b, _)| *b == blkno) {
+                slot.1 = data;
             } else {
-                dedup.push((*blkno, data.clone()));
+                dedup.push((blkno, data));
             }
         }
         if dedup.len() > self.capacity() {
@@ -431,7 +461,7 @@ impl Journal {
         Ok(dedup)
     }
 
-    fn commit_op(&self, token: u64, writes: &[(u64, Vec<u8>)]) -> KResult<()> {
+    fn commit_op(&self, token: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
         let mut g = self.group.lock();
         if self.is_aborted() {
             g.outstanding -= 1;
@@ -454,6 +484,7 @@ impl Journal {
         g.members.push(Member {
             token,
             writes: dedup,
+            sync: true,
         });
         g.outstanding -= 1;
         self.group_cv.notify_all();
@@ -477,6 +508,94 @@ impl Journal {
         }
     }
 
+    /// Stages one operation's writes into the running transaction (see
+    /// [`OpHandle::stage`]). Returns once the member is published; the
+    /// only device IO on this path is a log-pressure commit, when the
+    /// staged payload has reached record capacity and the staging
+    /// operation itself drains the running transaction.
+    fn stage_op(&self, token: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
+        let mut g = self.group.lock();
+        if self.is_aborted() {
+            g.outstanding -= 1;
+            self.group_cv.notify_all();
+            return Err(Errno::EROFS);
+        }
+        if writes.is_empty() {
+            g.outstanding -= 1;
+            self.group_cv.notify_all();
+            return Ok(());
+        }
+        let dedup = match self.validate(writes) {
+            Ok(d) => d,
+            Err(e) => {
+                g.outstanding -= 1;
+                self.group_cv.notify_all();
+                return Err(e);
+            }
+        };
+        g.members.push(Member {
+            token,
+            writes: dedup,
+            sync: false,
+        });
+        g.outstanding -= 1;
+        self.group_cv.notify_all();
+        self.stats.lock().stages += 1;
+
+        // Log pressure: once the staged payload could fill a whole
+        // record, commit now rather than letting the running transaction
+        // grow without bound between timer ticks. The staging operation
+        // runs leader duty itself (jbd2 ditto: the handle that fills the
+        // transaction kicks the commit).
+        let staged: usize = g.members.iter().map(|m| m.writes.len()).sum();
+        if staged >= self.capacity() && !g.leader_running {
+            self.stats.lock().pressure_commits += 1;
+            g.leader_running = true;
+            self.lead(&mut g);
+            g.leader_running = false;
+            self.group_cv.notify_all();
+            if self.is_aborted() {
+                // Our own member may have been in the failed batch; the
+                // caller must treat the operation as not acknowledged.
+                return Err(Errno::EROFS);
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the running transaction and waits for its flush barrier —
+    /// the fsync/sync durability point. On return every operation staged
+    /// before this call is durable in the journal (or `EROFS` if the
+    /// journal aborted, in which case some staged operations were lost
+    /// and only a remount recovers the durable prefix).
+    ///
+    /// Also the kupdate-style timer commit entry point: with nothing
+    /// staged it is a no-op (no barrier).
+    pub fn commit_running(&self) -> KResult<()> {
+        let mut g = self.group.lock();
+        loop {
+            if self.is_aborted() {
+                return Err(Errno::EROFS);
+            }
+            if g.members.is_empty() && g.outstanding == 0 && !g.leader_running {
+                return Ok(());
+            }
+            if !g.leader_running {
+                g.leader_running = true;
+                self.lead(&mut g);
+                g.leader_running = false;
+                self.group_cv.notify_all();
+            } else {
+                g.wait(&self.group_cv);
+            }
+        }
+    }
+
+    /// Number of operations currently staged in the running transaction.
+    pub fn staged_ops(&self) -> usize {
+        self.group.lock().members.len()
+    }
+
     /// Leader duty: flush token-prefix batches until no members remain.
     /// Called (and returns) with the group lock held; drops it around
     /// device IO.
@@ -492,10 +611,14 @@ impl Journal {
             }
             if self.is_aborted() {
                 // Members that joined before the abort landed: refuse them
-                // all — their writes never reach the log.
+                // all — their writes never reach the log. Only sync
+                // members have a waiter to tell; staged members' loss is
+                // what the sticky abort itself reports.
                 let refused: Vec<Member> = g.members.drain(..).collect();
                 for m in refused {
-                    g.completed.insert(m.token, Err(Errno::EROFS));
+                    if m.sync {
+                        g.completed.insert(m.token, Err(Errno::EROFS));
+                    }
                 }
                 self.group_cv.notify_all();
                 return;
@@ -506,18 +629,24 @@ impl Journal {
             let mut merged: Vec<(u64, Vec<u8>)> = Vec::new();
             let mut taken = 0;
             for m in g.members.iter() {
-                let mut trial = merged.clone();
-                for (blkno, data) in &m.writes {
-                    if let Some(slot) = trial.iter_mut().find(|(b, _)| b == blkno) {
-                        slot.1 = data.clone();
-                    } else {
-                        trial.push((*blkno, data.clone()));
-                    }
-                }
-                if taken > 0 && trial.len() > self.capacity() {
+                // Count the member's genuinely new blocks first so the
+                // capacity check needs no trial merge (cloning the merged
+                // payload per member is quadratic in staged data).
+                let fresh = m
+                    .writes
+                    .iter()
+                    .filter(|(b, _)| !merged.iter().any(|(mb, _)| mb == b))
+                    .count();
+                if taken > 0 && merged.len() + fresh > self.capacity() {
                     break;
                 }
-                merged = trial;
+                for (blkno, data) in &m.writes {
+                    if let Some(slot) = merged.iter_mut().find(|(b, _)| b == blkno) {
+                        slot.1 = data.clone();
+                    } else {
+                        merged.push((*blkno, data.clone()));
+                    }
+                }
                 taken += 1;
             }
             let batch: Vec<Member> = g.members.drain(..taken).collect();
@@ -537,7 +666,9 @@ impl Journal {
                 self.abort();
             }
             for m in &batch {
-                g.completed.insert(m.token, res);
+                if m.sync {
+                    g.completed.insert(m.token, res);
+                }
             }
             self.group_cv.notify_all();
         }
@@ -698,12 +829,35 @@ impl Journal {
                 homes.insert(*blkno, data);
             }
         }
+        // `homes` is a BTreeMap, so targets come out ascending: coalesce
+        // contiguous runs into one vectored `write_blocks` each (the
+        // common case — a file's data blocks plus its metadata cluster —
+        // collapses from N device round trips to a handful).
+        let bs = self.dev.block_size();
+        let targets: Vec<(u64, &Vec<u8>)> = homes
+            .iter()
+            .filter(|(blkno, _)| newest.get(blkno).copied().unwrap_or(0) <= last_seq)
+            .map(|(blkno, data)| (*blkno, *data))
+            .collect();
+        let mut coalesced_runs = 0u64;
         self.registry.note_blocking_io("write_block");
-        for (blkno, data) in &homes {
-            if newest.get(blkno).copied().unwrap_or(0) > last_seq {
-                continue;
+        let mut i = 0;
+        while i < targets.len() {
+            let mut j = i + 1;
+            while j < targets.len() && targets[j].0 == targets[j - 1].0 + 1 {
+                j += 1;
             }
-            self.dev.write_block(*blkno, data)?;
+            if j - i == 1 {
+                self.dev.write_block(targets[i].0, targets[i].1)?;
+            } else {
+                let mut run = Vec::with_capacity((j - i) * bs);
+                for (_, data) in &targets[i..j] {
+                    run.extend_from_slice(data);
+                }
+                self.dev.write_blocks(targets[i].0, j - i, &run)?;
+                coalesced_runs += 1;
+            }
+            i = j;
         }
         self.registry.note_blocking_io("flush");
         self.dev.flush()?;
@@ -722,6 +876,7 @@ impl Journal {
         let mut stats = self.stats.lock();
         stats.checkpoints += drain.len() as u64;
         stats.barriers += 2;
+        stats.coalesced_runs += coalesced_runs;
         if forced {
             stats.forced_checkpoints += 1;
         }
@@ -1432,5 +1587,134 @@ mod tests {
             }
         }
         assert!(checked >= 8, "checked {checked} crash points");
+    }
+
+    #[test]
+    fn staged_ops_are_not_durable_until_commit_running() {
+        let (dev, j) = fresh();
+        j.begin_op().stage(vec![(3, img(7))]).unwrap();
+        j.begin_op().stage(vec![(4, img(8))]).unwrap();
+        assert_eq!(j.staged_ops(), 2);
+        assert_eq!(j.stats().stages, 2);
+        assert_eq!(j.stats().batches, 0, "no record written while staged");
+        assert_eq!(j.stats().barriers, 0, "no flush barrier on the op path");
+
+        // The fsync/sync durability point: one record, one barrier, for
+        // both staged operations.
+        j.commit_running().unwrap();
+        assert_eq!(j.staged_ops(), 0);
+        assert_eq!(j.stats().batches, 1);
+        assert_eq!(j.stats().blocks_journaled, 2);
+        assert_eq!(j.pending_checkpoints(), 1);
+        j.checkpoint_all().unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        dev.read_block(4, &mut out).unwrap();
+        assert_eq!(out[0], 8);
+        // Nothing staged: the timer tick is a free no-op.
+        let barriers = j.stats().barriers;
+        j.commit_running().unwrap();
+        assert_eq!(j.stats().barriers, barriers);
+    }
+
+    #[test]
+    fn staged_and_sync_members_merge_into_one_batch() {
+        let (_, j) = fresh();
+        j.begin_op().stage(vec![(3, img(1))]).unwrap();
+        // A sync commit arriving while ops are staged leads the batch and
+        // carries the staged members with it — exactly the fsync path.
+        j.commit(&[(4, img(2))]).unwrap();
+        assert_eq!(j.staged_ops(), 0, "stage rode the sync commit's batch");
+        assert_eq!(j.stats().batches, 1);
+        assert_eq!(j.stats().blocks_journaled, 2);
+    }
+
+    #[test]
+    fn log_pressure_commits_the_running_transaction() {
+        // Capacity is 5 payload blocks (JBLOCKS=8): staging 5 distinct
+        // blocks must trip the pressure commit without any explicit
+        // commit_running call.
+        let (_, j) = fresh();
+        for i in 0..5u64 {
+            j.begin_op().stage(vec![(3 + i, img(i as u8))]).unwrap();
+        }
+        assert_eq!(j.staged_ops(), 0, "pressure drained the running txn");
+        assert_eq!(j.stats().pressure_commits, 1);
+        assert!(j.stats().batches >= 1);
+        // Validation failures surface at stage time, before publication.
+        assert_eq!(
+            j.begin_op().stage(vec![(1, vec![0u8; 10])]),
+            Err(Errno::EINVAL)
+        );
+        assert_eq!(j.staged_ops(), 0);
+    }
+
+    #[test]
+    fn staged_ops_survive_a_crash_only_after_commit_running() {
+        let base = {
+            let ram = Arc::new(RamDisk::new(64));
+            let dyn_dev: Arc<dyn BlockDevice> = Arc::clone(&ram) as _;
+            Journal::format(&dyn_dev, JSTART, JBLOCKS).unwrap();
+            ram.snapshot()
+        };
+        let ram = Arc::new(RamDisk::new(64));
+        ram.restore(&base).unwrap();
+        let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&crash) as _;
+        let j = Journal::open(Arc::clone(&dev), JSTART, JBLOCKS).unwrap();
+
+        j.begin_op().stage(vec![(3, img(7))]).unwrap();
+        // Crash before the durability point: the staged op vanishes.
+        let img_lost = {
+            let mut im = base.clone();
+            for w in crash.pending_writes() {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                im[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+            im
+        };
+        let scratch = Arc::new(RamDisk::new(64));
+        scratch.restore(&img_lost).unwrap();
+        let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+        assert_eq!(
+            Journal::recover(&scratch_dyn, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Clean,
+            "un-committed staging must leave no replayable record"
+        );
+
+        // After commit_running the same crash replays the op: the flush
+        // barrier drained the volatile cache into the backing RamDisk.
+        j.commit_running().unwrap();
+        let durable = ram.snapshot();
+        let scratch = Arc::new(RamDisk::new(64));
+        scratch.restore(&durable).unwrap();
+        let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+        assert_eq!(
+            Journal::recover(&scratch_dyn, JSTART, JBLOCKS).unwrap(),
+            RecoveryOutcome::Replayed { blocks: 1 }
+        );
+        let mut out = vec![0u8; BLOCK_SIZE];
+        scratch_dyn.read_block(3, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn checkpoint_coalesces_ascending_contiguous_home_runs() {
+        let (dev, j) = fresh();
+        // Blocks 3,4,5 are one ascending run; block 9 stands alone.
+        j.commit(&[(3, img(1)), (4, img(2)), (5, img(3)), (9, img(4))])
+            .unwrap();
+        let vec_before = dev.stats().vec_ios;
+        j.checkpoint_all().unwrap();
+        assert_eq!(j.stats().coalesced_runs, 1, "3..=5 coalesced, 9 alone");
+        // Exactly one vectored extent for the 3..=5 run; 9 and the
+        // superblock tail stay plain single-block writes.
+        assert_eq!(dev.stats().vec_ios - vec_before, 1);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for (blkno, fill) in [(3u64, 1u8), (4, 2), (5, 3), (9, 4)] {
+            dev.read_block(blkno, &mut out).unwrap();
+            assert_eq!(out[0], fill, "home block {blkno}");
+        }
     }
 }

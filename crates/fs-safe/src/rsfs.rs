@@ -43,6 +43,13 @@ pub enum JournalMode {
     /// with deferred, flusher-driven checkpoint) — the crash-checked
     /// configuration.
     PerOp,
+    /// Operations *stage* into the journal's running transaction and
+    /// return without a flush barrier; durability arrives at the
+    /// kupdate-style timer commit, under log pressure, or at an explicit
+    /// `fsync`/`sync`. Crash contract: recovery lands on a prefix of the
+    /// operation history that includes everything fsync'd before the
+    /// crash.
+    Async,
 }
 
 /// The typed write context rsfs threads from `write_begin` to
@@ -59,6 +66,10 @@ struct RsfsWriteCtx {
 pub struct Rsfs {
     cache: Arc<BufferCache>,
     journal: Option<Journal>,
+    /// The mount's journal mode; decides whether `Txn::commit` waits for
+    /// the journal barrier (`PerOp`) or stages into the running
+    /// transaction (`Async`).
+    mode: JournalMode,
     sb: Superblock,
     /// Serializes the *staging* phase of mutating operations. The journal
     /// append itself happens outside this lock so concurrent operations
@@ -154,7 +165,6 @@ impl<'a> Txn<'a> {
                 return Ok(());
             }
         };
-        let list: Vec<(u64, Vec<u8>)> = self.writes.iter().map(|(b, d)| (*b, d.clone())).collect();
         let handle = journal.begin_op();
         // Publish to the cache under the op lock, pinned with Delay:
         // readers see the new state immediately, writeback cannot leak
@@ -181,12 +191,19 @@ impl<'a> Txn<'a> {
         // Staging is published; later operations may now take the lock,
         // observe this state, and race into the same commit batch.
         self.guard = None;
+        // The overlay is handed to the journal by move: the cache already
+        // holds the published images, so no copy is needed here.
+        let list: Vec<(u64, Vec<u8>)> = core::mem::take(&mut self.writes).into_iter().collect();
         let res = match apply_err {
             Some(e) => {
                 drop(handle); // abort the join so the leader can proceed
                 Err(e)
             }
-            None => handle.commit(&list),
+            // PerOp waits for the batch barrier; Async enters the running
+            // transaction and returns — durability comes from the timer
+            // commit, log pressure, or an fsync.
+            None if self.fs.mode == JournalMode::Async => handle.stage(list),
+            None => handle.commit(list),
         };
         if let Err(e) = res {
             // The transaction is not durable and must not be observable
@@ -542,8 +559,26 @@ impl Rsfs {
         dev.flush()
     }
 
-    /// Recovers (replaying any committed transaction) and mounts.
+    /// Recovers (replaying any committed transaction) and mounts, with
+    /// lockdep enabled.
     pub fn mount(dev: Arc<dyn BlockDevice>, mode: JournalMode) -> KResult<Rsfs> {
+        // One registry for the whole mounted system: the journal's
+        // commit/space locks, the buffer cache's shards and head
+        // mutexes, the op lock, and the generic inode locks all report
+        // into a single acquires-after graph.
+        Self::mount_with_registry(dev, mode, LockRegistry::new())
+    }
+
+    /// [`Rsfs::mount`] with a caller-supplied lock registry. Benchmarks
+    /// pass [`LockRegistry::new_disabled`] to measure the uninstrumented
+    /// hot path: the acquires-after graph is a debugging facility, and an
+    /// enabled registry serializes every tracked acquisition on one
+    /// registry mutex — instrumentation cost, not op-path cost.
+    pub fn mount_with_registry(
+        dev: Arc<dyn BlockDevice>,
+        mode: JournalMode,
+        lock_registry: Arc<LockRegistry>,
+    ) -> KResult<Rsfs> {
         let mut blk = vec![0u8; dev.block_size()];
         dev.read_block(SB_BLOCK, &mut blk)?;
         let sb = Superblock::decode(&blk)?;
@@ -551,13 +586,8 @@ impl Rsfs {
         let jblocks = u64::from(sb.journal_blocks);
         // Always run recovery at mount, as ext4 does.
         Journal::recover(&dev, jstart, jblocks)?;
-        // One registry for the whole mounted system: the journal's
-        // commit/space locks, the buffer cache's shards and head
-        // mutexes, the op lock, and the generic inode locks all report
-        // into a single acquires-after graph.
-        let lock_registry = LockRegistry::new();
         let journal = match mode {
-            JournalMode::PerOp => Some(Journal::open_with_registry(
+            JournalMode::PerOp | JournalMode::Async => Some(Journal::open_with_registry(
                 Arc::clone(&dev),
                 jstart,
                 jblocks,
@@ -600,6 +630,7 @@ impl Rsfs {
         Ok(Rsfs {
             cache,
             journal,
+            mode,
             sb,
             op_lock: TrackedMutex::new_io_ok(&lock_registry, "rsfs.op", ()),
             delay_pins,
@@ -636,9 +667,24 @@ impl Rsfs {
         }
     }
 
-    /// The journal (when mounted with [`JournalMode::PerOp`]).
+    /// The journal (when mounted with [`JournalMode::PerOp`] or
+    /// [`JournalMode::Async`]).
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// Commits the journal's running transaction and waits for its
+    /// barrier — the durability point for [`JournalMode::Async`] staged
+    /// operations. This is the kupdate-style timer target: hang it off a
+    /// [`sk_ksim::workqueue::WorkQueue::queue_periodic`] tick (or a
+    /// `Flusher` hook) so staged operations become durable within one
+    /// commit interval even without fsync. A no-op when nothing is
+    /// staged, and under [`JournalMode::PerOp`]/[`JournalMode::None`].
+    pub fn commit_running(&self) -> KResult<()> {
+        match &self.journal {
+            Some(j) => j.commit_running(),
+            None => Ok(()),
+        }
     }
 
     /// The buffer cache (stats; shareable with a `Flusher`).
@@ -937,12 +983,35 @@ impl FileSystem for Rsfs {
         Ok(())
     }
 
+    fn fsync(&self, ino: InodeNo) -> KResult<()> {
+        // Validate the inode, then commit the running transaction and
+        // wait for its barrier. Like ext4, fsync is a *global* durability
+        // point: the journal's token order means this file's staged
+        // writes cannot become durable without every operation staged
+        // before them, so committing the whole running transaction is
+        // both correct and the cheapest sound choice. Under PerOp every
+        // acknowledged op is already durable and this is a no-op; without
+        // a journal, fall back to writing the whole cache back.
+        let txn = Txn::new(self);
+        let di = txn.read_inode(ino)?;
+        if di.mode == MODE_FREE {
+            return Err(Errno::ENOENT);
+        }
+        drop(txn);
+        match &self.journal {
+            Some(j) => j.commit_running(),
+            None => self.cache.sync_all(),
+        }
+    }
+
     fn sync(&self) -> KResult<()> {
-        // With a journal: drain deferred checkpoints so home locations
-        // catch up with every committed transaction, then write back
-        // whatever the cache still holds dirty. Without one, the cache
-        // is the only copy — push it all out.
+        // With a journal: commit the running transaction (Async staged
+        // ops become durable), drain deferred checkpoints so home
+        // locations catch up with every committed transaction, then
+        // write back whatever the cache still holds dirty. Without one,
+        // the cache is the only copy — push it all out.
         if let Some(j) = &self.journal {
+            j.commit_running()?;
             j.checkpoint_all()?;
         }
         self.cache.sync_all()
@@ -1351,6 +1420,161 @@ mod tests {
         assert_eq!(fs2.lookup(ROOT_INO, "c"), Err(Errno::ENOENT));
         assert!(!fs2.journal().unwrap().is_aborted());
         drop(fs2);
+        let report = crate::fsck::fsck(dev.as_ref()).unwrap();
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+    }
+
+    /// Async mode decouples acknowledgment from durability: staged ops
+    /// cost no barrier, vanish if never committed, and become durable at
+    /// the fsync durability point.
+    #[test]
+    fn async_ops_are_durable_only_after_fsync() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(1024));
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        {
+            let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap();
+            let ino = fs.create(ROOT_INO, "lost").unwrap();
+            fs.write(ino, 0, b"never synced").unwrap();
+            let j = fs.journal().unwrap();
+            assert!(j.stats().stages >= 2, "ops staged, not committed");
+            assert_eq!(j.stats().batches, 0);
+            assert_eq!(j.stats().barriers, 0, "op path is barrier-free");
+            // Readers see the staged state immediately.
+            assert!(fs.lookup(ROOT_INO, "lost").is_ok());
+            // Dropped without fsync: the staged ops were never durable.
+        }
+        {
+            let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap();
+            assert_eq!(fs.lookup(ROOT_INO, "lost"), Err(Errno::ENOENT));
+            let ino = fs.create(ROOT_INO, "kept").unwrap();
+            fs.write(ino, 0, b"synced").unwrap();
+            fs.fsync(ino).unwrap();
+            let j = fs.journal().unwrap();
+            assert_eq!(j.staged_ops(), 0);
+            assert!(j.stats().batches >= 1, "fsync committed the running txn");
+            // fsync of a never-allocated inode is checked.
+            assert_eq!(fs.fsync(77), Err(Errno::ENOENT));
+        }
+        let fs = Rsfs::mount(dev, JournalMode::Async).unwrap();
+        let ino = fs.lookup(ROOT_INO, "kept").unwrap();
+        let mut buf = vec![0u8; 16];
+        let n = fs.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"synced");
+    }
+
+    /// The kupdate-style timer: a periodic workqueue tick commits the
+    /// running transaction and drains checkpoints, so staged ops become
+    /// durable within one interval even without any fsync.
+    #[test]
+    fn kupdate_timer_commit_makes_staged_ops_durable() {
+        use sk_ksim::time::SimClock;
+        use sk_ksim::workqueue::WorkQueue;
+
+        let clock = Arc::new(SimClock::new());
+        let ram = Arc::new(sk_ksim::block::RamDisk::with_geometry(
+            1024,
+            BLOCK_SIZE,
+            Arc::clone(&clock),
+        ));
+        let dev: Arc<dyn BlockDevice> = ram;
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        let fs = Arc::new(Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap());
+
+        let wq = WorkQueue::new(Arc::clone(&clock));
+        let timer_fs = Arc::clone(&fs);
+        wq.queue_periodic("journal.kupdate", 5_000, move || {
+            let _ = timer_fs.commit_running();
+            let _ = timer_fs.checkpoint(usize::MAX);
+        });
+
+        let ino = fs.create(ROOT_INO, "timed").unwrap();
+        fs.write(ino, 0, b"interval").unwrap();
+        let j = fs.journal().unwrap();
+        assert_eq!(j.stats().batches, 0, "nothing committed before the tick");
+
+        clock.advance(5_000);
+        assert!(wq.pump() >= 1);
+        assert!(j.stats().batches >= 1, "timer committed the running txn");
+        assert_eq!(j.staged_ops(), 0);
+        assert_eq!(j.pending_checkpoints(), 0, "tick also drained checkpoints");
+
+        // The data is now durable without any explicit sync in the op path.
+        drop(fs);
+        let fs2 = Rsfs::mount(dev, JournalMode::Async).unwrap();
+        let ino = fs2.lookup(ROOT_INO, "timed").unwrap();
+        let mut buf = vec![0u8; 16];
+        let n = fs2.read(ino, 0, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"interval");
+    }
+
+    /// Log pressure commits the running transaction from the op path
+    /// itself: staging never grows the running txn past one record.
+    #[test]
+    fn log_pressure_bounds_the_running_transaction() {
+        let fs = mount(JournalMode::Async);
+        // Each create/write stages a handful of blocks; capacity is 61
+        // (64 journal blocks), so a few dozen ops must trip at least one
+        // pressure commit without any fsync or timer.
+        for i in 0..40 {
+            let ino = fs.create(ROOT_INO, &format!("p{i}")).unwrap();
+            fs.write(ino, 0, b"fill").unwrap();
+        }
+        let j = fs.journal().unwrap();
+        assert!(j.stats().pressure_commits >= 1, "stats: {:?}", j.stats());
+        // And the running txn never exceeds record capacity.
+        assert!(j.staged_ops() <= j.capacity());
+    }
+
+    /// The revert-fails test for async staging: when the journal aborts,
+    /// a failed stage un-publishes cleanly — no partial writes leak into
+    /// the next mount's commits (satellite of the async-commit issue).
+    #[test]
+    fn failed_async_stage_leaves_no_partial_writes_for_later_commits() {
+        use sk_ksim::block::{DiskFaultConfig, FaultyDisk};
+
+        let faulty = Arc::new(FaultyDisk::new(
+            RamDisk::new(1024),
+            DiskFaultConfig::default(),
+            11,
+        ));
+        let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+        Rsfs::mkfs(&dev, 128, 64).unwrap();
+        let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap();
+
+        // Op "a" staged and made durable at an fsync barrier.
+        let a = fs.create(ROOT_INO, "a").unwrap();
+        fs.fsync(a).unwrap();
+
+        // Op "b" staged; its commit (the next fsync's record write) fails,
+        // aborting the journal — "b" was acknowledged as staged only, and
+        // its durability point reports the loss.
+        fs.create(ROOT_INO, "b").unwrap();
+        faulty.fail_nth_write(0);
+        assert_eq!(fs.fsync(a), Err(Errno::EROFS));
+        assert!(fs.journal().unwrap().is_aborted());
+
+        // Op "c" now fails at stage time (EROFS) *after* having published
+        // its images — the revert path must un-publish them.
+        assert_eq!(fs.create(ROOT_INO, "c"), Err(Errno::EROFS));
+
+        // Remount: only the fsync'd prefix survived; the failed and
+        // refused ops left nothing behind.
+        drop(fs);
+        let fs2 = Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap();
+        assert!(fs2.lookup(ROOT_INO, "a").is_ok());
+        assert_eq!(fs2.lookup(ROOT_INO, "b"), Err(Errno::ENOENT));
+        assert_eq!(fs2.lookup(ROOT_INO, "c"), Err(Errno::ENOENT));
+
+        // The next mount's commits are unaffected: no partial writes from
+        // the reverted ops ride along with "d".
+        let d = fs2.create(ROOT_INO, "d").unwrap();
+        fs2.fsync(d).unwrap();
+        drop(fs2);
+        let fs3 = Rsfs::mount(Arc::clone(&dev), JournalMode::Async).unwrap();
+        assert!(fs3.lookup(ROOT_INO, "d").is_ok());
+        assert_eq!(fs3.lookup(ROOT_INO, "b"), Err(Errno::ENOENT));
+        assert_eq!(fs3.lookup(ROOT_INO, "c"), Err(Errno::ENOENT));
+        drop(fs3);
         let report = crate::fsck::fsck(dev.as_ref()).unwrap();
         assert!(report.is_clean(), "findings: {:?}", report.findings);
     }

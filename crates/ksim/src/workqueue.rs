@@ -97,6 +97,37 @@ impl WorkQueue {
         self.stats.lock().queued += 1;
     }
 
+    /// Enqueues `work` to run every `interval_ns`, kupdate-style: the
+    /// item re-arms itself after each run, so the callback keeps firing
+    /// at every interval boundary for as long as the queue is pumped.
+    /// The queue holds only a weak self-reference, so dropping every
+    /// external `Arc<WorkQueue>` stops the timer. This is the periodic
+    /// half the one-shot [`WorkQueue::queue_delayed`] can't express
+    /// without the caller manually re-arming — the journal's timer
+    /// commit (and anything else `kupdate`-shaped) hangs off it.
+    pub fn queue_periodic(
+        self: &Arc<Self>,
+        name: &'static str,
+        interval_ns: u64,
+        work: impl Fn() + Send + Sync + 'static,
+    ) {
+        fn arm(
+            wq: &Arc<WorkQueue>,
+            name: &'static str,
+            interval_ns: u64,
+            work: Arc<dyn Fn() + Send + Sync>,
+        ) {
+            let weak = Arc::downgrade(wq);
+            wq.queue_delayed(name, interval_ns, move || {
+                work();
+                if let Some(wq) = weak.upgrade() {
+                    arm(&wq, name, interval_ns, work);
+                }
+            });
+        }
+        arm(self, name, interval_ns, Arc::new(work));
+    }
+
     /// Runs every item due at the current simulated time, in deadline (then
     /// FIFO) order. Items enqueued *by running work* run too if already
     /// due. Returns the number executed.
@@ -271,6 +302,28 @@ mod tests {
         assert_eq!(wq.pump(), 2, "chained item ran in the same pump");
         assert_eq!(counter.load(Ordering::Relaxed), 11);
         assert_eq!(wq.stats().executed, 2);
+    }
+
+    #[test]
+    fn periodic_work_rearms_itself_each_interval() {
+        let clock = Arc::new(SimClock::new());
+        let wq = WorkQueue::new(Arc::clone(&clock));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        wq.queue_periodic("kupdate", 100, move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(wq.pump(), 0, "not due before the first interval");
+        for tick in 1..=3 {
+            clock.advance(100);
+            assert_eq!(wq.pump(), 1);
+            assert_eq!(counter.load(Ordering::Relaxed), tick);
+        }
+        // A large jump runs the item once, then re-arms from *now* — the
+        // deterministic analogue of kupdate catching up after a stall.
+        clock.advance(1_000);
+        assert_eq!(wq.pump(), 1);
+        assert_eq!(wq.pending(), 1, "still armed for the next interval");
     }
 
     #[test]

@@ -33,6 +33,7 @@ type ReaddirFn = Box<dyn Fn(&LegacyCtx, InodeNo) -> ErrPtr + Send + Sync>;
 type RenameFn = Box<dyn Fn(&LegacyCtx, InodeNo, &str, InodeNo, &str) -> i64 + Send + Sync>;
 type TruncateFn = Box<dyn Fn(&LegacyCtx, InodeNo, u64) -> i64 + Send + Sync>;
 type SyncFn = Box<dyn Fn(&LegacyCtx) -> i64 + Send + Sync>;
+type FsyncFn = Box<dyn Fn(&LegacyCtx, InodeNo) -> i64 + Send + Sync>;
 type GetattrFn = Box<dyn Fn(&LegacyCtx, InodeNo) -> ErrPtr + Send + Sync>;
 type StatfsFn = Box<dyn Fn(&LegacyCtx) -> ErrPtr + Send + Sync>;
 
@@ -67,6 +68,10 @@ pub struct LegacyFsOps {
     pub truncate: Option<TruncateFn>,
     /// Sync everything; 0 or `-errno`.
     pub sync: Option<SyncFn>,
+    /// Per-file durability point (`fsync(2)`); 0 or `-errno`. NULL in
+    /// most legacy tables — VFS then falls back to the whole-device
+    /// `sync` slot, as Linux falls back to a noop/`EINVAL` path.
+    pub fsync: Option<FsyncFn>,
     /// Attributes; `ERR_PTR` to a `VoidPtr`-wrapped [`crate::inode::Attr`].
     pub getattr: Option<GetattrFn>,
     /// Usage summary; `ERR_PTR` to a `VoidPtr`-wrapped [`crate::modular::StatFs`].
@@ -91,6 +96,7 @@ impl LegacyFsOps {
             rename: None,
             truncate: None,
             sync: None,
+            fsync: None,
             getattr: None,
             statfs: None,
         }
@@ -132,6 +138,7 @@ mod tests {
         let ops = LegacyFsOps::empty("null", 1);
         assert!(ops.lookup.is_none());
         assert!(ops.sync.is_none());
+        assert!(ops.fsync.is_none());
         assert_eq!(ops.fs_name, "null");
         assert_eq!(ops.root_ino, 1);
     }

@@ -265,6 +265,16 @@ impl FileSystem for MemFs {
         Ok(())
     }
 
+    fn fsync(&self, ino: InodeNo) -> KResult<()> {
+        // RAM-backed: durability is trivial, but the inode check is not —
+        // fsync of a dangling inode must fail exactly as on a real fs.
+        if self.nodes.lock().contains_key(&ino) {
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
     fn statfs(&self) -> KResult<StatFs> {
         let nodes = self.nodes.lock();
         Ok(StatFs {

@@ -127,6 +127,16 @@ pub trait FileSystem: Send + Sync {
     /// Makes all completed operations durable.
     fn sync(&self) -> KResult<()>;
 
+    /// Makes `ino`'s completed operations durable — the per-file
+    /// durability point (POSIX `fsync(2)`). Implementations may provide
+    /// stronger guarantees than the single file; the default delegates
+    /// to [`FileSystem::sync`], which trivially covers it. Returns
+    /// `ENOENT` for a nonexistent inode.
+    fn fsync(&self, ino: InodeNo) -> KResult<()> {
+        let _ = ino;
+        self.sync()
+    }
+
     /// Usage summary.
     fn statfs(&self) -> KResult<StatFs>;
 }

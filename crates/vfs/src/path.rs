@@ -297,6 +297,22 @@ impl Vfs {
         Ok(n)
     }
 
+    /// Makes `fd`'s completed operations durable (POSIX `fsync(2)`):
+    /// delegates to the mounted file system's per-file durability point.
+    pub fn fsync(&self, fd: Fd) -> KResult<()> {
+        let ino = {
+            let fds = self.fds.lock();
+            fds.get(&fd).ok_or(Errno::EBADF)?.ino
+        };
+        self.fs.get().fsync(ino)
+    }
+
+    /// Path-level fsync, for callers without a descriptor.
+    pub fn fsync_path(&self, path: &str) -> KResult<()> {
+        let ino = self.resolve(path)?;
+        self.fs.get().fsync(ino)
+    }
+
     /// Absolute seek; returns the new offset.
     pub fn seek(&self, fd: Fd, pos: u64) -> KResult<u64> {
         let mut fds = self.fds.lock();

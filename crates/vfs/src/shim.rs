@@ -161,6 +161,17 @@ impl FileSystem for LegacyFsAdapter {
         ret_check(self.boundary.cross(|| op(&self.ctx))).map(|_| ())
     }
 
+    fn fsync(&self, ino: InodeNo) -> KResult<()> {
+        // Linux-style slot fallback: a table without a per-file fsync
+        // entry gets the whole-device sync (a superset of the required
+        // durability), and only a table with *neither* refuses.
+        if let Some(op) = self.ops.fsync.as_ref() {
+            return ret_check(self.boundary.cross(|| op(&self.ctx, ino))).map(|_| ());
+        }
+        let op = self.ops.sync.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx))).map(|_| ())
+    }
+
     fn statfs(&self) -> KResult<StatFs> {
         let op = self.ops.statfs.as_ref().ok_or(Errno::ENOSYS)?;
         let e = self.boundary.cross(|| op(&self.ctx));
@@ -249,6 +260,12 @@ pub fn export_legacy(fs: Arc<dyn FileSystem>, _ctx: &LegacyCtx) -> LegacyFsOps {
 
     let f = Arc::clone(&fs);
     ops.sync = Some(Box::new(move |_| match f.sync() {
+        Ok(()) => 0,
+        Err(e) => ret_err(e),
+    }));
+
+    let f = Arc::clone(&fs);
+    ops.fsync = Some(Box::new(move |_, ino| match f.fsync(ino) {
         Ok(()) => 0,
         Err(e) => ret_err(e),
     }));

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
-use safer_kernel::core::spec::crash::{crash_images, CrashPolicy};
+use safer_kernel::core::spec::crash::{crash_images, judge_with_floor, CrashPolicy};
 use safer_kernel::core::spec::Refines;
 use safer_kernel::fs_safe::journal::{Journal, RecoveryOutcome};
 use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
@@ -49,7 +49,7 @@ struct Harness {
     fs: Rsfs,
 }
 
-fn harness() -> Harness {
+fn harness_with(mode: JournalMode) -> Harness {
     let ram = Arc::new(RamDisk::new(2048));
     let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
     let tap = Arc::new(Tap {
@@ -58,8 +58,12 @@ fn harness() -> Harness {
     });
     let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
     Rsfs::mkfs(&tap_dyn, 128, 64).unwrap();
-    let fs = Rsfs::mount(tap_dyn, JournalMode::PerOp).unwrap();
+    let fs = Rsfs::mount(tap_dyn, mode).unwrap();
     Harness { ram, tap, fs }
+}
+
+fn harness() -> Harness {
+    harness_with(JournalMode::PerOp)
 }
 
 /// Snapshot → op → enumerate crash points → recover each → judge against
@@ -334,6 +338,149 @@ fn rsfs_commit_then_checkpoint_schedule_torn() {
     assert!(failures.is_empty(), "{failures:?}");
 }
 
+/// Async-commit schedule with an fsync in the middle: stage two ops, fsync
+/// (the durability barrier), stage two more, then sync. Every crash image
+/// cut from an interval at or after the fsync barrier must recover to a
+/// history prefix that *includes* the fsync'd data — the refined contract
+/// the async pipeline promises — while earlier images may land anywhere on
+/// the history. Returns (checked, post_fsync_checked, failures).
+fn async_fsync_schedule_and_check(policy: CrashPolicy) -> (usize, usize, Vec<String>) {
+    let h = harness_with(JournalMode::Async);
+    let base = h.ram.snapshot();
+    h.tap.intervals.lock().clear();
+    let root = h.fs.root_ino();
+
+    let mut models = vec![h.fs.abstraction()];
+    let f1 = h.fs.create(root, "f1").unwrap();
+    models.push(h.fs.abstraction());
+    h.fs.write(f1, 0, b"must survive fsync").unwrap();
+    models.push(h.fs.abstraction());
+    let watermark = models.len() - 1;
+    // Staging alone must not have touched the device: the op path is
+    // decoupled from durability.
+    assert!(
+        h.tap.intervals.lock().is_empty(),
+        "async staging reached the device before the durability point"
+    );
+    h.fs.fsync(f1).unwrap();
+    let n_fsync = h.tap.intervals.lock().len();
+    assert!(n_fsync > 0, "fsync must flush the running transaction");
+
+    let f2 = h.fs.create(root, "f2").unwrap();
+    models.push(h.fs.abstraction());
+    h.fs.write(f2, 0, b"after the barrier").unwrap();
+    models.push(h.fs.abstraction());
+    h.fs.sync().unwrap(); // commit the second running txn and checkpoint
+
+    let mut intervals = h.tap.intervals.lock().clone();
+    intervals.push(h.tap.inner.pending_writes());
+
+    let mut checked = 0;
+    let mut post_fsync = 0;
+    let mut failures = Vec::new();
+    let mut applied = base;
+    for (idx, interval) in intervals.iter().enumerate() {
+        // Intervals at or after the fsync barrier start from a base where
+        // everything fsync flushed is durable: the watermark applies.
+        let floor = if idx >= n_fsync { watermark } else { 0 };
+        for (i, img) in crash_images(&applied, interval, BLOCK_SIZE, policy)
+            .into_iter()
+            .enumerate()
+        {
+            checked += 1;
+            if floor > 0 {
+                post_fsync += 1;
+            }
+            let scratch = Arc::new(RamDisk::new(2048));
+            scratch.restore(&img).unwrap();
+            let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+            match Rsfs::mount(Arc::clone(&scratch_dyn), JournalMode::Async) {
+                Ok(recovered) => {
+                    let m = recovered.abstraction();
+                    if let Err(why) = judge_with_floor(&models, floor, &m) {
+                        failures.push(format!("interval {idx} image {i}: {why}"));
+                    }
+                    match safer_kernel::fs_safe::fsck(&*scratch_dyn) {
+                        Ok(r) if r.is_clean() => {}
+                        Ok(r) => failures
+                            .push(format!("interval {idx} image {i}: fsck {:?}", r.findings)),
+                        Err(e) => {
+                            failures.push(format!("interval {idx} image {i}: fsck failed {e}"))
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!("interval {idx} image {i}: mount failed {e}")),
+            }
+        }
+        for w in interval {
+            let off = w.blkno as usize * BLOCK_SIZE;
+            applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+        }
+    }
+    (checked, post_fsync, failures)
+}
+
+#[test]
+fn async_fsync_watermark_holds_across_prefix_crashes() {
+    let (checked, post_fsync, failures) = async_fsync_schedule_and_check(CrashPolicy::Prefixes);
+    assert!(checked >= 10, "checked {checked}");
+    assert!(post_fsync >= 5, "post-fsync images {post_fsync}");
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+#[test]
+fn async_fsync_watermark_holds_across_subset_crashes() {
+    let (checked, post_fsync, failures) = async_fsync_schedule_and_check(CrashPolicy::Subsets);
+    assert!(checked >= 32, "checked {checked}");
+    assert!(post_fsync >= 16, "post-fsync images {post_fsync}");
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+#[test]
+fn async_fsync_watermark_holds_across_torn_sector_crashes() {
+    let (checked, post_fsync, failures) = async_fsync_schedule_and_check(CrashPolicy::Torn);
+    assert!(checked >= 20, "checked {checked}");
+    assert!(post_fsync >= 10, "post-fsync images {post_fsync}");
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+/// Revert-fails guard for the watermark schedule: simulate a broken
+/// pipeline whose fsync claims the durability point without committing
+/// the running transaction. A crash right after the claimed fsync then
+/// recovers to the pre-staging state, and the judge must refuse that
+/// image — if this test ever finds the judge accepting it, the suite
+/// above has lost its power to catch fsync'd-data loss.
+#[test]
+fn watermark_judge_catches_an_fsync_that_does_not_commit() {
+    let h = harness_with(JournalMode::Async);
+    let base = h.ram.snapshot();
+    h.tap.intervals.lock().clear();
+    let root = h.fs.root_ino();
+
+    let mut models = vec![h.fs.abstraction()];
+    let f1 = h.fs.create(root, "f1").unwrap();
+    models.push(h.fs.abstraction());
+    h.fs.write(f1, 0, b"claimed durable, never committed")
+        .unwrap();
+    models.push(h.fs.abstraction());
+    let watermark = models.len() - 1;
+
+    // The revert under test: the durability point is claimed (watermark
+    // recorded) but `commit_running` never runs — no journal record, no
+    // barrier, nothing pending in the write cache.
+    assert!(h.tap.intervals.lock().is_empty());
+    assert!(h.tap.inner.pending_writes().is_empty());
+
+    // Crash now: the device still holds the pre-staging image.
+    let scratch = Arc::new(RamDisk::new(2048));
+    scratch.restore(&base).unwrap();
+    let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+    let recovered = Rsfs::mount(scratch_dyn, JournalMode::Async).unwrap();
+    let why = judge_with_floor(&models, watermark, &recovered.abstraction())
+        .expect_err("the judge accepted an image that lost fsync'd data");
+    assert!(why.contains("watermark"), "{why}");
+}
+
 /// cext4 has no journal, so post-crash images cannot be held to the
 /// pre/post-model judgement — the baseline promise is only that a crash
 /// image either mounts and a bounded, cycle-guarded tree walk
@@ -545,5 +692,82 @@ proptest! {
         let scratch_dyn: Arc<dyn BlockDevice> = scratch;
         let recovered = Rsfs::mount(scratch_dyn, JournalMode::PerOp).unwrap();
         prop_assert!(recovered.abstraction() == *models.last().unwrap());
+    }
+
+    /// Property: under the async pipeline, a random op plan with an fsync
+    /// at a random position recovers — at every prefix crash point — to a
+    /// history prefix, and every crash point at or after the fsync barrier
+    /// recovers to a prefix that includes the fsync'd watermark state.
+    #[test]
+    fn async_random_plan_with_fsync_respects_the_watermark(
+        plan in prop::collection::vec((0u8..3, 1usize..300), 3..7),
+        fsync_pick in 0usize..6,
+    ) {
+        let h = harness_with(JournalMode::Async);
+        let base = h.ram.snapshot();
+        h.tap.intervals.lock().clear();
+        let root = h.fs.root_ino();
+        let mut models = vec![h.fs.abstraction()];
+        let mut live: Vec<String> = Vec::new();
+        let fsync_at = fsync_pick % plan.len();
+        let mut watermark = 0usize;
+        let mut n_fsync = 0usize;
+        for (k, (kind, len)) in plan.iter().enumerate() {
+            match kind {
+                1 if !live.is_empty() => {
+                    let name = &live[k % live.len()];
+                    let ino = h.fs.lookup(root, name).unwrap();
+                    h.fs.write(ino, 0, &vec![k as u8; *len]).unwrap();
+                }
+                2 if !live.is_empty() => {
+                    let name = live.remove(k % live.len());
+                    h.fs.unlink(root, &name).unwrap();
+                }
+                _ => {
+                    let name = format!("f{k}");
+                    h.fs.create(root, &name).unwrap();
+                    live.push(name);
+                }
+            }
+            models.push(h.fs.abstraction());
+            if k == fsync_at {
+                // The durability barrier: everything staged so far must
+                // survive any later crash.
+                h.fs.fsync(root).unwrap();
+                watermark = models.len() - 1;
+                n_fsync = h.tap.intervals.lock().len();
+            }
+        }
+        prop_assert!(n_fsync > 0, "fsync produced no flush barrier");
+        let mut intervals = h.tap.intervals.lock().clone();
+        intervals.push(h.tap.inner.pending_writes());
+
+        let mut checked = 0usize;
+        let mut applied = base;
+        for (idx, interval) in intervals.iter().enumerate() {
+            let floor = if idx >= n_fsync { watermark } else { 0 };
+            for img in crash_images(&applied, interval, BLOCK_SIZE, CrashPolicy::Prefixes) {
+                checked += 1;
+                let scratch = Arc::new(RamDisk::new(2048));
+                scratch.restore(&img).unwrap();
+                let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+                let recovered = Rsfs::mount(Arc::clone(&scratch_dyn), JournalMode::Async)
+                    .expect("mount after crash");
+                let m = recovered.abstraction();
+                prop_assert!(
+                    judge_with_floor(&models, floor, &m).is_ok(),
+                    "interval {idx}: {:?} (plan {plan:?} fsync_at {fsync_at} n_fsync {n_fsync} interval_lens {:?})",
+                    judge_with_floor(&models, floor, &m),
+                    intervals.iter().map(|iv| iv.len()).collect::<Vec<_>>()
+                );
+                let report = safer_kernel::fs_safe::fsck(&*scratch_dyn).unwrap();
+                prop_assert!(report.is_clean(), "{:?}", report.findings);
+            }
+            for w in interval {
+                let off = w.blkno as usize * BLOCK_SIZE;
+                applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+            }
+        }
+        prop_assert!(checked > 0);
     }
 }

@@ -130,6 +130,70 @@ fn swap_back_and_forth_is_symmetric() {
 }
 
 #[test]
+fn fsync_is_a_durability_point_in_both_generations() {
+    // Generation 0: cext4 behind the shim. fsync must cross the legacy
+    // boundary through the ops-table slot, and a missing path must be
+    // refused before anything reaches the file system.
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096));
+    Cext4::mkfs(&dev, 256).unwrap();
+    let ctx = LegacyCtx::new();
+    let cfs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+    let adapter = Arc::new(LegacyFsAdapter::new(Arc::new(cext4_ops(cfs)), ctx));
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "cext4",
+            Arc::clone(&adapter) as Arc<dyn FileSystem>,
+        )
+        .unwrap();
+    let vfs = Vfs::mount(&registry).unwrap();
+
+    vfs.create("/durable").unwrap();
+    vfs.write_file("/durable", 0, b"fsync me").unwrap();
+    let before = adapter.boundary().stats().crossings();
+    vfs.fsync_path("/durable").unwrap();
+    assert!(
+        adapter.boundary().stats().crossings() > before,
+        "fsync crossed the legacy boundary"
+    );
+    assert!(vfs.fsync_path("/ghost").is_err());
+
+    // Generation 1: rsfs in async-commit mode. The same VFS call must now
+    // land on the modular fsync and force the running transaction out.
+    let rdev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(4096));
+    Rsfs::mkfs(&rdev, 256, 64).unwrap();
+    let rsfs = Arc::new(Rsfs::mount(rdev, JournalMode::Async).unwrap());
+    copy_tree(&*adapter, &*rsfs, adapter.root_ino(), rsfs.root_ino());
+    registry
+        .replace::<dyn FileSystem>(
+            FS_INTERFACE,
+            "rsfs",
+            Arc::clone(&rsfs) as Arc<dyn FileSystem>,
+        )
+        .unwrap();
+    vfs.dcache().clear();
+
+    vfs.create("/async-file").unwrap();
+    vfs.write_file("/async-file", 0, b"staged then fsynced")
+        .unwrap();
+    let j = rsfs.journal().unwrap();
+    assert!(j.staged_ops() > 0, "async mode stages, it does not commit");
+    let batches_before = j.stats().batches;
+    vfs.fsync_path("/async-file").unwrap();
+    assert!(
+        j.stats().batches > batches_before,
+        "fsync forced a journal commit"
+    );
+    assert_eq!(j.staged_ops(), 0, "the running transaction drained");
+    assert_eq!(
+        vfs.read_file("/async-file").unwrap(),
+        b"staged then fsynced"
+    );
+    assert_eq!(vfs.read_file("/durable").unwrap(), b"fsync me");
+}
+
+#[test]
 fn concurrent_readers_survive_the_swap() {
     use std::thread;
 
