@@ -547,8 +547,7 @@ impl Journal {
         // grow without bound between timer ticks. The staging operation
         // runs leader duty itself (jbd2 ditto: the handle that fills the
         // transaction kicks the commit).
-        let staged: usize = g.members.iter().map(|m| m.writes.len()).sum();
-        if staged >= self.capacity() && !g.leader_running {
+        if self.staged_fraction(&g) >= 1.0 && !g.leader_running {
             self.stats.lock().pressure_commits += 1;
             g.leader_running = true;
             self.lead(&mut g);
@@ -594,6 +593,47 @@ impl Journal {
     /// Number of operations currently staged in the running transaction.
     pub fn staged_ops(&self) -> usize {
         self.group.lock().members.len()
+    }
+
+    /// Payload blocks staged in the open transaction, as a fraction of
+    /// record capacity. This is the *exact* expression the stage path
+    /// tests against `1.0` for its pressure commit ([`Journal::stage_op`]
+    /// runs leader duty once the fraction reaches one), so external
+    /// throttles reading [`Journal::log_pressure`] see the same value the
+    /// leader-duty path acts on.
+    fn staged_fraction(&self, g: &GroupState) -> f32 {
+        let staged: usize = g.members.iter().map(|m| m.writes.len()).sum();
+        staged as f32 / self.capacity().max(1) as f32
+    }
+
+    /// Log pressure in `[0, 1]`-ish: how close the journal is to being
+    /// forced into synchronous work.
+    ///
+    /// The max of two fractions:
+    ///
+    /// - **staged fraction** — open-transaction payload vs. record
+    ///   capacity. At `1.0` the next stage runs a pressure commit
+    ///   (leader duty on the staging thread), turning the async op path
+    ///   synchronous.
+    /// - **area fraction** — committed-but-unretired record blocks vs.
+    ///   the log area. At `1.0` the next record write must force
+    ///   checkpoints to reclaim space.
+    ///
+    /// Both locks are taken *sequentially* (group, then space, neither
+    /// nested in the other), so this is safe to poll from any context
+    /// that may already order against either class — e.g. the ring
+    /// reactor between batches.
+    pub fn log_pressure(&self) -> f32 {
+        let staged = {
+            let g = self.group.lock();
+            self.staged_fraction(&g)
+        };
+        let area = {
+            let sp = self.space.lock();
+            let used: u64 = sp.txns.iter().map(|t| t.len).sum();
+            used as f32 / self.area().max(1) as f32
+        };
+        staged.max(area)
     }
 
     /// Leader duty: flush token-prefix batches until no members remain.
@@ -1648,6 +1688,39 @@ mod tests {
             Err(Errno::EINVAL)
         );
         assert_eq!(j.staged_ops(), 0);
+    }
+
+    #[test]
+    fn log_pressure_threshold_math() {
+        // JBLOCKS = 8: record capacity 5 payload blocks, log area 7.
+        let (_, j) = fresh();
+        assert_eq!(j.log_pressure(), 0.0);
+        // Each staged block adds exactly 1/capacity to the reading.
+        for i in 0..4u64 {
+            j.begin_op().stage(vec![(3 + i, img(i as u8))]).unwrap();
+            let want = (i + 1) as f32 / 5.0;
+            assert!(
+                (j.log_pressure() - want).abs() < 1e-6,
+                "after {} stages: {} != {}",
+                i + 1,
+                j.log_pressure(),
+                want
+            );
+        }
+        assert_eq!(j.stats().pressure_commits, 0, "below 1.0 nothing commits");
+        // The fifth distinct block takes the staged fraction to 1.0 —
+        // the same expression the stage path checks, so the pressure
+        // commit fires on exactly the stage that would have pushed the
+        // reading to its ceiling.
+        j.begin_op().stage(vec![(7, img(9))]).unwrap();
+        assert_eq!(j.stats().pressure_commits, 1);
+        assert_eq!(j.staged_ops(), 0);
+        // Post-commit the reading is the area term: one record of
+        // descriptor + 5 payload + commit = 7 blocks over the 7-block
+        // area, i.e. 1.0 until the checkpoint retires it.
+        assert!((j.log_pressure() - 1.0).abs() < 1e-6);
+        j.checkpoint_all().unwrap();
+        assert_eq!(j.log_pressure(), 0.0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use sk_ksim::buffer::{BhFlag, BufferCache};
 use sk_ksim::errno::{Errno, KResult};
 use sk_ksim::lock::{LockRegistry, TrackedMutex, TrackedMutexGuard};
 use sk_vfs::inode::{Attr, FileType, Inode, InodeNo};
-use sk_vfs::modular::{fs_abstraction, validate_name, DirEntry, FileSystem, StatFs, WriteCtx};
+use sk_vfs::modular::{
+    fs_abstraction, validate_name, BatchOp, BatchReply, DirEntry, FileSystem, StatFs, WriteCtx,
+};
 use sk_vfs::spec::FsModel;
 
 use crate::journal::Journal;
@@ -97,6 +99,12 @@ struct Txn<'a> {
     fs: &'a Rsfs,
     writes: BTreeMap<u64, Vec<u8>>,
     guard: Option<TrackedMutexGuard<'a, ()>>,
+    /// Batch staging only ([`Rsfs::submit_batch`]): the prior overlay
+    /// image of each block the current op has touched, first touch only
+    /// (`None` = the block was not in the overlay). [`Txn::op_scope`]
+    /// restores these on op failure, so one misbehaving op rolls back
+    /// without cloning the whole accumulated overlay.
+    undo: Option<Vec<(u64, Option<Vec<u8>>)>>,
 }
 
 impl<'a> Txn<'a> {
@@ -105,6 +113,7 @@ impl<'a> Txn<'a> {
             fs,
             writes: BTreeMap::new(),
             guard: None,
+            undo: None,
         }
     }
 
@@ -116,7 +125,31 @@ impl<'a> Txn<'a> {
             fs,
             writes: BTreeMap::new(),
             guard: Some(guard),
+            undo: None,
         }
+    }
+
+    /// Runs `f` as one isolated operation of a batch: every overlay
+    /// write it makes is recorded, and rolled back if `f` fails — a
+    /// failed op leaves no partial state in the chunk while successful
+    /// neighbors keep theirs.
+    fn op_scope<R>(&mut self, f: impl FnOnce(&mut Self) -> KResult<R>) -> KResult<R> {
+        self.undo = Some(Vec::new());
+        let r = f(self);
+        let undo = self.undo.take().unwrap_or_default();
+        if r.is_err() {
+            for (blkno, prior) in undo.into_iter().rev() {
+                match prior {
+                    Some(img) => {
+                        self.writes.insert(blkno, img);
+                    }
+                    None => {
+                        self.writes.remove(&blkno);
+                    }
+                }
+            }
+        }
+        r
     }
 
     /// Reads a block through the overlay.
@@ -131,6 +164,11 @@ impl<'a> Txn<'a> {
     /// Stages a full-block write.
     fn write(&mut self, blkno: u64, data: Vec<u8>) {
         debug_assert_eq!(data.len(), BLOCK_SIZE);
+        if let Some(undo) = &mut self.undo {
+            if !undo.iter().any(|(b, _)| *b == blkno) {
+                undo.push((blkno, self.writes.get(&blkno).cloned()));
+            }
+        }
         self.writes.insert(blkno, data);
     }
 
@@ -738,6 +776,58 @@ impl Rsfs {
             None => usize::MAX,
         }
     }
+
+    /// Publishes one batch chunk ([`Rsfs::submit_batch`]): commits the
+    /// staging transaction (one journal member — the chunk's atomicity
+    /// grain), then propagates `i_size` for every file it wrote. On
+    /// commit failure, every reply in the chunk that would have claimed
+    /// success is rewritten to the commit error — an op is only
+    /// acknowledged once its chunk is in the running transaction.
+    fn flush_chunk(
+        &self,
+        txn: Option<Txn<'_>>,
+        chunk: &mut Vec<usize>,
+        replies: &mut [BatchReply],
+        sized: &mut Vec<InodeNo>,
+    ) {
+        let res = match txn {
+            Some(t) => t.commit(),
+            None => Ok(()),
+        };
+        match res {
+            Ok(()) => {
+                sized.sort_unstable();
+                sized.dedup();
+                for ino in sized.drain(..) {
+                    if let Ok(vi) = self.vfs_inode(ino) {
+                        let t = Txn::new(self);
+                        if let Ok(di) = t.read_inode(ino) {
+                            vi.set_size(di.size);
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                for &i in chunk.iter() {
+                    if replies[i].result().is_ok() {
+                        fail_reply(&mut replies[i], e);
+                    }
+                }
+                sized.clear();
+            }
+        }
+        chunk.clear();
+    }
+}
+
+/// Rewrites a reply's result to `e`, keeping any returned buffer — used
+/// when a chunk commit retroactively fails its staged ops.
+fn fail_reply(r: &mut BatchReply, e: Errno) {
+    match r {
+        BatchReply::Create(res) => *res = Err(e),
+        BatchReply::Write { result, .. } | BatchReply::Read { result, .. } => *result = Err(e),
+        BatchReply::Fsync(res) | BatchReply::Unlink(res) => *res = Err(e),
+    }
 }
 
 impl FileSystem for Rsfs {
@@ -1033,6 +1123,199 @@ impl FileSystem for Rsfs {
             inodes_total: u64::from(self.sb.inode_count) - 2,
             inodes_free,
         })
+    }
+
+    /// Batch staging — the ring's fast path.
+    ///
+    /// The per-call interface pays one op-lock acquisition, one journal
+    /// join, and one overlay per operation. Here the batch is cut into
+    /// *chunks*: each chunk holds the op lock once, stages every op into
+    /// a single shared overlay (metadata blocks touched by several ops —
+    /// directory, inode table, bitmaps — are staged once, not once per
+    /// op), and enters the journal as **one** member, so recovery sees
+    /// each chunk atomically and every recovered state is a
+    /// chunk-boundary prefix of the submission order — a valid op-order
+    /// prefix.
+    ///
+    /// Contract details:
+    ///
+    /// - A failed op rolls back its own overlay writes ([`Txn::op_scope`])
+    ///   and fails alone; its neighbors stay staged.
+    /// - If the *chunk commit* fails (journal abort, `EROFS`), every op
+    ///   staged in that chunk is retroactively failed in its reply —
+    ///   acknowledgment is only truthful once the chunk has entered the
+    ///   running transaction.
+    /// - [`BatchOp::Fsync`] is a durability point for everything earlier
+    ///   in the batch (and, by token order, everything staged before it).
+    ///   All fsyncs in a batch *coalesce*: the covering commit runs once,
+    ///   after the last chunk is staged and before any CQE is posted, so
+    ///   N fsync SQEs cost one barrier instead of N — legal because a
+    ///   CQE's durability promise is a floor, and every fsync's covered
+    ///   prefix is a subset of what the batch-end commit makes durable.
+    /// - Chunks are cut before the overlay could outgrow one journal
+    ///   record, so a batch never trips the `ENOSPC` oversize check.
+    fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
+        // Same metadata slack as max_txn_data: cut the chunk while every
+        // op's worst-case block touch still fits the record.
+        let chunk_blocks = match &self.journal {
+            Some(j) => j.capacity().saturating_sub(8).max(1),
+            None => usize::MAX,
+        };
+        let mut replies: Vec<BatchReply> = Vec::with_capacity(ops.len());
+        // Indices (into `replies`) of ops staged in — or reading through —
+        // the open chunk; rewritten to the commit error if it fails.
+        let mut chunk: Vec<usize> = Vec::new();
+        // Files written in the open chunk, for i_size propagation.
+        let mut sized: Vec<InodeNo> = Vec::new();
+        // Reply indices of validated fsyncs awaiting the batch-end
+        // covering commit.
+        let mut fsyncs: Vec<usize> = Vec::new();
+        let mut txn: Option<Txn<'_>> = None;
+
+        for op in ops {
+            let idx = replies.len();
+            match op {
+                BatchOp::Fsync { ino } => {
+                    // Validate now (through the open chunk, so a
+                    // same-batch create is visible); the covering commit
+                    // is deferred to batch end, where all the batch's
+                    // fsyncs share one barrier.
+                    let r = match &mut txn {
+                        Some(t) => t.op_scope(|t| {
+                            let di = t.read_inode(ino)?;
+                            if di.mode == MODE_FREE {
+                                return Err(Errno::ENOENT);
+                            }
+                            Ok(())
+                        }),
+                        None => (|| {
+                            let t = Txn::new(self);
+                            let di = t.read_inode(ino)?;
+                            if di.mode == MODE_FREE {
+                                return Err(Errno::ENOENT);
+                            }
+                            Ok(())
+                        })(),
+                    };
+                    if r.is_ok() {
+                        if txn.is_some() {
+                            // Chunk-tainted: the inode it validated is
+                            // only real if the chunk commits.
+                            chunk.push(idx);
+                        }
+                        fsyncs.push(idx);
+                    }
+                    replies.push(BatchReply::Fsync(r));
+                }
+                BatchOp::Create { dir, name } => {
+                    let t = txn.get_or_insert_with(|| Txn::begin(self));
+                    let r = t.op_scope(|t| {
+                        validate_name(&name)?;
+                        match t.dir_lookup(dir, &name) {
+                            Ok(_) => return Err(Errno::EEXIST),
+                            Err(Errno::ENOENT) => {}
+                            Err(e) => return Err(e),
+                        }
+                        let ino = t.ialloc(MODE_REG)?;
+                        t.dir_add(dir, &name, ino)?;
+                        Ok(ino)
+                    });
+                    if r.is_ok() {
+                        chunk.push(idx);
+                    }
+                    replies.push(BatchReply::Create(r));
+                }
+                BatchOp::Unlink { dir, name } => {
+                    let t = txn.get_or_insert_with(|| Txn::begin(self));
+                    let r = t.op_scope(|t| {
+                        validate_name(&name)?;
+                        let victim = t.dir_lookup(dir, &name)?;
+                        let di = t.read_inode(victim)?;
+                        if di.mode == MODE_DIR {
+                            return Err(Errno::EISDIR);
+                        }
+                        t.dir_remove(dir, &name)?;
+                        t.shrink_blocks(victim, 0)?;
+                        t.ifree(victim)
+                    });
+                    if r.is_ok() {
+                        chunk.push(idx);
+                    }
+                    replies.push(BatchReply::Unlink(r));
+                }
+                BatchOp::Write { ino, off, data } => {
+                    if data.len() > self.max_txn_data() {
+                        // Oversized write: flush the chunk (releasing the
+                        // op lock), then take the per-call path, which
+                        // chunks the data itself.
+                        self.flush_chunk(txn.take(), &mut chunk, &mut replies, &mut sized);
+                        let result = self.write(ino, off, &data);
+                        replies.push(BatchReply::Write { result, buf: data });
+                    } else {
+                        let t = txn.get_or_insert_with(|| Txn::begin(self));
+                        let r = t.op_scope(|t| {
+                            let di = t.read_inode(ino)?;
+                            if di.mode == MODE_DIR {
+                                return Err(Errno::EISDIR);
+                            }
+                            t.write_range(ino, off, &data)
+                        });
+                        if r.is_ok() {
+                            chunk.push(idx);
+                            sized.push(ino);
+                        }
+                        replies.push(BatchReply::Write {
+                            result: r,
+                            buf: data,
+                        });
+                    }
+                }
+                BatchOp::Read { ino, off, mut buf } => {
+                    let result = match &mut txn {
+                        // A chunk is open: read through its overlay so the
+                        // batch observes its own earlier writes. The read
+                        // is chunk-tainted — if the chunk's commit fails,
+                        // what it saw never existed.
+                        Some(t) => {
+                            let r = t.op_scope(|t| {
+                                let di = t.read_inode(ino)?;
+                                if di.mode == MODE_DIR {
+                                    return Err(Errno::EISDIR);
+                                }
+                                t.read_range(ino, off, &mut buf)
+                            });
+                            if r.is_ok() {
+                                chunk.push(idx);
+                            }
+                            r
+                        }
+                        // No open chunk: committed state only, no taint.
+                        None => self.read(ino, off, &mut buf),
+                    };
+                    replies.push(BatchReply::Read { result, buf });
+                }
+            }
+            if txn.as_ref().is_some_and(|t| t.writes.len() >= chunk_blocks) {
+                self.flush_chunk(txn.take(), &mut chunk, &mut replies, &mut sized);
+            }
+        }
+        self.flush_chunk(txn.take(), &mut chunk, &mut replies, &mut sized);
+        if !fsyncs.is_empty() {
+            // The coalesced durability point: one commit covers every
+            // fsync in the batch, and it runs before any CQE is posted.
+            let res = match &self.journal {
+                Some(j) => j.commit_running(),
+                None => self.cache.sync_all(),
+            };
+            if let Err(e) = res {
+                for &i in &fsyncs {
+                    if replies[i].result().is_ok() {
+                        fail_reply(&mut replies[i], e);
+                    }
+                }
+            }
+        }
+        replies
     }
 }
 

@@ -433,6 +433,12 @@ pub struct DiskFaultConfig {
     /// Probability a write is torn at a sector boundary: only the first
     /// `k` sectors (seeded `k` in `1..sectors_per_block`) reach media.
     pub torn_write: f64,
+    /// Wall-clock delay added to every write (nanoseconds). Models a
+    /// slow device for backpressure tests: the sleep happens outside the
+    /// fault-state lock, before the inner write.
+    pub write_delay_ns: u64,
+    /// Wall-clock delay added to every flush barrier (nanoseconds).
+    pub flush_delay_ns: u64,
 }
 
 impl DiskFaultConfig {
@@ -445,6 +451,7 @@ impl DiskFaultConfig {
             flush_eio: 0.01,
             read_corrupt: 0.02,
             torn_write: 0.05,
+            ..DiskFaultConfig::default()
         }
     }
 }
@@ -611,6 +618,10 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        let delay = self.state.lock().cfg.write_delay_ns;
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(delay));
+        }
         let tear = {
             let mut st = self.state.lock();
             let idx = st.writes_seen;
@@ -660,6 +671,10 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn flush(&self) -> KResult<()> {
+        let delay = self.state.lock().cfg.flush_delay_ns;
+        if delay > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(delay));
+        }
         {
             let mut st = self.state.lock();
             let idx = st.flushes_seen;

@@ -38,11 +38,13 @@ pub mod legacy_ops;
 pub mod memfs;
 pub mod modular;
 pub mod path;
+pub mod ring;
 pub mod shim;
 pub mod spec;
 
 pub use inode::{Attr, FileType, InodeNo};
 pub use memfs::MemFs;
-pub use modular::{DirEntry, FileSystem, StatFs};
+pub use modular::{BatchOp, BatchReply, DirEntry, FileSystem, StatFs};
 pub use path::{OpenFlags, Vfs};
+pub use ring::{Cqe, Ring, RingReactor, RingStats, RingThrottle};
 pub use spec::FsModel;

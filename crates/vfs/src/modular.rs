@@ -45,6 +45,110 @@ pub struct StatFs {
     pub inodes_free: u64,
 }
 
+/// One typed operation of a batch submission (the payload of a ring SQE;
+/// see [`FileSystem::submit_batch`] and [`crate::ring`]).
+///
+/// Buffer ownership moves *in* with the op — [`BatchOp::Write`] carries
+/// its data and [`BatchOp::Read`] carries the destination buffer — and
+/// moves *out* again with the matching [`BatchReply`], success or
+/// failure. No loans cross the batching boundary, so a reactor thread
+/// can process the batch long after the submitting stack frame is gone:
+/// the paper's model-1 ownership transfer, round-tripped.
+#[derive(Debug)]
+pub enum BatchOp {
+    /// Create the regular file `name` in `dir`.
+    Create {
+        /// Parent directory.
+        dir: InodeNo,
+        /// New entry name.
+        name: String,
+    },
+    /// Write `data` at `off` in `ino`; the buffer moves in.
+    Write {
+        /// Target file.
+        ino: InodeNo,
+        /// Byte offset.
+        off: u64,
+        /// Payload, owned by the op until the reply returns it.
+        data: Vec<u8>,
+    },
+    /// Read `buf.len()` bytes at `off` from `ino` into `buf` (moved in,
+    /// returned filled in the reply).
+    Read {
+        /// Source file.
+        ino: InodeNo,
+        /// Byte offset.
+        off: u64,
+        /// Destination buffer, owned by the op until the reply returns it.
+        buf: Vec<u8>,
+    },
+    /// Durability point for `ino` (and, per [`FileSystem::fsync`]
+    /// semantics, possibly more).
+    Fsync {
+        /// File to make durable.
+        ino: InodeNo,
+    },
+    /// Remove the regular file `name` from `dir`.
+    Unlink {
+        /// Parent directory.
+        dir: InodeNo,
+        /// Entry name.
+        name: String,
+    },
+}
+
+/// Per-op outcome of a batch submission (the payload of a ring CQE).
+///
+/// Ops that carried a buffer get it back here — on success *and* on
+/// failure, so a failed batch never leaks a submitter's buffer.
+#[derive(Debug)]
+pub enum BatchReply {
+    /// Result of [`BatchOp::Create`].
+    Create(KResult<InodeNo>),
+    /// Result of [`BatchOp::Write`]: byte count plus the returned buffer.
+    Write {
+        /// Bytes written, or the error.
+        result: KResult<usize>,
+        /// The submitted payload, ownership returned.
+        buf: Vec<u8>,
+    },
+    /// Result of [`BatchOp::Read`]: byte count plus the filled buffer.
+    Read {
+        /// Bytes read (0 at EOF), or the error.
+        result: KResult<usize>,
+        /// The submitted destination buffer, ownership returned.
+        buf: Vec<u8>,
+    },
+    /// Result of [`BatchOp::Fsync`].
+    Fsync(KResult<()>),
+    /// Result of [`BatchOp::Unlink`].
+    Unlink(KResult<()>),
+}
+
+impl BatchReply {
+    /// The op's result with the payload erased (for assertions and
+    /// bookkeeping that only care about success).
+    pub fn result(&self) -> KResult<()> {
+        match self {
+            BatchReply::Create(r) => r.as_ref().map(|_| ()).map_err(|e| *e),
+            BatchReply::Write { result, .. } | BatchReply::Read { result, .. } => {
+                result.as_ref().map(|_| ()).map_err(|e| *e)
+            }
+            BatchReply::Fsync(r) | BatchReply::Unlink(r) => *r,
+        }
+    }
+
+    /// Takes the returned buffer out of the reply, if this op carried one.
+    pub fn take_buf(&mut self) -> Option<Vec<u8>> {
+        match self {
+            BatchReply::Write { buf, .. } | BatchReply::Read { buf, .. } => {
+                Some(core::mem::take(buf))
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Typed context threaded from [`FileSystem::write_begin`] to
 /// [`FileSystem::write_end`] — the replacement for the `void *fsdata`
 /// parameter of the Linux address-space operations.
@@ -139,6 +243,41 @@ pub trait FileSystem: Send + Sync {
 
     /// Usage summary.
     fn statfs(&self) -> KResult<StatFs>;
+
+    /// Processes a batch of typed operations, returning one reply per op
+    /// in submission order (the reply vector always has `ops.len()`
+    /// entries — individual failures are carried in the reply, never
+    /// dropped).
+    ///
+    /// The default loops over the per-call interface, so every
+    /// implementation — including a legacy ops table behind
+    /// [`crate::shim::LegacyFsAdapter`] — is ring-capable for free.
+    /// Journaling file systems override this to stage the whole batch in
+    /// one pass (one op-lock hold, one journal join per batch) — the
+    /// batching win the ring exists to expose.
+    ///
+    /// Ordering contract for overriders: replies must correspond to ops
+    /// in order, an op acknowledged `Ok` must be at least as durable as
+    /// the per-call interface would have left it, and a
+    /// [`BatchOp::Fsync`] must act as a durability point for every
+    /// earlier op in the batch.
+    fn submit_batch(&self, ops: Vec<BatchOp>) -> Vec<BatchReply> {
+        ops.into_iter()
+            .map(|op| match op {
+                BatchOp::Create { dir, name } => BatchReply::Create(self.create(dir, &name)),
+                BatchOp::Write { ino, off, data } => {
+                    let result = self.write(ino, off, &data);
+                    BatchReply::Write { result, buf: data }
+                }
+                BatchOp::Read { ino, off, mut buf } => {
+                    let result = self.read(ino, off, &mut buf);
+                    BatchReply::Read { result, buf }
+                }
+                BatchOp::Fsync { ino } => BatchReply::Fsync(self.fsync(ino)),
+                BatchOp::Unlink { dir, name } => BatchReply::Unlink(self.unlink(dir, &name)),
+            })
+            .collect()
+    }
 }
 
 /// Interprets a mounted file system as an instance of the abstract model

@@ -1,0 +1,610 @@
+//! Integration: the typed submission/completion ring over the VFS.
+//!
+//! Three contracts under test:
+//!
+//! - **ownership round-trip** — every buffer a client moves into the
+//!   ring comes back exactly once in its CQE, on success and on failure
+//!   (including a poisoned/EROFS journal), across arbitrary submitter
+//!   interleavings;
+//! - **structural backpressure** — a slow disk blocks *submitters* on a
+//!   full ring (and stalls reactor admission on journal log pressure)
+//!   instead of ballooning the running transaction, with lockdep clean
+//!   across the reactor path;
+//! - **CQE crash contract** — ops acknowledged through the ring obey the
+//!   token-order-prefix + fsync-watermark contract: recovery lands on a
+//!   chunk-boundary prefix of the submission order that includes
+//!   everything an fsync SQE covered.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use safer_kernel::core::spec::crash::{crash_images, judge_with_floor, CrashPolicy};
+use safer_kernel::core::spec::Refines;
+use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
+use safer_kernel::ksim::block::{
+    BlockDevice, CrashDevice, DeviceStats, DiskFaultConfig, FaultyDisk, PendingWrite, RamDisk,
+    BLOCK_SIZE,
+};
+use safer_kernel::ksim::errno::KResult;
+use safer_kernel::vfs::modular::{BatchOp, BatchReply, FileSystem};
+use safer_kernel::vfs::ring::{Ring, RingReactor, RingThrottle};
+
+fn mount_over_faulty(blocks: u64, mode: JournalMode) -> (Arc<FaultyDisk<Arc<RamDisk>>>, Arc<Rsfs>) {
+    let ram = Arc::new(RamDisk::new(blocks));
+    let faulty = Arc::new(FaultyDisk::new(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        7,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 128, 64).unwrap();
+    let fs = Arc::new(Rsfs::mount(dev, mode).unwrap());
+    (faulty, fs)
+}
+
+/// A write buffer tagged so the round-trip check can match submissions
+/// to returns: client id and sequence in the first bytes.
+fn tagged_buf(client: u64, seq: u64) -> Vec<u8> {
+    let mut b = vec![0u8; 512];
+    b[0..8].copy_from_slice(&client.to_le_bytes());
+    b[8..16].copy_from_slice(&seq.to_le_bytes());
+    b
+}
+
+fn buf_tag(b: &[u8]) -> (u64, u64) {
+    (
+        u64::from_le_bytes(b[0..8].try_into().unwrap()),
+        u64::from_le_bytes(b[8..16].try_into().unwrap()),
+    )
+}
+
+/// Deterministic single-reactor check: a mixed batch through the rsfs
+/// batch-staging path matches per-call semantics, and a failing op rolls
+/// back alone while its neighbors commit.
+#[test]
+fn mixed_batch_matches_per_call_semantics() {
+    let (_faulty, fs) = mount_over_faulty(2048, JournalMode::Async);
+    let root = fs.root_ino();
+    let ring = Arc::new(Ring::new(fs.lock_registry(), 32));
+
+    let t1 = ring
+        .submit(BatchOp::Create {
+            dir: root,
+            name: "a".into(),
+        })
+        .unwrap();
+    // Duplicate create: must fail with EEXIST *inside* the batch without
+    // poisoning its neighbors.
+    let t2 = ring
+        .submit(BatchOp::Create {
+            dir: root,
+            name: "a".into(),
+        })
+        .unwrap();
+    let t3 = ring
+        .submit(BatchOp::Create {
+            dir: root,
+            name: "b".into(),
+        })
+        .unwrap();
+    assert_eq!(ring.drain_once(&*fs), 3);
+
+    let ino_a = match ring.wait(t1).reply {
+        BatchReply::Create(Ok(ino)) => ino,
+        other => panic!("create a: {other:?}"),
+    };
+    assert!(matches!(
+        ring.wait(t2).reply,
+        BatchReply::Create(Err(safer_kernel::ksim::errno::Errno::EEXIST))
+    ));
+    assert!(matches!(ring.wait(t3).reply, BatchReply::Create(Ok(_))));
+
+    // Write then read in the same batch: the read must observe the
+    // write through the chunk overlay.
+    let tw = ring
+        .submit(BatchOp::Write {
+            ino: ino_a,
+            off: 0,
+            data: b"through the overlay".to_vec(),
+        })
+        .unwrap();
+    let tr = ring
+        .submit(BatchOp::Read {
+            ino: ino_a,
+            off: 0,
+            buf: vec![0u8; 19],
+        })
+        .unwrap();
+    let tu = ring
+        .submit(BatchOp::Unlink {
+            dir: root,
+            name: "b".into(),
+        })
+        .unwrap();
+    assert_eq!(ring.drain_once(&*fs), 3);
+    match ring.wait(tw).reply {
+        BatchReply::Write { result, buf } => {
+            assert_eq!(result, Ok(19));
+            assert_eq!(&buf, b"through the overlay");
+        }
+        other => panic!("write: {other:?}"),
+    }
+    match ring.wait(tr).reply {
+        BatchReply::Read { result, buf } => {
+            assert_eq!(result, Ok(19));
+            assert_eq!(&buf, b"through the overlay");
+        }
+        other => panic!("read: {other:?}"),
+    }
+    assert!(matches!(ring.wait(tu).reply, BatchReply::Unlink(Ok(()))));
+
+    // State agrees with the per-call view.
+    assert_eq!(fs.lookup(root, "a"), Ok(ino_a));
+    assert!(fs.lookup(root, "b").is_err());
+    assert_eq!(fs.getattr(ino_a).unwrap().size, 19);
+    assert!(fs.lock_registry().violations().is_empty());
+}
+
+/// A poisoned (aborted, EROFS) journal fails CQEs cleanly: buffers come
+/// back, nothing is acknowledged, and later submissions are refused.
+/// PerOp mode makes the chunk commit itself touch the device, so the
+/// armed fault aborts the journal mid-chunk and every already-staged
+/// reply in the chunk must be rewritten to the commit error.
+#[test]
+fn poisoned_journal_fails_cqes_without_leaking_buffers() {
+    let (faulty, fs) = mount_over_faulty(2048, JournalMode::PerOp);
+    let root = fs.root_ino();
+    let ring = Arc::new(Ring::new(fs.lock_registry(), 64));
+    let ino = fs.create(root, "f").unwrap();
+    fs.sync().unwrap();
+
+    // Fail the next device write: the first journal record write aborts
+    // the journal, and every op staged behind it is refused with EROFS.
+    faulty.fail_nth_write(0);
+
+    let mut tickets = Vec::new();
+    for seq in 0..8u64 {
+        tickets.push(
+            ring.submit(BatchOp::Write {
+                ino,
+                off: seq * 512,
+                data: tagged_buf(1, seq),
+            })
+            .unwrap(),
+        );
+    }
+    let tf = ring.submit(BatchOp::Fsync { ino }).unwrap();
+    ring.drain_once(&*fs);
+
+    // The fsync hit the armed write fault: it must report the failure.
+    assert!(
+        matches!(ring.wait(tf).reply, BatchReply::Fsync(Err(_))),
+        "fsync over a failing journal record must not claim durability"
+    );
+    // Every write buffer comes back, tagged as submitted; results are
+    // failures (the chunk never became durable) — no silent acks, no
+    // leaked buffers.
+    let mut seen = Vec::new();
+    for t in tickets {
+        match ring.wait(t).reply {
+            BatchReply::Write { result, buf } => {
+                assert!(result.is_err(), "acked a write in an aborted chunk");
+                seen.push(buf_tag(&buf));
+            }
+            other => panic!("write reply: {other:?}"),
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..8u64).map(|s| (1, s)).collect::<Vec<_>>());
+
+    // Later submissions against the sticky-EROFS journal also fail
+    // cleanly with the buffer returned.
+    let t = ring
+        .submit(BatchOp::Write {
+            ino,
+            off: 0,
+            data: tagged_buf(2, 0),
+        })
+        .unwrap();
+    ring.drain_once(&*fs);
+    match ring.wait(t).reply {
+        BatchReply::Write { result, buf } => {
+            assert!(result.is_err());
+            assert_eq!(buf_tag(&buf), (2, 0));
+        }
+        other => panic!("reply: {other:?}"),
+    }
+    assert!(fs.journal().unwrap().is_aborted());
+    assert!(fs.lock_registry().violations().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Ownership round-trip under arbitrary interleavings: N submitter
+    /// threads race a reactor; every buffer moved into the ring returns
+    /// exactly once, whether its op succeeded, failed individually, or
+    /// was refused by a journal that aborted mid-run.
+    #[test]
+    fn buffer_ownership_round_trips_exactly_once(
+        clients in 2usize..5,
+        ops_per_client in 4u64..16,
+        depth in prop_oneof![Just(1usize), Just(8), Just(32)],
+        fail_write_at in prop_oneof![Just(None), (5u64..40).prop_map(Some)],
+    ) {
+        let (faulty, fs) = mount_over_faulty(4096, JournalMode::Async);
+        let root = fs.root_ino();
+        let ring = Arc::new(Ring::new(fs.lock_registry(), depth));
+        let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+        let relieve_fs = Arc::clone(&fs);
+        let pressure_fs = Arc::clone(&fs);
+        let reactor = RingReactor::spawn(
+            Arc::clone(&ring),
+            fs_dyn,
+            Some(RingThrottle {
+                pressure: Box::new(move || {
+                    pressure_fs.journal().map_or(0.0, |j| j.log_pressure())
+                }),
+                relieve: Box::new(move || {
+                    let _ = relieve_fs.commit_running();
+                    let _ = relieve_fs.checkpoint(usize::MAX);
+                }),
+                threshold: 0.5,
+            }),
+        );
+        if let Some(n) = fail_write_at {
+            faulty.fail_nth_write(n);
+        }
+
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    let client = c as u64;
+                    let mut returned = Vec::new();
+                    let mut read_bufs = 0usize;
+                    let mut tickets = Vec::new();
+                    for seq in 0..ops_per_client {
+                        // A mixed, per-client-deterministic op stream.
+                        match seq % 5 {
+                            0 => tickets.push(ring.submit(BatchOp::Create {
+                                dir: 1,
+                                name: format!("c{client}s{seq}"),
+                            })),
+                            1 | 2 => tickets.push(ring.submit(BatchOp::Write {
+                                ino: 1 + 1, // may or may not exist; failure is fine
+                                off: (client * ops_per_client + seq) * 512,
+                                data: tagged_buf(client, seq),
+                            })),
+                            3 => tickets.push(ring.submit(BatchOp::Read {
+                                ino: 2,
+                                off: 0,
+                                buf: vec![0u8; 256],
+                            })),
+                            _ => tickets.push(ring.submit(BatchOp::Fsync { ino: 1 })),
+                        }
+                    }
+                    for t in tickets {
+                        let t = t.expect("ring not shut down during the run");
+                        match ring.wait(t).reply {
+                            BatchReply::Write { buf, .. } => returned.push(buf_tag(&buf)),
+                            BatchReply::Read { buf, .. } => {
+                                assert_eq!(buf.len(), 256, "read buffer resized");
+                                read_bufs += 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    (client, returned, read_bufs)
+                })
+            })
+            .collect();
+
+        let mut all_returned = Vec::new();
+        let mut total_reads = 0usize;
+        for h in handles {
+            let (client, returned, reads) = h.join().unwrap();
+            // This client's write buffers: one per write it submitted,
+            // each tagged with its own id — exactly-once, no swaps.
+            let mut expect: Vec<(u64, u64)> = (0..ops_per_client)
+                .filter(|s| s % 5 == 1 || s % 5 == 2)
+                .map(|s| (client, s))
+                .collect();
+            let mut got = returned.clone();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "client {} buffer set", client);
+            all_returned.extend(returned);
+            total_reads += reads;
+        }
+        let writes_per_client =
+            (0..ops_per_client).filter(|s| s % 5 == 1 || s % 5 == 2).count();
+        let reads_per_client = (0..ops_per_client).filter(|s| s % 5 == 3).count();
+        prop_assert_eq!(all_returned.len(), clients * writes_per_client);
+        prop_assert_eq!(total_reads, clients * reads_per_client);
+
+        reactor.join();
+        let stats = ring.stats();
+        prop_assert_eq!(stats.submitted, stats.completed, "every SQE got a CQE");
+        prop_assert!(fs.lock_registry().violations().is_empty(),
+            "lockdep: {:?}", fs.lock_registry().violations());
+        let _ = root;
+    }
+}
+
+/// Structural backpressure: with a slow disk behind the journal, client
+/// threads block on the full ring and the reactor stalls admission on
+/// log pressure — the running transaction stays bounded — while lockdep
+/// stays clean across the whole submit/reactor/relieve path.
+#[test]
+fn slow_disk_backpressure_blocks_submitters() {
+    let ram = Arc::new(RamDisk::new(4096));
+    let faulty = Arc::new(FaultyDisk::new(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        11,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 128, 64).unwrap();
+    let fs = Arc::new(Rsfs::mount(dev, JournalMode::Async).unwrap());
+    let root = fs.root_ino();
+    let ino = fs.create(root, "pressure").unwrap();
+    fs.sync().unwrap();
+    // Now make every device write slow: journal records and checkpoints
+    // crawl, so relief takes real time and admission must stall.
+    faulty.set_config(DiskFaultConfig {
+        write_delay_ns: 100_000,
+        ..DiskFaultConfig::default()
+    });
+
+    let ring = Arc::new(Ring::new(fs.lock_registry(), 8));
+    let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+    let relieve_fs = Arc::clone(&fs);
+    let pressure_fs = Arc::clone(&fs);
+    let reactor = RingReactor::spawn(
+        Arc::clone(&ring),
+        fs_dyn,
+        Some(RingThrottle {
+            pressure: Box::new(move || pressure_fs.journal().map_or(0.0, |j| j.log_pressure())),
+            relieve: Box::new(move || {
+                let _ = relieve_fs.commit_running();
+                let _ = relieve_fs.checkpoint(usize::MAX);
+            }),
+            threshold: 0.25,
+        }),
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    // Sample journal pressure while the clients run: the running
+    // transaction must stay bounded by the stage-path ceiling — growth
+    // lands in *blocked submitters*, not staged state.
+    let sampler = {
+        let fs = Arc::clone(&fs);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut max_pressure = 0.0f32;
+            while !done.load(Ordering::Relaxed) {
+                if let Some(j) = fs.journal() {
+                    max_pressure = max_pressure.max(j.log_pressure());
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            max_pressure
+        })
+    };
+
+    let clients: Vec<_> = (0..6u64)
+        .map(|c| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for seq in 0..24u64 {
+                    tickets.push(
+                        ring.submit(BatchOp::Write {
+                            ino: 2,
+                            off: ((c * 24 + seq) % 32) * 512,
+                            data: tagged_buf(c, seq),
+                        })
+                        .unwrap(),
+                    );
+                }
+                for t in tickets {
+                    let cqe = ring.wait(t);
+                    assert!(matches!(cqe.reply, BatchReply::Write { .. }));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let max_pressure = sampler.join().unwrap();
+    reactor.join();
+
+    let stats = ring.stats();
+    assert!(
+        stats.sq_full_blocks > 0,
+        "144 submissions over a depth-8 ring on a slow disk never blocked a submitter"
+    );
+    assert!(
+        stats.throttle_stalls > 0,
+        "log pressure never stalled reactor admission"
+    );
+    // The stage path force-commits at fraction 1.0, so staged state is
+    // structurally bounded: pressure can never run away past the ceiling.
+    assert!(
+        max_pressure <= 1.25,
+        "running transaction outgrew its ceiling: {max_pressure}"
+    );
+    assert!(
+        fs.lock_registry().violations().is_empty(),
+        "lockdep: {:?}",
+        fs.lock_registry().violations()
+    );
+    let _ = ino;
+}
+
+/// Captures the pending-write set at each flush barrier (local copy of
+/// the crash_recovery harness tap).
+struct Tap {
+    inner: Arc<CrashDevice<Arc<RamDisk>>>,
+    intervals: Mutex<Vec<Vec<PendingWrite>>>,
+}
+
+impl BlockDevice for Tap {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        self.inner.read_block(blkno, buf)
+    }
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        self.inner.write_block(blkno, buf)
+    }
+    fn flush(&self) -> KResult<()> {
+        self.intervals.lock().push(self.inner.pending_writes());
+        self.inner.flush()
+    }
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+/// CQE crash contract: drive the async_fsync watermark schedule entirely
+/// through ring SQEs (fsync as an SQE, acting as the durability point)
+/// and enumerate crash images. Every recovered state must be a valid
+/// prefix of the submission order, and images cut at or after the fsync
+/// barrier must include everything the fsync covered.
+#[test]
+fn ring_acked_ops_obey_the_fsync_watermark_contract() {
+    let ram = Arc::new(RamDisk::new(2048));
+    let crash = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+    let tap = Arc::new(Tap {
+        inner: crash,
+        intervals: Mutex::new(Vec::new()),
+    });
+    let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&tap_dyn, 128, 64).unwrap();
+    let fs = Rsfs::mount(tap_dyn, JournalMode::Async).unwrap();
+    let root = fs.root_ino();
+    let ring = Ring::new(fs.lock_registry(), 32);
+
+    let base = ram.snapshot();
+    tap.intervals.lock().clear();
+
+    // Chunked submission order: [create f1, write f1] — fsync SQE —
+    // [create f2, write f2] — sync. Each drained batch chunk is one
+    // journal member, so recovered states are chunk-boundary prefixes.
+    let mut models = vec![fs.abstraction()];
+    let t1 = ring
+        .submit(BatchOp::Create {
+            dir: root,
+            name: "f1".into(),
+        })
+        .unwrap();
+    let f1_data = b"must survive the ring fsync".to_vec();
+    let t2 = ring
+        .submit(BatchOp::Write {
+            ino: 2,
+            off: 0,
+            data: f1_data.clone(),
+        })
+        .unwrap();
+    ring.drain_once(&fs);
+    let f1 = match ring.wait(t1).reply {
+        BatchReply::Create(Ok(ino)) => ino,
+        other => panic!("create f1: {other:?}"),
+    };
+    assert!(matches!(
+        ring.wait(t2).reply,
+        BatchReply::Write { result: Ok(_), .. }
+    ));
+    models.push(fs.abstraction());
+    let watermark = models.len() - 1;
+    assert!(
+        tap.intervals.lock().is_empty(),
+        "ring staging reached the device before the durability point"
+    );
+
+    // The durability point, as an SQE.
+    let tf = ring.submit(BatchOp::Fsync { ino: f1 }).unwrap();
+    ring.drain_once(&fs);
+    assert!(matches!(ring.wait(tf).reply, BatchReply::Fsync(Ok(()))));
+    let n_fsync = tap.intervals.lock().len();
+    assert!(n_fsync > 0, "fsync SQE must flush the running transaction");
+
+    let t3 = ring
+        .submit(BatchOp::Create {
+            dir: root,
+            name: "f2".into(),
+        })
+        .unwrap();
+    let t4 = ring
+        .submit(BatchOp::Write {
+            ino: 3,
+            off: 0,
+            data: b"after the barrier".to_vec(),
+        })
+        .unwrap();
+    ring.drain_once(&fs);
+    assert!(matches!(ring.wait(t3).reply, BatchReply::Create(Ok(_))));
+    assert!(matches!(
+        ring.wait(t4).reply,
+        BatchReply::Write { result: Ok(_), .. }
+    ));
+    models.push(fs.abstraction());
+    fs.sync().unwrap();
+
+    let mut intervals = tap.intervals.lock().clone();
+    intervals.push(tap.inner.pending_writes());
+
+    let mut checked = 0;
+    let mut post_fsync = 0;
+    let mut failures = Vec::new();
+    let mut applied = base;
+    for (idx, interval) in intervals.iter().enumerate() {
+        let floor = if idx >= n_fsync { watermark } else { 0 };
+        for (i, img) in crash_images(&applied, interval, BLOCK_SIZE, CrashPolicy::Subsets)
+            .into_iter()
+            .enumerate()
+        {
+            checked += 1;
+            if floor > 0 {
+                post_fsync += 1;
+            }
+            let scratch = Arc::new(RamDisk::new(2048));
+            scratch.restore(&img).unwrap();
+            let scratch_dyn: Arc<dyn BlockDevice> = scratch;
+            match Rsfs::mount(Arc::clone(&scratch_dyn), JournalMode::Async) {
+                Ok(recovered) => {
+                    let m = recovered.abstraction();
+                    if let Err(why) = judge_with_floor(&models, floor, &m) {
+                        failures.push(format!("interval {idx} image {i}: {why}"));
+                    }
+                    match safer_kernel::fs_safe::fsck(&*scratch_dyn) {
+                        Ok(r) if r.is_clean() => {}
+                        Ok(r) => failures
+                            .push(format!("interval {idx} image {i}: fsck {:?}", r.findings)),
+                        Err(e) => {
+                            failures.push(format!("interval {idx} image {i}: fsck failed {e}"))
+                        }
+                    }
+                }
+                Err(e) => failures.push(format!("interval {idx} image {i}: mount failed {e}")),
+            }
+        }
+        for w in interval {
+            let off = w.blkno as usize * BLOCK_SIZE;
+            applied[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+        }
+    }
+    assert!(checked >= 10, "checked {checked}");
+    assert!(post_fsync >= 5, "post-fsync images {post_fsync}");
+    assert!(failures.is_empty(), "{failures:?}");
+}

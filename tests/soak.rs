@@ -237,3 +237,122 @@ proptest! {
         );
     }
 }
+
+/// Ring soak, the CI configuration: 8 clients push a mixed
+/// create/write/read/fsync/unlink stream through one typed ring whose
+/// reactor feeds an async-mode rsfs over a `FaultyDisk` injecting
+/// transient write/flush EIO — with the lockdep registry live across
+/// the whole submit/reactor/journal path. Ops are allowed to fail (the
+/// journal may even abort to EROFS mid-run); what must hold is the
+/// structural contract: every accepted SQE completes, every moved-in
+/// buffer comes back, and the run produces zero lock-order findings.
+#[test]
+fn ring_soak_over_transient_eio_is_lockdep_clean() {
+    use safer_kernel::ksim::block::{DiskFaultConfig, FaultyDisk};
+    use safer_kernel::vfs::modular::{BatchOp, BatchReply};
+    use safer_kernel::vfs::ring::{Ring, RingReactor, RingThrottle};
+
+    const CLIENTS: u64 = 8;
+    const OPS_EACH: u64 = 200;
+    let ram = Arc::new(RamDisk::new(8192));
+    let faulty = Arc::new(FaultyDisk::new(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        0x51_50_4B,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 512, 64).unwrap();
+    let fs = Arc::new(Rsfs::mount(dev, JournalMode::Async).unwrap());
+    let root = fs.root_ino();
+    let bases: Vec<u64> = (0..CLIENTS)
+        .map(|c| fs.create(root, &format!("base{c}")).unwrap())
+        .collect();
+    fs.sync().unwrap();
+    // Faults go live only after the formatted, mounted state exists.
+    faulty.set_config(DiskFaultConfig {
+        write_eio: 0.002,
+        flush_eio: 0.001,
+        ..DiskFaultConfig::default()
+    });
+
+    let ring = Arc::new(Ring::new(fs.lock_registry(), 64));
+    let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+    let pressure_fs = Arc::clone(&fs);
+    let relieve_fs = Arc::clone(&fs);
+    let reactor = RingReactor::spawn(
+        Arc::clone(&ring),
+        fs_dyn,
+        Some(RingThrottle {
+            pressure: Box::new(move || pressure_fs.journal().map_or(0.0, |j| j.log_pressure())),
+            relieve: Box::new(move || {
+                let _ = relieve_fs.commit_running();
+                let _ = relieve_fs.checkpoint(usize::MAX);
+            }),
+            threshold: 0.5,
+        }),
+    );
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let ring = Arc::clone(&ring);
+            let base = bases[c as usize];
+            std::thread::spawn(move || {
+                let mut write_bufs = 0u64;
+                let mut returned = 0u64;
+                for k in 0..OPS_EACH {
+                    let op = match k % 8 {
+                        0 => BatchOp::Create {
+                            dir: 1,
+                            name: format!("c{c}k{k}"),
+                        },
+                        4 => BatchOp::Unlink {
+                            dir: 1,
+                            name: format!("c{c}k{}", k - 4),
+                        },
+                        7 => BatchOp::Fsync { ino: base },
+                        2 | 6 => BatchOp::Read {
+                            ino: base,
+                            off: (k % 4) * 1024,
+                            buf: vec![0u8; 1024],
+                        },
+                        _ => {
+                            write_bufs += 1;
+                            BatchOp::Write {
+                                ino: base,
+                                off: (k % 4) * 1024,
+                                data: vec![c as u8; 1024],
+                            }
+                        }
+                    };
+                    let ticket = ring.submit(op).expect("ring live during soak");
+                    // Window 1: the soak is about fault interleavings,
+                    // not throughput.
+                    match ring.wait(ticket).reply {
+                        BatchReply::Write { buf, .. } => {
+                            assert_eq!(buf.len(), 1024, "write buffer came back resized");
+                            returned += 1;
+                        }
+                        BatchReply::Read { buf, .. } => {
+                            assert_eq!(buf.len(), 1024, "read buffer came back resized");
+                        }
+                        _ => {}
+                    }
+                }
+                assert_eq!(returned, write_bufs, "a write buffer leaked");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    reactor.join();
+
+    let stats = ring.stats();
+    assert_eq!(
+        stats.submitted, stats.completed,
+        "accepted SQEs without CQEs"
+    );
+    assert_eq!(stats.submitted, CLIENTS * OPS_EACH);
+    let violations = fs.lock_registry().violations();
+    assert!(violations.is_empty(), "lockdep findings: {violations:#?}");
+}
