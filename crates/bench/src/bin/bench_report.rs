@@ -1034,6 +1034,7 @@ mod crashbench {
 mod netbench {
     use super::{num, obj, Value};
     use sk_core::modularity::Registry;
+    use sk_ksim::scenario::ScenarioEngine;
     use sk_ksim::time::SimClock;
     use sk_legacy::LegacyCtx;
     use sk_netstack::fault::{FaultConfig, FaultyLink};
@@ -1194,6 +1195,8 @@ mod netbench {
             ("link_duplicated", num(ls.duplicated as f64)),
             ("link_reordered", num(ls.reordered as f64)),
             ("link_corrupted", num(ls.corrupted as f64)),
+            ("engine_seed", num(link.engine().seed() as f64)),
+            ("engine_trace_events", num(link.engine().trace_len() as f64)),
             ("completed", Value::Bool(!failed)),
         ])
     }
@@ -1207,14 +1210,18 @@ mod netbench {
         ];
         let mut rows = Vec::new();
         for (name, cfg) in profiles {
+            // Both generations run over an engine-seeded link: the stamped
+            // engine seed replays the exact fault schedule of any row.
             let clock = Arc::new(SimClock::new());
-            let link = Arc::new(FaultyLink::new(cfg, SEED, Arc::clone(&clock)));
+            let engine = ScenarioEngine::with_clock(SEED, Arc::clone(&clock));
+            let link = Arc::new(FaultyLink::on_engine(cfg, &engine));
             let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
             let b = LegacyStack::new(LegacyCtx::new(), Side::B, link.clone(), Arc::clone(&clock));
             rows.push(drive("legacy", name, cfg, &a, &b, &clock, &link));
 
             let clock = Arc::new(SimClock::new());
-            let link = Arc::new(FaultyLink::new(cfg, SEED, Arc::clone(&clock)));
+            let engine = ScenarioEngine::with_clock(SEED, Arc::clone(&clock));
+            let link = Arc::new(FaultyLink::on_engine(cfg, &engine));
             let registry = Arc::new(Registry::new());
             register_families(&registry).unwrap();
             let a = ModularStack::new(
@@ -1329,7 +1336,10 @@ fn main() {
             "meta",
             obj(vec![
                 ("stream_bytes", num((128 * 1024) as f64)),
-                ("seed", num(42.0)),
+                // The scenario-engine seed every link row runs under;
+                // replaying with this seed reproduces the exact fault
+                // schedule (see DESIGN.md §15).
+                ("engine_seed", num(42.0)),
             ]),
         ),
         ("soak", netbench::bench_netstack()),

@@ -21,6 +21,7 @@
 //! *all three* policies every reachable image recovers to an allowed model.
 
 use sk_ksim::block::{PendingWrite, SECTOR_SIZE};
+use sk_ksim::scenario::EngineStream;
 
 /// Which crash schedules to enumerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +110,82 @@ pub fn crash_images(
                     apply(base, &refs, block_size)
                 })
                 .collect()
+        }
+    }
+}
+
+/// Samples *one* post-crash image reachable under `policy`, drawing the
+/// crash point from a scenario-engine stream.
+///
+/// This is the composed-scenario counterpart of [`crash_images`]: where
+/// exhaustive enumeration checks a harness in isolation, a soak scenario
+/// crashes at an engine-chosen point *while* other subsystems are mid-fault,
+/// and the whole run replays from the one engine seed. The chosen crash
+/// point is logged to the shared trace so a failing image can be read
+/// straight off the trace tail.
+///
+/// Unlike exhaustive [`CrashPolicy::Subsets`], the sampled form accepts up
+/// to 64 pending writes (one mask draw), since sampling never enumerates.
+pub fn sample_crash_image(
+    base: &[u8],
+    pending: &[PendingWrite],
+    block_size: usize,
+    policy: CrashPolicy,
+    stream: &EngineStream,
+) -> Vec<u8> {
+    match policy {
+        CrashPolicy::Prefixes => {
+            let n = stream.gen_range(0..=pending.len());
+            stream.emit(format!("crash prefixes cut={n}/{}", pending.len()));
+            let refs: Vec<&PendingWrite> = pending[..n].iter().collect();
+            apply(base, &refs, block_size)
+        }
+        CrashPolicy::Torn => {
+            let spb = (block_size / SECTOR_SIZE).max(1);
+            let n = stream.gen_range(0..=pending.len());
+            let refs: Vec<&PendingWrite> = pending[..n].iter().collect();
+            let mut img = apply(base, &refs, block_size);
+            // The (n+1)-th write is the one the crash interrupts; draw how
+            // many of its sectors reach media (0 = none, i.e. plain prefix).
+            // The sector draw happens whenever a cut write exists so the
+            // stream offset depends only on (len, n), not on data content.
+            if let Some(cut) = pending.get(n) {
+                let k = stream.gen_range(0..spb);
+                stream.emit(format!(
+                    "crash torn cut={n}/{} blk={} sectors={k}/{spb}",
+                    pending.len(),
+                    cut.blkno
+                ));
+                if k > 0 {
+                    let off = cut.blkno as usize * block_size;
+                    let bytes = k * SECTOR_SIZE;
+                    img[off..off + bytes].copy_from_slice(&cut.data[..bytes]);
+                }
+            } else {
+                stream.emit(format!("crash torn cut={n}/{} (full drain)", pending.len()));
+            }
+            img
+        }
+        CrashPolicy::Subsets => {
+            assert!(
+                pending.len() <= 64,
+                "subset sampling draws one 64-bit mask; bound the workload"
+            );
+            let mask = if pending.is_empty() {
+                0
+            } else if pending.len() == 64 {
+                stream.gen_u64()
+            } else {
+                stream.gen_u64() & ((1u64 << pending.len()) - 1)
+            };
+            stream.emit(format!("crash subsets mask={mask:#x} of={}", pending.len()));
+            let refs: Vec<&PendingWrite> = pending
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1u64 << i) != 0)
+                .map(|(_, w)| w)
+                .collect();
+            apply(base, &refs, block_size)
         }
     }
 }
@@ -290,6 +367,54 @@ mod tests {
         let looped = vec![0u32, 1, 0];
         assert!(judge_with_floor(&looped, 2, &0).is_ok());
         assert!(judge_with_floor(&looped, 2, &1).is_err());
+    }
+
+    #[test]
+    fn sampled_images_are_members_of_the_exhaustive_set() {
+        use sk_ksim::scenario::ScenarioEngine;
+        let bs = 2 * SECTOR_SIZE;
+        let base = vec![0u8; 4 * bs];
+        let pending = vec![w(0, 1, bs), w(1, 2, bs), w(2, 3, bs)];
+        for policy in [
+            CrashPolicy::Prefixes,
+            CrashPolicy::Torn,
+            CrashPolicy::Subsets,
+        ] {
+            let all = crash_images(&base, &pending, bs, policy);
+            let engine = ScenarioEngine::new(7);
+            let stream = engine.stream("crash");
+            for _ in 0..32 {
+                let img = sample_crash_image(&base, &pending, bs, policy, &stream);
+                assert!(
+                    all.contains(&img),
+                    "{policy:?}: sampled an image the exhaustive set cannot reach"
+                );
+            }
+            assert!(engine.trace_text().contains("crash"));
+        }
+    }
+
+    #[test]
+    fn sampled_images_replay_from_the_engine_seed() {
+        use sk_ksim::scenario::ScenarioEngine;
+        let bs = 2 * SECTOR_SIZE;
+        let base = vec![9u8; 4 * bs];
+        let pending = vec![w(1, 4, bs), w(3, 5, bs)];
+        let run = |policy| {
+            let engine = ScenarioEngine::new(0xC4A5);
+            let stream = engine.stream("crash");
+            let imgs: Vec<Vec<u8>> = (0..16)
+                .map(|_| sample_crash_image(&base, &pending, bs, policy, &stream))
+                .collect();
+            (imgs, engine.trace_text())
+        };
+        for policy in [
+            CrashPolicy::Prefixes,
+            CrashPolicy::Torn,
+            CrashPolicy::Subsets,
+        ] {
+            assert_eq!(run(policy), run(policy));
+        }
     }
 
     #[test]

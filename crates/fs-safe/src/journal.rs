@@ -391,6 +391,23 @@ impl Journal {
         self.space.lock().txns.len()
     }
 
+    /// Newest *committed* image of `blkno` still owned by the journal
+    /// (committed but not yet checkpointed), if any. A failed commit
+    /// that already published its images into shared cache buffers uses
+    /// this to roll those buffers back to the last durable content when
+    /// the buffer is also pinned by an earlier transaction and so
+    /// cannot simply be invalidated.
+    pub fn committed_image(&self, blkno: u64) -> Option<Vec<u8>> {
+        let sp = self.space.lock();
+        let seq = *sp.newest_seq.get(&blkno)?;
+        let txn = sp.txns.iter().rev().find(|t| t.seq == seq)?;
+        txn.writes
+            .iter()
+            .rev()
+            .find(|(b, _)| *b == blkno)
+            .map(|(_, data)| data.clone())
+    }
+
     /// Usage counters.
     pub fn stats(&self) -> JournalStats {
         *self.stats.lock()

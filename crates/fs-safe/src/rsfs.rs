@@ -249,12 +249,25 @@ impl<'a> Txn<'a> {
             // pins (clearing Dirty so writeback cannot push the failed
             // images), drain what *is* durable to the homes, then drop
             // our blocks from the cache so reads refetch committed
-            // device state. Blocks still Delay-pinned by other in-flight
-            // transactions are left alone: clobbering them would hide
-            // those transactions' committed images from readers until
-            // the next checkpoint.
+            // device state.
             self.fs.unpin_discard(&pinned);
             let _ = journal.checkpoint_all();
+            // A block still Delay-pinned after our unpin is shared with
+            // an earlier committed-but-uncheckpointed transaction; the
+            // publish above clobbered its buffer with our failed image,
+            // and `invalidate_blocks` below deliberately spares pinned
+            // buffers, so that image would stay visible to readers.
+            // Roll the buffer content back to the journal's newest
+            // committed image for the block.
+            for blkno in &pinned {
+                if let Some(buf) = self.fs.cache.peek(*blkno) {
+                    if buf.test_flag(BhFlag::Delay) {
+                        if let Some(img) = journal.committed_image(*blkno) {
+                            buf.write(|d| d.copy_from_slice(&img));
+                        }
+                    }
+                }
+            }
             self.fs.cache.invalidate_blocks(&pinned);
             return Err(e);
         }

@@ -27,6 +27,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::errno::{Errno, KResult};
+use crate::scenario::{subsys, EngineStream, ScenarioEngine};
 use crate::time::SimClock;
 
 /// Default block size, matching Linux's default page/block size.
@@ -458,7 +459,6 @@ impl DiskFaultConfig {
 
 struct FaultyDiskState {
     cfg: DiskFaultConfig,
-    rng: StdRng,
     injected: DeviceStats,
     reads_seen: u64,
     writes_seen: u64,
@@ -487,19 +487,40 @@ struct FaultyDiskState {
 /// stack must tolerate without corrupting itself. Torn writes model power
 /// loss mid-write: the hardware promises sector atomicity ([`SECTOR_SIZE`])
 /// but nothing block-wide, so only a prefix of the block's sectors lands.
+///
+/// Since the scenario-engine unification, every `FaultyDisk` draws its
+/// fault decisions from a [`ScenarioEngine`]'s `disk` stream and logs each
+/// injected fault to the engine trace. [`FaultyDisk::new`] wraps a private
+/// single-seed engine for standalone use; [`FaultyDisk::on_engine`] joins
+/// a shared scenario so disk, link, and crash schedules all replay from
+/// one seed. Lock discipline: the fault decision is drawn from the stream
+/// (its own short-lived lock), the lock is released, and only then is the
+/// inner device touched — holding the shared stream mutex across device
+/// IO would serialize every other subsystem's fault decisions behind this
+/// disk (the held-across-IO probe test below pins this).
 pub struct FaultyDisk<D> {
     inner: D,
+    engine: Arc<ScenarioEngine>,
+    stream: Arc<EngineStream>,
     state: Mutex<FaultyDiskState>,
 }
 
 impl<D: BlockDevice> FaultyDisk<D> {
-    /// Wraps `inner` with `cfg` fault rates, deterministic under `seed`.
+    /// Wraps `inner` with `cfg` fault rates, deterministic under `seed`
+    /// (a standalone engine is created; see [`FaultyDisk::on_engine`]).
     pub fn new(inner: D, cfg: DiskFaultConfig, seed: u64) -> Self {
+        Self::on_engine(inner, cfg, &ScenarioEngine::new(seed))
+    }
+
+    /// Wraps `inner` with `cfg` fault rates, drawing every decision from
+    /// `engine`'s `disk` stream so one engine seed replays the run.
+    pub fn on_engine(inner: D, cfg: DiskFaultConfig, engine: &Arc<ScenarioEngine>) -> Self {
         FaultyDisk {
             inner,
+            engine: Arc::clone(engine),
+            stream: engine.stream(subsys::DISK),
             state: Mutex::new(FaultyDiskState {
                 cfg,
-                rng: StdRng::seed_from_u64(seed),
                 injected: DeviceStats::default(),
                 reads_seen: 0,
                 writes_seen: 0,
@@ -510,6 +531,11 @@ impl<D: BlockDevice> FaultyDisk<D> {
                 tear_write_at: None,
             }),
         }
+    }
+
+    /// The scenario engine this disk draws from (for trace inspection).
+    pub fn engine(&self) -> &Arc<ScenarioEngine> {
+        &self.engine
     }
 
     /// Replaces the fault rates at runtime.
@@ -577,10 +603,6 @@ impl<D: BlockDevice> FaultyDisk<D> {
     }
 }
 
-fn roll(rng: &mut StdRng, p: f64) -> bool {
-    p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
-}
-
 impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     fn num_blocks(&self) -> u64 {
         self.inner.num_blocks()
@@ -591,28 +613,37 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
-        let corrupt = {
+        // Scheduled one-shot faults are checked (and the IO indexed) under
+        // the state lock; probabilistic decisions are drawn from the
+        // engine stream after it drops, and the inner device is only
+        // touched once neither lock is held.
+        let cfg = {
             let mut st = self.state.lock();
             let idx = st.reads_seen;
             st.reads_seen += 1;
             if st.fail_read_at == Some(idx) {
                 st.fail_read_at = None;
                 st.injected.io_errors += 1;
+                drop(st);
+                self.stream
+                    .emit(format!("read_eio blk={blkno} scheduled#{idx}"));
                 return Err(Errno::EIO);
             }
-            let cfg = st.cfg;
-            if roll(&mut st.rng, cfg.read_eio) {
-                st.injected.io_errors += 1;
-                return Err(Errno::EIO);
-            }
-            roll(&mut st.rng, cfg.read_corrupt)
+            st.cfg
         };
+        if self.stream.roll(cfg.read_eio) {
+            self.state.lock().injected.io_errors += 1;
+            self.stream.emit(format!("read_eio blk={blkno}"));
+            return Err(Errno::EIO);
+        }
+        let corrupt = self.stream.roll(cfg.read_corrupt);
         self.inner.read_block(blkno, buf)?;
         if corrupt {
-            let mut st = self.state.lock();
-            let bit = st.rng.gen_range(0..buf.len() * 8);
+            let bit = self.stream.gen_range(0..buf.len() * 8);
             buf[bit / 8] ^= 1 << (bit % 8);
-            st.injected.corrupt_reads += 1;
+            self.state.lock().injected.corrupt_reads += 1;
+            self.stream
+                .emit(format!("read_corrupt blk={blkno} bit={bit}"));
         }
         Ok(())
     }
@@ -622,37 +653,54 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
         if delay > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(delay));
         }
-        let tear = {
+        let (cfg, scheduled_tear) = {
             let mut st = self.state.lock();
             let idx = st.writes_seen;
             st.writes_seen += 1;
             if st.fail_write_at == Some(idx) {
                 st.fail_write_at = None;
                 st.injected.io_errors += 1;
+                drop(st);
+                self.stream
+                    .emit(format!("write_eio blk={blkno} scheduled#{idx}"));
                 return Err(Errno::EIO);
             }
             if let Some((at, keep)) = st.tear_write_at {
                 if at == idx {
                     st.tear_write_at = None;
                     st.injected.torn_writes += 1;
+                    drop(st);
+                    self.stream.emit(format!(
+                        "torn_write blk={blkno} keep={keep} scheduled#{idx}"
+                    ));
+                    (None, Some(keep))
+                } else {
+                    (Some(st.cfg), None)
+                }
+            } else {
+                (Some(st.cfg), None)
+            }
+        };
+        let tear = match (cfg, scheduled_tear) {
+            (_, Some(keep)) => Some(keep),
+            (Some(cfg), None) => {
+                if self.stream.roll(cfg.write_eio) {
+                    self.state.lock().injected.io_errors += 1;
+                    self.stream.emit(format!("write_eio blk={blkno}"));
+                    return Err(Errno::EIO);
+                }
+                if self.stream.roll(cfg.torn_write) {
+                    let spb = (self.inner.block_size() / SECTOR_SIZE).max(2);
+                    let keep = self.stream.gen_range(1..spb);
+                    self.state.lock().injected.torn_writes += 1;
+                    self.stream
+                        .emit(format!("torn_write blk={blkno} keep={keep}"));
                     Some(keep)
                 } else {
                     None
                 }
-            } else {
-                let cfg = st.cfg;
-                if roll(&mut st.rng, cfg.write_eio) {
-                    st.injected.io_errors += 1;
-                    return Err(Errno::EIO);
-                }
-                if roll(&mut st.rng, cfg.torn_write) {
-                    st.injected.torn_writes += 1;
-                    let spb = (self.inner.block_size() / SECTOR_SIZE).max(2);
-                    Some(st.rng.gen_range(1..spb))
-                } else {
-                    None
-                }
             }
+            (None, None) => None,
         };
         match tear {
             None => self.inner.write_block(blkno, buf),
@@ -675,20 +723,23 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
         if delay > 0 {
             std::thread::sleep(std::time::Duration::from_nanos(delay));
         }
-        {
+        let cfg = {
             let mut st = self.state.lock();
             let idx = st.flushes_seen;
             st.flushes_seen += 1;
             if st.fail_flush_at == Some(idx) {
                 st.fail_flush_at = None;
                 st.injected.io_errors += 1;
+                drop(st);
+                self.stream.emit(format!("flush_eio scheduled#{idx}"));
                 return Err(Errno::EIO);
             }
-            let cfg = st.cfg;
-            if roll(&mut st.rng, cfg.flush_eio) {
-                st.injected.io_errors += 1;
-                return Err(Errno::EIO);
-            }
+            st.cfg
+        };
+        if self.stream.roll(cfg.flush_eio) {
+            self.state.lock().injected.io_errors += 1;
+            self.stream.emit("flush_eio");
+            return Err(Errno::EIO);
         }
         self.inner.flush()
     }
@@ -1220,9 +1271,111 @@ mod tests {
                 outcomes.push(d.read_block(i % 16, &mut out).is_ok());
             }
             outcomes.push(d.flush().is_ok());
-            (outcomes, d.injected())
+            // The trace is part of the replay contract: same seed, same
+            // fault schedule, byte-identical trace text.
+            (outcomes, d.injected(), d.engine().trace_text())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn faulty_disk_logs_injected_faults_to_the_engine_trace() {
+        let engine = ScenarioEngine::new(5);
+        let d = FaultyDisk::on_engine(RamDisk::new(8), DiskFaultConfig::default(), &engine);
+        let b = vec![1u8; BLOCK_SIZE];
+        d.fail_nth_write(0);
+        assert_eq!(d.write_block(2, &b), Err(Errno::EIO));
+        d.tear_nth_write(0, 2);
+        d.write_block(3, &b).unwrap();
+        d.fail_nth_flush(0);
+        assert_eq!(d.flush(), Err(Errno::EIO));
+        let text = engine.trace_text();
+        assert!(text.contains("write_eio blk=2 scheduled#0"), "{text}");
+        assert!(text.contains("torn_write blk=3 keep=2"), "{text}");
+        assert!(text.contains("flush_eio scheduled#"), "{text}");
+        // Successful, un-faulted IO stays out of the trace.
+        d.write_block(4, &b).unwrap();
+        assert_eq!(engine.trace_len(), 3);
+    }
+
+    /// Satellite-2 regression: the fault decision is drawn from the
+    /// engine stream and the stream lock *released* before the inner
+    /// device is touched. The probe device asserts the stream mutex is
+    /// free inside every inner call — if a refactor ever moves the draw
+    /// back under a lock held across IO (serializing every subsystem's
+    /// fault decisions behind the slowest disk, and deadlocking any
+    /// inner device that itself draws from the engine), this fails at
+    /// the exact offending call instead of as a distant soak timeout.
+    #[test]
+    fn faulty_disk_never_holds_the_stream_lock_across_inner_io() {
+        struct Probe {
+            inner: RamDisk,
+            stream: Arc<EngineStream>,
+        }
+        impl Probe {
+            fn check(&self, op: &str) {
+                assert!(
+                    !self.stream.locked_now(),
+                    "disk stream lock held across inner {op}"
+                );
+            }
+        }
+        impl BlockDevice for Probe {
+            fn num_blocks(&self) -> u64 {
+                self.inner.num_blocks()
+            }
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+                self.check("read");
+                self.inner.read_block(blkno, buf)
+            }
+            fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+                self.check("write");
+                self.inner.write_block(blkno, buf)
+            }
+            fn flush(&self) -> KResult<()> {
+                self.check("flush");
+                self.inner.flush()
+            }
+            fn stats(&self) -> DeviceStats {
+                self.inner.stats()
+            }
+        }
+
+        let engine = ScenarioEngine::new(0xD15C);
+        let probe = Probe {
+            inner: RamDisk::new(16),
+            stream: engine.stream(subsys::DISK),
+        };
+        // Every fault class armed, plus the slow-disk delay knobs, so the
+        // probe sees the full decision surface: plain writes, torn-write
+        // merges (inner read + write), corrupt reads, and flush barriers.
+        let cfg = DiskFaultConfig {
+            read_eio: 0.1,
+            write_eio: 0.1,
+            flush_eio: 0.1,
+            read_corrupt: 0.2,
+            torn_write: 0.3,
+            write_delay_ns: 50,
+            flush_delay_ns: 50,
+        };
+        let d = FaultyDisk::on_engine(probe, cfg, &engine);
+        let b = vec![9u8; BLOCK_SIZE];
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for i in 0..200u64 {
+            let _ = d.write_block(i % 16, &b);
+            let _ = d.read_block(i % 16, &mut out);
+            if i % 16 == 0 {
+                let _ = d.flush();
+            }
+        }
+        let inj = d.injected();
+        assert!(
+            inj.io_errors > 0 && inj.torn_writes > 0 && inj.corrupt_reads > 0,
+            "probe run must actually exercise the fault paths: {inj:?}"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod errno;
 pub mod kalloc;
 pub mod klog;
 pub mod lock;
+pub mod scenario;
 pub mod time;
 pub mod workqueue;
 
@@ -44,5 +45,6 @@ pub use elevator::ElevatorDevice;
 pub use errno::{Errno, KResult};
 pub use kalloc::{Arena, ObjRef};
 pub use lock::{KLock, LockRegistry};
+pub use scenario::{EngineStream, ScenarioEngine, TraceEvent};
 pub use time::SimClock;
 pub use workqueue::{Flusher, WorkQueue};

@@ -1,0 +1,437 @@
+//! The unified deterministic fault-scenario engine.
+//!
+//! Before this module, every fault harness in the workspace — the
+//! adversarial disk ([`crate::block::FaultyDisk`]), the adversarial link
+//! (`sk-netstack::fault::FaultyLink`), the crash-schedule enumeration
+//! (`sk-core::spec::crash`), and the soak-test stress schedules — carried
+//! its *own* `seed: u64` and its own private `StdRng`. Each harness was
+//! individually reproducible, but a run that composed them was not: four
+//! seeds, four clocks'-worth of interleaving, no single number that
+//! replays the failure. The scenarios most likely to break the
+//! ring/journal/netstack interplay (disk `EIO` mid-checkpoint during a
+//! retransmit storm) were inexpressible.
+//!
+//! [`ScenarioEngine`] is the FoundationDB-style fix: **one seed, one
+//! virtual clock, one trace**. Every harness derives its RNG stream from
+//! the engine seed (`seed ^ fnv1a(subsystem)`, see [`subsystem_tag`]), so
+//! - a single `--seed N` reconstructs every stream in the run, and
+//! - streams stay *independent*: drawing more disk faults never perturbs
+//!   the link schedule, which keeps shrunk repros stable.
+//!
+//! Every injected fault is appended to a shared bounded trace in the
+//! format `(event, subsystem, tick, seed-offset)`: `tick` is the engine's
+//! [`SimClock`] at emission and `seed-offset` is how many values that
+//! subsystem's stream had drawn, so two traces are byte-identical iff the
+//! two runs made identical fault decisions at identical virtual times.
+//! Trace equality is itself under test (`tests/soak.rs`), which is what
+//! makes "replay from the logged seed" a checked guarantee instead of a
+//! convention.
+//!
+//! Locking discipline: a stream's RNG lives behind its own mutex, and the
+//! draw helpers release it before returning — a harness must **draw the
+//! fault decision first, then touch the device**, never holding the
+//! stream lock across inner IO (that would serialize every subsystem's
+//! fault decisions behind the slowest device; see
+//! [`EngineStream::locked_now`] and the probe test in `block.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+use crate::time::SimClock;
+
+/// Canonical subsystem names, so traces from different runs line up.
+pub mod subsys {
+    /// Block-device fault injection (`FaultyDisk`).
+    pub const DISK: &str = "disk";
+    /// Network-link fault injection (`FaultyLink`).
+    pub const LINK: &str = "link";
+    /// Crash-point selection over pending write caches.
+    pub const CRASH: &str = "crash";
+    /// Randomized workload / stress-schedule decisions.
+    pub const WORKLOAD: &str = "workload";
+}
+
+/// FNV-1a hash of a subsystem name: the per-subsystem seed tag.
+///
+/// Stream seeds are `engine_seed ^ subsystem_tag(name)`, so every
+/// harness stream is pinned by the *one* engine seed while distinct
+/// subsystems still get decorrelated streams.
+pub fn subsystem_tag(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Maximum trace events retained (oldest dropped first). Bounded so
+/// week-long soaks cannot grow without limit; the tail — which is what a
+/// failure report prints — is always intact.
+pub const TRACE_CAP: usize = 8192;
+
+/// One entry in the shared scenario trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time ([`SimClock`] ns) when the event was emitted.
+    pub tick: u64,
+    /// Which subsystem stream emitted it (see [`subsys`]).
+    pub subsystem: &'static str,
+    /// How many values the subsystem's stream had drawn at emission —
+    /// the replay cursor into that stream.
+    pub seed_offset: u64,
+    /// Human-readable description of the fault decision.
+    pub event: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t={}ns {}+{}] {}",
+            self.tick, self.subsystem, self.seed_offset, self.event
+        )
+    }
+}
+
+/// Bounded trace shared by the engine and all of its streams.
+struct TraceBuf {
+    events: VecDeque<TraceEvent>,
+    /// Total events ever emitted, including ones the cap evicted.
+    total: u64,
+}
+
+/// One seeded discrete-event scenario: a seed, a virtual clock, and the
+/// derived per-subsystem RNG streams, all feeding one trace.
+///
+/// Construction is cheap; harnesses hold `Arc<ScenarioEngine>` and ask
+/// for their stream by name. Requesting the same name twice returns the
+/// *same* stream, so two `FaultyDisk`s on one engine share one disk
+/// schedule — composition, not accidental reseeding.
+pub struct ScenarioEngine {
+    seed: u64,
+    clock: Arc<SimClock>,
+    trace: Arc<Mutex<TraceBuf>>,
+    streams: Mutex<HashMap<&'static str, Arc<EngineStream>>>,
+}
+
+impl ScenarioEngine {
+    /// An engine with a fresh virtual clock at t = 0.
+    pub fn new(seed: u64) -> Arc<ScenarioEngine> {
+        ScenarioEngine::with_clock(seed, Arc::new(SimClock::new()))
+    }
+
+    /// An engine sharing an existing virtual clock (so device latency and
+    /// link delays tick on the same timeline).
+    pub fn with_clock(seed: u64, clock: Arc<SimClock>) -> Arc<ScenarioEngine> {
+        Arc::new(ScenarioEngine {
+            seed,
+            clock,
+            trace: Arc::new(Mutex::new(TraceBuf {
+                events: VecDeque::new(),
+                total: 0,
+            })),
+            streams: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The one seed that replays this scenario.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The one virtual clock every event source ticks on.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The derived stream for `name`, created on first request and shared
+    /// afterwards. Stream seed: `engine_seed ^ subsystem_tag(name)`.
+    pub fn stream(&self, name: &'static str) -> Arc<EngineStream> {
+        let mut streams = self.streams.lock();
+        Arc::clone(streams.entry(name).or_insert_with(|| {
+            Arc::new(EngineStream {
+                name,
+                clock: Arc::clone(&self.clock),
+                trace: Arc::clone(&self.trace),
+                state: Mutex::new(StreamState {
+                    rng: StdRng::seed_from_u64(self.seed ^ subsystem_tag(name)),
+                    draws: 0,
+                }),
+            })
+        }))
+    }
+
+    /// Snapshot of the retained trace window, oldest first.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace.lock().events.iter().cloned().collect()
+    }
+
+    /// Total events emitted over the engine's lifetime (including any the
+    /// retention cap evicted).
+    pub fn trace_len(&self) -> u64 {
+        self.trace.lock().total
+    }
+
+    /// The whole retained trace, one event per line — the byte string two
+    /// same-seed runs must agree on.
+    pub fn trace_text(&self) -> String {
+        let buf = self.trace.lock();
+        let mut out = String::new();
+        for ev in &buf.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The last `n` trace lines — what a failing scenario prints so the
+    /// seed plus the tail land in the CI job output.
+    pub fn trace_tail(&self, n: usize) -> String {
+        let buf = self.trace.lock();
+        let skip = buf.events.len().saturating_sub(n);
+        let mut out = String::new();
+        for ev in buf.events.iter().skip(skip) {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ScenarioEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioEngine")
+            .field("seed", &self.seed)
+            .field("tick", &self.clock.now_ns())
+            .field("trace_len", &self.trace_len())
+            .finish()
+    }
+}
+
+struct StreamState {
+    rng: StdRng,
+    draws: u64,
+}
+
+/// A per-subsystem RNG stream plus its trace hookup.
+///
+/// Draw helpers take the internal lock only for the draw itself; callers
+/// must make the fault decision first and touch devices after, so the
+/// stream mutex is never held across blocking IO.
+pub struct EngineStream {
+    name: &'static str,
+    clock: Arc<SimClock>,
+    trace: Arc<Mutex<TraceBuf>>,
+    state: Mutex<StreamState>,
+}
+
+impl EngineStream {
+    /// The subsystem name this stream was derived for.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of values drawn from this stream so far (the seed-offset
+    /// stamped on trace events).
+    pub fn draws(&self) -> u64 {
+        self.state.lock().draws
+    }
+
+    /// Bernoulli draw. Counts as one draw even for `p = 1.0`.
+    pub fn gen_bool(&self, p: f64) -> bool {
+        let mut st = self.state.lock();
+        st.draws += 1;
+        st.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Probability roll with the same no-draw-at-zero contract the
+    /// harnesses' private `roll` helpers had: `p <= 0` consumes nothing
+    /// from the stream, so disabling a fault class leaves every other
+    /// decision in the run unchanged.
+    pub fn roll(&self, p: f64) -> bool {
+        p > 0.0 && self.gen_bool(p)
+    }
+
+    /// Uniform draw from `range`.
+    pub fn gen_range<T, R>(&self, range: R) -> T
+    where
+        T: rand::SampleUniform,
+        R: SampleRange<T>,
+    {
+        let mut st = self.state.lock();
+        st.draws += 1;
+        st.rng.gen_range(range)
+    }
+
+    /// One raw `u64` (for deriving nested seeds in workload schedules).
+    pub fn gen_u64(&self) -> u64 {
+        let mut st = self.state.lock();
+        st.draws += 1;
+        st.rng.gen()
+    }
+
+    /// Appends an event to the shared trace, stamped with the current
+    /// virtual tick and this stream's draw count.
+    pub fn emit(&self, event: impl Into<String>) {
+        let ev = TraceEvent {
+            tick: self.clock.now_ns(),
+            subsystem: self.name,
+            seed_offset: self.draws(),
+            event: event.into(),
+        };
+        let mut buf = self.trace.lock();
+        buf.total += 1;
+        if buf.events.len() == TRACE_CAP {
+            buf.events.pop_front();
+        }
+        buf.events.push_back(ev);
+    }
+
+    /// True if some thread currently holds this stream's RNG lock. The
+    /// held-across-IO probe: a wrapped inner device asserts this is
+    /// `false` inside its read/write path, proving the fault harness
+    /// dropped the lock before touching the device.
+    pub fn locked_now(&self) -> bool {
+        self.state.try_lock().is_none()
+    }
+}
+
+impl fmt::Debug for EngineStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineStream")
+            .field("name", &self.name)
+            .field("draws", &self.draws())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsystem_tags_are_distinct_and_stable() {
+        let tags = [
+            subsystem_tag(subsys::DISK),
+            subsystem_tag(subsys::LINK),
+            subsystem_tag(subsys::CRASH),
+            subsystem_tag(subsys::WORKLOAD),
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b, "subsystem tags must not collide");
+            }
+        }
+        // FNV-1a is a fixed function: the tag is part of the replay
+        // contract and must never drift between builds.
+        assert_eq!(subsystem_tag("disk"), subsystem_tag("disk"));
+    }
+
+    #[test]
+    fn same_name_returns_the_same_stream() {
+        let eng = ScenarioEngine::new(7);
+        let a = eng.stream(subsys::DISK);
+        let b = eng.stream(subsys::DISK);
+        assert!(Arc::ptr_eq(&a, &b), "streams are shared, not reseeded");
+        a.gen_u64();
+        assert_eq!(b.draws(), 1);
+    }
+
+    #[test]
+    fn streams_are_decorrelated_but_seed_pinned() {
+        let run = |seed: u64| {
+            let eng = ScenarioEngine::new(seed);
+            let disk = eng.stream(subsys::DISK);
+            let link = eng.stream(subsys::LINK);
+            let d: Vec<u64> = (0..8).map(|_| disk.gen_u64()).collect();
+            let l: Vec<u64> = (0..8).map(|_| link.gen_u64()).collect();
+            (d, l)
+        };
+        let (d1, l1) = run(42);
+        let (d2, l2) = run(42);
+        assert_eq!(d1, d2, "disk stream replays from the engine seed");
+        assert_eq!(l1, l2, "link stream replays from the engine seed");
+        assert_ne!(d1, l1, "distinct subsystems draw distinct streams");
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3, "different engine seed, different stream");
+    }
+
+    #[test]
+    fn draw_interleaving_does_not_couple_streams() {
+        // Drawing extra disk values must not perturb the link stream:
+        // this is what keeps a shrunk repro stable when one subsystem's
+        // workload changes.
+        let eng1 = ScenarioEngine::new(9);
+        let l1: Vec<u64> = {
+            let link = eng1.stream(subsys::LINK);
+            (0..4).map(|_| link.gen_u64()).collect()
+        };
+        let eng2 = ScenarioEngine::new(9);
+        let disk = eng2.stream(subsys::DISK);
+        for _ in 0..100 {
+            disk.gen_u64();
+        }
+        let l2: Vec<u64> = {
+            let link = eng2.stream(subsys::LINK);
+            (0..4).map(|_| link.gen_u64()).collect()
+        };
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn trace_records_tick_subsystem_and_seed_offset() {
+        let eng = ScenarioEngine::new(1);
+        let disk = eng.stream(subsys::DISK);
+        disk.gen_u64();
+        eng.clock().advance(500);
+        disk.emit("write_eio blk=3");
+        let tr = eng.trace();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].tick, 500);
+        assert_eq!(tr[0].subsystem, subsys::DISK);
+        assert_eq!(tr[0].seed_offset, 1);
+        assert_eq!(tr[0].event, "write_eio blk=3");
+        assert_eq!(tr[0].to_string(), "[t=500ns disk+1] write_eio blk=3");
+    }
+
+    #[test]
+    fn trace_is_bounded_but_counts_everything() {
+        let eng = ScenarioEngine::new(2);
+        let s = eng.stream(subsys::WORKLOAD);
+        for i in 0..(TRACE_CAP + 10) {
+            s.emit(format!("e{i}"));
+        }
+        assert_eq!(eng.trace().len(), TRACE_CAP);
+        assert_eq!(eng.trace_len(), (TRACE_CAP + 10) as u64);
+        let tail = eng.trace_tail(2);
+        assert!(tail.contains(&format!("e{}", TRACE_CAP + 9)), "{tail}");
+        assert_eq!(tail.lines().count(), 2);
+    }
+
+    #[test]
+    fn roll_at_zero_consumes_nothing() {
+        let eng = ScenarioEngine::new(3);
+        let s = eng.stream(subsys::DISK);
+        assert!(!s.roll(0.0));
+        assert_eq!(s.draws(), 0, "disabled fault classes draw nothing");
+        s.roll(0.5);
+        assert_eq!(s.draws(), 1);
+    }
+
+    #[test]
+    fn locked_now_reflects_the_stream_lock() {
+        let eng = ScenarioEngine::new(4);
+        let s = eng.stream(subsys::DISK);
+        assert!(!s.locked_now());
+        let guard = s.state.lock();
+        assert!(s.locked_now());
+        drop(guard);
+        assert!(!s.locked_now());
+    }
+}

@@ -14,13 +14,12 @@
 //! never delivered garbage.
 
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sk_ksim::errno::KResult;
 use std::sync::Arc;
 
 use crate::packet::Packet;
 use crate::wire::{Link, LinkStats, Side};
+use sk_ksim::scenario::{subsys, EngineStream, ScenarioEngine};
 use sk_ksim::time::SimClock;
 
 /// Fault probabilities and parameters, all independent per frame.
@@ -65,31 +64,54 @@ struct Held {
 struct FaultyInner {
     a_to_b: Vec<Held>,
     b_to_a: Vec<Held>,
-    rng: StdRng,
     stats: LinkStats,
 }
 
 /// A duplex link with seeded, configurable fault injection.
+///
+/// All fault decisions are drawn from the engine's `link` stream, so a
+/// link sharing a [`ScenarioEngine`] with a [`sk_ksim::block::FaultyDisk`]
+/// replays from the *one* engine seed, and every injected fault lands in
+/// the shared scenario trace.
 pub struct FaultyLink {
     inner: Mutex<FaultyInner>,
     cfg: FaultConfig,
     clock: Arc<SimClock>,
+    engine: Arc<ScenarioEngine>,
+    stream: Arc<EngineStream>,
 }
 
 impl FaultyLink {
     /// A link with `cfg` faults, deterministic under `seed`. Delays are
     /// measured on `clock` — the same simulated clock the stacks tick on.
+    ///
+    /// Convenience for standalone use: wraps a private [`ScenarioEngine`]
+    /// around `seed` + `clock`. To compose with other fault harnesses
+    /// under one seed, build the engine yourself and use
+    /// [`FaultyLink::on_engine`].
     pub fn new(cfg: FaultConfig, seed: u64, clock: Arc<SimClock>) -> FaultyLink {
+        Self::on_engine(cfg, &ScenarioEngine::with_clock(seed, clock))
+    }
+
+    /// A link drawing its fault decisions from `engine`'s `link` stream
+    /// and measuring delays on the engine's virtual clock.
+    pub fn on_engine(cfg: FaultConfig, engine: &Arc<ScenarioEngine>) -> FaultyLink {
         FaultyLink {
             inner: Mutex::new(FaultyInner {
                 a_to_b: Vec::new(),
                 b_to_a: Vec::new(),
-                rng: StdRng::seed_from_u64(seed),
                 stats: LinkStats::default(),
             }),
             cfg,
-            clock,
+            clock: Arc::clone(engine.clock()),
+            engine: Arc::clone(engine),
+            stream: engine.stream(subsys::LINK),
         }
+    }
+
+    /// The scenario engine this link draws from.
+    pub fn engine(&self) -> &Arc<ScenarioEngine> {
+        &self.engine
     }
 
     /// Fault/traffic counters so far.
@@ -98,33 +120,64 @@ impl FaultyLink {
     }
 }
 
-fn hit(rng: &mut StdRng, p: f64) -> bool {
-    p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
+fn side_tag(side: Side) -> &'static str {
+    match side {
+        Side::A => "A",
+        Side::B => "B",
+    }
 }
 
 impl Link for FaultyLink {
     fn send(&self, side: Side, pkt: &Packet) {
         let now = self.clock.now_ns();
-        let inner = &mut *self.inner.lock();
-        inner.stats.sent += 1;
-        if hit(&mut inner.rng, self.cfg.drop) {
+        // Draw every fault decision from the engine stream *before*
+        // taking the queue lock — decisions are a pure function of the
+        // stream, queue mutation is a pure function of the decisions.
+        // Draw order matches the pre-engine harness: drop, corrupt(+bit),
+        // delay, duplicate, reorder.
+        if self.stream.roll(self.cfg.drop) {
+            self.stream.emit(format!("drop side={}", side_tag(side)));
+            let inner = &mut *self.inner.lock();
+            inner.stats.sent += 1;
             inner.stats.dropped += 1;
             return;
         }
         let mut frame = pkt.encode();
-        if hit(&mut inner.rng, self.cfg.corrupt) {
-            let bit = inner.rng.gen_range(0..frame.len() * 8);
+        let corrupted = if self.stream.roll(self.cfg.corrupt) {
+            let bit = self.stream.gen_range(0..frame.len() * 8);
             frame[bit / 8] ^= 1 << (bit % 8);
-            inner.stats.corrupted += 1;
-        }
-        let release_at = if hit(&mut inner.rng, self.cfg.delay) {
-            inner.stats.delayed += 1;
+            self.stream
+                .emit(format!("corrupt side={} bit={bit}", side_tag(side)));
+            true
+        } else {
+            false
+        };
+        let delayed = self.stream.roll(self.cfg.delay);
+        let release_at = if delayed {
+            self.stream.emit(format!(
+                "delay side={} until={}",
+                side_tag(side),
+                now + self.cfg.delay_ns
+            ));
             now + self.cfg.delay_ns
         } else {
             now
         };
-        let dup = hit(&mut inner.rng, self.cfg.duplicate);
-        let reorder = hit(&mut inner.rng, self.cfg.reorder);
+        let dup = self.stream.roll(self.cfg.duplicate);
+        if dup {
+            self.stream
+                .emit(format!("duplicate side={}", side_tag(side)));
+        }
+        let reorder = self.stream.roll(self.cfg.reorder);
+
+        let inner = &mut *self.inner.lock();
+        inner.stats.sent += 1;
+        if corrupted {
+            inner.stats.corrupted += 1;
+        }
+        if delayed {
+            inner.stats.delayed += 1;
+        }
         let queue = match side {
             Side::A => &mut inner.a_to_b,
             Side::B => &mut inner.b_to_a,
@@ -139,6 +192,7 @@ impl Link for FaultyLink {
         }
         if reorder && queue.len() >= 2 {
             inner.stats.reordered += 1;
+            self.stream.emit(format!("reorder side={}", side_tag(side)));
             let n = queue.len();
             queue.swap(n - 1, n - 2);
         }
@@ -296,6 +350,33 @@ mod tests {
             rest += 1;
         }
         assert_eq!(first_batch.len() + rest, 20);
+    }
+
+    #[test]
+    fn engine_backed_link_replays_faults_and_trace_from_one_seed() {
+        let run = || {
+            let engine = ScenarioEngine::new(99);
+            let l = FaultyLink::on_engine(FaultConfig::adversarial(100), &engine);
+            for s in 1..=50 {
+                l.send(Side::A, &pkt(s));
+            }
+            let mut got = Vec::new();
+            loop {
+                match l.recv(Side::B) {
+                    Ok(Some(p)) => got.push(p.src_port),
+                    Ok(None) => break,
+                    Err(_) => got.push(0),
+                }
+            }
+            (got, l.stats(), engine.trace_text())
+        };
+        let (a, b) = (run(), run());
+        assert!(
+            a.2.contains("[t=") && a.2.contains("link+"),
+            "link faults must land in the shared trace: {}",
+            a.2
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

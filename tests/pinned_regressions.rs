@@ -1,0 +1,271 @@
+//! Pinned regression tests promoted from `tests/*.proptest-regressions`.
+//!
+//! A proptest shrink file replays silently inside its property — useful,
+//! but invisible: nothing names the bug, and deleting the file deletes
+//! the coverage. Every `cc` hash recorded in a regressions file gets an
+//! explicit named test here (annotated `// PINNED: cc <hash>`) that
+//! replays the shrunk case deterministically, and the guard test at the
+//! bottom fails CI whenever a regressions file records a shrink with no
+//! matching pinned test.
+
+use std::sync::Arc;
+
+use safer_kernel::core::modularity::Registry;
+use safer_kernel::core::spec::Refines;
+use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
+use safer_kernel::ksim::block::{BlockDevice, RamDisk};
+use safer_kernel::legacy::LegacyCtx;
+use safer_kernel::netstack::packet::{flags, proto, Packet};
+use safer_kernel::netstack::spec::StreamChecker;
+use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
+use safer_kernel::vfs::modular::FileSystem;
+use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
+use safer_kernel::vfs::shim::LegacyFsAdapter;
+use safer_kernel::vfs::spec::{normalize, FsModel};
+
+// ---------------------------------------------------------------------------
+// netstack_props: tcp_prefix_delivery_under_arbitrary_faults shrinks
+// ---------------------------------------------------------------------------
+
+/// The prefix-delivery driver from `netstack_props`, with plain asserts
+/// so each pinned case reports under its own name.
+fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]) {
+    let wire = Arc::new(Wire::with_faults(WireFaults { loss, duplicate }, seed));
+    let mut a = TcpPcb::new(1000, 100);
+    let mut b = TcpPcb::new(80, 9000);
+    b.listen();
+    wire.send(Side::A, &a.connect(80, 0));
+    let mut chk = StreamChecker::new();
+    let mut submitted = 0usize;
+    let mut now = 0u64;
+    for _round in 0..3000 {
+        now += DEFAULT_RTO_NS / 4;
+        while let Ok(Some(pkt)) = wire.recv(Side::B) {
+            for r in b.on_packet(&pkt, now) {
+                wire.send(Side::B, &r);
+            }
+        }
+        while let Ok(Some(pkt)) = wire.recv(Side::A) {
+            for r in a.on_packet(&pkt, now) {
+                wire.send(Side::A, &r);
+            }
+        }
+        if submitted < chunks.len() && a.state == TcpState::Established {
+            chk.on_send(&chunks[submitted]);
+            for p in a.send(&chunks[submitted], now) {
+                wire.send(Side::A, &p);
+            }
+            submitted += 1;
+        }
+        let got = b.take_received();
+        if !got.is_empty() {
+            chk.on_deliver(&got);
+        }
+        assert!(chk.is_clean(), "{:?}", chk.violations());
+        chk.model()
+            .check_invariant()
+            .expect("stream model invariant");
+        if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
+            break;
+        }
+        if a.is_failed() || b.is_failed() {
+            break;
+        }
+        for p in a.tick(now) {
+            wire.send(Side::A, &p);
+        }
+        for p in b.tick(now) {
+            wire.send(Side::B, &p);
+        }
+    }
+    assert!(
+        chk.model().is_complete() || a.is_failed() || b.is_failed(),
+        "stream neither completed nor failed cleanly"
+    );
+}
+
+// PINNED: cc 5d1e6f0a9c44b8e2c07a3b61d2f98c4e71a0d35b86e4f217c9358d0ab1462e93
+// shrinks to data = [0], rst_after = 0 — a blind RST with seq 0 killed a
+// synchronized connection before the rcv_nxt window check ran.
+#[test]
+fn blind_rst_with_seq_zero_must_not_kill_a_synchronized_connection() {
+    let wire = Arc::new(Wire::new());
+    let mut a = TcpPcb::new(1000, 100);
+    let mut b = TcpPcb::new(80, 9000);
+    b.listen();
+    wire.send(Side::A, &a.connect(80, 0));
+    let data = [0u8]; // the shrunk payload
+    let mut now = 0u64;
+    for round in 0..8 {
+        now += 1;
+        while let Ok(Some(pkt)) = wire.recv(Side::B) {
+            for r in b.on_packet(&pkt, now) {
+                wire.send(Side::B, &r);
+            }
+        }
+        while let Ok(Some(pkt)) = wire.recv(Side::A) {
+            for r in a.on_packet(&pkt, now) {
+                wire.send(Side::A, &r);
+            }
+        }
+        if round == 1 {
+            for p in a.send(&data, now) {
+                wire.send(Side::A, &p);
+            }
+        }
+        if round == 2 {
+            // rst_after = 0: the attack lands as soon as data flowed.
+            // rcv_nxt is now ISS+1+len, so seq 0 is out of window; the
+            // historical bug honoured it anyway.
+            assert_ne!(b.rcv_nxt, 0, "payload must have advanced rcv_nxt");
+            let mut rst = Packet::new(proto::TCP, 1000, 80);
+            rst.flags = flags::RST;
+            rst.seq = 0;
+            b.on_packet(&rst, now);
+        }
+    }
+    assert_eq!(b.take_received(), &data, "delivery survives the blind RST");
+    assert_eq!(
+        b.state,
+        TcpState::Established,
+        "blind out-of-window RST must be ignored"
+    );
+    assert_eq!(b.counters.resets_received, 0, "blind RSTs are not counted");
+
+    // Control: a genuinely in-window RST still kills the connection.
+    let mut rst = Packet::new(proto::TCP, 1000, 80);
+    rst.flags = flags::RST;
+    rst.seq = b.rcv_nxt;
+    b.on_packet(&rst, now);
+    assert_eq!(b.state, TcpState::Closed);
+    assert_eq!(b.counters.resets_received, 1);
+}
+
+// PINNED: cc 0c47fb92e8a15d63b7d90412ffae68c52e3b1d7a40c8569f1e2d84a6035c7b18
+// shrinks to seed = 3, chunks = [[7; 500]; 4] — out-of-order reassembly
+// entries covered by a cumulative ACK were never purged, wedging
+// reassembly after sequence wraparound. Loss plus duplication is what
+// populated the ooo map in the shrunk schedule.
+#[test]
+fn ooo_entries_covered_by_a_cumulative_ack_are_purged() {
+    prefix_delivery_case(3, 0.3, 0.2, &vec![vec![7u8; 500]; 4]);
+}
+
+// PINNED: cc 81b3d4c6a25e90f71c6a85d3042efb19d7c2a40e63f58b1490de7a2c5163f08d
+// shrinks to seed = 42, loss = 0.5, duplicate = 0.0, chunks = [[0]] —
+// retry-budget exhaustion left in_flight populated and ticked forever
+// instead of reporting a clean connection failure.
+#[test]
+fn retry_budget_exhaustion_reports_a_clean_failure() {
+    prefix_delivery_case(42, 0.5, 0.0, &[vec![0u8]]);
+}
+
+// ---------------------------------------------------------------------------
+// refinement_props: rsfs_refines_the_model shrink
+// ---------------------------------------------------------------------------
+
+fn mount_rsfs() -> Vfs {
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Rsfs::mkfs(&dev, 256, 64).unwrap();
+    let fs = Rsfs::mount(dev, JournalMode::PerOp).unwrap();
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "rsfs", Arc::new(fs) as Arc<dyn FileSystem>)
+        .unwrap();
+    Vfs::mount(&registry).unwrap()
+}
+
+fn mount_cext4() -> Vfs {
+    use safer_kernel::fs_legacy::{cext4_ops, BugKnobs, Cext4};
+    let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
+    Cext4::mkfs(&dev, 256).unwrap();
+    let ctx = LegacyCtx::new();
+    let fs = Arc::new(Cext4::mount(dev, ctx.clone(), Arc::new(BugKnobs::none())).unwrap());
+    let adapter = LegacyFsAdapter::new(Arc::new(cext4_ops(fs)), ctx);
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "cext4",
+            Arc::new(adapter) as Arc<dyn FileSystem>,
+        )
+        .unwrap();
+    Vfs::mount(&registry).unwrap()
+}
+
+// PINNED: cc a6a2328a27b6a432442ae906080c160f83bb2a4da4a0e376485220871035715e
+// shrinks to ops = [Mkdir("/c"), Rename("/c", "/c/z")] — renaming a
+// directory into its own subtree must fail on both generations exactly
+// as the model rejects it, instead of orphaning the subtree.
+#[test]
+fn rename_into_own_subtree_is_rejected_like_the_model() {
+    for (label, vfs) in [("rsfs", mount_rsfs()), ("cext4", mount_cext4())] {
+        let mut model = FsModel::new();
+        vfs.mkdir("/c").unwrap();
+        model = model.mkdir(&normalize("/c").unwrap()).unwrap();
+
+        let sys = vfs.rename("/c", "/c/z");
+        let spec = model.rename(&normalize("/c").unwrap(), &normalize("/c/z").unwrap());
+        assert_eq!(
+            sys.is_ok(),
+            spec.is_ok(),
+            "{label}: rename /c -> /c/z: {sys:?} vs {spec:?}"
+        );
+        assert!(sys.is_err(), "{label}: rename into own subtree must fail");
+
+        // The failed rename must leave the tree exactly where the model
+        // says it is: /c present, /c/z absent.
+        model.check_invariant().expect("model invariant");
+        assert_eq!(
+            vfs.abstraction(),
+            model,
+            "{label}: state after rejected rename"
+        );
+        assert!(vfs.mkdir("/c").is_err(), "{label}: /c still exists");
+        assert!(
+            vfs.read_file("/c/z").is_err(),
+            "{label}: /c/z was never created"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The guard: no shrink file entry without a pinned test
+// ---------------------------------------------------------------------------
+
+const SELF_SOURCE: &str = include_str!("pinned_regressions.rs");
+
+/// Every `cc <hash>` recorded in `tests/*.proptest-regressions` must have
+/// a matching `// PINNED: cc <hash>` annotation in this file. A new
+/// proptest shrink therefore fails CI until someone promotes it into a
+/// named, documented regression test above.
+#[test]
+fn every_recorded_shrink_has_a_pinned_test() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests");
+    let mut recorded = 0usize;
+    for entry in std::fs::read_dir(dir).expect("read tests/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("proptest-regressions") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read regressions file");
+        for line in text.lines() {
+            let Some(rest) = line.trim().strip_prefix("cc ") else {
+                continue;
+            };
+            let hash = rest.split_whitespace().next().unwrap_or_default();
+            recorded += 1;
+            assert!(
+                SELF_SOURCE.contains(&format!("PINNED: cc {hash}")),
+                "{} records shrink `cc {hash}` but tests/pinned_regressions.rs has no \
+                 `// PINNED: cc {hash}` test — promote the shrink before landing it",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        recorded >= 4,
+        "expected the known recorded shrinks to be found (got {recorded})"
+    );
+}

@@ -1,0 +1,1119 @@
+//! The composed-scenario corpus: cross-subsystem fault scenarios driven
+//! from ONE `ScenarioEngine` seed each.
+//!
+//! Every harness in a scenario — the faulty disk, the faulty link, the
+//! crash-point sampler, the workload schedule — draws from streams derived
+//! from the single engine seed, and every injected fault lands in the
+//! engine's shared trace. A failing scenario therefore replays exactly
+//! from `SCENARIO=<name> SCENARIO_SEED=<seed>`, and the corpus runner
+//! prints the failing seed plus the trace tail so CI failures arrive
+//! with their own reproduction recipe.
+//!
+//! The scenarios compose faults the single-subsystem suites cannot
+//! express: a crash sampled mid-checkpoint while a TCP retransmit storm
+//! is in flight, disk EIO inside a ring batch commit with an fsync
+//! watermark to honor, torn writes under log-pressure throttling, a
+//! lossy link during a live cext4→rsfs migration.
+
+use super::*;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parking_lot::Mutex;
+use safer_kernel::core::spec::crash::{judge_with_floor, sample_crash_image, CrashPolicy};
+use safer_kernel::fs_safe::fsck;
+use safer_kernel::ksim::block::{
+    CrashDevice, DeviceStats, DiskFaultConfig, FaultyDisk, PendingWrite, BLOCK_SIZE,
+};
+use safer_kernel::ksim::errno::KResult;
+use safer_kernel::ksim::scenario::{subsys, ScenarioEngine};
+use safer_kernel::ksim::time::SimClock;
+use safer_kernel::netstack::fault::{FaultConfig as LinkFaultConfig, FaultyLink};
+use safer_kernel::netstack::spec::StreamChecker;
+use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::wire::{Link, Side};
+use safer_kernel::vfs::modular::{BatchOp, BatchReply};
+use safer_kernel::vfs::ring::{Ring, RingReactor, RingThrottle};
+
+// ---------------------------------------------------------------------------
+// Shared scenario plumbing
+// ---------------------------------------------------------------------------
+
+/// A scenario takes the engine (already seeded) and returns a verdict.
+/// Panics inside a scenario are caught by the runner and reported with
+/// the same seed + trace tail as a verdict failure.
+pub type ScenarioFn = fn(&Arc<ScenarioEngine>) -> Result<(), String>;
+
+/// The corpus: name → scenario. Every entry runs in CI across the sweep
+/// seeds; `SCENARIO`/`SCENARIO_SEED` env vars replay one entry.
+pub const CORPUS: &[(&str, ScenarioFn)] = &[
+    (
+        "crash_mid_checkpoint_retransmit_storm",
+        crash_mid_checkpoint_retransmit_storm,
+    ),
+    (
+        "eio_ring_batch_commit_fsync_watermark",
+        eio_ring_batch_commit_fsync_watermark,
+    ),
+    (
+        "torn_write_under_log_pressure",
+        torn_write_under_log_pressure,
+    ),
+    ("lossy_link_during_migration", lossy_link_during_migration),
+    ("eio_mid_checkpoint_recovery", eio_mid_checkpoint_recovery),
+    ("corrupt_reads_remount_storm", corrupt_reads_remount_storm),
+];
+
+/// Seeds swept by the CI corpus run. A seed that ever fails gets pinned
+/// as its own regression test (see the `pinned` module below) so reverts
+/// of the corresponding fix fail loudly.
+const SWEEP_SEEDS: &[u64] = &[1, 2, 3];
+
+/// Captures the pending-write set at each flush barrier (the same tap
+/// the crash_recovery suite uses, local to this corpus).
+struct Tap {
+    inner: Arc<CrashDevice<Arc<RamDisk>>>,
+    intervals: Mutex<Vec<Vec<PendingWrite>>>,
+}
+
+impl BlockDevice for Tap {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn read_block(&self, blkno: u64, buf: &mut [u8]) -> KResult<()> {
+        self.inner.read_block(blkno, buf)
+    }
+    fn write_block(&self, blkno: u64, buf: &[u8]) -> KResult<()> {
+        self.inner.write_block(blkno, buf)
+    }
+    fn flush(&self) -> KResult<()> {
+        self.intervals.lock().push(self.inner.pending_writes());
+        self.inner.flush()
+    }
+    fn stats(&self) -> DeviceStats {
+        self.inner.stats()
+    }
+}
+
+fn apply_interval(img: &mut [u8], interval: &[PendingWrite]) {
+    for w in interval {
+        let off = w.blkno as usize * BLOCK_SIZE;
+        img[off..off + BLOCK_SIZE].copy_from_slice(&w.data);
+    }
+}
+
+fn mount_image(
+    img: &[u8],
+    blocks: u64,
+    mode: JournalMode,
+) -> Result<(Rsfs, Arc<dyn BlockDevice>), String> {
+    let scratch = Arc::new(RamDisk::new(blocks));
+    scratch.restore(img).map_err(|e| format!("restore: {e}"))?;
+    let dev: Arc<dyn BlockDevice> = scratch;
+    let fs = Rsfs::mount(Arc::clone(&dev), mode)
+        .map_err(|e| format!("crash image failed to mount: {e}"))?;
+    Ok((fs, dev))
+}
+
+/// A TCP pair over an engine-backed faulty link, pumped in explicit
+/// rounds so scenarios can interleave network traffic with disk work at
+/// deterministic points.
+struct NetPair {
+    link: FaultyLink,
+    clock: Arc<SimClock>,
+    a: TcpPcb,
+    b: TcpPcb,
+    chk: StreamChecker,
+    chunks: Vec<Vec<u8>>,
+    submitted: usize,
+}
+
+impl NetPair {
+    fn new(engine: &Arc<ScenarioEngine>, cfg: LinkFaultConfig, chunks: Vec<Vec<u8>>) -> NetPair {
+        let link = FaultyLink::on_engine(cfg, engine);
+        let clock = Arc::clone(engine.clock());
+        let mut a = TcpPcb::new(1000, 100);
+        let mut b = TcpPcb::new(80, 9000);
+        b.listen();
+        link.send(Side::A, &a.connect(80, 0));
+        NetPair {
+            link,
+            clock,
+            a,
+            b,
+            chk: StreamChecker::new(),
+            chunks,
+            submitted: 0,
+        }
+    }
+
+    fn round(&mut self) {
+        self.clock.advance(DEFAULT_RTO_NS / 4);
+        let now = self.clock.now_ns();
+        while let Ok(Some(pkt)) = self.link.recv(Side::B) {
+            for r in self.b.on_packet(&pkt, now) {
+                self.link.send(Side::B, &r);
+            }
+        }
+        while let Ok(Some(pkt)) = self.link.recv(Side::A) {
+            for r in self.a.on_packet(&pkt, now) {
+                self.link.send(Side::A, &r);
+            }
+        }
+        if self.submitted < self.chunks.len() && self.a.state == TcpState::Established {
+            let chunk = self.chunks[self.submitted].clone();
+            self.chk.on_send(&chunk);
+            for p in self.a.send(&chunk, now) {
+                self.link.send(Side::A, &p);
+            }
+            self.submitted += 1;
+        }
+        let got = self.b.take_received();
+        if !got.is_empty() {
+            self.chk.on_deliver(&got);
+        }
+        for p in self.a.tick(now) {
+            self.link.send(Side::A, &p);
+        }
+        for p in self.b.tick(now) {
+            self.link.send(Side::B, &p);
+        }
+    }
+
+    fn done(&self) -> bool {
+        (self.submitted == self.chunks.len()
+            && self.chk.model().is_complete()
+            && self.a.all_acked())
+            || self.a.is_failed()
+            || self.b.is_failed()
+    }
+
+    /// Pumps until completion/clean failure or the round budget runs out,
+    /// then renders the prefix-delivery verdict.
+    fn finish(mut self, budget: usize) -> Result<(), String> {
+        for _ in 0..budget {
+            if self.done() {
+                break;
+            }
+            self.round();
+        }
+        if !self.chk.is_clean() {
+            return Err(format!(
+                "net: prefix delivery violated: {:?}",
+                self.chk.violations()
+            ));
+        }
+        if !self.done() {
+            return Err(format!(
+                "net: stream neither completed nor failed cleanly \
+                 (submitted {}/{}, retransmits {})",
+                self.submitted,
+                self.chunks.len(),
+                self.a.counters.retransmits
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: crash mid-checkpoint + retransmit storm
+// ---------------------------------------------------------------------------
+
+/// A journaled rsfs takes a workload while a TCP pair on the same engine
+/// clock fights a 30%-drop retransmit storm. The engine picks a flush
+/// interval — including the final checkpoint — and samples a torn crash
+/// image there; recovery must land on the op history with a clean fsck,
+/// and the byte stream must still complete or fail cleanly.
+fn crash_mid_checkpoint_retransmit_storm(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+    let crash_stream = engine.stream(subsys::CRASH);
+
+    let mut net = NetPair::new(
+        engine,
+        LinkFaultConfig {
+            drop: 0.30,
+            duplicate: 0.10,
+            reorder: 0.20,
+            corrupt: 0.05,
+            delay: 0.10,
+            delay_ns: DEFAULT_RTO_NS / 4,
+        },
+        (0..4).map(|i| vec![i as u8 + 1; 700]).collect(),
+    );
+
+    let ram = Arc::new(RamDisk::new(2048));
+    let crash_dev = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+    let tap = Arc::new(Tap {
+        inner: crash_dev,
+        intervals: Mutex::new(Vec::new()),
+    });
+    let tap_dyn: Arc<dyn BlockDevice> = Arc::clone(&tap) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&tap_dyn, 128, 64).map_err(|e| format!("mkfs: {e}"))?;
+    let fs = Rsfs::mount(tap_dyn, JournalMode::PerOp).map_err(|e| format!("mount: {e}"))?;
+    let base = ram.snapshot();
+    tap.intervals.lock().clear();
+
+    let root = fs.root_ino();
+    let mut models = vec![fs.abstraction()];
+    let mut live: Vec<String> = Vec::new();
+    for k in 0..10u32 {
+        match ws.gen_range(0..3u32) {
+            0 if !live.is_empty() => {
+                let name = &live[ws.gen_range(0..live.len())];
+                let ino = fs.lookup(root, name).map_err(|e| format!("lookup: {e}"))?;
+                let len = ws.gen_range(1..900usize);
+                ws.emit(format!("op write {name} len={len}"));
+                fs.write(ino, 0, &vec![k as u8; len])
+                    .map_err(|e| format!("write: {e}"))?;
+            }
+            1 if live.len() > 1 => {
+                let name = live.remove(ws.gen_range(0..live.len()));
+                ws.emit(format!("op unlink {name}"));
+                fs.unlink(root, &name).map_err(|e| format!("unlink: {e}"))?;
+            }
+            _ => {
+                let name = format!("f{k}");
+                ws.emit(format!("op create {name}"));
+                fs.create(root, &name).map_err(|e| format!("create: {e}"))?;
+                live.push(name);
+            }
+        }
+        models.push(fs.abstraction());
+        // The retransmit storm rages between every pair of fs ops.
+        for _ in 0..6 {
+            net.round();
+        }
+    }
+    // The checkpoint the crash may land inside.
+    fs.sync().map_err(|e| format!("sync: {e}"))?;
+
+    let intervals = tap.intervals.lock().clone();
+    if intervals.is_empty() {
+        return Err("no flush barriers recorded".into());
+    }
+    let idx = ws.gen_range(0..intervals.len());
+    ws.emit(format!("crash at interval {idx}/{}", intervals.len()));
+    let mut applied = base;
+    for interval in &intervals[..idx] {
+        apply_interval(&mut applied, interval);
+    }
+    let img = sample_crash_image(
+        &applied,
+        &intervals[idx],
+        BLOCK_SIZE,
+        CrashPolicy::Torn,
+        &crash_stream,
+    );
+
+    let (recovered, dev) = mount_image(&img, 2048, JournalMode::PerOp)?;
+    let m = recovered.abstraction();
+    if !models.contains(&m) {
+        return Err(format!("crash image recovered off-history: {m:?}"));
+    }
+    let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "fsck findings on crash image: {:?}",
+            report.findings
+        ));
+    }
+
+    net.finish(4000)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: EIO during ring batch commit + fsync watermark
+// ---------------------------------------------------------------------------
+
+/// A single submitter drives a mixed op stream through the typed ring
+/// while the engine's disk stream injects transient write/flush EIO into
+/// the journal underneath the reactor. Successful replies advance a
+/// model history; successful fsyncs advance the durability watermark.
+/// At the end the engine samples a crash image from the volatile cache:
+/// recovery must land on the history at or above the watermark, and the
+/// whole run must be lockdep-clean with every buffer returned.
+fn eio_ring_batch_commit_fsync_watermark(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+    let crash_stream = engine.stream(subsys::CRASH);
+
+    let ram = Arc::new(RamDisk::new(4096));
+    let crash_dev = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::clone(&crash_dev),
+        DiskFaultConfig::default(),
+        engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 256, 64).map_err(|e| format!("mkfs: {e}"))?;
+    let fs = Arc::new(Rsfs::mount(dev, JournalMode::Async).map_err(|e| format!("mount: {e}"))?);
+    let root = fs.root_ino();
+    let base_file = fs
+        .create(root, "base")
+        .map_err(|e| format!("create base: {e}"))?;
+    fs.sync().map_err(|e| format!("initial sync: {e}"))?;
+    faulty.set_config(DiskFaultConfig {
+        write_eio: 0.01,
+        flush_eio: 0.005,
+        ..DiskFaultConfig::default()
+    });
+
+    let ring = Arc::new(Ring::new(fs.lock_registry(), 16));
+    let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+    let pressure_fs = Arc::clone(&fs);
+    let relieve_fs = Arc::clone(&fs);
+    let reactor = RingReactor::spawn(
+        Arc::clone(&ring),
+        fs_dyn,
+        Some(RingThrottle {
+            pressure: Box::new(move || pressure_fs.journal().map_or(0.0, |j| j.log_pressure())),
+            relieve: Box::new(move || {
+                let _ = relieve_fs.commit_running();
+                let _ = relieve_fs.checkpoint(usize::MAX);
+            }),
+            threshold: 0.5,
+        }),
+    );
+
+    let mut models = vec![fs.abstraction()];
+    let mut watermark = 0usize;
+    let mut live: Vec<String> = Vec::new();
+    let mut verdict = Ok(());
+    for k in 0..80u32 {
+        let pick = ws.gen_range(0..8u32);
+        let (op, mutating, is_fsync) = match pick {
+            0 => {
+                let name = format!("r{k}");
+                (BatchOp::Create { dir: root, name }, true, false)
+            }
+            1 if !live.is_empty() => {
+                let name = live.remove(ws.gen_range(0..live.len()));
+                (BatchOp::Unlink { dir: root, name }, true, false)
+            }
+            2..=4 => (
+                BatchOp::Write {
+                    ino: base_file,
+                    off: ws.gen_range(0..4u64) * 1024,
+                    data: vec![k as u8; 1024],
+                },
+                true,
+                false,
+            ),
+            5 => (
+                BatchOp::Read {
+                    ino: base_file,
+                    off: ws.gen_range(0..4u64) * 1024,
+                    buf: vec![0u8; 1024],
+                },
+                false,
+                false,
+            ),
+            _ => (BatchOp::Fsync { ino: base_file }, false, true),
+        };
+        let created = matches!(&op, BatchOp::Create { .. }).then(|| format!("r{k}"));
+        let ticket = match ring.submit(op) {
+            Ok(t) => t,
+            Err(_) => {
+                verdict = Err(format!("ring refused op {k} with depth available"));
+                break;
+            }
+        };
+        let mut reply = ring.wait(ticket).reply;
+        let ok = reply.result().is_ok();
+        if let Some(buf) = reply.take_buf() {
+            if buf.len() != 1024 {
+                verdict = Err(format!("op {k}: buffer came back resized to {}", buf.len()));
+                break;
+            }
+        } else if matches!(reply, BatchReply::Write { .. } | BatchReply::Read { .. }) {
+            verdict = Err(format!("op {k}: buffer lost"));
+            break;
+        }
+        if ok {
+            if let Some(name) = created {
+                live.push(name);
+            }
+            if mutating {
+                models.push(fs.abstraction());
+            }
+            if is_fsync {
+                watermark = models.len() - 1;
+                ws.emit(format!("fsync watermark={watermark}"));
+            }
+        }
+    }
+    reactor.join();
+
+    let stats = ring.stats();
+    if stats.submitted != stats.completed {
+        return Err(format!(
+            "accepted SQEs without CQEs: {} submitted, {} completed",
+            stats.submitted, stats.completed
+        ));
+    }
+    verdict?;
+
+    let aborted = fs.journal().is_some_and(|j| j.is_aborted());
+    if !aborted {
+        let m = fs.abstraction();
+        if m != *models.last().unwrap() {
+            return Err("live state diverged from the successful-op model".into());
+        }
+    }
+
+    // Power-cut now: sample one reachable image from the volatile cache.
+    let base = ram.snapshot();
+    let pending = faulty.inner().pending_writes();
+    let img = sample_crash_image(
+        &base,
+        &pending,
+        BLOCK_SIZE,
+        CrashPolicy::Prefixes,
+        &crash_stream,
+    );
+    let (recovered, dev) = mount_image(&img, 4096, JournalMode::Async)?;
+    let m = recovered.abstraction();
+    judge_with_floor(&models, watermark, &m).map_err(|why| format!("crash image: {why}"))?;
+    let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "fsck findings on crash image: {:?}",
+            report.findings
+        ));
+    }
+
+    let violations = fs.lock_registry().violations();
+    if !violations.is_empty() {
+        return Err(format!("lockdep findings: {violations:?}"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: torn writes under log-pressure throttling
+// ---------------------------------------------------------------------------
+
+/// A deliberately tiny journal keeps log pressure high so the op path
+/// runs leader-duty commits, while the disk stream silently tears a
+/// fraction of writes — the hardware breaking its sector-atomicity
+/// contract without a power cut. Then the power cut happens anyway.
+/// The promise under betrayal is structural: the crash image mounts or
+/// refuses cleanly, fsck terminates, recovery never panics or wedges —
+/// and if no tear was actually injected, recovery is exact.
+fn torn_write_under_log_pressure(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+    let crash_stream = engine.stream(subsys::CRASH);
+
+    let ram = Arc::new(RamDisk::new(2048));
+    let crash_dev = Arc::new(CrashDevice::new(Arc::clone(&ram)));
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::clone(&crash_dev),
+        DiskFaultConfig::default(),
+        engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    // 16 journal blocks: a handful of fat writes fills the log and forces
+    // the throttling path (leader-duty commits on the op path).
+    Rsfs::mkfs(&dev, 128, 16).map_err(|e| format!("mkfs: {e}"))?;
+    let fs = Rsfs::mount(dev, JournalMode::Async).map_err(|e| format!("mount: {e}"))?;
+    let root = fs.root_ino();
+    let mut models = vec![fs.abstraction()];
+    faulty.set_config(DiskFaultConfig {
+        torn_write: 0.08,
+        ..DiskFaultConfig::default()
+    });
+
+    let mut live: Vec<String> = Vec::new();
+    let mut max_pressure = 0.0f32;
+    for k in 0..40u32 {
+        let r = if live.is_empty() || ws.gen_range(0..3u32) == 0 {
+            let name = format!("f{k}");
+            let r = fs.create(root, &name).map(|_| ());
+            if r.is_ok() {
+                live.push(name);
+            }
+            r
+        } else {
+            let name = &live[ws.gen_range(0..live.len())];
+            let len = ws.gen_range(256..2800usize);
+            fs.lookup(root, name)
+                .and_then(|ino| fs.write(ino, 0, &vec![k as u8; len]))
+                .map(|_| ())
+        };
+        if let Some(j) = fs.journal() {
+            let p = j.log_pressure();
+            if p > max_pressure {
+                max_pressure = p;
+                if p > 0.5 {
+                    ws.emit(format!("log_pressure {p:.2}"));
+                }
+            }
+        }
+        match r {
+            Ok(()) => models.push(fs.abstraction()),
+            // Sticky EROFS after a detected failure is a legal outcome;
+            // the state must simply stop changing.
+            Err(_) if fs.abstraction() == *models.last().unwrap() => {}
+            Err(e) => {
+                return Err(format!("failed op {k} ({e}) mutated the live state"));
+            }
+        }
+    }
+
+    // Power cut with the cache full — no sync.
+    let tears = faulty.injected().torn_writes;
+    ws.emit(format!("power cut, {tears} torn writes injected"));
+    let base = ram.snapshot();
+    let pending = crash_dev.pending_writes();
+    let img = sample_crash_image(
+        &base,
+        &pending,
+        BLOCK_SIZE,
+        CrashPolicy::Prefixes,
+        &crash_stream,
+    );
+    drop(fs);
+
+    match mount_image(&img, 2048, JournalMode::Async) {
+        Ok((recovered, dev)) => {
+            let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+            if tears == 0 {
+                let m = recovered.abstraction();
+                if !models.contains(&m) {
+                    return Err(format!(
+                        "no tears injected, yet recovery is off-history: {m:?}"
+                    ));
+                }
+                if !report.is_clean() {
+                    return Err(format!(
+                        "no tears injected, yet fsck found: {:?}",
+                        report.findings
+                    ));
+                }
+            }
+            // With tears the image may be arbitrarily damaged; mounting and
+            // a terminating fsck (clean or with findings) is the contract.
+        }
+        // A clean mount refusal on a torn image is acceptable...
+        Err(why) if tears > 0 => {
+            ws.emit(format!("mount refused: {why}"));
+        }
+        // ...but with no tears injected the image is an ordinary crash
+        // image and must mount.
+        Err(why) => return Err(why),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: lossy link during migration
+// ---------------------------------------------------------------------------
+
+/// The mid-workload migration soak with a TCP retransmit fight running on
+/// the same engine: a cext4→rsfs hot swap at half-time while an
+/// adversarial link drops a quarter of all frames. The tree, the model,
+/// and the implementation must agree after the swap and at the end; the
+/// byte stream must complete or fail cleanly; lockdep stays clean.
+fn lossy_link_during_migration(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+
+    let mut net = NetPair::new(
+        engine,
+        LinkFaultConfig {
+            drop: 0.25,
+            duplicate: 0.10,
+            reorder: 0.15,
+            corrupt: 0.05,
+            delay: 0.10,
+            delay_ns: DEFAULT_RTO_NS / 4,
+        },
+        (0..3).map(|i| vec![0x40 + i as u8; 900]).collect(),
+    );
+
+    let legacy = make_cext4();
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::clone(&legacy))
+        .map_err(|e| format!("register: {e:?}"))?;
+    let locks = safer_kernel::ksim::lock::LockRegistry::new();
+    let vfs = Vfs::mount_with_lockdep(&registry, Arc::clone(&locks))
+        .map_err(|e| format!("vfs mount: {e}"))?;
+    let mut model = FsModel::new();
+    // The workload RNG derives from the engine seed through the workload
+    // stream, so the whole scenario still replays from the one seed.
+    let mut rng = StdRng::seed_from_u64(ws.gen_u64());
+
+    for step in 0..60 {
+        model = random_op(&vfs, model, &mut rng);
+        net.round();
+        net.round();
+        if step == 29 {
+            ws.emit("migrate cext4 -> rsfs".to_string());
+            let current = vfs.fs_handle().get();
+            let next = make_rsfs();
+            copy_tree(&*current, &*next, current.root_ino(), next.root_ino());
+            registry
+                .replace::<dyn FileSystem>(FS_INTERFACE, "rsfs", next)
+                .map_err(|e| format!("replace: {e:?}"))?;
+            vfs.dcache().clear();
+            if vfs.abstraction() != model {
+                return Err("post-swap state diverged from the model".into());
+            }
+        }
+    }
+    model
+        .check_invariant()
+        .map_err(|e| format!("model invariant: {e}"))?;
+    if vfs.abstraction() != model {
+        return Err("final state diverged from the model".into());
+    }
+    if vfs.fs_handle().swap_count() != 1 {
+        return Err(format!(
+            "expected 1 swap, saw {}",
+            vfs.fs_handle().swap_count()
+        ));
+    }
+    let violations = locks.violations();
+    if !violations.is_empty() {
+        return Err(format!("lockdep findings: {violations:?}"));
+    }
+    net.finish(4000)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: transient EIO across commit + checkpoint, then recovery
+// ---------------------------------------------------------------------------
+
+/// Per-op journaling with transient write/flush EIO armed across the
+/// whole run, periodic checkpoints included. Failed ops must leave the
+/// live state untouched; checkpoints must stay retryable; and whatever
+/// the journal's fate — healthy or sticky-EROFS abort — the durable
+/// state must recover onto the successful-op history at or above the
+/// last successful sync.
+fn eio_mid_checkpoint_recovery(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+
+    let ram = Arc::new(RamDisk::new(2048));
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 128, 64).map_err(|e| format!("mkfs: {e}"))?;
+    let fs =
+        Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).map_err(|e| format!("mount: {e}"))?;
+    let root = fs.root_ino();
+    let mut models = vec![fs.abstraction()];
+    let mut floor = 0usize;
+    faulty.set_config(DiskFaultConfig {
+        write_eio: 0.015,
+        flush_eio: 0.01,
+        ..DiskFaultConfig::default()
+    });
+
+    let mut live: Vec<String> = Vec::new();
+    for k in 0..40u32 {
+        let r = match ws.gen_range(0..3u32) {
+            0 if !live.is_empty() => {
+                let name = &live[ws.gen_range(0..live.len())];
+                let len = ws.gen_range(1..1200usize);
+                fs.lookup(root, name)
+                    .and_then(|ino| fs.write(ino, 0, &vec![k as u8; len]))
+                    .map(|_| ())
+            }
+            1 if live.len() > 1 => {
+                let idx = ws.gen_range(0..live.len());
+                let name = live[idx].clone();
+                let r = fs.unlink(root, &name).map(|_| ());
+                if r.is_ok() {
+                    live.remove(idx);
+                }
+                r
+            }
+            _ => {
+                let name = format!("f{k}");
+                let r = fs.create(root, &name).map(|_| ());
+                if r.is_ok() {
+                    live.push(name);
+                }
+                r
+            }
+        };
+        match r {
+            Ok(()) => models.push(fs.abstraction()),
+            Err(e) => {
+                if fs.abstraction() != *models.last().unwrap() {
+                    return Err(format!("failed op {k} ({e}) mutated the live state"));
+                }
+            }
+        }
+        if k % 10 == 9 {
+            // Checkpoint under fire: EIO here must be retryable, and a
+            // success establishes a durability floor.
+            for attempt in 0..3 {
+                match fs.sync() {
+                    Ok(()) => {
+                        floor = models.len() - 1;
+                        ws.emit(format!("sync ok attempt={attempt} floor={floor}"));
+                        break;
+                    }
+                    Err(e) => ws.emit(format!("sync attempt={attempt} failed: {e}")),
+                }
+            }
+        }
+    }
+
+    let aborted = fs.journal().is_some_and(|j| j.is_aborted());
+    faulty.set_config(DiskFaultConfig::default());
+    if !aborted {
+        // Faults disarmed: the retryable paths must now go through.
+        fs.sync()
+            .map_err(|e| format!("post-run sync with no faults: {e}"))?;
+        if fs.abstraction() != *models.last().unwrap() {
+            return Err("healthy journal, but live state diverged from the model".into());
+        }
+        let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+        if !report.is_clean() {
+            return Err(format!("fsck findings: {:?}", report.findings));
+        }
+    } else {
+        ws.emit("journal aborted; remounting".to_string());
+        drop(fs);
+        let recovered = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp)
+            .map_err(|e| format!("remount: {e}"))?;
+        let m = recovered.abstraction();
+        judge_with_floor(&models, floor, &m).map_err(|why| format!("remount: {why}"))?;
+        let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+        if !report.is_clean() {
+            return Err(format!("fsck findings after abort: {:?}", report.findings));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 6: corrupt reads during a remount storm
+// ---------------------------------------------------------------------------
+
+/// Bitrot on the read path while the file system is repeatedly mounted,
+/// walked, checked, and dropped. Corruption is transient (the medium is
+/// intact; reads lie), so every storm iteration must either mount and
+/// walk without panicking or refuse cleanly — and once the lying stops,
+/// the original state must come back exactly.
+fn corrupt_reads_remount_storm(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+
+    let ram = Arc::new(RamDisk::new(2048));
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 128, 64).map_err(|e| format!("mkfs: {e}"))?;
+    let expected = {
+        let fs =
+            Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).map_err(|e| format!("mount: {e}"))?;
+        let root = fs.root_ino();
+        let d = fs.mkdir(root, "d").map_err(|e| format!("mkdir: {e}"))?;
+        for k in 0..6u32 {
+            let ino = fs
+                .create(if k % 2 == 0 { root } else { d }, &format!("f{k}"))
+                .map_err(|e| format!("create: {e}"))?;
+            fs.write(ino, 0, &vec![k as u8; 700])
+                .map_err(|e| format!("write: {e}"))?;
+        }
+        fs.sync().map_err(|e| format!("sync: {e}"))?;
+        fs.abstraction()
+    };
+
+    faulty.set_config(DiskFaultConfig {
+        read_corrupt: 0.03,
+        read_eio: 0.01,
+        ..DiskFaultConfig::default()
+    });
+    for round in 0..6u32 {
+        match Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp) {
+            Ok(fs) => {
+                // Walk the tree; errors from lying reads are fine, hangs
+                // and panics are not.
+                let mut stack = vec![fs.root_ino()];
+                let mut seen = std::collections::HashSet::new();
+                let mut steps = 0usize;
+                while let Some(dir) = stack.pop() {
+                    if !seen.insert(dir) {
+                        continue;
+                    }
+                    steps += 1;
+                    if steps > 10_000 {
+                        return Err(format!("round {round}: tree walk did not terminate"));
+                    }
+                    if let Ok(entries) = fs.readdir(dir) {
+                        for e in entries {
+                            match fs.getattr(e.ino) {
+                                Ok(attr) if attr.ftype == FileType::Directory => stack.push(e.ino),
+                                Ok(attr) => {
+                                    let mut buf = vec![0u8; attr.size as usize];
+                                    let _ = fs.read(e.ino, 0, &mut buf);
+                                }
+                                Err(_) => {}
+                            }
+                        }
+                    }
+                }
+                ws.emit(format!("round {round}: mounted, walked {steps} dirs"));
+            }
+            Err(e) => {
+                ws.emit(format!("round {round}: clean mount refusal ({e})"));
+            }
+        }
+        // fsck under bitrot must terminate: clean, findings, or EIO.
+        match fsck(&*dev) {
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    faulty.set_config(DiskFaultConfig::default());
+    let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp)
+        .map_err(|e| format!("clean remount after the storm: {e}"))?;
+    if fs.abstraction() != expected {
+        return Err("transient read corruption left a permanent state change".into());
+    }
+    let report = fsck(&*dev).map_err(|e| format!("fsck failed: {e}"))?;
+    if !report.is_clean() {
+        return Err(format!(
+            "fsck findings after the storm: {:?}",
+            report.findings
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The corpus runner + replay/determinism tests
+// ---------------------------------------------------------------------------
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
+
+/// Runs one scenario at one seed; on failure prints the seed, the
+/// verdict, the exact replay command, and the trace tail.
+fn run_one(name: &str, f: ScenarioFn, seed: u64) -> Result<(), String> {
+    let engine = ScenarioEngine::new(seed);
+    let verdict = match catch_unwind(AssertUnwindSafe(|| f(&engine))) {
+        Ok(v) => v,
+        Err(p) => Err(format!("panic: {}", panic_text(p))),
+    };
+    if let Err(why) = &verdict {
+        eprintln!("SCENARIO-FAIL scenario={name} seed={seed}");
+        eprintln!("  verdict: {why}");
+        eprintln!(
+            "  replay: SCENARIO={name} SCENARIO_SEED={seed} \
+             cargo test --test soak scenarios::scenario_corpus -- --nocapture"
+        );
+        eprintln!("  trace tail ({} events total):", engine.trace_len());
+        eprintln!("{}", engine.trace_tail(40));
+    }
+    verdict
+}
+
+/// The CI corpus sweep: every scenario across the sweep seeds. Override
+/// with `SCENARIO=<name>` and/or `SCENARIO_SEED=<seed>` to replay one
+/// failure — the trace is byte-identical run to run (proved below).
+#[test]
+fn scenario_corpus() {
+    let only = std::env::var("SCENARIO").ok();
+    let seed_override = std::env::var("SCENARIO_SEED")
+        .ok()
+        .map(|s| s.parse::<u64>().expect("SCENARIO_SEED must be a u64"));
+    let seeds: Vec<u64> = seed_override.map_or_else(|| SWEEP_SEEDS.to_vec(), |s| vec![s]);
+
+    let mut failures = Vec::new();
+    for (name, f) in CORPUS {
+        if only.as_deref().is_some_and(|o| !name.contains(o)) {
+            continue;
+        }
+        for &seed in &seeds {
+            if run_one(name, *f, seed).is_err() {
+                failures.push(format!("{name} seed={seed}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "scenario corpus failures (replay each with SCENARIO/SCENARIO_SEED): {failures:?}"
+    );
+}
+
+/// Satellite: seed-unification. One engine seed drives the disk stream,
+/// the link stream, and the crash sampler at once, and two runs with the
+/// same seed produce byte-identical combined traces.
+#[test]
+fn one_seed_drives_disk_link_and_crash_byte_identically() {
+    let run = || {
+        let engine = ScenarioEngine::new(0xABCD);
+        let disk = FaultyDisk::on_engine(
+            RamDisk::new(32),
+            DiskFaultConfig {
+                write_eio: 0.2,
+                torn_write: 0.3,
+                read_corrupt: 0.2,
+                ..DiskFaultConfig::default()
+            },
+            &engine,
+        );
+        let link = FaultyLink::on_engine(LinkFaultConfig::adversarial(100), &engine);
+        let crash_stream = engine.stream(subsys::CRASH);
+        let block = vec![7u8; BLOCK_SIZE];
+        let mut outcomes = Vec::new();
+        let mut p = safer_kernel::netstack::packet::Packet::new(
+            safer_kernel::netstack::packet::proto::UDP,
+            1,
+            2,
+        );
+        p.payload = vec![9u8; 64];
+        for i in 0..32u64 {
+            outcomes.push(disk.write_block(i % 32, &block).is_ok());
+            link.send(Side::A, &p);
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            outcomes.push(disk.read_block(i % 32, &mut buf).is_ok());
+        }
+        let pending = vec![PendingWrite {
+            blkno: 3,
+            data: vec![1u8; BLOCK_SIZE],
+        }];
+        let img = sample_crash_image(
+            &vec![0u8; 32 * BLOCK_SIZE],
+            &pending,
+            BLOCK_SIZE,
+            CrashPolicy::Torn,
+            &crash_stream,
+        );
+        (outcomes, img, engine.trace_text())
+    };
+    let (a, b) = (run(), run());
+    // All three subsystems appear in the one trace...
+    for tag in ["disk+", "link+", "crash+"] {
+        assert!(a.2.contains(tag), "missing {tag} events in:\n{}", a.2);
+    }
+    // ...and the trace (plus every outcome) is byte-identical.
+    assert_eq!(a, b);
+}
+
+/// Satellite: trace replay. Every corpus scenario, re-run from the same
+/// engine seed, reproduces the identical event trace AND verdict —
+/// determinism itself is under test, cross-subsystem.
+#[test]
+fn every_scenario_replays_trace_and_verdict_byte_identically() {
+    for (name, f) in CORPUS {
+        let run = || {
+            let engine = ScenarioEngine::new(0x5EED);
+            let verdict = catch_unwind(AssertUnwindSafe(|| f(&engine)))
+                .unwrap_or_else(|p| Err(format!("panic: {}", panic_text(p))));
+            (
+                format!("{verdict:?}"),
+                engine.trace_len(),
+                engine.trace_text(),
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.0, b.0, "{name}: verdict diverged between identical seeds");
+        assert_eq!(
+            (a.1, &a.2),
+            (b.1, &b.2),
+            "{name}: trace diverged between identical seeds"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regressions: bugs the corpus surfaced, fixed in product code.
+// Each carries the exact seed that found it so a revert fails loudly.
+// ---------------------------------------------------------------------------
+
+/// Bug found by `eio_mid_checkpoint_recovery` seeds 1 and 3: a failed
+/// per-op commit publishes its block images into shared cache buffers
+/// before journal durability. The rollback path invalidated its blocks,
+/// but `invalidate_blocks` spares Delay-pinned buffers — so any block
+/// *also* pinned by an earlier committed-but-uncheckpointed transaction
+/// (inode table, bitmaps, the parent directory: the common case) kept
+/// the failed op's content, and the op's mutation stayed visible to
+/// readers despite the EIO it returned.
+///
+/// This is the deterministic distillation: op 1 commits and stays
+/// uncheckpointed (pinning the shared metadata blocks), op 2's journal
+/// record write EIOs. The failed create must vanish from the live state.
+/// Fix: `Txn::commit`'s failure path now restores still-pinned buffers
+/// to the journal's newest committed image (`Journal::committed_image`).
+#[test]
+fn pinned_failed_commit_must_not_clobber_blocks_pinned_by_earlier_txns() {
+    let engine = ScenarioEngine::new(0x0B06);
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::new(RamDisk::new(512)),
+        DiskFaultConfig::default(),
+        &engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 64, 32).unwrap();
+    let fs = Rsfs::mount(Arc::clone(&dev), JournalMode::PerOp).unwrap();
+    let root = fs.root_ino();
+
+    // Op 1: committed but never checkpointed — its Delay pins on the
+    // inode bitmap, inode table, and root directory blocks stay held.
+    fs.create(root, "alpha").unwrap();
+    let pre = fs.abstraction();
+
+    // Op 2: the very next device write is its journal record — EIO.
+    faulty.fail_nth_write(0);
+    let err = fs.create(root, "beta");
+    assert!(err.is_err(), "create under a failed record write must fail");
+
+    // The failed op shares every metadata block with op 1, so none of
+    // its published images could be invalidated — they must have been
+    // rolled back to op 1's committed images instead.
+    assert!(
+        fs.lookup(root, "beta").is_err(),
+        "failed create is visible in the live directory"
+    );
+    assert_eq!(
+        fs.abstraction(),
+        pre,
+        "failed commit mutated the live state"
+    );
+}
+
+/// PINNED: SCENARIO=eio_mid_checkpoint_recovery SCENARIO_SEED=1 — first
+/// seed that surfaced the shared-pin rollback bug (trace: `disk+30
+/// write_eio blk=2010`, a journal record write; op 4's create stayed
+/// visible after its EIO).
+#[test]
+fn pinned_eio_mid_checkpoint_recovery_seed_1() {
+    run_one(
+        "eio_mid_checkpoint_recovery",
+        eio_mid_checkpoint_recovery,
+        1,
+    )
+    .unwrap();
+}
+
+/// PINNED: SCENARIO=eio_mid_checkpoint_recovery SCENARIO_SEED=3 — same
+/// bug reached through the other door: two syncs succeed, then a flush
+/// EIO (`disk+186 flush_eio`) fails the commit *barrier* rather than the
+/// record write, exercising the rollback after a durable-looking write.
+#[test]
+fn pinned_eio_mid_checkpoint_recovery_seed_3() {
+    run_one(
+        "eio_mid_checkpoint_recovery",
+        eio_mid_checkpoint_recovery,
+        3,
+    )
+    .unwrap();
+}

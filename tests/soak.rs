@@ -2,6 +2,8 @@
 //! implementation hot-swapped back and forth *mid-workload* while the
 //! model keeps tracking — the paper's incremental world in one test.
 
+mod scenarios;
+
 use std::sync::Arc;
 
 use proptest::prelude::*;
