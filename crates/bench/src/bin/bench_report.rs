@@ -1051,6 +1051,8 @@ mod netbench {
     trait NetStack {
         fn tcp_socket(&self, port: u16) -> u64;
         fn listen(&self, fd: u64);
+        fn listen_backlog(&self, fd: u64, backlog: usize);
+        fn accept(&self, fd: u64) -> Option<u64>;
         fn connect(&self, fd: u64, port: u16);
         fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool;
         fn recv(&self, fd: u64) -> Vec<u8>;
@@ -1066,6 +1068,12 @@ mod netbench {
         }
         fn listen(&self, fd: u64) {
             LegacyStack::listen(self, fd).unwrap()
+        }
+        fn listen_backlog(&self, fd: u64, backlog: usize) {
+            LegacyStack::listen_backlog(self, fd, backlog).unwrap()
+        }
+        fn accept(&self, fd: u64) -> Option<u64> {
+            LegacyStack::accept(self, fd).unwrap()
         }
         fn connect(&self, fd: u64, port: u16) {
             LegacyStack::connect(self, fd, port).unwrap()
@@ -1097,6 +1105,12 @@ mod netbench {
         fn listen(&self, fd: u64) {
             ModularStack::listen(self, fd).unwrap()
         }
+        fn listen_backlog(&self, fd: u64, backlog: usize) {
+            ModularStack::listen_backlog(self, fd, backlog).unwrap()
+        }
+        fn accept(&self, fd: u64) -> Option<u64> {
+            ModularStack::accept(self, fd).unwrap()
+        }
         fn connect(&self, fd: u64, port: u16) {
             ModularStack::connect(self, fd, port).unwrap()
         }
@@ -1120,7 +1134,10 @@ mod netbench {
         }
     }
 
-    const STREAM_BYTES: usize = 128 * 1024;
+    // Large enough that the clean run takes ~10ms of wall time: the
+    // CI drift gate compares wall-clock throughput against the
+    // committed baseline, and sub-millisecond samples are pure noise.
+    const STREAM_BYTES: usize = 2 * 1024 * 1024;
     const CHUNK: usize = 4096;
     const SEED: u64 = 42;
 
@@ -1139,6 +1156,7 @@ mod netbench {
         client.connect(cfd, 80);
 
         let chunk: Vec<u8> = (0..CHUNK).map(|i| (i * 31) as u8).collect();
+        let mut conn: Option<u64> = None;
         let mut submitted = 0usize;
         let mut delivered = 0usize;
         let mut rounds = 0u64;
@@ -1148,14 +1166,19 @@ mod netbench {
             rounds = round + 1;
             client.pump();
             server.pump();
+            if conn.is_none() {
+                conn = server.accept(sfd);
+            }
             if submitted < STREAM_BYTES && client.try_send(cfd, 80, &chunk) {
                 submitted += chunk.len();
             }
-            delivered += server.recv(sfd).len();
+            if let Some(c) = conn {
+                delivered += server.recv(c).len();
+            }
             if delivered >= STREAM_BYTES {
                 break;
             }
-            if client.conn_failed(cfd) || server.conn_failed(sfd) {
+            if client.conn_failed(cfd) || conn.is_some_and(|c| server.conn_failed(c)) {
                 failed = true;
                 break;
             }
@@ -1165,7 +1188,7 @@ mod netbench {
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         let c = client.counters(cfd);
-        let s = server.counters(sfd);
+        let s = conn.map(|c| server.counters(c)).unwrap_or_default();
         let ls = link.stats();
         println!(
             "netstack {generation:<7} {profile:<7}: {delivered} B in {rounds} rounds, \
@@ -1199,6 +1222,231 @@ mod netbench {
             ("engine_trace_events", num(link.engine().trace_len() as f64)),
             ("completed", Value::Bool(!failed)),
         ])
+    }
+
+    /// Verdict of one many-connection run, compared across generations.
+    struct ManyOutcome {
+        accepted: usize,
+        failed: usize,
+        delivered: usize,
+        row: Value,
+    }
+
+    const MANY_PAYLOAD: usize = 1000; // one full segment per connection
+    const WAVE: usize = 500; // connects launched per round
+
+    /// Server-scale driver: `conns` concurrent clients against ONE
+    /// listener, staggered connect waves, one segment of payload each.
+    /// All latency/throughput figures are SIM time (deterministic under
+    /// the engine seed); wall_ns is the host-side cost of the run and is
+    /// the only nondeterministic field.
+    fn drive_many<S: NetStack>(
+        generation: &str,
+        (profile, cfg): (&str, FaultConfig),
+        conns: usize,
+        client: &S,
+        server: &S,
+        clock: &SimClock,
+        link: &FaultyLink,
+    ) -> ManyOutcome {
+        let sfd = server.tcp_socket(80);
+        server.listen_backlog(sfd, conns);
+        let payload: Vec<u8> = (0..MANY_PAYLOAD).map(|i| (i * 13) as u8).collect();
+
+        let mut launched = 0usize;
+        let mut clients: Vec<u64> = Vec::with_capacity(conns);
+        let mut connect_ns: Vec<u64> = Vec::with_capacity(conns);
+        // Clients whose handshake has not completed (send not yet accepted).
+        let mut pending: Vec<usize> = Vec::new();
+        let mut handshake_ns: Vec<u64> = Vec::with_capacity(conns);
+        let mut failed = 0usize;
+        // Accepted server-side connections still short of the full payload.
+        let mut active: Vec<(u64, usize)> = Vec::new();
+        let mut accepted = 0usize;
+        let mut last_accept_ns = 0u64;
+        let mut delivered = 0usize;
+        let mut done = 0usize;
+
+        let t0 = Instant::now();
+        for _round in 0..6000u64 {
+            // Staggered connect wave: client ports 2000.. are unique.
+            for _ in 0..WAVE {
+                if launched >= conns {
+                    break;
+                }
+                let fd = client.tcp_socket(2000 + launched as u16);
+                client.connect(fd, 80);
+                clients.push(fd);
+                connect_ns.push(clock.now_ns());
+                pending.push(launched);
+                launched += 1;
+            }
+            client.pump();
+            server.pump();
+            while let Some(c) = server.accept(sfd) {
+                active.push((c, 0));
+                accepted += 1;
+                last_accept_ns = clock.now_ns();
+            }
+            // One payload per client, submitted as soon as the handshake
+            // completes (the first accepted send marks completion).
+            pending.retain(|&i| {
+                if client.conn_failed(clients[i]) {
+                    failed += 1;
+                    return false;
+                }
+                if client.try_send(clients[i], 80, &payload) {
+                    handshake_ns.push(clock.now_ns() - connect_ns[i]);
+                    return false;
+                }
+                true
+            });
+            active.retain_mut(|(c, got)| {
+                let data = server.recv(*c);
+                *got += data.len();
+                delivered += data.len();
+                if *got >= MANY_PAYLOAD {
+                    done += 1;
+                    return false;
+                }
+                true
+            });
+            if launched == conns && pending.is_empty() && done + failed >= conns {
+                break;
+            }
+            clock.advance(DEFAULT_RTO_NS / 2);
+            client.tick();
+            server.tick();
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let sim_ns = clock.now_ns().max(1);
+        handshake_ns.sort_unstable();
+        let pct = |p: usize| -> f64 {
+            if handshake_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = (handshake_ns.len() * p / 100).min(handshake_ns.len() - 1);
+            handshake_ns[idx] as f64
+        };
+        let conns_per_sec = if last_accept_ns > 0 {
+            accepted as f64 / (last_accept_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        let goodput = delivered as f64 / (sim_ns as f64 / 1e9) / 1e6;
+        let completed = done == conns && failed == 0;
+        let ls = link.stats();
+        println!(
+            "netstack {generation:<7} {profile:<7} {conns:>6} conns: \
+             {accepted} accepted, {done} complete, {failed} failed, \
+             {conns_per_sec:.0} conns/s, p99 handshake {:.1} ms, \
+             {goodput:.1} MB/s goodput (sim), {:.2}s wall",
+            pct(99) / 1e6,
+            wall_ns as f64 / 1e9,
+        );
+        let row = obj(vec![
+            ("generation", Value::String(generation.to_string())),
+            ("link", Value::String(profile.to_string())),
+            ("drop_rate", num(cfg.drop)),
+            ("conns", num(conns as f64)),
+            ("accepted", num(accepted as f64)),
+            ("completed_conns", num(done as f64)),
+            ("failed_conns", num(failed as f64)),
+            ("bytes", num(delivered as f64)),
+            ("conns_per_sec_sim", num(conns_per_sec)),
+            ("handshake_p50_ns", num(pct(50))),
+            ("handshake_p99_ns", num(pct(99))),
+            ("goodput_mb_s_sim", num(goodput)),
+            ("sim_ns", num(sim_ns as f64)),
+            ("wall_ns", num(wall_ns as f64)),
+            ("link_sent", num(ls.sent as f64)),
+            ("link_dropped", num(ls.dropped as f64)),
+            ("engine_seed", num(link.engine().seed() as f64)),
+            ("engine_trace_events", num(link.engine().trace_len() as f64)),
+            ("completed", Value::Bool(completed)),
+        ]);
+        ManyOutcome {
+            accepted,
+            failed,
+            delivered,
+            row,
+        }
+    }
+
+    /// Server-scale sections: {1k, 10k} connections × {0, 5, 20}% loss,
+    /// both generations per cell under the same engine seed. The verdict
+    /// tuple (accepted, failed, delivered) must agree across generations
+    /// for every cell — a divergence is stamped into the row and printed.
+    pub fn bench_many(conn_counts: &[usize]) -> Value {
+        let profiles = [
+            ("clean", FaultConfig::default()),
+            (
+                "lossy5",
+                FaultConfig {
+                    drop: 0.05,
+                    ..FaultConfig::default()
+                },
+            ),
+            (
+                "lossy20",
+                FaultConfig {
+                    drop: 0.20,
+                    ..FaultConfig::default()
+                },
+            ),
+        ];
+        let mut rows = Vec::new();
+        for &conns in conn_counts {
+            if conns == 0 {
+                continue;
+            }
+            for (name, cfg) in profiles {
+                let clock = Arc::new(SimClock::new());
+                let engine = ScenarioEngine::with_clock(SEED, Arc::clone(&clock));
+                let link = Arc::new(FaultyLink::on_engine(cfg, &engine));
+                let a =
+                    LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+                let b =
+                    LegacyStack::new(LegacyCtx::new(), Side::B, link.clone(), Arc::clone(&clock));
+                let legacy = drive_many("legacy", (name, cfg), conns, &a, &b, &clock, &link);
+
+                let clock = Arc::new(SimClock::new());
+                let engine = ScenarioEngine::with_clock(SEED, Arc::clone(&clock));
+                let link = Arc::new(FaultyLink::on_engine(cfg, &engine));
+                let registry = Arc::new(Registry::new());
+                register_families(&registry).unwrap();
+                let a = ModularStack::new(
+                    Arc::clone(&registry),
+                    Side::A,
+                    link.clone(),
+                    Arc::clone(&clock),
+                );
+                let b = ModularStack::new(registry, Side::B, link.clone(), Arc::clone(&clock));
+                let modular = drive_many("modular", (name, cfg), conns, &a, &b, &clock, &link);
+
+                let verdicts_match = (legacy.accepted, legacy.failed, legacy.delivered)
+                    == (modular.accepted, modular.failed, modular.delivered);
+                if !verdicts_match {
+                    println!(
+                        "  !! generations diverged at {conns} conns / {name}: \
+                         legacy ({}, {}, {}) vs modular ({}, {}, {})",
+                        legacy.accepted,
+                        legacy.failed,
+                        legacy.delivered,
+                        modular.accepted,
+                        modular.failed,
+                        modular.delivered
+                    );
+                }
+                for mut outcome in [legacy, modular] {
+                    if let Value::Object(ref mut map) = outcome.row {
+                        map.insert("verdicts_match".to_string(), Value::Bool(verdicts_match));
+                    }
+                    rows.push(outcome.row);
+                }
+            }
+        }
+        Value::Array(rows)
     }
 
     /// Both generations × {clean, lossy20} — the adversarial profile is
@@ -1237,37 +1485,65 @@ mod netbench {
     }
 }
 
-fn parse_args() -> (Vec<usize>, usize, String, String, bool) {
-    let mut shards = vec![1usize, 8];
-    let mut threads = 8usize;
-    let mut out = "BENCH_storage.json".to_string();
-    let mut net_out = "BENCH_net.json".to_string();
-    let mut lockdep_only = false;
+struct Args {
+    shards: Vec<usize>,
+    threads: usize,
+    out: String,
+    net_out: String,
+    lockdep_only: bool,
+    net_only: bool,
+    net_conns: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args_out = Args {
+        shards: vec![1usize, 8],
+        threads: 8,
+        out: "BENCH_storage.json".to_string(),
+        net_out: "BENCH_net.json".to_string(),
+        lockdep_only: false,
+        net_only: false,
+        net_conns: vec![1000, 10_000],
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--lockdep" => {
-                lockdep_only = true;
+                args_out.lockdep_only = true;
+                i += 1;
+            }
+            "--net-only" => {
+                args_out.net_only = true;
                 i += 1;
             }
             "--shards" if i + 1 < args.len() => {
-                shards = args[i + 1]
+                args_out.shards = args[i + 1]
                     .split(',')
                     .filter_map(|s| s.trim().parse().ok())
                     .collect();
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
-                threads = args[i + 1].parse().unwrap_or(8);
+                args_out.threads = args[i + 1].parse().unwrap_or(8);
+                i += 2;
+            }
+            // Connection counts for the server-scale sections; `--net-conns 0`
+            // skips them (CI uses this for the fast drift check).
+            "--net-conns" if i + 1 < args.len() => {
+                args_out.net_conns = args[i + 1]
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&n| n > 0)
+                    .collect();
                 i += 2;
             }
             "--out" if i + 1 < args.len() => {
-                out = args[i + 1].clone();
+                args_out.out = args[i + 1].clone();
                 i += 2;
             }
             "--net-out" if i + 1 < args.len() => {
-                net_out = args[i + 1].clone();
+                args_out.net_out = args[i + 1].clone();
                 i += 2;
             }
             other => {
@@ -1276,16 +1552,52 @@ fn parse_args() -> (Vec<usize>, usize, String, String, bool) {
             }
         }
     }
-    (shards, threads, out, net_out, lockdep_only)
+    args_out
+}
+
+fn write_net_report(net_out: &str, net_conns: &[usize]) {
+    println!("== netstack benchmark report ==\n");
+    let net_report = obj(vec![
+        (
+            "meta",
+            obj(vec![
+                ("stream_bytes", num((128 * 1024) as f64)),
+                // The scenario-engine seed every link row runs under;
+                // replaying with this seed reproduces the exact fault
+                // schedule (see DESIGN.md §15).
+                ("engine_seed", num(42.0)),
+            ]),
+        ),
+        ("soak", netbench::bench_netstack()),
+        ("many_conns", netbench::bench_many(net_conns)),
+    ]);
+    let json = serde_json::to_string(&net_report).expect("serialize");
+    std::fs::write(net_out, &json).expect("write net report");
+    println!("\nwrote {net_out}");
 }
 
 fn main() {
-    let (shards, threads, out, net_out, lockdep_only) = parse_args();
+    let Args {
+        shards,
+        threads,
+        out,
+        net_out,
+        lockdep_only,
+        net_only,
+        net_conns,
+    } = parse_args();
     if lockdep_only {
         // CI mode: just the lockdep stress — exits nonzero on any
         // ordering finding, prints the graph summary.
         println!("== lockdep stress ({threads} threads) ==\n");
         bench_lockdep(threads);
+        return;
+    }
+    if net_only {
+        // CI mode: regenerate only the netstack report (the bench-drift
+        // check compares its single-stream rows against the committed
+        // baseline).
+        write_net_report(&net_out, &net_conns);
         return;
     }
     println!("== storage-path benchmark report (shards {shards:?}, {threads} threads) ==\n");
@@ -1330,21 +1642,5 @@ fn main() {
     std::fs::write(&out, &json).expect("write report");
     println!("\nwrote {out}\n");
 
-    println!("== netstack benchmark report ==\n");
-    let net_report = obj(vec![
-        (
-            "meta",
-            obj(vec![
-                ("stream_bytes", num((128 * 1024) as f64)),
-                // The scenario-engine seed every link row runs under;
-                // replaying with this seed reproduces the exact fault
-                // schedule (see DESIGN.md §15).
-                ("engine_seed", num(42.0)),
-            ]),
-        ),
-        ("soak", netbench::bench_netstack()),
-    ]);
-    let json = serde_json::to_string(&net_report).expect("serialize");
-    std::fs::write(&net_out, &json).expect("write net report");
-    println!("\nwrote {net_out}");
+    write_net_report(&net_out, &net_conns);
 }

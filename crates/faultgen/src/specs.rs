@@ -696,7 +696,16 @@ fn weak_entropy_probe() -> RunOutcome {
     a.connect(s2, 80).expect("connect");
     let syn1 = wire.recv(Side::B).expect("frame").expect("syn1");
     let syn2 = wire.recv(Side::B).expect("frame").expect("syn2");
-    let predictable = syn2.seq.wrapping_sub(syn1.seq) == 1000;
+    // The ISS generator Weyl-steps a counter salted with nothing but
+    // public inputs — port and link side. Zero entropy: an off-path
+    // attacker who saw one SYN (seq + source port on the wire) computes
+    // the next connection's ISS exactly. Memory safety is indifferent
+    // to this; only a randomized ISS would close it.
+    let port_salt = u32::from(syn2.src_port)
+        .wrapping_sub(u32::from(syn1.src_port))
+        .wrapping_mul(0x85EB_CA6B);
+    let predicted = syn1.seq.wrapping_add(0x9E37_79B9).wrapping_add(port_salt);
+    let predictable = syn2.seq == predicted;
     RunOutcome {
         class_events: 0,
         leaks: 0,

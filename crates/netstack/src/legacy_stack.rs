@@ -13,9 +13,16 @@
 //!   casts that channel's private data to the AMP structure without
 //!   checking what the channel actually is. A crafted packet pointing a
 //!   *move* opcode at an ordinary L2CAP channel triggers the confusion.
+//!
+//! Server duty works the legacy way: `listen` swaps the socket's
+//! protinfo for a [`TcpListener`] (still a `void *` — a `listening` flag
+//! on the sock is all that tells the stack which cast applies), `accept`
+//! pulls completed handshakes out as new fds, demux stays the O(n)
+//! linear scan the modular stack's striped index replaces, and closing
+//! keeps the PCB allocated until the FIN handshake finishes.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -23,8 +30,8 @@ use sk_ksim::errno::{Errno, KResult};
 use sk_ksim::time::SimClock;
 use sk_legacy::{LegacyCtx, VoidPtr};
 
-use crate::packet::{proto, Packet};
-use crate::tcp::{TcpCounters, TcpPcb, TcpState};
+use crate::packet::{flags, proto, Packet};
+use crate::tcp::{rst_for, TcpCounters, TcpListener, TcpPcb, TcpState, DEFAULT_BACKLOG};
 use crate::udp::UdpPcb;
 use crate::wire::{Link, Side};
 
@@ -57,8 +64,16 @@ pub const OP_AMP_MOVE: u8 = 0x0A;
 struct LegacySock {
     proto: u8,
     local_port: u16,
-    /// The `void *` protocol-private state.
+    /// The `void *` protocol-private state — a `TcpPcb`, a
+    /// `TcpListener`, or a `UdpPcb`.
     sk_protinfo: VoidPtr,
+    /// Which TCP cast applies (the legacy substitute for a type).
+    listening: bool,
+    /// The app closed the fd (`EBADF` from every call), but a TCP PCB
+    /// stays allocated until its FIN handshake finishes.
+    released: bool,
+    /// The ISS this socket was created with (consumed by `listen`).
+    iss: u32,
 }
 
 /// The legacy socket layer on one end of a link.
@@ -67,10 +82,19 @@ pub struct LegacyStack {
     side: Side,
     wire: Arc<dyn Link>,
     clock: Arc<SimClock>,
-    sockets: Mutex<HashMap<u64, LegacySock>>,
-    channels: Mutex<HashMap<u16, VoidPtr>>,
+    /// BTreeMap, not HashMap: tick/pump iterate these maps and emit
+    /// packets in iteration order, and the fault engine draws per
+    /// packet — a randomized hash order would break seeded replay.
+    sockets: Mutex<BTreeMap<u64, LegacySock>>,
+    channels: Mutex<BTreeMap<u16, VoidPtr>>,
     next_fd: AtomicU64,
-    iss: AtomicU64,
+    /// ISS counter — u32-native: the TCP sequence space is a mod-2^32
+    /// ring, so `fetch_add` wraparound is sequence-space reuse the
+    /// protocol tolerates via its window checks, not a silent
+    /// truncation of a wider counter.
+    iss: AtomicU32,
+    /// RSTs sent for TCP segments that matched no socket at all.
+    demux_rsts: AtomicU64,
 }
 
 impl LegacyStack {
@@ -87,10 +111,11 @@ impl LegacyStack {
             side,
             wire,
             clock,
-            sockets: Mutex::new(HashMap::new()),
-            channels: Mutex::new(HashMap::new()),
+            sockets: Mutex::new(BTreeMap::new()),
+            channels: Mutex::new(BTreeMap::new()),
             next_fd: AtomicU64::new(3),
-            iss: AtomicU64::new(100),
+            iss: AtomicU32::new(100),
+            demux_rsts: AtomicU64::new(0),
         }
     }
 
@@ -99,11 +124,29 @@ impl LegacyStack {
         &self.ctx
     }
 
+    /// Per-connection ISS: Weyl-step the counter (odd multiplier) and
+    /// salt with the port and link side, so simultaneous connects —
+    /// the same counter value on two stacks, or two sockets racing on
+    /// one — never share an ISS. All arithmetic wraps mod 2^32 on
+    /// purpose: see the `iss` field comment on sequence-space reuse.
+    fn next_iss(&self, local_port: u16) -> u32 {
+        let side_salt: u32 = match self.side {
+            Side::A => 0x243F_6A88,
+            Side::B => 0x85A3_08D3,
+        };
+        self.iss
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(u32::from(local_port).wrapping_mul(0x85EB_CA6B))
+            .wrapping_add(side_salt)
+    }
+
     /// Creates a socket of `proto` bound to `local_port`.
     pub fn socket(&self, protocol: u8, local_port: u16) -> KResult<u64> {
+        let mut iss = 0;
         let sk_protinfo = match protocol {
             proto::TCP => {
-                let iss = self.iss.fetch_add(1000, Ordering::Relaxed) as u32;
+                iss = self.next_iss(local_port);
                 self.ctx.vp_new(TcpPcb::new(local_port, iss))
             }
             proto::UDP => self.ctx.vp_new(UdpPcb::new(local_port)),
@@ -116,6 +159,9 @@ impl LegacyStack {
                 proto: protocol,
                 local_port,
                 sk_protinfo,
+                listening: false,
+                released: false,
+                iss,
             },
         );
         Ok(fd)
@@ -123,20 +169,93 @@ impl LegacyStack {
 
     fn with_sock<R>(&self, fd: u64, f: impl FnOnce(&LegacySock) -> R) -> KResult<R> {
         let socks = self.sockets.lock();
-        socks.get(&fd).map(f).ok_or(Errno::EBADF)
+        match socks.get(&fd) {
+            Some(s) if !s.released => Ok(f(s)),
+            _ => Err(Errno::EBADF),
+        }
     }
 
-    /// Moves a TCP socket to LISTEN.
+    /// Moves a TCP socket to LISTEN with the default backlog.
     pub fn listen(&self, fd: u64) -> KResult<()> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
-        self.ctx
-            .vp_cast_mut(p, "legacy_stack::listen", |pcb: &mut TcpPcb| pcb.listen())
-            .ok_or(Errno::EPROTO)
+        self.listen_backlog(fd, DEFAULT_BACKLOG)
+    }
+
+    /// Moves a TCP socket to LISTEN: its connection PCB is freed and the
+    /// protinfo becomes a child-spawning [`TcpListener`].
+    pub fn listen_backlog(&self, fd: u64, backlog: usize) -> KResult<()> {
+        let mut socks = self.sockets.lock();
+        let port = match socks.get(&fd) {
+            Some(s) if !s.released => {
+                if s.proto != proto::TCP {
+                    return Err(Errno::EPROTO);
+                }
+                if s.listening {
+                    return Ok(());
+                }
+                s.local_port
+            }
+            _ => return Err(Errno::EBADF),
+        };
+        if socks
+            .iter()
+            .any(|(&o, s)| o != fd && s.listening && s.proto == proto::TCP && s.local_port == port)
+        {
+            return Err(Errno::EADDRINUSE);
+        }
+        let s = socks.get_mut(&fd).expect("fd just checked");
+        let fresh = self
+            .ctx
+            .vp_cast(s.sk_protinfo, "legacy_stack::listen", |pcb: &TcpPcb| {
+                pcb.state == TcpState::Closed && !pcb.is_failed()
+            })
+            .ok_or(Errno::EPROTO)?;
+        if !fresh {
+            return Err(Errno::EISCONN);
+        }
+        self.ctx.vp_free(s.sk_protinfo, "legacy_stack::listen");
+        s.sk_protinfo = self.ctx.vp_new(TcpListener::new(port, backlog, s.iss));
+        s.listening = true;
+        Ok(())
+    }
+
+    /// Takes one completed connection off `fd`'s accept queue as a new
+    /// socket; `Ok(None)` when the queue is empty.
+    pub fn accept(&self, fd: u64) -> KResult<Option<u64>> {
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if !listening {
+            return Err(Errno::EINVAL);
+        }
+        let pcb = self
+            .ctx
+            .vp_cast_mut(p, "legacy_stack::accept", |l: &mut TcpListener| l.accept())
+            .ok_or(Errno::EPROTO)?;
+        let Some(pcb) = pcb else {
+            return Ok(None);
+        };
+        let local_port = pcb.local_port;
+        let iss = pcb.snd_nxt;
+        let sk_protinfo = self.ctx.vp_new(pcb);
+        let new_fd = self.next_fd.fetch_add(1, Ordering::Relaxed);
+        self.sockets.lock().insert(
+            new_fd,
+            LegacySock {
+                proto: proto::TCP,
+                local_port,
+                sk_protinfo,
+                listening: false,
+                released: false,
+                iss,
+            },
+        );
+        Ok(Some(new_fd))
     }
 
     /// Starts a TCP connection.
     pub fn connect(&self, fd: u64, remote_port: u16) -> KResult<()> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if listening {
+            return Err(Errno::EINVAL);
+        }
         let now = self.clock.now_ns();
         let syn = self
             .ctx
@@ -150,19 +269,28 @@ impl LegacyStack {
 
     /// Sends on a socket (TCP stream data or a UDP datagram).
     pub fn send(&self, fd: u64, dst_port: u16, data: &[u8]) -> KResult<usize> {
-        let (protocol, p) = self.with_sock(fd, |s| (s.proto, s.sk_protinfo))?;
+        let (protocol, listening, p) =
+            self.with_sock(fd, |s| (s.proto, s.listening, s.sk_protinfo))?;
         let now = self.clock.now_ns();
         match protocol {
             proto::TCP => {
+                if listening {
+                    return Err(Errno::ENOTCONN);
+                }
+                // A cwnd-limited send may legally emit nothing while the
+                // bytes wait in the send buffer, so readiness — not an
+                // empty packet list — is the ENOTCONN signal.
                 let pkts = self
                     .ctx
                     .vp_cast_mut(p, "legacy_stack::send", |pcb: &mut TcpPcb| {
-                        pcb.send(data, now)
+                        if !data.is_empty() && !pcb.can_send() {
+                            None
+                        } else {
+                            Some(pcb.send(data, now))
+                        }
                     })
-                    .ok_or(Errno::EPROTO)?;
-                if pkts.is_empty() && !data.is_empty() {
-                    return Err(Errno::ENOTCONN);
-                }
+                    .ok_or(Errno::EPROTO)?
+                    .ok_or(Errno::ENOTCONN)?;
                 for pkt in pkts {
                     self.wire.send(self.side, &pkt);
                 }
@@ -186,8 +314,10 @@ impl LegacyStack {
 
     /// Receives available bytes (TCP) or the next datagram payload (UDP).
     pub fn recv(&self, fd: u64) -> KResult<Vec<u8>> {
-        let (protocol, p) = self.with_sock(fd, |s| (s.proto, s.sk_protinfo))?;
+        let (protocol, listening, p) =
+            self.with_sock(fd, |s| (s.proto, s.listening, s.sk_protinfo))?;
         match protocol {
+            proto::TCP if listening => Ok(Vec::new()),
             proto::TCP => self
                 .ctx
                 .vp_cast_mut(p, "legacy_stack::recv", |pcb: &mut TcpPcb| {
@@ -208,7 +338,13 @@ impl LegacyStack {
     /// every socket is TCP. On a TCP socket it works; on a UDP socket the
     /// cast is a detected type confusion and poll limps home `false`.
     pub fn poll(&self, fd: u64) -> KResult<bool> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if listening {
+            return Ok(self
+                .ctx
+                .vp_cast(p, "legacy_stack::poll", |l: &TcpListener| l.ready_len() > 0)
+                .unwrap_or(false));
+        }
         // "References to TCP state can be found throughout generic socket
         // code": no protocol dispatch here, just the cast.
         Ok(self
@@ -221,7 +357,10 @@ impl LegacyStack {
 
     /// TCP connection state, for tests.
     pub fn tcp_state(&self, fd: u64) -> KResult<TcpState> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if listening {
+            return Ok(TcpState::Listen);
+        }
         self.ctx
             .vp_cast(p, "legacy_stack::tcp_state", |pcb: &TcpPcb| pcb.state)
             .ok_or(Errno::EPROTO)
@@ -230,7 +369,18 @@ impl LegacyStack {
     /// Per-connection event counters (retransmits, dropped dup-acks,
     /// out-of-order buffering, resets).
     pub fn tcp_counters(&self, fd: u64) -> KResult<TcpCounters> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if listening {
+            return self
+                .ctx
+                .vp_cast(p, "legacy_stack::tcp_counters", |l: &TcpListener| {
+                    TcpCounters {
+                        resets_sent: l.stats.resets_sent,
+                        ..TcpCounters::default()
+                    }
+                })
+                .ok_or(Errno::EPROTO);
+        }
         self.ctx
             .vp_cast(p, "legacy_stack::tcp_counters", |pcb: &TcpPcb| pcb.counters)
             .ok_or(Errno::EPROTO)
@@ -239,7 +389,10 @@ impl LegacyStack {
     /// True once the connection died abnormally (retry budget exhausted or
     /// reset by the peer) — the reportable failure the tentpole demands.
     pub fn conn_failed(&self, fd: u64) -> KResult<bool> {
-        let p = self.with_sock(fd, |s| s.sk_protinfo)?;
+        let (listening, p) = self.with_sock(fd, |s| (s.listening, s.sk_protinfo))?;
+        if listening {
+            return Ok(false);
+        }
         self.ctx
             .vp_cast(p, "legacy_stack::conn_failed", |pcb: &TcpPcb| {
                 pcb.is_failed()
@@ -247,21 +400,52 @@ impl LegacyStack {
             .ok_or(Errno::EPROTO)
     }
 
-    /// Frees every TCP socket whose PCB has reached `Closed` after being
-    /// connected (orderly teardown, TIME_WAIT expiry, reset, or retry
-    /// exhaustion). Returns how many were reaped.
+    /// RSTs sent for TCP segments that matched no socket at all.
+    pub fn demux_resets(&self) -> u64 {
+        self.demux_rsts.load(Ordering::Relaxed)
+    }
+
+    /// Stack-level TCP counters not owned by any one connection —
+    /// currently the demux-miss RSTs.
+    pub fn stack_counters(&self) -> TcpCounters {
+        TcpCounters {
+            resets_sent: self.demux_rsts.load(Ordering::Relaxed),
+            ..TcpCounters::default()
+        }
+    }
+
+    /// True when a closed-or-defunct TCP socket's protinfo may be freed.
+    fn teardown_done(&self, s: &LegacySock) -> bool {
+        if s.proto != proto::TCP || s.listening {
+            return true;
+        }
+        self.ctx
+            .vp_cast(s.sk_protinfo, "legacy_stack::reap", |pcb: &TcpPcb| {
+                pcb.state == TcpState::Closed
+            })
+            .unwrap_or(true)
+    }
+
+    /// Frees every TCP socket whose PCB is finished — defunct after
+    /// being connected (reset or retry exhaustion), or released by
+    /// `close` with the FIN handshake now complete. Returns how many
+    /// were reaped.
     pub fn reap_closed(&self) -> usize {
         let mut socks = self.sockets.lock();
         let dead: Vec<u64> = socks
             .iter()
             .filter(|(_, s)| {
                 s.proto == proto::TCP
-                    && self
-                        .ctx
-                        .vp_cast(s.sk_protinfo, "legacy_stack::reap", |pcb: &TcpPcb| {
-                            pcb.is_defunct()
-                        })
-                        .unwrap_or(false)
+                    && !s.listening
+                    && if s.released {
+                        self.teardown_done(s)
+                    } else {
+                        self.ctx
+                            .vp_cast(s.sk_protinfo, "legacy_stack::reap", |pcb: &TcpPcb| {
+                                pcb.is_defunct()
+                            })
+                            .unwrap_or(false)
+                    }
             })
             .map(|(&fd, _)| fd)
             .collect();
@@ -272,24 +456,35 @@ impl LegacyStack {
         dead.len()
     }
 
-    /// Closes a socket, freeing its protinfo.
+    /// Closes a socket. The fd dies immediately, but a connected TCP
+    /// PCB stays allocated until its FIN handshake and TIME_WAIT finish
+    /// (reaped by `tick`/`reap_closed`) so a lost FIN can retransmit and
+    /// the peer's FIN gets its ACK.
     pub fn close(&self, fd: u64) -> KResult<()> {
-        let sock = self.sockets.lock().remove(&fd).ok_or(Errno::EBADF)?;
-        if sock.proto == proto::TCP {
-            let now = self.clock.now_ns();
-            if let Some(fin) = self
-                .ctx
-                .vp_cast_mut(
-                    sock.sk_protinfo,
-                    "legacy_stack::close",
-                    |pcb: &mut TcpPcb| pcb.close(now),
-                )
-                .flatten()
-            {
-                self.wire.send(self.side, &fin);
-            }
+        let now = self.clock.now_ns();
+        let mut socks = self.sockets.lock();
+        let s = socks.get_mut(&fd).ok_or(Errno::EBADF)?;
+        if s.released {
+            return Err(Errno::EBADF);
         }
-        self.ctx.vp_free(sock.sk_protinfo, "legacy_stack::close");
+        let mut pkts = Vec::new();
+        if s.proto == proto::TCP && !s.listening {
+            pkts = self
+                .ctx
+                .vp_cast_mut(s.sk_protinfo, "legacy_stack::close", |pcb: &mut TcpPcb| {
+                    pcb.close(now)
+                })
+                .unwrap_or_default();
+        }
+        s.released = true;
+        if self.teardown_done(s) {
+            let s = socks.remove(&fd).expect("fd present");
+            self.ctx.vp_free(s.sk_protinfo, "legacy_stack::close");
+        }
+        drop(socks);
+        for p in pkts {
+            self.wire.send(self.side, &p);
+        }
         Ok(())
     }
 
@@ -311,48 +506,65 @@ impl LegacyStack {
                 let _ = self.handle_ctrl_packet(&pkt);
                 continue;
             }
-            // TCP demultiplexing: an exact (local, remote) match wins;
-            // otherwise a socket in LISTEN on the local port takes the SYN
-            // (pre-forked listeners give multi-connection servers).
+            // TCP demultiplexing, the legacy way: an O(n) scan where an
+            // exact (local, remote) match wins and a listener on the
+            // local port takes the SYN of a new connection.
             let target = {
                 let socks = self.sockets.lock();
-                let candidates: Vec<VoidPtr> = socks
+                let candidates: Vec<(VoidPtr, bool)> = socks
                     .values()
                     .filter(|s| s.local_port == pkt.dst_port && s.proto == pkt.proto)
-                    .map(|s| s.sk_protinfo)
+                    .map(|s| (s.sk_protinfo, s.listening))
                     .collect();
                 if pkt.proto == proto::TCP {
-                    let exact = candidates.iter().copied().find(|&p| {
-                        self.ctx
-                            .vp_cast(p, "legacy_stack::demux", |pcb: &TcpPcb| {
-                                pcb.state != TcpState::Listen
-                                    && pcb.state != TcpState::Closed
-                                    && pcb.remote_port == pkt.src_port
-                            })
-                            .unwrap_or(false)
-                    });
-                    exact.or_else(|| {
-                        candidates.iter().copied().find(|&p| {
+                    let exact = candidates
+                        .iter()
+                        .filter(|(_, listening)| !listening)
+                        .map(|&(p, _)| p)
+                        .find(|&p| {
                             self.ctx
                                 .vp_cast(p, "legacy_stack::demux", |pcb: &TcpPcb| {
-                                    pcb.state == TcpState::Listen
+                                    pcb.state != TcpState::Closed && pcb.remote_port == pkt.src_port
                                 })
                                 .unwrap_or(false)
                         })
+                        .map(|p| (p, false));
+                    exact.or_else(|| {
+                        candidates
+                            .iter()
+                            .find(|(_, listening)| *listening)
+                            .map(|&(p, _)| (p, true))
                     })
                 } else {
-                    candidates.first().copied()
+                    candidates.first().map(|&(p, _)| (p, false))
                 }
             };
-            let Some(p) = target else { continue };
+            let Some((p, is_listener)) = target else {
+                // Dead port: answer non-RST TCP with a RST so the peer
+                // fails fast instead of burning its whole retry budget
+                // (the old code silently swallowed these).
+                if pkt.proto == proto::TCP && pkt.flags & flags::RST == 0 {
+                    self.demux_rsts.fetch_add(1, Ordering::Relaxed);
+                    self.wire.send(self.side, &rst_for(&pkt, pkt.dst_port));
+                }
+                continue;
+            };
             match pkt.proto {
                 proto::TCP => {
-                    let responses = self
-                        .ctx
-                        .vp_cast_mut(p, "legacy_stack::pump", |pcb: &mut TcpPcb| {
-                            pcb.on_packet(&pkt, now)
-                        })
-                        .unwrap_or_default();
+                    // The `listening` flag — not a cast-and-hope — picks
+                    // which struct the `void *` really holds.
+                    let responses = if is_listener {
+                        self.ctx
+                            .vp_cast_mut(p, "legacy_stack::pump", |l: &mut TcpListener| {
+                                l.on_packet(&pkt, now)
+                            })
+                    } else {
+                        self.ctx
+                            .vp_cast_mut(p, "legacy_stack::pump", |pcb: &mut TcpPcb| {
+                                pcb.on_packet(&pkt, now)
+                            })
+                    }
+                    .unwrap_or_default();
                     for r in responses {
                         self.wire.send(self.side, &r);
                     }
@@ -370,25 +582,42 @@ impl LegacyStack {
         Ok(count)
     }
 
-    /// Runs retransmission timers on every TCP socket.
+    /// Runs timers on every TCP socket (connections and listeners) and
+    /// frees released PCBs whose teardown finished.
     pub fn tick(&self) {
         let now = self.clock.now_ns();
-        let protinfos: Vec<VoidPtr> = {
+        let entries: Vec<(VoidPtr, bool)> = {
             let socks = self.sockets.lock();
             socks
                 .values()
                 .filter(|s| s.proto == proto::TCP)
-                .map(|s| s.sk_protinfo)
+                .map(|s| (s.sk_protinfo, s.listening))
                 .collect()
         };
-        for p in protinfos {
-            let pkts = self
-                .ctx
-                .vp_cast_mut(p, "legacy_stack::tick", |pcb: &mut TcpPcb| pcb.tick(now))
-                .unwrap_or_default();
+        for (p, listening) in entries {
+            let pkts = if listening {
+                self.ctx
+                    .vp_cast_mut(p, "legacy_stack::tick", |l: &mut TcpListener| l.tick(now))
+                    .unwrap_or_default()
+            } else {
+                self.ctx
+                    .vp_cast_mut(p, "legacy_stack::tick", |pcb: &mut TcpPcb| pcb.tick(now))
+                    .unwrap_or_default()
+            };
             for pkt in pkts {
                 self.wire.send(self.side, &pkt);
             }
+        }
+        // Reap released sockets whose FIN handshake / TIME_WAIT is done.
+        let mut socks = self.sockets.lock();
+        let dead: Vec<u64> = socks
+            .iter()
+            .filter(|(_, s)| s.released && self.teardown_done(s))
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in dead {
+            let s = socks.remove(&fd).expect("fd just listed");
+            self.ctx.vp_free(s.sk_protinfo, "legacy_stack::reap");
         }
     }
 
@@ -450,15 +679,18 @@ impl LegacyStack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tcp::{DEFAULT_RTO_NS, TIME_WAIT_NS};
     use crate::wire::Wire;
     use sk_legacy::BugClass;
 
-    fn pair() -> (LegacyStack, LegacyStack) {
-        let wire = Arc::new(Wire::new());
-        let clock = Arc::new(SimClock::new());
+    fn pair_on(wire: Arc<Wire>, clock: Arc<SimClock>) -> (LegacyStack, LegacyStack) {
         let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
         let b = LegacyStack::new(LegacyCtx::new(), Side::B, wire, clock);
         (a, b)
+    }
+
+    fn pair() -> (LegacyStack, LegacyStack) {
+        pair_on(Arc::new(Wire::new()), Arc::new(SimClock::new()))
     }
 
     fn pump_both(a: &LegacyStack, b: &LegacyStack) {
@@ -477,11 +709,13 @@ mod tests {
         a.connect(client, 80).unwrap();
         pump_both(&a, &b);
         assert_eq!(a.tcp_state(client).unwrap(), TcpState::Established);
-        assert_eq!(b.tcp_state(server).unwrap(), TcpState::Established);
+        assert_eq!(b.tcp_state(server).unwrap(), TcpState::Listen);
+        let conn = b.accept(server).unwrap().expect("handshake done");
+        assert_eq!(b.tcp_state(conn).unwrap(), TcpState::Established);
         a.send(client, 80, b"hello").unwrap();
         pump_both(&a, &b);
-        assert_eq!(b.recv(server).unwrap(), b"hello");
-        b.send(server, 1234, b"world").unwrap();
+        assert_eq!(b.recv(conn).unwrap(), b"hello");
+        b.send(conn, 1234, b"world").unwrap();
         pump_both(&a, &b);
         assert_eq!(a.recv(client).unwrap(), b"world");
     }
@@ -504,9 +738,12 @@ mod tests {
         let client = a.socket(proto::TCP, 1234).unwrap();
         a.connect(client, 80).unwrap();
         pump_both(&a, &b);
+        assert!(b.poll(server).unwrap(), "listener: accept queue ready");
+        let conn = b.accept(server).unwrap().expect("handshake done");
+        assert!(!b.poll(server).unwrap(), "queue drained");
         a.send(client, 80, b"x").unwrap();
         pump_both(&a, &b);
-        assert!(b.poll(server).unwrap());
+        assert!(b.poll(conn).unwrap());
         assert!(b.ctx().ledger.is_clean());
     }
 
@@ -555,15 +792,21 @@ mod tests {
         a.connect(client, 80).unwrap();
         let payload = vec![9u8; 5000];
         let mut sent = false;
+        let mut conn = None;
         let mut got = Vec::new();
         for round in 0..200 {
             a.pump().unwrap();
             b.pump().unwrap();
+            if conn.is_none() {
+                conn = b.accept(server).unwrap();
+            }
             if !sent && a.tcp_state(client).unwrap() == TcpState::Established {
                 a.send(client, 80, &payload).unwrap();
                 sent = true;
             }
-            got.extend(b.recv(server).unwrap());
+            if let Some(c) = conn {
+                got.extend(b.recv(c).unwrap());
+            }
             if got.len() == payload.len() {
                 break;
             }
@@ -576,17 +819,10 @@ mod tests {
     }
 
     #[test]
-    fn preforked_listeners_serve_multiple_clients() {
+    fn one_listener_serves_multiple_clients() {
         let (a, b) = pair();
-        // Three pre-forked listeners on port 80.
-        let servers: Vec<u64> = (0..3)
-            .map(|_| {
-                let s = b.socket(proto::TCP, 80).unwrap();
-                b.listen(s).unwrap();
-                s
-            })
-            .collect();
-        // Three clients from distinct source ports.
+        let server = b.socket(proto::TCP, 80).unwrap();
+        b.listen(server).unwrap();
         let clients: Vec<u64> = (0..3u16)
             .map(|i| {
                 let c = a.socket(proto::TCP, 1000 + i).unwrap();
@@ -595,19 +831,32 @@ mod tests {
             })
             .collect();
         pump_both(&a, &b);
+        let mut conns = Vec::new();
+        while let Some(fd) = b.accept(server).unwrap() {
+            conns.push(fd);
+        }
+        assert_eq!(conns.len(), 3);
         for (i, &c) in clients.iter().enumerate() {
             assert_eq!(a.tcp_state(c).unwrap(), TcpState::Established, "client {i}");
             a.send(c, 80, format!("from {i}").as_bytes()).unwrap();
         }
         pump_both(&a, &b);
-        // Each server got exactly its own client's bytes.
-        let mut got: Vec<String> = servers
-            .iter()
-            .map(|&s| String::from_utf8(b.recv(s).unwrap()).unwrap())
-            .collect();
-        got.sort();
-        assert_eq!(got, vec!["from 0", "from 1", "from 2"]);
+        // Accept order is SYN arrival order, so each accepted socket got
+        // exactly its own client's bytes.
+        for (i, &s) in conns.iter().enumerate() {
+            assert_eq!(b.recv(s).unwrap(), format!("from {i}").as_bytes());
+        }
         assert!(b.ctx().ledger.is_clean());
+    }
+
+    #[test]
+    fn second_listener_on_the_same_port_is_refused() {
+        let (_a, b) = pair();
+        let s1 = b.socket(proto::TCP, 80).unwrap();
+        b.listen(s1).unwrap();
+        let s2 = b.socket(proto::TCP, 80).unwrap();
+        assert_eq!(b.listen(s2), Err(Errno::EADDRINUSE));
+        assert_eq!(b.listen(s1), Ok(()), "re-listen on the owner is fine");
     }
 
     #[test]
@@ -618,5 +867,85 @@ mod tests {
         a.close(s).unwrap();
         assert_eq!(a.live_objects(), 0);
         assert_eq!(a.recv(s), Err(Errno::EBADF));
+    }
+
+    /// A connected PCB outlives its fd: close keeps the allocation until
+    /// the FIN handshake and TIME_WAIT finish, then tick frees it.
+    #[test]
+    fn tcp_close_keeps_the_pcb_until_teardown_finishes() {
+        let clock = Arc::new(SimClock::new());
+        let (a, b) = pair_on(Arc::new(Wire::new()), Arc::clone(&clock));
+        let server = b.socket(proto::TCP, 80).unwrap();
+        b.listen(server).unwrap();
+        let client = a.socket(proto::TCP, 1234).unwrap();
+        a.connect(client, 80).unwrap();
+        pump_both(&a, &b);
+        let conn = b.accept(server).unwrap().expect("handshake done");
+
+        assert_eq!(a.live_objects(), 1);
+        a.close(client).unwrap();
+        assert_eq!(a.recv(client), Err(Errno::EBADF), "fd dies immediately");
+        assert_eq!(a.live_objects(), 1, "PCB survives for the FIN handshake");
+        b.pump().unwrap();
+        b.close(conn).unwrap();
+        pump_both(&a, &b);
+        // Client sits in TIME_WAIT; expiry lets tick free it.
+        clock.advance(TIME_WAIT_NS + DEFAULT_RTO_NS);
+        a.tick();
+        b.tick();
+        assert_eq!(a.live_objects(), 0, "reaped after TIME_WAIT");
+        assert!(a.ctx().ledger.is_clean());
+        assert!(b.ctx().ledger.is_clean());
+    }
+
+    /// Satellite bugfix 2 (legacy side): a segment to a dead port draws
+    /// a RST instead of being silently swallowed.
+    #[test]
+    fn segment_to_a_dead_port_draws_a_reset() {
+        let (a, b) = pair();
+        let client = a.socket(proto::TCP, 5555).unwrap();
+        a.connect(client, 80).unwrap(); // nobody listens on b:80
+        b.pump().unwrap();
+        assert_eq!(b.demux_resets(), 1);
+        assert_eq!(b.stack_counters().resets_sent, 1);
+        a.pump().unwrap();
+        assert!(a.conn_failed(client).unwrap(), "RST kills the connect");
+        let c = a.tcp_counters(client).unwrap();
+        assert_eq!(c.resets_received, 1);
+        assert_eq!(c.retransmits, 0, "failed fast, no retry burn");
+        // The RST itself must not echo another RST back.
+        b.pump().unwrap();
+        assert_eq!(b.demux_resets(), 1);
+    }
+
+    /// Satellite bugfix 3 (legacy side): ISS is seeded per connection
+    /// and per side — the old `as u32` truncation of a u64 step counter
+    /// gave the first socket of every stack the identical ISS.
+    #[test]
+    fn iss_is_seeded_per_connection_and_per_side() {
+        let wire = Arc::new(Wire::new());
+        let (a, b) = pair_on(Arc::clone(&wire), Arc::new(SimClock::new()));
+        let ca = a.socket(proto::TCP, 7000).unwrap();
+        let cb = b.socket(proto::TCP, 7000).unwrap();
+        a.connect(ca, 80).unwrap();
+        b.connect(cb, 80).unwrap();
+        let syn_a = wire.recv(Side::B).unwrap().expect("SYN from A");
+        let syn_b = wire.recv(Side::A).unwrap().expect("SYN from B");
+        assert_ne!(
+            syn_a.seq, syn_b.seq,
+            "simultaneous connects must not collide on ISS"
+        );
+        let mut seqs = vec![syn_a.seq];
+        for i in 0..100u16 {
+            let fd = a.socket(proto::TCP, 9000 + i).unwrap();
+            a.connect(fd, 80).unwrap();
+        }
+        while let Ok(Some(p)) = wire.recv(Side::B) {
+            seqs.push(p.seq);
+        }
+        assert_eq!(seqs.len(), 101);
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 101, "every connection gets its own ISS");
     }
 }

@@ -189,19 +189,27 @@ mod tests {
                 seed,
             ));
             let mut a = TcpPcb::new(1000, 100);
-            let mut b = TcpPcb::new(80, 9000);
-            b.listen();
+            let mut listener = crate::tcp::TcpListener::new(80, 8, 9000);
+            let mut b: Option<TcpPcb> = None;
             wire.send(Side::A, &a.connect(80, 0));
             let mut chk = StreamChecker::new();
             let mut now = 0u64;
             let mut sent_chunks = 0;
             for round in 0..4000 {
                 now += DEFAULT_RTO_NS / 4;
-                // Drain the wire in both directions.
+                // Drain the wire in both directions; the listener owns
+                // the server side until the handshake completes.
                 while let Ok(Some(pkt)) = wire.recv(Side::B) {
-                    for r in b.on_packet(&pkt, now) {
+                    let responses = match b.as_mut() {
+                        Some(pcb) => pcb.on_packet(&pkt, now),
+                        None => listener.on_packet(&pkt, now),
+                    };
+                    for r in responses {
                         wire.send(Side::B, &r);
                     }
+                }
+                if b.is_none() {
+                    b = listener.accept();
                 }
                 while let Ok(Some(pkt)) = wire.recv(Side::A) {
                     for r in a.on_packet(&pkt, now) {
@@ -220,9 +228,11 @@ mod tests {
                     sent_chunks += 1;
                 }
                 // Consume whatever arrived in order.
-                let got = b.take_received();
-                if !got.is_empty() {
-                    chk.on_deliver(&got);
+                if let Some(pcb) = b.as_mut() {
+                    let got = pcb.take_received();
+                    if !got.is_empty() {
+                        chk.on_deliver(&got);
+                    }
                 }
                 chk.model().check_invariant().unwrap();
                 assert!(chk.is_clean(), "seed {seed}: {:?}", chk.violations());
@@ -232,7 +242,11 @@ mod tests {
                 for p in a.tick(now) {
                     wire.send(Side::A, &p);
                 }
-                for p in b.tick(now) {
+                let server_ticks = match b.as_mut() {
+                    Some(pcb) => pcb.tick(now),
+                    None => listener.tick(now),
+                };
+                for p in server_ticks {
                     wire.send(Side::B, &p);
                 }
                 assert!(round < 3999, "seed {seed}: stream never completed");

@@ -30,10 +30,25 @@
 //!   advances, and never scans by smallest numeric key (which is wrong
 //!   across sequence wraparound).
 //!
+//! Scaled for server duty:
+//!
+//! - **Real passive open** — [`TcpListener`] spawns one child PCB per
+//!   peer into bounded SYN/accept queues ([`TcpListener::accept`] pops
+//!   them FIFO), instead of mutating a lone PCB into the connection and
+//!   silently ignoring every concurrent SYN.
+//! - **Slow start / AIMD congestion control** — a cwnd-limited send
+//!   window ([`INIT_CWND`] growing one segment per ACK below
+//!   [`INIT_SSTHRESH`], additively above it, collapsing to one segment
+//!   on RTO) gates a send buffer; `send` queues and emits what the
+//!   window admits, ACK arrival flushes the rest.
+//! - **Delayed ACKs** — a lone in-order segment waits up to
+//!   [`DELAYED_ACK_NS`] for a piggyback or a second segment before a
+//!   pure ACK is emitted from `tick`.
+//!
 //! Both the legacy and the modular socket layers drive this same engine;
 //! the roadmap experiment varies only the interface around it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::packet::{flags, proto, Packet, MAX_PAYLOAD};
 
@@ -72,6 +87,25 @@ pub const TIME_WAIT_NS: u64 = 4 * DEFAULT_RTO_NS;
 /// dropped (the sender retransmits them once the gap heals).
 pub const OOO_BUDGET: usize = 64;
 
+/// Initial congestion window (bytes): four full segments, the classic
+/// RFC 3390-style initial window.
+pub const INIT_CWND: u32 = 4 * MAX_PAYLOAD as u32;
+
+/// Upper bound on the congestion window, bounding per-connection
+/// retransmission-queue memory.
+pub const MAX_CWND: u32 = 64 * MAX_PAYLOAD as u32;
+
+/// Initial slow-start threshold: slow start doubles per RTT up to here,
+/// then additive increase takes over.
+pub const INIT_SSTHRESH: u32 = 32 * MAX_PAYLOAD as u32;
+
+/// How long a lone in-order segment may wait before a pure ACK is sent
+/// from `tick` (the delayed-ACK timer).
+pub const DELAYED_ACK_NS: u64 = DEFAULT_RTO_NS / 8;
+
+/// Default accept-backlog for a listener when the caller does not choose.
+pub const DEFAULT_BACKLOG: usize = 128;
+
 /// Per-connection event counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TcpCounters {
@@ -90,6 +124,10 @@ pub struct TcpCounters {
     /// RST packets this endpoint accepted (blind RSTs are not counted;
     /// they are dropped).
     pub resets_received: u64,
+    /// Pure ACKs flushed by the delayed-ACK timer in `tick`. ACKs that
+    /// rode out immediately (second segment, out-of-order, FIN) or
+    /// piggybacked on data are not counted here.
+    pub delayed_acks: u64,
 }
 
 /// A segment awaiting acknowledgement.
@@ -135,6 +173,20 @@ pub struct TcpPcb {
     ooo: BTreeMap<u32, Vec<u8>>,
     /// Unacknowledged segments for retransmission.
     in_flight: Vec<InFlight>,
+    /// Bytes the application has submitted but the congestion window has
+    /// not yet admitted to the wire.
+    snd_buf: Vec<u8>,
+    /// Congestion window (bytes of payload allowed in flight).
+    pub cwnd: u32,
+    /// Slow-start threshold: below it the window grows one segment per
+    /// ACK (slow start), above it one segment per window (AIMD).
+    pub ssthresh: u32,
+    /// A FIN is owed but must sequence after everything in `snd_buf`.
+    fin_pending: bool,
+    /// An in-order segment arrived and its ACK is being delayed.
+    ack_pending: bool,
+    /// When the delayed ACK must go out (valid while `ack_pending`).
+    ack_due: u64,
     /// Base retransmission timeout (doubled per backoff round).
     pub rto_ns: u64,
     /// Current backoff round: effective RTO is `rto_ns << backoff_shift`.
@@ -161,6 +213,12 @@ impl TcpPcb {
             recv_ready: Vec::new(),
             ooo: BTreeMap::new(),
             in_flight: Vec::new(),
+            snd_buf: Vec::new(),
+            cwnd: INIT_CWND,
+            ssthresh: INIT_SSTHRESH,
+            fin_pending: false,
+            ack_pending: false,
+            ack_due: 0,
             rto_ns: DEFAULT_RTO_NS,
             backoff_shift: 0,
             time_wait_until: 0,
@@ -169,9 +227,20 @@ impl TcpPcb {
         }
     }
 
-    /// Moves to LISTEN.
-    pub fn listen(&mut self) {
-        self.state = TcpState::Listen;
+    /// Passive open: adopt a peer's SYN and answer with a SYN-ACK. This
+    /// is how [`TcpListener`] brings a freshly spawned child PCB into
+    /// `SynRcvd` — a PCB never sits in `Listen` itself.
+    pub fn accept_syn(&mut self, pkt: &Packet, now: u64) -> Vec<Packet> {
+        if self.state != TcpState::Closed || pkt.flags & flags::SYN == 0 {
+            return Vec::new();
+        }
+        self.remote_port = pkt.src_port;
+        self.rcv_nxt = pkt.seq.wrapping_add(1);
+        self.state = TcpState::SynRcvd;
+        let synack = self.mk(flags::SYN | flags::ACK);
+        self.track(self.snd_nxt, Vec::new(), flags::SYN | flags::ACK, now);
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        vec![synack]
     }
 
     /// True once the connection died abnormally: the retry budget ran out
@@ -200,6 +269,9 @@ impl TcpPcb {
         self.in_flight.clear();
         self.counters.ooo_purged += self.ooo.len() as u64;
         self.ooo.clear();
+        self.snd_buf.clear();
+        self.fin_pending = false;
+        self.ack_pending = false;
         self.failed |= failed;
     }
 
@@ -235,20 +307,73 @@ impl TcpPcb {
         syn
     }
 
-    /// Queues `data` for transmission; returns the segments to send.
-    pub fn send(&mut self, data: &[u8], now: u64) -> Vec<Packet> {
-        if self.state != TcpState::Established && self.state != TcpState::CloseWait {
+    /// True when the application may submit data: connected and not yet
+    /// half-closed by us. Socket layers use this (not an empty segment
+    /// list, which also happens when the window is full) for ENOTCONN.
+    pub fn can_send(&self) -> bool {
+        matches!(self.state, TcpState::Established | TcpState::CloseWait) && !self.fin_pending
+    }
+
+    /// Payload bytes currently awaiting acknowledgement.
+    fn bytes_in_flight(&self) -> usize {
+        self.in_flight.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Bytes accepted from the application but not yet admitted to the
+    /// wire by the congestion window.
+    pub fn backlog_bytes(&self) -> usize {
+        self.snd_buf.len()
+    }
+
+    /// Emits as much buffered data as the congestion window admits, then
+    /// the deferred FIN once the buffer drains. Every segment carries the
+    /// current cumulative ACK.
+    fn flush_window(&mut self, now: u64) -> Vec<Packet> {
+        if !matches!(
+            self.state,
+            TcpState::Established | TcpState::CloseWait | TcpState::FinWait1 | TcpState::LastAck
+        ) {
             return Vec::new();
         }
         let mut out = Vec::new();
-        for chunk in data.chunks(MAX_PAYLOAD) {
+        while !self.snd_buf.is_empty() {
+            let flight = self.bytes_in_flight();
+            if flight >= self.cwnd as usize {
+                break;
+            }
+            let room = (self.cwnd as usize - flight)
+                .min(MAX_PAYLOAD)
+                .min(self.snd_buf.len());
+            let chunk: Vec<u8> = self.snd_buf.drain(..room).collect();
             let mut pkt = self.mk(flags::ACK);
-            pkt.payload = chunk.to_vec();
-            self.track(self.snd_nxt, chunk.to_vec(), flags::ACK, now);
-            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            pkt.payload = chunk.clone();
+            self.track(self.snd_nxt, chunk, flags::ACK, now);
+            self.snd_nxt = self.snd_nxt.wrapping_add(room as u32);
             out.push(pkt);
         }
+        if self.snd_buf.is_empty() && self.fin_pending {
+            self.fin_pending = false;
+            let fin = self.mk(flags::FIN | flags::ACK);
+            self.track(self.snd_nxt, Vec::new(), flags::FIN | flags::ACK, now);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1); // FIN consumes one.
+            out.push(fin);
+        }
+        if !out.is_empty() {
+            // Everything emitted carries ack = rcv_nxt.
+            self.ack_pending = false;
+        }
         out
+    }
+
+    /// Queues `data` for transmission; returns the segments the
+    /// congestion window admits right now (the rest follows from
+    /// `on_packet`/`tick` as ACKs open the window).
+    pub fn send(&mut self, data: &[u8], now: u64) -> Vec<Packet> {
+        if !self.can_send() {
+            return Vec::new();
+        }
+        self.snd_buf.extend_from_slice(data);
+        self.flush_window(now)
     }
 
     /// Takes the bytes received in order so far.
@@ -266,8 +391,10 @@ impl TcpPcb {
         self.ooo.len()
     }
 
-    /// Begins an active close; returns the FIN if one can be sent now.
-    pub fn close(&mut self, now: u64) -> Option<Packet> {
+    /// Begins an active close; returns the segments that can go now. The
+    /// FIN sequences after everything buffered, so it may be deferred
+    /// until ACKs drain the send buffer.
+    pub fn close(&mut self, now: u64) -> Vec<Packet> {
         match self.state {
             TcpState::Established => self.state = TcpState::FinWait1,
             TcpState::CloseWait => self.state = TcpState::LastAck,
@@ -275,14 +402,12 @@ impl TcpPcb {
                 // Nothing to hand over: drop any in-flight SYN so a closed
                 // socket never keeps retransmitting.
                 self.enter_closed(false);
-                return None;
+                return Vec::new();
             }
-            _ => return None,
+            _ => return Vec::new(),
         }
-        let fin = self.mk(flags::FIN | flags::ACK);
-        self.track(self.snd_nxt, Vec::new(), flags::FIN | flags::ACK, now);
-        self.snd_nxt = self.snd_nxt.wrapping_add(1); // FIN consumes one.
-        Some(fin)
+        self.fin_pending = true;
+        self.flush_window(now)
     }
 
     /// Processes a cumulative ACK. Only values in `(snd_una, snd_nxt]`
@@ -303,6 +428,11 @@ impl TcpPcb {
             self.counters.dup_acks_dropped += 1;
             return false;
         }
+        let payload_retired = self
+            .in_flight
+            .iter()
+            .filter(|seg| !seq_lt(ack, seg.seq.wrapping_add(seg.occupied())))
+            .any(|seg| !seg.data.is_empty());
         self.in_flight
             .retain(|seg| seq_lt(ack, seg.seq.wrapping_add(seg.occupied())));
         self.snd_una = ack;
@@ -314,6 +444,18 @@ impl TcpPcb {
         self.backoff_shift = 0;
         for seg in &mut self.in_flight {
             seg.retries = 0;
+        }
+        // Congestion window growth: one segment per ACK in slow start,
+        // one segment per window (additive increase) past ssthresh.
+        // Only ACKs that retire payload count — SYN/FIN retirement says
+        // nothing about the path's data capacity.
+        if payload_retired {
+            let mss = MAX_PAYLOAD as u32;
+            if self.cwnd < self.ssthresh {
+                self.cwnd = (self.cwnd + mss).min(MAX_CWND);
+            } else {
+                self.cwnd = (self.cwnd + (mss * mss / self.cwnd).max(1)).min(MAX_CWND);
+            }
         }
         true
     }
@@ -408,15 +550,9 @@ impl TcpPcb {
         }
         match self.state {
             TcpState::Listen => {
-                if pkt.flags & flags::SYN != 0 {
-                    self.remote_port = pkt.src_port;
-                    self.rcv_nxt = pkt.seq.wrapping_add(1);
-                    self.state = TcpState::SynRcvd;
-                    let synack = self.mk(flags::SYN | flags::ACK);
-                    self.track(self.snd_nxt, Vec::new(), flags::SYN | flags::ACK, now);
-                    self.snd_nxt = self.snd_nxt.wrapping_add(1);
-                    out.push(synack);
-                }
+                // A bare PCB never sits in Listen: passive opens go
+                // through TcpListener, which spawns children via
+                // accept_syn. Anything arriving here is dropped.
             }
             TcpState::SynSent => {
                 if pkt.flags & (flags::SYN | flags::ACK) == flags::SYN | flags::ACK
@@ -453,18 +589,9 @@ impl TcpPcb {
             | TcpState::TimeWait => {
                 if pkt.flags & flags::ACK != 0 {
                     self.process_ack(pkt.ack);
-                    // State progress driven by our FIN being acknowledged.
-                    if self.in_flight.is_empty() {
-                        match self.state {
-                            TcpState::FinWait1 => self.state = TcpState::FinWait2,
-                            TcpState::LastAck => self.enter_closed(false),
-                            _ => {}
-                        }
-                    }
                 }
-                if self.state == TcpState::Closed {
-                    return out;
-                }
+                let had_payload = !pkt.payload.is_empty();
+                let in_order = had_payload && pkt.seq == self.rcv_nxt;
                 self.absorb_payload(pkt.seq, pkt.payload.clone());
                 if pkt.flags & flags::FIN != 0 && pkt.seq == self.rcv_nxt {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
@@ -476,19 +603,51 @@ impl TcpPcb {
                         }
                         _ => {}
                     }
+                    self.ack_pending = false;
                     out.push(self.mk(flags::ACK));
-                } else if !pkt.payload.is_empty() || pkt.flags & flags::FIN != 0 {
-                    // Re-ACK data and duplicate FINs so a peer whose
-                    // FIN-ACK was lost can finish its LastAck instead of
-                    // burning its retry budget.
+                } else if (had_payload && !in_order) || pkt.flags & (flags::FIN | flags::SYN) != 0 {
+                    // Out-of-order, duplicate data, a duplicate FIN, or a
+                    // retransmitted SYN/SYN-ACK (our handshake ACK was
+                    // lost; without a re-ACK the peer's child PCB would
+                    // sit in SynRcvd forever): re-ACK immediately so the
+                    // sender heals instead of burning its retry budget.
+                    self.ack_pending = false;
                     out.push(self.mk(flags::ACK));
+                } else if in_order {
+                    // Delayed ACK: every second in-order segment is ACKed
+                    // at once, a lone one waits for the tick timer (or a
+                    // piggyback below).
+                    if self.ack_pending {
+                        self.ack_pending = false;
+                        out.push(self.mk(flags::ACK));
+                    } else {
+                        self.ack_pending = true;
+                        self.ack_due = now + DELAYED_ACK_NS;
+                    }
+                }
+                // The ACK may have opened the congestion window (or
+                // retired the last data ahead of a deferred FIN): emit
+                // what the window now admits. Flushed segments carry the
+                // cumulative ACK, so they cancel a pending delayed ACK.
+                out.extend(self.flush_window(now));
+                // State progress driven by our FIN being acknowledged —
+                // only once the FIN was actually sent (nothing buffered,
+                // none pending) and everything in flight retired.
+                if pkt.flags & flags::ACK != 0
+                    && self.in_flight.is_empty()
+                    && self.snd_buf.is_empty()
+                    && !self.fin_pending
+                {
+                    match self.state {
+                        TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                        TcpState::LastAck => self.enter_closed(false),
+                        _ => {}
+                    }
                 }
             }
             TcpState::Closed => {
-                let mut rst = self.mk(flags::RST);
-                rst.dst_port = pkt.src_port;
                 self.counters.resets_sent += 1;
-                out.push(rst);
+                out.push(rst_for(pkt, self.local_port));
             }
         }
         out
@@ -506,8 +665,13 @@ impl TcpPcb {
         if self.state == TcpState::Closed {
             return Vec::new();
         }
-        let rto = self.effective_rto();
         let mut out = Vec::new();
+        if self.ack_pending && now >= self.ack_due {
+            self.ack_pending = false;
+            self.counters.delayed_acks += 1;
+            out.push(self.mk(flags::ACK));
+        }
+        let rto = self.effective_rto();
         let mut resent = false;
         for i in 0..self.in_flight.len() {
             if now.saturating_sub(self.in_flight[i].sent_at) < rto {
@@ -533,21 +697,212 @@ impl TcpPcb {
                 payload: seg.data.clone(),
             });
         }
-        if resent && self.backoff_shift < MAX_BACKOFF_SHIFT {
-            self.backoff_shift += 1;
+        if resent {
+            // A timeout signals congestion: multiplicative decrease.
+            // Half the flight becomes the new threshold, the window
+            // collapses to one segment and slow start restarts.
+            let mss = MAX_PAYLOAD as u32;
+            self.ssthresh = ((self.bytes_in_flight() / 2) as u32).max(2 * mss);
+            self.cwnd = mss;
+            if self.backoff_shift < MAX_BACKOFF_SHIFT {
+                self.backoff_shift += 1;
+            }
         }
+        out.extend(self.flush_window(now));
         out
     }
 
-    /// True when all sent data has been acknowledged.
+    /// True when all submitted data has been sent and acknowledged.
     pub fn all_acked(&self) -> bool {
-        self.in_flight.is_empty()
+        self.in_flight.is_empty() && self.snd_buf.is_empty() && !self.fin_pending
+    }
+}
+
+/// An RST answering `pkt`, acceptable to the peer whatever state it is
+/// in: `seq` echoes the peer's own ACK (its view of our send edge) and
+/// `ack` covers everything the offending segment occupied, so a SYN into
+/// a dead port sees its SYN acknowledged (satisfying the `SynSent` RST
+/// window check) and a retransmitting established peer sees `seq` at its
+/// receive edge.
+pub fn rst_for(pkt: &Packet, local_port: u16) -> Packet {
+    let occupied = pkt.payload.len() as u32
+        + u32::from(pkt.flags & flags::SYN != 0)
+        + u32::from(pkt.flags & flags::FIN != 0);
+    Packet {
+        proto: proto::TCP,
+        flags: flags::RST | flags::ACK,
+        src_port: local_port,
+        dst_port: pkt.src_port,
+        seq: pkt.ack,
+        ack: pkt.seq.wrapping_add(occupied),
+        payload: Vec::new(),
     }
 }
 
 /// Serial-number "less than" for 32-bit sequence space.
 fn seq_lt(a: u32, b: u32) -> bool {
     (b.wrapping_sub(a) as i32) > 0
+}
+
+/// Per-listener event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ListenerStats {
+    /// SYNs that reached the listener (new handshake attempts).
+    pub syns_received: u64,
+    /// Child PCBs spawned into the SYN queue.
+    pub children_spawned: u64,
+    /// SYNs dropped because the queues sat at the backlog limit (the
+    /// peer's SYN retransmission retries later).
+    pub backlog_drops: u64,
+    /// Established children handed to the application via `accept`.
+    pub accepted: u64,
+    /// Children culled before accept: handshake retry budget exhausted,
+    /// reset by the peer, or closed while queued.
+    pub children_failed: u64,
+    /// RSTs answering non-SYN segments that matched no child — stale
+    /// traffic from dead connection incarnations.
+    pub resets_sent: u64,
+}
+
+/// A real passive open: a listening endpoint that spawns one child
+/// [`TcpPcb`] per peer into a bounded SYN/accept queue, instead of
+/// mutating itself into the connection (the historical single-shot
+/// behaviour, which silently ignored every concurrent SYN).
+///
+/// Children are keyed by remote port. They stay inside the listener —
+/// absorbing handshake traffic, retransmitting their SYN-ACKs from
+/// `tick`, even buffering early data — until [`TcpListener::accept`]
+/// hands them to the application, FIFO in order of reaching
+/// `Established`. The queue (SYN + accept together) is bounded by
+/// `backlog`: excess SYNs are dropped silently, exactly like a full
+/// listen queue, and heal via the peer's SYN retransmission once
+/// `accept` frees a slot.
+#[derive(Debug)]
+pub struct TcpListener {
+    /// The listening port.
+    pub local_port: u16,
+    backlog: usize,
+    iss_base: u32,
+    /// Children by remote port: SynRcvd (SYN queue) or Established but
+    /// not yet accepted (accept queue).
+    children: BTreeMap<u16, TcpPcb>,
+    /// Remote ports whose child reached Established, in accept order.
+    ready: VecDeque<u16>,
+    /// Event counters.
+    pub stats: ListenerStats,
+}
+
+impl TcpListener {
+    /// A listener on `local_port` holding at most `backlog` children.
+    /// `iss_base` seeds the per-connection ISS derivation.
+    pub fn new(local_port: u16, backlog: usize, iss_base: u32) -> TcpListener {
+        TcpListener {
+            local_port,
+            backlog: backlog.max(1),
+            iss_base,
+            children: BTreeMap::new(),
+            ready: VecDeque::new(),
+            stats: ListenerStats::default(),
+        }
+    }
+
+    /// Children currently queued (SYN queue + accept queue).
+    pub fn pending(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Established children awaiting `accept`.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The configured backlog limit.
+    pub fn backlog(&self) -> usize {
+        self.backlog
+    }
+
+    /// Deterministic per-connection ISS: an odd-multiplier walk of the
+    /// sequence space keyed by the remote port, so simultaneous
+    /// handshakes never collide on an ISS (and replays are exact).
+    fn child_iss(&self, remote_port: u16) -> u32 {
+        self.iss_base
+            .wrapping_add((u32::from(remote_port)).wrapping_mul(0x9E37_79B9) | 1)
+    }
+
+    /// Queues `remote` for accept if its child just became established;
+    /// culls it if it died. Returns true if the child was culled.
+    fn promote_or_cull(&mut self, remote: u16) -> bool {
+        let Some(child) = self.children.get(&remote) else {
+            return false;
+        };
+        if child.state == TcpState::Closed {
+            self.children.remove(&remote);
+            self.ready.retain(|&r| r != remote);
+            self.stats.children_failed += 1;
+            return true;
+        }
+        if child.state != TcpState::SynRcvd && !self.ready.contains(&remote) {
+            self.ready.push_back(remote);
+        }
+        false
+    }
+
+    /// Handles a packet addressed to the listening port: routes it to
+    /// the matching child, spawns a child for a fresh SYN (backlog
+    /// permitting), answers stale non-SYN traffic with an RST, and
+    /// ignores RSTs that match no child — a listener is not a
+    /// connection; a blind RST cannot kill it.
+    pub fn on_packet(&mut self, pkt: &Packet, now: u64) -> Vec<Packet> {
+        if let Some(child) = self.children.get_mut(&pkt.src_port) {
+            let out = child.on_packet(pkt, now);
+            self.promote_or_cull(pkt.src_port);
+            return out;
+        }
+        if pkt.flags & flags::RST != 0 {
+            return Vec::new();
+        }
+        if pkt.flags & flags::SYN != 0 {
+            self.stats.syns_received += 1;
+            if self.children.len() >= self.backlog {
+                self.stats.backlog_drops += 1;
+                return Vec::new();
+            }
+            let mut child = TcpPcb::new(self.local_port, self.child_iss(pkt.src_port));
+            let out = child.accept_syn(pkt, now);
+            self.children.insert(pkt.src_port, child);
+            self.stats.children_spawned += 1;
+            return out;
+        }
+        self.stats.resets_sent += 1;
+        vec![rst_for(pkt, self.local_port)]
+    }
+
+    /// Pops the oldest established child, ready for its own fd and a
+    /// slot in the connection table.
+    pub fn accept(&mut self) -> Option<TcpPcb> {
+        while let Some(remote) = self.ready.pop_front() {
+            if let Some(child) = self.children.remove(&remote) {
+                self.stats.accepted += 1;
+                return Some(child);
+            }
+        }
+        None
+    }
+
+    /// Timer processing for every queued child (SYN-ACK retransmission
+    /// with the usual backoff and retry budget); culls children whose
+    /// handshake died so a SYN flood cannot pin the queue forever.
+    pub fn tick(&mut self, now: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let remotes: Vec<u16> = self.children.keys().copied().collect();
+        for remote in remotes {
+            if let Some(child) = self.children.get_mut(&remote) {
+                out.extend(child.tick(now));
+            }
+            self.promote_or_cull(remote);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -563,16 +918,21 @@ mod tests {
         out
     }
 
+    /// Handshake through a real listener: the client PCB talks to a
+    /// TcpListener, and the established child is popped via accept.
     fn established_pair() -> (TcpPcb, TcpPcb) {
         let mut a = TcpPcb::new(1000, 100);
-        let mut b = TcpPcb::new(80, 9000);
-        b.listen();
+        let mut l = TcpListener::new(80, 8, 9000);
         let syn = a.connect(80, 0);
-        let synack = b.on_packet(&syn, 0);
+        let synack = l.on_packet(&syn, 0);
         let ack = deliver(&mut a, synack, 0);
-        deliver(&mut b, ack, 0);
+        for p in ack {
+            l.on_packet(&p, 0);
+        }
+        let b = l.accept().expect("child established and accepted");
         assert_eq!(a.state, TcpState::Established);
         assert_eq!(b.state, TcpState::Established);
+        assert_eq!(b.remote_port, 1000);
         (a, b)
     }
 
@@ -587,7 +947,11 @@ mod tests {
         let segs = a.send(b"hello tcp", 1);
         assert_eq!(segs.len(), 1);
         let acks = deliver(&mut b, segs, 1);
+        assert!(acks.is_empty(), "a lone in-order segment delays its ACK");
         assert_eq!(b.take_received(), b"hello tcp");
+        let acks = b.tick(1 + DELAYED_ACK_NS);
+        assert_eq!(acks.len(), 1, "the delayed-ACK timer flushes it");
+        assert_eq!(b.counters.delayed_acks, 1);
         deliver(&mut a, acks, 1);
         assert!(a.all_acked());
     }
@@ -597,9 +961,12 @@ mod tests {
         let (mut a, mut b) = established_pair();
         let data = vec![7u8; MAX_PAYLOAD * 3 + 10];
         let segs = a.send(&data, 1);
-        assert_eq!(segs.len(), 4);
+        assert_eq!(segs.len(), 4, "within the initial window: all at once");
         let acks = deliver(&mut b, segs, 1);
+        assert!(!acks.is_empty(), "every second segment is ACKed at once");
         assert_eq!(b.take_received(), data);
+        deliver(&mut a, acks, 1);
+        let acks = b.tick(1 + DELAYED_ACK_NS);
         deliver(&mut a, acks, 1);
         assert!(a.all_acked());
     }
@@ -639,28 +1006,75 @@ mod tests {
         let rts = a.tick(1 + DEFAULT_RTO_NS);
         assert_eq!(rts.len(), 1);
         assert_eq!(a.counters.retransmits, 1);
-        let acks = deliver(&mut b, rts, 2);
+        let now = 1 + DEFAULT_RTO_NS;
+        deliver(&mut b, rts, now);
         assert_eq!(b.take_received(), b"lost");
-        deliver(&mut a, acks, 2);
+        let acks = b.tick(now + DELAYED_ACK_NS);
+        deliver(&mut a, acks, now + DELAYED_ACK_NS);
         assert!(a.all_acked());
     }
 
     #[test]
     fn fin_teardown_both_directions() {
         let (mut a, mut b) = established_pair();
-        let fin = a.close(1).expect("fin");
+        let mut fins = a.close(1);
+        assert_eq!(fins.len(), 1, "nothing buffered: the FIN goes at once");
+        let fin = fins.remove(0);
         assert_eq!(a.state, TcpState::FinWait1);
         let acks = b.on_packet(&fin, 1);
         assert_eq!(b.state, TcpState::CloseWait);
         deliver(&mut a, acks, 1);
         assert!(matches!(a.state, TcpState::FinWait2 | TcpState::TimeWait));
-        let fin2 = b.close(2).expect("fin2");
+        let fin2 = b.close(2).remove(0);
         assert_eq!(b.state, TcpState::LastAck);
         let acks2 = a.on_packet(&fin2, 2);
         assert_eq!(a.state, TcpState::TimeWait);
         deliver(&mut b, acks2, 2);
         assert_eq!(b.state, TcpState::Closed);
         assert!(!b.is_failed(), "orderly close is not a failure");
+    }
+
+    /// The FIN must sequence after buffered data: closing with a full
+    /// window defers the FIN until ACKs drain the send buffer.
+    #[test]
+    fn close_defers_fin_behind_buffered_data() {
+        let (mut a, mut b) = established_pair();
+        let data = vec![9u8; INIT_CWND as usize + 500];
+        let segs = a.send(&data, 1);
+        assert!(a.backlog_bytes() > 0, "window-limited: data buffered");
+        let out = a.close(1);
+        assert!(
+            out.iter().all(|p| p.flags & flags::FIN == 0),
+            "no FIN may overtake buffered data"
+        );
+        assert_eq!(a.state, TcpState::FinWait1);
+        assert!(!a.can_send(), "no new data after close");
+        // Drain: deliver everything, ACK it back, repeat until the FIN
+        // arrives and both sides wind down.
+        let mut now = 1u64;
+        let mut wire: Vec<Packet> = segs.into_iter().chain(out).collect();
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            now += DELAYED_ACK_NS + 1;
+            let to_a = deliver(&mut b, std::mem::take(&mut wire), now);
+            got.extend(b.take_received());
+            let mut back = deliver(&mut a, to_a, now);
+            back.extend(a.tick(now));
+            let mut to_a2 = deliver(&mut b, back, now);
+            to_a2.extend(b.tick(now));
+            wire.extend(deliver(&mut a, to_a2, now));
+            if a.state == TcpState::FinWait2 || a.state == TcpState::TimeWait {
+                break;
+            }
+        }
+        got.extend(b.take_received());
+        assert_eq!(got, data, "every buffered byte arrived before the FIN");
+        assert!(
+            matches!(a.state, TcpState::FinWait2 | TcpState::TimeWait),
+            "FIN eventually sent and acknowledged, state {:?}",
+            a.state
+        );
+        assert_eq!(b.state, TcpState::CloseWait);
     }
 
     #[test]
@@ -699,46 +1113,48 @@ mod tests {
     /// connection and must keep accepting new SYNs.
     #[test]
     fn rst_cannot_kill_a_listener() {
-        let mut srv = TcpPcb::new(80, 9000);
-        srv.listen();
-        for seq in [0u32, srv.rcv_nxt, 12345] {
+        let mut srv = TcpListener::new(80, 8, 9000);
+        for seq in [0u32, 1, 12345] {
             let mut rst = Packet::new(proto::TCP, 99, 80);
             rst.flags = flags::RST;
             rst.seq = seq;
-            srv.on_packet(&rst, 0);
-            assert_eq!(srv.state, TcpState::Listen);
+            assert!(srv.on_packet(&rst, 0).is_empty(), "RSTs are not answered");
+            assert_eq!(srv.pending(), 0, "an RST never spawns a child");
         }
         // Still accepts a connection afterwards.
         let mut cli = TcpPcb::new(1000, 100);
         let syn = cli.connect(80, 0);
         assert_eq!(srv.on_packet(&syn, 0).len(), 1);
-        assert_eq!(srv.state, TcpState::SynRcvd);
+        assert_eq!(srv.pending(), 1, "child spawned into the SYN queue");
     }
 
     /// Regression (stale ACK in SynRcvd): an ACK that does not cover the
-    /// in-flight SYN-ACK must not establish the connection.
+    /// child's in-flight SYN-ACK must not establish the connection.
     #[test]
     fn stale_ack_does_not_establish_from_syn_rcvd() {
-        let mut srv = TcpPcb::new(80, 9000);
-        srv.listen();
+        let mut srv = TcpListener::new(80, 8, 9000);
         let mut cli = TcpPcb::new(1000, 100);
         let syn = cli.connect(80, 0);
-        srv.on_packet(&syn, 0);
-        assert_eq!(srv.state, TcpState::SynRcvd);
-        // ACK from an old incarnation: acknowledges nothing of ours.
+        let synack = srv.on_packet(&syn, 0).remove(0);
+        assert_eq!(srv.pending(), 1);
+        assert_eq!(srv.ready_len(), 0, "SynRcvd child is not yet acceptable");
+        // ACK from an old incarnation: acknowledges nothing of the child's.
         let mut stale = Packet::new(proto::TCP, 1000, 80);
         stale.flags = flags::ACK;
-        stale.ack = srv.snd_nxt.wrapping_sub(1); // covers the ISS, not the SYN-ACK
-        stale.seq = srv.rcv_nxt;
+        stale.ack = synack.seq; // covers the ISS, not the SYN-ACK
+        stale.seq = synack.ack;
         srv.on_packet(&stale, 0);
-        assert_eq!(srv.state, TcpState::SynRcvd, "stale ACK must not establish");
+        assert_eq!(srv.ready_len(), 0, "stale ACK must not establish");
+        assert!(srv.accept().is_none());
         // The genuine ACK does.
         let mut good = Packet::new(proto::TCP, 1000, 80);
         good.flags = flags::ACK;
-        good.ack = srv.snd_nxt;
-        good.seq = srv.rcv_nxt;
+        good.ack = synack.seq.wrapping_add(1);
+        good.seq = synack.ack;
         srv.on_packet(&good, 0);
-        assert_eq!(srv.state, TcpState::Established);
+        assert_eq!(srv.ready_len(), 1);
+        let child = srv.accept().expect("established child");
+        assert_eq!(child.state, TcpState::Established);
     }
 
     /// Regression (ghost ACK): an ACK beyond `snd_nxt` must not retire
@@ -783,7 +1199,7 @@ mod tests {
     fn close_in_syn_sent_stops_retransmission() {
         let mut a = TcpPcb::new(1000, 100);
         a.connect(80, 0);
-        assert!(a.close(1).is_none());
+        assert!(a.close(1).is_empty());
         assert_eq!(a.state, TcpState::Closed);
         assert!(a.all_acked(), "in-flight SYN cleared on close");
         for round in 1..=20u64 {
@@ -795,14 +1211,131 @@ mod tests {
         assert_eq!(a.counters.retransmits, 0);
     }
 
-    /// Regression (close in Listen): same contract for a listener.
+    /// One listener, many concurrent handshakes: each SYN spawns its own
+    /// child, accept pops them FIFO, and data flows per connection.
     #[test]
-    fn close_in_listen_is_quiet() {
-        let mut srv = TcpPcb::new(80, 9000);
-        srv.listen();
-        assert!(srv.close(0).is_none());
-        assert_eq!(srv.state, TcpState::Closed);
-        assert!(srv.tick(DEFAULT_RTO_NS * 2).is_empty());
+    fn listener_serves_concurrent_handshakes() {
+        let mut srv = TcpListener::new(80, 8, 9000);
+        let mut clients: Vec<TcpPcb> = (0..3).map(|i| TcpPcb::new(2000 + i, 100)).collect();
+        // All three SYNs land before any handshake completes.
+        let synacks: Vec<Packet> = clients
+            .iter_mut()
+            .map(|c| srv.on_packet(&c.connect(80, 0), 0).remove(0))
+            .collect();
+        assert_eq!(srv.pending(), 3, "three children in the SYN queue");
+        assert_eq!(srv.ready_len(), 0);
+        for (c, sa) in clients.iter_mut().zip(synacks) {
+            for ack in c.on_packet(&sa, 0) {
+                srv.on_packet(&ack, 0);
+            }
+            assert_eq!(c.state, TcpState::Established);
+        }
+        assert_eq!(srv.ready_len(), 3, "all three in the accept queue");
+        for expected_remote in [2000u16, 2001, 2002] {
+            let mut child = srv.accept().expect("accepted in FIFO order");
+            assert_eq!(child.remote_port, expected_remote);
+            // Each pair carries data independently.
+            let cli = &mut clients[(expected_remote - 2000) as usize];
+            let msg = vec![expected_remote as u8; 64];
+            for seg in cli.send(&msg, 1) {
+                child.on_packet(&seg, 1);
+            }
+            assert_eq!(child.take_received(), msg);
+        }
+        assert!(srv.accept().is_none());
+        assert_eq!(srv.stats.accepted, 3);
+        assert_eq!(srv.stats.children_spawned, 3);
+    }
+
+    /// The backlog bounds the queue: excess SYNs are dropped silently and
+    /// heal via SYN retransmission once accept frees a slot.
+    #[test]
+    fn backlog_limit_drops_syns_until_accept_frees_a_slot() {
+        let mut srv = TcpListener::new(80, 2, 9000);
+        let mut c1 = TcpPcb::new(3001, 100);
+        let mut c2 = TcpPcb::new(3002, 100);
+        let mut c3 = TcpPcb::new(3003, 100);
+        let sa1 = srv.on_packet(&c1.connect(80, 0), 0);
+        let sa2 = srv.on_packet(&c2.connect(80, 0), 0);
+        let dropped = srv.on_packet(&c3.connect(80, 0), 0);
+        assert!(dropped.is_empty(), "backlog full: the third SYN is dropped");
+        assert_eq!(srv.stats.backlog_drops, 1);
+        assert_eq!(srv.pending(), 2);
+        // First two complete; one is accepted, freeing a slot.
+        for (c, sa) in [(&mut c1, sa1), (&mut c2, sa2)] {
+            for p in sa {
+                for ack in c.on_packet(&p, 0) {
+                    srv.on_packet(&ack, 0);
+                }
+            }
+        }
+        assert!(srv.accept().is_some());
+        // The third client's SYN-RTO retransmission now gets through.
+        let rts = c3.tick(DEFAULT_RTO_NS);
+        assert_eq!(rts.len(), 1, "SYN retransmitted");
+        let sa3 = srv.on_packet(&rts[0], DEFAULT_RTO_NS);
+        assert_eq!(sa3.len(), 1, "slot free: SYN-ACK answered");
+        for ack in c3.on_packet(&sa3[0], DEFAULT_RTO_NS) {
+            srv.on_packet(&ack, DEFAULT_RTO_NS);
+        }
+        assert_eq!(c3.state, TcpState::Established);
+        assert_eq!(srv.ready_len(), 2);
+    }
+
+    /// Distinct remotes get distinct, deterministic ISS values.
+    #[test]
+    fn child_iss_is_seeded_per_connection() {
+        let srv = TcpListener::new(80, 8, 9000);
+        let mut seen = std::collections::BTreeSet::new();
+        for remote in [1u16, 2, 3, 1000, 1001, 65535] {
+            assert!(seen.insert(srv.child_iss(remote)), "ISS collision");
+        }
+        let again = TcpListener::new(80, 8, 9000);
+        assert_eq!(
+            srv.child_iss(1000),
+            again.child_iss(1000),
+            "derivation is deterministic for replay"
+        );
+    }
+
+    /// A handshake that dies in the SYN queue (peer resets) is culled and
+    /// never reaches the accept queue.
+    #[test]
+    fn reset_child_is_culled_from_the_syn_queue() {
+        let mut srv = TcpListener::new(80, 8, 9000);
+        let mut cli = TcpPcb::new(4000, 100);
+        let synack = srv.on_packet(&cli.connect(80, 0), 0).remove(0);
+        assert_eq!(srv.pending(), 1);
+        // The client aborts: an in-window RST kills the child.
+        let mut rst = Packet::new(proto::TCP, 4000, 80);
+        rst.flags = flags::RST;
+        rst.seq = synack.ack;
+        srv.on_packet(&rst, 0);
+        assert_eq!(srv.pending(), 0, "reset child culled");
+        assert_eq!(srv.stats.children_failed, 1);
+        assert!(srv.accept().is_none());
+    }
+
+    /// Stale non-SYN traffic that matches no child is answered with an
+    /// RST the confused peer will actually accept.
+    #[test]
+    fn listener_resets_stale_segments_from_dead_incarnations() {
+        let mut srv = TcpListener::new(80, 8, 9000);
+        // An established peer from a dead incarnation retransmits data.
+        let mut stale = Packet::new(proto::TCP, 5000, 80);
+        stale.flags = flags::ACK;
+        stale.seq = 7777;
+        stale.ack = 1234;
+        stale.payload = vec![1, 2, 3];
+        let out = srv.on_packet(&stale, 0);
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].flags & flags::RST, 0);
+        assert_eq!(srv.stats.resets_sent, 1);
+        assert_eq!(
+            out[0].seq, stale.ack,
+            "RST seq sits at the peer's receive edge"
+        );
+        assert_eq!(srv.pending(), 0, "no child conjured from stale traffic");
     }
 
     /// Regression (ooo purge): entries below `rcv_nxt` — covered by a
@@ -883,10 +1416,59 @@ mod tests {
         let mut now = 1 + a.effective_rto();
         let rts = a.tick(now);
         assert!(a.effective_rto() > DEFAULT_RTO_NS, "backed off");
-        let acks = deliver(&mut b, rts, now);
-        now += 1;
+        deliver(&mut b, rts, now);
+        now += DELAYED_ACK_NS;
+        let acks = b.tick(now);
         deliver(&mut a, acks, now);
         assert_eq!(a.effective_rto(), DEFAULT_RTO_NS, "progress resets backoff");
+    }
+
+    /// Slow start doubles the window per round of ACKs; a timeout
+    /// collapses it to one segment and halves the threshold.
+    #[test]
+    fn cwnd_slow_start_and_timeout_collapse() {
+        let (mut a, mut b) = established_pair();
+        assert_eq!(a.cwnd, INIT_CWND);
+        let data = vec![5u8; 12 * MAX_PAYLOAD];
+        let segs = a.send(&data, 1);
+        assert_eq!(
+            segs.len() * MAX_PAYLOAD,
+            INIT_CWND as usize,
+            "first burst is window-limited"
+        );
+        assert_eq!(a.backlog_bytes(), data.len() - INIT_CWND as usize);
+        // ACKs grow the window one segment each and flush more data.
+        let mut acks = deliver(&mut b, segs, 1);
+        acks.extend(b.tick(1 + DELAYED_ACK_NS));
+        let more = deliver(&mut a, acks, 1 + DELAYED_ACK_NS);
+        assert!(a.cwnd > INIT_CWND, "slow start grew the window");
+        assert!(!more.is_empty(), "ACKs flushed buffered data");
+        // Silence: everything still in flight times out.
+        let now = 2 + DELAYED_ACK_NS + a.effective_rto();
+        let flight_before = a.cwnd;
+        a.tick(now);
+        assert_eq!(a.cwnd, MAX_PAYLOAD as u32, "collapse to one segment");
+        assert!(
+            a.ssthresh >= 2 * MAX_PAYLOAD as u32 && a.ssthresh < flight_before,
+            "threshold halved to half the flight: {}",
+            a.ssthresh
+        );
+    }
+
+    /// The congestion window never exceeds its cap, bounding memory.
+    #[test]
+    fn cwnd_is_capped() {
+        let (mut a, _b) = established_pair();
+        a.ssthresh = MAX_CWND;
+        a.cwnd = MAX_CWND - 1;
+        // Retire a segment to trigger growth.
+        let seg = a.send(&[1u8; 10], 1).remove(0);
+        let mut ack = Packet::new(proto::TCP, 80, 1000);
+        ack.flags = flags::ACK;
+        ack.ack = seg.seq.wrapping_add(10);
+        ack.seq = a.rcv_nxt;
+        a.on_packet(&ack, 1);
+        assert_eq!(a.cwnd, MAX_CWND);
     }
 
     /// Tentpole: TIME_WAIT expires via tick, so the PCB reaches `Closed`
@@ -894,10 +1476,10 @@ mod tests {
     #[test]
     fn time_wait_expires_to_closed() {
         let (mut a, mut b) = established_pair();
-        let fin = a.close(1).expect("fin");
+        let fin = a.close(1).remove(0);
         let acks = b.on_packet(&fin, 1);
         deliver(&mut a, acks, 1);
-        let fin2 = b.close(2).expect("fin2");
+        let fin2 = b.close(2).remove(0);
         let acks2 = a.on_packet(&fin2, 2);
         deliver(&mut b, acks2, 2);
         assert_eq!(a.state, TcpState::TimeWait);
@@ -922,9 +1504,9 @@ mod tests {
 
     #[test]
     fn retransmitted_segments_keep_their_original_flags() {
-        // A SYN-ACK retransmits as a SYN-ACK even after states move on.
-        let mut srv = TcpPcb::new(80, 9000);
-        srv.listen();
+        // A queued child's SYN-ACK retransmits as a SYN-ACK from the
+        // listener's tick, even after states move on.
+        let mut srv = TcpListener::new(80, 8, 9000);
         let mut cli = TcpPcb::new(1000, 100);
         let syn = cli.connect(80, 0);
         srv.on_packet(&syn, 0);
@@ -946,12 +1528,14 @@ mod tests {
         // stream wraps; the old smallest-numeric-key drain scan wedged
         // here.
         let mut a = TcpPcb::new(1000, u32::MAX - 120);
-        let mut b = TcpPcb::new(80, 9000);
-        b.listen();
+        let mut l = TcpListener::new(80, 8, 9000);
         let syn = a.connect(80, 0);
-        let synack = b.on_packet(&syn, 0);
+        let synack = l.on_packet(&syn, 0);
         let ack = deliver(&mut a, synack, 0);
-        deliver(&mut b, ack, 0);
+        for p in ack {
+            l.on_packet(&p, 0);
+        }
+        let mut b = l.accept().expect("established child");
         let seg1 = a.send(&[1u8; 100], 1).remove(0);
         let seg2 = a.send(&[2u8; 100], 1).remove(0);
         let seg3 = a.send(&[3u8; 100], 1).remove(0);

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bench drift gate for the netstack report.
+
+Compares a freshly generated BENCH_net.json against the committed
+baseline and fails (exit 1) when the clean-link single-stream throughput
+of either generation regresses by more than the tolerance (default 10%).
+
+Wall-clock throughput is the only nondeterministic field in the report,
+so the gate also cross-checks the deterministic shape of the run: the
+clean rows must complete, move the same byte count, and take the same
+number of rounds as the baseline — a rounds blow-up is a protocol
+regression (e.g. a broken congestion window) even when raw MB/s happens
+to pass on a fast runner.
+
+The clean soak finishes in well under a millisecond of wall time, so a
+single sample is noisy; pass several fresh reports (CI generates three)
+and the gate compares the best sample per generation against the floor.
+Deterministic fields are checked on every sample.
+
+Usage: check_bench_drift.py <baseline.json> <fresh.json>... [tolerance]
+"""
+
+import json
+import sys
+
+
+def clean_rows(report):
+    rows = {}
+    for row in report.get("soak", []):
+        if row.get("link") == "clean":
+            rows[row["generation"]] = row
+    return rows
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    args = sys.argv[1:]
+    try:
+        tolerance = float(args[-1])
+        args = args[:-1]
+    except ValueError:
+        tolerance = 0.10
+    if len(args) < 2:
+        sys.exit(__doc__)
+    baseline_path, fresh_paths = args[0], args[1:]
+
+    with open(baseline_path) as f:
+        baseline = clean_rows(json.load(f))
+    fresh_runs = []
+    for path in fresh_paths:
+        with open(path) as f:
+            fresh_runs.append((path, clean_rows(json.load(f))))
+
+    failures = []
+    for gen in ("legacy", "modular"):
+        if gen not in baseline:
+            failures.append(f"{gen}: no clean row in baseline {baseline_path}")
+            continue
+        base = baseline[gen]
+        samples = []
+        for path, fresh in fresh_runs:
+            if gen not in fresh:
+                failures.append(f"{gen}: no clean row in fresh {path}")
+                continue
+            now = fresh[gen]
+            if not now.get("completed", False):
+                failures.append(f"{gen}: fresh clean run in {path} did not complete")
+            for field in ("bytes", "rounds"):
+                if now.get(field) != base.get(field):
+                    failures.append(
+                        f"{gen}: {field} changed {base.get(field)} -> {now.get(field)} "
+                        f"in {path} (deterministic field; protocol behaviour drifted)"
+                    )
+            samples.append(now["throughput_mb_s"])
+        if not samples:
+            continue
+        base_tp, now_tp = base["throughput_mb_s"], max(samples)
+        floor = base_tp * (1.0 - tolerance)
+        verdict = "OK" if now_tp >= floor else "REGRESSED"
+        print(
+            f"{gen:8} clean: baseline {base_tp:8.1f} MB/s, "
+            f"best of {len(samples)} fresh {now_tp:8.1f} MB/s, "
+            f"floor {floor:8.1f} MB/s  {verdict}"
+        )
+        if now_tp < floor:
+            failures.append(
+                f"{gen}: clean single-stream throughput {now_tp:.1f} MB/s is more than "
+                f"{tolerance:.0%} below the committed baseline {base_tp:.1f} MB/s"
+            )
+
+    if failures:
+        print("\nbench drift check FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\nbench drift check passed")
+
+
+if __name__ == "__main__":
+    main()

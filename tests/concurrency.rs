@@ -399,14 +399,10 @@ fn netstack_sessions_from_multiple_threads() {
     ));
     let b = Arc::new(ModularStack::new(registry, Side::B, wire, clock));
 
-    // Pre-forked listeners, one per expected client.
-    let servers: Vec<u64> = (0..4)
-        .map(|_| {
-            let s = b.socket("tcp", 80).unwrap();
-            b.listen(s).unwrap();
-            s
-        })
-        .collect();
+    // One listener; the accept queue absorbs all four concurrent
+    // handshakes and hands back a per-connection socket for each.
+    let server = b.socket("tcp", 80).unwrap();
+    b.listen_backlog(server, 8).unwrap();
 
     // Clients connect and send from worker threads; a pump thread drives
     // both stacks.
@@ -443,17 +439,22 @@ fn netstack_sessions_from_multiple_threads() {
     for w in workers {
         w.join().unwrap();
     }
-    // Let the last data packets drain.
+    // Let the last data packets drain, accepting children as they land.
+    let mut conns: Vec<u64> = Vec::new();
     for _ in 0..100 {
         a.pump().unwrap();
         b.pump().unwrap();
+        while let Some(c) = b.accept(server).unwrap() {
+            conns.push(c);
+        }
     }
     stop.store(true, Ordering::Relaxed);
     pump.join().unwrap();
 
-    let mut got: Vec<String> = servers
+    assert_eq!(conns.len(), 4, "every worker's handshake was accepted");
+    let mut got: Vec<String> = conns
         .iter()
-        .map(|&s| String::from_utf8(b.recv(s).unwrap()).unwrap())
+        .map(|&c| String::from_utf8(b.recv(c).unwrap()).unwrap())
         .collect();
     got.sort();
     assert_eq!(got, vec!["worker 0", "worker 1", "worker 2", "worker 3"]);

@@ -38,13 +38,17 @@ fn legacy_client_talks_to_modular_server() {
         client_stack.pump().unwrap();
         server_stack.pump().unwrap();
     }
+    let conn = server_stack
+        .accept(server)
+        .unwrap()
+        .expect("handshake completed, child queued");
     client_stack.send(client, 80, b"GET /").unwrap();
     for _ in 0..4 {
         client_stack.pump().unwrap();
         server_stack.pump().unwrap();
     }
-    assert_eq!(server_stack.recv(server).unwrap(), b"GET /");
-    server_stack.send(server, 5555, b"200 OK").unwrap();
+    assert_eq!(server_stack.recv(conn).unwrap(), b"GET /");
+    server_stack.send(conn, 5555, b"200 OK").unwrap();
     for _ in 0..4 {
         client_stack.pump().unwrap();
         server_stack.pump().unwrap();
@@ -68,12 +72,16 @@ fn modular_client_talks_to_legacy_server() {
         client_stack.pump().unwrap();
         server_stack.pump().unwrap();
     }
+    let conn = server_stack
+        .accept(server)
+        .unwrap()
+        .expect("handshake completed, child queued");
     client_stack.send(client, 80, b"ping").unwrap();
     for _ in 0..4 {
         client_stack.pump().unwrap();
         server_stack.pump().unwrap();
     }
-    assert_eq!(server_stack.recv(server).unwrap(), b"ping");
+    assert_eq!(server_stack.recv(conn).unwrap(), b"ping");
 }
 
 #[test]
@@ -96,17 +104,23 @@ fn cross_generation_session_survives_loss() {
 
     let payload = vec![0xABu8; 6000];
     let mut sent = false;
+    let mut conn = None;
     let mut got = Vec::new();
     for round in 0..300 {
         a.pump().unwrap();
         b.pump().unwrap();
+        if conn.is_none() {
+            conn = b.accept(server).unwrap();
+        }
         if !sent {
             // The legacy send path returns ENOTCONN until established.
             if a.send(client, 80, &payload).is_ok() {
                 sent = true;
             }
         }
-        got.extend(b.recv(server).unwrap());
+        if let Some(c) = conn {
+            got.extend(b.recv(c).unwrap());
+        }
         if got.len() >= payload.len() {
             break;
         }
@@ -132,25 +146,28 @@ fn connection_teardown_across_generations() {
         a.pump().unwrap();
         b.pump().unwrap();
     }
+    let conn = b.accept(server).unwrap().expect("child accepted");
     a.send(client, 80, b"bye soon").unwrap();
     for _ in 0..4 {
         a.pump().unwrap();
         b.pump().unwrap();
     }
-    assert_eq!(b.recv(server).unwrap(), b"bye soon");
+    assert_eq!(b.recv(conn).unwrap(), b"bye soon");
     // Active close on the legacy side; the modular side ACKs and closes.
     a.close(client).unwrap();
     for _ in 0..4 {
         a.pump().unwrap();
         b.pump().unwrap();
     }
+    b.close(conn).unwrap();
     b.close(server).unwrap();
     for _ in 0..4 {
         a.pump().unwrap();
         b.pump().unwrap();
     }
-    // Both descriptors gone; further use is EBADF.
+    // All descriptors gone; further use is EBADF.
     assert!(a.recv(client).is_err());
+    assert!(b.recv(conn).is_err());
     assert!(b.recv(server).is_err());
     // Wire drains to empty — no retransmission storm after teardown.
     for _ in 0..4 {
@@ -260,6 +277,111 @@ fn retry_exhaustion_is_reported_and_reaped_in_both_generations() {
 }
 
 #[test]
+fn syn_to_a_dead_port_draws_rst_in_both_directions() {
+    // Satellite regression: unmatched TCP segments used to be silently
+    // swallowed. A SYN to a port nobody listens on must come back as an
+    // RST — from either generation — and the client must observe a clean
+    // connection failure instead of burning its whole retry budget.
+    let wire = Arc::new(Wire::new());
+    let clock = Arc::new(SimClock::new());
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, wire.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, wire.clone(), Arc::clone(&clock));
+
+    // Modular client -> dead port on the legacy server.
+    let mc = b.socket("tcp", 9100).unwrap();
+    b.connect(mc, 4242).unwrap();
+    for _ in 0..4 {
+        b.pump().unwrap();
+        a.pump().unwrap();
+    }
+    assert_eq!(a.demux_resets(), 1, "legacy demux sent exactly one RST");
+    assert!(
+        b.conn_failed(mc).unwrap(),
+        "modular client saw the RST and failed cleanly"
+    );
+
+    // Legacy client -> dead port on the modular server.
+    let lc = a.socket(proto::TCP, 9200).unwrap();
+    a.connect(lc, 4343).unwrap();
+    for _ in 0..4 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+    }
+    assert_eq!(b.demux_resets(), 1, "modular demux sent exactly one RST");
+    assert!(
+        a.conn_failed(lc).unwrap(),
+        "legacy client saw the RST and failed cleanly"
+    );
+}
+
+#[test]
+fn orderly_close_survives_loss_across_generations() {
+    use safer_kernel::netstack::fault::{FaultConfig, FaultyLink};
+    use safer_kernel::netstack::tcp::TcpState;
+
+    // Satellite regression: the old close path dropped the PCB the moment
+    // the app hung up, so a lost FIN-ACK left the peer retransmitting at
+    // a ghost. Under 25% loss the full FIN/ACK exchange must still land,
+    // with a legacy closer on one side and a modular closer on the other.
+    let cfg = FaultConfig {
+        drop: 0.25,
+        ..FaultConfig::default()
+    };
+    let clock = Arc::new(SimClock::new());
+    let link = Arc::new(FaultyLink::new(cfg, 11, Arc::clone(&clock)));
+    let a = LegacyStack::new(LegacyCtx::new(), Side::A, link.clone(), Arc::clone(&clock));
+    let b = modular(Side::B, link.clone(), Arc::clone(&clock));
+
+    let server = b.socket("tcp", 80).unwrap();
+    b.listen(server).unwrap();
+    let client = a.socket(proto::TCP, 3300).unwrap();
+    a.connect(client, 80).unwrap();
+
+    let mut conn = None;
+    let mut closed = false;
+    for _ in 0..400 {
+        a.pump().unwrap();
+        b.pump().unwrap();
+        if conn.is_none() {
+            conn = b.accept(server).unwrap();
+        }
+        if let (false, Some(c)) = (closed, conn) {
+            if a.tcp_state(client).unwrap() == TcpState::Established {
+                a.close(client).unwrap();
+                b.close(c).unwrap();
+                closed = true;
+            }
+        }
+        clock.advance(DEFAULT_RTO_NS / 2);
+        a.tick();
+        b.tick();
+        a.reap_closed();
+        b.reap_closed();
+        // Teardown is complete when every connection PCB is reaped: the
+        // legacy arena is empty and only the listener survives modular-side.
+        if closed && a.live_objects() == 0 && b.live_sockets() == 1 {
+            break;
+        }
+    }
+    assert!(closed, "session never established under loss");
+    assert_eq!(
+        a.live_objects(),
+        0,
+        "legacy closer reaped its PCB after the full FIN handshake"
+    );
+    assert_eq!(
+        b.live_sockets(),
+        1,
+        "modular side kept only the listener after teardown"
+    );
+    assert!(
+        a.conn_failed(client).is_err() && b.conn_failed(conn.unwrap()).is_err(),
+        "both descriptors are gone"
+    );
+    assert!(link.stats().dropped > 0, "the link really was lossy");
+}
+
+#[test]
 fn per_connection_counters_surface_in_both_generations() {
     use safer_kernel::netstack::fault::{FaultConfig, FaultyLink};
 
@@ -283,14 +405,20 @@ fn per_connection_counters_surface_in_both_generations() {
 
     let payload = vec![0x5Au8; 8000];
     let mut sent = false;
+    let mut conn = None;
     let mut got = Vec::new();
     for round in 0..400 {
         a.pump().unwrap();
         b.pump().unwrap();
+        if conn.is_none() {
+            conn = b.accept(server).unwrap();
+        }
         if !sent && a.send(client, 80, &payload).is_ok() {
             sent = true;
         }
-        got.extend(b.recv(server).unwrap());
+        if let Some(c) = conn {
+            got.extend(b.recv(c).unwrap());
+        }
         if got.len() >= payload.len() {
             break;
         }
@@ -301,7 +429,7 @@ fn per_connection_counters_surface_in_both_generations() {
     }
     assert_eq!(got, payload);
     let ca = a.tcp_counters(client).unwrap();
-    let cb = b.tcp_counters(server).unwrap();
+    let cb = b.tcp_counters(conn.expect("child accepted")).unwrap();
     assert!(ca.retransmits > 0, "loss forced retransmission: {ca:?}");
     assert!(
         cb.dup_acks_dropped + cb.ooo_buffered + ca.dup_acks_dropped > 0,

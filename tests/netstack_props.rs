@@ -14,7 +14,7 @@ use safer_kernel::netstack::legacy_stack::LegacyStack;
 use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
 use safer_kernel::netstack::packet::{flags, proto, Packet, HEADER_LEN, MAX_PAYLOAD};
 use safer_kernel::netstack::spec::StreamChecker;
-use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::tcp::{TcpListener, TcpPcb, TcpState, DEFAULT_RTO_NS};
 use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
 
 proptest! {
@@ -60,8 +60,8 @@ proptest! {
     ) {
         let wire = Arc::new(Wire::with_faults(WireFaults { loss, duplicate }, seed));
         let mut a = TcpPcb::new(1000, 100);
-        let mut b = TcpPcb::new(80, 9000);
-        b.listen();
+        let mut listener = TcpListener::new(80, 8, 9000);
+        let mut b: Option<TcpPcb> = None;
         wire.send(Side::A, &a.connect(80, 0));
         let mut chk = StreamChecker::new();
         let mut submitted = 0usize;
@@ -69,9 +69,16 @@ proptest! {
         for _round in 0..3000 {
             now += DEFAULT_RTO_NS / 4;
             while let Ok(Some(pkt)) = wire.recv(Side::B) {
-                for r in b.on_packet(&pkt, now) {
+                let responses = match b.as_mut() {
+                    Some(pcb) => pcb.on_packet(&pkt, now),
+                    None => listener.on_packet(&pkt, now),
+                };
+                for r in responses {
                     wire.send(Side::B, &r);
                 }
+            }
+            if b.is_none() {
+                b = listener.accept();
             }
             while let Ok(Some(pkt)) = wire.recv(Side::A) {
                 for r in a.on_packet(&pkt, now) {
@@ -85,27 +92,35 @@ proptest! {
                 }
                 submitted += 1;
             }
-            let got = b.take_received();
-            if !got.is_empty() {
-                chk.on_deliver(&got);
+            if let Some(pcb) = b.as_mut() {
+                let got = pcb.take_received();
+                if !got.is_empty() {
+                    chk.on_deliver(&got);
+                }
             }
             prop_assert!(chk.is_clean(), "{:?}", chk.violations());
             chk.model().check_invariant().map_err(TestCaseError::fail)?;
             if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
                 break;
             }
-            if a.is_failed() || b.is_failed() {
+            if a.is_failed() || b.as_ref().is_some_and(|p| p.is_failed()) {
                 break;
             }
             for p in a.tick(now) {
                 wire.send(Side::A, &p);
             }
-            for p in b.tick(now) {
+            let server_ticks = match b.as_mut() {
+                Some(pcb) => pcb.tick(now),
+                None => listener.tick(now),
+            };
+            for p in server_ticks {
                 wire.send(Side::B, &p);
             }
         }
         prop_assert!(
-            chk.model().is_complete() || a.is_failed() || b.is_failed(),
+            chk.model().is_complete()
+                || a.is_failed()
+                || b.as_ref().is_some_and(|p| p.is_failed()),
             "stream neither completed nor failed cleanly"
         );
     }
@@ -121,18 +136,26 @@ proptest! {
     ) {
         let wire = Arc::new(Wire::new());
         let mut a = TcpPcb::new(1000, 100);
-        let mut b = TcpPcb::new(80, 9000);
-        b.listen();
+        let mut listener = TcpListener::new(80, 8, 9000);
+        let mut b: Option<TcpPcb> = None;
         wire.send(Side::A, &a.connect(80, 0));
         let mut chk = StreamChecker::new();
         let mut now = 0;
         let mut delivered_before_rst = 0usize;
+        let mut rst_fired = false;
         for round in 0..20 {
             now += 1;
             while let Ok(Some(pkt)) = wire.recv(Side::B) {
-                for r in b.on_packet(&pkt, now) {
+                let responses = match b.as_mut() {
+                    Some(pcb) => pcb.on_packet(&pkt, now),
+                    None => listener.on_packet(&pkt, now),
+                };
+                for r in responses {
                     wire.send(Side::B, &r);
                 }
+            }
+            if b.is_none() {
+                b = listener.accept();
             }
             while let Ok(Some(pkt)) = wire.recv(Side::A) {
                 for r in a.on_packet(&pkt, now) {
@@ -145,21 +168,26 @@ proptest! {
                     wire.send(Side::A, &p);
                 }
             }
-            let got = b.take_received();
-            if !got.is_empty() {
-                chk.on_deliver(&got);
-            }
-            if round == 2 + rst_after {
-                let mut rst = Packet::new(proto::TCP, 1000, 80);
-                rst.flags = flags::RST;
-                rst.seq = b.rcv_nxt;
-                b.on_packet(&rst, now);
-                delivered_before_rst = chk.model().delivered;
+            if let Some(pcb) = b.as_mut() {
+                let got = pcb.take_received();
+                if !got.is_empty() {
+                    chk.on_deliver(&got);
+                }
+                if round >= 2 + rst_after && !rst_fired {
+                    let mut rst = Packet::new(proto::TCP, 1000, 80);
+                    rst.flags = flags::RST;
+                    rst.seq = pcb.rcv_nxt;
+                    pcb.on_packet(&rst, now);
+                    delivered_before_rst = chk.model().delivered;
+                    rst_fired = true;
+                }
             }
             prop_assert!(chk.is_clean());
         }
         // After the RST the receiver is dead; whatever was delivered stays
         // a valid prefix and never shrinks.
+        let b = b.expect("handshake completed on the clean wire");
+        prop_assert!(rst_fired);
         prop_assert!(chk.model().delivered >= delivered_before_rst);
         prop_assert_eq!(b.state, TcpState::Closed);
         prop_assert_eq!(b.counters.resets_received, 1);
@@ -176,6 +204,7 @@ proptest! {
 trait SoakStack {
     fn tcp_socket(&self, port: u16) -> u64;
     fn listen(&self, fd: u64);
+    fn accept(&self, fd: u64) -> Option<u64>;
     fn connect(&self, fd: u64, port: u16);
     fn try_send(&self, fd: u64, dst: u16, data: &[u8]) -> bool;
     fn recv(&self, fd: u64) -> Vec<u8>;
@@ -192,6 +221,9 @@ impl SoakStack for LegacyStack {
     }
     fn listen(&self, fd: u64) {
         LegacyStack::listen(self, fd).unwrap()
+    }
+    fn accept(&self, fd: u64) -> Option<u64> {
+        LegacyStack::accept(self, fd).unwrap()
     }
     fn connect(&self, fd: u64, port: u16) {
         LegacyStack::connect(self, fd, port).unwrap()
@@ -225,6 +257,9 @@ impl SoakStack for ModularStack {
     }
     fn listen(&self, fd: u64) {
         ModularStack::listen(self, fd).unwrap()
+    }
+    fn accept(&self, fd: u64) -> Option<u64> {
+        ModularStack::accept(self, fd).unwrap()
     }
     fn connect(&self, fd: u64, port: u16) {
         ModularStack::connect(self, fd, port).unwrap()
@@ -280,23 +315,29 @@ fn soak<C: SoakStack, S: SoakStack>(
     let mut complete = false;
     let mut client_failed = false;
     let mut server_failed = false;
+    let mut conn: Option<u64> = None;
     for _round in 0..6000 {
         client.pump();
         server.pump();
+        if conn.is_none() {
+            conn = server.accept(sfd);
+        }
         if submitted < chunks.len() && client.try_send(cfd, 80, &chunks[submitted]) {
             chk.on_send(&chunks[submitted]);
             submitted += 1;
         }
-        let got = server.recv(sfd);
-        if !got.is_empty() {
-            chk.on_deliver(&got);
+        if let Some(c) = conn {
+            let got = server.recv(c);
+            if !got.is_empty() {
+                chk.on_deliver(&got);
+            }
         }
         if submitted == chunks.len() && chk.model().is_complete() {
             complete = true;
             break;
         }
         client_failed = client.conn_failed(cfd);
-        server_failed = server.conn_failed(sfd);
+        server_failed = conn.map(|c| server.conn_failed(c)).unwrap_or(false);
         if client_failed || server_failed {
             // Clean failure: the delivered prefix freezes here. Stop
             // pumping — straggler duplicates of pre-failure segments may
@@ -403,17 +444,24 @@ fn full_lifecycle_reaches_closed_on_both_ends() {
 
     let wire = Arc::new(Wire::new());
     let mut a = TcpPcb::new(1000, 100);
-    let mut b = TcpPcb::new(80, 9000);
-    b.listen();
+    let mut listener = TcpListener::new(80, 8, 9000);
+    let mut b: Option<TcpPcb> = None;
     wire.send(Side::A, &a.connect(80, 0));
     let mut now = 0u64;
     let mut b_done = false;
     for round in 0..60 {
         now += DEFAULT_RTO_NS / 4;
         while let Ok(Some(pkt)) = wire.recv(Side::B) {
-            for r in b.on_packet(&pkt, now) {
+            let responses = match b.as_mut() {
+                Some(pcb) => pcb.on_packet(&pkt, now),
+                None => listener.on_packet(&pkt, now),
+            };
+            for r in responses {
                 wire.send(Side::B, &r);
             }
+        }
+        if b.is_none() {
+            b = listener.accept();
         }
         while let Ok(Some(pkt)) = wire.recv(Side::A) {
             for r in a.on_packet(&pkt, now) {
@@ -426,29 +474,37 @@ fn full_lifecycle_reaches_closed_on_both_ends() {
                 wire.send(Side::A, &p);
             }
         }
-        if round == 6 {
-            assert_eq!(b.take_received(), b"final words");
-            // Active close from A; B responds, then closes its half.
-            if let Some(fin) = a.close(now) {
-                wire.send(Side::A, &fin);
+        if let Some(pcb) = b.as_mut() {
+            if round == 6 {
+                assert_eq!(pcb.take_received(), b"final words");
+                // Active close from A; B responds, then closes its half.
+                for fin in a.close(now) {
+                    wire.send(Side::A, &fin);
+                }
             }
-        }
-        if !b_done && b.state == TcpState::CloseWait {
-            if let Some(fin) = b.close(now) {
-                wire.send(Side::B, &fin);
+            if !b_done && pcb.state == TcpState::CloseWait {
+                for fin in pcb.close(now) {
+                    wire.send(Side::B, &fin);
+                }
+                b_done = true;
             }
-            b_done = true;
         }
         for p in a.tick(now) {
             wire.send(Side::A, &p);
         }
-        for p in b.tick(now) {
+        let server_ticks = match b.as_mut() {
+            Some(pcb) => pcb.tick(now),
+            None => listener.tick(now),
+        };
+        for p in server_ticks {
             wire.send(Side::B, &p);
         }
-        if a.state == TcpState::TimeWait && b.state == TcpState::Closed {
+        if a.state == TcpState::TimeWait && b.as_ref().is_some_and(|p| p.state == TcpState::Closed)
+        {
             break;
         }
     }
+    let b = b.expect("handshake completed");
     assert_eq!(b.state, TcpState::Closed, "passive closer fully closed");
     assert_eq!(a.state, TcpState::TimeWait, "active closer lingers");
     assert!(
@@ -461,4 +517,135 @@ fn full_lifecycle_reaches_closed_on_both_ends() {
     assert_eq!(a.state, TcpState::Closed);
     assert!(a.is_defunct(), "expired PCB is reapable");
     assert_eq!(wire.in_flight(), 0, "no retransmission storm after close");
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection isolation under the sharded connection table.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One adversarial peer on the listener — corrupting its flow,
+    /// RST-blasting it with arbitrary sequence numbers, or SYN-flooding
+    /// the listen port from unbound ports — must not wedge, slow, or
+    /// corrupt its neighbors: every well-behaved connection on the same
+    /// listener still delivers its exact byte stream, and the whole run
+    /// stays lockdep-clean.
+    #[test]
+    fn adversarial_peer_cannot_wedge_neighbors(
+        mode in 0u8..3,
+        adv_seqs in prop::collection::vec(any::<u32>(), 4..12),
+    ) {
+        let clock = Arc::new(SimClock::new());
+        let wire = Arc::new(Wire::new());
+        let registry = Arc::new(Registry::new());
+        register_families(&registry).unwrap();
+        let locks = safer_kernel::ksim::lock::LockRegistry::new();
+        let a = ModularStack::with_lockdep(
+            Arc::clone(&registry), Side::A, wire.clone(), Arc::clone(&clock),
+            Arc::clone(&locks));
+        let b = ModularStack::with_lockdep(
+            registry, Side::B, wire.clone(), Arc::clone(&clock),
+            Arc::clone(&locks));
+        let server = b.socket("tcp", 80).unwrap();
+        b.listen(server).unwrap();
+
+        // Four well-behaved neighbors, each with a distinct byte pattern,
+        // plus the adversary's own (initially legitimate) connection.
+        let neighbors: Vec<(u64, u16, Vec<u8>)> = (0..4u16)
+            .map(|i| {
+                let port = 6000 + i;
+                let fd = a.socket("tcp", port).unwrap();
+                a.connect(fd, 80).unwrap();
+                (fd, port, vec![0x10 + i as u8; 3000])
+            })
+            .collect();
+        let adv = a.socket("tcp", 6666).unwrap();
+        a.connect(adv, 80).unwrap();
+
+        let mut submitted = vec![false; neighbors.len()];
+        let mut conns: Vec<u64> = Vec::new();
+        let mut received: std::collections::BTreeMap<u64, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for round in 0..60usize {
+            a.pump().unwrap();
+            b.pump().unwrap();
+            while let Some(c) = b.accept(server).unwrap() {
+                conns.push(c);
+            }
+            // The adversary misbehaves mid-transfer.
+            if round == 3 {
+                for (i, &seq) in adv_seqs.iter().enumerate() {
+                    let mut pkt = Packet::new(proto::TCP, 6666, 80);
+                    pkt.seq = seq;
+                    match mode {
+                        0 => {
+                            // Corrupting: garbage segments on its own flow.
+                            pkt.flags = flags::ACK;
+                            pkt.payload = vec![0xFF; 50];
+                        }
+                        1 => {
+                            // RST blast with arbitrary sequence numbers.
+                            pkt.flags = flags::RST;
+                        }
+                        _ => {
+                            // SYN flood from unbound ports: half-open
+                            // children that never complete.
+                            pkt.flags = flags::SYN;
+                            pkt.src_port = 40000 + i as u16;
+                        }
+                    }
+                    wire.send(Side::A, &pkt);
+                }
+            }
+            for (i, (fd, _, payload)) in neighbors.iter().enumerate() {
+                if !submitted[i] && a.send(*fd, 80, payload).is_ok() {
+                    submitted[i] = true;
+                }
+            }
+            for &c in &conns {
+                if let Ok(got) = b.recv(c) {
+                    received.entry(c).or_default().extend(got);
+                }
+            }
+            let done = neighbors.iter().all(|(_, _, payload)| {
+                received
+                    .values()
+                    .any(|v| v.len() == payload.len() && v[0] == payload[0])
+            });
+            if done && submitted.iter().all(|&s| s) {
+                break;
+            }
+            clock.advance(DEFAULT_RTO_NS / 2);
+            a.tick();
+            b.tick();
+        }
+
+        // Every neighbor's stream arrived exactly: right length, right
+        // bytes, on its own connection — the adversary corrupted nothing.
+        for (fd, port, payload) in &neighbors {
+            prop_assert!(
+                !a.conn_failed(*fd).unwrap(),
+                "neighbor on port {port} was wedged (mode {mode})"
+            );
+            let matching: Vec<&Vec<u8>> = received
+                .values()
+                .filter(|v| !v.is_empty() && v[0] == payload[0])
+                .collect();
+            prop_assert_eq!(
+                matching.len(), 1,
+                "exactly one server conn carries port {}'s pattern", port
+            );
+            prop_assert_eq!(
+                matching[0], payload,
+                "port {}'s stream delivered byte-exact", port
+            );
+        }
+        prop_assert!(
+            locks.violations().is_empty(),
+            "isolation run must stay lockdep-clean: {:?}",
+            locks.violations()
+        );
+    }
 }

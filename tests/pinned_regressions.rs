@@ -17,7 +17,7 @@ use safer_kernel::ksim::block::{BlockDevice, RamDisk};
 use safer_kernel::legacy::LegacyCtx;
 use safer_kernel::netstack::packet::{flags, proto, Packet};
 use safer_kernel::netstack::spec::StreamChecker;
-use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::tcp::{TcpListener, TcpPcb, TcpState, DEFAULT_RTO_NS};
 use safer_kernel::netstack::wire::{Side, Wire, WireFaults};
 use safer_kernel::vfs::modular::FileSystem;
 use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
@@ -33,8 +33,8 @@ use safer_kernel::vfs::spec::{normalize, FsModel};
 fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]) {
     let wire = Arc::new(Wire::with_faults(WireFaults { loss, duplicate }, seed));
     let mut a = TcpPcb::new(1000, 100);
-    let mut b = TcpPcb::new(80, 9000);
-    b.listen();
+    let mut listener = TcpListener::new(80, 8, 9000);
+    let mut b: Option<TcpPcb> = None;
     wire.send(Side::A, &a.connect(80, 0));
     let mut chk = StreamChecker::new();
     let mut submitted = 0usize;
@@ -42,8 +42,15 @@ fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]
     for _round in 0..3000 {
         now += DEFAULT_RTO_NS / 4;
         while let Ok(Some(pkt)) = wire.recv(Side::B) {
-            for r in b.on_packet(&pkt, now) {
+            let responses = match b.as_mut() {
+                Some(pcb) => pcb.on_packet(&pkt, now),
+                None => listener.on_packet(&pkt, now),
+            };
+            for r in responses {
                 wire.send(Side::B, &r);
+            }
+            if b.is_none() {
+                b = listener.accept();
             }
         }
         while let Ok(Some(pkt)) = wire.recv(Side::A) {
@@ -58,9 +65,11 @@ fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]
             }
             submitted += 1;
         }
-        let got = b.take_received();
-        if !got.is_empty() {
-            chk.on_deliver(&got);
+        if let Some(pcb) = b.as_mut() {
+            let got = pcb.take_received();
+            if !got.is_empty() {
+                chk.on_deliver(&got);
+            }
         }
         assert!(chk.is_clean(), "{:?}", chk.violations());
         chk.model()
@@ -69,18 +78,23 @@ fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]
         if submitted == chunks.len() && chk.model().is_complete() && a.all_acked() {
             break;
         }
-        if a.is_failed() || b.is_failed() {
+        if a.is_failed() || b.as_ref().is_some_and(|p| p.is_failed()) {
             break;
         }
         for p in a.tick(now) {
             wire.send(Side::A, &p);
         }
-        for p in b.tick(now) {
+        for p in listener.tick(now) {
             wire.send(Side::B, &p);
+        }
+        if let Some(pcb) = b.as_mut() {
+            for p in pcb.tick(now) {
+                wire.send(Side::B, &p);
+            }
         }
     }
     assert!(
-        chk.model().is_complete() || a.is_failed() || b.is_failed(),
+        chk.model().is_complete() || a.is_failed() || b.as_ref().is_some_and(|p| p.is_failed()),
         "stream neither completed nor failed cleanly"
     );
 }
@@ -92,16 +106,23 @@ fn prefix_delivery_case(seed: u64, loss: f64, duplicate: f64, chunks: &[Vec<u8>]
 fn blind_rst_with_seq_zero_must_not_kill_a_synchronized_connection() {
     let wire = Arc::new(Wire::new());
     let mut a = TcpPcb::new(1000, 100);
-    let mut b = TcpPcb::new(80, 9000);
-    b.listen();
+    let mut listener = TcpListener::new(80, 8, 9000);
+    let mut b: Option<TcpPcb> = None;
     wire.send(Side::A, &a.connect(80, 0));
     let data = [0u8]; // the shrunk payload
     let mut now = 0u64;
     for round in 0..8 {
         now += 1;
         while let Ok(Some(pkt)) = wire.recv(Side::B) {
-            for r in b.on_packet(&pkt, now) {
+            let responses = match b.as_mut() {
+                Some(pcb) => pcb.on_packet(&pkt, now),
+                None => listener.on_packet(&pkt, now),
+            };
+            for r in responses {
                 wire.send(Side::B, &r);
+            }
+            if b.is_none() {
+                b = listener.accept();
             }
         }
         while let Ok(Some(pkt)) = wire.recv(Side::A) {
@@ -118,13 +139,15 @@ fn blind_rst_with_seq_zero_must_not_kill_a_synchronized_connection() {
             // rst_after = 0: the attack lands as soon as data flowed.
             // rcv_nxt is now ISS+1+len, so seq 0 is out of window; the
             // historical bug honoured it anyway.
-            assert_ne!(b.rcv_nxt, 0, "payload must have advanced rcv_nxt");
+            let pcb = b.as_mut().expect("listener accepted the connection");
+            assert_ne!(pcb.rcv_nxt, 0, "payload must have advanced rcv_nxt");
             let mut rst = Packet::new(proto::TCP, 1000, 80);
             rst.flags = flags::RST;
             rst.seq = 0;
-            b.on_packet(&rst, now);
+            pcb.on_packet(&rst, now);
         }
     }
+    let mut b = b.expect("listener accepted the connection");
     assert_eq!(b.take_received(), &data, "delivery survives the blind RST");
     assert_eq!(
         b.state,

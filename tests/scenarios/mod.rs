@@ -29,8 +29,9 @@ use safer_kernel::ksim::errno::KResult;
 use safer_kernel::ksim::scenario::{subsys, ScenarioEngine};
 use safer_kernel::ksim::time::SimClock;
 use safer_kernel::netstack::fault::{FaultConfig as LinkFaultConfig, FaultyLink};
+use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
 use safer_kernel::netstack::spec::StreamChecker;
-use safer_kernel::netstack::tcp::{TcpPcb, TcpState, DEFAULT_RTO_NS};
+use safer_kernel::netstack::tcp::{TcpListener, TcpPcb, TcpState, DEFAULT_RTO_NS};
 use safer_kernel::netstack::wire::{Link, Side};
 use safer_kernel::vfs::modular::{BatchOp, BatchReply};
 use safer_kernel::vfs::ring::{Ring, RingReactor, RingThrottle};
@@ -60,6 +61,7 @@ pub const CORPUS: &[(&str, ScenarioFn)] = &[
         torn_write_under_log_pressure,
     ),
     ("lossy_link_during_migration", lossy_link_during_migration),
+    ("net_scale_1k_lossy", net_scale_1k_lossy),
     ("eio_mid_checkpoint_recovery", eio_mid_checkpoint_recovery),
     ("corrupt_reads_remount_storm", corrupt_reads_remount_storm),
 ];
@@ -125,7 +127,8 @@ struct NetPair {
     link: FaultyLink,
     clock: Arc<SimClock>,
     a: TcpPcb,
-    b: TcpPcb,
+    listener: TcpListener,
+    b: Option<TcpPcb>,
     chk: StreamChecker,
     chunks: Vec<Vec<u8>>,
     submitted: usize,
@@ -136,14 +139,14 @@ impl NetPair {
         let link = FaultyLink::on_engine(cfg, engine);
         let clock = Arc::clone(engine.clock());
         let mut a = TcpPcb::new(1000, 100);
-        let mut b = TcpPcb::new(80, 9000);
-        b.listen();
+        let listener = TcpListener::new(80, 8, 9000);
         link.send(Side::A, &a.connect(80, 0));
         NetPair {
             link,
             clock,
             a,
-            b,
+            listener,
+            b: None,
             chk: StreamChecker::new(),
             chunks,
             submitted: 0,
@@ -154,9 +157,16 @@ impl NetPair {
         self.clock.advance(DEFAULT_RTO_NS / 4);
         let now = self.clock.now_ns();
         while let Ok(Some(pkt)) = self.link.recv(Side::B) {
-            for r in self.b.on_packet(&pkt, now) {
+            let responses = match self.b.as_mut() {
+                Some(pcb) => pcb.on_packet(&pkt, now),
+                None => self.listener.on_packet(&pkt, now),
+            };
+            for r in responses {
                 self.link.send(Side::B, &r);
             }
+        }
+        if self.b.is_none() {
+            self.b = self.listener.accept();
         }
         while let Ok(Some(pkt)) = self.link.recv(Side::A) {
             for r in self.a.on_packet(&pkt, now) {
@@ -171,14 +181,20 @@ impl NetPair {
             }
             self.submitted += 1;
         }
-        let got = self.b.take_received();
-        if !got.is_empty() {
-            self.chk.on_deliver(&got);
+        if let Some(pcb) = self.b.as_mut() {
+            let got = pcb.take_received();
+            if !got.is_empty() {
+                self.chk.on_deliver(&got);
+            }
         }
         for p in self.a.tick(now) {
             self.link.send(Side::A, &p);
         }
-        for p in self.b.tick(now) {
+        let server_ticks = match self.b.as_mut() {
+            Some(pcb) => pcb.tick(now),
+            None => self.listener.tick(now),
+        };
+        for p in server_ticks {
             self.link.send(Side::B, &p);
         }
     }
@@ -188,7 +204,7 @@ impl NetPair {
             && self.chk.model().is_complete()
             && self.a.all_acked())
             || self.a.is_failed()
-            || self.b.is_failed()
+            || self.b.as_ref().is_some_and(|p| p.is_failed())
     }
 
     /// Pumps until completion/clean failure or the round budget runs out,
@@ -681,6 +697,133 @@ fn lossy_link_during_migration(engine: &Arc<ScenarioEngine>) -> Result<(), Strin
         return Err(format!("lockdep findings: {violations:?}"));
     }
     net.finish(4000)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4b: server-scale accept path — 1k connections over a lossy link
+// ---------------------------------------------------------------------------
+
+/// One listener, a thousand concurrent clients, a lossy link, one seed.
+/// Clients connect in staggered waves (the accept queue must absorb the
+/// bursts without dropping handshakes it admitted), each pushes one
+/// payload, and the verdict demands every connection is accepted, every
+/// byte arrives, no client conn fails, and the sharded demux stays
+/// lockdep-clean end to end. This is the CI `net-scale` soak entry:
+/// `SCENARIO=net_scale_1k_lossy SCENARIO_SEED=<n>` replays it exactly.
+fn net_scale_1k_lossy(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    const CONNS: usize = 1000;
+    const WAVE: usize = 250;
+    const PAYLOAD: usize = 200;
+
+    let ws = engine.stream(subsys::WORKLOAD);
+    let link = Arc::new(FaultyLink::on_engine(
+        LinkFaultConfig {
+            drop: 0.05,
+            duplicate: 0.02,
+            reorder: 0.05,
+            corrupt: 0.01,
+            delay: 0.05,
+            delay_ns: DEFAULT_RTO_NS / 4,
+        },
+        engine,
+    ));
+    let clock = Arc::clone(engine.clock());
+    let registry = Arc::new(Registry::new());
+    register_families(&registry).map_err(|e| format!("register: {e:?}"))?;
+    let locks = safer_kernel::ksim::lock::LockRegistry::new();
+    let a = ModularStack::with_lockdep(
+        Arc::clone(&registry),
+        Side::A,
+        link.clone(),
+        Arc::clone(&clock),
+        Arc::clone(&locks),
+    );
+    let b = ModularStack::with_lockdep(
+        registry,
+        Side::B,
+        link.clone(),
+        Arc::clone(&clock),
+        Arc::clone(&locks),
+    );
+
+    let server = b
+        .socket("tcp", 80)
+        .map_err(|e| format!("server socket: {e}"))?;
+    b.listen_backlog(server, CONNS)
+        .map_err(|e| format!("listen: {e}"))?;
+
+    let mut clients: Vec<u64> = Vec::with_capacity(CONNS);
+    let mut submitted = vec![false; CONNS];
+    let mut got: Vec<usize> = Vec::new();
+    let mut conns: Vec<u64> = Vec::new();
+    let mut delivered = 0usize;
+
+    for _round in 0..600 {
+        // Staggered connect wave: the accept queue sees bursts, not a
+        // trickle, so backlog handling is actually exercised.
+        for _ in 0..WAVE {
+            let i = clients.len();
+            if i >= CONNS {
+                break;
+            }
+            let port = 2000 + i as u16;
+            let fd = a.socket("tcp", port).map_err(|e| format!("socket: {e}"))?;
+            a.connect(fd, 80).map_err(|e| format!("connect {i}: {e}"))?;
+            clients.push(fd);
+        }
+        a.pump().map_err(|e| format!("client pump: {e}"))?;
+        b.pump().map_err(|e| format!("server pump: {e}"))?;
+        while let Some(c) = b.accept(server).map_err(|e| format!("accept: {e}"))? {
+            conns.push(c);
+            got.push(0);
+        }
+        for (i, &fd) in clients.iter().enumerate() {
+            if !submitted[i] && a.send(fd, 80, &[(i % 251) as u8; PAYLOAD]).is_ok() {
+                submitted[i] = true;
+            }
+        }
+        for (slot, &c) in conns.iter().enumerate() {
+            if let Ok(data) = b.recv(c) {
+                got[slot] += data.len();
+                delivered += data.len();
+            }
+        }
+        if delivered == CONNS * PAYLOAD && conns.len() == CONNS {
+            break;
+        }
+        clock.advance(DEFAULT_RTO_NS / 2);
+        a.tick();
+        b.tick();
+    }
+
+    let failed = clients
+        .iter()
+        .filter(|&&fd| a.conn_failed(fd).unwrap_or(false))
+        .count();
+    ws.emit(format!(
+        "net_scale: accepted={} delivered={delivered} failed={failed}",
+        conns.len()
+    ));
+    if conns.len() != CONNS {
+        return Err(format!("accepted {}/{CONNS} connections", conns.len()));
+    }
+    if failed != 0 {
+        return Err(format!("{failed} client connections failed"));
+    }
+    if delivered != CONNS * PAYLOAD {
+        return Err(format!("delivered {delivered}/{} bytes", CONNS * PAYLOAD));
+    }
+    if let Some(short) = got.iter().position(|&g| g != PAYLOAD) {
+        return Err(format!(
+            "connection {short} delivered {} of {PAYLOAD} bytes",
+            got[short]
+        ));
+    }
+    let violations = locks.violations();
+    if !violations.is_empty() {
+        return Err(format!("lockdep findings: {violations:?}"));
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
