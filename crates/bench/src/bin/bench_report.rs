@@ -658,6 +658,133 @@ fn bench_vectored_io() -> Value {
 /// built, the cycle count, and the top contended classes. Any ordering
 /// finding fails the report with a nonzero exit — this is the CI gate
 /// against new lock-order bugs on the storage hot path.
+/// Blackout-window measurement for the live-replacement protocol: for
+/// each workload thread count, a mixed read/write/stat workload hammers
+/// the VFS while two back-to-back [`Migrator`] swaps run (cext4 → rsfs,
+/// then rsfs → a fresh cext4). Reported per row: the gate-closed window
+/// in µs per swap (single-shot wall clock — a swap is not repeatable on
+/// the same state), ops completed, and `failed_ops`, which the drift
+/// gate pins to zero: a blackout is a *stall*, never an error. Workload
+/// seeds derive from the one stamped engine seed.
+fn bench_hot_swap(thread_counts: &[usize]) -> Value {
+    use sk_core::modularity::Registry;
+    use sk_ksim::scenario::{subsys, ScenarioEngine};
+    use sk_vfs::migrate::Migrator;
+    use sk_vfs::path::{Vfs, FS_INTERFACE};
+
+    const ENGINE_SEED: u64 = 42;
+    const FILES_PER_DIR: usize = 24;
+
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let engine = ScenarioEngine::new(ENGINE_SEED);
+        let ws = engine.stream(subsys::WORKLOAD);
+
+        let registry = Registry::new();
+        registry
+            .register::<dyn FileSystem>(
+                FS_INTERFACE,
+                "cext4",
+                Arc::new(make_cext4_adapter(8192)) as Arc<dyn FileSystem>,
+            )
+            .expect("register");
+        let vfs = Arc::new(Vfs::mount(&registry).expect("mount vfs"));
+        for d in 0..2 {
+            vfs.mkdir(&format!("/d{d}")).unwrap();
+            for f in 0..FILES_PER_DIR {
+                let path = format!("/d{d}/f{f}");
+                vfs.create(&path).unwrap();
+                vfs.write_file(&path, 0, &vec![0xA5u8; 256]).unwrap();
+            }
+        }
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for _ in 0..threads {
+            let vfs = Arc::clone(&vfs);
+            let stop = Arc::clone(&stop);
+            let mut x = ws.gen_u64() | 1;
+            workers.push(std::thread::spawn(move || {
+                let mut ops = 0u64;
+                let mut failed = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let path = format!("/d{}/f{}", x % 2, (x >> 8) as usize % FILES_PER_DIR);
+                    let r = match x % 4 {
+                        0 => vfs.write_file(&path, 0, &x.to_le_bytes()).map(|_| ()),
+                        1 => vfs.stat(&path).map(|_| ()),
+                        _ => vfs.read_file(&path).map(|_| ()),
+                    };
+                    if r.is_err() {
+                        failed += 1;
+                    }
+                    ops += 1;
+                }
+                (ops, failed)
+            }));
+        }
+
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let fwd = Migrator::new(&vfs, &registry)
+            .swap("rsfs", Arc::new(make_rsfs(JournalMode::PerOp, 8192)))
+            .expect("forward swap");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let back = Migrator::new(&vfs, &registry)
+            .swap(
+                "cext4",
+                Arc::new(make_cext4_adapter(8192)) as Arc<dyn FileSystem>,
+            )
+            .expect("backward swap");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+
+        let (mut ops, mut failed) = (0u64, 0u64);
+        for w in workers {
+            let (o, f) = w.join().unwrap();
+            ops += o;
+            failed += f;
+        }
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        rows.push(obj(vec![
+            ("threads", num(threads as f64)),
+            ("swaps", num(2.0)),
+            ("ops_completed", num(ops as f64)),
+            ("failed_ops", num(failed as f64)),
+            ("blackout_us_forward", num(us(fwd.blackout_ns))),
+            ("blackout_us_backward", num(us(back.blackout_ns))),
+            (
+                "blackout_us_max",
+                num(us(fwd.blackout_ns.max(back.blackout_ns))),
+            ),
+            (
+                "blocked_ops",
+                num((fwd.blocked_ops + back.blocked_ops) as f64),
+            ),
+            (
+                "copied_files",
+                num((fwd.copied_files + back.copied_files) as f64),
+            ),
+            (
+                "remapped_dentries",
+                num((fwd.remapped_dentries + back.remapped_dentries) as f64),
+            ),
+        ]));
+        println!(
+            "hot_swap threads={threads}: blackout fwd {:.0}us / back {:.0}us, \
+             {ops} ops, {failed} failed",
+            us(fwd.blackout_ns),
+            us(back.blackout_ns)
+        );
+    }
+    obj(vec![
+        ("engine_seed", num(ENGINE_SEED as f64)),
+        ("estimator", Value::String("single_shot_wall".into())),
+        ("per_threads", Value::Array(rows)),
+    ])
+}
+
 fn bench_lockdep(threads: usize) -> Value {
     const FILES_PER_THREAD: usize = 24;
     let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(16384));
@@ -1635,6 +1762,7 @@ fn main() {
         ),
         ("vectored_io", bench_vectored_io()),
         ("crash_consistency", crashbench::bench_crash_consistency()),
+        ("hot_swap", bench_hot_swap(&[1, 2, 4, 8])),
         ("lockdep", bench_lockdep(threads)),
     ]);
 

@@ -143,6 +143,13 @@ struct TxnRecord {
     len: u64,
     /// Home images, kept in memory so checkpoint never re-reads the log.
     writes: Vec<(u64, Vec<u8>)>,
+    /// Home block numbers with *per-member* multiplicity — one entry per
+    /// block per operation merged into this record. The retire hook must
+    /// decrement exactly as many pins as op publishes took; the merged
+    /// `writes` (one entry per block) under-counts whenever two ops in
+    /// one batch touched the same block, which leaked pins and left
+    /// buffers `Delay`-flagged forever.
+    pins: Vec<u64>,
 }
 
 /// Log-area bookkeeping: where the next record goes and which records
@@ -162,7 +169,9 @@ struct Space {
 
 /// Callback invoked after checkpoint retires transactions: receives the
 /// home block numbers of every retired transaction, with multiplicity (a
-/// block appears once per retired transaction that journaled it). The
+/// block appears once per *operation* that journaled it — matching the
+/// per-op publish pins, even when group commit merged several ops'
+/// images of one block into a single record entry). The
 /// file system hangs its `Delay`-pin release off this, so cache
 /// writeback stays out of the home-write path until the journal is done
 /// with a block.
@@ -707,12 +716,16 @@ impl Journal {
                 taken += 1;
             }
             let batch: Vec<Member> = g.members.drain(..taken).collect();
+            let pins: Vec<u64> = batch
+                .iter()
+                .flat_map(|m| m.writes.iter().map(|(b, _)| *b))
+                .collect();
             let seq = g.next_seq;
             g.next_seq += 1;
 
             // Device IO without the group lock: later committers can keep
             // joining the (new) open transaction meanwhile.
-            let res = g.unlocked(|| self.write_batch(seq, merged));
+            let res = g.unlocked(|| self.write_batch(seq, merged, pins));
             if res.is_ok() {
                 self.stats.lock().batches += 1;
             } else {
@@ -733,7 +746,7 @@ impl Journal {
 
     /// Appends one record (descriptor + payload + commit) to the log and
     /// flushes. On success the transaction is registered for checkpoint.
-    fn write_batch(&self, seq: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
+    fn write_batch(&self, seq: u64, writes: Vec<(u64, Vec<u8>)>, pins: Vec<u64>) -> KResult<()> {
         let bs = self.dev.block_size();
         let count = writes.len();
         let need = count as u64 + 2;
@@ -828,6 +841,7 @@ impl Journal {
             off,
             len: need,
             writes,
+            pins,
         });
         Ok(())
     }
@@ -845,8 +859,8 @@ impl Journal {
     }
 
     fn checkpoint_inner(&self, max_txns: usize, forced: bool) -> KResult<usize> {
-        // (seq, off, len, writes) per drained transaction.
-        type DrainEntry = (u64, u64, u64, Vec<(u64, Vec<u8>)>);
+        // (seq, off, len, writes, pins) per drained transaction.
+        type DrainEntry = (u64, u64, u64, Vec<(u64, Vec<u8>)>, Vec<u64>);
         if self.is_aborted() {
             return Err(Errno::EROFS);
         }
@@ -861,7 +875,7 @@ impl Journal {
                 sp.txns
                     .iter()
                     .take(max_txns)
-                    .map(|t| (t.seq, t.off, t.len, t.writes.clone()))
+                    .map(|t| (t.seq, t.off, t.len, t.writes.clone(), t.pins.clone()))
                     .collect(),
                 sp.newest_seq.clone(),
             )
@@ -869,7 +883,8 @@ impl Journal {
         if drain.is_empty() {
             return Ok(0);
         }
-        let (last_seq, last_off, last_len, _) = *drain.last().expect("non-empty");
+        let last = drain.last().expect("non-empty");
+        let (last_seq, last_off, last_len) = (last.0, last.1, last.2);
         // One home write per block, newest drained image wins — and none
         // at all for a block whose newest committed image sits in a
         // later, still-pending transaction: writing our older image
@@ -881,7 +896,7 @@ impl Journal {
         // transaction committing after our snapshot cannot reach its
         // home before its own (later) checkpoint.
         let mut homes: BTreeMap<u64, &Vec<u8>> = BTreeMap::new();
-        for (_, _, _, writes) in &drain {
+        for (_, _, _, writes, _) in &drain {
             for (blkno, data) in writes {
                 homes.insert(*blkno, data);
             }
@@ -944,7 +959,7 @@ impl Journal {
         if let Some(hook) = self.retire_hook.lock().as_ref() {
             let retired: Vec<u64> = drain
                 .iter()
-                .flat_map(|(_, _, _, writes)| writes.iter().map(|(b, _)| *b))
+                .flat_map(|(_, _, _, _, pins)| pins.iter().copied())
                 .collect();
             hook(&retired);
         }

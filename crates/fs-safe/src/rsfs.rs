@@ -1120,6 +1120,21 @@ impl FileSystem for Rsfs {
         self.cache.sync_all()
     }
 
+    fn quiesce_for_handoff(&self) -> KResult<()> {
+        // `sync` commits the running transaction and drains every
+        // deferred checkpoint; the checkpoint retire hook releases
+        // delayed-durability pins as their transactions reach home
+        // locations. A pin still held afterwards means some dirty state
+        // is pinned in the cache with this generation as its only
+        // writer — handing off now would strand it, so refuse and let
+        // the migrator abort with the workload intact.
+        self.sync()?;
+        if !self.delay_pins.lock().is_empty() {
+            return Err(Errno::EBUSY);
+        }
+        Ok(())
+    }
+
     fn statfs(&self) -> KResult<StatFs> {
         let txn = Txn::new(self);
         let bitmap = txn.read(BLOCK_BITMAP)?;

@@ -54,6 +54,10 @@ pub mod subsys {
     pub const CRASH: &str = "crash";
     /// Randomized workload / stress-schedule decisions.
     pub const WORKLOAD: &str = "workload";
+    /// Live-replacement (hot-swap) protocol events: quiesce, state
+    /// transfer, resume — so a scenario can land faults *mid-handoff*
+    /// and replay them from the same seed.
+    pub const SWAP: &str = "swap";
 }
 
 /// FNV-1a hash of a subsystem name: the per-subsystem seed tag.

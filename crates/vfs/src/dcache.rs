@@ -169,6 +169,41 @@ impl Dcache {
         }
     }
 
+    /// Rekeys every entry through `map` (old inode number → new inode
+    /// number) after a generation swap: both the directory key and the
+    /// target inode are translated, so the warm cache survives the
+    /// handoff instead of being cleared cold. Entries either of whose
+    /// inodes has no mapping are dropped (counted as invalidations).
+    /// Returns how many entries were carried over.
+    ///
+    /// Rekeyed entries may hash to a different shard, so the transfer is
+    /// two-phase: drain every shard (ascending index, the rank-clean
+    /// walk), then reinsert with no shard lock held.
+    pub fn remap(&self, map: impl Fn(InodeNo) -> Option<InodeNo>) -> u64 {
+        let mut drained: Vec<((InodeNo, String), InodeNo)> = Vec::new();
+        for shard in &self.shards {
+            let mut inner = shard.lock();
+            let entries: Vec<_> = inner.map.drain().collect();
+            inner.lru.clear();
+            drained.extend(entries);
+        }
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        for ((dir, name), ino) in drained {
+            match (map(dir), map(ino)) {
+                (Some(ndir), Some(nino)) => {
+                    self.insert(ndir, &name, nino);
+                    kept += 1;
+                }
+                _ => dropped += 1,
+            }
+        }
+        if dropped > 0 {
+            self.shards[0].lock().stats.invalidations += dropped;
+        }
+        kept
+    }
+
     /// Drops everything.
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -298,6 +333,39 @@ mod tests {
         d.insert(1, "a", 99);
         assert_eq!(d.get(1, "a"), Some(99));
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn remap_rekeys_entries_and_drops_unmapped() {
+        let d = Dcache::new(16);
+        d.insert(1, "a", 10);
+        d.insert(1, "b", 11);
+        d.insert(2, "c", 20);
+        let kept = d.remap(|ino| match ino {
+            1 => Some(100),
+            10 => Some(110),
+            11 => Some(111),
+            _ => None, // dir 2 and ino 20 did not survive the swap
+        });
+        assert_eq!(kept, 2);
+        assert_eq!(d.get(100, "a"), Some(110));
+        assert_eq!(d.get(100, "b"), Some(111));
+        assert_eq!(d.get(1, "a"), None, "old-generation key must be gone");
+        assert_eq!(d.get(2, "c"), None, "unmapped entry must be dropped");
+    }
+
+    #[test]
+    fn remap_is_lockdep_clean() {
+        let d = Dcache::with_registry(64, 4, LockRegistry::new());
+        for i in 0..32u64 {
+            d.insert(i % 3, &format!("n{i}"), i + 100);
+        }
+        d.remap(|ino| Some(ino + 1000));
+        assert!(
+            d.lock_registry().violations().is_empty(),
+            "remap must be ordering-clean: {:?}",
+            d.lock_registry().violations()
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod dcache;
 pub mod inode;
 pub mod legacy_ops;
 pub mod memfs;
+pub mod migrate;
 pub mod modular;
 pub mod path;
 pub mod ring;
@@ -44,6 +45,7 @@ pub mod spec;
 
 pub use inode::{Attr, FileType, InodeNo};
 pub use memfs::MemFs;
+pub use migrate::{copy_tree, InoMap, MigratePhase, Migrator, SwapGate, SwapReport};
 pub use modular::{BatchOp, BatchReply, DirEntry, FileSystem, StatFs};
 pub use path::{OpenFlags, Vfs};
 pub use ring::{Cqe, Ring, RingReactor, RingStats, RingThrottle};

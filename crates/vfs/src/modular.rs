@@ -244,6 +244,22 @@ pub trait FileSystem: Send + Sync {
     /// Usage summary.
     fn statfs(&self) -> KResult<StatFs>;
 
+    /// Prepares this generation to give up (or assume) authority in a
+    /// live replacement — see [`crate::migrate::Migrator`]. On return,
+    /// every completed operation must be durable on the generation's
+    /// own device and the instance must hold **no** dirty state that
+    /// only it can write back: an outgoing generation's caches may be
+    /// discarded, and an incoming generation must survive a crash
+    /// immediately after this call with everything it was handed.
+    /// Implementations that defer work past `sync` (delayed-durability
+    /// pins, background checkpoints) must drain it here or fail with
+    /// `EBUSY` so the migrator aborts cleanly. The default delegates to
+    /// [`FileSystem::sync`], which is exactly this contract for
+    /// implementations with no deferred work.
+    fn quiesce_for_handoff(&self) -> KResult<()> {
+        self.sync()
+    }
+
     /// Processes a batch of typed operations, returning one reply per op
     /// in submission order (the reply vector always has `ops.len()`
     /// entries — individual failures are carried in the reply, never

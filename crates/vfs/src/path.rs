@@ -20,6 +20,7 @@ use sk_ksim::lock::LockRegistry;
 
 use crate::dcache::Dcache;
 use crate::inode::{Attr, FileType, InodeNo};
+use crate::migrate::SwapGate;
 use crate::modular::{validate_name, DirEntry, FileSystem, StatFs};
 use crate::spec::{normalize, FsModel};
 
@@ -68,6 +69,10 @@ pub struct Vfs {
     dcache: Dcache,
     fds: Mutex<HashMap<Fd, OpenFile>>,
     next_fd: AtomicU64,
+    /// Admission gate for live replacement: every public operation holds
+    /// it shared; [`crate::migrate::Migrator`] holds it exclusive across
+    /// quiesce/transfer/switch. Shared with gated ring reactors.
+    gate: Arc<SwapGate>,
 }
 
 impl Vfs {
@@ -87,6 +92,7 @@ impl Vfs {
             dcache: Dcache::with_registry(1024, 8, locks),
             fds: Mutex::new(HashMap::new()),
             next_fd: AtomicU64::new(3), // 0-2 reserved, as tradition demands
+            gate: Arc::new(SwapGate::new()),
         })
     }
 
@@ -100,8 +106,46 @@ impl Vfs {
         &self.dcache
     }
 
+    /// The swap admission gate (shared with gated ring reactors; held
+    /// exclusive by [`crate::migrate::Migrator`] during a handoff).
+    pub fn gate(&self) -> Arc<SwapGate> {
+        Arc::clone(&self.gate)
+    }
+
+    /// Rekeys the open-fd table through `map` after a generation swap
+    /// (old inode number → new inode number); descriptors keep their
+    /// position and flags. Returns `(kept, dropped)`: descriptors whose
+    /// inode has no mapping (e.g. unlinked-but-open files, which the
+    /// tree walk cannot see) are removed so later use fails with `EBADF`
+    /// instead of silently addressing a stranger's inode.
+    pub(crate) fn remap_open_files(&self, map: impl Fn(InodeNo) -> Option<InodeNo>) -> (u64, u64) {
+        let mut fds = self.fds.lock();
+        let mut dropped = 0u64;
+        let mut kept = 0u64;
+        fds.retain(|_, f| match map(f.ino) {
+            Some(new) => {
+                f.ino = new;
+                kept += 1;
+                true
+            }
+            None => {
+                dropped += 1;
+                false
+            }
+        });
+        (kept, dropped)
+    }
+
     /// Resolves a path to an inode, walking component by component.
     pub fn resolve(&self, path: &str) -> KResult<InodeNo> {
+        let _g = self.gate.enter();
+        self.resolve_locked(path)
+    }
+
+    /// Path walk without the gate: internal callers already hold the
+    /// gate shared, and the fair lock would deadlock a recursive reader
+    /// behind a waiting swap.
+    fn resolve_locked(&self, path: &str) -> KResult<InodeNo> {
         let path = normalize(path)?;
         let fs = self.fs.get();
         let mut cur = fs.root_ino();
@@ -128,12 +172,13 @@ impl Vfs {
             .to_string();
         validate_name(&name)?;
         let parent = crate::spec::parent_of(&path).ok_or(Errno::EINVAL)?;
-        let dir = self.resolve(&parent)?;
+        let dir = self.resolve_locked(&parent)?;
         Ok((dir, name))
     }
 
     /// Creates a regular file.
     pub fn create(&self, path: &str) -> KResult<InodeNo> {
+        let _g = self.gate.enter();
         let (dir, name) = self.resolve_parent(path)?;
         let ino = self.fs.get().create(dir, &name)?;
         self.dcache.insert(dir, &name, ino);
@@ -142,6 +187,7 @@ impl Vfs {
 
     /// Creates a directory.
     pub fn mkdir(&self, path: &str) -> KResult<InodeNo> {
+        let _g = self.gate.enter();
         let (dir, name) = self.resolve_parent(path)?;
         let ino = self.fs.get().mkdir(dir, &name)?;
         self.dcache.insert(dir, &name, ino);
@@ -150,6 +196,7 @@ impl Vfs {
 
     /// Removes a regular file.
     pub fn unlink(&self, path: &str) -> KResult<()> {
+        let _g = self.gate.enter();
         let (dir, name) = self.resolve_parent(path)?;
         self.fs.get().unlink(dir, &name)?;
         self.dcache.invalidate(dir, &name);
@@ -158,9 +205,10 @@ impl Vfs {
 
     /// Removes an empty directory.
     pub fn rmdir(&self, path: &str) -> KResult<()> {
+        let _g = self.gate.enter();
         let (dir, name) = self.resolve_parent(path)?;
         // Invalidate children entries of the dying directory first.
-        if let Ok(victim) = self.resolve(path) {
+        if let Ok(victim) = self.resolve_locked(path) {
             self.dcache.invalidate_dir(victim);
         }
         self.fs.get().rmdir(dir, &name)?;
@@ -175,10 +223,12 @@ impl Vfs {
     /// Linux's `lock_rename` path — the file system only ever sees
     /// per-directory entry moves and cannot detect the cycle itself.
     pub fn rename(&self, old: &str, new: &str) -> KResult<()> {
+        let _g = self.gate.enter();
         let old_n = normalize(old)?;
         let new_n = normalize(new)?;
         if new_n != old_n && new_n.starts_with(&format!("{old_n}/")) {
-            let attr = self.stat(&old_n)?;
+            let ino = self.resolve_locked(&old_n)?;
+            let attr = self.fs.get().getattr(ino)?;
             if attr.ftype == FileType::Directory {
                 return Err(Errno::EINVAL);
             }
@@ -193,25 +243,29 @@ impl Vfs {
 
     /// Attributes of the object at `path`.
     pub fn stat(&self, path: &str) -> KResult<Attr> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         self.fs.get().getattr(ino)
     }
 
     /// Directory listing.
     pub fn readdir(&self, path: &str) -> KResult<Vec<DirEntry>> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         self.fs.get().readdir(ino)
     }
 
     /// Truncates a file.
     pub fn truncate(&self, path: &str, size: u64) -> KResult<()> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         self.fs.get().truncate(ino, size)
     }
 
     /// Whole-file convenience read.
     pub fn read_file(&self, path: &str) -> KResult<Vec<u8>> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         let fs = self.fs.get();
         let attr = fs.getattr(ino)?;
         if attr.ftype == FileType::Directory {
@@ -225,17 +279,20 @@ impl Vfs {
 
     /// Positional write by path.
     pub fn write_file(&self, path: &str, off: u64, data: &[u8]) -> KResult<usize> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         self.fs.get().write(ino, off, data)
     }
 
     /// Makes everything durable.
     pub fn sync(&self) -> KResult<()> {
+        let _g = self.gate.enter();
         self.fs.get().sync()
     }
 
     /// File system usage summary.
     pub fn statfs(&self) -> KResult<StatFs> {
+        let _g = self.gate.enter();
         self.fs.get().statfs()
     }
 
@@ -248,7 +305,8 @@ impl Vfs {
 
     /// Opens an existing regular file with explicit [`OpenFlags`].
     pub fn open_with(&self, path: &str, flags: OpenFlags) -> KResult<Fd> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         let attr = self.fs.get().getattr(ino)?;
         if attr.ftype == FileType::Directory {
             return Err(Errno::EISDIR);
@@ -260,6 +318,7 @@ impl Vfs {
 
     /// Sequential read advancing the descriptor offset.
     pub fn read(&self, fd: Fd, buf: &mut [u8]) -> KResult<usize> {
+        let _g = self.gate.enter();
         let (ino, pos) = {
             let fds = self.fds.lock();
             let f = fds.get(&fd).ok_or(Errno::EBADF)?;
@@ -276,6 +335,7 @@ impl Vfs {
     /// [`OpenFlags`]: read-only descriptors refuse with `EBADF`; append
     /// descriptors write at end-of-file.
     pub fn write(&self, fd: Fd, data: &[u8]) -> KResult<usize> {
+        let _g = self.gate.enter();
         let (ino, pos, flags) = {
             let fds = self.fds.lock();
             let f = fds.get(&fd).ok_or(Errno::EBADF)?;
@@ -300,6 +360,7 @@ impl Vfs {
     /// Makes `fd`'s completed operations durable (POSIX `fsync(2)`):
     /// delegates to the mounted file system's per-file durability point.
     pub fn fsync(&self, fd: Fd) -> KResult<()> {
+        let _g = self.gate.enter();
         let ino = {
             let fds = self.fds.lock();
             fds.get(&fd).ok_or(Errno::EBADF)?.ino
@@ -309,12 +370,14 @@ impl Vfs {
 
     /// Path-level fsync, for callers without a descriptor.
     pub fn fsync_path(&self, path: &str) -> KResult<()> {
-        let ino = self.resolve(path)?;
+        let _g = self.gate.enter();
+        let ino = self.resolve_locked(path)?;
         self.fs.get().fsync(ino)
     }
 
     /// Absolute seek; returns the new offset.
     pub fn seek(&self, fd: Fd, pos: u64) -> KResult<u64> {
+        let _g = self.gate.enter();
         let mut fds = self.fds.lock();
         let f = fds.get_mut(&fd).ok_or(Errno::EBADF)?;
         f.pos = pos;
@@ -323,13 +386,17 @@ impl Vfs {
 
     /// Closes a descriptor.
     pub fn close(&self, fd: Fd) -> KResult<()> {
+        let _g = self.gate.enter();
         self.fds.lock().remove(&fd).map(|_| ()).ok_or(Errno::EBADF)
     }
 }
 
 impl Refines<FsModel> for Vfs {
     /// Interprets the mounted tree as the abstract model by walking it.
+    /// Holds the gate shared, so the walk never observes a half-done
+    /// generation handoff.
     fn abstraction(&self) -> FsModel {
+        let _g = self.gate.enter();
         crate::modular::fs_abstraction(&*self.fs.get())
     }
 }

@@ -32,8 +32,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
+use sk_core::modularity::InterfaceHandle;
 use sk_ksim::lock::{LockRegistry, TrackedMutex};
 
+use crate::migrate::SwapGate;
 use crate::modular::{BatchOp, BatchReply, FileSystem};
 
 /// Completion-queue entry: the submission's ticket plus its typed reply
@@ -251,10 +253,18 @@ impl Ring {
         if batch.is_empty() {
             return false;
         }
+        self.relieve(throttle);
+        let (tickets, ops): (Vec<u64>, Vec<BatchOp>) = batch.into_iter().unzip();
+        let replies = fs.submit_batch(ops);
+        self.post(tickets, replies);
+        true
+    }
+
+    /// Relieves the throttle until the pressure reading drops below
+    /// threshold — bounded, so a wedged (EROFS) journal cannot spin the
+    /// reactor; the batch is then admitted and fails op by op.
+    fn relieve(&self, throttle: Option<&RingThrottle>) {
         if let Some(t) = throttle {
-            // Relieve until the pressure reading drops below threshold —
-            // bounded, so a wedged (EROFS) journal cannot spin the
-            // reactor; the batch is then admitted and fails op by op.
             let mut rounds = 0;
             while (t.pressure)() >= t.threshold && rounds < 8 {
                 self.stats.lock().throttle_stalls += 1;
@@ -262,8 +272,64 @@ impl Ring {
                 rounds += 1;
             }
         }
+    }
+
+    /// Blocks until the submission queue is non-empty or the ring is
+    /// shut down. Returns `false` only when shut down *and* drained.
+    /// Nothing is removed: gated reactors park here with the swap gate
+    /// released, so a migrator never finds SQEs trapped in a reactor's
+    /// hands mid-handoff.
+    fn wait_ready(&self) -> bool {
+        let mut st = self.state.lock();
+        while st.sq.is_empty() && !st.shutdown {
+            st.wait(&self.sq_ready);
+        }
+        !(st.sq.is_empty() && st.shutdown)
+    }
+
+    /// Takes up to `depth` SQEs without blocking.
+    fn drain_nonblocking(&self) -> Vec<(u64, BatchOp)> {
+        let mut st = self.state.lock();
+        let take = st.sq.len().min(self.depth);
+        let batch: Vec<(u64, BatchOp)> = st.sq.drain(..take).collect();
+        drop(st);
+        self.notify_space(batch.len());
+        batch
+    }
+
+    /// One generation-aware reactor step — the swap-hazard fix. The
+    /// plain [`Ring::reactor_tick`] captures one `Arc<dyn FileSystem>`
+    /// for the reactor's lifetime, so SQEs processed after a registry
+    /// swap still execute against the retired generation and their
+    /// effects are lost from the new one. This tick instead:
+    ///
+    /// 1. waits for work with the gate **released** (a parked reactor
+    ///    must not hold SQEs hostage across a handoff — the migrator
+    ///    drains the queue itself while the gate is closed);
+    /// 2. enters the gate shared, like any other admission;
+    /// 3. drains without blocking and dispatches through the interface
+    ///    handle, so the batch runs against whichever generation is
+    ///    current *at processing time*.
+    ///
+    /// An empty drain after the wait is the benign race where a migrator
+    /// took the queued SQEs first; the reactor just parks again.
+    pub fn reactor_tick_gated(
+        &self,
+        fs: &InterfaceHandle<dyn FileSystem>,
+        gate: &SwapGate,
+        throttle: Option<&RingThrottle>,
+    ) -> bool {
+        if !self.wait_ready() {
+            return false;
+        }
+        let _admission = gate.enter();
+        let batch = self.drain_nonblocking();
+        if batch.is_empty() {
+            return true;
+        }
+        self.relieve(throttle);
         let (tickets, ops): (Vec<u64>, Vec<BatchOp>) = batch.into_iter().unzip();
-        let replies = fs.submit_batch(ops);
+        let replies = fs.get().submit_batch(ops);
         self.post(tickets, replies);
         true
     }
@@ -323,6 +389,29 @@ impl RingReactor {
         RingReactor {
             ring,
             handle: Some(handle),
+        }
+    }
+
+    /// Starts a generation-aware reactor: batches are dispatched
+    /// through `handle` under a shared hold of `gate`, so every SQE
+    /// completes against the generation that is current when it is
+    /// processed — see [`Ring::reactor_tick_gated`]. This is the
+    /// reactor to use on a [`Vfs`](crate::path::Vfs) whose backend may
+    /// be hot-swapped by a [`Migrator`](crate::migrate::Migrator).
+    pub fn spawn_gated(
+        ring: Arc<Ring>,
+        handle: InterfaceHandle<dyn FileSystem>,
+        gate: Arc<SwapGate>,
+        throttle: Option<RingThrottle>,
+    ) -> Self {
+        let r = Arc::clone(&ring);
+        let h = std::thread::Builder::new()
+            .name("ring-reactor".into())
+            .spawn(move || while r.reactor_tick_gated(&handle, &gate, throttle.as_ref()) {})
+            .expect("spawn ring reactor");
+        RingReactor {
+            ring,
+            handle: Some(h),
         }
     }
 

@@ -177,6 +177,16 @@ impl FileSystem for LegacyFsAdapter {
         let e = self.boundary.cross(|| op(&self.ctx));
         self.take::<StatFs>(e, "shim::statfs")
     }
+
+    fn quiesce_for_handoff(&self) -> KResult<()> {
+        // The legacy interface has no handoff notion; the strongest
+        // quiescence a C-side table offers is its whole-device sync,
+        // which leaves no dirty state behind on the implementations we
+        // adapt. A table without even `sync` cannot promise that, so
+        // the migrator's abort path gets ENOSYS.
+        let op = self.ops.sync.as_ref().ok_or(Errno::ENOSYS)?;
+        ret_check(self.boundary.cross(|| op(&self.ctx))).map(|_| ())
+    }
 }
 
 /// Exports a modular file system through the legacy ops interface, for

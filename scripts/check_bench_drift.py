@@ -1,21 +1,43 @@
 #!/usr/bin/env python3
-"""Bench drift gate for the netstack report.
+"""Bench drift gate for the netstack and storage reports.
 
-Compares a freshly generated BENCH_net.json against the committed
-baseline and fails (exit 1) when the clean-link single-stream throughput
-of either generation regresses by more than the tolerance (default 10%).
+The mode is auto-detected from the baseline report:
 
-Wall-clock throughput is the only nondeterministic field in the report,
-so the gate also cross-checks the deterministic shape of the run: the
-clean rows must complete, move the same byte count, and take the same
-number of rounds as the baseline — a rounds blow-up is a protocol
-regression (e.g. a broken congestion window) even when raw MB/s happens
-to pass on a fast runner.
+* a report with a top-level "soak" key is a netstack report
+  (BENCH_net.json) and is gated on clean-link single-stream throughput;
+* a report with a top-level "hot_swap" key is a storage report
+  (BENCH_storage.json) and is gated on the live hot-swap sweep.
+
+Netstack mode compares a freshly generated BENCH_net.json against the
+committed baseline and fails (exit 1) when the clean-link single-stream
+throughput of either generation regresses by more than the tolerance
+(default 10%).  Wall-clock throughput is the only nondeterministic field
+in that report, so the gate also cross-checks the deterministic shape of
+the run: the clean rows must complete, move the same byte count, and
+take the same number of rounds as the baseline — a rounds blow-up is a
+protocol regression (e.g. a broken congestion window) even when raw MB/s
+happens to pass on a fast runner.
 
 The clean soak finishes in well under a millisecond of wall time, so a
 single sample is noisy; pass several fresh reports (CI generates three)
 and the gate compares the best sample per generation against the floor.
 Deterministic fields are checked on every sample.
+
+Storage mode gates the hot_swap section of BENCH_storage.json:
+
+* every fresh per-thread row must report failed_ops == 0 — the swap
+  contract is zero failed operations under load, not "few";
+* the deterministic shape must match the baseline row for the same
+  thread count: swaps performed, files copied across the handoff, and
+  dentries remapped (the workload tree is seeded from the pinned engine
+  seed, so these are exact);
+* the engine seed stamped into the section must match the baseline —
+  a silent reseed would make the comparison meaningless;
+* blackout_us_max may not exceed baseline * multiplier (the tolerance
+  argument, default 10x in this mode).  Blackout is a single-shot wall
+  measurement on a shared runner, so the bound is deliberately loose:
+  it only catches order-of-magnitude regressions such as the swap
+  draining through a sleep loop.  Best sample per thread count wins.
 
 Usage: check_bench_drift.py <baseline.json> <fresh.json>... [tolerance]
 """
@@ -32,25 +54,9 @@ def clean_rows(report):
     return rows
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    args = sys.argv[1:]
-    try:
-        tolerance = float(args[-1])
-        args = args[:-1]
-    except ValueError:
-        tolerance = 0.10
-    if len(args) < 2:
-        sys.exit(__doc__)
-    baseline_path, fresh_paths = args[0], args[1:]
-
-    with open(baseline_path) as f:
-        baseline = clean_rows(json.load(f))
-    fresh_runs = []
-    for path in fresh_paths:
-        with open(path) as f:
-            fresh_runs.append((path, clean_rows(json.load(f))))
+def check_net(baseline_path, baseline, fresh_runs, tolerance):
+    baseline = clean_rows(baseline)
+    fresh_runs = [(path, clean_rows(report)) for path, report in fresh_runs]
 
     failures = []
     for gen in ("legacy", "modular"):
@@ -88,6 +94,104 @@ def main():
                 f"{gen}: clean single-stream throughput {now_tp:.1f} MB/s is more than "
                 f"{tolerance:.0%} below the committed baseline {base_tp:.1f} MB/s"
             )
+    return failures
+
+
+def swap_rows(report):
+    section = report.get("hot_swap", {})
+    return section.get("engine_seed"), {
+        row["threads"]: row for row in section.get("per_threads", [])
+    }
+
+
+# Exact across runs: the swap count is fixed by the harness and the
+# copied/remapped counts follow from the engine-seeded workload tree.
+# ops_completed, blocked_ops, and the blackout timings are wall-clock
+# dependent and are deliberately NOT in this list.
+SWAP_EXACT_FIELDS = ("swaps", "copied_files", "remapped_dentries")
+
+
+def check_storage(baseline_path, baseline, fresh_runs, multiplier):
+    base_seed, base_rows = swap_rows(baseline)
+    if not base_rows:
+        return [f"no hot_swap per_threads rows in baseline {baseline_path}"]
+
+    failures = []
+    for threads in sorted(base_rows):
+        base = base_rows[threads]
+        samples = []
+        for path, fresh in fresh_runs:
+            seed, rows = swap_rows(fresh)
+            if seed != base_seed:
+                failures.append(
+                    f"hot_swap: engine_seed changed {base_seed} -> {seed} in {path}"
+                )
+                continue
+            if threads not in rows:
+                failures.append(f"hot_swap[{threads}t]: no fresh row in {path}")
+                continue
+            now = rows[threads]
+            if now.get("failed_ops") != 0:
+                failures.append(
+                    f"hot_swap[{threads}t]: {now.get('failed_ops')} failed ops in "
+                    f"{path} (swap contract is zero failed ops under load)"
+                )
+            for field in SWAP_EXACT_FIELDS:
+                if now.get(field) != base.get(field):
+                    failures.append(
+                        f"hot_swap[{threads}t]: {field} changed "
+                        f"{base.get(field)} -> {now.get(field)} in {path} "
+                        f"(deterministic field; handoff behaviour drifted)"
+                    )
+            samples.append(now["blackout_us_max"])
+        if not samples:
+            continue
+        base_bo, now_bo = base["blackout_us_max"], min(samples)
+        ceiling = base_bo * multiplier
+        verdict = "OK" if now_bo <= ceiling else "REGRESSED"
+        print(
+            f"hot_swap {threads}t: baseline blackout {base_bo:9.1f} us, "
+            f"best of {len(samples)} fresh {now_bo:9.1f} us, "
+            f"ceiling {ceiling:9.1f} us  {verdict}"
+        )
+        if now_bo > ceiling:
+            failures.append(
+                f"hot_swap[{threads}t]: blackout {now_bo:.1f} us exceeds "
+                f"{multiplier:.0f}x the committed baseline {base_bo:.1f} us"
+            )
+    return failures
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    args = sys.argv[1:]
+    try:
+        tolerance = float(args[-1])
+        args = args[:-1]
+    except ValueError:
+        tolerance = None
+    if len(args) < 2:
+        sys.exit(__doc__)
+    baseline_path, fresh_paths = args[0], args[1:]
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    fresh_runs = []
+    for path in fresh_paths:
+        with open(path) as f:
+            fresh_runs.append((path, json.load(f)))
+
+    if "hot_swap" in baseline:
+        failures = check_storage(
+            baseline_path, baseline, fresh_runs, tolerance if tolerance else 10.0
+        )
+    elif "soak" in baseline:
+        failures = check_net(
+            baseline_path, baseline, fresh_runs, tolerance if tolerance else 0.10
+        )
+    else:
+        failures = [f"{baseline_path}: neither a netstack nor a storage report"]
 
     if failures:
         print("\nbench drift check FAILED:")

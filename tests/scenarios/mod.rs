@@ -33,6 +33,8 @@ use safer_kernel::netstack::modular_stack::{register_families, ModularStack};
 use safer_kernel::netstack::spec::StreamChecker;
 use safer_kernel::netstack::tcp::{TcpListener, TcpPcb, TcpState, DEFAULT_RTO_NS};
 use safer_kernel::netstack::wire::{Link, Side};
+use safer_kernel::vfs::inode::FileType;
+use safer_kernel::vfs::migrate::{MigratePhase, Migrator};
 use safer_kernel::vfs::modular::{BatchOp, BatchReply};
 use safer_kernel::vfs::ring::{Ring, RingReactor, RingThrottle};
 
@@ -61,6 +63,7 @@ pub const CORPUS: &[(&str, ScenarioFn)] = &[
         torn_write_under_log_pressure,
     ),
     ("lossy_link_during_migration", lossy_link_during_migration),
+    ("hot_swap_under_faults", hot_swap_under_faults),
     ("net_scale_1k_lossy", net_scale_1k_lossy),
     ("eio_mid_checkpoint_recovery", eio_mid_checkpoint_recovery),
     ("corrupt_reads_remount_storm", corrupt_reads_remount_storm),
@@ -668,13 +671,13 @@ fn lossy_link_during_migration(engine: &Arc<ScenarioEngine>) -> Result<(), Strin
         net.round();
         if step == 29 {
             ws.emit("migrate cext4 -> rsfs".to_string());
-            let current = vfs.fs_handle().get();
-            let next = make_rsfs();
-            copy_tree(&*current, &*next, current.root_ino(), next.root_ino());
-            registry
-                .replace::<dyn FileSystem>(FS_INTERFACE, "rsfs", next)
-                .map_err(|e| format!("replace: {e:?}"))?;
-            vfs.dcache().clear();
+            let report = Migrator::new(&vfs, &registry)
+                .swap("rsfs", make_rsfs())
+                .map_err(|e| format!("swap: {e:?}"))?;
+            ws.emit(format!(
+                "swap done files={} dirs={} bytes={}",
+                report.copied_files, report.copied_dirs, report.copied_bytes
+            ));
             if vfs.abstraction() != model {
                 return Err("post-swap state diverged from the model".into());
             }
@@ -690,6 +693,192 @@ fn lossy_link_during_migration(engine: &Arc<ScenarioEngine>) -> Result<(), Strin
         return Err(format!(
             "expected 1 swap, saw {}",
             vfs.fs_handle().swap_count()
+        ));
+    }
+    let violations = locks.violations();
+    if !violations.is_empty() {
+        return Err(format!("lockdep findings: {violations:?}"));
+    }
+    net.finish(4000)
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4c: hot swap under faults — the CI swap-under-load soak entry
+// ---------------------------------------------------------------------------
+
+/// Two live generation swaps (cext4 → rsfs → cext4) through the
+/// [`Migrator`] while a transient-EIO disk backs the safe generation and
+/// a lossy link runs a TCP fight on the same engine. The faults land
+/// *mid-handoff*: the forward copy writes through the faulty disk, and
+/// the backward quiesce drains the faulty generation's journal through
+/// it. A handoff that hits EIO must abort cleanly — old generation still
+/// authoritative, live state untouched — and a bounded retry must land
+/// both swaps. Handoff phases go through the engine's `swap` stream, so
+/// `SCENARIO=hot_swap_under_faults SCENARIO_SEED=<n>` replays the whole
+/// dance byte-identically, aborts included.
+fn hot_swap_under_faults(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+    let sw = engine.stream(subsys::SWAP);
+
+    let mut net = NetPair::new(
+        engine,
+        LinkFaultConfig {
+            drop: 0.20,
+            duplicate: 0.05,
+            reorder: 0.10,
+            corrupt: 0.05,
+            delay: 0.10,
+            delay_ns: DEFAULT_RTO_NS / 4,
+        },
+        (0..3).map(|i| vec![0x60 + i as u8; 700]).collect(),
+    );
+
+    let legacy = make_cext4();
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "cext4", Arc::clone(&legacy))
+        .map_err(|e| format!("register: {e:?}"))?;
+    let locks = safer_kernel::ksim::lock::LockRegistry::new();
+    let vfs = Vfs::mount_with_lockdep(&registry, Arc::clone(&locks))
+        .map_err(|e| format!("vfs mount: {e}"))?;
+    let mut model = FsModel::new();
+    let mut rng = StdRng::seed_from_u64(ws.gen_u64());
+
+    // Phase 1: build up state on the legacy generation.
+    for _ in 0..20 {
+        model = random_op(&vfs, model, &mut rng);
+        net.round();
+    }
+
+    // Forward swap. The target rsfs is mounted clean, then its disk goes
+    // hot — so every EIO fires inside the handoff (tree copy, final
+    // commit), never during mkfs/mount. Each attempt gets a fresh
+    // target: a failed copy leaves scribbles behind, and a failed commit
+    // may leave a sticky journal abort.
+    let mut forward_landed = false;
+    for attempt in 0..8u32 {
+        let ram = Arc::new(RamDisk::new(8192));
+        {
+            let dev: Arc<dyn BlockDevice> = Arc::clone(&ram) as Arc<dyn BlockDevice>;
+            Rsfs::mkfs(&dev, 512, 64).map_err(|e| format!("mkfs: {e}"))?;
+        }
+        let faulty = Arc::new(FaultyDisk::on_engine(
+            Arc::clone(&ram),
+            DiskFaultConfig::default(),
+            engine,
+        ));
+        let next: Arc<dyn FileSystem> = Arc::new(
+            Rsfs::mount(
+                Arc::clone(&faulty) as Arc<dyn BlockDevice>,
+                JournalMode::PerOp,
+            )
+            .map_err(|e| format!("mount: {e}"))?,
+        );
+        faulty.set_config(DiskFaultConfig {
+            write_eio: 0.004,
+            flush_eio: 0.002,
+            ..DiskFaultConfig::default()
+        });
+        let pre = vfs.abstraction();
+        match Migrator::new(&vfs, &registry)
+            .with_observer(|p: MigratePhase| sw.emit(format!("fwd a{attempt} {p:?}")))
+            .swap("rsfs", next)
+        {
+            Ok(report) => {
+                sw.emit(format!(
+                    "fwd landed a{attempt} files={} dirs={} bytes={}",
+                    report.copied_files, report.copied_dirs, report.copied_bytes
+                ));
+                forward_landed = true;
+            }
+            Err(e) => {
+                sw.emit(format!("fwd abort a{attempt} {e:?}"));
+                if vfs.fs_handle().impl_name() != "cext4" {
+                    return Err("aborted swap left a half-switched generation".into());
+                }
+                if vfs.abstraction() != pre {
+                    return Err("aborted swap mutated the live state".into());
+                }
+                net.round();
+            }
+        }
+        if forward_landed {
+            break;
+        }
+    }
+    if !forward_landed {
+        return Err("forward swap never landed within 8 attempts".into());
+    }
+    if vfs.abstraction() != model {
+        return Err("post-forward-swap state diverged from the model".into());
+    }
+
+    // The safe generation's disk stays hot while the link keeps
+    // fighting; the workload pauses (its generation would see EIO), the
+    // network does not.
+    for _ in 0..6 {
+        net.round();
+    }
+
+    // Backward swap (rollback direction): now the *old* generation is
+    // the faulty one, so the EIO risk sits in quiesce — the journal
+    // drain and checkpoint write through the faulty disk.
+    let mut back_landed = false;
+    for attempt in 0..8u32 {
+        let next = make_cext4();
+        let pre = vfs.abstraction();
+        match Migrator::new(&vfs, &registry)
+            .with_observer(|p: MigratePhase| sw.emit(format!("back a{attempt} {p:?}")))
+            .swap("cext4", next)
+        {
+            Ok(report) => {
+                sw.emit(format!(
+                    "back landed a{attempt} files={} dirs={}",
+                    report.copied_files, report.copied_dirs
+                ));
+                back_landed = true;
+            }
+            Err(e) => {
+                sw.emit(format!("back abort a{attempt} {e:?}"));
+                if vfs.fs_handle().impl_name() != "rsfs" {
+                    return Err("aborted rollback left a half-switched generation".into());
+                }
+                if vfs.abstraction() != pre {
+                    return Err("aborted rollback mutated the live state".into());
+                }
+                net.round();
+            }
+        }
+        if back_landed {
+            break;
+        }
+    }
+    if !back_landed {
+        return Err("backward swap never landed within 8 attempts".into());
+    }
+
+    // Phase 2: the workload resumes on the rolled-back generation and
+    // the model must still track exactly.
+    for _ in 0..20 {
+        model = random_op(&vfs, model, &mut rng);
+        net.round();
+    }
+    model
+        .check_invariant()
+        .map_err(|e| format!("model invariant: {e}"))?;
+    if vfs.abstraction() != model {
+        return Err("final state diverged from the model".into());
+    }
+    if vfs.fs_handle().swap_count() != 2 {
+        return Err(format!(
+            "aborted attempts must not count as swaps: saw {}",
+            vfs.fs_handle().swap_count()
+        ));
+    }
+    if vfs.gate().swaps() != 2 {
+        return Err(format!(
+            "gate counted {} swaps, expected 2",
+            vfs.gate().swaps()
         ));
     }
     let violations = locks.violations();

@@ -15,7 +15,7 @@ use safer_kernel::fs_legacy::{cext4_ops, BugKnobs, Cext4};
 use safer_kernel::fs_safe::rsfs::{JournalMode, Rsfs};
 use safer_kernel::ksim::block::{BlockDevice, RamDisk};
 use safer_kernel::legacy::LegacyCtx;
-use safer_kernel::vfs::inode::FileType;
+use safer_kernel::vfs::migrate::Migrator;
 use safer_kernel::vfs::modular::FileSystem;
 use safer_kernel::vfs::path::{Vfs, FS_INTERFACE};
 use safer_kernel::vfs::shim::LegacyFsAdapter;
@@ -33,25 +33,6 @@ fn make_rsfs() -> Arc<dyn FileSystem> {
     let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(8192));
     Rsfs::mkfs(&dev, 512, 64).unwrap();
     Arc::new(Rsfs::mount(dev, JournalMode::PerOp).unwrap())
-}
-
-fn copy_tree(src: &dyn FileSystem, dst: &dyn FileSystem, sdir: u64, ddir: u64) {
-    for entry in src.readdir(sdir).unwrap() {
-        let attr = src.getattr(entry.ino).unwrap();
-        match attr.ftype {
-            FileType::Directory => {
-                let nd = dst.mkdir(ddir, &entry.name).unwrap();
-                copy_tree(src, dst, entry.ino, nd);
-            }
-            FileType::Regular => {
-                let nf = dst.create(ddir, &entry.name).unwrap();
-                let mut data = vec![0u8; attr.size as usize];
-                let n = src.read(entry.ino, 0, &mut data).unwrap();
-                data.truncate(n);
-                dst.write(nf, 0, &data).unwrap();
-            }
-        }
-    }
 }
 
 /// One random op against both the VFS and the model; results must agree.
@@ -216,15 +197,11 @@ proptest! {
         for step in 0..300 {
             model = random_op(&vfs, model, &mut rng);
             if step % 100 == 99 {
-                // Migrate to the other generation, mid-workload.
-                let current = vfs.fs_handle().get();
+                // Migrate to the other generation, mid-workload, through
+                // the live-replacement protocol.
                 let next: Arc<dyn FileSystem> = if on_safe { make_cext4() } else { make_rsfs() };
-                copy_tree(&*current, &*next, current.root_ino(), next.root_ino());
                 let impl_name: &'static str = if on_safe { "cext4" } else { "rsfs" };
-                registry
-                    .replace::<dyn FileSystem>(FS_INTERFACE, impl_name, next)
-                    .unwrap();
-                vfs.dcache().clear();
+                Migrator::new(&vfs, &registry).swap(impl_name, next).unwrap();
                 on_safe = !on_safe;
                 prop_assert_eq!(vfs.abstraction(), model.clone(), "post-swap step {}", step);
             }
