@@ -356,31 +356,43 @@ fn bench_async_commit() -> Value {
         ("per-op", JournalMode::PerOp),
         ("async", JournalMode::Async),
     ] {
-        let ram = Arc::new(RamDisk::new(8192));
-        let dev: Arc<dyn BlockDevice> = Arc::new(SlowFlushDevice {
-            inner: ram,
-            flush_cost: std::time::Duration::from_micros(50),
-        });
-        sk_fs_safe::rsfs::Rsfs::mkfs(&dev, 1024, 128).expect("mkfs");
-        let fs = sk_fs_safe::rsfs::Rsfs::mount(dev, mode).expect("mount");
-        let root = fs.root_ino();
-        let payload = vec![0x5Au8; 256];
-        let t0 = Instant::now();
-        let mut last = root;
-        for i in 0..OPS {
-            let ino = fs.create(root, &format!("f{i}")).unwrap();
-            fs.write(ino, 0, &payload).unwrap();
-            last = ino;
+        // Min-of-7 like every other fs row (a fresh fs per repetition —
+        // the workload is a create storm, so it cannot re-run in place);
+        // the reported fsync cost and journal accounting come from the
+        // same repetition that produced the minimum, so the row stays
+        // internally consistent.
+        let mut best: Option<(u64, u64, sk_fs_safe::journal::JournalStats)> = None;
+        for _ in 0..7 {
+            let ram = Arc::new(RamDisk::new(8192));
+            let dev: Arc<dyn BlockDevice> = Arc::new(SlowFlushDevice {
+                inner: ram,
+                flush_cost: std::time::Duration::from_micros(50),
+            });
+            sk_fs_safe::rsfs::Rsfs::mkfs(&dev, 1024, 128).expect("mkfs");
+            let fs = sk_fs_safe::rsfs::Rsfs::mount(dev, mode).expect("mount");
+            let root = fs.root_ino();
+            let payload = vec![0x5Au8; 256];
+            let t0 = Instant::now();
+            let mut last = root;
+            for i in 0..OPS {
+                let ino = fs.create(root, &format!("f{i}")).unwrap();
+                fs.write(ino, 0, &payload).unwrap();
+                last = ino;
+            }
+            let op_wall_ns = t0.elapsed().as_nanos() as u64;
+            let t1 = Instant::now();
+            fs.fsync(last).unwrap();
+            let fsync_ns = t1.elapsed().as_nanos() as u64;
+            let stats = fs.journal().unwrap().stats();
+            if best.as_ref().is_none_or(|(w, _, _)| op_wall_ns < *w) {
+                best = Some((op_wall_ns, fsync_ns, stats));
+            }
         }
-        let op_wall_ns = t0.elapsed().as_nanos() as u64;
-        let t1 = Instant::now();
-        fs.fsync(last).unwrap();
-        let fsync_ns = t1.elapsed().as_nanos() as u64;
-        let stats = fs.journal().unwrap().stats();
+        let (op_wall_ns, fsync_ns, stats) = best.expect("at least one repetition");
         let total_ops = (OPS * 2) as f64;
         let ns_per_op = op_wall_ns as f64 / total_ops;
         rows.push(obj(vec![
-            ("estimator", Value::String("single-run".into())),
+            ("estimator", Value::String("min-of-7".into())),
             ("flush_cost_us", num(50.0)),
             ("mode", Value::String(label.to_string())),
             ("ops", num(total_ops)),
@@ -407,22 +419,28 @@ fn bench_async_commit() -> Value {
 }
 
 /// One op of the mixed ring workload: per 8-op cycle, one create, three
-/// writes, two reads, one unlink (of the file created 4 ops earlier, so
-/// the stream never accumulates inodes), one fsync. All data ops target
-/// the client's pre-made base file, so a client can keep a window of
-/// SQEs in flight without data dependencies between them.
-fn ring_workload_op(client: usize, base: u64, root: u64, k: usize) -> BatchOp {
+/// writes, two reads, one unlink, one fsync. All data ops target the
+/// client's pre-made base file, so a client can keep a window of SQEs in
+/// flight without data dependencies between them. The unlink targets the
+/// file created in the cycle *before last* (12 ops earlier — beyond the
+/// in-flight window), so its create has completed before the unlink is
+/// even submitted: with N work-stealing reactors, batches execute out of
+/// submission order, and a shorter gap would race an unlink past its own
+/// create. The first cycle (and each repetition's last created file,
+/// which the driver cleans up untimed) substitutes a read. `run` keys
+/// names so repetitions of the min-of-N estimator never collide.
+fn ring_workload_op(run: usize, client: usize, base: u64, dir: u64, k: usize) -> BatchOp {
     match k % 8 {
         0 => BatchOp::Create {
-            dir: root,
-            name: format!("c{client}o{k}"),
+            dir,
+            name: format!("r{run}c{client}o{k}"),
         },
-        4 => BatchOp::Unlink {
-            dir: root,
-            name: format!("c{client}o{}", k - 4),
+        4 if k >= 12 => BatchOp::Unlink {
+            dir,
+            name: format!("r{run}c{client}o{}", k - 12),
         },
         7 => BatchOp::Fsync { ino: base },
-        2 | 6 => BatchOp::Read {
+        2 | 4 | 6 => BatchOp::Read {
             ino: base,
             off: ((k % 4) * 1024) as u64,
             buf: vec![0u8; 1024],
@@ -435,6 +453,16 @@ fn ring_workload_op(client: usize, base: u64, root: u64, k: usize) -> BatchOp {
     }
 }
 
+/// Names `ring_workload_op` leaves behind after a full `ops`-op run —
+/// the tail creates whose unlink cycle never came. Unlinked between
+/// repetitions, off the clock.
+fn ring_workload_leftovers(run: usize, client: usize, ops: usize) -> Vec<String> {
+    (0..ops)
+        .filter(|k| k % 8 == 0 && k + 12 >= ops)
+        .map(|k| format!("r{run}c{client}o{k}"))
+        .collect()
+}
+
 fn latency_row(mut lats_ns: Vec<u64>) -> (f64, f64, f64) {
     lats_ns.sort_unstable();
     let pick = |q: f64| lats_ns[((lats_ns.len() - 1) as f64 * q) as usize] as f64 / 1e3;
@@ -444,74 +472,96 @@ fn latency_row(mut lats_ns: Vec<u64>) -> (f64, f64, f64) {
 
 /// The tentpole measurement: typed submission/completion rings vs
 /// per-call ingestion — the identical mixed create/write/read/fsync
-/// stream from 128 concurrent clients, swept over ring depth. Each
-/// client keeps a window of 8 SQEs in flight (the single FIFO SQ keeps
-/// its create→unlink ordering); op latency is measured submit→CQE
-/// *including* any time blocked on a full ring, which is exactly what a
-/// caller observes — structural backpressure shows up as p99, not as a
-/// dropped sample. The per-call row runs the same 128 threads calling
-/// the `FileSystem` methods directly: that is the baseline the ring has
-/// to beat, and the depth-1 row is the ring's own overhead floor (every
-/// batch is one op, so no staging amortization — it should sit within
-/// noise of per-call).
-fn bench_ring_throughput(depths: &[usize]) -> Value {
+/// stream from 128 concurrent clients, swept over reactors × ring
+/// depth. Each client keeps a window of 8 SQEs in flight; op latency is
+/// measured submit→CQE *including* any time blocked on a full ring,
+/// which is exactly what a caller observes — structural backpressure
+/// shows up as p99, not as a dropped sample. The per-call row runs the
+/// same 128 threads calling the `FileSystem` methods directly: that is
+/// the baseline the ring has to beat. Every row is min-of-7 (the ring
+/// and reactor pool stay up across repetitions; each repetition keys
+/// its file names by run index and cleans its leftovers off the clock),
+/// and the reported percentiles come from the same repetition that
+/// produced the minimum wall time.
+fn bench_ring_throughput(reactor_counts: &[usize], depths: &[usize]) -> Value {
     const CLIENTS: usize = 128;
     const OPS_EACH: usize = 64;
     const WINDOW: usize = 8;
+    const RUNS: usize = 7;
     let mut rows = Vec::new();
 
     let setup = || {
         let fs = Arc::new(make_rsfs(JournalMode::Async, 16384));
         let root = fs.root_ino();
+        // Each client works in its own directory: name ops (create/
+        // unlink) serialize on the directory inode's op stripe, so
+        // funneling all 128 clients through the root would pin ~25% of
+        // the stream to one stripe no matter how many reactors run.
+        let dirs: Vec<u64> = (0..CLIENTS)
+            .map(|c| fs.mkdir(root, &format!("d{c}")).unwrap())
+            .collect();
         let bases: Vec<u64> = (0..CLIENTS)
-            .map(|c| fs.create(root, &format!("base{c}")).unwrap())
+            .map(|c| fs.create(dirs[c], &format!("base{c}")).unwrap())
             .collect();
         fs.sync().unwrap();
-        (fs, root, bases)
+        (fs, dirs, bases)
     };
+    let total_ops = (CLIENTS * OPS_EACH) as f64;
 
     // Per-call baseline: direct trait calls, one thread per client.
-    let (fs, root, bases) = setup();
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..CLIENTS)
-        .map(|c| {
-            let fs = Arc::clone(&fs);
-            let base = bases[c];
-            std::thread::spawn(move || {
-                let mut lats = Vec::with_capacity(OPS_EACH);
-                for k in 0..OPS_EACH {
-                    let t = Instant::now();
-                    match ring_workload_op(c, base, root, k) {
-                        BatchOp::Create { dir, name } => {
-                            fs.create(dir, &name).unwrap();
+    let (fs, dirs, bases) = setup();
+    let mut best: Option<(u64, Vec<u64>)> = None;
+    for run in 0..RUNS {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let fs = Arc::clone(&fs);
+                let base = bases[c];
+                let dir = dirs[c];
+                std::thread::spawn(move || {
+                    let mut lats = Vec::with_capacity(OPS_EACH);
+                    for k in 0..OPS_EACH {
+                        let t = Instant::now();
+                        match ring_workload_op(run, c, base, dir, k) {
+                            BatchOp::Create { dir, name } => {
+                                fs.create(dir, &name).unwrap();
+                            }
+                            BatchOp::Unlink { dir, name } => {
+                                fs.unlink(dir, &name).unwrap();
+                            }
+                            BatchOp::Fsync { ino } => fs.fsync(ino).unwrap(),
+                            BatchOp::Read { ino, off, mut buf } => {
+                                fs.read(ino, off, &mut buf).unwrap();
+                            }
+                            BatchOp::Write { ino, off, data } => {
+                                fs.write(ino, off, &data).unwrap();
+                            }
                         }
-                        BatchOp::Unlink { dir, name } => {
-                            fs.unlink(dir, &name).unwrap();
-                        }
-                        BatchOp::Fsync { ino } => fs.fsync(ino).unwrap(),
-                        BatchOp::Read { ino, off, mut buf } => {
-                            fs.read(ino, off, &mut buf).unwrap();
-                        }
-                        BatchOp::Write { ino, off, data } => {
-                            fs.write(ino, off, &data).unwrap();
-                        }
+                        lats.push(t.elapsed().as_nanos() as u64);
                     }
-                    lats.push(t.elapsed().as_nanos() as u64);
-                }
-                lats
+                    lats
+                })
             })
-        })
-        .collect();
-    let mut lats = Vec::new();
-    for h in handles {
-        lats.extend(h.join().unwrap());
+            .collect();
+        let mut lats = Vec::new();
+        for h in handles {
+            lats.extend(h.join().unwrap());
+        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        for (c, &dir) in dirs.iter().enumerate() {
+            for name in ring_workload_leftovers(run, c, OPS_EACH) {
+                fs.unlink(dir, &name).unwrap();
+            }
+        }
+        if best.as_ref().is_none_or(|(w, _)| wall_ns < *w) {
+            best = Some((wall_ns, lats));
+        }
     }
-    let wall_ns = t0.elapsed().as_nanos() as u64;
-    let total_ops = (CLIENTS * OPS_EACH) as f64;
+    let (wall_ns, lats) = best.expect("at least one repetition");
     let baseline_ops_per_sec = total_ops / (wall_ns as f64 / 1e9);
     let (p50_us, p99_us, mean_us) = latency_row(lats);
     rows.push(obj(vec![
-        ("estimator", Value::String("single-run".into())),
+        ("estimator", Value::String("min-of-7".into())),
         ("device", Value::String("ramdisk".into())),
         ("mode", Value::String("per-call".into())),
         ("clients", num(CLIENTS as f64)),
@@ -527,86 +577,110 @@ fn bench_ring_throughput(depths: &[usize]) -> Value {
         baseline_ops_per_sec / 1e3
     );
 
-    for &depth in depths {
-        let (fs, root, bases) = setup();
-        let ring = Arc::new(Ring::new(fs.lock_registry(), depth));
-        let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
-        let pressure_fs = Arc::clone(&fs);
-        let relieve_fs = Arc::clone(&fs);
-        let reactor = RingReactor::spawn(
-            Arc::clone(&ring),
-            fs_dyn,
-            Some(RingThrottle {
-                pressure: Box::new(move || pressure_fs.journal().map_or(0.0, |j| j.log_pressure())),
-                relieve: Box::new(move || {
-                    let _ = relieve_fs.commit_running();
-                    let _ = relieve_fs.checkpoint(usize::MAX);
-                }),
-                threshold: 0.8,
-            }),
-        );
-        let t0 = Instant::now();
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|c| {
-                let ring = Arc::clone(&ring);
-                let base = bases[c];
-                std::thread::spawn(move || {
-                    let mut lats = Vec::with_capacity(OPS_EACH);
-                    let mut inflight = std::collections::VecDeque::new();
-                    for k in 0..OPS_EACH {
-                        if inflight.len() == WINDOW {
-                            let (ticket, t): (u64, Instant) = inflight.pop_front().unwrap();
-                            ring.wait(ticket);
-                            lats.push(t.elapsed().as_nanos() as u64);
-                        }
-                        let t = Instant::now();
-                        let ticket = ring
-                            .submit(ring_workload_op(c, base, root, k))
-                            .expect("ring live");
-                        inflight.push_back((ticket, t));
+    for &reactors in reactor_counts {
+        for &depth in depths {
+            let (fs, dirs, bases) = setup();
+            let ring = Arc::new(Ring::new(fs.lock_registry(), depth));
+            let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+            let pressure_fs = Arc::clone(&fs);
+            let relieve_fs = Arc::clone(&fs);
+            let pool = RingReactor::spawn_pool(
+                Arc::clone(&ring),
+                fs_dyn,
+                Some(Arc::new(RingThrottle {
+                    pressure: Box::new(move || {
+                        pressure_fs.journal().map_or(0.0, |j| j.log_pressure())
+                    }),
+                    relieve: Box::new(move || {
+                        let _ = relieve_fs.commit_running();
+                        let _ = relieve_fs.checkpoint(usize::MAX);
+                    }),
+                    threshold: 0.8,
+                })),
+                reactors,
+            );
+            let mut best: Option<(u64, Vec<u64>)> = None;
+            for run in 0..RUNS {
+                let t0 = Instant::now();
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|c| {
+                        let ring = Arc::clone(&ring);
+                        let base = bases[c];
+                        let dir = dirs[c];
+                        std::thread::spawn(move || {
+                            let mut lats = Vec::with_capacity(OPS_EACH);
+                            let mut inflight = std::collections::VecDeque::new();
+                            for k in 0..OPS_EACH {
+                                if inflight.len() == WINDOW {
+                                    let (ticket, t): (u64, Instant) = inflight.pop_front().unwrap();
+                                    ring.wait(ticket);
+                                    lats.push(t.elapsed().as_nanos() as u64);
+                                }
+                                let t = Instant::now();
+                                let ticket = ring
+                                    .submit(ring_workload_op(run, c, base, dir, k))
+                                    .expect("ring live");
+                                inflight.push_back((ticket, t));
+                            }
+                            for (ticket, t) in inflight {
+                                ring.wait(ticket);
+                                lats.push(t.elapsed().as_nanos() as u64);
+                            }
+                            lats
+                        })
+                    })
+                    .collect();
+                let mut lats = Vec::new();
+                for h in handles {
+                    lats.extend(h.join().unwrap());
+                }
+                let wall_ns = t0.elapsed().as_nanos() as u64;
+                for (c, &dir) in dirs.iter().enumerate() {
+                    for name in ring_workload_leftovers(run, c, OPS_EACH) {
+                        fs.unlink(dir, &name).unwrap();
                     }
-                    for (ticket, t) in inflight {
-                        ring.wait(ticket);
-                        lats.push(t.elapsed().as_nanos() as u64);
-                    }
-                    lats
-                })
-            })
-            .collect();
-        let mut lats = Vec::new();
-        for h in handles {
-            lats.extend(h.join().unwrap());
+                }
+                if best.as_ref().is_none_or(|(w, _)| wall_ns < *w) {
+                    best = Some((wall_ns, lats));
+                }
+            }
+            for r in pool {
+                r.join();
+            }
+            let (wall_ns, lats) = best.expect("at least one repetition");
+            let stats = ring.stats();
+            let ops_per_sec = total_ops / (wall_ns as f64 / 1e9);
+            let (p50_us, p99_us, mean_us) = latency_row(lats);
+            // Ring counters accumulate over all repetitions; the batch
+            // grain is a property of the configuration, not of one run.
+            let avg_batch = stats.completed as f64 / stats.batches.max(1) as f64;
+            rows.push(obj(vec![
+                ("estimator", Value::String("min-of-7".into())),
+                ("device", Value::String("ramdisk".into())),
+                ("mode", Value::String("ring".into())),
+                ("reactors", num(reactors as f64)),
+                ("depth", num(depth as f64)),
+                ("clients", num(CLIENTS as f64)),
+                ("ops", num(total_ops)),
+                ("wall_ns", num(wall_ns as f64)),
+                ("ops_per_sec", num(ops_per_sec)),
+                ("vs_per_call", num(ops_per_sec / baseline_ops_per_sec)),
+                ("p50_us", num(p50_us)),
+                ("p99_us", num(p99_us)),
+                ("mean_us", num(mean_us)),
+                ("batches", num(stats.batches as f64)),
+                ("avg_batch_ops", num(avg_batch)),
+                ("sq_full_blocks", num(stats.sq_full_blocks as f64)),
+                ("throttle_stalls", num(stats.throttle_stalls as f64)),
+            ]));
+            println!(
+                "ring_throughput reactors={reactors} depth={depth:<4}: {:>8.1}k ops/s \
+                 (×{:.2} vs per-call), p50 {p50_us:.0} µs, p99 {p99_us:.0} µs, \
+                 avg batch {avg_batch:.1} ops",
+                ops_per_sec / 1e3,
+                ops_per_sec / baseline_ops_per_sec
+            );
         }
-        let wall_ns = t0.elapsed().as_nanos() as u64;
-        reactor.join();
-        let stats = ring.stats();
-        let ops_per_sec = total_ops / (wall_ns as f64 / 1e9);
-        let (p50_us, p99_us, mean_us) = latency_row(lats);
-        let avg_batch = stats.completed as f64 / stats.batches.max(1) as f64;
-        rows.push(obj(vec![
-            ("estimator", Value::String("single-run".into())),
-            ("device", Value::String("ramdisk".into())),
-            ("mode", Value::String("ring".into())),
-            ("depth", num(depth as f64)),
-            ("clients", num(CLIENTS as f64)),
-            ("ops", num(total_ops)),
-            ("wall_ns", num(wall_ns as f64)),
-            ("ops_per_sec", num(ops_per_sec)),
-            ("vs_per_call", num(ops_per_sec / baseline_ops_per_sec)),
-            ("p50_us", num(p50_us)),
-            ("p99_us", num(p99_us)),
-            ("mean_us", num(mean_us)),
-            ("batches", num(stats.batches as f64)),
-            ("avg_batch_ops", num(avg_batch)),
-            ("sq_full_blocks", num(stats.sq_full_blocks as f64)),
-            ("throttle_stalls", num(stats.throttle_stalls as f64)),
-        ]));
-        println!(
-            "ring_throughput depth={depth:<4}: {:>8.1}k ops/s (×{:.2} vs per-call), \
-             p99 {p99_us:.0} µs, avg batch {avg_batch:.1} ops",
-            ops_per_sec / 1e3,
-            ops_per_sec / baseline_ops_per_sec
-        );
     }
     Value::Array(rows)
 }
@@ -1619,6 +1693,7 @@ struct Args {
     net_out: String,
     lockdep_only: bool,
     net_only: bool,
+    ring_only: bool,
     net_conns: Vec<usize>,
 }
 
@@ -1630,6 +1705,7 @@ fn parse_args() -> Args {
         net_out: "BENCH_net.json".to_string(),
         lockdep_only: false,
         net_only: false,
+        ring_only: false,
         net_conns: vec![1000, 10_000],
     };
     let args: Vec<String> = std::env::args().collect();
@@ -1642,6 +1718,10 @@ fn parse_args() -> Args {
             }
             "--net-only" => {
                 args_out.net_only = true;
+                i += 1;
+            }
+            "--ring-only" => {
+                args_out.ring_only = true;
                 i += 1;
             }
             "--shards" if i + 1 < args.len() => {
@@ -1711,6 +1791,7 @@ fn main() {
         net_out,
         lockdep_only,
         net_only,
+        ring_only,
         net_conns,
     } = parse_args();
     if lockdep_only {
@@ -1725,6 +1806,20 @@ fn main() {
         // check compares its single-stream rows against the committed
         // baseline).
         write_net_report(&net_out, &net_conns);
+        return;
+    }
+    if ring_only {
+        // CI mode: just the reactors × depth ring sweep — the drift
+        // check reads its rows from the written report; everything else
+        // in the file is omitted so the step stays fast.
+        println!("== ring throughput sweep ==\n");
+        let report = obj(vec![(
+            "ring_throughput",
+            bench_ring_throughput(&[1, 2, 4, 8], &[32, 256, 1024]),
+        )]);
+        let json = serde_json::to_string(&report).expect("serialize");
+        std::fs::write(&out, &json).expect("write report");
+        println!("\nwrote {out}");
         return;
     }
     println!("== storage-path benchmark report (shards {shards:?}, {threads} threads) ==\n");
@@ -1758,7 +1853,7 @@ fn main() {
         ("async_commit", bench_async_commit()),
         (
             "ring_throughput",
-            bench_ring_throughput(&[1, 32, 256, 1024]),
+            bench_ring_throughput(&[1, 2, 4, 8], &[32, 256, 1024]),
         ),
         ("vectored_io", bench_vectored_io()),
         ("crash_consistency", crashbench::bench_crash_consistency()),

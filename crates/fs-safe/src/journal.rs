@@ -62,7 +62,7 @@
 //! registered, the on-disk tail stays put, and no Delay pin is released,
 //! so the checkpoint simply retries.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -194,10 +194,18 @@ struct GroupState {
     /// Next join token; tokens order operations exactly as the file
     /// system staged them.
     next_token: u64,
-    /// Joined operations that have not yet handed in their writes. The
-    /// leader waits for this to reach zero so every batch is a
-    /// token-contiguous prefix.
-    outstanding: usize,
+    /// Tokens of joined operations that have not yet handed in their
+    /// writes. The leader flushes the member prefix *below the oldest
+    /// open token* — so a commit waits only for operations that joined
+    /// before it, never for the stream of operations that keep joining
+    /// behind it (which is what a global "outstanding == 0" barrier
+    /// degenerates into once N reactors stage concurrently).
+    open: BTreeSet<u64>,
+    /// Every token below this bound has its writes durable in the log
+    /// (or contributed none). Advanced by the leader after each record;
+    /// `commit_running` waits for it to pass the tokens issued before
+    /// the call instead of waiting for the whole group to drain.
+    flushed_upto: u64,
     /// Contributed members of the open transaction, in token order.
     members: Vec<Member>,
     /// Whether a leader is currently flushing a batch.
@@ -252,7 +260,7 @@ impl Drop for OpHandle<'_> {
     fn drop(&mut self) {
         if !self.done {
             let mut g = self.journal.group.lock();
-            g.outstanding -= 1;
+            g.open.remove(&self.token);
             self.journal.group_cv.notify_all();
         }
     }
@@ -346,7 +354,8 @@ impl Journal {
                 "journal.group",
                 GroupState {
                     next_token: 1,
-                    outstanding: 0,
+                    open: BTreeSet::new(),
+                    flushed_upto: 1,
                     members: Vec::new(),
                     leader_running: false,
                     next_seq: tail_seq,
@@ -445,7 +454,7 @@ impl Journal {
         let mut g = self.group.lock();
         let token = g.next_token;
         g.next_token += 1;
-        g.outstanding += 1;
+        g.open.insert(token);
         OpHandle {
             journal: self,
             token,
@@ -467,6 +476,7 @@ impl Journal {
     fn validate(&self, writes: Vec<(u64, Vec<u8>)>) -> KResult<Vec<(u64, Vec<u8>)>> {
         let bs = self.dev.block_size();
         let mut dedup: Vec<(u64, Vec<u8>)> = Vec::with_capacity(writes.len());
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(writes.len());
         for (blkno, data) in writes {
             if data.len() != bs {
                 return Err(Errno::EINVAL);
@@ -475,10 +485,12 @@ impl Journal {
                 // Nothing may journal a write into the journal itself.
                 return Err(Errno::EINVAL);
             }
-            if let Some(slot) = dedup.iter_mut().find(|(b, _)| *b == blkno) {
-                slot.1 = data;
-            } else {
-                dedup.push((blkno, data));
+            match index.get(&blkno) {
+                Some(&at) => dedup[at].1 = data,
+                None => {
+                    index.insert(blkno, dedup.len());
+                    dedup.push((blkno, data));
+                }
             }
         }
         if dedup.len() > self.capacity() {
@@ -490,19 +502,19 @@ impl Journal {
     fn commit_op(&self, token: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
         let mut g = self.group.lock();
         if self.is_aborted() {
-            g.outstanding -= 1;
+            g.open.remove(&token);
             self.group_cv.notify_all();
             return Err(Errno::EROFS);
         }
         if writes.is_empty() {
-            g.outstanding -= 1;
+            g.open.remove(&token);
             self.group_cv.notify_all();
             return Ok(());
         }
         let dedup = match self.validate(writes) {
             Ok(d) => d,
             Err(e) => {
-                g.outstanding -= 1;
+                g.open.remove(&token);
                 self.group_cv.notify_all();
                 return Err(e);
             }
@@ -512,7 +524,7 @@ impl Journal {
             writes: dedup,
             sync: true,
         });
-        g.outstanding -= 1;
+        g.open.remove(&token);
         self.group_cv.notify_all();
 
         // Leader/follower: the first committer to find no leader flushes
@@ -542,19 +554,19 @@ impl Journal {
     fn stage_op(&self, token: u64, writes: Vec<(u64, Vec<u8>)>) -> KResult<()> {
         let mut g = self.group.lock();
         if self.is_aborted() {
-            g.outstanding -= 1;
+            g.open.remove(&token);
             self.group_cv.notify_all();
             return Err(Errno::EROFS);
         }
         if writes.is_empty() {
-            g.outstanding -= 1;
+            g.open.remove(&token);
             self.group_cv.notify_all();
             return Ok(());
         }
         let dedup = match self.validate(writes) {
             Ok(d) => d,
             Err(e) => {
-                g.outstanding -= 1;
+                g.open.remove(&token);
                 self.group_cv.notify_all();
                 return Err(e);
             }
@@ -564,7 +576,7 @@ impl Journal {
             writes: dedup,
             sync: false,
         });
-        g.outstanding -= 1;
+        g.open.remove(&token);
         self.group_cv.notify_all();
         self.stats.lock().stages += 1;
 
@@ -598,12 +610,28 @@ impl Journal {
     /// staged it is a no-op (no barrier).
     pub fn commit_running(&self) -> KResult<()> {
         let mut g = self.group.lock();
+        // Durability bound: everything staged before this call has a
+        // token below `upto`. Waiting for `flushed_upto` to pass it —
+        // rather than for the whole group to drain — means this barrier
+        // never waits on operations that join *after* it, so concurrent
+        // reactors can keep staging without starving the fsync path.
+        let upto = g.next_token;
         loop {
             if self.is_aborted() {
                 return Err(Errno::EROFS);
             }
-            if g.members.is_empty() && g.outstanding == 0 && !g.leader_running {
+            if g.flushed_upto >= upto {
                 return Ok(());
+            }
+            // With nothing staged, leading again is futile while an
+            // older operation still holds its handle open: lead() would
+            // return immediately and this loop would spin with the group
+            // lock held, blocking the very hand-in it needs. Wait for
+            // the hand-in notification instead.
+            let blocked_on_open = g.members.is_empty() && g.open.first().is_some_and(|&t| t < upto);
+            if blocked_on_open {
+                g.wait(&self.group_cv);
+                continue;
             }
             if !g.leader_running {
                 g.leader_running = true;
@@ -667,12 +695,12 @@ impl Journal {
     /// device IO.
     fn lead(&self, g: &mut TrackedMutexGuard<'_, GroupState>) {
         loop {
-            // A batch must be a token-contiguous prefix of operations:
-            // wait for joined-but-uncommitted operations to hand in.
-            while g.outstanding > 0 {
-                g.wait(&self.group_cv);
-            }
             if g.members.is_empty() {
+                // Nothing staged: every token below the oldest still-open
+                // handle (or below next_token if none) is durable or
+                // contributed nothing.
+                let upto = g.open.first().copied().unwrap_or(g.next_token);
+                g.flushed_upto = g.flushed_upto.max(upto);
                 return;
             }
             if self.is_aborted() {
@@ -690,44 +718,81 @@ impl Journal {
                 return;
             }
             g.members.sort_by_key(|m| m.token);
-            // Take the longest prefix of members whose merged image set
-            // fits one journal record.
-            let mut merged: Vec<(u64, Vec<u8>)> = Vec::new();
+            // A batch must be a token-contiguous prefix of operations,
+            // so only members *below the oldest open token* may flush.
+            // If the oldest staged member is still behind an open
+            // handle, wait for that hand-in — a strictly older
+            // operation, so the bound only ever advances and this wait
+            // never blocks on work that joined after the leader.
+            let bound = g.open.first().copied().unwrap_or(u64::MAX);
+            if g.members[0].token >= bound {
+                g.wait(&self.group_cv);
+                continue;
+            }
+            // Take the longest prefix of members (below `bound`) whose
+            // merged image set fits one journal record. Only block
+            // *numbers* are counted here — building the merged images
+            // clones whole block payloads, so that work happens outside
+            // the group lock, where it cannot stall committers joining
+            // the next transaction.
+            let mut seen: HashSet<u64> = HashSet::new();
             let mut taken = 0;
             for m in g.members.iter() {
-                // Count the member's genuinely new blocks first so the
-                // capacity check needs no trial merge (cloning the merged
-                // payload per member is quadratic in staged data).
-                let fresh = m
-                    .writes
-                    .iter()
-                    .filter(|(b, _)| !merged.iter().any(|(mb, _)| mb == b))
-                    .count();
-                if taken > 0 && merged.len() + fresh > self.capacity() {
+                if m.token >= bound {
                     break;
                 }
-                for (blkno, data) in &m.writes {
-                    if let Some(slot) = merged.iter_mut().find(|(b, _)| b == blkno) {
-                        slot.1 = data.clone();
-                    } else {
-                        merged.push((*blkno, data.clone()));
-                    }
+                let fresh = m.writes.iter().filter(|(b, _)| !seen.contains(b)).count();
+                if taken > 0 && seen.len() + fresh > self.capacity() {
+                    break;
+                }
+                for (b, _) in &m.writes {
+                    seen.insert(*b);
                 }
                 taken += 1;
             }
             let batch: Vec<Member> = g.members.drain(..taken).collect();
+            // After this batch lands, every token below all three of
+            // these is durable or contributed nothing: `bound` (older
+            // opens would violate it), the next remaining member, and
+            // the tokens issued so far (later joins get larger ones).
+            let next_remaining = g.members.first().map(|m| m.token).unwrap_or(u64::MAX);
+            let issued = g.next_token;
             let pins: Vec<u64> = batch
                 .iter()
                 .flat_map(|m| m.writes.iter().map(|(b, _)| *b))
                 .collect();
+            // Only the token and sync flag survive the merge; the images
+            // themselves are moved into the record payload below.
+            let meta: Vec<(u64, bool)> = batch.iter().map(|m| (m.token, m.sync)).collect();
+            let merged_len = seen.len();
             let seq = g.next_seq;
             g.next_seq += 1;
 
-            // Device IO without the group lock: later committers can keep
-            // joining the (new) open transaction meanwhile.
-            let res = g.unlocked(|| self.write_batch(seq, merged, pins));
+            // Image merge + device IO without the group lock: later
+            // committers can keep joining the (new) open transaction
+            // meanwhile. Last image wins per block, stable home order;
+            // the members are owned here, so merging moves payloads
+            // instead of cloning them.
+            let res = g.unlocked(|| {
+                let mut merged: Vec<(u64, Vec<u8>)> = Vec::with_capacity(merged_len);
+                let mut index: HashMap<u64, usize> = HashMap::with_capacity(merged_len);
+                for m in batch {
+                    for (blkno, data) in m.writes {
+                        match index.get(&blkno) {
+                            Some(&at) => merged[at].1 = data,
+                            None => {
+                                index.insert(blkno, merged.len());
+                                merged.push((blkno, data));
+                            }
+                        }
+                    }
+                }
+                self.write_batch(seq, merged, pins)
+            });
             if res.is_ok() {
                 self.stats.lock().batches += 1;
+                let upto = bound.min(next_remaining).min(issued);
+                g.flushed_upto = g.flushed_upto.max(upto);
             } else {
                 // The sequence number is consumed and the log may hold a
                 // partial record at it; nothing appended after that gap
@@ -735,9 +800,9 @@ impl Journal {
                 // acknowledged later commit.
                 self.abort();
             }
-            for m in &batch {
-                if m.sync {
-                    g.completed.insert(m.token, res);
+            for (token, sync) in meta {
+                if sync {
+                    g.completed.insert(token, res);
                 }
             }
             self.group_cv.notify_all();

@@ -64,6 +64,14 @@ struct RsfsWriteCtx {
     len: usize,
 }
 
+/// Default op-lock stripe count for [`Rsfs::mount`]. One stripe is the
+/// old global-lock build ([`Rsfs::mount_with_stripes`] exposes it for
+/// the equivalence suites).
+pub const DEFAULT_OP_STRIPES: usize = 16;
+
+/// Inode-cache shard count (same striping idiom as the buffer cache).
+const ICACHE_SHARDS: usize = 8;
+
 /// The safe, journaled file system.
 pub struct Rsfs {
     cache: Arc<BufferCache>,
@@ -73,12 +81,35 @@ pub struct Rsfs {
     /// transaction (`Async`).
     mode: JournalMode,
     sb: Superblock,
-    /// Serializes the *staging* phase of mutating operations. The journal
-    /// append itself happens outside this lock so concurrent operations
-    /// merge into one group commit. A sleepable whole-op lock: staging
-    /// reads blocks through the cache, so it legitimately spans device
-    /// I/O (lockdep class `rsfs.op`, io-ok).
-    op_lock: TrackedMutex<()>,
+    /// Per-inode-striped op locks serializing the *staging* phase of
+    /// mutating operations: ops on files hashing to different stripes
+    /// stage into the journal's running transaction concurrently. The
+    /// journal append itself happens outside these locks so concurrent
+    /// operations merge into one group commit. Sleepable whole-op
+    /// locks: staging reads blocks through the cache, so they
+    /// legitimately span device I/O (lockdep class `rsfs.op`, io-ok,
+    /// ranked by stripe index — multi-stripe ops acquire in fixed
+    /// ascending order and lockdep enforces it).
+    op_stripes: Vec<TrackedMutex<()>>,
+    /// Serializes allocator state (the block and inode bitmaps) across
+    /// stripes: taken lazily at a transaction's first bitmap touch and
+    /// held through publish, so concurrent stripes never lose each
+    /// other's bitmap bits and journal token order matches publish
+    /// order for the bitmap blocks. Class `rsfs.alloc`, io-ok. To keep
+    /// `stripe → alloc` the only ordering between the classes, a
+    /// transaction already holding this lock only ever *trylocks*
+    /// further stripes ([`Txn::try_cover`]).
+    alloc_lock: TrackedMutex<()>,
+    /// One publish lock per inode-table block (class `rsfs.inopub`,
+    /// ranked by table-block index). Inode updates are staged as slot
+    /// deltas ([`Txn::inode_updates`]) because the table packs
+    /// [`INODES_PER_BLOCK`] inodes per block — whole-block staging
+    /// under per-inode stripes would lose concurrent neighbors' slots.
+    /// Commit holds the locks for every table block it touches from
+    /// `begin_op` through publish, so token order equals publish order
+    /// for table blocks and each journaled whole-block image contains
+    /// exactly the slot updates of smaller-token transactions.
+    inopub_locks: Vec<TrackedMutex<()>>,
     /// Pin counts for cache buffers with journaled images the checkpoint
     /// has not yet retired (`BhFlag::Delay` holders). One pin per
     /// (transaction, block), taken at publish and released by the
@@ -88,44 +119,135 @@ pub struct Rsfs {
     /// closure installed at mount.
     delay_pins: Arc<Mutex<HashMap<u64, usize>>>,
     lock_registry: Arc<LockRegistry>,
-    icache: Mutex<HashMap<InodeNo, Arc<Inode>>>,
+    icache: Vec<Mutex<HashMap<InodeNo, Arc<Inode>>>>,
     op_counter: AtomicU64,
 }
 
-/// A staged transaction: an overlay of pending block images. Mutating
-/// operations build it with [`Txn::begin`], which holds the op lock so
-/// staging is serializable; read-only paths use [`Txn::new`].
+/// A staged transaction: an overlay of pending block images plus
+/// slot-level inode updates. Mutating operations build it with
+/// [`Txn::begin`], which holds the op-lock stripes of every inode the
+/// operation mutates so staging is serializable per stripe; read-only
+/// paths use [`Txn::new`].
 struct Txn<'a> {
     fs: &'a Rsfs,
     writes: BTreeMap<u64, Vec<u8>>,
-    guard: Option<TrackedMutexGuard<'a, ()>>,
+    /// Staged on-disk inodes, by number. Kept slot-level (not as block
+    /// images in `writes`) because the inode table packs
+    /// [`INODES_PER_BLOCK`] inodes per block: whole-block staging under
+    /// per-inode stripes would clobber concurrent neighbors' slots.
+    /// Merged into the *current* table-block content at commit, under
+    /// the per-table-block publish locks.
+    inode_updates: BTreeMap<InodeNo, DiskInode>,
+    /// Held op-lock stripes, ascending by stripe index.
+    stripes: Vec<(usize, TrackedMutexGuard<'a, ()>)>,
+    /// The allocator lock, taken lazily at the first bitmap touch
+    /// ([`Txn::ensure_alloc`]) and held through publish.
+    alloc_guard: Option<TrackedMutexGuard<'a, ()>>,
     /// Batch staging only ([`Rsfs::submit_batch`]): the prior overlay
-    /// image of each block the current op has touched, first touch only
-    /// (`None` = the block was not in the overlay). [`Txn::op_scope`]
+    /// state of everything the current op has touched, first touch only
+    /// (`None` = not previously in the overlay). [`Txn::op_scope`]
     /// restores these on op failure, so one misbehaving op rolls back
     /// without cloning the whole accumulated overlay.
-    undo: Option<Vec<(u64, Option<Vec<u8>>)>>,
+    undo: Option<TxnUndo>,
+}
+
+/// Per-op first-touch undo records for [`Txn::op_scope`].
+#[derive(Default)]
+struct TxnUndo {
+    blocks: Vec<(u64, Option<Vec<u8>>)>,
+    inodes: Vec<(InodeNo, Option<DiskInode>)>,
 }
 
 impl<'a> Txn<'a> {
-    fn new(fs: &'a Rsfs) -> Txn<'a> {
+    fn empty(fs: &'a Rsfs) -> Txn<'a> {
         Txn {
             fs,
             writes: BTreeMap::new(),
-            guard: None,
+            inode_updates: BTreeMap::new(),
+            stripes: Vec::new(),
+            alloc_guard: None,
             undo: None,
         }
     }
 
-    /// Starts a mutating transaction: takes the op lock so staging (and
-    /// the commit-order token) is serialized against other mutations.
-    fn begin(fs: &'a Rsfs) -> Txn<'a> {
-        let guard = fs.op_lock.lock();
-        Txn {
-            fs,
-            writes: BTreeMap::new(),
-            guard: Some(guard),
-            undo: None,
+    fn new(fs: &'a Rsfs) -> Txn<'a> {
+        Txn::empty(fs)
+    }
+
+    /// Starts a mutating transaction covering `inos`: takes their op-lock
+    /// stripes in ascending index order so staging (and the commit-order
+    /// token) is serialized against other mutations of the same files.
+    fn begin(fs: &'a Rsfs, inos: &[InodeNo]) -> Txn<'a> {
+        let mut idx: Vec<usize> = inos.iter().map(|&i| fs.stripe_of(i)).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        let mut txn = Txn::empty(fs);
+        txn.stripes = idx
+            .into_iter()
+            .map(|s| (s, fs.op_stripes[s].lock()))
+            .collect();
+        txn
+    }
+
+    /// The deterministic fallback when optimistic stripe extension keeps
+    /// losing races: take every stripe, ascending.
+    fn begin_all(fs: &'a Rsfs) -> Txn<'a> {
+        let mut txn = Txn::empty(fs);
+        txn.stripes = (0..fs.op_stripes.len())
+            .map(|s| (s, fs.op_stripes[s].lock()))
+            .collect();
+        txn
+    }
+
+    fn holds_stripe(&self, s: usize) -> bool {
+        self.stripes.iter().any(|(i, _)| *i == s)
+    }
+
+    /// Whether every inode in `inos` already has its stripe held.
+    fn covers(&self, inos: &[InodeNo]) -> bool {
+        inos.iter()
+            .all(|&i| self.holds_stripe(self.fs.stripe_of(i)))
+    }
+
+    /// Tries to extend the held stripe set to cover `inos` without
+    /// breaking the fixed ascending acquisition order. A stripe above
+    /// every held index may be taken blocking (that *is* the order) —
+    /// unless the allocator lock is already held, in which case blocking
+    /// on a stripe could deadlock against that stripe's holder waiting
+    /// on the allocator. Everything else is a trylock, which lockdep
+    /// exempts from ordering because it cannot block. Returns false if a
+    /// needed stripe could not be taken; the caller must drop (or flush)
+    /// the transaction and re-begin with the full set.
+    fn try_cover(&mut self, inos: &[InodeNo]) -> bool {
+        let mut need: Vec<usize> = inos
+            .iter()
+            .map(|&i| self.fs.stripe_of(i))
+            .filter(|&s| !self.holds_stripe(s))
+            .collect();
+        need.sort_unstable();
+        need.dedup();
+        for s in need {
+            let above_all = self.stripes.last().is_none_or(|(i, _)| s > *i);
+            let guard = if above_all && self.alloc_guard.is_none() {
+                self.fs.op_stripes[s].lock()
+            } else {
+                match self.fs.op_stripes[s].try_lock() {
+                    Some(g) => g,
+                    None => return false,
+                }
+            };
+            let at = self.stripes.partition_point(|(i, _)| *i < s);
+            self.stripes.insert(at, (s, guard));
+        }
+        true
+    }
+
+    /// Takes the allocator lock if this transaction does not hold it yet.
+    /// Blocking here is safe: `stripe → alloc` is the global order, and
+    /// alloc holders never block on a stripe (see [`Txn::try_cover`]).
+    fn ensure_alloc(&mut self) {
+        if self.alloc_guard.is_none() {
+            self.alloc_guard = Some(self.fs.alloc_lock.lock());
         }
     }
 
@@ -134,17 +256,27 @@ impl<'a> Txn<'a> {
     /// failed op leaves no partial state in the chunk while successful
     /// neighbors keep theirs.
     fn op_scope<R>(&mut self, f: impl FnOnce(&mut Self) -> KResult<R>) -> KResult<R> {
-        self.undo = Some(Vec::new());
+        self.undo = Some(TxnUndo::default());
         let r = f(self);
         let undo = self.undo.take().unwrap_or_default();
         if r.is_err() {
-            for (blkno, prior) in undo.into_iter().rev() {
+            for (blkno, prior) in undo.blocks.into_iter().rev() {
                 match prior {
                     Some(img) => {
                         self.writes.insert(blkno, img);
                     }
                     None => {
                         self.writes.remove(&blkno);
+                    }
+                }
+            }
+            for (ino, prior) in undo.inodes.into_iter().rev() {
+                match prior {
+                    Some(di) => {
+                        self.inode_updates.insert(ino, di);
+                    }
+                    None => {
+                        self.inode_updates.remove(&ino);
                     }
                 }
             }
@@ -165,8 +297,8 @@ impl<'a> Txn<'a> {
     fn write(&mut self, blkno: u64, data: Vec<u8>) {
         debug_assert_eq!(data.len(), BLOCK_SIZE);
         if let Some(undo) = &mut self.undo {
-            if !undo.iter().any(|(b, _)| *b == blkno) {
-                undo.push((blkno, self.writes.get(&blkno).cloned()));
+            if !undo.blocks.iter().any(|(b, _)| *b == blkno) {
+                undo.blocks.push((blkno, self.writes.get(&blkno).cloned()));
             }
         }
         self.writes.insert(blkno, data);
@@ -188,10 +320,56 @@ impl<'a> Txn<'a> {
     /// writeback can never race it into regressing a home block past a
     /// newer committed image.
     ///
+    /// Distinct inode-table blocks touched by staged inode updates,
+    /// ascending (BTreeMap keys are already sorted).
+    fn table_blocks(&self) -> Vec<u64> {
+        let mut blks: Vec<u64> = self
+            .inode_updates
+            .keys()
+            .map(|&ino| INODE_TABLE + ino / INODES_PER_BLOCK as u64)
+            .collect();
+        blks.dedup();
+        blks
+    }
+
+    /// Blocks this transaction would journal: staged block images plus
+    /// one whole-block image per touched inode-table block. The batch
+    /// path cuts chunks against this, so a chunk never outgrows one
+    /// journal record.
+    fn staged_blocks(&self) -> usize {
+        self.writes.len() + self.table_blocks().len()
+    }
+
     /// Without a journal the images just dirty the cache.
     fn commit(mut self) -> KResult<()> {
-        if self.writes.is_empty() {
+        if self.writes.is_empty() && self.inode_updates.is_empty() {
             return Ok(());
+        }
+        // Merge the slot-level inode updates into whole-block images
+        // under the per-table-block publish locks (ascending, so the
+        // ranked `rsfs.inopub` class stays ordered). The locks are held
+        // from before `begin_op` until after publish: for any two
+        // transactions touching the same table block, lock order fixes
+        // token order *and* publish order *and* whose slots each merged
+        // image contains — a journaled image at token t holds exactly
+        // the slot updates of transactions with tokens ≤ t, so recovery
+        // to any token prefix is consistent.
+        let tblks = self.table_blocks();
+        let mut pub_guards: Vec<TrackedMutexGuard<'_, ()>> = Vec::with_capacity(tblks.len());
+        for &blk in &tblks {
+            pub_guards.push(self.fs.inopub_locks[(blk - INODE_TABLE) as usize].lock());
+        }
+        let mut table_imgs: Vec<(u64, Vec<u8>)> = Vec::with_capacity(tblks.len());
+        for &blk in &tblks {
+            let buf = self.fs.cache.bread(blk)?;
+            let mut img = buf.read(|d| d.to_vec());
+            for (&ino, di) in &self.inode_updates {
+                if INODE_TABLE + ino / INODES_PER_BLOCK as u64 == blk {
+                    let slot = (ino % INODES_PER_BLOCK as u64) as usize * INODE_SIZE;
+                    di.encode(&mut img[slot..slot + INODE_SIZE]);
+                }
+            }
+            table_imgs.push((blk, img));
         }
         let journal = match &self.fs.journal {
             Some(j) => j,
@@ -200,18 +378,27 @@ impl<'a> Txn<'a> {
                     let buf = self.fs.cache.getblk(*blkno)?;
                     buf.write(|d| d.copy_from_slice(data));
                 }
+                for (blkno, data) in &table_imgs {
+                    let buf = self.fs.cache.getblk(*blkno)?;
+                    buf.write(|d| d.copy_from_slice(data));
+                }
                 return Ok(());
             }
         };
+        // The overlay is handed to the journal by move: the cache will
+        // hold the published images, so no copy is needed here.
+        let mut list: Vec<(u64, Vec<u8>)> = core::mem::take(&mut self.writes).into_iter().collect();
+        list.extend(table_imgs);
         let handle = journal.begin_op();
-        // Publish to the cache under the op lock, pinned with Delay:
-        // readers see the new state immediately, writeback cannot leak
-        // it to home locations before the journal record is durable.
-        let mut pinned: Vec<u64> = Vec::with_capacity(self.writes.len());
+        // Publish to the cache under the stripe/alloc/publish locks,
+        // pinned with Delay: readers see the new state immediately,
+        // writeback cannot leak it to home locations before the journal
+        // record is durable.
+        let mut pinned: Vec<u64> = Vec::with_capacity(list.len());
         let mut apply_err = None;
         {
             let mut pins = self.fs.delay_pins.lock();
-            for (blkno, data) in &self.writes {
+            for (blkno, data) in &list {
                 match self.fs.cache.getblk(*blkno) {
                     Ok(buf) => {
                         buf.write(|d| d.copy_from_slice(data));
@@ -226,12 +413,12 @@ impl<'a> Txn<'a> {
                 }
             }
         }
-        // Staging is published; later operations may now take the lock,
-        // observe this state, and race into the same commit batch.
-        self.guard = None;
-        // The overlay is handed to the journal by move: the cache already
-        // holds the published images, so no copy is needed here.
-        let list: Vec<(u64, Vec<u8>)> = core::mem::take(&mut self.writes).into_iter().collect();
+        // Staging is published; later operations may now take the
+        // locks, observe this state, and race into the same commit
+        // batch.
+        drop(pub_guards);
+        self.stripes.clear();
+        self.alloc_guard = None;
         let res = match apply_err {
             Some(e) => {
                 drop(handle); // abort the join so the leader can proceed
@@ -289,8 +476,8 @@ impl<'a> Txn<'a> {
 
     fn read_inode(&self, ino: InodeNo) -> KResult<DiskInode> {
         let (blk, slot) = self.inode_loc(ino)?;
-        if let Some(data) = self.writes.get(&blk) {
-            return DiskInode::decode(&data[slot..slot + INODE_SIZE]);
+        if let Some(di) = self.inode_updates.get(&ino) {
+            return Ok(*di);
         }
         // Hot path: decode in place from the cache buffer, no block clone.
         let buf = self.fs.cache.bread(blk)?;
@@ -298,14 +485,19 @@ impl<'a> Txn<'a> {
     }
 
     fn write_inode(&mut self, ino: InodeNo, di: &DiskInode) -> KResult<()> {
-        let (blk, slot) = self.inode_loc(ino)?;
-        let mut data = self.read(blk)?;
-        di.encode(&mut data[slot..slot + INODE_SIZE]);
-        self.write(blk, data);
+        self.inode_loc(ino)?; // range check only; staged slot-level
+        if let Some(undo) = &mut self.undo {
+            if !undo.inodes.iter().any(|(i, _)| *i == ino) {
+                undo.inodes
+                    .push((ino, self.inode_updates.get(&ino).copied()));
+            }
+        }
+        self.inode_updates.insert(ino, *di);
         Ok(())
     }
 
     fn bitmap_alloc(&mut self, bitmap_blk: u64, limit: u64, first: u64) -> KResult<u64> {
+        self.ensure_alloc();
         let mut data = self.read(bitmap_blk)?;
         for i in first..limit {
             let (byte, bit) = ((i / 8) as usize, (i % 8) as u8);
@@ -319,6 +511,7 @@ impl<'a> Txn<'a> {
     }
 
     fn bitmap_free(&mut self, bitmap_blk: u64, index: u64) -> KResult<()> {
+        self.ensure_alloc();
         let mut data = self.read(bitmap_blk)?;
         let (byte, bit) = ((index / 8) as usize, (index % 8) as u8);
         data[byte] &= !(1 << bit);
@@ -354,7 +547,7 @@ impl<'a> Txn<'a> {
     fn ifree(&mut self, ino: InodeNo) -> KResult<()> {
         self.write_inode(ino, &DiskInode::empty())?;
         self.bitmap_free(INODE_BITMAP, ino)?;
-        self.fs.icache.lock().remove(&ino);
+        self.fs.icache_shard(ino).lock().remove(&ino);
         Ok(())
     }
 
@@ -630,6 +823,19 @@ impl Rsfs {
         mode: JournalMode,
         lock_registry: Arc<LockRegistry>,
     ) -> KResult<Rsfs> {
+        Self::mount_with_stripes(dev, mode, lock_registry, DEFAULT_OP_STRIPES)
+    }
+
+    /// [`Rsfs::mount_with_registry`] with an explicit op-lock stripe
+    /// count. `1` is the old global-lock build — the equivalence suites
+    /// run the same seeded workload against 1 and N stripes and assert
+    /// equal post-recovery state.
+    pub fn mount_with_stripes(
+        dev: Arc<dyn BlockDevice>,
+        mode: JournalMode,
+        lock_registry: Arc<LockRegistry>,
+        op_stripes: usize,
+    ) -> KResult<Rsfs> {
         let mut blk = vec![0u8; dev.block_size()];
         dev.read_block(SB_BLOCK, &mut blk)?;
         let sb = Superblock::decode(&blk)?;
@@ -678,21 +884,43 @@ impl Rsfs {
                 }
             });
         }
+        let table_blocks = (sb.inode_count as usize).div_ceil(INODES_PER_BLOCK);
         Ok(Rsfs {
             cache,
             journal,
             mode,
             sb,
-            op_lock: TrackedMutex::new_io_ok(&lock_registry, "rsfs.op", ()),
+            op_stripes: (0..op_stripes.max(1))
+                .map(|i| TrackedMutex::new_ranked_io_ok(&lock_registry, "rsfs.op", i as u64, ()))
+                .collect(),
+            alloc_lock: TrackedMutex::new_io_ok(&lock_registry, "rsfs.alloc", ()),
+            inopub_locks: (0..table_blocks)
+                .map(|i| {
+                    TrackedMutex::new_ranked_io_ok(&lock_registry, "rsfs.inopub", i as u64, ())
+                })
+                .collect(),
             delay_pins,
             lock_registry,
-            icache: Mutex::new(HashMap::new()),
+            icache: (0..ICACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             op_counter: AtomicU64::new(1),
         })
     }
 
     fn tick(&self) -> u64 {
         self.op_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Op-lock stripe for an inode — the buffer cache's multiplicative
+    /// hash, so adjacent inode numbers spread across stripes.
+    fn stripe_of(&self, ino: InodeNo) -> usize {
+        (ino.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.op_stripes.len()
+    }
+
+    /// Inode-cache shard for an inode (same hash, independent count).
+    fn icache_shard(&self, ino: InodeNo) -> &Mutex<HashMap<InodeNo, Arc<Inode>>> {
+        &self.icache[(ino.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.icache.len()]
     }
 
     /// Failed-commit cleanup: drops one Delay pin per listed block, and
@@ -762,7 +990,7 @@ impl Rsfs {
 
     /// The generic in-memory inode shared with VFS.
     pub fn vfs_inode(&self, ino: InodeNo) -> KResult<Arc<Inode>> {
-        if let Some(i) = self.icache.lock().get(&ino) {
+        if let Some(i) = self.icache_shard(ino).lock().get(&ino) {
             return Ok(Arc::clone(i));
         }
         let txn = Txn::new(self);
@@ -777,8 +1005,8 @@ impl Rsfs {
         };
         let inode = Inode::new(Arc::clone(&self.lock_registry), ino, ftype);
         inode.set_size(di.size);
-        let mut icache = self.icache.lock();
-        Ok(Arc::clone(icache.entry(ino).or_insert(inode)))
+        let mut shard = self.icache_shard(ino).lock();
+        Ok(Arc::clone(shard.entry(ino).or_insert(inode)))
     }
 
     /// Largest write (bytes) that fits one transaction, leaving slack for
@@ -831,6 +1059,48 @@ impl Rsfs {
         }
         chunk.clear();
     }
+
+    /// Begins a transaction covering `dir`'s stripe *and* the stripe of
+    /// the inode `name` currently resolves to (unlink/rmdir need both:
+    /// the dentry lives under the directory's stripe, the victim's
+    /// blocks and slot under its own). The victim is found by an
+    /// optimistic probe, locked, and implicitly re-verified: each retry
+    /// re-resolves under the freshly held locks, and a bounded number
+    /// of lost races falls back to locking every stripe.
+    fn txn_for_victim(&self, dir: InodeNo, name: &str) -> KResult<Txn<'_>> {
+        let mut want: Vec<InodeNo> = vec![dir];
+        for _ in 0..8 {
+            let mut txn = Txn::begin(self, &want);
+            let victim = txn.dir_lookup(dir, name)?;
+            if txn.covers(&[victim]) || txn.try_cover(&[victim]) {
+                return Ok(txn);
+            }
+            want = vec![dir, victim];
+        }
+        Ok(Txn::begin_all(self))
+    }
+
+    /// Batch staging: makes the open chunk's transaction cover `need`,
+    /// preferring optimistic extension ([`Txn::try_cover`]); when a
+    /// contended out-of-order stripe blocks extension, the open chunk is
+    /// flushed (dropping its stripes) and a fresh transaction begins
+    /// with the full set.
+    fn cover_for_batch<'a>(
+        &'a self,
+        txn: &mut Option<Txn<'a>>,
+        need: &[InodeNo],
+        chunk: &mut Vec<usize>,
+        replies: &mut [BatchReply],
+        sized: &mut Vec<InodeNo>,
+    ) {
+        if let Some(t) = txn.as_mut() {
+            if t.covers(need) || t.try_cover(need) {
+                return;
+            }
+            self.flush_chunk(txn.take(), chunk, replies, sized);
+        }
+        *txn = Some(Txn::begin(self, need));
+    }
 }
 
 /// Rewrites a reply's result to `e`, keeping any returned buffer — used
@@ -879,7 +1149,7 @@ impl FileSystem for Rsfs {
 
     fn create(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
         validate_name(name)?;
-        let mut txn = Txn::begin(self);
+        let mut txn = Txn::begin(self, &[dir]);
         match txn.dir_lookup(dir, name) {
             Ok(_) => return Err(Errno::EEXIST),
             Err(Errno::ENOENT) => {}
@@ -893,7 +1163,7 @@ impl FileSystem for Rsfs {
 
     fn mkdir(&self, dir: InodeNo, name: &str) -> KResult<InodeNo> {
         validate_name(name)?;
-        let mut txn = Txn::begin(self);
+        let mut txn = Txn::begin(self, &[dir]);
         match txn.dir_lookup(dir, name) {
             Ok(_) => return Err(Errno::EEXIST),
             Err(Errno::ENOENT) => {}
@@ -907,7 +1177,7 @@ impl FileSystem for Rsfs {
 
     fn unlink(&self, dir: InodeNo, name: &str) -> KResult<()> {
         validate_name(name)?;
-        let mut txn = Txn::begin(self);
+        let mut txn = self.txn_for_victim(dir, name)?;
         let victim = txn.dir_lookup(dir, name)?;
         let di = txn.read_inode(victim)?;
         if di.mode == MODE_DIR {
@@ -921,7 +1191,7 @@ impl FileSystem for Rsfs {
 
     fn rmdir(&self, dir: InodeNo, name: &str) -> KResult<()> {
         validate_name(name)?;
-        let mut txn = Txn::begin(self);
+        let mut txn = self.txn_for_victim(dir, name)?;
         let victim = txn.dir_lookup(dir, name)?;
         let di = txn.read_inode(victim)?;
         if di.mode != MODE_DIR {
@@ -962,7 +1232,7 @@ impl FileSystem for Rsfs {
         let mut done = 0usize;
         while done < data.len() {
             let n = chunk.min(data.len() - done);
-            let mut txn = Txn::begin(self);
+            let mut txn = Txn::begin(self, &[ino]);
             txn.write_range(ino, ovf::add(off, done as u64)?, &data[done..done + n])?;
             txn.commit()?;
             done += n;
@@ -1028,7 +1298,31 @@ impl FileSystem for Rsfs {
     ) -> KResult<()> {
         validate_name(oldname)?;
         validate_name(newname)?;
-        let mut txn = Txn::begin(self);
+        // Stripe set: both directories, plus the existing target inode
+        // if the destination name is taken (its blocks and slot are
+        // freed below). The target is probed, locked, and re-verified
+        // on retry; persistent races fall back to every stripe. The
+        // source inode needs no stripe — its slot is not written, and
+        // its dentry is covered by the directories' stripes.
+        let mut want: Vec<InodeNo> = vec![olddir, newdir];
+        let mut ready = None;
+        for _ in 0..8 {
+            let mut t = Txn::begin(self, &want);
+            match t.dir_lookup(newdir, newname) {
+                Ok(existing) if !t.covers(&[existing]) => {
+                    if t.try_cover(&[existing]) {
+                        ready = Some(t);
+                        break;
+                    }
+                    want = vec![olddir, newdir, existing];
+                }
+                _ => {
+                    ready = Some(t);
+                    break;
+                }
+            }
+        }
+        let mut txn = ready.unwrap_or_else(|| Txn::begin_all(self));
         let src = txn.dir_lookup(olddir, oldname)?;
         if olddir == newdir && oldname == newname {
             return Ok(());
@@ -1066,7 +1360,7 @@ impl FileSystem for Rsfs {
         if size > MAX_FILE_SIZE {
             return Err(Errno::EFBIG);
         }
-        let mut txn = Txn::begin(self);
+        let mut txn = Txn::begin(self, &[ino]);
         let di = txn.read_inode(ino)?;
         if di.mode != MODE_REG {
             return Err(Errno::EISDIR);
@@ -1236,7 +1530,8 @@ impl FileSystem for Rsfs {
                     replies.push(BatchReply::Fsync(r));
                 }
                 BatchOp::Create { dir, name } => {
-                    let t = txn.get_or_insert_with(|| Txn::begin(self));
+                    self.cover_for_batch(&mut txn, &[dir], &mut chunk, &mut replies, &mut sized);
+                    let t = txn.as_mut().expect("cover_for_batch leaves a txn");
                     let r = t.op_scope(|t| {
                         validate_name(&name)?;
                         match t.dir_lookup(dir, &name) {
@@ -1254,18 +1549,42 @@ impl FileSystem for Rsfs {
                     replies.push(BatchReply::Create(r));
                 }
                 BatchOp::Unlink { dir, name } => {
-                    let t = txn.get_or_insert_with(|| Txn::begin(self));
-                    let r = t.op_scope(|t| {
-                        validate_name(&name)?;
-                        let victim = t.dir_lookup(dir, &name)?;
-                        let di = t.read_inode(victim)?;
-                        if di.mode == MODE_DIR {
-                            return Err(Errno::EISDIR);
+                    // Probe the victim under the directory's stripe,
+                    // then extend coverage to the victim's stripe —
+                    // retrying (bounded) when the optimistic extension
+                    // loses a race, with an all-stripes fallback.
+                    let mut want: Vec<InodeNo> = vec![dir];
+                    let mut attempts = 0;
+                    let r = loop {
+                        self.cover_for_batch(&mut txn, &want, &mut chunk, &mut replies, &mut sized);
+                        let t = txn.as_mut().expect("cover_for_batch leaves a txn");
+                        let probe = t.op_scope(|t| {
+                            validate_name(&name)?;
+                            t.dir_lookup(dir, &name)
+                        });
+                        let victim = match probe {
+                            Ok(v) => v,
+                            Err(e) => break Err(e),
+                        };
+                        if t.covers(&[victim]) || t.try_cover(&[victim]) {
+                            break t.op_scope(|t| {
+                                let di = t.read_inode(victim)?;
+                                if di.mode == MODE_DIR {
+                                    return Err(Errno::EISDIR);
+                                }
+                                t.dir_remove(dir, &name)?;
+                                t.shrink_blocks(victim, 0)?;
+                                t.ifree(victim)
+                            });
                         }
-                        t.dir_remove(dir, &name)?;
-                        t.shrink_blocks(victim, 0)?;
-                        t.ifree(victim)
-                    });
+                        attempts += 1;
+                        if attempts < 8 {
+                            want = vec![dir, victim];
+                        } else {
+                            self.flush_chunk(txn.take(), &mut chunk, &mut replies, &mut sized);
+                            txn = Some(Txn::begin_all(self));
+                        }
+                    };
                     if r.is_ok() {
                         chunk.push(idx);
                     }
@@ -1280,7 +1599,14 @@ impl FileSystem for Rsfs {
                         let result = self.write(ino, off, &data);
                         replies.push(BatchReply::Write { result, buf: data });
                     } else {
-                        let t = txn.get_or_insert_with(|| Txn::begin(self));
+                        self.cover_for_batch(
+                            &mut txn,
+                            &[ino],
+                            &mut chunk,
+                            &mut replies,
+                            &mut sized,
+                        );
+                        let t = txn.as_mut().expect("cover_for_batch leaves a txn");
                         let r = t.op_scope(|t| {
                             let di = t.read_inode(ino)?;
                             if di.mode == MODE_DIR {
@@ -1323,7 +1649,10 @@ impl FileSystem for Rsfs {
                     replies.push(BatchReply::Read { result, buf });
                 }
             }
-            if txn.as_ref().is_some_and(|t| t.writes.len() >= chunk_blocks) {
+            if txn
+                .as_ref()
+                .is_some_and(|t| t.staged_blocks() >= chunk_blocks)
+            {
                 self.flush_chunk(txn.take(), &mut chunk, &mut replies, &mut sized);
             }
         }

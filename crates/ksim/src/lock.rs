@@ -30,7 +30,9 @@
 //!   normally a self-deadlock hazard and reports
 //!   [`Violation::SameClassNesting`]; striped structures that sweep their
 //!   shards in fixed index order declare a per-instance *rank* and may nest
-//!   in strictly increasing rank order (the dcache's snapshot walk).
+//!   in strictly increasing rank order (the dcache's snapshot walk). A
+//!   successful same-class `try_lock` is exempt like any other trylock —
+//!   it backs off rather than deadlocks (the sharded op-lock extension).
 //! - **Held-across-blocking-I/O.** Device drivers call
 //!   [`LockRegistry::note_blocking_io`] at the `BlockDevice` boundary; any
 //!   lock class held there that was not declared `io_ok` at construction is
@@ -268,17 +270,21 @@ impl LockRegistry {
             .unwrap_or_default();
 
         // Same-class nesting: legal only in strictly increasing rank
-        // order (the fixed-index shard sweep); anything else is a
-        // self-deadlock hazard.
-        for &(hc, hr) in &held {
-            if hc != class {
-                continue;
-            }
-            let ordered = matches!((hr, rank), (Some(a), Some(b)) if a < b);
-            if !ordered && inner.nest_reported.insert(class) {
-                inner.violations.push(Violation::SameClassNesting {
-                    class: inner.class_info[class as usize].name,
-                });
+        // order (the fixed-index shard sweep) — or via trylock, which
+        // cannot self-deadlock because it backs off instead of blocking
+        // (the sharded op-lock path uses this for out-of-order stripe
+        // extension); anything else is a self-deadlock hazard.
+        if !trylock {
+            for &(hc, hr) in &held {
+                if hc != class {
+                    continue;
+                }
+                let ordered = matches!((hr, rank), (Some(a), Some(b)) if a < b);
+                if !ordered && inner.nest_reported.insert(class) {
+                    inner.violations.push(Violation::SameClassNesting {
+                        class: inner.class_info[class as usize].name,
+                    });
+                }
             }
         }
 
@@ -597,6 +603,18 @@ impl<T> TrackedMutex<T> {
     /// the I/O itself).
     pub fn new_io_ok(registry: &Arc<LockRegistry>, name: &'static str, value: T) -> Self {
         Self::build(registry, name, None, true, value)
+    }
+
+    /// Ranked *and* I/O-exempt: a striped lock whose stripes are taken
+    /// in fixed ascending index order and held across the device I/O
+    /// they serialize (the sharded op-lock idiom).
+    pub fn new_ranked_io_ok(
+        registry: &Arc<LockRegistry>,
+        name: &'static str,
+        rank: u64,
+        value: T,
+    ) -> Self {
+        Self::build(registry, name, Some(rank), true, value)
     }
 
     /// Acquires the lock, blocking if contended.

@@ -26,8 +26,19 @@
 //! system's classes like every other hot path. The lock is never held
 //! across a file system call: drain, release, process, re-acquire to
 //! post completions.
+//!
+//! One ring supports **N reactors** draining it concurrently
+//! (work-stealing): each batch claim happens under the state lock, so
+//! a batch is owned by exactly one reactor, and the claim grain
+//! ([`Ring::set_claim_grain`], set automatically by the pool spawners)
+//! splits a full queue across the pool instead of letting one reactor
+//! take everything. Completions use *batched* CQE wakeups — one
+//! broadcast per posted batch rather than one notify per ticket — and
+//! idle reactors follow an adaptive spin-then-park policy so a busy
+//! ring never pays a park/unpark per batch.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -68,11 +79,6 @@ pub struct RingStats {
 struct RingState {
     sq: VecDeque<(u64, BatchOp)>,
     cq: HashMap<u64, BatchReply>,
-    /// One parked condvar per ticket a client is blocked on. Completions
-    /// wake exactly the claiming waiter — a broadcast condvar would wake
-    /// every parked client per batch (hundreds of threads at depth 1),
-    /// and the herd re-contending the state lock convoys the reactor.
-    waiters: HashMap<u64, Arc<Condvar>>,
     next_ticket: u64,
     shutdown: bool,
 }
@@ -85,14 +91,40 @@ struct RingState {
 /// `bench_report` varies.
 pub struct Ring {
     depth: usize,
+    /// Per-claim drain cap. `depth` for a lone reactor; the pool
+    /// spawners set it to `depth / reactors` so one batch claim cannot
+    /// starve the rest of the pool — the work-stealing grain.
+    claim: AtomicUsize,
     state: TrackedMutex<RingState>,
     /// Signalled when the submission queue gains room.
     sq_space: Condvar,
     /// Signalled when the submission queue gains entries (or shutdown).
     sq_ready: Condvar,
+    /// Batched CQE wakeup: one broadcast per posted batch. Waiters
+    /// re-check their own ticket under the state lock; at any real
+    /// depth most parked clients have a completion in the batch that
+    /// woke them, so the broadcast replaces a notify-per-ticket storm
+    /// with a single call.
+    cq_ready: Condvar,
+    /// Lock-free mirror of `sq.len()` for the spin phase of the idle
+    /// policy — reactors peek at it without touching the state lock.
+    sq_len: AtomicUsize,
+    /// Adaptive spin budget shared by all reactors on this ring:
+    /// doubled when a spin finds work (arrivals outpace park cost),
+    /// halved when a spin expires and the reactor parks.
+    spin_budget: AtomicU32,
+    /// Claimed by the one reactor relieving throttle pressure; the
+    /// others admit their batch instead of stacking redundant
+    /// commit+checkpoint cycles behind the same journal group lock.
+    relieving: AtomicBool,
     /// Leaf counters; never held across another acquisition.
     stats: Mutex<RingStats>,
 }
+
+/// Spin-budget bounds for the adaptive idle policy (iterations of
+/// [`std::hint::spin_loop`] between queue peeks).
+const SPIN_MIN: u32 = 64;
+const SPIN_MAX: u32 = 4096;
 
 impl Ring {
     /// Creates a ring of the given depth, its lock reporting to
@@ -105,19 +137,23 @@ impl Ring {
         assert!(depth > 0, "ring depth must be at least 1");
         Ring {
             depth,
+            claim: AtomicUsize::new(depth),
             state: TrackedMutex::new(
                 registry,
                 "vfs.ring",
                 RingState {
                     sq: VecDeque::with_capacity(depth),
                     cq: HashMap::new(),
-                    waiters: HashMap::new(),
                     next_ticket: 1,
                     shutdown: false,
                 },
             ),
             sq_space: Condvar::new(),
             sq_ready: Condvar::new(),
+            cq_ready: Condvar::new(),
+            sq_len: AtomicUsize::new(0),
+            spin_budget: AtomicU32::new(SPIN_MIN),
+            relieving: AtomicBool::new(false),
             stats: Mutex::new(RingStats::default()),
         }
     }
@@ -125,6 +161,15 @@ impl Ring {
     /// The submission-queue depth.
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Caps how many SQEs one batch claim may take, clamped to
+    /// `[1, depth]`. The pool spawners call this with
+    /// `depth / reactors`; callers running a single reactor can leave
+    /// the default (`depth`).
+    pub fn set_claim_grain(&self, grain: usize) {
+        self.claim
+            .store(grain.clamp(1, self.depth), Ordering::Relaxed);
     }
 
     /// Traffic counters.
@@ -153,6 +198,7 @@ impl Ring {
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.sq.push_back((ticket, op));
+        self.sq_len.store(st.sq.len(), Ordering::Relaxed);
         self.stats.lock().submitted += 1;
         self.sq_ready.notify_one();
         Ok(ticket)
@@ -167,15 +213,9 @@ impl Ring {
         let mut st = self.state.lock();
         loop {
             if let Some(reply) = st.cq.remove(&ticket) {
-                st.waiters.remove(&ticket);
                 return Cqe { ticket, reply };
             }
-            let cv = Arc::clone(
-                st.waiters
-                    .entry(ticket)
-                    .or_insert_with(|| Arc::new(Condvar::new())),
-            );
-            st.wait(&cv);
+            st.wait(&self.cq_ready);
         }
     }
 
@@ -197,18 +237,41 @@ impl Ring {
         self.sq_space.notify_all();
     }
 
-    /// Takes up to `depth` SQEs, blocking until at least one is
+    /// The spin phase of the idle policy: burns the current budget
+    /// peeking at the lock-free queue-length mirror before the caller
+    /// falls back to parking on `sq_ready`. The budget adapts — work
+    /// found while spinning doubles it (arrivals are fast enough that
+    /// parking costs more than it saves), an expired spin halves it so
+    /// a quiet ring converges to parking almost immediately.
+    fn spin_for_work(&self) {
+        let budget = self.spin_budget.load(Ordering::Relaxed);
+        for _ in 0..budget {
+            if self.sq_len.load(Ordering::Relaxed) > 0 {
+                self.spin_budget
+                    .store((budget * 2).min(SPIN_MAX), Ordering::Relaxed);
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        self.spin_budget
+            .store((budget / 2).max(SPIN_MIN), Ordering::Relaxed);
+    }
+
+    /// Claims up to one grain of SQEs, blocking until at least one is
     /// available. Space is released to submitters *before* the batch is
     /// processed, so clients refill the queue while the reactor works.
-    /// Returns an empty batch only when the ring is shut down and fully
-    /// drained.
+    /// The claim happens under the state lock, so with N reactors each
+    /// SQE is drained by exactly one of them. Returns an empty batch
+    /// only when the ring is shut down and fully drained.
     fn drain_batch(&self) -> Vec<(u64, BatchOp)> {
+        self.spin_for_work();
         let mut st = self.state.lock();
         while st.sq.is_empty() && !st.shutdown {
             st.wait(&self.sq_ready);
         }
-        let take = st.sq.len().min(self.depth);
+        let take = st.sq.len().min(self.claim.load(Ordering::Relaxed));
         let batch: Vec<(u64, BatchOp)> = st.sq.drain(..take).collect();
+        self.sq_len.store(st.sq.len(), Ordering::Relaxed);
         drop(st);
         self.notify_space(batch.len());
         batch
@@ -222,23 +285,21 @@ impl Ring {
         }
     }
 
-    /// Posts one reply per drained SQE and wakes each claiming waiter.
+    /// Posts one reply per drained SQE, then wakes waiters with a
+    /// single broadcast — the batched CQE wakeup. One notify per
+    /// *batch*, not per ticket: at any real depth most parked clients
+    /// have a completion in the batch, so the per-ticket bookkeeping
+    /// bought nothing and cost a waiter map under the hot lock.
     fn post(&self, tickets: Vec<u64>, replies: Vec<BatchReply>) {
         debug_assert_eq!(tickets.len(), replies.len());
         let n = replies.len() as u64;
-        let mut wake = Vec::new();
         {
             let mut st = self.state.lock();
             for (ticket, reply) in tickets.into_iter().zip(replies) {
                 st.cq.insert(ticket, reply);
-                if let Some(cv) = st.waiters.get(&ticket) {
-                    wake.push(Arc::clone(cv));
-                }
             }
         }
-        for cv in wake {
-            cv.notify_one();
-        }
+        self.cq_ready.notify_all();
         let mut stats = self.stats.lock();
         stats.completed += n;
         stats.batches += 1;
@@ -263,23 +324,43 @@ impl Ring {
     /// Relieves the throttle until the pressure reading drops below
     /// threshold — bounded, so a wedged (EROFS) journal cannot spin the
     /// reactor; the batch is then admitted and fails op by op.
+    ///
+    /// With N reactors the pressure reading is shared, so only one of
+    /// them relieves at a time (the `relieving` flag): the others admit
+    /// their batch instead of stacking redundant commit+checkpoint
+    /// cycles behind the same journal group lock. Pressure is re-read
+    /// before every batch, so an admission that raced past the reliever
+    /// stalls on its next tick if relief did not land.
     fn relieve(&self, throttle: Option<&RingThrottle>) {
-        if let Some(t) = throttle {
-            let mut rounds = 0;
-            while (t.pressure)() >= t.threshold && rounds < 8 {
-                self.stats.lock().throttle_stalls += 1;
-                (t.relieve)();
-                rounds += 1;
-            }
+        let Some(t) = throttle else { return };
+        if (t.pressure)() < t.threshold {
+            return;
         }
+        if self
+            .relieving
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let mut rounds = 0;
+        while (t.pressure)() >= t.threshold && rounds < 8 {
+            self.stats.lock().throttle_stalls += 1;
+            (t.relieve)();
+            rounds += 1;
+        }
+        self.relieving.store(false, Ordering::Release);
     }
 
     /// Blocks until the submission queue is non-empty or the ring is
-    /// shut down. Returns `false` only when shut down *and* drained.
-    /// Nothing is removed: gated reactors park here with the swap gate
-    /// released, so a migrator never finds SQEs trapped in a reactor's
-    /// hands mid-handoff.
+    /// shut down (spinning first, per the idle policy). Returns `false`
+    /// only when shut down *and* drained. Nothing is removed: gated
+    /// reactors park here with the swap gate released, so a migrator
+    /// never finds SQEs trapped in a reactor's hands mid-handoff — with
+    /// N reactors, *all* of them idle here between batches, which is
+    /// why the SwapGate handshake needs no per-reactor bookkeeping.
     fn wait_ready(&self) -> bool {
+        self.spin_for_work();
         let mut st = self.state.lock();
         while st.sq.is_empty() && !st.shutdown {
             st.wait(&self.sq_ready);
@@ -287,11 +368,12 @@ impl Ring {
         !(st.sq.is_empty() && st.shutdown)
     }
 
-    /// Takes up to `depth` SQEs without blocking.
+    /// Claims up to one grain of SQEs without blocking.
     fn drain_nonblocking(&self) -> Vec<(u64, BatchOp)> {
         let mut st = self.state.lock();
-        let take = st.sq.len().min(self.depth);
+        let take = st.sq.len().min(self.claim.load(Ordering::Relaxed));
         let batch: Vec<(u64, BatchOp)> = st.sq.drain(..take).collect();
+        self.sq_len.store(st.sq.len(), Ordering::Relaxed);
         drop(st);
         self.notify_space(batch.len());
         batch
@@ -341,7 +423,9 @@ impl Ring {
         let batch: Vec<(u64, BatchOp)> = {
             let mut st = self.state.lock();
             let take = st.sq.len().min(self.depth);
-            st.sq.drain(..take).collect()
+            let batch = st.sq.drain(..take).collect();
+            self.sq_len.store(st.sq.len(), Ordering::Relaxed);
+            batch
         };
         self.notify_space(batch.len());
         if batch.is_empty() {
@@ -413,6 +497,82 @@ impl RingReactor {
             ring,
             handle: Some(h),
         }
+    }
+
+    /// Starts `reactors` work-stealing reactors over one `ring` — each
+    /// claims batches of at most `depth / reactors` SQEs (the claim
+    /// grain), so a full queue splits across the pool. Dropping (or
+    /// joining) any reactor in the returned pool shuts the ring down;
+    /// the rest exit once the residual queue is drained, and their own
+    /// drops join them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reactors == 0`.
+    pub fn spawn_pool(
+        ring: Arc<Ring>,
+        fs: Arc<dyn FileSystem>,
+        throttle: Option<Arc<RingThrottle>>,
+        reactors: usize,
+    ) -> Vec<RingReactor> {
+        assert!(reactors > 0, "reactor pool must have at least one reactor");
+        ring.set_claim_grain(ring.depth() / reactors);
+        (0..reactors)
+            .map(|i| {
+                let r = Arc::clone(&ring);
+                let fs = Arc::clone(&fs);
+                let throttle = throttle.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("ring-reactor-{i}"))
+                    .spawn(move || while r.reactor_tick(fs.as_ref(), throttle.as_deref()) {})
+                    .expect("spawn ring reactor");
+                RingReactor {
+                    ring: Arc::clone(&ring),
+                    handle: Some(handle),
+                }
+            })
+            .collect()
+    }
+
+    /// Starts `reactors` generation-aware reactors over one `ring` —
+    /// the pool variant of [`RingReactor::spawn_gated`]. Every reactor
+    /// parks in `wait_ready` *outside* its shared gate hold, so a
+    /// migrator closing the [`SwapGate`] sees the whole pool idle and
+    /// drains queued SQEs itself; N reactors need no handshake beyond
+    /// the one reactor case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reactors == 0`.
+    pub fn spawn_gated_pool(
+        ring: Arc<Ring>,
+        handle: InterfaceHandle<dyn FileSystem>,
+        gate: Arc<SwapGate>,
+        throttle: Option<Arc<RingThrottle>>,
+        reactors: usize,
+    ) -> Vec<RingReactor> {
+        assert!(reactors > 0, "reactor pool must have at least one reactor");
+        ring.set_claim_grain(ring.depth() / reactors);
+        (0..reactors)
+            .map(|i| {
+                let r = Arc::clone(&ring);
+                let handle = handle.clone();
+                let gate = Arc::clone(&gate);
+                let throttle = throttle.clone();
+                let h = std::thread::Builder::new()
+                    .name(format!("ring-reactor-{i}"))
+                    .spawn(
+                        move || {
+                            while r.reactor_tick_gated(&handle, &gate, throttle.as_deref()) {}
+                        },
+                    )
+                    .expect("spawn ring reactor");
+                RingReactor {
+                    ring: Arc::clone(&ring),
+                    handle: Some(h),
+                }
+            })
+            .collect()
     }
 
     /// Shuts the ring down and joins the reactor once the residual
@@ -531,6 +691,36 @@ mod tests {
             Err(BatchOp::Write { data, .. }) => assert_eq!(data, vec![1, 2, 3]),
             other => panic!("expected refusal with buffer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reactor_pool_splits_work_and_completes_everything() {
+        let registry = LockRegistry::new();
+        let ring = Arc::new(Ring::new(&registry, 64));
+        let fs: Arc<dyn FileSystem> = Arc::new(MemFs::new());
+        let root = fs.root_ino();
+        let pool = RingReactor::spawn_pool(Arc::clone(&ring), Arc::clone(&fs), None, 4);
+        // Claim grain splits the queue: 64 / 4 reactors.
+        assert_eq!(ring.claim.load(Ordering::Relaxed), 16);
+        let mut tickets = Vec::new();
+        for i in 0..256 {
+            tickets.push(
+                ring.submit(BatchOp::Create {
+                    dir: root,
+                    name: format!("p{i}"),
+                })
+                .unwrap(),
+            );
+        }
+        for t in tickets {
+            assert!(matches!(ring.wait(t).reply, BatchReply::Create(Ok(_))));
+        }
+        for r in pool {
+            r.join();
+        }
+        assert_eq!(fs.readdir(root).unwrap().len(), 256);
+        assert_eq!(ring.stats().completed, 256);
+        assert_eq!(registry.violations().len(), 0);
     }
 
     #[test]

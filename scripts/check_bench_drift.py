@@ -39,6 +39,14 @@ Storage mode gates the hot_swap section of BENCH_storage.json:
   it only catches order-of-magnitude regressions such as the swap
   draining through a sleep loop.  Best sample per thread count wins.
 
+Storage mode also gates the ring_throughput reactors x depth sweep when
+the baseline carries it: the best ring row may not regress more than 10%
+below the committed best, no row's p99 may double, and the best
+multi-reactor row must structurally beat both the single-reactor
+depth-1024 row and the per-call path in every fresh report.  Fresh
+reports generated with `bench_report --ring-only` carry only this
+section; the hot-swap checks are skipped for them.
+
 Usage: check_bench_drift.py <baseline.json> <fresh.json>... [tolerance]
 """
 
@@ -162,6 +170,104 @@ def check_storage(baseline_path, baseline, fresh_runs, multiplier):
     return failures
 
 
+def ring_rows(report):
+    """Splits the ring_throughput section into (per_call_row, {(reactors,
+    depth): row})."""
+    per_call, ring = None, {}
+    for row in report.get("ring_throughput", []):
+        if row.get("mode") == "per-call":
+            per_call = row
+        elif row.get("mode") == "ring":
+            ring[(row["reactors"], row["depth"])] = row
+    return per_call, ring
+
+
+def check_ring(baseline_path, baseline, fresh_runs, tolerance):
+    """Gates the reactors x depth ring sweep:
+
+    * the best ring ops/s row may not regress more than `tolerance`
+      below the committed baseline's best row (best fresh sample wins);
+    * no (reactors, depth) row's p99 may blow up past 2x its baseline
+      (best sample per row wins — p99 on a shared runner is noisy, an
+      order-2 blowup is structural: a lost wakeup, a serialized path);
+    * the scaling claim itself is enforced structurally on every fresh
+      report: the best multi-reactor (reactors >= 2) row must beat both
+      the single-reactor depth-1024 row and the per-call baseline row of
+      the same report — a revert to effectively-serial execution fails
+      here even on a runner fast enough to dodge the regression floor.
+    """
+    base_per_call, base_ring = ring_rows(baseline)
+    if not base_ring:
+        return [f"no ring_throughput ring rows in baseline {baseline_path}"]
+    fresh_with = [(p, r) for p, r in fresh_runs if r.get("ring_throughput")]
+    if not fresh_with:
+        print("ring_throughput: no fresh report carries the section, skipped")
+        return []
+
+    failures = []
+    best_samples = []
+    p99_samples = {}
+    for path, fresh in fresh_with:
+        per_call, ring = ring_rows(fresh)
+        if per_call is None or not ring:
+            failures.append(f"ring_throughput: incomplete section in {path}")
+            continue
+        for key, base_row in base_ring.items():
+            if key not in ring:
+                failures.append(
+                    f"ring_throughput{list(key)}: row missing from {path}"
+                )
+                continue
+            p99_samples.setdefault(key, []).append(ring[key]["p99_us"])
+        best_samples.append(max(r["ops_per_sec"] for r in ring.values()))
+
+        multi = {k: r for k, r in ring.items() if k[0] >= 2}
+        single_1024 = ring.get((1, 1024))
+        if not multi or single_1024 is None:
+            failures.append(f"ring_throughput: sweep shape changed in {path}")
+            continue
+        best_multi = max(r["ops_per_sec"] for r in multi.values())
+        if best_multi <= single_1024["ops_per_sec"]:
+            failures.append(
+                f"ring_throughput: best multi-reactor row {best_multi:.0f} ops/s "
+                f"does not beat the single-reactor depth-1024 row "
+                f"{single_1024['ops_per_sec']:.0f} ops/s in {path} "
+                f"(multi-reactor scaling reverted)"
+            )
+        if best_multi <= per_call["ops_per_sec"]:
+            failures.append(
+                f"ring_throughput: best multi-reactor row {best_multi:.0f} ops/s "
+                f"does not beat the per-call baseline "
+                f"{per_call['ops_per_sec']:.0f} ops/s in {path}"
+            )
+
+    if best_samples:
+        base_best = max(r["ops_per_sec"] for r in base_ring.values())
+        now_best = max(best_samples)
+        floor = base_best * (1.0 - tolerance)
+        verdict = "OK" if now_best >= floor else "REGRESSED"
+        print(
+            f"ring_throughput best: baseline {base_best:9.0f} ops/s, "
+            f"best of {len(best_samples)} fresh {now_best:9.0f} ops/s, "
+            f"floor {floor:9.0f} ops/s  {verdict}"
+        )
+        if now_best < floor:
+            failures.append(
+                f"ring_throughput: best row {now_best:.0f} ops/s is more than "
+                f"{tolerance:.0%} below the committed baseline {base_best:.0f} ops/s"
+            )
+    for key, samples in sorted(p99_samples.items()):
+        base_p99 = base_ring[key]["p99_us"]
+        now_p99 = min(samples)
+        ceiling = base_p99 * 2.0
+        if now_p99 > ceiling:
+            failures.append(
+                f"ring_throughput{list(key)}: p99 {now_p99:.0f} us exceeds 2x "
+                f"the committed baseline {base_p99:.0f} us"
+            )
+    return failures
+
+
 def main():
     if len(sys.argv) < 3:
         sys.exit(__doc__)
@@ -183,9 +289,17 @@ def main():
             fresh_runs.append((path, json.load(f)))
 
     if "hot_swap" in baseline:
-        failures = check_storage(
-            baseline_path, baseline, fresh_runs, tolerance if tolerance else 10.0
-        )
+        # A fresh report may be ring-only (bench_report --ring-only); the
+        # hot-swap sweep is gated against the subset that carries it.
+        swap_runs = [(p, r) for p, r in fresh_runs if "hot_swap" in r]
+        if swap_runs:
+            failures = check_storage(
+                baseline_path, baseline, swap_runs, tolerance if tolerance else 10.0
+            )
+        else:
+            print("hot_swap: no fresh report carries the section, skipped")
+            failures = []
+        failures += check_ring(baseline_path, baseline, fresh_runs, 0.10)
     elif "soak" in baseline:
         failures = check_net(
             baseline_path, baseline, fresh_runs, tolerance if tolerance else 0.10

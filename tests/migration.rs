@@ -429,6 +429,104 @@ fn post_swap_sqes_complete_against_the_new_generation() {
     let _ = report;
 }
 
+/// The ISSUE 10 acceptance scenario: a 4-reactor work-stealing pool
+/// stays live across two back-to-back generation swaps while 8 clients
+/// hammer the ring, and not one op fails. Every reactor parks outside
+/// its shared gate hold, so the migrator finds the whole pool idle,
+/// drains queued SQEs itself against the old generation, and the pool
+/// resumes against the new one — the single-reactor SwapGate handshake,
+/// unchanged, covering N reactors.
+#[test]
+fn four_reactor_pool_sees_zero_failed_ops_across_two_swaps() {
+    let registry = Arc::new(Registry::new());
+    registry
+        .register::<dyn FileSystem>(FS_INTERFACE, "rsfs", make_rsfs())
+        .unwrap();
+    let locks = LockRegistry::new();
+    let vfs = Arc::new(Vfs::mount_with_lockdep(&registry, Arc::clone(&locks)).unwrap());
+    let ring = Arc::new(Ring::new(&locks, 64));
+    let pool = RingReactor::spawn_gated_pool(
+        Arc::clone(&ring),
+        vfs.fs_handle().clone(),
+        vfs.gate(),
+        None,
+        4,
+    );
+
+    // Every generation in this chain is rsfs, so the root inode number
+    // is the same constant throughout and name-based create/unlink
+    // pairs are self-contained across swaps: a file created before the
+    // blackout is carried by the tree walk, and its unlink lands by
+    // name on whichever generation is current.
+    let root = vfs.resolve("/").unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for t in 0..8u64 {
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        clients.push(thread::spawn(move || {
+            let (mut ops, mut failed) = (0u64, 0u64);
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let name = format!("t{t}c{i}");
+                for op in [
+                    BatchOp::Create {
+                        dir: root,
+                        name: name.clone(),
+                    },
+                    BatchOp::Unlink { dir: root, name },
+                ] {
+                    match ring.submit(op) {
+                        Ok(ticket) => {
+                            if ring.wait(ticket).reply.result().is_err() {
+                                failed += 1;
+                            }
+                            ops += 1;
+                        }
+                        // Ring shut down — only happens after `stop`.
+                        Err(_) => return (ops, failed),
+                    }
+                }
+                i += 1;
+            }
+            (ops, failed)
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let r1 = Migrator::new(&vfs, &registry)
+        .with_ring(&ring)
+        .swap("rsfs2", make_rsfs())
+        .unwrap();
+    let r2 = Migrator::new(&vfs, &registry)
+        .with_ring(&ring)
+        .swap("rsfs3", make_rsfs())
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+
+    let (mut ops, mut failed) = (0u64, 0u64);
+    for c in clients {
+        let (o, f) = c.join().unwrap();
+        ops += o;
+        failed += f;
+    }
+    for r in pool {
+        r.join();
+    }
+    assert!(ops > 0, "clients made progress");
+    assert_eq!(failed, 0, "zero failed ops across both swaps");
+    let stats = ring.stats();
+    assert_eq!(
+        stats.submitted, stats.completed,
+        "no SQE lost or duplicated"
+    );
+    assert_eq!(vfs.fs_handle().swap_count(), 2);
+    assert!(r1.blackout_ns > 0 && r2.blackout_ns > 0);
+    let violations = locks.violations();
+    assert!(violations.is_empty(), "lockdep findings: {violations:?}");
+}
+
 /// Crash-contract regression across a swap: a power cut right after the
 /// switch must recover the pre-swap durable prefix from the *new*
 /// device. The migrator quiesces the incoming generation before the

@@ -25,7 +25,7 @@ use safer_kernel::fs_safe::fsck;
 use safer_kernel::ksim::block::{
     CrashDevice, DeviceStats, DiskFaultConfig, FaultyDisk, PendingWrite, BLOCK_SIZE,
 };
-use safer_kernel::ksim::errno::KResult;
+use safer_kernel::ksim::errno::{Errno, KResult};
 use safer_kernel::ksim::scenario::{subsys, ScenarioEngine};
 use safer_kernel::ksim::time::SimClock;
 use safer_kernel::netstack::fault::{FaultConfig as LinkFaultConfig, FaultyLink};
@@ -67,6 +67,7 @@ pub const CORPUS: &[(&str, ScenarioFn)] = &[
     ("net_scale_1k_lossy", net_scale_1k_lossy),
     ("eio_mid_checkpoint_recovery", eio_mid_checkpoint_recovery),
     ("corrupt_reads_remount_storm", corrupt_reads_remount_storm),
+    ("multi_reactor_eio_swap", multi_reactor_eio_swap),
 ];
 
 /// Seeds swept by the CI corpus run. A seed that ever fails gets pinned
@@ -1226,6 +1227,258 @@ fn corrupt_reads_remount_storm(engine: &Arc<ScenarioEngine>) -> Result<(), Strin
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 9: a 4-reactor pool under transient EIO while a hot swap quiesces
+// ---------------------------------------------------------------------------
+
+/// Four work-stealing reactors drain one ring while the live
+/// generation's disk throws transient write/flush EIO and a hot swap
+/// tries to quiesce through it. The workload keeps exactly one op in
+/// flight, so even with four racing reactors the device-op order — and
+/// therefore every engine-drawn fault — is deterministic and the trace
+/// replays byte-identically.
+///
+/// In async journal mode the staging path touches no device, so every
+/// workload op must succeed even with faults hot; the EIO window lands
+/// precisely where this scenario aims it: inside the swap's quiesce
+/// (journal drain + checkpoint through the faulty disk). Two outcomes
+/// are legal per seed, both deterministic: the swap lands within eight
+/// attempts (then the copied tree must match the mirror and a clean
+/// phase 2 must see zero failed ops), or a record-write EIO sticky-
+/// aborts generation 1 and every attempt must refuse cleanly —
+/// generation unchanged, nothing half-switched.
+fn multi_reactor_eio_swap(engine: &Arc<ScenarioEngine>) -> Result<(), String> {
+    let ws = engine.stream(subsys::WORKLOAD);
+    let sw = engine.stream(subsys::SWAP);
+
+    // Generation 1 on a faulty disk; faults stay off through mkfs,
+    // mount, and the base-file prefill so initial state is clean.
+    let ram = Arc::new(RamDisk::new(8192));
+    let faulty = Arc::new(FaultyDisk::on_engine(
+        Arc::clone(&ram),
+        DiskFaultConfig::default(),
+        engine,
+    ));
+    let dev: Arc<dyn BlockDevice> = Arc::clone(&faulty) as Arc<dyn BlockDevice>;
+    Rsfs::mkfs(&dev, 512, 64).map_err(|e| format!("mkfs: {e}"))?;
+    let gen1 = Arc::new(Rsfs::mount(dev, JournalMode::Async).map_err(|e| format!("mount: {e}"))?);
+    let registry = Registry::new();
+    registry
+        .register::<dyn FileSystem>(
+            FS_INTERFACE,
+            "rsfs",
+            Arc::clone(&gen1) as Arc<dyn FileSystem>,
+        )
+        .map_err(|e| format!("register: {e:?}"))?;
+    let locks = safer_kernel::ksim::lock::LockRegistry::new();
+    let vfs =
+        Vfs::mount_with_lockdep(&registry, Arc::clone(&locks)).map_err(|e| format!("vfs: {e}"))?;
+    let root = gen1.root_ino();
+    let base = gen1
+        .create(root, "base")
+        .map_err(|e| format!("create base: {e}"))?;
+    let mut base_img = vec![0u8; 4096];
+    gen1.write(base, 0, &base_img)
+        .map_err(|e| format!("prefill base: {e}"))?;
+    gen1.sync().map_err(|e| format!("initial sync: {e}"))?;
+
+    let ring = Arc::new(Ring::new(&locks, 16));
+    let pool = RingReactor::spawn_gated_pool(
+        Arc::clone(&ring),
+        vfs.fs_handle().clone(),
+        vfs.gate(),
+        None,
+        4,
+    );
+
+    faulty.set_config(DiskFaultConfig {
+        write_eio: 0.05,
+        flush_eio: 0.02,
+        ..DiskFaultConfig::default()
+    });
+
+    // One op in flight at a time: submit, then wait, so the four
+    // reactors race only for the claim, never for device order.
+    let one = |op: BatchOp| -> Result<BatchReply, String> {
+        let ticket = ring
+            .submit(op)
+            .map_err(|op| format!("ring refused {op:?} while live"))?;
+        Ok(ring.wait(ticket).reply)
+    };
+
+    // Phase 1: mixed traffic with the EIO window open. Async staging
+    // never reaches the device, so every op must succeed.
+    let mut live: Vec<u32> = Vec::new();
+    for k in 0..40u32 {
+        let pick = ws.gen_range(0..8u32);
+        let reply = match pick {
+            0..=2 => {
+                live.push(k);
+                one(BatchOp::Create {
+                    dir: root,
+                    name: format!("r{k}"),
+                })?
+            }
+            3 if !live.is_empty() => {
+                let gone = live.remove(ws.gen_range(0..live.len() as u32) as usize);
+                one(BatchOp::Unlink {
+                    dir: root,
+                    name: format!("r{gone}"),
+                })?
+            }
+            4 | 5 => {
+                let off = (k % 4) as usize * 1024;
+                base_img[off..off + 1024].fill(k as u8);
+                one(BatchOp::Write {
+                    ino: base,
+                    off: off as u64,
+                    data: vec![k as u8; 1024],
+                })?
+            }
+            _ => one(BatchOp::Read {
+                ino: base,
+                off: u64::from(ws.gen_range(0..4u32)) * 1024,
+                buf: vec![0u8; 1024],
+            })?,
+        };
+        if let Err(e) = reply.result() {
+            // One legal failure: the staging op itself ran a log-pressure
+            // commit, the record write EIO'd, and the journal sticky-
+            // aborted — from then on mutations report EROFS. Anything
+            // else is a real bug.
+            if e == Errno::EROFS && gen1.journal().is_some_and(|j| j.is_aborted()) {
+                ws.emit(format!("op {k}: pressure commit EIO'd, journal aborted"));
+                break;
+            }
+            return Err(format!("phase-1 op {k} failed under async staging: {e}"));
+        }
+    }
+
+    // The hot swap: quiesce drains the journal and checkpoints through
+    // the faulty disk — this is where the EIO lands. Each attempt gets
+    // a fresh, clean target.
+    let pre = vfs.abstraction();
+    let mut landed = false;
+    for attempt in 0..8u32 {
+        let ram2 = Arc::new(RamDisk::new(8192));
+        {
+            let d: Arc<dyn BlockDevice> = Arc::clone(&ram2) as Arc<dyn BlockDevice>;
+            Rsfs::mkfs(&d, 512, 64).map_err(|e| format!("mkfs2: {e}"))?;
+        }
+        let next: Arc<dyn FileSystem> = Arc::new(
+            Rsfs::mount(ram2 as Arc<dyn BlockDevice>, JournalMode::Async)
+                .map_err(|e| format!("mount2: {e}"))?,
+        );
+        match Migrator::new(&vfs, &registry)
+            .with_ring(&ring)
+            .with_observer(|p: MigratePhase| sw.emit(format!("a{attempt} {p:?}")))
+            .swap("rsfs2", next)
+        {
+            Ok(report) => {
+                sw.emit(format!(
+                    "landed a{attempt} files={} dirs={} bytes={}",
+                    report.copied_files, report.copied_dirs, report.copied_bytes
+                ));
+                landed = true;
+                break;
+            }
+            Err(e) => {
+                sw.emit(format!("abort a{attempt} {e:?}"));
+                if vfs.fs_handle().impl_name() != "rsfs" {
+                    return Err("aborted swap left a half-switched generation".into());
+                }
+                if vfs.abstraction() != pre {
+                    return Err("aborted swap mutated the live state".into());
+                }
+            }
+        }
+    }
+
+    if landed {
+        // Faults die with the detached generation; everything after the
+        // swap runs on the clean target and must be flawless.
+        let handle = vfs.fs_handle().get();
+        let root2 = handle.root_ino();
+        let base2 = handle
+            .lookup(root2, "base")
+            .map_err(|e| format!("base lost in transfer: {e}"))?;
+        for &k in &live {
+            handle
+                .lookup(root2, &format!("r{k}"))
+                .map_err(|e| format!("r{k} lost in transfer: {e}"))?;
+        }
+        for c in 0..4usize {
+            match one(BatchOp::Read {
+                ino: base2,
+                off: (c * 1024) as u64,
+                buf: vec![0u8; 1024],
+            })? {
+                BatchReply::Read { result, buf } => {
+                    result.map_err(|e| format!("post-swap read chunk {c}: {e}"))?;
+                    if buf != base_img[c * 1024..(c + 1) * 1024] {
+                        return Err(format!("base chunk {c} transferred wrong"));
+                    }
+                }
+                other => return Err(format!("read came back as {other:?}")),
+            }
+        }
+        // Phase 2: the reactor pool keeps serving the new generation;
+        // zero failed ops, fsync included (the clean journal flushes).
+        for k in 100..120u32 {
+            let reply = match ws.gen_range(0..4u32) {
+                0 => one(BatchOp::Create {
+                    dir: root2,
+                    name: format!("r{k}"),
+                })?,
+                1 => one(BatchOp::Write {
+                    ino: base2,
+                    off: u64::from(k % 4) * 1024,
+                    data: vec![k as u8; 1024],
+                })?,
+                2 => one(BatchOp::Fsync { ino: base2 })?,
+                _ => one(BatchOp::Read {
+                    ino: base2,
+                    off: u64::from(k % 4) * 1024,
+                    buf: vec![0u8; 1024],
+                })?,
+            };
+            if let Err(e) = reply.result() {
+                return Err(format!(
+                    "phase-2 op {k} failed on the clean generation: {e}"
+                ));
+            }
+        }
+        if vfs.fs_handle().swap_count() != 1 || vfs.gate().swaps() != 1 {
+            return Err("swap landed but the counters disagree".into());
+        }
+    } else {
+        // Deterministic alternate outcome: a record-write EIO during
+        // quiesce sticky-aborted generation 1. The loop above already
+        // proved every attempt refused cleanly; record which door this
+        // seed took so the trace documents it.
+        if !gen1.journal().is_some_and(|j| j.is_aborted()) {
+            return Err("swap never landed yet the journal is healthy".into());
+        }
+        sw.emit("gen1 sticky-aborted; swap refused cleanly on all attempts".to_string());
+    }
+
+    for r in pool {
+        r.join();
+    }
+    let stats = ring.stats();
+    if stats.submitted != stats.completed {
+        return Err(format!(
+            "accepted SQEs without CQEs: {} submitted, {} completed",
+            stats.submitted, stats.completed
+        ));
+    }
+    let violations = locks.violations();
+    if !violations.is_empty() {
+        return Err(format!("lockdep findings: {violations:?}"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // The corpus runner + replay/determinism tests
 // ---------------------------------------------------------------------------
 
@@ -1420,6 +1673,17 @@ fn pinned_failed_commit_must_not_clobber_blocks_pinned_by_earlier_txns() {
         pre,
         "failed commit mutated the live state"
     );
+}
+
+/// PINNED: SCENARIO=multi_reactor_eio_swap SCENARIO_SEED=3 — the seed
+/// where the swap's first quiesce attempt EIOs (clean refusal: state
+/// intact, generation unswitched) and the retry lands, so one run
+/// exercises the whole contract: 4 work-stealing reactors stay coherent
+/// through a failed and then a successful SwapGate handshake, the copied
+/// tree matches the mirror, and phase 2 sees zero failed ops.
+#[test]
+fn pinned_multi_reactor_eio_swap_seed_3() {
+    run_one("multi_reactor_eio_swap", multi_reactor_eio_swap, 3).unwrap();
 }
 
 /// PINNED: SCENARIO=eio_mid_checkpoint_recovery SCENARIO_SEED=1 — first
